@@ -1,0 +1,79 @@
+"""Shared benchmark infrastructure.
+
+Every experiment regenerator uses the same scaled-down cells, built once
+per pytest session and memoized here.  The scale policy is DESIGN.md §4:
+cells of a few hundred machines, full 29/31-day horizons, the 26-group
+scheme preserved via proportional bin widths.  Absolute numbers therefore
+differ from the paper's full-scale runs; every bench asserts the *shape*
+claims (who wins, by roughly what factor, where the bands lie) and prints
+the paper-formatted table for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core import (BENCH_CONFIG, ContinuousLearningDriver,
+                        FullyRetrainModel, GrowingModel, baseline_suite)
+from repro.datasets import build_step_datasets
+from repro.trace import generate_cell
+
+#: Benchmark scale knobs (one place to tune total runtime).
+SCALE = 0.03
+TASKS_PER_DAY = 1500
+SEED = 2025
+
+CELLS = ("clusterdata-2011", "clusterdata-2019a", "clusterdata-2019c",
+         "clusterdata-2019d")
+
+
+@lru_cache(maxsize=None)
+def bench_cell(name: str, tasks_per_day: int = TASKS_PER_DAY,
+               seed: int = SEED):
+    """One synthetic cell at bench scale (memoized per session)."""
+
+    return generate_cell(name, scale=SCALE, seed=seed,
+                         tasks_per_day=tasks_per_day)
+
+
+@lru_cache(maxsize=None)
+def bench_pipeline(name: str, encoding: str = "co-vv",
+                   tasks_per_day: int = TASKS_PER_DAY, seed: int = SEED):
+    """The Figure 1 pipeline output for one bench cell (memoized)."""
+
+    return build_step_datasets(bench_cell(name, tasks_per_day, seed),
+                               encoding=encoding,
+                               rng=np.random.default_rng(seed))
+
+
+def ann_models(seed: int = SEED):
+    """Fresh Growing + Fully-Retrain pair under the bench config."""
+
+    return {
+        "Growing": GrowingModel(BENCH_CONFIG,
+                                rng=np.random.default_rng(seed + 1)),
+        "Fully Retrain": FullyRetrainModel(
+            BENCH_CONFIG, rng=np.random.default_rng(seed + 2)),
+    }
+
+
+def all_models(seed: int = SEED):
+    """The full Table X model set (2 ANN variants + 4 baselines)."""
+
+    models = ann_models(seed)
+    models.update(baseline_suite(BENCH_CONFIG,
+                                 rng=np.random.default_rng(seed + 3)))
+    return models
+
+
+@lru_cache(maxsize=None)
+def bench_run(name: str, full_suite: bool = False, seed: int = SEED):
+    """Continuous-learning run over one cell (memoized across benches)."""
+
+    result = bench_pipeline(name, seed=seed)
+    models = all_models(seed) if full_suite else ann_models(seed)
+    driver = ContinuousLearningDriver(models, batch_size=BENCH_CONFIG.batch_size,
+                                      rng=np.random.default_rng(seed))
+    return driver.run(result.steps, cell_name=name)

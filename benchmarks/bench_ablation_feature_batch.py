@@ -1,0 +1,94 @@
+"""Ablation — how many features can be added at once? (paper §VI)
+
+"Adding new features to the ANN should be done gradually.  Experimentation
+showed that adding over 40–50 features at once often reduces accuracy and
+forces full model retraining."
+
+A controlled lookup workload isolates the variable: a pre-trained model
+(80 value columns → 12 groups) absorbs a growth step that appends K new
+value columns (each mapping to an existing group) with a proportional
+share of new-value rows.  Reported: growth epochs, fail-fast attempts,
+accuracy.  The shape claim: growth cost rises with K, and large K costs a
+multiple of small K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData
+from repro.errors import TrainingFailedError
+
+D0 = 80
+N_ROWS = 2500
+BATCHES = (8, 16, 32, 64, 128)
+
+
+def lookup_rows(rng, n, labels_of):
+    """One-hot rows over ``len(labels_of)`` value columns."""
+
+    v = rng.integers(0, len(labels_of), size=n)
+    X = np.zeros((n, len(labels_of)), dtype=np.float32)
+    X[np.arange(n), v] = 1.0
+    return X, labels_of[v].astype(np.int64)
+
+
+def run_growth(K: int, seed: int) -> tuple[int, int, float, bool]:
+    """(growth epochs, attempts, accuracy, succeeded) for K new columns."""
+
+    rng = np.random.default_rng(seed)
+    labels0 = rng.integers(0, 12, size=D0)
+    labels0[:4] = 0  # a small Group 0 presence
+    X0, y0 = lookup_rows(rng, N_ROWS, labels0)
+    ds0 = DatasetData(X0, y0, batch_size=BENCH_CONFIG.batch_size,
+                      rng=np.random.default_rng(seed + 1))
+
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(seed + 2))
+    model.fit_step(ds0)
+
+    labels1 = np.concatenate([labels0, rng.integers(0, 12, size=K)])
+    X_new, y_new = lookup_rows(np.random.default_rng(seed + 3), N_ROWS,
+                               labels1)
+    X_old = np.hstack([X0, np.zeros((N_ROWS, K), np.float32)])
+    ds1 = DatasetData(np.vstack([X_old, X_new]),
+                      np.concatenate([y0, y_new]),
+                      batch_size=BENCH_CONFIG.batch_size,
+                      rng=np.random.default_rng(seed + 4))
+    try:
+        outcome = model.fit_step(ds1)
+        return outcome.epochs, outcome.attempts, outcome.accuracy, True
+    except TrainingFailedError:
+        return BENCH_CONFIG.epochs_limit * BENCH_CONFIG.max_training_attempts, \
+            BENCH_CONFIG.max_training_attempts, 0.0, False
+
+
+def test_ablation_feature_batch(benchmark):
+    seeds = (11, 12, 13)
+    rows = []
+    mean_epochs = {}
+    for K in BATCHES:
+        results = [run_growth(K, seed) for seed in seeds]
+        epochs = [r[0] for r in results]
+        attempts = [r[1] for r in results]
+        accs = [r[2] for r in results if r[3]]
+        failures = sum(1 for r in results if not r[3])
+        mean_epochs[K] = float(np.mean(epochs))
+        rows.append([K, f"{np.mean(epochs):.1f}", f"{np.mean(attempts):.1f}",
+                     f"{np.mean(accs):.4f}" if accs else "—", failures])
+
+    print()
+    print(render_table(
+        ["New features at once", "Growth epochs (avg)", "Attempts (avg)",
+         "Accuracy (avg)", "Hard failures"], rows,
+        title="ABLATION — FEATURE-ADDITION BATCH SIZE (paper §VI: >40–50 "
+              "at once degrades)"))
+
+    # Shape: integrating a large feature batch costs a multiple of a small
+    # one (the paper's gradual-addition recommendation).
+    assert mean_epochs[BATCHES[-1]] >= mean_epochs[BATCHES[0]] * 1.5
+    # Monotone-ish trend across the sweep endpoints and midpoint.
+    assert mean_epochs[64] >= mean_epochs[8]
+
+    benchmark.pedantic(run_growth, args=(16, 99), rounds=1, iterations=1)

@@ -1,0 +1,81 @@
+"""Ablation — the pre-trained gradient multiplier (paper §IV.B).
+
+The paper: gradients of pre-trained fc1 columns are scaled by 0.1; "a
+scaling factor above 20–30% negated training effects, while zeroing
+gradients for pre-trained weights reduced model accuracy".
+
+We sweep rate ∈ {0.0, 0.1, 0.3, 1.0} over the full 2019c step sequence.
+Expected shape at bench scale: rate 0 is catastrophic (pre-trained
+columns frozen → the model cannot rebalance → repeated fail-fast
+retraining, an order of magnitude more epochs), while 0.1 performs at the
+paper's operating point.  A documented deviation: under Adam's
+per-parameter normalization a *uniform* non-zero scaling is largely
+neutralized, so 0.1 / 0.3 / 1.0 behave alike here (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData
+from repro.errors import TrainingFailedError
+
+from _common import bench_pipeline
+
+RATES = (0.0, 0.1, 0.3, 1.0)
+
+
+def run_rate(rate: float, seed: int, steps) -> tuple[int, float]:
+    config = BENCH_CONFIG.with_overrides(pretrained_gradient_rate=rate)
+    model = GrowingModel(config, rng=np.random.default_rng(seed))
+    total_epochs = 0
+    accuracy = 0.0
+    for i, step in enumerate(steps):
+        dataset = DatasetData(step.X, step.y,
+                              batch_size=config.batch_size,
+                              rng=np.random.default_rng(50 + i))
+        try:
+            outcome = model.fit_step(dataset)
+        except TrainingFailedError:
+            total_epochs += config.epochs_limit * config.max_training_attempts
+            continue
+        total_epochs += outcome.epochs
+        accuracy = outcome.accuracy
+    return total_epochs, accuracy
+
+
+def test_ablation_gradient_rate(benchmark):
+    result = bench_pipeline("clusterdata-2019c")
+    steps = [s for s in result.steps if s.n_samples >= 8]
+    seeds = (1, 2)
+
+    rows = []
+    mean_epochs = {}
+    for rate in RATES:
+        outcomes = [run_rate(rate, seed, steps) for seed in seeds]
+        epochs = [o[0] for o in outcomes]
+        accs = [o[1] for o in outcomes]
+        mean_epochs[rate] = float(np.mean(epochs))
+        rows.append([rate, f"{np.mean(epochs):.0f}",
+                     f"{np.mean(accs):.4f}"])
+
+    print()
+    print(render_table(
+        ["pretrained_gradient_rate", "Total epochs (avg)",
+         "Final accuracy (avg)"], rows,
+        title="ABLATION — PRE-TRAINED GRADIENT MULTIPLIER "
+              "(paper operating point: 0.1)"))
+    print("\nNote: 0.1–1.0 behave alike under Adam's per-parameter "
+          "normalization (uniform gradient scaling is scale-invariant "
+          "there); the damping's decisive effect is vs. rate 0.")
+
+    # Zeroing pre-trained gradients is catastrophic (paper: reduces
+    # accuracy; here it also burns fail-fast retrains).
+    assert mean_epochs[0.0] > 3 * mean_epochs[0.1]
+    # The paper's operating point is efficient.
+    assert mean_epochs[0.1] <= mean_epochs[1.0] * 1.3
+
+    benchmark.pedantic(run_rate, args=(0.1, 7, steps[:4]), rounds=1,
+                       iterations=1)

@@ -1,0 +1,77 @@
+"""Figure 2 — the CTL-based incrementally expanding training routine.
+
+Benchmarks one full growth step of the routine the figure diagrams:
+restore state dict → detect wider feature array → zero-pad fc1.weight →
+freeze fc2 → damped-gradient training → early stop on the acceptance
+thresholds.  Asserts each stage's observable effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.core.growing import build_model, extend_state_dict
+from repro.core.evaluate import evaluate_model
+from repro.datasets import DatasetData
+
+from _common import bench_pipeline
+
+
+def test_fig02_training_routine(benchmark):
+    result = bench_pipeline("clusterdata-2019c")
+    steps = result.steps
+    pretrain_step = steps[2]
+    growth_step = steps[3]
+    assert growth_step.features_after > pretrain_step.features_after
+
+    # Stage 0: initial model on the pre-growth dataset.
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(11))
+    ds_pre = DatasetData(pretrain_step.X, pretrain_step.y,
+                         batch_size=BENCH_CONFIG.batch_size,
+                         rng=np.random.default_rng(1))
+    initial = model.fit_step(ds_pre)
+    assert initial.from_scratch
+    saved_state = model.model.state_dict()
+
+    ds_grow = DatasetData(growth_step.X, growth_step.y,
+                          batch_size=BENCH_CONFIG.batch_size,
+                          rng=np.random.default_rng(2))
+
+    # Stage 1 (Listing 2): pad within the state dict; equivalence on old
+    # data must hold exactly.
+    padded = extend_state_dict(saved_state, ds_grow.features_count)
+    probe = build_model(ds_grow.features_count, BENCH_CONFIG,
+                        np.random.default_rng(0))
+    probe.load_state_dict(padded)
+    widened_old = ds_pre.widened(ds_grow.features_count)
+    before = evaluate_model(ds_pre.X_test, ds_pre.y_test, model.model)
+    after = evaluate_model(widened_old.X_test, widened_old.y_test, probe)
+    assert abs(before.accuracy - after.accuracy) < 1e-9
+
+    # Stage 2 (Listing 3): damped transfer training to thresholds.
+    outcome = model.fit_step(ds_grow)
+    assert outcome.grew and not outcome.from_scratch
+    assert outcome.accuracy > BENCH_CONFIG.accepted_accuracy
+    assert outcome.epochs <= initial.epochs * 2
+
+    print()
+    print("FIG. 2 — TRAINING ROUTINE STAGES")
+    print(f"  initial training   : {initial.epochs} epochs → "
+          f"acc {initial.accuracy:.4f}")
+    print(f"  restore + pad      : {pretrain_step.features_after} → "
+          f"{growth_step.features_after} features "
+          f"(old-data accuracy preserved: {after.accuracy:.4f})")
+    print(f"  damped growth step : {outcome.epochs} epochs → "
+          f"acc {outcome.accuracy:.4f}, F1_0 {outcome.group_0_f1}")
+
+    # Benchmark unit: a complete growth step (restore→pad→train→evaluate).
+    def growth_cycle():
+        m = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(11))
+        m.model = build_model(ds_pre.features_count, BENCH_CONFIG,
+                              np.random.default_rng(4))
+        m.model.load_state_dict(saved_state)
+        return m.fit_step(ds_grow)
+
+    out = benchmark.pedantic(growth_cycle, rounds=1, iterations=1)
+    assert out.features_after == ds_grow.features_count

@@ -1,0 +1,77 @@
+"""Table V — sample CO compactions.
+
+Regenerates the paper's five worked compaction examples and benchmarks
+compaction throughput over a realistic constraint-set mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.errors import CompactionError
+from repro.trace import TaskEvent, TaskEventKind
+
+from _common import bench_cell
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+LT = ConstraintOperator.LESS_THAN
+GT = ConstraintOperator.GREATER_THAN
+
+TABLE_V_ROWS = [
+    ("Between (redundant bound dropped)",
+     [Constraint("AM", LT, "8"), Constraint("AM", LT, "3"),
+      Constraint("AM", GT, "0")],
+     "3 > ${AM} > 0"),
+    ("Between (NE folds into bound)",
+     [Constraint("AM", NE, "1"), Constraint("AM", GT, "3"),
+      Constraint("AM", NE, "4")],
+     "${AM} > 4"),
+    ("Non-Equal-Array",
+     [Constraint("N", NE, "a"), Constraint("N", NE, "b"),
+      Constraint("N", NE, "c")],
+     "${N} <> 'a'; 'b'; 'c'"),
+    ("Equal supersedes Not-Equals",
+     [Constraint("G", NE, "a"), Constraint("G", NE, "b"),
+      Constraint("G", EQ, "c")],
+     "${G} = 'c'"),
+]
+
+CONTRADICTION = [Constraint("DC", EQ, "1"), Constraint("DC", EQ, "7")]
+
+
+def test_table05_compaction(benchmark):
+    rows = []
+    for label, constraints, expected in TABLE_V_ROWS:
+        task = compact(constraints)
+        rendered = task.render()
+        assert rendered == expected, f"{label}: {rendered!r}"
+        rows.append([label,
+                     "; ".join(c.render() for c in constraints), rendered])
+
+    with pytest.raises(CompactionError):
+        compact(CONTRADICTION)
+    rows.append(["Unsatisfiable (logged & skipped)",
+                 "; ".join(c.render() for c in CONTRADICTION),
+                 "CompactionError"])
+
+    print()
+    print(render_table(["Case", "Input CO", "Collapsed CO"], rows,
+                       title="TABLE V — SAMPLE CO COMPACTIONS",
+                       align_right=False))
+
+    # Throughput: compaction over the bench cell's real constraint mix.
+    cell = bench_cell("clusterdata-2019c")
+    constraint_sets = [e.constraints for e in
+                       cell.trace.events_of(TaskEvent)
+                       if e.kind is TaskEventKind.SUBMIT and e.constraints]
+    sets = constraint_sets[:2000]
+
+    def run():
+        return [compact(cs) for cs in sets]
+
+    tasks = benchmark(run)
+    assert len(tasks) == len(sets)

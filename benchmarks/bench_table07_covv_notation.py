@@ -1,0 +1,59 @@
+"""Table VII — the reversed '0/1' CO-VV notation.
+
+Regenerates the paper's four worked rows over the attribute ``AM`` domain
+(none, 0..9) exactly, and benchmarks the value-vector primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.constraints import Constraint, ConstraintOperator
+from repro.constraints.compaction import compact_attribute
+from repro.datasets import spec_value_vector
+
+GE = ConstraintOperator.GREATER_THAN_EQUAL
+GT = ConstraintOperator.GREATER_THAN
+LT = ConstraintOperator.LESS_THAN
+NE = ConstraintOperator.NOT_EQUAL
+
+VALUES = [None] + [str(i) for i in range(10)]
+
+ROWS = [
+    ("${AM} >= 5", [Constraint("AM", GE, "5")],
+     [1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0]),
+    ("3 > ${AM} > 0", [Constraint("AM", LT, "3"), Constraint("AM", GT, "0")],
+     [1, 1, 0, 0, 1, 1, 1, 1, 1, 1, 1]),
+    ("${AM} <> 0; 7; 8", [Constraint("AM", NE, "0"),
+                          Constraint("AM", NE, "7"),
+                          Constraint("AM", NE, "8")],
+     [0, 1, 0, 0, 0, 0, 0, 0, 1, 1, 0]),
+    ("${AM} > 0", [Constraint("AM", GT, "0")],
+     [1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+]
+
+
+def test_table07_covv_notation(benchmark):
+    headers = ["CO", "(none)"] + [f"AM:{i}" for i in range(10)]
+    table_rows = []
+    specs = []
+    for label, constraints, expected in ROWS:
+        spec = compact_attribute("AM", constraints)
+        specs.append(spec)
+        vec = spec_value_vector(spec, VALUES)
+        np.testing.assert_array_equal(vec, expected), label
+        table_rows.append([label] + vec.tolist())
+
+    print()
+    print(render_table(headers, table_rows,
+                       title="TABLE VII — REVERSED '0/1' NOTATION OF CO "
+                             "AND MATCHED ATTRIBUTE VALUES"))
+
+    big_domain = [None] + [str(i) for i in range(2000)]
+
+    def run():
+        return [spec_value_vector(s, big_domain) for s in specs]
+
+    vectors = benchmark(run)
+    assert all(v.shape == (2001,) for v in vectors)

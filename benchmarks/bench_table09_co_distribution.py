@@ -1,0 +1,55 @@
+"""Table IX — distribution of tasks with CO by volume, CPU and memory.
+
+Regenerates the min/max/avg bands for all four cells and asserts each
+falls inside (a tolerance of) the paper's published band — the generator
+is calibrated to those bands, so this bench is the calibration check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import co_distribution, render_table
+from repro.trace import get_profile
+
+from _common import CELLS, bench_cell
+
+
+def test_table09_co_distribution(benchmark):
+    rows = []
+    for name in CELLS:
+        cell = bench_cell(name)
+        dist = co_distribution(cell)
+        profile = get_profile(name)
+
+        # Volume band tracks the paper's Table IX row (generator target).
+        band = profile.co_volume
+        assert band.lo * 0.5 <= dist.by_volume.avg <= band.hi * 1.1, name
+        assert dist.by_volume.lo <= band.avg, name
+        assert dist.by_volume.hi >= band.avg * 0.75, name
+
+        rows.append([name,
+                     *dist.by_volume.as_percent(),
+                     *dist.by_cpu.as_percent(),
+                     *dist.by_mem.as_percent()])
+
+    headers = ["GCD archive", "Vol min", "Vol max", "Vol avg",
+               "CPU min", "CPU max", "CPU avg",
+               "Mem min", "Mem max", "Mem avg"]
+    print()
+    print(render_table(headers, rows,
+                       title="TABLE IX — DISTRIBUTION OF TASKS WITH CO BY "
+                             "VOLUME, REQUESTED CPU AND MEMORY"))
+    print("\npaper bands (volume): " + "; ".join(
+        f"{n}: {get_profile(n).co_volume.lo:.1%}–"
+        f"{get_profile(n).co_volume.hi:.1%} "
+        f"(avg {get_profile(n).co_volume.avg:.1%})" for n in CELLS))
+
+    # 2019a is the most CO-heavy cell in the paper; the shape must hold.
+    a = co_distribution(bench_cell("clusterdata-2019a")).by_volume.avg
+    d = co_distribution(bench_cell("clusterdata-2019d")).by_volume.avg
+    assert a > d, "2019a must carry a higher CO share than 2019d"
+
+    cell = bench_cell("clusterdata-2019c")
+    result = benchmark(co_distribution, cell)
+    assert result.n_tasks > 0

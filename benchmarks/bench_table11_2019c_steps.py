@@ -1,0 +1,52 @@
+"""Table XI — per-step model evaluation for clusterdata-2019c.
+
+Prints the step-by-step detail the paper reports for its sample cell:
+each feature-array extension's simulation time, feature count, and each
+model's accuracy / Group-0 F1 / epoch count.  Asserts the step dynamics
+the paper describes: features grow monotonically, the growing model's
+per-step epochs stay far below the fully-retrained model's, and both
+meet the acceptance thresholds at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import table_xi_report
+
+from _common import bench_pipeline, bench_run
+
+
+def test_table11_2019c_steps(benchmark):
+    run = bench_run("clusterdata-2019c")
+    print()
+    print(table_xi_report(run))
+
+    growing_rows = run.rows["Growing"]
+    fully_rows = run.rows["Fully Retrain"]
+    assert len(growing_rows) == len(fully_rows)
+    assert len(growing_rows) >= 6  # many retraining steps over 31 days
+
+    # Feature array grows monotonically across steps (Table XI dynamic).
+    features = [r.features for r in growing_rows]
+    assert features == sorted(features)
+    assert all(r.n_new_features > 0 for r in growing_rows)
+
+    # Paper thresholds hold at every retraining step.
+    for row in growing_rows + fully_rows:
+        assert row.outcome.accuracy > 0.95
+        assert row.outcome.group_0_f1 is None or row.outcome.group_0_f1 > 0.9
+
+    # After the initial model exists, growth steps are cheap: the growing
+    # model's median per-step epochs sit well below fully-retrain's.
+    import statistics
+    grow_step_epochs = [r.outcome.epochs for r in growing_rows[1:]]
+    full_step_epochs = [r.outcome.epochs for r in fully_rows[1:]]
+    assert statistics.median(grow_step_epochs) <= \
+        statistics.median(full_step_epochs)
+    assert sum(grow_step_epochs) < sum(full_step_epochs)
+
+    # Benchmark unit: re-encoding the final cumulative dataset.
+    result = bench_pipeline("clusterdata-2019c")
+    final = result.steps[-1]
+    benchmark(lambda: final.X.toarray())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: train the CTLM growing model on one synthetic cell.
+
+Generates a bench-scale clusterdata-2019c cell, runs the AGOCS dataset
+pipeline (Figure 1), and feeds each feature-growth step to the growing
+model — printing one line per Table XI-style retraining step.
+
+Run:  python examples/quickstart.py [--cell 2019c] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData, build_step_datasets
+from repro.trace import generate_cell
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cell", default="2019c",
+                        help="cell name/alias (2011, 2019a, 2019c, 2019d)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="cell-size fraction of the full trace")
+    parser.add_argument("--tasks-per-day", type=int, default=1200)
+    args = parser.parse_args()
+
+    print(f"generating synthetic {args.cell} cell "
+          f"(scale={args.scale}, seed={args.seed}) ...")
+    cell = generate_cell(args.cell, scale=args.scale, seed=args.seed,
+                         tasks_per_day=args.tasks_per_day)
+    print(f"  {cell.n_machines} machines, {len(cell.trace):,} trace events, "
+          f"group bin = {cell.group_bin} nodes")
+
+    print("replaying trace through the AGOCS pipeline (Figure 1) ...")
+    result = build_step_datasets(cell)
+    print(f"  {result.n_tasks_with_co:,} constrained tasks of "
+          f"{result.n_tasks_total:,}; feature array grew to "
+          f"{result.registry.features_count} columns over "
+          f"{len(result.steps)} steps")
+
+    model = GrowingModel(BENCH_CONFIG,
+                         rng=np.random.default_rng(args.seed + 1))
+    print("\nstep  sim time   features  samples  epochs  accuracy  F1(g0)")
+    for step in result.steps:
+        if step.n_samples < 8:
+            continue
+        dataset = DatasetData(step.X, step.y,
+                              batch_size=BENCH_CONFIG.batch_size,
+                              rng=np.random.default_rng(step.step_index))
+        outcome = model.fit_step(dataset)
+        f1 = "  —  " if outcome.group_0_f1 is None \
+            else f"{outcome.group_0_f1:.3f}"
+        mode = "grow" if outcome.grew else ("init" if outcome.from_scratch
+                                            else "cont")
+        print(f"{step.step_index:4d}  {step.label:>9}  "
+              f"{step.features_after:8d}  {step.n_samples:7d}  "
+              f"{outcome.epochs:6d}  {outcome.accuracy:.4f}    {f1}  "
+              f"[{mode}]")
+
+    print(f"\nfinal model: {model.features_count} input features; "
+          f"total epochs: {sum(o.epochs for o in model.history)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — Continuous Transfer Learning for real-time HPC cluster scheduling.
+
+A complete, from-scratch reproduction of Sliwko & Mizera-Pietraszko,
+"Enhancing Cluster Scheduling in HPC: A Continuous Transfer Learning for
+Real-Time Optimization" (IPDPSW 2025), including every substrate the
+paper depends on:
+
+* :mod:`repro.nn` — PyTorch-style autograd/NN framework over NumPy,
+* :mod:`repro.learn` — sklearn-style baseline classifiers and metrics,
+* :mod:`repro.constraints` — the 8 GCD constraint operators, Table V
+  compaction, and vectorized task↔machine matching,
+* :mod:`repro.trace` — GCD 2011/2019 trace formats, synthetic cell
+  generation, anomaly injection/auto-correction,
+* :mod:`repro.datasets` — CO-EL / CO-VV encodings, 26-group labelling,
+  the Figure 1 dataset pipeline,
+* :mod:`repro.core` — the CTLM growing model (the paper's contribution),
+  the fully-retrain variant, baselines, and the continuous-learning
+  driver,
+* :mod:`repro.sim` — the AGOCS-style scheduling simulator with the
+  Figure 3 Task CO Analyzer / High-Priority Scheduler,
+* :mod:`repro.analysis` — Table IX statistics and report rendering.
+
+Quickstart::
+
+    from repro.trace import generate_cell
+    from repro.datasets import build_step_datasets, DatasetData
+    from repro.core import GrowingModel, BENCH_CONFIG
+
+    cell = generate_cell("2019c", scale=0.04, seed=0, tasks_per_day=2000)
+    result = build_step_datasets(cell)
+    model = GrowingModel(BENCH_CONFIG)
+    for step in result.steps:
+        outcome = model.fit_step(DatasetData(step.X, step.y))
+        print(step.label, outcome.epochs, outcome.accuracy)
+"""
+
+from . import analysis, constraints, core, datasets, errors, learn, nn, rng
+from . import sim, trace
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "learn", "constraints", "trace", "datasets", "core", "sim",
+           "analysis", "errors", "rng", "__version__"]

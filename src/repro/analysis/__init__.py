@@ -1,0 +1,11 @@
+"""``repro.analysis`` — workload statistics, table rendering, reports."""
+
+from .reporting import epoch_reduction, table_x_report, table_xi_report
+from .stats import CODistribution, ShareBand, co_distribution
+from .tables import format_float, format_optional, render_table
+
+__all__ = [
+    "ShareBand", "CODistribution", "co_distribution",
+    "render_table", "format_float", "format_optional",
+    "table_x_report", "table_xi_report", "epoch_reduction",
+]

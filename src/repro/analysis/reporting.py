@@ -1,0 +1,77 @@
+"""Formatting helpers turning driver results into paper-shaped reports."""
+
+from __future__ import annotations
+
+from ..core.driver import RunResult
+from .tables import format_float, format_optional, render_table
+
+__all__ = ["table_x_report", "table_xi_report", "epoch_reduction"]
+
+
+def table_x_report(results: dict[str, RunResult]) -> str:
+    """Render the Table X summary: one row per cell, one column group per model.
+
+    ``results`` maps cell name → its :class:`RunResult` (each run holding
+    the same model set).
+    """
+
+    if not results:
+        raise ValueError("no results to report")
+    model_names = list(next(iter(results.values())).rows)
+    headers = ["Dataset"]
+    for name in model_names:
+        headers += [f"{name} acc", f"{name} F1_0", f"{name} ep"]
+    rows = []
+    for cell_name, run in results.items():
+        row = [cell_name]
+        for name in model_names:
+            summary = run.summary(name)
+            row += [format_float(summary.avg_accuracy),
+                    format_float(summary.avg_group_0_f1),
+                    summary.epochs_total if summary.epochs_total else "—"]
+        rows.append(row)
+    return render_table(headers, rows,
+                        title="TABLE X — SUMMARY OF MODEL EVALUATION RESULTS")
+
+
+def table_xi_report(run: RunResult) -> str:
+    """Render a Table XI-style per-step detail for one cell."""
+
+    model_names = list(run.rows)
+    headers = ["Step", "Sim time", "Features", "Samples"]
+    for name in model_names:
+        headers += [f"{name} acc", f"{name} F1_0", f"{name} ep"]
+    n_steps = max(len(rows) for rows in run.rows.values())
+    table_rows = []
+    for i in range(n_steps):
+        base = None
+        cells = []
+        for name in model_names:
+            rows = run.rows[name]
+            if i < len(rows):
+                r = rows[i]
+                base = base or r
+                cells += [format_float(r.outcome.accuracy),
+                          format_float(r.outcome.group_0_f1),
+                          r.outcome.epochs]
+            else:
+                cells += ["—", "—", "—"]
+        table_rows.append([base.step_index, base.time_label, base.features,
+                           base.n_samples] + cells)
+    return render_table(
+        headers, table_rows,
+        title=f"TABLE XI — MODEL EVALUATION RESULTS FOR {run.cell_name}")
+
+
+def epoch_reduction(run: RunResult, growing: str = "Growing",
+                    fully: str = "Fully Retrain") -> float:
+    """Fractional epoch reduction of the growing model vs full retraining.
+
+    The paper reports 40% (2019a) to 91% (2019c) fewer epochs.
+    """
+
+    g = run.summary(growing).epochs_total
+    f = run.summary(fully).epochs_total
+    if f == 0:
+        raise ValueError("fully-retrain run has no epochs")
+    return 1.0 - g / f

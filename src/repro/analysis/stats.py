@@ -1,0 +1,98 @@
+"""Workload statistics (paper Table IX).
+
+"Table IX presents the distribution of tasks with CO based on volume,
+requested CPU, and memory ratios across the examined workload trace
+repositories" — per-day shares of constrained tasks, reported as
+min/max/avg over the trace horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..trace.events import MICROS_PER_DAY, CellTrace, TaskEvent, TaskEventKind
+from ..trace.synthetic import SyntheticCell
+
+__all__ = ["ShareBand", "CODistribution", "co_distribution"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShareBand:
+    """(min, max, avg) of a per-day share series."""
+
+    lo: float
+    hi: float
+    avg: float
+
+    @classmethod
+    def from_series(cls, series: np.ndarray) -> "ShareBand":
+        series = np.asarray(series, dtype=np.float64)
+        if series.size == 0:
+            return cls(0.0, 0.0, 0.0)
+        return cls(float(series.min()), float(series.max()),
+                   float(series.mean()))
+
+    def as_percent(self) -> tuple[str, str, str]:
+        return (f"{self.lo:.1%}", f"{self.hi:.1%}", f"{self.avg:.1%}")
+
+
+@dataclass
+class CODistribution:
+    """One cell's Table IX row (plus the underlying daily series)."""
+
+    cell_name: str
+    by_volume: ShareBand
+    by_cpu: ShareBand
+    by_mem: ShareBand
+    daily_volume: np.ndarray
+    daily_cpu: np.ndarray
+    daily_mem: np.ndarray
+    n_tasks: int
+    n_tasks_with_co: int
+
+
+def co_distribution(cell: SyntheticCell | CellTrace,
+                    name: str | None = None) -> CODistribution:
+    """Compute the tasks-with-CO share bands from a trace's SUBMIT events."""
+
+    trace = cell.trace if isinstance(cell, SyntheticCell) else cell
+    cell_name = name or trace.name
+
+    day_tasks: dict[int, list[float]] = {}
+    per_day: dict[int, dict[str, float]] = {}
+    n_total = n_co = 0
+    for event in trace.events_of(TaskEvent):
+        if event.kind is not TaskEventKind.SUBMIT:
+            continue
+        day = event.time // MICROS_PER_DAY
+        slot = per_day.setdefault(day, {"n": 0.0, "n_co": 0.0, "cpu": 0.0,
+                                        "cpu_co": 0.0, "mem": 0.0,
+                                        "mem_co": 0.0})
+        constrained = bool(event.constraints)
+        slot["n"] += 1
+        slot["cpu"] += event.cpu_request
+        slot["mem"] += event.mem_request
+        n_total += 1
+        if constrained:
+            n_co += 1
+            slot["n_co"] += 1
+            slot["cpu_co"] += event.cpu_request
+            slot["mem_co"] += event.mem_request
+
+    days = sorted(per_day)
+    vol = np.array([per_day[d]["n_co"] / per_day[d]["n"]
+                    for d in days if per_day[d]["n"] > 0])
+    cpu = np.array([per_day[d]["cpu_co"] / per_day[d]["cpu"]
+                    for d in days if per_day[d]["cpu"] > 0])
+    mem = np.array([per_day[d]["mem_co"] / per_day[d]["mem"]
+                    for d in days if per_day[d]["mem"] > 0])
+
+    return CODistribution(
+        cell_name=cell_name,
+        by_volume=ShareBand.from_series(vol),
+        by_cpu=ShareBand.from_series(cpu),
+        by_mem=ShareBand.from_series(mem),
+        daily_volume=vol, daily_cpu=cpu, daily_mem=mem,
+        n_tasks=n_total, n_tasks_with_co=n_co)

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark output.
+
+Every bench prints its result in the same row/column layout the paper's
+table uses, via this small fixed-width renderer (no external deps).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_float", "format_optional"]
+
+
+def format_float(value: float | None, digits: int = 5) -> str:
+    """Paper-style numeric cell (e.g. 0.99957); dash for missing."""
+
+    if value is None:
+        return "—"
+    return f"{value:.{digits}f}"
+
+
+def format_optional(value, fallback: str = "—") -> str:
+    return fallback if value is None else str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None, align_right: bool = True) -> str:
+    """Fixed-width table with a header rule; cells are str()-ed."""
+
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if align_right and i > 0
+                         else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

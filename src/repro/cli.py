@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands cover the library's main workflows so the reproduction can be
+driven without writing Python:
+
+* ``generate``  — synthesize a cell and archive it to disk,
+* ``stats``     — Table IX workload statistics for an archived cell,
+* ``train``     — continuous transfer learning over an archived cell
+  (Growing vs Fully Retrain, optional baselines), Table XI report,
+* ``simulate``  — the Figure 3 scheduler experiment on an archived cell,
+* ``info``      — library / experiment inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous Transfer Learning for HPC cluster "
+                    "scheduling (IPDPSW 2025 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a cell archive")
+    gen.add_argument("outdir", type=Path, help="archive directory to create")
+    gen.add_argument("--cell", default="2019c",
+                     help="2011 | 2019a | 2019c | 2019d")
+    gen.add_argument("--scale", type=float, default=0.03)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--days", type=int, default=None)
+    gen.add_argument("--tasks-per-day", type=int, default=1200)
+
+    stats = sub.add_parser("stats", help="Table IX statistics for an archive")
+    stats.add_argument("archive", type=Path)
+
+    train = sub.add_parser("train", help="continuous learning experiment")
+    train.add_argument("archive", type=Path)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--all-baselines", action="store_true")
+    train.add_argument("--encoding", default="co-vv",
+                       choices=["co-vv", "co-el"])
+
+    sim = sub.add_parser("simulate", help="Figure 3 scheduler experiment")
+    sim.add_argument("archive", type=Path)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--scan-budget", type=int, default=24)
+
+    sub.add_parser("info", help="library and experiment inventory")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .trace import CellArchive, generate_cell
+
+    cell = generate_cell(args.cell, scale=args.scale, seed=args.seed,
+                         days=args.days, tasks_per_day=args.tasks_per_day)
+    CellArchive(args.outdir).save(cell)
+    print(f"{cell.name}: {cell.n_machines} machines, "
+          f"{len(cell.trace):,} events, {len(cell.step_times)} growth "
+          f"steps -> {args.outdir}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .analysis import co_distribution, render_table
+    from .trace import CellArchive
+
+    cell = CellArchive(args.archive).load()
+    dist = co_distribution(cell)
+    print(render_table(
+        ["Cell", "Vol min", "Vol max", "Vol avg", "CPU min", "CPU max",
+         "CPU avg", "Mem min", "Mem max", "Mem avg"],
+        [[cell.name, *dist.by_volume.as_percent(),
+          *dist.by_cpu.as_percent(), *dist.by_mem.as_percent()]],
+        title="TABLE IX — DISTRIBUTION OF TASKS WITH CO"))
+    print(f"\n{dist.n_tasks_with_co:,} constrained of {dist.n_tasks:,} "
+          f"tasks")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .analysis import epoch_reduction, table_xi_report
+    from .core import (BENCH_CONFIG, ContinuousLearningDriver,
+                       FullyRetrainModel, GrowingModel, baseline_suite)
+    from .datasets import build_step_datasets
+    from .trace import CellArchive
+
+    cell = CellArchive(args.archive).load()
+    result = build_step_datasets(cell, encoding=args.encoding)
+    models: dict[str, object] = {
+        "Growing": GrowingModel(BENCH_CONFIG,
+                                rng=np.random.default_rng(args.seed + 1)),
+        "Fully Retrain": FullyRetrainModel(
+            BENCH_CONFIG, rng=np.random.default_rng(args.seed + 2)),
+    }
+    if args.all_baselines:
+        models.update(baseline_suite(
+            BENCH_CONFIG, rng=np.random.default_rng(args.seed + 3)))
+    driver = ContinuousLearningDriver(models,
+                                      batch_size=BENCH_CONFIG.batch_size,
+                                      rng=np.random.default_rng(args.seed))
+    run = driver.run(result.steps, cell_name=cell.name)
+    print(table_xi_report(run))
+    print()
+    for name, summary in run.summaries().items():
+        f1 = ("—" if summary.avg_group_0_f1 is None
+              else f"{summary.avg_group_0_f1:.5f}")
+        print(f"{name:>18}: acc {summary.avg_accuracy:.5f}  F1_0 {f1}  "
+              f"epochs {summary.epochs_total}")
+    print(f"\nepoch reduction (Growing vs Fully Retrain): "
+          f"{epoch_reduction(run):.0%}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .core import BENCH_CONFIG, GrowingModel
+    from .datasets import DatasetData, build_step_datasets
+    from .sim import SimulationConfig, SimulationEngine, TaskCOAnalyzer
+    from .trace import CellArchive
+
+    cell = CellArchive(args.archive).load()
+    result = build_step_datasets(cell)
+    model = GrowingModel(BENCH_CONFIG,
+                         rng=np.random.default_rng(args.seed + 1))
+    for step in result.steps:
+        if step.n_samples < 8:
+            continue
+        model.fit_step(DatasetData(step.X, step.y,
+                                   batch_size=BENCH_CONFIG.batch_size,
+                                   rng=np.random.default_rng(step.step_index)))
+    config = SimulationConfig(scan_budget=args.scan_budget)
+    baseline = SimulationEngine(config).run(cell)
+    analyzer = TaskCOAnalyzer(model, result.registry, route_threshold=0)
+    enhanced = SimulationEngine(config, analyzer=analyzer).run(cell)
+    b = baseline.recorder.summary_restrictive()
+    e = enhanced.recorder.summary_restrictive()
+    print(f"restrictive tasks: baseline mean {b.mean_s:.2f}s "
+          f"(n={b.count}) -> enhanced mean {e.mean_s:.2f}s (n={e.count})")
+    print(f"all tasks: baseline {baseline.recorder.summary_all().mean_s:.2f}s "
+          f"-> enhanced {enhanced.recorder.summary_all().mean_s:.2f}s")
+    print(f"speedup on restrictive population: "
+          f"{enhanced.restrictive_speedup_vs(baseline):.1f}x")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — reproduction of Sliwko & "
+          f"Mizera-Pietraszko, IPDPSW 2025")
+    print("subsystems: nn (autograd), learn (baselines), constraints, "
+          "trace, datasets, core (CTLM), sim, analysis")
+    print("experiments: Tables V-XI, Figures 1-3, §V timing, §VI "
+          "ablations — see benchmarks/ and EXPERIMENTS.md")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "simulate": _cmd_simulate,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

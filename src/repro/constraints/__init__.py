@@ -1,0 +1,22 @@
+"""``repro.constraints`` — GCD node-affinity constraint engine.
+
+Raw constraint operators (2011's four + 2019's four), the Table V
+compaction algebra, attribute catalogues, and the vectorized
+task↔machine matcher used by both the dataset builders and the
+scheduler simulator.
+"""
+
+from .attributes import AttributeCatalog
+from .compaction import AttributeSpec, CompactedTask, compact, compact_attribute
+from .matcher import MachinePark
+from .operators import (OPERATORS_2011, OPERATORS_2019, Constraint,
+                        ConstraintOperator, parse_value, value_as_int)
+from .soft import SoftAffinityTask, SoftConstraint, preference_scores
+
+__all__ = [
+    "Constraint", "ConstraintOperator", "OPERATORS_2011", "OPERATORS_2019",
+    "parse_value", "value_as_int",
+    "AttributeSpec", "CompactedTask", "compact", "compact_attribute",
+    "AttributeCatalog", "MachinePark",
+    "SoftConstraint", "SoftAffinityTask", "preference_scores",
+]

@@ -1,0 +1,86 @@
+"""Attribute catalogues: observed value domains per machine attribute.
+
+The CO-VV encoding needs, for every attribute, the ordered list of values
+that have ever been observed in the cell (machine attributes or constraint
+operands).  :class:`AttributeCatalog` is the append-only record of that
+domain; new values are always appended at the end — "for traceability and
+simplicity, new attribute values are appended as the last column" (paper
+Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .operators import parse_value
+
+__all__ = ["AttributeCatalog"]
+
+
+class AttributeCatalog:
+    """Append-only map ``attribute → ordered tuple of observed values``."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, list[str]] = {}
+        self._positions: dict[str, dict[str, int]] = {}
+
+    def observe(self, attribute: str, value) -> bool:
+        """Record a value; returns True when it was new for the attribute."""
+
+        value = parse_value(value)
+        if value is None:
+            # Absence is modelled by the dedicated "(none)" column in the
+            # CO-VV encoding, not by the value domain.
+            self._values.setdefault(attribute, [])
+            self._positions.setdefault(attribute, {})
+            return False
+        positions = self._positions.setdefault(attribute, {})
+        if value in positions:
+            return False
+        positions[value] = len(positions)
+        self._values.setdefault(attribute, []).append(value)
+        return True
+
+    def observe_many(self, attribute: str, values: Iterable) -> int:
+        """Record several values; returns how many were new."""
+
+        return sum(self.observe(attribute, v) for v in values)
+
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in first-observation order."""
+
+        return tuple(self._values)
+
+    def values(self, attribute: str) -> tuple[str, ...]:
+        """The ordered value domain of one attribute (empty if unknown)."""
+
+        return tuple(self._values.get(attribute, ()))
+
+    def position(self, attribute: str, value) -> int | None:
+        """Index of ``value`` within the attribute's domain, or None."""
+
+        value = parse_value(value)
+        if value is None:
+            return None
+        return self._positions.get(attribute, {}).get(value)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def total_values(self) -> int:
+        """Total number of (attribute, value) pairs recorded."""
+
+        return sum(len(v) for v in self._values.values())
+
+    def copy(self) -> "AttributeCatalog":
+        clone = AttributeCatalog()
+        for attr, values in self._values.items():
+            clone._values[attr] = list(values)
+            clone._positions[attr] = dict(self._positions[attr])
+        return clone

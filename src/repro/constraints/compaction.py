@@ -1,0 +1,355 @@
+"""Constraint-operator compaction (paper Table V).
+
+Before dataset generation, each task's raw constraint list is collapsed
+per attribute into a canonical :class:`AttributeSpec`:
+
+* chains of order comparisons fold into a single **Between** interval
+  (integer-aware, so ``${AM} > 3`` ∧ ``${AM} <> 4`` tightens to
+  ``${AM} > 4`` exactly as in the paper's worked example),
+* Not-Equal sets fold into a **Non-Equal-Array**,
+* any Equal constraint supersedes Not-Equals on the same attribute
+  ("Equals operator is restrictive"),
+* unsatisfiable combinations (``${DC} = 1`` ∧ ``${DC} = 7``, empty
+  intervals, Present ∧ Not-Present, ...) raise :class:`CompactionError`,
+  which trace replay logs and skips — the paper observes fewer than
+  twenty such anomalies across all datasets.
+
+Canonical-value invariant
+-------------------------
+Attribute and constraint values that denote integers are canonical decimal
+strings (``parse_value`` produces them; the trace layer enforces this), so
+string equality and integer equality agree.  This is what licenses folding
+string-level Not-Equals into integer interval bounds.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import CompactionError
+from .operators import Constraint, ConstraintOperator, parse_value, value_as_int
+
+__all__ = ["AttributeSpec", "CompactedTask", "compact", "compact_attribute"]
+
+logger = logging.getLogger(__name__)
+
+_UNSET = object()
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """The collapsed conjunction of all constraints on one attribute.
+
+    Components (each optional):
+
+    * ``equal`` — exact required value; ``equal=None`` with
+      ``has_equal=True`` means the attribute must be empty/absent,
+    * ``lo``/``hi`` — inclusive integer bounds on the *effective* numeric
+      value (absent attribute ≙ 0, matching the raw operator semantics),
+    * ``not_in`` — Non-Equal-Array: forbidden values (only tested when the
+      attribute is present, as raw Not-Equal matches absent attributes),
+    * ``present_required`` / ``absent_required`` — Present / Not-Present.
+    """
+
+    attribute: str
+    has_equal: bool = False
+    equal: str | None = None
+    lo: int | None = None
+    hi: int | None = None
+    not_in: frozenset[str] = field(default_factory=frozenset)
+    present_required: bool = False
+    absent_required: bool = False
+
+    @property
+    def has_between(self) -> bool:
+        return self.lo is not None or self.hi is not None
+
+    def matches(self, attr_value) -> bool:
+        """Evaluate the collapsed conjunction against one attribute value."""
+
+        value = parse_value(attr_value)
+        if self.absent_required and value is not None:
+            return False
+        if self.present_required and value is None:
+            return False
+        if self.has_equal:
+            return value is None if self.equal is None else value == self.equal
+        if value is not None and value in self.not_in:
+            return False
+        if self.has_between:
+            num = 0 if value is None else value_as_int(value)
+            if num is None:
+                return False
+            if self.lo is not None and num < self.lo:
+                return False
+            if self.hi is not None and num > self.hi:
+                return False
+        return True
+
+    def render(self) -> str:
+        """Table V-style rendering of the collapsed constraint."""
+
+        name = "${" + self.attribute + "}"
+        if self.has_equal:
+            if self.equal is None:
+                return f"{name} = ''"
+            return f"{name} = {_quote(self.equal)}"
+        parts: list[str] = []
+        if self.absent_required:
+            parts.append(f"{name} not-present")
+        if self.present_required:
+            parts.append(f"{name} present")
+        if self.has_between:
+            if self.lo is not None and self.hi is not None:
+                # Paper renders the Between operator with strict bounds:
+                # inclusive [1, 2] prints as "3 > ${AM} > 0".
+                parts.append(f"{self.hi + 1} > {name} > {self.lo - 1}")
+            elif self.lo is not None:
+                parts.append(f"{name} > {self.lo - 1}")
+            else:
+                parts.append(f"{self.hi + 1} > {name}")
+        if self.not_in:
+            values = "; ".join(_quote(v) for v in sorted(self.not_in))
+            parts.append(f"{name} <> {values}")
+        if not parts:
+            return f"{name} unconstrained"
+        return " AND ".join(parts)
+
+    def is_trivial(self) -> bool:
+        """True when the spec matches every value (no components set)."""
+
+        return not (self.has_equal or self.has_between or self.not_in
+                    or self.present_required or self.absent_required)
+
+
+def _quote(value: str) -> str:
+    return value if value_as_int(value) is not None else f"'{value}'"
+
+
+def compact_attribute(attribute: str,
+                      constraints: Iterable[Constraint]) -> AttributeSpec:
+    """Collapse all constraints on one attribute into an AttributeSpec.
+
+    Raises
+    ------
+    CompactionError
+        If the conjunction is unsatisfiable.
+    """
+
+    equals: set[str | None] = set()
+    not_equals: set[str | None] = set()
+    lo: int | None = None
+    hi: int | None = None
+    present = False
+    absent = False
+
+    for c in constraints:
+        if c.attribute != attribute:
+            raise ValueError(f"constraint on {c.attribute!r} passed to "
+                             f"compaction of {attribute!r}")
+        op = c.op
+        if op is ConstraintOperator.EQUAL:
+            equals.add(c.value)
+        elif op is ConstraintOperator.NOT_EQUAL:
+            not_equals.add(c.value)
+        elif op is ConstraintOperator.PRESENT:
+            present = True
+        elif op is ConstraintOperator.NOT_PRESENT:
+            absent = True
+        else:
+            bound = value_as_int(c.value)
+            assert bound is not None  # Constraint.__post_init__ guarantees
+            # Integerize: x > 3 ⇔ x ≥ 4; x < 3 ⇔ x ≤ 2 (GCD constraint
+            # values are integers).
+            if op is ConstraintOperator.GREATER_THAN:
+                lo = bound + 1 if lo is None else max(lo, bound + 1)
+            elif op is ConstraintOperator.GREATER_THAN_EQUAL:
+                lo = bound if lo is None else max(lo, bound)
+            elif op is ConstraintOperator.LESS_THAN:
+                hi = bound - 1 if hi is None else min(hi, bound - 1)
+            else:
+                hi = bound if hi is None else min(hi, bound)
+
+    # A Not-Equal with an empty value means "attribute must not be empty",
+    # i.e. Present.
+    if None in not_equals:
+        not_equals.discard(None)
+        present = True
+
+    if present and absent:
+        raise CompactionError(
+            f"{attribute}: Present and Not-Present are contradictory")
+
+    if len(equals) > 1:
+        rendered = ", ".join("''" if v is None else str(v) for v in sorted(
+            equals, key=lambda x: (x is None, x)))
+        raise CompactionError(
+            f"{attribute}: multiple Equal constraints cannot collapse "
+            f"({rendered})")
+
+    if equals:
+        value = next(iter(equals))
+        return _collapse_with_equal(attribute, value, not_equals, lo, hi,
+                                    present, absent)
+
+    not_in = {v for v in not_equals if v is not None}
+
+    if absent:
+        # The attribute must be missing; Not-Equals are vacuously satisfied
+        # and numeric bounds apply to the effective value 0.
+        if _interval_excludes(lo, hi, 0):
+            raise CompactionError(
+                f"{attribute}: Not-Present contradicts numeric bounds "
+                f"[{lo}, {hi}] (absent compares as 0)")
+        return AttributeSpec(attribute, absent_required=True)
+
+    # Fold canonical integer Not-Equals into the interval edges, the
+    # paper's "${AM} > 3 ∧ ${AM} <> 4 → ${AM} > 4" rule; repeat until the
+    # edge value is admissible.  The value 0 is never folded: an absent
+    # attribute has effective numeric value 0 yet still satisfies
+    # Not-Equal, so tightening the interval past 0 would wrongly reject
+    # absent machines — 0 stays as an explicit (present-only) exclusion.
+    numeric_exclusions = {value_as_int(v) for v in not_in
+                          if value_as_int(v) is not None}
+    if lo is not None:
+        while lo in numeric_exclusions and lo != 0:
+            lo += 1
+    if hi is not None:
+        while hi in numeric_exclusions and hi != 0:
+            hi -= 1
+    if lo is not None and hi is not None and lo > hi:
+        raise CompactionError(
+            f"{attribute}: numeric bounds collapse to an empty interval")
+
+    # Drop exclusions subsumed by the interval (e.g. <>1 under lo=5) and
+    # the folded edge values.
+    if lo is not None or hi is not None:
+        kept: set[str] = set()
+        for v in not_in:
+            n = value_as_int(v)
+            if n is None:
+                # Non-numeric exclusion is subsumed: Between already rejects
+                # non-numeric present values.
+                continue
+            if (lo is not None and n < lo) or (hi is not None and n > hi):
+                continue
+            kept.add(v)
+        not_in = kept
+
+    return AttributeSpec(attribute, lo=lo, hi=hi, not_in=frozenset(not_in),
+                         present_required=present)
+
+
+def _interval_excludes(lo: int | None, hi: int | None, value: int) -> bool:
+    if lo is not None and value < lo:
+        return True
+    if hi is not None and value > hi:
+        return True
+    return False
+
+
+def _collapse_with_equal(attribute: str, value: str | None,
+                         not_equals: set[str | None], lo: int | None,
+                         hi: int | None, present: bool,
+                         absent: bool) -> AttributeSpec:
+    """Equal is restrictive: verify consistency, then keep only the Equal."""
+
+    if value is None:
+        # "= ''" requires the attribute to be absent/empty.
+        if present:
+            raise CompactionError(
+                f"{attribute}: '= empty' contradicts Present")
+        if _interval_excludes(lo, hi, 0):
+            raise CompactionError(
+                f"{attribute}: '= empty' contradicts numeric bounds")
+        return AttributeSpec(attribute, has_equal=True, equal=None)
+
+    if absent:
+        raise CompactionError(
+            f"{attribute}: Equal {value!r} contradicts Not-Present")
+    if value in not_equals:
+        raise CompactionError(
+            f"{attribute}: Equal and Not-Equal on the same value {value!r}")
+    if lo is not None or hi is not None:
+        num = value_as_int(value)
+        if num is None:
+            raise CompactionError(
+                f"{attribute}: Equal {value!r} is non-numeric but numeric "
+                f"bounds exist")
+        if _interval_excludes(lo, hi, num):
+            raise CompactionError(
+                f"{attribute}: Equal {value!r} lies outside bounds "
+                f"[{lo}, {hi}]")
+    return AttributeSpec(attribute, has_equal=True, equal=value)
+
+
+class CompactedTask:
+    """All of a task's constraints, collapsed per attribute.
+
+    Iterable over :class:`AttributeSpec` in attribute order; evaluable
+    against a machine attribute mapping.
+    """
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs: Mapping[str, AttributeSpec]):
+        self.specs: dict[str, AttributeSpec] = dict(sorted(specs.items()))
+
+    def __iter__(self):
+        return iter(self.specs.values())
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CompactedTask) and self.specs == other.specs
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.specs.items(),
+                                 key=lambda kv: kv[0])))
+
+    def matches(self, attributes: Mapping[str, str | int | None]) -> bool:
+        """True when a machine with the given attribute map satisfies every spec."""
+
+        return all(spec.matches(attributes.get(attr))
+                   for attr, spec in self.specs.items())
+
+    def render(self) -> str:
+        return "; ".join(spec.render() for spec in self)
+
+
+def compact(constraints: Iterable[Constraint],
+            on_error: str = "raise") -> CompactedTask:
+    """Collapse a raw constraint list into a :class:`CompactedTask`.
+
+    Parameters
+    ----------
+    constraints:
+        Raw :class:`Constraint` objects (any order; compaction is
+        order-independent).
+    on_error:
+        ``'raise'`` propagates :class:`CompactionError`; ``'log'`` logs the
+        anomaly and drops the offending attribute (the AGOCS replay
+        behaviour for the paper's <20 anomalous tasks).
+    """
+
+    if on_error not in ("raise", "log"):
+        raise ValueError("on_error must be 'raise' or 'log'")
+    by_attr: dict[str, list[Constraint]] = {}
+    for c in constraints:
+        by_attr.setdefault(c.attribute, []).append(c)
+
+    specs: dict[str, AttributeSpec] = {}
+    for attr, group in by_attr.items():
+        try:
+            spec = compact_attribute(attr, group)
+        except CompactionError as exc:
+            if on_error == "raise":
+                raise
+            logger.warning("constraint compaction anomaly ignored: %s", exc)
+            continue
+        if not spec.is_trivial():
+            specs[attr] = spec
+    return CompactedTask(specs)

@@ -1,0 +1,265 @@
+"""Vectorized task-to-machine constraint matching.
+
+AGOCS replays every task against every machine; done naively that is an
+O(tasks × machines × constraints) Python loop.  :class:`MachinePark`
+stores machine attributes columnar (one object ndarray per attribute) and
+evaluates each collapsed :class:`~repro.constraints.compaction.AttributeSpec`
+as a boolean mask over all machines at once, memoizing masks per spec —
+tasks in a cell share a small set of distinct constraint shapes, so the
+memo turns the replay into a handful of vectorized passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .compaction import AttributeSpec, CompactedTask
+from .operators import parse_value, value_as_int
+
+__all__ = ["MachinePark"]
+
+
+class MachinePark:
+    """Columnar store of machine attributes with vectorized matching.
+
+    Machines are identified by arbitrary hashable ids (GCD machine ids are
+    integers).  Rows are never physically removed; an ``alive`` mask tracks
+    machine removals so that cached masks stay index-stable.
+    """
+
+    def __init__(self) -> None:
+        self._ids: list = []
+        self._index: dict = {}
+        self._alive = np.zeros(0, dtype=bool)
+        self._cpu = np.zeros(0, dtype=np.float64)
+        self._mem = np.zeros(0, dtype=np.float64)
+        self._columns: dict[str, np.ndarray] = {}
+        self._version = 0
+        self._numeric_cache: dict[str, tuple[int, np.ndarray]] = {}
+        self._mask_cache: dict[tuple[int, AttributeSpec], np.ndarray] = {}
+        self._absent_column = np.zeros(0, dtype=object)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        self._version += 1
+        if len(self._mask_cache) > 4096:
+            self._mask_cache.clear()
+
+    def add_machine(self, machine_id, cpu: float = 1.0, mem: float = 1.0,
+                    attributes: Mapping[str, object] | None = None) -> int:
+        """Register (or revive) a machine; returns its row index."""
+
+        if machine_id in self._index:
+            row = self._index[machine_id]
+            if self._alive[row]:
+                raise SchedulingError(f"machine {machine_id!r} already present")
+            self._alive[row] = True
+            self._cpu[row] = cpu
+            self._mem[row] = mem
+            for column in self._columns.values():
+                column[row] = None
+        else:
+            row = len(self._ids)
+            self._ids.append(machine_id)
+            self._index[machine_id] = row
+            self._alive = np.append(self._alive, True)
+            self._cpu = np.append(self._cpu, float(cpu))
+            self._mem = np.append(self._mem, float(mem))
+            for attr in list(self._columns):
+                self._columns[attr] = np.append(self._columns[attr], None)
+            self._absent_column = np.append(self._absent_column, None)
+        if attributes:
+            for attr, value in attributes.items():
+                self._set_attr_row(row, attr, value)
+        self._touch()
+        return row
+
+    def remove_machine(self, machine_id) -> None:
+        """Mark a machine dead (its constraints no longer match anything)."""
+
+        row = self._row(machine_id)
+        if not self._alive[row]:
+            raise SchedulingError(f"machine {machine_id!r} already removed")
+        self._alive[row] = False
+        self._touch()
+
+    def update_capacity(self, machine_id, cpu: float | None = None,
+                        mem: float | None = None) -> None:
+        row = self._row(machine_id)
+        if cpu is not None:
+            self._cpu[row] = cpu
+        if mem is not None:
+            self._mem[row] = mem
+        # Capacity does not affect constraint masks; no cache bump needed.
+
+    def set_attribute(self, machine_id, attribute: str, value) -> None:
+        """Set (or with value None, clear) one machine attribute."""
+
+        self._set_attr_row(self._row(machine_id), attribute, value)
+        self._touch()
+
+    def _set_attr_row(self, row: int, attribute: str, value) -> None:
+        column = self._columns.get(attribute)
+        if column is None:
+            column = np.full(len(self._ids), None, dtype=object)
+            self._columns[attribute] = column
+        column[row] = parse_value(value)
+
+    def remove_attribute(self, machine_id, attribute: str) -> None:
+        self.set_attribute(machine_id, attribute, None)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def _row(self, machine_id) -> int:
+        try:
+            return self._index[machine_id]
+        except KeyError:
+            raise SchedulingError(f"unknown machine {machine_id!r}") from None
+
+    def __contains__(self, machine_id) -> bool:
+        return machine_id in self._index and bool(self._alive[self._index[machine_id]])
+
+    def __len__(self) -> int:
+        return int(self._alive.sum())
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows ever allocated (alive + dead)."""
+
+        return len(self._ids)
+
+    def machine_ids(self, alive_only: bool = True) -> list:
+        if not alive_only:
+            return list(self._ids)
+        return [mid for mid, row in self._index.items() if self._alive[row]]
+
+    def attributes_of(self, machine_id) -> dict[str, str]:
+        """The machine's attribute map (absent attributes omitted)."""
+
+        row = self._row(machine_id)
+        return {attr: column[row] for attr, column in self._columns.items()
+                if column[row] is not None}
+
+    def capacity_of(self, machine_id) -> tuple[float, float]:
+        row = self._row(machine_id)
+        return float(self._cpu[row]), float(self._mem[row])
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        return self._alive.copy()
+
+    @property
+    def cpu_capacity(self) -> np.ndarray:
+        return self._cpu
+
+    @property
+    def mem_capacity(self) -> np.ndarray:
+        return self._mem
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    # ------------------------------------------------------------------
+    # vectorized matching
+    # ------------------------------------------------------------------
+    def _effective_numeric(self, attribute: str) -> np.ndarray:
+        """Per-row effective numeric value: absent→0, non-numeric→NaN."""
+
+        cached = self._numeric_cache.get(attribute)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        column = self._columns.get(attribute)
+        if column is None:
+            out = np.zeros(len(self._ids), dtype=np.float64)
+        else:
+            out = np.empty(len(self._ids), dtype=np.float64)
+            for i, value in enumerate(column):
+                if value is None:
+                    out[i] = 0.0
+                else:
+                    num = value_as_int(value)
+                    out[i] = np.nan if num is None else float(num)
+        self._numeric_cache[attribute] = (self._version, out)
+        return out
+
+    def spec_mask(self, spec: AttributeSpec) -> np.ndarray:
+        """Boolean row mask of machines satisfying one AttributeSpec."""
+
+        key = (self._version, spec)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+
+        column = self._columns.get(spec.attribute)
+        if column is None:
+            if len(self._absent_column) != len(self._ids):
+                self._absent_column = np.full(len(self._ids), None, dtype=object)
+            column = self._absent_column
+        present = np.not_equal(column, None)
+
+        n = len(self._ids)
+        mask = np.ones(n, dtype=bool)
+        if spec.absent_required:
+            mask &= ~present
+        if spec.present_required:
+            mask &= present
+        if spec.has_equal:
+            if spec.equal is None:
+                mask &= ~present
+            else:
+                mask &= np.equal(column, spec.equal)
+        else:
+            if spec.not_in:
+                mask &= ~np.isin(column, list(spec.not_in))
+            if spec.has_between:
+                numeric = self._effective_numeric(spec.attribute)
+                ok = ~np.isnan(numeric)
+                if spec.lo is not None:
+                    ok &= numeric >= spec.lo
+                if spec.hi is not None:
+                    ok &= numeric <= spec.hi
+                mask &= ok
+        mask.setflags(write=False)
+        self._mask_cache[key] = mask
+        return mask
+
+    def eligible_mask(self, task: CompactedTask,
+                      cpu_request: float = 0.0,
+                      mem_request: float = 0.0) -> np.ndarray:
+        """Alive machines satisfying every spec and the resource request."""
+
+        mask = self._alive.copy()
+        if cpu_request:
+            mask &= self._cpu >= cpu_request
+        if mem_request:
+            mask &= self._mem >= mem_request
+        for spec in task:
+            if not mask.any():
+                break
+            mask &= self.spec_mask(spec)
+        return mask
+
+    def eligible_machines(self, task: CompactedTask, cpu_request: float = 0.0,
+                          mem_request: float = 0.0) -> list:
+        """Ids of machines the task may run on."""
+
+        mask = self.eligible_mask(task, cpu_request, mem_request)
+        return [self._ids[i] for i in np.flatnonzero(mask)]
+
+    def count_suitable(self, task: CompactedTask, cpu_request: float = 0.0,
+                       mem_request: float = 0.0) -> int:
+        """How many alive machines satisfy the task (the grouping signal)."""
+
+        return int(self.eligible_mask(task, cpu_request, mem_request).sum())
+
+    def count_suitable_bulk(self, tasks: Iterable[CompactedTask]) -> np.ndarray:
+        """Suitable-node counts for many tasks, sharing the spec-mask memo."""
+
+        return np.fromiter((self.count_suitable(t) for t in tasks),
+                           dtype=np.int64)

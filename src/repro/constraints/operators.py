@@ -1,0 +1,183 @@
+"""Google Cluster Data constraint operators.
+
+GCD task-placement constraints are triples ``(attribute, operator, value)``
+evaluated against a machine's attribute map.  The 2011 traces define four
+operators and the 2019 traces add four more (paper Section III.A):
+
+====================  ====  ==========================================
+Operator              code  semantics (absent attribute ≙ empty/0)
+====================  ====  ==========================================
+Equal                 0     attribute equals the value; an empty
+                            constraint value matches machines lacking
+                            the attribute
+Not-Equal             1     attribute absent or different
+Less-Than             2     numeric; attribute < value (absent ≙ 0)
+Greater-Than          3     numeric; attribute > value (absent ≙ 0)
+Less-Than-Equal       4     numeric; attribute ≤ value (2019)
+Greater-Than-Equal    5     numeric; attribute ≥ value (2019)
+Present               6     attribute defined and non-blank (2019)
+Not-Present           7     attribute undefined (2019)
+====================  ====  ==========================================
+
+Values in GCD constraints are integers or opaque strings; numeric
+operators are only legal with integer values ("the GCD traces support
+only integer numbers in constraint operators").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["ConstraintOperator", "Constraint", "OPERATORS_2011",
+           "OPERATORS_2019", "parse_value", "value_as_int"]
+
+
+class ConstraintOperator(IntEnum):
+    """Numeric operator codes as used in the GCD trace encodings."""
+
+    EQUAL = 0
+    NOT_EQUAL = 1
+    LESS_THAN = 2
+    GREATER_THAN = 3
+    LESS_THAN_EQUAL = 4
+    GREATER_THAN_EQUAL = 5
+    PRESENT = 6
+    NOT_PRESENT = 7
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for the order comparisons, which require integer values."""
+
+        return self in (ConstraintOperator.LESS_THAN,
+                        ConstraintOperator.GREATER_THAN,
+                        ConstraintOperator.LESS_THAN_EQUAL,
+                        ConstraintOperator.GREATER_THAN_EQUAL)
+
+    @property
+    def needs_value(self) -> bool:
+        """Present/Not-Present take no value; everything else does."""
+
+        return self not in (ConstraintOperator.PRESENT,
+                            ConstraintOperator.NOT_PRESENT)
+
+    @property
+    def symbol(self) -> str:
+        return _SYMBOLS[self]
+
+
+_SYMBOLS = {
+    ConstraintOperator.EQUAL: "=",
+    ConstraintOperator.NOT_EQUAL: "<>",
+    ConstraintOperator.LESS_THAN: "<",
+    ConstraintOperator.GREATER_THAN: ">",
+    ConstraintOperator.LESS_THAN_EQUAL: "<=",
+    ConstraintOperator.GREATER_THAN_EQUAL: ">=",
+    ConstraintOperator.PRESENT: "present",
+    ConstraintOperator.NOT_PRESENT: "not-present",
+}
+
+OPERATORS_2011 = (ConstraintOperator.EQUAL, ConstraintOperator.NOT_EQUAL,
+                  ConstraintOperator.LESS_THAN, ConstraintOperator.GREATER_THAN)
+OPERATORS_2019 = tuple(ConstraintOperator)
+
+
+def parse_value(raw) -> str | None:
+    """Normalize a raw constraint/attribute value to canonical string form.
+
+    GCD stores attribute values as strings, many of which are decimal
+    integers.  ``None`` and ``''`` both normalize to ``None`` ("no value").
+    Integers normalize to their decimal string so ``5`` and ``'5'`` compare
+    equal.
+    """
+
+    if raw is None:
+        return None
+    if isinstance(raw, bool):
+        raise TypeError("boolean constraint values are not part of the GCD schema")
+    if isinstance(raw, int):
+        return str(raw)
+    if isinstance(raw, float):
+        if not raw.is_integer():
+            raise ValueError(f"non-integer numeric value {raw!r} in constraint")
+        return str(int(raw))
+    text = str(raw)
+    return text if text != "" else None
+
+
+def value_as_int(value: str | None) -> int | None:
+    """Parse a canonical value as an integer, or None if not numeric."""
+
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """A single raw node-affinity constraint on one machine attribute."""
+
+    attribute: str
+    op: ConstraintOperator
+    value: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise ValueError("constraint attribute name must be non-empty")
+        object.__setattr__(self, "op", ConstraintOperator(self.op))
+        object.__setattr__(self, "value", parse_value(self.value))
+        if self.op.is_numeric:
+            if value_as_int(self.value) is None:
+                raise ValueError(
+                    f"operator {self.op.name} requires an integer value, "
+                    f"got {self.value!r}")
+        if not self.op.needs_value and self.value is not None:
+            raise ValueError(f"operator {self.op.name} takes no value")
+
+    def matches(self, attr_value) -> bool:
+        """Evaluate against a machine's attribute value (None = absent)."""
+
+        value = parse_value(attr_value)
+        op = self.op
+        if op is ConstraintOperator.EQUAL:
+            # An Equal constraint with no value matches machines where the
+            # attribute is empty/absent (paper Section III.A).
+            if self.value is None:
+                return value is None
+            return value == self.value
+        if op is ConstraintOperator.NOT_EQUAL:
+            if self.value is None:
+                return value is not None
+            return value is None or value != self.value
+        if op is ConstraintOperator.PRESENT:
+            return value is not None
+        if op is ConstraintOperator.NOT_PRESENT:
+            return value is None
+        # Numeric comparisons: an absent attribute compares as 0 (GCD
+        # documented behaviour); a non-numeric attribute value never matches.
+        machine_num = 0 if value is None else value_as_int(value)
+        if machine_num is None:
+            return False
+        bound = value_as_int(self.value)
+        assert bound is not None  # enforced in __post_init__
+        if op is ConstraintOperator.LESS_THAN:
+            return machine_num < bound
+        if op is ConstraintOperator.GREATER_THAN:
+            return machine_num > bound
+        if op is ConstraintOperator.LESS_THAN_EQUAL:
+            return machine_num <= bound
+        return machine_num >= bound
+
+    def render(self) -> str:
+        """Human-readable ``${ATTR} <op> value`` form (Table V style)."""
+
+        name = "${" + self.attribute + "}"
+        if not self.op.needs_value:
+            return f"{name} {self.op.symbol}"
+        value = "" if self.value is None else self.value
+        if self.op is ConstraintOperator.LESS_THAN:
+            return f"{value} > {name}"  # paper renders 8 > ${AM}
+        return f"{name} {self.op.symbol} {value}"

@@ -1,0 +1,84 @@
+"""Soft ('preferred') node affinity — the paper's §VI extension.
+
+"Investigating Node 'Soft' Affinity: Kubernetes' 'soft' node-affinity
+adds complexity to scheduling, necessitating further research to optimize
+its application in cluster management."
+
+Kubernetes models preferred affinity as weighted terms
+(``preferredDuringSchedulingIgnoredDuringExecution``): a node violating a
+term is still eligible, but nodes are ranked by the sum of the weights of
+the terms they satisfy.  :class:`SoftConstraint` attaches a weight to a
+collapsed :class:`~repro.constraints.compaction.AttributeSpec`, and
+:func:`preference_scores` computes the per-machine score vector the
+scheduler uses as a tie-breaker among (hard-)eligible machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .compaction import AttributeSpec, CompactedTask, compact
+from .matcher import MachinePark
+from .operators import Constraint
+
+__all__ = ["SoftConstraint", "SoftAffinityTask", "preference_scores"]
+
+
+@dataclass(frozen=True, slots=True)
+class SoftConstraint:
+    """A weighted, non-mandatory constraint term (Kubernetes weights 1–100)."""
+
+    spec: AttributeSpec
+    weight: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.weight <= 100:
+            raise ValueError("soft-affinity weights must lie in [1, 100]")
+
+    @classmethod
+    def from_raw(cls, constraints: Iterable[Constraint],
+                 weight: int = 1) -> "list[SoftConstraint]":
+        """Collapse raw constraints and wrap each spec with the weight."""
+
+        return [cls(spec=spec, weight=weight)
+                for spec in compact(constraints)]
+
+
+@dataclass(frozen=True)
+class SoftAffinityTask:
+    """Hard requirements plus weighted preferences."""
+
+    hard: CompactedTask
+    soft: tuple[SoftConstraint, ...] = ()
+
+    @property
+    def max_score(self) -> int:
+        return sum(term.weight for term in self.soft)
+
+    def score(self, attributes) -> int:
+        """Preference score of one machine's attribute map."""
+
+        return sum(term.weight for term in self.soft
+                   if term.spec.matches(attributes.get(term.spec.attribute)))
+
+
+def preference_scores(park: MachinePark, task: SoftAffinityTask,
+                      cpu_request: float = 0.0,
+                      mem_request: float = 0.0) -> np.ndarray:
+    """Per-row scores: -1 for ineligible machines, else the summed weight
+    of satisfied soft terms.
+
+    Vectorized over the park: each soft term contributes its weight via
+    the memoized spec mask, so scoring costs one boolean pass per distinct
+    term.
+    """
+
+    eligible = park.eligible_mask(task.hard, cpu_request, mem_request)
+    scores = np.zeros(park.n_rows, dtype=np.int64)
+    for term in task.soft:
+        scores += term.weight * park.spec_mask(term.spec)
+    scores[~eligible] = -1
+    return scores

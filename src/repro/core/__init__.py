@@ -1,0 +1,28 @@
+"""``repro.core`` — the Continuous Transfer Learning Method (CTLM).
+
+The paper's contribution: the growing two-layer model with input-layer
+extension and damped-gradient transfer training, the fully-retrain
+comparison variant, baseline adapters, and the continuous-learning driver
+that produces the Table X / Table XI measurements.
+"""
+
+from .baselines import (BaselineStepModel, baseline_suite,
+                        make_ensemble_baseline, make_mlp_baseline,
+                        make_ridge_baseline, make_sgd_baseline)
+from .config import BENCH_CONFIG, DEFAULT_CONFIG, CTLMConfig
+from .driver import ContinuousLearningDriver, ModelSummary, RunResult, StepRow
+from .evaluate import EvalResult, evaluate_model, evaluate_predictions
+from .fully_retrain import FullyRetrainModel
+from .growing import GrowingModel, StepOutcome, build_model, extend_state_dict
+from .hybrid import HybridGroupClassifier, HybridStats
+
+__all__ = [
+    "CTLMConfig", "DEFAULT_CONFIG", "BENCH_CONFIG",
+    "GrowingModel", "FullyRetrainModel", "StepOutcome", "build_model",
+    "extend_state_dict",
+    "EvalResult", "evaluate_model", "evaluate_predictions",
+    "BaselineStepModel", "baseline_suite", "make_mlp_baseline",
+    "make_ridge_baseline", "make_sgd_baseline", "make_ensemble_baseline",
+    "ContinuousLearningDriver", "RunResult", "ModelSummary", "StepRow",
+    "HybridGroupClassifier", "HybridStats",
+]

@@ -1,0 +1,77 @@
+"""CTLM hyperparameters (all values as published in paper Section IV).
+
+Every constant in :class:`CTLMConfig` is traceable to the paper:
+
+* two-layer ANN, 30 hidden units, 26 output classes (Listing 1),
+* Adam, learning rate 0.05 (Listing 3 / §IV.B),
+* Cross-Entropy loss with Group 0 weighted ×200 (``group_0_class_weight``),
+* pre-trained input-weight gradients scaled by 0.1
+  (``pretrained_gradient_rate``; >0.2–0.3 "negated training effects",
+  0.0 "reduced model accuracy"),
+* early stop at accuracy > 0.95 ∧ Group-0 F1 > 0.9 (thresholds derived
+  from the baseline results of [27]),
+* 100-epoch limit with fail-fast re-initialization, halting after ten
+  failed attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CTLMConfig", "DEFAULT_CONFIG", "BENCH_CONFIG"]
+
+
+@dataclass(frozen=True, slots=True)
+class CTLMConfig:
+    """Hyperparameter bundle for the growing / fully-retrain models."""
+
+    hidden_layer_size: int = 30
+    classes_count: int = 26
+    group_0_class_weight: float = 200.0
+    learning_rate: float = 0.05
+    pretrained_gradient_rate: float = 0.1
+    accepted_accuracy: float = 0.95
+    accepted_group_0_f1_score: float = 0.9
+    epochs_limit: int = 100
+    max_training_attempts: int = 10
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.hidden_layer_size <= 0:
+            raise ValueError("hidden_layer_size must be positive")
+        if self.classes_count < 2:
+            raise ValueError("classes_count must be at least 2")
+        if not 0.0 <= self.pretrained_gradient_rate <= 1.0:
+            raise ValueError("pretrained_gradient_rate must be in [0, 1]")
+        if not 0.0 < self.accepted_accuracy < 1.0:
+            raise ValueError("accepted_accuracy must be in (0, 1)")
+        if not 0.0 < self.accepted_group_0_f1_score <= 1.0:
+            raise ValueError("accepted_group_0_f1_score must be in (0, 1]")
+        if self.epochs_limit <= 0 or self.max_training_attempts <= 0:
+            raise ValueError("epoch and attempt limits must be positive")
+        if self.group_0_class_weight <= 0:
+            raise ValueError("group_0_class_weight must be positive")
+
+    def with_overrides(self, **kwargs) -> "CTLMConfig":
+        """A copy with some fields replaced (ablation sweeps)."""
+
+        return replace(self, **kwargs)
+
+    def class_weights(self):
+        """The weighted-loss vector ``[group_0_weight, 1, 1, ...]``."""
+
+        import numpy as np
+
+        weights = np.ones(self.classes_count, dtype=np.float32)
+        weights[0] = self.group_0_class_weight
+        return weights
+
+
+DEFAULT_CONFIG = CTLMConfig()
+
+#: Configuration used by the benchmark harness.  The paper's learning rate
+#: (0.05) is tuned for its ~16k-dimensional, <0.01%-dense CO-VV inputs; at
+#: bench scale (hundreds of denser columns) the same Adam step size
+#: oscillates around the optimum, so the harness scales it down while
+#: keeping every other published constant.  See EXPERIMENTS.md.
+BENCH_CONFIG = CTLMConfig(learning_rate=0.01, batch_size=64)

@@ -1,0 +1,139 @@
+"""Continuous-learning driver: replays growth steps through model variants.
+
+Consumes the :class:`~repro.datasets.pipeline.StepDataset` sequence of one
+cell and retrains each registered model at every feature-array extension,
+recording the per-step metrics that populate Table XI and the per-cell
+summary rows of Table X (average accuracy, average Group-0 F1, total
+epochs, wall time per step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets.dataset import DatasetData
+from ..datasets.pipeline import StepDataset
+from .growing import StepOutcome
+
+__all__ = ["StepRow", "ModelSummary", "RunResult", "ContinuousLearningDriver"]
+
+
+@dataclass
+class StepRow:
+    """One model's metrics at one step (one Table XI cell group)."""
+
+    step_index: int
+    time_label: str
+    features: int
+    n_new_features: int
+    n_samples: int
+    outcome: StepOutcome
+
+
+@dataclass
+class ModelSummary:
+    """One model's Table X row."""
+
+    name: str
+    avg_accuracy: float
+    avg_group_0_f1: float | None
+    epochs_total: int
+    seconds_total: float
+    seconds_initial: float
+    seconds_per_growth_step: tuple[float, ...]
+
+    @property
+    def avg_seconds_per_growth_step(self) -> float:
+        if not self.seconds_per_growth_step:
+            return 0.0
+        return float(np.mean(self.seconds_per_growth_step))
+
+
+@dataclass
+class RunResult:
+    """All models' step rows and summaries for one cell."""
+
+    cell_name: str
+    rows: dict[str, list[StepRow]] = field(default_factory=dict)
+
+    def summary(self, name: str) -> ModelSummary:
+        rows = self.rows[name]
+        accuracies = [r.outcome.accuracy for r in rows]
+        f1s = [r.outcome.group_0_f1 for r in rows
+               if r.outcome.group_0_f1 is not None]
+        seconds = [r.outcome.seconds for r in rows]
+        return ModelSummary(
+            name=name,
+            avg_accuracy=float(np.mean(accuracies)),
+            avg_group_0_f1=float(np.mean(f1s)) if f1s else None,
+            epochs_total=sum(r.outcome.epochs for r in rows),
+            seconds_total=float(np.sum(seconds)),
+            seconds_initial=seconds[0] if seconds else 0.0,
+            seconds_per_growth_step=tuple(seconds[1:]))
+
+    def summaries(self) -> dict[str, ModelSummary]:
+        return {name: self.summary(name) for name in self.rows}
+
+
+class ContinuousLearningDriver:
+    """Run registered step-models over a cell's growth-step datasets."""
+
+    def __init__(self, models: dict[str, object], batch_size: int = 256,
+                 test_size: float = 0.25,
+                 rng: np.random.Generator | None = None,
+                 retrain_only_on_growth: bool = True):
+        """``models`` maps display name → object with ``fit_step(DatasetData)``.
+
+        ``retrain_only_on_growth`` mirrors the paper: steps are defined as
+        the moments the feature array was extended, so a step whose
+        dataset did not add features (possible in tiny test traces) is
+        skipped rather than retrained.
+        """
+
+        if not models:
+            raise ValueError("at least one model is required")
+        self.models = dict(models)
+        self.batch_size = batch_size
+        self.test_size = test_size
+        self.rng = rng or np.random.default_rng()
+        self.retrain_only_on_growth = retrain_only_on_growth
+
+    def run(self, steps: list[StepDataset], cell_name: str = "cell",
+            verbose: bool = False) -> RunResult:
+        """Retrain every model at every growth step; returns all metrics."""
+
+        if not steps:
+            raise ValueError("no steps to run")
+        result = RunResult(cell_name=cell_name,
+                           rows={name: [] for name in self.models})
+        first = True
+        for step in steps:
+            if step.n_samples < 8 or len(np.unique(step.y)) < 2:
+                continue  # not enough signal to train/evaluate yet
+            if (self.retrain_only_on_growth and not first
+                    and step.n_new_features == 0):
+                continue
+            # One shared split per step: every model sees identical data
+            # (split seeds derive from the driver rng, reproducibly).
+            dataset = DatasetData(
+                step.X, step.y, test_size=self.test_size,
+                batch_size=self.batch_size,
+                rng=np.random.default_rng(self.rng.integers(2 ** 63)))
+            for name, model in self.models.items():
+                outcome = model.fit_step(dataset)
+                result.rows[name].append(StepRow(
+                    step_index=step.step_index, time_label=step.label,
+                    features=step.features_after,
+                    n_new_features=step.n_new_features,
+                    n_samples=step.n_samples, outcome=outcome))
+                if verbose:  # pragma: no cover - console convenience
+                    f1 = outcome.group_0_f1
+                    print(f"  [{cell_name}] step {step.step_index:2d} "
+                          f"{name:<18} acc={outcome.accuracy:.5f} "
+                          f"f1_0={f1 if f1 is None else round(f1, 5)} "
+                          f"epochs={outcome.epochs} "
+                          f"({outcome.seconds:.1f}s)")
+            first = False
+        return result

@@ -1,0 +1,65 @@
+"""Model evaluation: overall accuracy plus Group 0 F1.
+
+The paper's two headline metrics.  ``group_0_f1`` is ``None`` when the
+test split contains no Group 0 samples — "Group 0 F1 scores are omitted
+when no Group 0 samples were present in the test dataset" — and the
+early-stop check then passes vacuously on that component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..datasets.grouping import GROUP_SINGLE_NODE
+from ..learn.metrics import accuracy_score, f1_score
+
+__all__ = ["EvalResult", "evaluate_model", "evaluate_predictions"]
+
+
+@dataclass(frozen=True, slots=True)
+class EvalResult:
+    """(accuracy, Group-0 F1) pair; F1 is None when Group 0 is absent."""
+
+    accuracy: float
+    group_0_f1: float | None
+
+    def meets(self, accepted_accuracy: float,
+              accepted_group_0_f1: float) -> bool:
+        """The paper's early-stop condition."""
+
+        if self.accuracy <= accepted_accuracy:
+            return False
+        if self.group_0_f1 is None:
+            return True
+        return self.group_0_f1 > accepted_group_0_f1
+
+    def __iter__(self):
+        yield self.accuracy
+        yield self.group_0_f1
+
+
+def evaluate_predictions(y_true: np.ndarray, y_pred: np.ndarray) -> EvalResult:
+    """Metrics from already-computed predictions."""
+
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    accuracy = accuracy_score(y_true, y_pred)
+    if not np.any(y_true == GROUP_SINGLE_NODE):
+        return EvalResult(accuracy, None)
+    group_0_f1 = f1_score(y_true, y_pred, average="binary",
+                          pos_label=GROUP_SINGLE_NODE, zero_division=0.0)
+    return EvalResult(accuracy, group_0_f1)
+
+
+def evaluate_model(X_test: np.ndarray, y_test: np.ndarray,
+                   model: nn.Module) -> EvalResult:
+    """Evaluate an ``nn`` classifier head over logits (argmax decision)."""
+
+    model.eval()
+    with nn.no_grad():
+        logits = model(nn.from_numpy(np.ascontiguousarray(
+            X_test, dtype=np.float32)))
+    return evaluate_predictions(y_test, logits.numpy().argmax(axis=1))

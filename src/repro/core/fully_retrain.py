@@ -1,0 +1,95 @@
+"""The Fully-Retrain comparison variant (paper Section V).
+
+"The proposed Growing model was compared to a Fully Retrain variant,
+which fully retrains on each step's dataset" — identical architecture,
+loss, optimizer and stopping rule, but every step discards the previous
+weights and starts from a fresh initialization, paying the full epoch
+cost the growing model avoids.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from ..datasets.dataset import DatasetData
+from ..errors import TrainingFailedError
+from .config import CTLMConfig, DEFAULT_CONFIG
+from .evaluate import EvalResult, evaluate_model
+from .growing import StepOutcome, build_model
+
+__all__ = ["FullyRetrainModel"]
+
+
+class FullyRetrainModel:
+    """Same two-layer ANN, retrained from scratch at every step."""
+
+    def __init__(self, config: CTLMConfig = DEFAULT_CONFIG,
+                 rng: np.random.Generator | None = None):
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        self.model: nn.Sequential | None = None
+        self.history: list[StepOutcome] = []
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("model is untrained")
+        self.model.eval()
+        with nn.no_grad():
+            logits = self.model(nn.from_numpy(
+                np.ascontiguousarray(X, dtype=np.float32)))
+        return logits.numpy().argmax(axis=1)
+
+    def fit_step(self, dataset: DatasetData) -> StepOutcome:
+        """Train a brand-new model on this step's dataset."""
+
+        config = self.config
+        started = time.perf_counter()
+        features_before = (0 if self.model is None
+                           else self.model["fc1"].weight.data.shape[1])
+        total_epochs = 0
+
+        for attempt in range(1, config.max_training_attempts + 1):
+            self.model = build_model(dataset.features_count, config, self.rng)
+            epochs, result = self._train(dataset)
+            total_epochs += epochs
+            if result.meets(config.accepted_accuracy,
+                            config.accepted_group_0_f1_score):
+                outcome = StepOutcome(
+                    epochs=total_epochs, attempts=attempt,
+                    accuracy=result.accuracy, group_0_f1=result.group_0_f1,
+                    seconds=time.perf_counter() - started,
+                    features_before=features_before,
+                    features_after=dataset.features_count,
+                    grew=features_before != dataset.features_count,
+                    from_scratch=True)
+                self.history.append(outcome)
+                return outcome
+
+        raise TrainingFailedError(
+            f"fully-retrain thresholds not reached after "
+            f"{config.max_training_attempts} attempts")
+
+    def _train(self, dataset: DatasetData) -> tuple[int, EvalResult]:
+        config = self.config
+        model = self.model
+        assert model is not None
+        loss_function = nn.CrossEntropyLoss(weight=config.class_weights())
+        optimizer = nn.Adam(model.parameters(), lr=config.learning_rate)
+        result = EvalResult(0.0, None)
+        train_loader = dataset.train_loader
+        for epoch in range(1, config.epochs_limit + 1):
+            model.train()
+            for X_batch, y_batch in train_loader:
+                optimizer.zero_grad()
+                loss = loss_function(model(X_batch), y_batch)
+                loss.backward()
+                optimizer.step()
+            model.eval()
+            result = evaluate_model(dataset.X_test, dataset.y_test, model)
+            if result.meets(config.accepted_accuracy,
+                            config.accepted_group_0_f1_score):
+                return epoch, result
+        return config.epochs_limit, result

@@ -1,0 +1,247 @@
+"""The Continuous Transfer Learning growing model (paper Section IV).
+
+This is the paper's primary contribution, implemented faithfully from
+Listings 1–3:
+
+* **Architecture** — ``nn.Sequential(OrderedDict([('fc1', Linear(F, 30)),
+  ('fc2', Linear(30, 26))]))``.
+* **Input-layer extension** (Listing 2) — when the CO-VV feature array has
+  grown from F to F′, the saved ``fc1.weight`` (30, F) is right-padded
+  with zeros to (30, F′) *inside the state dict* before restoring; the
+  hidden width never changes.  Zero columns are exactly neutral on the old
+  data, where the new features are identically zero.
+* **Dynamic gradient modification** (Listing 3) — during growth training a
+  multiplier vector ``[rate]*F + [1]*(F′-F)`` (rate = 0.1) is multiplied
+  in place into ``fc1.weight``'s gradient each batch under ``no_grad``,
+  so pre-trained columns learn ten times slower than fresh ones; fc1 bias
+  trains normally and all other layers stay frozen.
+* **Weighted loss / early stop / fail-fast** — Cross-Entropy with Group 0
+  ×200, Adam at lr 0.05, stop when accuracy > 0.95 and Group-0 F1 > 0.9,
+  discard and re-initialize after 100 epochs, halt after ten attempts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..datasets.dataset import DatasetData
+from ..errors import TrainingFailedError
+from .config import CTLMConfig, DEFAULT_CONFIG
+from .evaluate import EvalResult, evaluate_model
+
+__all__ = ["StepOutcome", "GrowingModel", "build_model", "extend_state_dict"]
+
+
+@dataclass
+class StepOutcome:
+    """What one retraining step cost and achieved (one Table XI cell)."""
+
+    epochs: int
+    attempts: int
+    accuracy: float
+    group_0_f1: float | None
+    seconds: float
+    features_before: int
+    features_after: int
+    grew: bool
+    from_scratch: bool
+
+    @property
+    def evaluation(self) -> EvalResult:
+        return EvalResult(self.accuracy, self.group_0_f1)
+
+
+def build_model(features_count: int, config: CTLMConfig,
+                rng: np.random.Generator) -> nn.Sequential:
+    """Create the paper's two-layer model (Listing 1)."""
+
+    model = nn.Sequential(OrderedDict([
+        ("fc1", nn.Linear(features_count, config.hidden_layer_size, rng=rng)),
+        ("fc2", nn.Linear(config.hidden_layer_size, config.classes_count,
+                          rng=rng)),
+    ]))
+    return model.to(dtype=np.float32)
+
+
+def extend_state_dict(state_dict: "OrderedDict[str, np.ndarray]",
+                      features_count: int) -> "OrderedDict[str, np.ndarray]":
+    """Right-pad ``fc1.weight`` to ``features_count`` columns (Listing 2).
+
+    The padding happens within the state dict before the model is
+    restored; new input weights are zero so the extended model is exactly
+    equivalent to the old one on pre-extension data.
+    """
+
+    fc1_weight = np.asarray(state_dict["fc1.weight"])
+    pretrained = fc1_weight.shape[1]
+    if pretrained > features_count:
+        raise ValueError(
+            f"feature array shrank: model has {pretrained} input features, "
+            f"dataset has {features_count}")
+    out = OrderedDict(state_dict)
+    if pretrained != features_count:
+        out["fc1.weight"] = nn.functional.pad(
+            fc1_weight, pad=(0, features_count - pretrained),
+            mode="constant", value=0)
+    return out
+
+
+class GrowingModel:
+    """Continuously-trained classifier with an extensible input layer."""
+
+    def __init__(self, config: CTLMConfig = DEFAULT_CONFIG,
+                 rng: np.random.Generator | None = None):
+        self.config = config
+        self.rng = rng or np.random.default_rng()
+        self.model: nn.Sequential | None = None
+        self.history: list[StepOutcome] = []
+
+    # ------------------------------------------------------------------
+    # persistence (torch.save / torch.load equivalents)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        if self.model is None:
+            raise RuntimeError("no model to save")
+        nn.serialize.save(self.model.state_dict(), path)
+
+    def load(self, path, features_count: int | None = None) -> None:
+        """Restore a saved state; optionally extending to a wider input."""
+
+        state_dict = nn.serialize.load(path)
+        width = int(np.asarray(state_dict["fc1.weight"]).shape[1])
+        target = width if features_count is None else features_count
+        state_dict = extend_state_dict(state_dict, target)
+        self.model = build_model(target, self.config, self.rng)
+        self.model.load_state_dict(state_dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def features_count(self) -> int | None:
+        if self.model is None:
+            return None
+        return self.model["fc1"].weight.data.shape[1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("model is untrained")
+        self.model.eval()
+        with nn.no_grad():
+            logits = self.model(nn.from_numpy(
+                np.ascontiguousarray(X, dtype=np.float32)))
+        return logits.numpy().argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit_step(self, dataset: DatasetData) -> StepOutcome:
+        """Absorb one feature-growth step (the Figure 2 routine).
+
+        Chooses between initial training, transfer training with input
+        extension, or plain continuation when the width is unchanged;
+        falls back to full re-initialization when thresholds are not met
+        within the epoch limit (fail-fast), and raises
+        :class:`TrainingFailedError` after ten failed attempts.
+        """
+
+        config = self.config
+        started = time.perf_counter()
+        features_before = self.features_count or 0
+        grew = self.model is not None and features_before < dataset.features_count
+        total_epochs = 0
+
+        for attempt in range(1, config.max_training_attempts + 1):
+            from_scratch = self.model is None
+            if from_scratch:
+                self.model = build_model(dataset.features_count, config, self.rng)
+                pretrained_count = None
+            elif grew and attempt == 1:
+                state_dict = extend_state_dict(self.model.state_dict(),
+                                               dataset.features_count)
+                self.model = build_model(dataset.features_count, config, self.rng)
+                self.model.load_state_dict(state_dict)
+                pretrained_count = features_before
+            else:
+                # Same width: continue training the existing weights, with
+                # every parameter live (no damping applies).
+                pretrained_count = None
+
+            epochs, result = self._train_until_accepted(
+                dataset, pretrained_count=pretrained_count)
+            total_epochs += epochs
+            if result.meets(config.accepted_accuracy,
+                            config.accepted_group_0_f1_score):
+                outcome = StepOutcome(
+                    epochs=total_epochs, attempts=attempt,
+                    accuracy=result.accuracy, group_0_f1=result.group_0_f1,
+                    seconds=time.perf_counter() - started,
+                    features_before=features_before,
+                    features_after=dataset.features_count,
+                    grew=grew, from_scratch=from_scratch)
+                self.history.append(outcome)
+                return outcome
+            # Fail fast: discard the pre-trained model and start fresh.
+            self.model = None
+
+        raise TrainingFailedError(
+            f"thresholds not reached after {config.max_training_attempts} "
+            f"attempts (acc>{config.accepted_accuracy}, "
+            f"F1_0>{config.accepted_group_0_f1_score})")
+
+    def _train_until_accepted(self, dataset: DatasetData,
+                              pretrained_count: int | None
+                              ) -> tuple[int, EvalResult]:
+        """The Listing 3 loop; returns (epochs used, final evaluation)."""
+
+        config = self.config
+        model = self.model
+        assert model is not None
+        loss_function = nn.CrossEntropyLoss(weight=config.class_weights())
+        optimizer = nn.Adam(model.parameters(), lr=config.learning_rate)
+
+        growth_mode = pretrained_count is not None
+        if growth_mode:
+            multiplier = np.concatenate([
+                np.full(pretrained_count, config.pretrained_gradient_rate,
+                        dtype=np.float32),
+                np.ones(dataset.features_count - pretrained_count,
+                        dtype=np.float32)])
+
+        result = EvalResult(0.0, None)
+        train_loader = dataset.train_loader
+        for epoch in range(1, config.epochs_limit + 1):
+            model.train()
+            for X_batch, y_batch in train_loader:
+                optimizer.zero_grad()
+                y_logits = model(X_batch)
+                loss = loss_function(y_logits, y_batch)
+                loss.backward()
+                if growth_mode:
+                    for name, param in model.named_parameters():
+                        if name == "fc1.weight":
+                            # Damp pre-trained input columns (in place,
+                            # outside the autograd graph).
+                            with nn.no_grad():
+                                param.grad.mul_(multiplier[np.newaxis, :])
+                            param.requires_grad = True
+                        elif name == "fc1.bias":
+                            param.requires_grad = True
+                        else:
+                            param.requires_grad = False
+                optimizer.step()
+
+            model.eval()
+            result = evaluate_model(dataset.X_test, dataset.y_test, model)
+            if result.meets(config.accepted_accuracy,
+                            config.accepted_group_0_f1_score):
+                return epoch, result
+
+        # Restore trainability before the caller discards or reuses us.
+        if growth_mode:
+            for param in model.parameters():
+                param.requires_grad = True
+        return config.epochs_limit, result

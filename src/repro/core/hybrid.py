@@ -1,0 +1,119 @@
+"""Hybrid ML + rule classification — the paper's §VI extension.
+
+"Task Misclassification via Hybridization: A mixed model that combines ML
+with predefined rules (human input).  Misclassifying single-node tasks as
+multi-node ones, while manageable, may cause performance issues like
+resource reallocation.  A secondary heuristic layer could better handle
+edge cases, reducing disruptions."
+
+:class:`HybridGroupClassifier` wraps any group predictor with two rule
+layers:
+
+* **structural rules** run *before* the model: a task whose compacted
+  constraints demand an exact value of a designated identity attribute
+  (e.g. ``node_id``) is Group 0 by construction — no inference needed;
+* **verification** runs *after* the model: predictions at or below the
+  verify threshold (the expensive-to-get-wrong ones) are checked against
+  the live machine park's exact suitable-node count when one is attached,
+  replacing the prediction with ground truth.
+
+Both layers keep statistics so deployments can monitor how often the
+heuristics overrode the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..constraints.matcher import MachinePark
+from ..datasets.grouping import GROUP_SINGLE_NODE, group_of
+
+__all__ = ["HybridStats", "HybridGroupClassifier"]
+
+
+@dataclass
+class HybridStats:
+    """How often each layer decided."""
+
+    structural_hits: int = 0
+    model_predictions: int = 0
+    verified: int = 0
+    corrections: int = 0
+
+
+class HybridGroupClassifier:
+    """Predict task groups through rules → model → verification."""
+
+    def __init__(self, model, encoder, *,
+                 identity_attributes: tuple[str, ...] = ("node_id",),
+                 park: MachinePark | None = None,
+                 group_bin: int | None = None,
+                 verify_threshold: int = GROUP_SINGLE_NODE):
+        """``model`` — object with ``predict(X)``; ``encoder`` — CO-VV
+        encoder sharing the model's registry.  ``park``/``group_bin``
+        enable the verification layer (both or neither)."""
+
+        if (park is None) != (group_bin is None):
+            raise ValueError("park and group_bin must be given together")
+        self.model = model
+        self.encoder = encoder
+        self.identity_attributes = tuple(identity_attributes)
+        self.park = park
+        self.group_bin = group_bin
+        self.verify_threshold = verify_threshold
+        self.stats = HybridStats()
+
+    # -- rule layer -------------------------------------------------------
+    def structural_group(self, task: CompactedTask) -> int | None:
+        """Group decided by constraint structure alone, or None.
+
+        An Equal constraint on an identity attribute pins the task to at
+        most one machine — Group 0 with certainty.
+        """
+
+        for spec in task:
+            if (spec.attribute in self.identity_attributes
+                    and spec.has_equal and spec.equal is not None):
+                return GROUP_SINGLE_NODE
+        return None
+
+    # -- model layer ------------------------------------------------------
+    def _model_group(self, task: CompactedTask) -> int:
+        row = self.encoder.encode_row_dense(task)
+        width = getattr(self.model, "features_count", None)
+        if width is not None and row.shape[0] < width:
+            row = np.pad(row, (0, width - row.shape[0]))
+        elif width is not None and row.shape[0] > width:
+            row = row[:width]
+        return int(self.model.predict(row.reshape(1, -1))[0])
+
+    # -- verification layer -------------------------------------------------
+    def _verify(self, task: CompactedTask, predicted: int) -> int:
+        if self.park is None or predicted > self.verify_threshold:
+            return predicted
+        self.stats.verified += 1
+        true_group = group_of(self.park.count_suitable(task), self.group_bin)
+        if true_group != predicted:
+            self.stats.corrections += 1
+        return true_group
+
+    # -- public API --------------------------------------------------------
+    def predict_group(self, task: CompactedTask) -> int:
+        """The hybrid decision for one task."""
+
+        structural = self.structural_group(task)
+        if structural is not None:
+            self.stats.structural_hits += 1
+            return structural
+        self.stats.model_predictions += 1
+        predicted = self._model_group(task)
+        return self._verify(task, predicted)
+
+    def predict_groups(self, tasks) -> np.ndarray:
+        """Vector form of :meth:`predict_group`."""
+
+        return np.fromiter((self.predict_group(t) for t in tasks),
+                           dtype=np.int64)

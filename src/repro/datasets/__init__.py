@@ -1,0 +1,27 @@
+"""``repro.datasets`` — CO-EL / CO-VV dataset construction.
+
+Feature registry with growth journal, both paper encodings, 26-group
+labelling, the training-ready :class:`DatasetData` container, and the
+Figure 1 trace→dataset pipeline.
+"""
+
+from .co_el import COELEncoder, COELRegistry
+from .co_vv import COVVEncoder, encode_spec_row, spec_value_vector
+from .dataset import DatasetData
+from .grouping import (GROUP_SINGLE_NODE, N_GROUPS, group_bounds,
+                       group_distribution, group_of, groups_of)
+from .pipeline import PipelineResult, StepDataset, build_step_datasets
+from .registry import NONE_VALUE, Feature, FeatureRegistry, GrowthRecord
+from .retirement import (FeatureUsageTracker, RetirementPlan,
+                         retirement_plan)
+
+__all__ = [
+    "Feature", "FeatureRegistry", "GrowthRecord", "NONE_VALUE",
+    "COVVEncoder", "spec_value_vector", "encode_spec_row",
+    "COELRegistry", "COELEncoder",
+    "N_GROUPS", "GROUP_SINGLE_NODE", "group_of", "groups_of", "group_bounds",
+    "group_distribution",
+    "DatasetData",
+    "StepDataset", "PipelineResult", "build_step_datasets",
+    "FeatureUsageTracker", "RetirementPlan", "retirement_plan",
+]

@@ -1,0 +1,90 @@
+"""CO-EL encoding: Constraint Operators as Encoded Labels (paper §III.C).
+
+"The original method ... in which the COs are first collapsed (Table V)
+and used as labels.  The result is then One-Hot encoded into a sparse
+dataset, where a given cell has a value of one if the corresponding CO is
+defined for a task."
+
+Each *distinct collapsed constraint* (an :class:`AttributeSpec`) becomes a
+label with its own column; a task's row has 1 in the columns of the
+collapsed constraints it carries.  The paper's stated disadvantage is
+reproduced deliberately: when a new collapsed CO appears, the label space
+changes and models built on the old encoding must be fully retrained —
+unlike CO-VV, the new columns carry no relationship to existing ones, so
+the growing model cannot generalize over them (paper §VI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..constraints.compaction import AttributeSpec, CompactedTask
+
+__all__ = ["COELRegistry", "COELEncoder"]
+
+
+class COELRegistry:
+    """Append-only map ``collapsed constraint → label column``."""
+
+    def __init__(self) -> None:
+        self._index: dict[AttributeSpec, int] = {}
+        self._specs: list[AttributeSpec] = []
+
+    def observe(self, spec: AttributeSpec) -> bool:
+        if spec in self._index:
+            return False
+        self._index[spec] = len(self._specs)
+        self._specs.append(spec)
+        return True
+
+    def observe_task(self, task: CompactedTask) -> int:
+        return sum(self.observe(spec) for spec in task)
+
+    def column(self, spec: AttributeSpec) -> int | None:
+        return self._index.get(spec)
+
+    @property
+    def features_count(self) -> int:
+        return len(self._specs)
+
+    def labels(self) -> list[str]:
+        return [spec.render() for spec in self._specs]
+
+    def spec(self, column: int) -> AttributeSpec:
+        return self._specs[column]
+
+
+class COELEncoder:
+    """One-hot encode tasks over the collapsed-constraint label space."""
+
+    def __init__(self, registry: COELRegistry | None = None):
+        self.registry = registry or COELRegistry()
+
+    def observe(self, task: CompactedTask) -> int:
+        return self.registry.observe_task(task)
+
+    def encode_rows(self, tasks: list[CompactedTask]) -> sp.csr_matrix:
+        """Sparse one-hot matrix: row i has 1 where task i defines that CO."""
+
+        n_features = self.registry.features_count
+        indptr = [0]
+        indices: list[int] = []
+        for task in tasks:
+            cols = sorted(c for c in (self.registry.column(spec)
+                                      for spec in task) if c is not None)
+            indices.extend(cols)
+            indptr.append(len(indices))
+        data = np.ones(len(indices), dtype=np.float32)
+        return sp.csr_matrix(
+            (data, np.asarray(indices, dtype=np.int64),
+             np.asarray(indptr, dtype=np.int64)),
+            shape=(len(tasks), n_features))
+
+    def encode_row_dense(self, task: CompactedTask) -> np.ndarray:
+        row = np.zeros(self.registry.features_count, dtype=np.float32)
+        for spec in task:
+            col = self.registry.column(spec)
+            if col is not None:
+                row[col] = 1.0
+        return row

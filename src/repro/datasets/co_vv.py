@@ -1,0 +1,116 @@
+"""CO-VV encoding: Constraint Operators as Value Vectors (paper §III.D).
+
+For every registered feature column ``(attribute, value)`` — including the
+per-attribute ``(none)`` column — a task's row holds **0 when the value is
+acceptable and 1 when it is not** ("reversing the common notation since
+the model focuses on detecting unacceptable nodes", Table VII).
+
+Attributes a task does not constrain are entirely acceptable, so rows are
+extremely sparse (the paper: ones are <0.01% of a full-scale dataset);
+encoding therefore produces a CSR matrix, densified only at training time.
+
+Because new values append at the end of the feature array, a dataset
+encoded against an older registry state is a *prefix-slice* of the same
+dataset encoded later — the invariant that makes zero-padded input-layer
+extension knowledge-preserving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..constraints.compaction import AttributeSpec, CompactedTask
+from .registry import FeatureRegistry
+
+__all__ = ["COVVEncoder", "encode_spec_row", "spec_value_vector"]
+
+
+def spec_value_vector(spec: AttributeSpec, values: list[str | None]) -> np.ndarray:
+    """The reversed-notation 0/1 vector of one spec over given value slots.
+
+    ``values`` lists the attribute's column values in order (``None`` is the
+    "(none)" slot).  This is the Table VII primitive.
+    """
+
+    return np.array([0 if spec.matches(v) else 1 for v in values],
+                    dtype=np.int8)
+
+
+def encode_spec_row(spec: AttributeSpec, registry: FeatureRegistry
+                    ) -> tuple[list[int], list[int]]:
+    """(column indices, 0/1 values) pairs for one spec's non-trivial cells.
+
+    Only the constrained attribute's columns can be non-zero; acceptable
+    cells are 0 so only rejections are emitted.
+    """
+
+    cols: list[int] = []
+    vals: list[int] = []
+    base_cols = registry.columns_of(spec.attribute)
+    for col in base_cols:
+        feature = registry.feature(col)
+        if not spec.matches(feature.value):
+            cols.append(col)
+            vals.append(1)
+    return cols, vals
+
+
+class COVVEncoder:
+    """Encode compacted tasks into the CO-VV sparse matrix.
+
+    The encoder memoizes per-spec column patterns keyed by
+    ``(spec, registry_size)`` — distinct constraint shapes in a cell number
+    in the hundreds while tasks number in the hundreds of thousands, so
+    the memo collapses encoding cost.
+    """
+
+    def __init__(self, registry: FeatureRegistry):
+        self.registry = registry
+        self._memo: dict[tuple[AttributeSpec, int], tuple[list[int], list[int]]] = {}
+
+    def observe(self, task: CompactedTask) -> int:
+        """Register a task's constraint vocabulary; returns #new features."""
+
+        return self.registry.observe_task(task)
+
+    def _spec_cells(self, spec: AttributeSpec) -> tuple[list[int], list[int]]:
+        key = (spec, self.registry.features_count)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = encode_spec_row(spec, self.registry)
+            self._memo[key] = cached
+            if len(self._memo) > 100_000:
+                self._memo.clear()
+        return cached
+
+    def encode_rows(self, tasks: list[CompactedTask]) -> sp.csr_matrix:
+        """CSR matrix with one reversed-notation row per task."""
+
+        n_features = self.registry.features_count
+        indptr = [0]
+        indices: list[int] = []
+        data: list[int] = []
+        for task in tasks:
+            row_cols: list[int] = []
+            for spec in task:
+                cols, _vals = self._spec_cells(spec)
+                row_cols.extend(cols)
+            row_cols.sort()
+            indices.extend(row_cols)
+            data.extend([1] * len(row_cols))
+            indptr.append(len(indices))
+        return sp.csr_matrix(
+            (np.asarray(data, dtype=np.float32),
+             np.asarray(indices, dtype=np.int64),
+             np.asarray(indptr, dtype=np.int64)),
+            shape=(len(tasks), n_features))
+
+    def encode_row_dense(self, task: CompactedTask) -> np.ndarray:
+        """Single dense row (mainly for tests and worked examples)."""
+
+        row = np.zeros(self.registry.features_count, dtype=np.float32)
+        for spec in task:
+            cols, vals = self._spec_cells(spec)
+            row[cols] = vals
+        return row

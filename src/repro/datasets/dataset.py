@@ -1,0 +1,126 @@
+"""Training-ready dataset container.
+
+:class:`DatasetData` is the object the paper's training loops consume:
+it owns the stratified train/test split ("at least two samples per class
+were required" — singleton classes stay on the training side), exposes
+``features_count``, ``train_loader``, ``X_test`` and ``y_test`` exactly as
+Listings 1–3 reference them, and densifies the sparse CO matrices lazily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..errors import DatasetError
+from ..learn.model_selection import stratifiable_mask, train_test_split
+
+__all__ = ["DatasetData"]
+
+
+class DatasetData:
+    """A feature matrix + labels with a stratified train/test split."""
+
+    def __init__(self, X, y, test_size: float = 0.25, batch_size: int = 128,
+                 rng: np.random.Generator | None = None,
+                 min_per_class: int = 2):
+        if sp.issparse(X):
+            X = np.asarray(X.todense(), dtype=np.float32)
+        else:
+            X = np.asarray(X, dtype=np.float32)
+        y = np.asarray(y).ravel().astype(np.int64)
+        if X.ndim != 2:
+            raise DatasetError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise DatasetError("X and y lengths differ")
+        if X.shape[0] < 4:
+            raise DatasetError("dataset too small to split")
+        self.X = X
+        self.y = y
+        self.batch_size = batch_size
+        self._rng = rng or np.random.default_rng()
+
+        # Stratify where possible: classes below the minimum go wholly to
+        # the training side so the split never drops a class.
+        mask = stratifiable_mask(y, min_per_class=min_per_class)
+        idx_all = np.arange(len(y))
+        if mask.all():
+            train_idx, test_idx = train_test_split(
+                idx_all, test_size=test_size, stratify=y, rng=self._rng)
+        elif mask.sum() >= 4 and len(np.unique(y[mask])) >= 2:
+            strat_train, strat_test = train_test_split(
+                idx_all[mask], test_size=test_size, stratify=y[mask],
+                rng=self._rng)
+            train_idx = np.concatenate([strat_train, idx_all[~mask]])
+            test_idx = strat_test
+        else:
+            train_idx, test_idx = train_test_split(
+                idx_all, test_size=test_size, rng=self._rng)
+
+        self.train_indices = np.sort(train_idx)
+        self.test_indices = np.sort(test_idx)
+
+    # -- array views -------------------------------------------------------
+    @property
+    def features_count(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def X_train(self) -> np.ndarray:
+        return self.X[self.train_indices]
+
+    @property
+    def y_train(self) -> np.ndarray:
+        return self.y[self.train_indices]
+
+    @property
+    def X_test(self) -> np.ndarray:
+        return self.X[self.test_indices]
+
+    @property
+    def y_test(self) -> np.ndarray:
+        return self.y[self.test_indices]
+
+    @property
+    def train_loader(self) -> nn.DataLoader:
+        """A fresh shuffled mini-batch loader over the training split."""
+
+        return nn.DataLoader(
+            nn.TensorDataset(self.X_train, self.y_train),
+            batch_size=self.batch_size, shuffle=True, rng=self._rng)
+
+    # -- dataset surgery -----------------------------------------------------
+    def widened(self, features_count: int) -> "DatasetData":
+        """The same dataset zero-padded on the right to a wider feature array.
+
+        Used to evaluate an extended model against pre-extension data (new
+        attribute values "do not exist yet" there, so their columns are 0).
+        """
+
+        if features_count < self.features_count:
+            raise DatasetError("cannot narrow a dataset")
+        if features_count == self.features_count:
+            return self
+        pad = np.zeros((self.n_samples, features_count - self.features_count),
+                       dtype=np.float32)
+        out = object.__new__(DatasetData)
+        out.X = np.hstack([self.X, pad])
+        out.y = self.y
+        out.batch_size = self.batch_size
+        out._rng = self._rng
+        out.train_indices = self.train_indices
+        out.test_indices = self.test_indices
+        return out
+
+    def class_distribution(self) -> dict[int, int]:
+        classes, counts = np.unique(self.y, return_counts=True)
+        return dict(zip(classes.tolist(), counts.tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DatasetData(n={self.n_samples}, features={self.features_count}, "
+                f"classes={len(np.unique(self.y))})")

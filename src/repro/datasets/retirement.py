@@ -1,0 +1,119 @@
+"""Feature retirement — the paper's "Expiring Unused Attributes" extension.
+
+§VI: "more active cluster configurations may face challenges if unused
+attribute values accumulate over time.  Introducing a process to retire
+obsolete features will keep the model efficient and scalable."
+
+:class:`FeatureUsageTracker` records when each feature column was last
+referenced by a task's constraints; :func:`retirement_plan` selects the
+stale columns; the growing model applies the plan by *column-selecting*
+its input weights (the shrinking mirror-image of zero-padded extension).
+Retired columns are journalled so the registry's append-only column
+identity is never violated — a retired column keeps its index in the
+registry but is excluded from encoding via the plan's keep-mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from .registry import FeatureRegistry
+
+__all__ = ["FeatureUsageTracker", "RetirementPlan", "retirement_plan"]
+
+
+class FeatureUsageTracker:
+    """Last-use timestamps for every registry column."""
+
+    def __init__(self, registry: FeatureRegistry):
+        self.registry = registry
+        self._last_used: dict[int, int] = {}
+
+    def observe_task(self, task: CompactedTask, time: int) -> None:
+        """Mark every column of the task's constrained attributes used."""
+
+        for spec in task:
+            for column in self.registry.columns_of(spec.attribute):
+                previous = self._last_used.get(column, -1)
+                if time > previous:
+                    self._last_used[column] = time
+
+    def last_used(self, column: int) -> int | None:
+        """Timestamp of the column's last use (None = never used)."""
+
+        return self._last_used.get(column)
+
+    def usage_vector(self) -> np.ndarray:
+        """Per-column last-use times (-1 = never used)."""
+
+        out = np.full(self.registry.features_count, -1, dtype=np.int64)
+        for column, time in self._last_used.items():
+            if column < out.shape[0]:
+                out[column] = time
+        return out
+
+
+@dataclass(frozen=True)
+class RetirementPlan:
+    """Which columns survive a retirement pass.
+
+    ``keep`` is a boolean mask over the registry's columns at plan time;
+    ``kept_columns`` maps new (compacted) positions to old positions.
+    """
+
+    keep: np.ndarray
+    threshold_time: int
+
+    @property
+    def kept_columns(self) -> np.ndarray:
+        return np.flatnonzero(self.keep)
+
+    @property
+    def n_kept(self) -> int:
+        return int(self.keep.sum())
+
+    @property
+    def n_retired(self) -> int:
+        return int((~self.keep).sum())
+
+    def compact_matrix(self, X):
+        """Column-select a dataset matrix (dense or CSR) under the plan."""
+
+        return X[:, self.kept_columns]
+
+    def compact_weights(self, weight: np.ndarray) -> np.ndarray:
+        """Column-select a (hidden, features) weight matrix.
+
+        The inverse of zero-padded extension: retired columns' weights are
+        dropped; surviving columns keep their trained values, so the
+        shrunken model is exactly equivalent on data where retired
+        features are zero (which stale features are, by definition of
+        staleness going forward).
+        """
+
+        if weight.shape[1] != self.keep.shape[0]:
+            raise ValueError(
+                f"weight has {weight.shape[1]} columns, plan covers "
+                f"{self.keep.shape[0]}")
+        return np.ascontiguousarray(weight[:, self.kept_columns])
+
+
+def retirement_plan(tracker: FeatureUsageTracker, *, before: int,
+                    protect_none_columns: bool = True) -> RetirementPlan:
+    """Plan the retirement of columns unused since ``before``.
+
+    ``protect_none_columns`` keeps every attribute's ``(none)`` column
+    alive (they anchor the attribute's presence semantics and cost one
+    column each).
+    """
+
+    usage = tracker.usage_vector()
+    keep = usage >= before
+    if protect_none_columns:
+        for i, feature in enumerate(tracker.registry.features()):
+            if feature.value is None:
+                keep[i] = True
+    return RetirementPlan(keep=keep, threshold_time=before)

@@ -1,0 +1,40 @@
+"""Exception hierarchy shared across the library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CompactionError",
+    "TraceFormatError",
+    "DatasetError",
+    "TrainingFailedError",
+    "SchedulingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class CompactionError(ReproError):
+    """A task's constraint set is unsatisfiable or cannot be collapsed.
+
+    The paper logs these and skips the task ("fewer than twenty across all
+    datasets ... ignored in the simulation").
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace record violates the 2011 CSV / 2019 JSON schema."""
+
+
+class DatasetError(ReproError):
+    """Dataset construction failed (e.g. unknown feature, empty split)."""
+
+
+class TrainingFailedError(ReproError):
+    """The fail-fast retry budget was exhausted (paper: ten attempts)."""
+
+
+class SchedulingError(ReproError):
+    """The simulator was asked to do something inconsistent."""

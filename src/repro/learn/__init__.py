@@ -1,0 +1,30 @@
+"""``repro.learn`` — NumPy implementations of the paper's sklearn baselines.
+
+Provides the four baseline classifiers from the paper's Section V
+(MLP, Ridge, SGD/linear-SVM, hard-voting ensemble) plus the stratified
+splitting and metric machinery the evaluation protocol depends on.
+"""
+
+from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
+from .ensemble import VotingClassifier
+from .linear import RidgeClassifier, SGDClassifier
+from .metrics import (accuracy_score, classification_report, confusion_matrix,
+                      f1_score, fbeta_score, precision_recall_fscore_support,
+                      precision_score, recall_score)
+from .mlp import MLPClassifier
+from .model_selection import (KFold, StratifiedKFold, StratifiedShuffleSplit,
+                              stratifiable_mask, train_test_split)
+from .preprocessing import LabelEncoder, MinMaxScaler, StandardScaler
+from .search import GridSearchCV, ParameterGrid, cross_val_score
+
+__all__ = [
+    "BaseEstimator", "ClassifierMixin", "check_array", "check_X_y",
+    "MLPClassifier", "RidgeClassifier", "SGDClassifier", "VotingClassifier",
+    "accuracy_score", "f1_score", "fbeta_score", "precision_score",
+    "recall_score", "confusion_matrix", "classification_report",
+    "precision_recall_fscore_support",
+    "train_test_split", "StratifiedKFold", "StratifiedShuffleSplit", "KFold",
+    "stratifiable_mask",
+    "LabelEncoder", "StandardScaler", "MinMaxScaler",
+    "GridSearchCV", "ParameterGrid", "cross_val_score",
+]

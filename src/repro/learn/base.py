@@ -1,0 +1,95 @@
+"""Estimator base classes (the sklearn ``base`` analogue).
+
+All estimators follow the classic contract: hyperparameters are set in
+``__init__`` and mirrored as attributes, learned state gets a trailing
+underscore, ``fit`` returns ``self``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["BaseEstimator", "ClassifierMixin", "check_X_y", "check_array",
+           "ensure_dense"]
+
+
+def ensure_dense(X) -> np.ndarray:
+    """Accept ndarray / sparse matrix / nested lists; return a 2-D float array."""
+
+    if sp.issparse(X):
+        X = np.asarray(X.todense())
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D input, got shape {X.shape}")
+    return X
+
+
+def check_array(X) -> np.ndarray:
+    """Validate a feature matrix: 2-D, finite, non-empty."""
+
+    X = ensure_dense(X)
+    if X.shape[0] == 0 or X.shape[1] == 0:
+        raise ValueError("empty feature matrix")
+    if not np.isfinite(X).all():
+        raise ValueError("feature matrix contains NaN or infinity")
+    return X
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate an (X, y) pair with aligned lengths."""
+
+    X = check_array(X)
+    y = np.asarray(y).ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} samples but y has {y.shape[0]}")
+    return X, y
+
+
+class BaseEstimator:
+    """get_params/set_params introspection shared by every estimator."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [name for name, p in sig.parameters.items()
+                if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)]
+
+    def get_params(self) -> dict[str, Any]:
+        """Hyperparameters as a dict (constructor-argument names)."""
+
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Update hyperparameters in place; unknown names raise."""
+
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"invalid parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({args})"
+
+
+class ClassifierMixin:
+    """Adds accuracy-based ``score`` to classifiers."""
+
+    def score(self, X, y) -> float:
+        from .metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y).ravel(), self.predict(X))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(
+                f"{type(self).__name__} instance is not fitted yet; call fit first")

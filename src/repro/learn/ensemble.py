@@ -1,0 +1,95 @@
+"""Ensemble models.
+
+The paper's "Ensemble Voter" combines the baseline models "using hard
+voting, as some models lacked the 'predict_proba' method needed for soft
+voting" — :class:`VotingClassifier` implements both modes and raises a
+clear error if soft voting is requested with probability-less members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin
+from .preprocessing import LabelEncoder
+
+__all__ = ["VotingClassifier"]
+
+
+class VotingClassifier(BaseEstimator, ClassifierMixin):
+    """Majority-vote (or probability-averaging) combiner.
+
+    Parameters
+    ----------
+    estimators:
+        List of ``(name, estimator)`` pairs.  Each estimator is fitted on
+        the full training data passed to :meth:`fit`.
+    voting:
+        ``'hard'`` — argmax of vote counts, ties broken by class order
+        (sklearn semantics); ``'soft'`` — argmax of averaged probabilities.
+    weights:
+        Optional per-estimator vote weights.
+    """
+
+    def __init__(self, estimators: list[tuple[str, object]],
+                 voting: str = "hard", weights: list[float] | None = None):
+        self.estimators = estimators
+        self.voting = voting
+        self.weights = weights
+
+    def fit(self, X, y) -> "VotingClassifier":
+        if not self.estimators:
+            raise ValueError("VotingClassifier needs at least one estimator")
+        if self.voting not in ("hard", "soft"):
+            raise ValueError(f"voting must be 'hard' or 'soft', got {self.voting!r}")
+        names = [name for name, _ in self.estimators]
+        if len(set(names)) != len(names):
+            raise ValueError("estimator names must be unique")
+        if self.weights is not None and len(self.weights) != len(self.estimators):
+            raise ValueError("weights length must match estimators")
+        if self.voting == "soft":
+            for name, est in self.estimators:
+                if not hasattr(est, "predict_proba"):
+                    raise TypeError(
+                        f"estimator {name!r} lacks predict_proba; "
+                        "use voting='hard' (as the paper does)")
+
+        self._encoder = LabelEncoder().fit(np.asarray(y).ravel())
+        self.classes_ = self._encoder.classes_
+        self.named_estimators_ = {}
+        for name, est in self.estimators:
+            est.fit(X, y)
+            self.named_estimators_[name] = est
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        w = (np.asarray(self.weights, dtype=np.float64)
+             if self.weights is not None else np.ones(len(self.estimators)))
+        n_classes = len(self.classes_)
+        if self.voting == "hard":
+            votes = np.zeros((_n_rows(X), n_classes))
+            for weight, (name, _) in zip(w, self.estimators):
+                pred = self.named_estimators_[name].predict(X)
+                codes = self._encoder.transform(pred)
+                votes[np.arange(len(codes)), codes] += weight
+            winner = votes.argmax(axis=1)  # ties → lowest class index
+            return self._encoder.inverse_transform(winner)
+        proba = self.predict_proba(X)
+        return self._encoder.inverse_transform(proba.argmax(axis=1))
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        if self.voting != "soft":
+            raise AttributeError("predict_proba requires voting='soft'")
+        w = (np.asarray(self.weights, dtype=np.float64)
+             if self.weights is not None else np.ones(len(self.estimators)))
+        acc = None
+        for weight, (name, _) in zip(w, self.estimators):
+            proba = self.named_estimators_[name].predict_proba(X) * weight
+            acc = proba if acc is None else acc + proba
+        return acc / w.sum()
+
+
+def _n_rows(X) -> int:
+    return X.shape[0] if hasattr(X, "shape") else len(X)

@@ -1,0 +1,205 @@
+"""Classification metrics (the sklearn ``metrics`` analogue).
+
+The paper's evaluation reports overall accuracy and the F1 score of
+Group 0; these functions replicate sklearn's definitions, including its
+``zero_division`` handling, so thresholds like ``accuracy > 0.95`` and
+``group_0_f1_score > 0.9`` carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "fbeta_score",
+    "precision_recall_fscore_support",
+    "classification_report",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"length mismatch: y_true {y_true.shape[0]} vs y_pred {y_pred.shape[0]}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-matching labels."""
+
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Count matrix ``C[i, j]`` = samples of true class i predicted as j."""
+
+    y_true, y_pred = _validate(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    n = len(labels)
+    out = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            out[index[t], index[p]] += 1
+    return out
+
+
+def _per_class_counts(y_true, y_pred, labels) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(tp, fp, fn, support) per label."""
+
+    tp = np.empty(len(labels), dtype=np.float64)
+    fp = np.empty(len(labels), dtype=np.float64)
+    fn = np.empty(len(labels), dtype=np.float64)
+    support = np.empty(len(labels), dtype=np.float64)
+    for i, label in enumerate(labels):
+        true_is = y_true == label
+        pred_is = y_pred == label
+        tp[i] = np.sum(true_is & pred_is)
+        fp[i] = np.sum(~true_is & pred_is)
+        fn[i] = np.sum(true_is & ~pred_is)
+        support[i] = np.sum(true_is)
+    return tp, fp, fn, support
+
+
+def _safe_divide(numerator: np.ndarray, denominator: np.ndarray,
+                 zero_division: float) -> np.ndarray:
+    out = np.full_like(numerator, float(zero_division), dtype=np.float64)
+    mask = denominator != 0
+    out[mask] = numerator[mask] / denominator[mask]
+    return out
+
+
+def precision_recall_fscore_support(y_true, y_pred, *, labels=None,
+                                    beta: float = 1.0, average: str | None = None,
+                                    pos_label=1, zero_division: float = 0.0):
+    """Per-class (or averaged) precision, recall, F-beta and support.
+
+    ``average`` ∈ {None, 'binary', 'micro', 'macro', 'weighted'} with
+    sklearn semantics.
+    """
+
+    y_true, y_pred = _validate(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+
+    if average == "binary":
+        if pos_label not in labels:
+            # No positive samples or predictions at all: metrics are the
+            # zero_division value with zero support.
+            z = float(zero_division)
+            return z, z, z, 0
+        labels = np.asarray([pos_label])
+
+    tp, fp, fn, support = _per_class_counts(y_true, y_pred, labels)
+
+    if average == "micro":
+        tp, fp, fn = tp.sum(keepdims=True), fp.sum(keepdims=True), fn.sum(keepdims=True)
+        support = support.sum(keepdims=True)
+
+    precision = _safe_divide(tp, tp + fp, zero_division)
+    recall = _safe_divide(tp, tp + fn, zero_division)
+    beta2 = beta * beta
+    fscore = _safe_divide((1 + beta2) * precision * recall,
+                          beta2 * precision + recall, 0.0)
+    # sklearn: F is zero_division only when both precision and recall are 0
+    # because of zero division.
+    both_zero_div = ((tp + fp) == 0) & ((tp + fn) == 0)
+    fscore[both_zero_div] = float(zero_division)
+
+    if average is None:
+        return precision, recall, fscore, support.astype(np.int64)
+    if average in ("binary", "micro"):
+        return float(precision[0]), float(recall[0]), float(fscore[0]), int(support.sum())
+    if average == "macro":
+        return (float(precision.mean()), float(recall.mean()),
+                float(fscore.mean()), int(support.sum()))
+    if average == "weighted":
+        total = support.sum()
+        if total == 0:
+            return (float(zero_division),) * 3 + (0,)
+        w = support / total
+        return (float((precision * w).sum()), float((recall * w).sum()),
+                float((fscore * w).sum()), int(total))
+    raise ValueError(f"unknown average {average!r}")
+
+
+def precision_score(y_true, y_pred, *, labels=None, average: str | None = "binary",
+                    pos_label=1, zero_division: float = 0.0):
+    """Positive predictive value."""
+
+    p, _r, _f, _s = precision_recall_fscore_support(
+        y_true, y_pred, labels=labels, average=average, pos_label=pos_label,
+        zero_division=zero_division)
+    return p
+
+
+def recall_score(y_true, y_pred, *, labels=None, average: str | None = "binary",
+                 pos_label=1, zero_division: float = 0.0):
+    """True positive rate."""
+
+    _p, r, _f, _s = precision_recall_fscore_support(
+        y_true, y_pred, labels=labels, average=average, pos_label=pos_label,
+        zero_division=zero_division)
+    return r
+
+
+def fbeta_score(y_true, y_pred, *, beta: float, labels=None,
+                average: str | None = "binary", pos_label=1,
+                zero_division: float = 0.0):
+    """Weighted harmonic mean of precision and recall."""
+
+    _p, _r, f, _s = precision_recall_fscore_support(
+        y_true, y_pred, labels=labels, beta=beta, average=average,
+        pos_label=pos_label, zero_division=zero_division)
+    return f
+
+
+def f1_score(y_true, y_pred, *, labels=None, average: str | None = "binary",
+             pos_label=1, zero_division: float = 0.0):
+    """F1 = harmonic mean of precision and recall."""
+
+    return fbeta_score(y_true, y_pred, beta=1.0, labels=labels, average=average,
+                       pos_label=pos_label, zero_division=zero_division)
+
+
+def classification_report(y_true, y_pred, *, labels=None, digits: int = 3) -> str:
+    """Human-readable per-class metric table (sklearn-style)."""
+
+    y_true, y_pred = _validate(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    p, r, f, s = precision_recall_fscore_support(y_true, y_pred, labels=labels)
+    width = max(len(str(label)) for label in labels.tolist() + ["weighted avg"])
+    header = f"{'':>{width}}  {'precision':>9}  {'recall':>9}  {'f1-score':>9}  {'support':>9}"
+    rows = [header]
+    for i, label in enumerate(labels):
+        rows.append(f"{label!s:>{width}}  {p[i]:>9.{digits}f}  {r[i]:>9.{digits}f}  "
+                    f"{f[i]:>9.{digits}f}  {int(s[i]):>9d}")
+    acc = accuracy_score(y_true, y_pred)
+    rows.append("")
+    rows.append(f"{'accuracy':>{width}}  {'':>9}  {'':>9}  {acc:>9.{digits}f}  "
+                f"{int(s.sum()):>9d}")
+    mp, mr, mf, _ = precision_recall_fscore_support(y_true, y_pred, labels=labels,
+                                                    average="macro")
+    rows.append(f"{'macro avg':>{width}}  {mp:>9.{digits}f}  {mr:>9.{digits}f}  "
+                f"{mf:>9.{digits}f}  {int(s.sum()):>9d}")
+    wp, wr, wf, _ = precision_recall_fscore_support(y_true, y_pred, labels=labels,
+                                                    average="weighted")
+    rows.append(f"{'weighted avg':>{width}}  {wp:>9.{digits}f}  {wr:>9.{digits}f}  "
+                f"{wf:>9.{digits}f}  {int(s.sum()):>9d}")
+    return "\n".join(rows)

@@ -1,0 +1,235 @@
+"""Train/test splitting with stratification (sklearn ``model_selection``).
+
+The paper: "Stratified training and testing datasets were created where
+possible (at least two samples per class were required)" and "Stratified
+randomized folds were used to preserve class proportions".  This module
+implements ``train_test_split(stratify=...)``, :class:`StratifiedShuffleSplit`
+and :class:`StratifiedKFold` with those semantics, plus the helper
+:func:`stratifiable_mask` that identifies classes meeting the two-sample
+minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "train_test_split",
+    "StratifiedShuffleSplit",
+    "StratifiedKFold",
+    "KFold",
+    "stratifiable_mask",
+]
+
+
+def stratifiable_mask(y, min_per_class: int = 2) -> np.ndarray:
+    """Boolean mask of samples whose class has ≥ ``min_per_class`` members."""
+
+    y = np.asarray(y).ravel()
+    _classes, inverse, counts = np.unique(y, return_inverse=True, return_counts=True)
+    return counts[inverse] >= min_per_class
+
+
+def _resolve_sizes(n: int, test_size, train_size) -> tuple[int, int]:
+    if test_size is None and train_size is None:
+        test_size = 0.25
+    if test_size is not None:
+        n_test = int(np.ceil(test_size * n)) if isinstance(test_size, float) else int(test_size)
+    else:
+        n_train_tmp = (int(np.floor(train_size * n)) if isinstance(train_size, float)
+                       else int(train_size))
+        n_test = n - n_train_tmp
+    if train_size is not None:
+        n_train = (int(np.floor(train_size * n)) if isinstance(train_size, float)
+                   else int(train_size))
+    else:
+        n_train = n - n_test
+    if n_train <= 0 or n_test <= 0 or n_train + n_test > n:
+        raise ValueError(
+            f"invalid split sizes for n={n}: train={n_train}, test={n_test}")
+    return n_train, n_test
+
+
+def _stratified_indices(y: np.ndarray, n_train: int, n_test: int,
+                        rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Per-class proportional allocation with largest-remainder rounding."""
+
+    classes, class_indices = np.unique(y, return_inverse=True)
+    n = y.shape[0]
+    class_counts = np.bincount(class_indices)
+    if class_counts.min() < 2:
+        raise ValueError(
+            "stratified split requires at least two samples per class; "
+            "filter with stratifiable_mask first")
+
+    def _allocate(total: int) -> np.ndarray:
+        raw = class_counts * (total / n)
+        alloc = np.floor(raw).astype(int)
+        # Every class keeps at least one sample on each side.
+        alloc = np.maximum(alloc, 1)
+        # Largest remainders get the leftover slots.
+        remainder = raw - np.floor(raw)
+        while alloc.sum() < total:
+            order = np.argsort(-remainder)
+            for ci in order:
+                if alloc.sum() >= total:
+                    break
+                if alloc[ci] < class_counts[ci] - 1:
+                    alloc[ci] += 1
+        while alloc.sum() > total:
+            order = np.argsort(remainder)
+            for ci in order:
+                if alloc.sum() <= total:
+                    break
+                if alloc[ci] > 1:
+                    alloc[ci] -= 1
+        return alloc
+
+    train_alloc = _allocate(n_train)
+
+    train_idx: list[np.ndarray] = []
+    test_idx: list[np.ndarray] = []
+    for ci in range(len(classes)):
+        members = np.flatnonzero(class_indices == ci)
+        rng.shuffle(members)
+        k = min(train_alloc[ci], len(members) - 1)
+        train_idx.append(members[:k])
+        test_idx.append(members[k:])
+    train = np.concatenate(train_idx)
+    test = np.concatenate(test_idx)
+    rng.shuffle(train)
+    rng.shuffle(test)
+    # Trim the test side to the requested size (keeping at least one per class
+    # took priority over the exact count).
+    return train, test[:max(n_test, len(classes))] if len(test) > n_test else test
+
+
+def train_test_split(*arrays, test_size=None, train_size=None, shuffle: bool = True,
+                     stratify=None, rng: np.random.Generator | None = None):
+    """Split arrays into train/test partitions.
+
+    Mirrors ``sklearn.model_selection.train_test_split``: returns
+    ``train, test`` pairs for each input array, optionally stratified on the
+    ``stratify`` labels.
+    """
+
+    if not arrays:
+        raise ValueError("at least one array required")
+    rng = rng or np.random.default_rng()
+    n = len(arrays[0]) if not hasattr(arrays[0], "shape") else arrays[0].shape[0]
+    for a in arrays:
+        length = len(a) if not hasattr(a, "shape") else a.shape[0]
+        if length != n:
+            raise ValueError("input arrays have mismatched lengths")
+
+    n_train, n_test = _resolve_sizes(n, test_size, train_size)
+
+    if stratify is not None:
+        if not shuffle:
+            raise ValueError("stratified split requires shuffle=True")
+        y = np.asarray(stratify).ravel()
+        if y.shape[0] != n:
+            raise ValueError("stratify labels must match array length")
+        train, test = _stratified_indices(y, n_train, n_test, rng)
+    else:
+        order = np.arange(n)
+        if shuffle:
+            rng.shuffle(order)
+        test = order[:n_test]
+        train = order[n_test:n_test + n_train]
+
+    out = []
+    for a in arrays:
+        if hasattr(a, "shape") and not isinstance(a, (list, tuple)):
+            out.extend((a[train], a[test]))
+        else:
+            a = np.asarray(a)
+            out.extend((a[train], a[test]))
+    return out
+
+
+class StratifiedShuffleSplit:
+    """Repeated stratified random splits preserving class proportions."""
+
+    def __init__(self, n_splits: int = 10, test_size=0.2, train_size=None,
+                 rng: np.random.Generator | None = None):
+        if n_splits < 1:
+            raise ValueError("n_splits must be >= 1")
+        self.n_splits = n_splits
+        self.test_size = test_size
+        self.train_size = train_size
+        self.rng = rng or np.random.default_rng()
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y).ravel()
+        n = y.shape[0]
+        n_train, n_test = _resolve_sizes(n, self.test_size, self.train_size)
+        for _ in range(self.n_splits):
+            yield _stratified_indices(y, n_train, n_test, self.rng)
+
+    def get_n_splits(self) -> int:
+        return self.n_splits
+
+
+class StratifiedKFold:
+    """K folds with per-fold class proportions matching the whole set."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 rng: np.random.Generator | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y).ravel()
+        classes, class_indices = np.unique(y, return_inverse=True)
+        counts = np.bincount(class_indices)
+        if counts.min() < self.n_splits:
+            raise ValueError(
+                f"the least-populated class has {counts.min()} members; "
+                f"cannot make {self.n_splits} stratified folds")
+        fold_of = np.empty(y.shape[0], dtype=np.int64)
+        for ci in range(len(classes)):
+            members = np.flatnonzero(class_indices == ci)
+            if self.shuffle:
+                self.rng.shuffle(members)
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        for k in range(self.n_splits):
+            test = np.flatnonzero(fold_of == k)
+            train = np.flatnonzero(fold_of != k)
+            yield train, test
+
+    def get_n_splits(self) -> int:
+        return self.n_splits
+
+
+class KFold:
+    """Plain (optionally shuffled) K-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False,
+                 rng: np.random.Generator | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng()
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = X.shape[0] if hasattr(X, "shape") else len(X)
+        if n < self.n_splits:
+            raise ValueError("more folds than samples")
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        folds = np.array_split(order, self.n_splits)
+        for k in range(self.n_splits):
+            test = folds[k]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != k])
+            yield train, test
+
+    def get_n_splits(self) -> int:
+        return self.n_splits

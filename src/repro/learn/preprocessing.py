@@ -1,0 +1,104 @@
+"""Data preprocessing utilities (sklearn ``preprocessing`` analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LabelEncoder", "StandardScaler", "MinMaxScaler"]
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers 0..K-1."""
+
+    def fit(self, y) -> "LabelEncoder":
+        y = np.asarray(y).ravel()
+        self.classes_ = np.unique(y)
+        return self
+
+    def fit_transform(self, y) -> np.ndarray:
+        self.fit(y)
+        return self.transform(y)
+
+    def transform(self, y) -> np.ndarray:
+        self._check_fitted()
+        y = np.asarray(y).ravel()
+        idx = np.searchsorted(self.classes_, y)
+        bad = (idx >= len(self.classes_)) | (self.classes_[np.minimum(idx, len(self.classes_) - 1)] != y)
+        if np.any(bad):
+            unknown = np.unique(y[bad])
+            raise ValueError(f"unseen labels: {unknown.tolist()[:5]}")
+        return idx.astype(np.int64)
+
+    def inverse_transform(self, idx) -> np.ndarray:
+        self._check_fitted()
+        idx = np.asarray(idx).ravel().astype(np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self.classes_)):
+            raise ValueError("encoded labels out of range")
+        return self.classes_[idx]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder is not fitted")
+
+
+class StandardScaler:
+    """Zero-mean unit-variance feature scaling."""
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to a fixed range (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)):
+        lo, hi = feature_range
+        if lo >= hi:
+            raise ValueError("feature_range minimum must be below maximum")
+        self.feature_range = feature_range
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        span = self.data_max_ - self.data_min_
+        span[span == 0] = 1.0
+        self._span = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if not hasattr(self, "data_min_"):
+            raise RuntimeError("MinMaxScaler is not fitted")
+        lo, hi = self.feature_range
+        X = np.asarray(X, dtype=np.float64)
+        unit = (X - self.data_min_) / self._span
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

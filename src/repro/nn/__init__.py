@@ -1,0 +1,41 @@
+"""``repro.nn`` — a from-scratch PyTorch-style deep-learning framework.
+
+Built over NumPy for this reproduction because the paper's contribution
+(growing a model's input layer in place, with per-column gradient damping)
+requires exactly the low-level capabilities the paper credits PyTorch
+with: direct state-dict manipulation, tensor padding, ``requires_grad``
+freezing, in-place gradient multiplication under ``no_grad``, and a
+dynamically built autograd graph.
+
+Public surface::
+
+    from repro import nn
+    model = nn.Sequential(OrderedDict([
+        ('fc1', nn.Linear(n_features, 30)),
+        ('fc2', nn.Linear(30, 26)),
+    ]))
+    loss_fn = nn.CrossEntropyLoss(weight=class_weights)
+    opt = nn.Adam(model.parameters(), lr=0.05)
+"""
+
+from .autograd import (GradArray, Tensor, arange, from_numpy, is_grad_enabled,
+                       no_grad, ones, rand, randn, tensor, zeros)
+from .data import DataLoader, TensorDataset
+from .loss import CrossEntropyLoss, L1Loss, MSELoss, NLLLoss
+from .module import (Dropout, Identity, Linear, Module, Parameter, ReLU,
+                     Sequential, Sigmoid, Tanh)
+from .optim import SGD, Adam, Optimizer
+from . import functional
+from . import init
+from . import serialize
+
+__all__ = [
+    "Tensor", "GradArray", "no_grad", "is_grad_enabled", "tensor", "zeros",
+    "ones", "arange", "rand", "randn", "from_numpy",
+    "Module", "Parameter", "Linear", "Sequential", "ReLU", "Tanh", "Sigmoid",
+    "Identity", "Dropout",
+    "CrossEntropyLoss", "MSELoss", "L1Loss", "NLLLoss",
+    "Optimizer", "SGD", "Adam",
+    "TensorDataset", "DataLoader",
+    "functional", "init", "serialize",
+]

@@ -1,0 +1,699 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the foundation of :mod:`repro.nn`, the from-scratch
+deep-learning framework used to implement the paper's Continuous Transfer
+Learning Method.  It provides a :class:`Tensor` type supporting a dynamic
+computation graph (built during the forward pass, exactly like PyTorch
+Autograd as described in the paper's Section IV.B), broadcasting-aware
+gradients, in-place operations on leaf data, and a ``no_grad`` context.
+
+Only the operations required by the paper's model zoo are implemented, but
+each is implemented completely (forward + backward + broadcasting).
+Gradients are accumulated into ``Tensor.grad`` as plain ``numpy.ndarray``
+objects so training loops can manipulate them directly — the paper's
+Listing 3 multiplies gradient tensors in place, which maps to
+``param.grad.mul_(multiplier)`` here via :class:`GradArray`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "GradArray",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "arange",
+    "rand",
+    "randn",
+    "from_numpy",
+]
+
+
+class _GradMode(threading.local):
+    """Thread-local gradient-recording switch (mirrors torch.no_grad)."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations are being recorded for backprop."""
+
+    return _grad_mode.enabled
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction, like ``torch.no_grad``."""
+
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape``.
+
+    NumPy broadcasting may have expanded an operand during the forward
+    pass; the corresponding gradient must be summed over the broadcast
+    axes.  This handles both prepended axes and size-1 axes.
+    """
+
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class GradArray(np.ndarray):
+    """``numpy.ndarray`` subclass adding torch-style in-place helpers.
+
+    The paper's training loop (Listing 3) calls ``param_grad.mul_(...)``
+    inside a ``no_grad`` block.  Gradients produced by :meth:`Tensor.backward`
+    are views of this class so that idiom works verbatim.
+    """
+
+    def mul_(self, other) -> "GradArray":
+        """In-place multiplication, returning self (torch semantics)."""
+
+        self *= np.asarray(other, dtype=self.dtype)
+        return self
+
+    def add_(self, other) -> "GradArray":
+        """In-place addition, returning self."""
+
+        self += np.asarray(other, dtype=self.dtype)
+        return self
+
+    def zero_(self) -> "GradArray":
+        """Fill with zeros in place, returning self."""
+
+        self[...] = 0
+        return self
+
+
+def _as_gradarray(a: np.ndarray) -> GradArray:
+    return np.ascontiguousarray(a).view(GradArray)
+
+
+_FLOAT_TYPES = (np.float16, np.float32, np.float64)
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating-point tensors may require gradients;
+        integer tensors (labels, indices) may not.
+    requires_grad:
+        Record operations involving this tensor so that
+        :meth:`backward` can populate :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, _prev: tuple = (), _op: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype == np.float64:
+            # float32 is the framework default, as in the paper's model
+            # (``model.to(dtype=torch.float32)``); callers may still build
+            # float64 tensors explicitly via from_numpy(..., copy=False).
+            arr = arr.astype(np.float32)
+        elif arr.dtype == bool:
+            arr = arr.astype(np.float32)
+        elif arr.dtype.kind in "iu" and arr.dtype != np.int64:
+            arr = arr.astype(np.int64)
+        self.data: np.ndarray = arr
+        if requires_grad and arr.dtype.kind != "f":
+            raise RuntimeError("only floating-point tensors can require gradients")
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: GradArray | None = None
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple = _prev
+        self._op = _op
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _promote(other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=np.float32))
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def size(self, dim: int | None = None):
+        """Shape tuple, or the extent along ``dim`` (torch-style)."""
+
+        if dim is None:
+            return self.data.shape
+        return self.data.shape[dim]
+
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def item(self) -> float:
+        return self.data.item()
+
+    def numpy(self) -> np.ndarray:
+        """The raw ndarray (no copy). Mutating it mutates the tensor."""
+
+        return self.data
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but detached from the graph."""
+
+        t = Tensor.__new__(Tensor)
+        t.data = self.data
+        t.requires_grad = False
+        t.grad = None
+        t._backward = None
+        t._prev = ()
+        t._op = "detach"
+        return t
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype))
+
+    def float(self) -> "Tensor":
+        return self if self.dtype == np.float32 else Tensor(self.data.astype(np.float32))
+
+    def long(self) -> "Tensor":
+        return Tensor(self.data.astype(np.int64))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_part})"
+
+    # ------------------------------------------------------------------
+    # graph plumbing
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = _as_gradarray(grad.copy())
+        else:
+            self.grad += grad
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str,
+              backward: Callable[[np.ndarray], None] | None) -> "Tensor":
+        """Create a graph node. ``backward`` receives the output gradient."""
+
+        track = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = track
+        out._op = op
+        if track and backward is not None:
+            out._prev = tuple(parents)
+
+            def _bw() -> None:
+                backward(out.grad)
+
+            out._backward = _bw
+        else:
+            out._prev = ()
+            out._backward = None
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+
+        if not self.requires_grad:
+            raise RuntimeError("tensor does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        self.grad = _as_gradarray(np.asarray(grad, dtype=self.data.dtype).reshape(self.data.shape).copy())
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+                # Free interior references so memory can be reclaimed and
+                # double-backward misuse fails loudly.
+                node._backward = None
+                node._prev = ()
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._promote(other)
+        out_data = self.data + other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g)
+            if other.requires_grad:
+                other._accumulate(g)
+
+        return Tensor._make(out_data, (self, other), "add", backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = Tensor._promote(other)
+        out_data = self.data - other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g)
+            if other.requires_grad:
+                other._accumulate(-g)
+
+        return Tensor._make(out_data, (self, other), "sub", backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._promote(other) - self
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-g)
+
+        return Tensor._make(out_data, (self,), "neg", backward)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._promote(other)
+        out_data = self.data * other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * other.data)
+            if other.requires_grad:
+                other._accumulate(g * self.data)
+
+        return Tensor._make(out_data, (self, other), "mul", backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._promote(other)
+        out_data = self.data / other.data
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / other.data)
+            if other.requires_grad:
+                other._accumulate(-g * self.data / (other.data * other.data))
+
+        return Tensor._make(out_data, (self, other), "div", backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._promote(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), "pow", backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._promote(other)
+        out_data = self.data @ other.data
+
+        def backward(g: np.ndarray) -> None:
+            a, b = self.data, other.data
+            g = np.asarray(g)
+            if self.requires_grad:
+                if a.ndim == 1 and b.ndim == 1:      # dot product
+                    ga = g * b
+                elif b.ndim == 1:                    # (n,k) @ (k,) -> (n,)
+                    ga = np.outer(g, b)
+                elif a.ndim == 1:                    # (k,) @ (k,m) -> (m,)
+                    ga = b @ g
+                else:                                # batched/2-D matmul
+                    ga = g @ b.swapaxes(-1, -2)
+                self._accumulate(ga.reshape(a.shape))
+            if other.requires_grad:
+                if a.ndim == 1 and b.ndim == 1:
+                    gb = g * a
+                elif b.ndim == 1:                    # (n,k) @ (k,)
+                    gb = a.T @ g
+                elif a.ndim == 1:                    # (k,) @ (k,m)
+                    gb = np.outer(a, g)
+                else:
+                    gb = a.swapaxes(-1, -2) @ g
+                other._accumulate(gb.reshape(b.shape))
+
+        return Tensor._make(out_data, (self, other), "matmul", backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(np.asarray(out_data), (self,), "sum", backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(g)
+            full_max = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == full_max)
+            # Split gradient between ties (matches numerical subgradient).
+            counts = mask.sum(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    grad = np.expand_dims(grad, ax)
+            self._accumulate(mask * grad / counts)
+
+        return Tensor._make(np.asarray(out_data), (self,), "max", backward)
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * out_data)
+
+        return Tensor._make(out_data, (self,), "exp", backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g / self.data)
+
+        return Tensor._make(out_data, (self,), "log", backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * (1.0 - out_data * out_data))
+
+        return Tensor._make(out_data, (self,), "tanh", backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * (self.data > 0))
+
+        return Tensor._make(out_data, (self,), "relu", backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), "sigmoid", backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(g * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), "abs", backward)
+
+    def clamp(self, min_value=None, max_value=None) -> "Tensor":
+        out_data = np.clip(self.data, min_value, max_value)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                mask = np.ones_like(self.data, dtype=bool)
+                if min_value is not None:
+                    mask &= self.data >= min_value
+                if max_value is not None:
+                    mask &= self.data <= max_value
+                self._accumulate(g * mask)
+
+        return Tensor._make(out_data, (self,), "clamp", backward)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(g).reshape(self.data.shape))
+
+        return Tensor._make(out_data, (self,), "reshape", backward)
+
+    view = reshape
+
+    def transpose(self, *axes) -> "Tensor":
+        axes_tuple = axes if axes else None
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes_tuple = tuple(axes[0])
+        out_data = self.data.transpose(axes_tuple) if axes_tuple else self.data.T
+
+        def backward(g: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axes_tuple:
+                inverse = np.argsort(axes_tuple)
+                self._accumulate(np.asarray(g).transpose(inverse))
+            else:
+                self._accumulate(np.asarray(g).T)
+
+        return Tensor._make(out_data, (self,), "transpose", backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data
+        if isinstance(index, tuple):
+            index = tuple(i.data if isinstance(i, Tensor) else i for i in index)
+        out_data = self.data[index]
+
+        def backward(g: np.ndarray) -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, g)
+                self._accumulate(grad)
+
+        return Tensor._make(np.asarray(out_data), (self,), "getitem", backward)
+
+    # ------------------------------------------------------------------
+    # comparisons (produce detached float/bool arrays; no gradients)
+    # ------------------------------------------------------------------
+    def __eq__(self, other):  # type: ignore[override]
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data == other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data != other)
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data < other)
+
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data > other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # reductions returning plain arrays
+    # ------------------------------------------------------------------
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def argmin(self, axis=None) -> np.ndarray:
+        return self.data.argmin(axis=axis)
+
+    # ------------------------------------------------------------------
+    # in-place data mutation (leaf tensors only; no graph recording)
+    # ------------------------------------------------------------------
+    def mul_(self, other) -> "Tensor":
+        """In-place multiply of the underlying data (torch semantics)."""
+
+        self.data *= np.asarray(other.data if isinstance(other, Tensor) else other,
+                                dtype=self.data.dtype)
+        return self
+
+    def add_(self, other) -> "Tensor":
+        self.data += np.asarray(other.data if isinstance(other, Tensor) else other,
+                                dtype=self.data.dtype)
+        return self
+
+    def zero_(self) -> "Tensor":
+        self.data[...] = 0
+        return self
+
+    def fill_(self, value) -> "Tensor":
+        self.data[...] = value
+        return self
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+
+# ----------------------------------------------------------------------
+# module-level constructors (torch-like)
+# ----------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Build a tensor from array-like data."""
+
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def from_numpy(array: np.ndarray) -> Tensor:
+    """Wrap an ndarray without copying (dtype preserved when float32/int64)."""
+
+    t = Tensor.__new__(Tensor)
+    arr = np.asarray(array)
+    if arr.dtype == np.float64:
+        arr = arr.astype(np.float32)
+    elif arr.dtype.kind in "iu" and arr.dtype != np.int64:
+        arr = arr.astype(np.int64)
+    t.data = arr
+    t.grad = None
+    t.requires_grad = False
+    t._backward = None
+    t._prev = ()
+    t._op = "from_numpy"
+    return t
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def arange(*args, **kwargs) -> Tensor:
+    return Tensor(np.arange(*args, **kwargs))
+
+
+def rand(*shape, rng: np.random.Generator | None = None,
+         requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.random(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: np.random.Generator | None = None,
+          requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape).astype(np.float32),
+                  requires_grad=requires_grad)

@@ -1,0 +1,94 @@
+"""Mini-batch dataset and loader utilities (the ``torch.utils.data`` analogue).
+
+The paper's training loop iterates ``for X_batch, y_batch in
+dataset_data.train_loader`` — :class:`DataLoader` provides that protocol,
+with deterministic shuffling via an injectable :class:`numpy.random.Generator`
+(seeded RNGs everywhere is a project-wide invariant; see ``repro.rng``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .autograd import Tensor, from_numpy
+
+__all__ = ["TensorDataset", "DataLoader"]
+
+
+def _to_array(x) -> np.ndarray:
+    if isinstance(x, Tensor):
+        return x.data
+    if sp.issparse(x):
+        return np.asarray(x.todense())
+    return np.asarray(x)
+
+
+class TensorDataset:
+    """Tuple-of-arrays dataset with aligned first dimensions."""
+
+    def __init__(self, *arrays):
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        self.arrays: tuple[np.ndarray, ...] = tuple(_to_array(a) for a in arrays)
+        n = self.arrays[0].shape[0]
+        for a in self.arrays:
+            if a.shape[0] != n:
+                raise ValueError("all arrays must share the first dimension")
+        self._length = n
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index) -> tuple[np.ndarray, ...]:
+        return tuple(a[index] for a in self.arrays)
+
+
+class DataLoader:
+    """Iterate a dataset in (optionally shuffled) mini-batches of Tensors.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`TensorDataset` (or anything with ``__len__`` and
+        array-returning ``__getitem__``).
+    batch_size:
+        Mini-batch size; the final partial batch is yielded unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle indices at the start of every epoch.
+    rng:
+        Deterministic generator used for shuffling.
+    """
+
+    def __init__(self, dataset: TensorDataset, batch_size: int = 64,
+                 shuffle: bool = False, drop_last: bool = False,
+                 rng: np.random.Generator | None = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[Tensor, ...]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        stop = n - (n % self.batch_size) if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and idx.size < self.batch_size:
+                break
+            batch = self.dataset[idx]
+            yield tuple(from_numpy(np.ascontiguousarray(a)) for a in batch)

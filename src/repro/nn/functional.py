@@ -1,0 +1,122 @@
+"""Functional tensor operations (the ``torch.nn.functional`` analogue).
+
+The paper's Listing 2 extends the top input layer with
+``torch.nn.functional.pad(input=w, pad=(0, k), mode='constant', value=0)``;
+:func:`pad` implements exactly those semantics so the growing-model code
+reads the same as the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = [
+    "pad",
+    "linear",
+    "relu",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "dropout",
+]
+
+
+def pad(input: Tensor | np.ndarray, pad: tuple[int, ...],
+        mode: str = "constant", value: float = 0.0) -> Tensor | np.ndarray:
+    """Pad the trailing dimensions of a tensor, torch-style.
+
+    ``pad`` is given as ``(left_last, right_last, left_second_last, ...)``
+    — pairs applying from the **last** dimension backwards, exactly as in
+    ``torch.nn.functional.pad``.  Only ``mode='constant'`` is supported
+    (the only mode the paper uses).
+
+    Works on both :class:`Tensor` (differentiable: gradient of the padded
+    region is discarded) and raw ndarrays (used on state-dict entries).
+    """
+
+    if mode != "constant":
+        raise NotImplementedError("only constant padding is implemented")
+    if len(pad) % 2 != 0:
+        raise ValueError("pad must contain (before, after) pairs")
+
+    is_tensor = isinstance(input, Tensor)
+    data = input.data if is_tensor else np.asarray(input)
+    npairs = len(pad) // 2
+    if npairs > data.ndim:
+        raise ValueError("pad has more pairs than input dimensions")
+
+    width = [(0, 0)] * data.ndim
+    for i in range(npairs):
+        axis = data.ndim - 1 - i
+        width[axis] = (int(pad[2 * i]), int(pad[2 * i + 1]))
+    out_data = np.pad(data, width, mode="constant", constant_values=value)
+
+    if not is_tensor:
+        return out_data
+
+    src = input
+    slices = tuple(slice(before, before + data.shape[ax])
+                   for ax, (before, _after) in enumerate(width))
+
+    def backward(g: np.ndarray) -> None:
+        if src.requires_grad:
+            src._accumulate(np.asarray(g)[slices])
+
+    return Tensor._make(out_data, (src,), "pad", backward)
+
+
+def linear(input: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``y = x @ W.T + b`` with torch's (out_features, in_features) layout."""
+
+    out = input @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(input: Tensor) -> Tensor:
+    """Rectified linear unit."""
+
+    return input.relu()
+
+
+def softmax(input: Tensor, dim: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``dim``."""
+
+    shifted = input - input.max(axis=dim, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=dim, keepdims=True)
+
+
+def log_softmax(input: Tensor, dim: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``dim``."""
+
+    shifted = input - input.max(axis=dim, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=dim, keepdims=True).log()
+
+
+def one_hot(labels: Tensor | np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of integer labels (returns an ndarray)."""
+
+    idx = labels.data if isinstance(labels, Tensor) else np.asarray(labels)
+    idx = idx.astype(np.int64).ravel()
+    if idx.size and (idx.min() < 0 or idx.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot")
+    out = np.zeros((idx.size, num_classes), dtype=np.float32)
+    out[np.arange(idx.size), idx] = 1.0
+    return out
+
+
+def dropout(input: Tensor, p: float = 0.5, training: bool = True,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+
+    if not training or p <= 0.0:
+        return input
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(input.shape) >= p).astype(np.float32) / (1.0 - p)
+    return input * Tensor(mask)

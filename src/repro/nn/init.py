@@ -1,0 +1,66 @@
+"""Parameter initialization schemes.
+
+``kaiming_uniform`` replicates the default initializer of
+``torch.nn.Linear`` (Kaiming-uniform with ``a=sqrt(5)``, which reduces to
+``U(-1/sqrt(fan_in), +1/sqrt(fan_in))`` for the weight matrix), keeping the
+reproduction's starting conditions statistically equivalent to the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "uniform", "zeros", "normal"]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        raise ValueError("fan computation needs at least 2 dimensions")
+    fan_out, fan_in = shape[0], shape[1]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def kaiming_uniform(shape: tuple[int, ...], a: float = math.sqrt(5),
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Kaiming-uniform init (torch's Linear default when ``a=sqrt(5)``)."""
+
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fans(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform(shape: tuple[int, ...], low: float = 0.0, high: float = 1.0,
+            rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform init over [low, high)."""
+
+    rng = rng or np.random.default_rng()
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(shape: tuple[int, ...], mean: float = 0.0, std: float = 1.0,
+           rng: np.random.Generator | None = None) -> np.ndarray:
+    """Gaussian init."""
+
+    rng = rng or np.random.default_rng()
+    return (rng.standard_normal(size=shape) * std + mean).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero init (used for newly appended input-feature columns)."""
+
+    return np.zeros(shape, dtype=np.float32)

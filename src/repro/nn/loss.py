@@ -1,0 +1,119 @@
+"""Loss functions.
+
+:class:`CrossEntropyLoss` follows torch semantics precisely, including the
+per-class ``weight`` vector the paper uses to up-weight Group 0 by a factor
+of 200: with ``reduction='mean'`` the weighted negative log-likelihoods are
+divided by the **sum of the weights of the participating targets** (not the
+batch size), matching ``torch.nn.CrossEntropyLoss``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .autograd import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "L1Loss", "NLLLoss"]
+
+
+class _Loss:
+    """Base class for losses; instances are callable like modules."""
+
+    def __init__(self, reduction: str = "mean"):
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+
+    def __call__(self, input: Tensor, target) -> Tensor:
+        return self.forward(input, target)
+
+    def forward(self, input: Tensor, target) -> Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def _reduce(self, per_sample: Tensor) -> Tensor:
+        if self.reduction == "mean":
+            return per_sample.mean()
+        if self.reduction == "sum":
+            return per_sample.sum()
+        return per_sample
+
+
+class CrossEntropyLoss(_Loss):
+    """Softmax cross-entropy over logits with optional class weights.
+
+    Parameters
+    ----------
+    weight:
+        Optional length-``C`` array of per-class weights (the paper sets
+        ``[200, 1, 1, ..., 1]`` to prioritize Group 0).
+    reduction:
+        ``'mean'`` (weighted mean, torch semantics), ``'sum'`` or ``'none'``.
+    """
+
+    def __init__(self, weight: np.ndarray | Tensor | None = None,
+                 reduction: str = "mean"):
+        super().__init__(reduction)
+        if weight is not None:
+            weight = weight.data if isinstance(weight, Tensor) else np.asarray(weight)
+            weight = weight.astype(np.float32).ravel()
+            if np.any(weight < 0):
+                raise ValueError("class weights must be non-negative")
+        self.weight = weight
+
+    def forward(self, input: Tensor, target) -> Tensor:
+        target_idx = (target.data if isinstance(target, Tensor)
+                      else np.asarray(target)).astype(np.int64).ravel()
+        n, c = input.shape
+        if target_idx.shape[0] != n:
+            raise ValueError("target length does not match batch size")
+        if target_idx.size and (target_idx.min() < 0 or target_idx.max() >= c):
+            raise ValueError("target class index out of range")
+
+        log_probs = F.log_softmax(input, dim=1)
+        picked = log_probs[(np.arange(n), target_idx)]
+        nll = -picked
+        if self.weight is not None:
+            w = self.weight[target_idx]
+            nll = nll * Tensor(w)
+            if self.reduction == "mean":
+                return nll.sum() / float(w.sum())
+        return self._reduce(nll)
+
+
+class NLLLoss(_Loss):
+    """Negative log-likelihood over log-probabilities."""
+
+    def __init__(self, weight: np.ndarray | None = None, reduction: str = "mean"):
+        super().__init__(reduction)
+        self.weight = None if weight is None else np.asarray(weight, dtype=np.float32)
+
+    def forward(self, input: Tensor, target) -> Tensor:
+        target_idx = (target.data if isinstance(target, Tensor)
+                      else np.asarray(target)).astype(np.int64).ravel()
+        n = input.shape[0]
+        picked = input[(np.arange(n), target_idx)]
+        nll = -picked
+        if self.weight is not None:
+            w = self.weight[target_idx]
+            nll = nll * Tensor(w)
+            if self.reduction == "mean":
+                return nll.sum() / float(w.sum())
+        return self._reduce(nll)
+
+
+class MSELoss(_Loss):
+    """Mean squared error."""
+
+    def forward(self, input: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = input - target_t.detach()
+        return self._reduce((diff * diff).reshape(-1))
+
+
+class L1Loss(_Loss):
+    """Mean absolute error."""
+
+    def forward(self, input: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        return self._reduce((input - target_t.detach()).abs().reshape(-1))

@@ -1,0 +1,278 @@
+"""Neural-network module system (the ``torch.nn`` analogue).
+
+Implements the exact surface the paper's Listings 1–3 rely on:
+
+* ``nn.Sequential(OrderedDict([('fc1', nn.Linear(...)), ...]))``
+* ``model.state_dict()`` / ``model.load_state_dict(sd)`` with dotted keys
+  such as ``'fc1.weight'`` whose values are raw arrays that can be padded
+  before restoring (Listing 2),
+* ``model.named_parameters()`` for the per-parameter gradient-damping loop
+  (Listing 3),
+* ``param.requires_grad = False`` freezing,
+* ``model.train()`` / ``model.eval()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .autograd import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Sequential", "ReLU", "Tanh",
+           "Sigmoid", "Identity", "Dropout"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable module parameter."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute routing ------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            object.__setattr__(self, name, value)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            object.__setattr__(self, name, value)
+        else:
+            object.__setattr__(self, name, value)
+
+    # -- forward ----------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- parameter iteration ------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+
+        for name, param in self._parameters.items():
+            yield (prefix + name if prefix else name), param
+        for mod_name, module in self._modules.items():
+            sub_prefix = f"{prefix}{mod_name}." if prefix else f"{mod_name}."
+            yield from module.named_parameters(sub_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _name, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            sub_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(sub_prefix)
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- train / eval -------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- device / dtype shim --------------------------------------------------
+    def to(self, device=None, dtype=None) -> "Module":
+        """No-op device move plus optional dtype cast (CPU-only framework)."""
+
+        if dtype is not None:
+            for _name, param in self.named_parameters():
+                param.data = param.data.astype(dtype)
+        return self
+
+    # -- state dict -----------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of every parameter keyed by dotted name.
+
+        Values are plain ndarrays so callers can reshape/pad them before
+        restoring — the manipulation at the heart of the growing model.
+        """
+
+        return OrderedDict((name, param.data.copy())
+                           for name, param in self.named_parameters())
+
+    def load_state_dict(self, state_dict, strict: bool = True) -> None:
+        """Restore parameters from dotted-name → array mapping.
+
+        With ``strict=True`` (default) the key sets must match exactly and
+        every shape must match, mirroring torch's behaviour.
+        """
+
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state_dict)
+        unexpected = set(state_dict) - set(params)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} "
+                f"unexpected={sorted(unexpected)}")
+        for name, value in state_dict.items():
+            if name not in params:
+                continue
+            param = params[name]
+            value = np.asarray(value, dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': "
+                    f"model {param.data.shape} vs state {value.shape}")
+            param.data = value.copy()
+            param.grad = None
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # -- misc -------------------------------------------------------------
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, module in self._modules.items():
+            sub = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {sub}")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with torch's weight layout.
+
+    ``weight`` has shape ``(out_features, in_features)``; consequently
+    ``weight.size(dim=1)`` is the input-feature count — the quantity the
+    paper reads back from the state dict to detect that the feature array
+    has grown (Listing 2).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng()
+        weight = init.kaiming_uniform((out_features, in_features), rng=rng)
+        self.weight = Parameter(weight)
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(
+                rng.uniform(-bound, bound, size=out_features).astype(np.float32))
+        else:
+            self.bias = None  # type: ignore[assignment]
+
+    def forward(self, input: Tensor) -> Tensor:
+        if input.shape[-1] != self.weight.data.shape[1]:
+            raise ValueError(
+                f"Linear expected {self.weight.data.shape[1]} input features, "
+                f"got {input.shape[-1]}")
+        return F.linear(input, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return (f"in_features={self.in_features}, "
+                f"out_features={self.out_features}, "
+                f"bias={self.bias is not None}")
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Accepts either an ``OrderedDict`` (paper style, giving layers stable
+    names such as ``fc1``/``fc2``) or positional modules (auto-named
+    ``'0'``, ``'1'``, ...).
+    """
+
+    def __init__(self, *args):
+        super().__init__()
+        if len(args) == 1 and isinstance(args[0], (OrderedDict, dict)):
+            items = args[0].items()
+        else:
+            items = ((str(i), m) for i, m in enumerate(args))
+        for name, module in items:
+            if not isinstance(module, Module):
+                raise TypeError(f"Sequential entries must be Modules, got {type(module)}")
+            setattr(self, name, module)
+
+    def forward(self, input: Tensor) -> Tensor:
+        out = input
+        for module in self._modules.values():
+            out = module(out)
+        return out
+
+    def __getitem__(self, key: str | int) -> Module:
+        if isinstance(key, int):
+            return list(self._modules.values())[key]
+        return self._modules[key]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+
+class ReLU(Module):
+    """Elementwise rectifier module."""
+
+    def forward(self, input: Tensor) -> Tensor:
+        return input.relu()
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic-tangent module."""
+
+    def forward(self, input: Tensor) -> Tensor:
+        return input.tanh()
+
+
+class Sigmoid(Module):
+    """Elementwise logistic module."""
+
+    def forward(self, input: Tensor) -> Tensor:
+        return input.sigmoid()
+
+
+class Identity(Module):
+    """Pass-through module."""
+
+    def forward(self, input: Tensor) -> Tensor:
+        return input
+
+
+class Dropout(Module):
+    """Inverted dropout (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, input: Tensor) -> Tensor:
+        return F.dropout(input, p=self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

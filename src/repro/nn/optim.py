@@ -1,0 +1,135 @@
+"""Gradient-descent optimizers.
+
+:class:`Adam` reproduces ``torch.optim.Adam`` (RMSProp-style second moment
+plus momentum and bias correction — the paper's Section IV.B describes
+exactly this and uses ``lr=0.05``).  Optimizers skip parameters whose
+``requires_grad`` flag is False *at step time*, which is what makes the
+paper's per-batch freeze/unfreeze dance in Listing 3 effective.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and per-parameter state."""
+
+    def __init__(self, params: Iterable[Tensor]):
+        self.params: list[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        seen: set[int] = set()
+        for p in self.params:
+            if id(p) in seen:
+                raise ValueError("duplicate parameter in optimizer")
+            seen.add(id(p))
+        self.state: dict[int, dict] = {}
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (per-parameter slots by position)."""
+
+        return {
+            "state": {i: {k: (v.copy() if isinstance(v, np.ndarray) else v)
+                          for k, v in self.state.get(id(p), {}).items()}
+                      for i, p in enumerate(self.params)},
+        }
+
+    def load_state_dict(self, sd: dict) -> None:
+        for i, p in enumerate(self.params):
+            if i in sd["state"] or str(i) in sd["state"]:
+                slot = sd["state"].get(i, sd["state"].get(str(i)))
+                self.state[id(p)] = {k: (v.copy() if isinstance(v, np.ndarray) else v)
+                                     for k, v in slot.items()}
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        for p in self.params:
+            if not p.requires_grad or p.grad is None:
+                continue
+            g = np.asarray(p.grad, dtype=p.data.dtype)
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                slot = self.state.setdefault(id(p), {})
+                buf = slot.get("momentum_buffer")
+                if buf is None:
+                    buf = g.copy()
+                else:
+                    buf *= self.momentum
+                    buf += g
+                slot["momentum_buffer"] = buf
+                g = g + self.momentum * buf if self.nesterov else buf
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first/second moment estimates."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError("betas must lie in [0, 1)")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        beta1, beta2 = self.betas
+        for p in self.params:
+            if not p.requires_grad or p.grad is None:
+                continue
+            g = np.asarray(p.grad, dtype=np.float32)
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            slot = self.state.setdefault(id(p), {})
+            if "step" not in slot:
+                slot["step"] = 0
+                slot["exp_avg"] = np.zeros_like(p.data, dtype=np.float32)
+                slot["exp_avg_sq"] = np.zeros_like(p.data, dtype=np.float32)
+            slot["step"] += 1
+            t = slot["step"]
+            m, v = slot["exp_avg"], slot["exp_avg_sq"]
+            m *= beta1
+            m += (1 - beta1) * g
+            v *= beta2
+            v += (1 - beta2) * (g * g)
+            m_hat = m / (1 - beta1 ** t)
+            v_hat = v / (1 - beta2 ** t)
+            p.data -= (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(p.data.dtype)

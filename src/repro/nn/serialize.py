@@ -1,0 +1,70 @@
+"""Model checkpointing: state-dict persistence to ``.npz`` files.
+
+Replaces ``torch.save`` / ``torch.load`` in the paper's Listings 1–2.
+A state dict is an ordered mapping of dotted parameter names to ndarrays;
+``save`` writes it losslessly to NumPy's zip format and ``load`` restores
+it with the original key order, so the paper's
+
+    model_state_dict = torch.load(model_file_path)
+    model.load_state_dict(model_state_dict)
+
+becomes
+
+    model_state_dict = serialize.load(model_file_path)
+    model.load_state_dict(model_state_dict)
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save", "load"]
+
+_ORDER_KEY = "__key_order__"
+
+
+def save(state_dict, path: str | os.PathLike) -> None:
+    """Persist a dotted-name → ndarray mapping to ``path`` (.npz).
+
+    Key order is preserved through a sidecar entry so that ``load`` returns
+    an :class:`~collections.OrderedDict` identical to the input.
+    """
+
+    path = Path(path)
+    if _ORDER_KEY in state_dict:
+        raise ValueError(f"{_ORDER_KEY!r} is a reserved key")
+    arrays = {key: np.asarray(value) for key, value in state_dict.items()}
+    arrays[_ORDER_KEY] = np.array(list(state_dict.keys()), dtype=object)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez(handle, **{_escape(k): v for k, v in arrays.items()})
+
+
+def load(path: str | os.PathLike) -> "OrderedDict[str, np.ndarray]":
+    """Load a state dict previously written by :func:`save`."""
+
+    with np.load(path, allow_pickle=True) as payload:
+        escaped = {key: payload[key] for key in payload.files}
+    order_key = _escape(_ORDER_KEY)
+    if order_key not in escaped:
+        raise ValueError(f"{path} is not a repro.nn checkpoint")
+    order = [str(k) for k in escaped.pop(order_key)]
+    by_name = {_unescape(k): v for k, v in escaped.items()}
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name in order:
+        out[name] = by_name[name]
+    return out
+
+
+# np.savez forbids '/' in member names on some platforms; dots are fine but
+# escape defensively so arbitrary parameter names round-trip.
+def _escape(key: str) -> str:
+    return key.replace("/", "\\slash ")
+
+
+def _unescape(key: str) -> str:
+    return key.replace("\\slash ", "/")

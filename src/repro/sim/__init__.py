@@ -1,0 +1,24 @@
+"""``repro.sim`` — AGOCS-style cluster scheduling simulator.
+
+Cluster state, the conventional main scheduler, the Figure 3 Task CO
+Analyzer + High-Priority Scheduler pair, gang scheduling, latency
+instrumentation, and the event-driven replay engine.
+"""
+
+from .cluster import ClusterState, PendingTask
+from .engine import SimulationConfig, SimulationEngine, SimulationResult
+from .gang import Gang, GangScheduler, group_into_gangs
+from .highpriority import HighPriorityScheduler, TaskCOAnalyzer
+from .latency import LatencyRecorder, LatencySample, LatencySummary
+from .online import OnlineModelUpdater, UpdateRecord
+from .scheduler import MainScheduler, SchedulerStats
+
+__all__ = [
+    "ClusterState", "PendingTask",
+    "MainScheduler", "SchedulerStats",
+    "TaskCOAnalyzer", "HighPriorityScheduler",
+    "Gang", "GangScheduler", "group_into_gangs",
+    "LatencyRecorder", "LatencySample", "LatencySummary",
+    "SimulationConfig", "SimulationEngine", "SimulationResult",
+    "OnlineModelUpdater", "UpdateRecord",
+]

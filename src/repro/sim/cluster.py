@@ -1,0 +1,174 @@
+"""Cluster runtime state for the scheduling simulator.
+
+Tracks, on top of :class:`~repro.constraints.matcher.MachinePark`
+(attributes + constraint matching), the mutable allocation state: per-
+machine free CPU/memory and the set of running task instances.  This is
+the state both schedulers (main and high-priority) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..constraints.matcher import MachinePark
+from ..constraints.soft import SoftAffinityTask
+from ..errors import SchedulingError
+
+__all__ = ["PendingTask", "ClusterState"]
+
+
+@dataclass
+class PendingTask:
+    """A task waiting in (or running out of) the scheduler queue.
+
+    ``task`` may be a plain :class:`CompactedTask` (hard constraints
+    only), a :class:`SoftAffinityTask` (hard + weighted preferences, the
+    §VI extension), or None for unconstrained tasks.
+    """
+
+    collection_id: int
+    task_index: int
+    submit_time: int
+    cpu: float
+    mem: float
+    priority: int
+    task: CompactedTask | SoftAffinityTask | None = None
+    suitable_count: int | None = None        # filled by the CO analyzer
+    predicted_group: int | None = None
+    machine_id: int | None = None            # where it ended up
+    scheduled_time: int | None = None
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.collection_id, self.task_index)
+
+    @property
+    def latency(self) -> int | None:
+        """Scheduling latency in microseconds (None while pending)."""
+
+        if self.scheduled_time is None:
+            return None
+        return self.scheduled_time - self.submit_time
+
+
+class ClusterState:
+    """Machine park + allocation bookkeeping."""
+
+    def __init__(self) -> None:
+        self.park = MachinePark()
+        self._free_cpu: dict = {}
+        self._free_mem: dict = {}
+        self._running: dict[tuple[int, int], tuple[object, float, float]] = {}
+
+    # -- machine lifecycle ---------------------------------------------------
+    def add_machine(self, machine_id, cpu: float, mem: float,
+                    attributes=None) -> None:
+        self.park.add_machine(machine_id, cpu=cpu, mem=mem,
+                              attributes=attributes)
+        self._free_cpu[machine_id] = cpu
+        self._free_mem[machine_id] = mem
+
+    def remove_machine(self, machine_id) -> list[tuple[int, int]]:
+        """Remove a machine; returns keys of tasks evicted by the removal."""
+
+        self.park.remove_machine(machine_id)
+        evicted = [key for key, (mid, _c, _m) in self._running.items()
+                   if mid == machine_id]
+        for key in evicted:
+            del self._running[key]
+        self._free_cpu.pop(machine_id, None)
+        self._free_mem.pop(machine_id, None)
+        return evicted
+
+    def set_attribute(self, machine_id, attribute: str, value) -> None:
+        self.park.set_attribute(machine_id, attribute, value)
+
+    # -- capacity ---------------------------------------------------------
+    def free_cpu(self, machine_id) -> float:
+        return self._free_cpu.get(machine_id, 0.0)
+
+    def free_mem(self, machine_id) -> float:
+        return self._free_mem.get(machine_id, 0.0)
+
+    def utilization(self) -> tuple[float, float]:
+        """(cpu, mem) utilization over alive machines, each in [0, 1]."""
+
+        alive = self.park.machine_ids()
+        if not alive:
+            return (0.0, 0.0)
+        total_cpu = total_mem = used_cpu = used_mem = 0.0
+        for mid in alive:
+            cap_cpu, cap_mem = self.park.capacity_of(mid)
+            total_cpu += cap_cpu
+            total_mem += cap_mem
+            used_cpu += cap_cpu - self._free_cpu.get(mid, 0.0)
+            used_mem += cap_mem - self._free_mem.get(mid, 0.0)
+        return (used_cpu / total_cpu if total_cpu else 0.0,
+                used_mem / total_mem if total_mem else 0.0)
+
+    # -- placement ---------------------------------------------------------
+    def fits(self, machine_id, cpu: float, mem: float) -> bool:
+        return (machine_id in self.park
+                and self._free_cpu.get(machine_id, 0.0) >= cpu
+                and self._free_mem.get(machine_id, 0.0) >= mem)
+
+    @staticmethod
+    def hard_constraints(pending: PendingTask) -> CompactedTask | None:
+        """The mandatory constraint set of a pending task (soft-aware)."""
+
+        if isinstance(pending.task, SoftAffinityTask):
+            return pending.task.hard
+        return pending.task
+
+    def eligible_with_capacity(self, pending: PendingTask) -> list:
+        """Machines satisfying hard constraints AND current free capacity."""
+
+        hard = self.hard_constraints(pending)
+        if hard is None:
+            candidates = self.park.machine_ids()
+        else:
+            candidates = self.park.eligible_machines(hard)
+        return [mid for mid in candidates
+                if self.fits(mid, pending.cpu, pending.mem)]
+
+    def preference_of(self, pending: PendingTask, machine_id) -> int:
+        """Soft-affinity score of one machine for the task (0 if none)."""
+
+        if not isinstance(pending.task, SoftAffinityTask):
+            return 0
+        return pending.task.score(self.park.attributes_of(machine_id))
+
+    def place(self, pending: PendingTask, machine_id, time: int) -> None:
+        """Commit a task to a machine."""
+
+        if not self.fits(machine_id, pending.cpu, pending.mem):
+            raise SchedulingError(
+                f"machine {machine_id!r} cannot host task {pending.key}")
+        if pending.key in self._running:
+            raise SchedulingError(f"task {pending.key} is already running")
+        self._free_cpu[machine_id] -= pending.cpu
+        self._free_mem[machine_id] -= pending.mem
+        self._running[pending.key] = (machine_id, pending.cpu, pending.mem)
+        pending.machine_id = machine_id
+        pending.scheduled_time = time
+
+    def release(self, key: tuple[int, int]) -> None:
+        """Free a finished/killed task's resources (no-op if unknown)."""
+
+        entry = self._running.pop(key, None)
+        if entry is None:
+            return
+        machine_id, cpu, mem = entry
+        if machine_id in self._free_cpu:
+            self._free_cpu[machine_id] += cpu
+            self._free_mem[machine_id] += mem
+
+    def is_running(self, key: tuple[int, int]) -> bool:
+        return key in self._running
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)

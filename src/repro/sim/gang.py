@@ -1,0 +1,99 @@
+"""Gang scheduling by constraint group (paper §VI).
+
+"This approach works well with gang scheduling, where tasks in the same
+job are grouped by their CO and scheduled together."  A gang is the set
+of a collection's tasks sharing one compacted constraint set; the gang
+scheduler performs all-or-nothing placement: either every member gets a
+machine (capacity-respecting, constraints satisfied) or none is placed
+and the gang stays queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints.compaction import CompactedTask
+from .cluster import ClusterState, PendingTask
+
+__all__ = ["Gang", "GangScheduler", "group_into_gangs"]
+
+
+@dataclass
+class Gang:
+    """A collection's tasks sharing one constraint set."""
+
+    collection_id: int
+    task: CompactedTask | None
+    members: list[PendingTask] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def cpu_total(self) -> float:
+        return sum(m.cpu for m in self.members)
+
+    @property
+    def mem_total(self) -> float:
+        return sum(m.mem for m in self.members)
+
+
+def group_into_gangs(tasks: list[PendingTask]) -> list[Gang]:
+    """Partition tasks into gangs by (collection, compacted constraints)."""
+
+    gangs: dict[tuple, Gang] = {}
+    for task in tasks:
+        key = (task.collection_id, task.task)
+        gang = gangs.get(key)
+        if gang is None:
+            gang = Gang(collection_id=task.collection_id, task=task.task)
+            gangs[key] = gang
+        gang.members.append(task)
+    return list(gangs.values())
+
+
+class GangScheduler:
+    """All-or-nothing placement of whole gangs."""
+
+    def __init__(self, cluster: ClusterState):
+        self.cluster = cluster
+        self.placed_gangs = 0
+        self.rejected_gangs = 0
+
+    def try_place(self, gang: Gang, now: int) -> bool:
+        """Place every member or nothing; returns success.
+
+        Members are assigned greedily to eligible machines with capacity,
+        tracking capacity consumed by earlier members of the same gang so
+        a machine is not double-booked within the atomic attempt.
+        """
+
+        if not gang.members:
+            return True
+        if gang.task is None:
+            eligible = self.cluster.park.machine_ids()
+        else:
+            eligible = self.cluster.park.eligible_machines(gang.task)
+
+        free_cpu = {m: self.cluster.free_cpu(m) for m in eligible}
+        free_mem = {m: self.cluster.free_mem(m) for m in eligible}
+        plan: list[tuple[PendingTask, object]] = []
+        for member in gang.members:
+            chosen = None
+            for machine in eligible:
+                if (free_cpu[machine] >= member.cpu
+                        and free_mem[machine] >= member.mem):
+                    chosen = machine
+                    break
+            if chosen is None:
+                self.rejected_gangs += 1
+                return False
+            free_cpu[chosen] -= member.cpu
+            free_mem[chosen] -= member.mem
+            plan.append((member, chosen))
+
+        for member, machine in plan:
+            self.cluster.place(member, machine, now)
+        self.placed_gangs += 1
+        return True

@@ -1,0 +1,181 @@
+"""Task CO Analyzer and High-Priority Scheduler (paper Figure 3).
+
+The paper's deployment schema: a **Task CO Analyzer** sits in front of the
+pending job queue, classifies each arriving constrained task with the
+(near real-time) CTLM model, and reroutes tasks predicted to fit only a
+few nodes to a dedicated **High-Priority Scheduler** that places them
+immediately — preempting lower-priority occupants of their scarce
+suitable nodes when necessary — "minimizing task scheduling latency by
+prioritizing tasks with fewer suitable nodes", while everything else
+flows to the main cluster scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..datasets.co_vv import COVVEncoder
+from ..datasets.registry import FeatureRegistry
+from .cluster import ClusterState, PendingTask
+from .scheduler import MainScheduler
+
+__all__ = ["TaskCOAnalyzer", "HighPriorityScheduler"]
+
+
+class TaskCOAnalyzer:
+    """Classify arriving tasks by predicted suitable-node group.
+
+    Wraps a trained group classifier (GrowingModel or any object with
+    ``predict(X) -> labels``) plus the CO-VV encoder/registry it was
+    trained with.  Values unseen at training time simply contribute no
+    known columns — prediction degrades gracefully, and
+    :attr:`unseen_features` counts how often that happened (the signal
+    that the parallel model-update path of Figure 3 should retrain).
+    """
+
+    def __init__(self, model, registry: FeatureRegistry,
+                 route_threshold: int = 0):
+        if route_threshold < 0:
+            raise ValueError("route_threshold cannot be negative")
+        self.model = model
+        self.registry = registry
+        self.encoder = COVVEncoder(registry)
+        self.route_threshold = route_threshold
+        self.predictions: int = 0
+        self.routed: int = 0
+        self.unseen_features: int = 0
+
+    def _known_width(self) -> int:
+        width = getattr(self.model, "features_count", None)
+        return self.registry.features_count if width is None else width
+
+    def predict_group(self, task: CompactedTask) -> int:
+        """Predicted 26-group index for one compacted task."""
+
+        row = self.encoder.encode_row_dense(task)
+        width = self._known_width()
+        if row.shape[0] < width:
+            row = np.pad(row, (0, width - row.shape[0]))
+        elif row.shape[0] > width:
+            row = row[:width]
+        for spec in task:
+            if self.registry.column(spec.attribute) is None:
+                self.unseen_features += 1
+                break
+        self.predictions += 1
+        return int(self.model.predict(row.reshape(1, -1))[0])
+
+    def should_route(self, task: CompactedTask) -> tuple[bool, int]:
+        """(route to high-priority?, predicted group)."""
+
+        group = self.predict_group(task)
+        route = group <= self.route_threshold
+        if route:
+            self.routed += 1
+        return route, group
+
+
+@dataclass
+class _HPStats:
+    scheduled: int = 0
+    preemptions: int = 0
+    deferred: int = 0
+
+
+class HighPriorityScheduler:
+    """Immediate placement path for restrictive tasks.
+
+    Runs at task arrival (not on the main scheduler's cycle), so its
+    latency is bounded by ``dispatch_latency`` rather than queueing.  When
+    every suitable node is full it evicts the lowest-priority running task
+    whose departure makes room — the Kubernetes-preemption analogue the
+    paper describes — and hands the victim back to the main queue.
+    """
+
+    def __init__(self, cluster: ClusterState, main: MainScheduler,
+                 dispatch_latency: int = 50_000, allow_preemption: bool = True,
+                 priority_boost: int | None = 12):
+        """``priority_boost`` — rerouted tasks are treated as having at
+        least this priority when selecting preemption victims (the paper
+        reroutes "high-priority tasks to specialized allocation
+        strategies"; its forced-migration analogue).  ``None`` keeps the
+        task's own priority."""
+
+        self.cluster = cluster
+        self.main = main
+        self.dispatch_latency = int(dispatch_latency)
+        self.allow_preemption = allow_preemption
+        self.priority_boost = priority_boost
+        self.stats = _HPStats()
+        # Running PendingTask objects, registered by the engine so that
+        # preemption can requeue the actual task object.
+        self._running_tasks: dict[tuple[int, int], PendingTask] = {}
+
+    def schedule(self, pending: PendingTask, now: int) -> bool:
+        """Try to place immediately; returns True on success.
+
+        On failure (no suitable node even with preemption) the task is
+        deferred to the main queue's head.
+        """
+
+        when = now + self.dispatch_latency
+        machines = self.cluster.eligible_with_capacity(pending)
+        if machines:
+            self.cluster.place(pending, machines[0], when)
+            self.stats.scheduled += 1
+            return True
+
+        if self.allow_preemption:
+            victim = self._find_preemption(pending)
+            if victim is not None:
+                machine_id, victim_key, victim_task = victim
+                self.cluster.release(victim_key)
+                self.stats.preemptions += 1
+                self.cluster.place(pending, machine_id, when)
+                self.stats.scheduled += 1
+                if victim_task is not None:
+                    victim_task.machine_id = None
+                    victim_task.scheduled_time = None
+                    self.main.requeue_front(victim_task)
+                return True
+
+        self.stats.deferred += 1
+        self.main.requeue_front(pending)
+        return False
+
+    def _find_preemption(self, pending: PendingTask):
+        """Lowest-priority running task whose eviction frees a suitable node."""
+
+        hard = self.cluster.hard_constraints(pending)
+        if hard is None:
+            suitable = set(self.cluster.park.machine_ids())
+        else:
+            suitable = set(self.cluster.park.eligible_machines(hard))
+        effective_priority = pending.priority
+        if self.priority_boost is not None:
+            effective_priority = max(effective_priority, self.priority_boost)
+        best = None
+        for key, (machine_id, cpu, mem) in self.cluster._running.items():
+            if machine_id not in suitable:
+                continue
+            task_obj = self._lookup_running_task(key)
+            victim_priority = task_obj.priority if task_obj else 0
+            if victim_priority >= effective_priority:
+                continue
+            if (self.cluster.free_cpu(machine_id) + cpu < pending.cpu
+                    or self.cluster.free_mem(machine_id) + mem < pending.mem):
+                continue
+            if best is None or victim_priority < best[3]:
+                best = (machine_id, key, task_obj, victim_priority)
+        if best is None:
+            return None
+        return best[0], best[1], best[2]
+
+    def register_running(self, pending: PendingTask) -> None:
+        self._running_tasks[pending.key] = pending
+
+    def _lookup_running_task(self, key) -> PendingTask | None:
+        return self._running_tasks.get(key)

@@ -1,0 +1,101 @@
+"""Scheduling-latency bookkeeping and summaries.
+
+The Figure 3 experiment's measurement layer: per-task latencies broken
+out by *true* restrictiveness (suitable-node group at submit time), so
+baseline and enhanced runs can be compared on exactly the population the
+paper targets — "tasks with restrictive node-affinity constraints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trace.events import MICROS_PER_SECOND
+
+__all__ = ["LatencySample", "LatencyRecorder", "LatencySummary"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySample:
+    """One scheduled task's latency record."""
+
+    key: tuple[int, int]
+    submit_time: int
+    latency_us: int
+    group: int            # true group from suitable-node count at submit
+    constrained: bool
+    routed_high_priority: bool
+
+
+@dataclass
+class LatencySummary:
+    """Aggregate latency statistics for one task population."""
+
+    count: int
+    mean_s: float
+    median_s: float
+    p95_s: float
+    max_s: float
+
+    @classmethod
+    def from_micros(cls, latencies_us) -> "LatencySummary":
+        arr = np.asarray(list(latencies_us), dtype=np.float64)
+        if arr.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        arr_s = arr / MICROS_PER_SECOND
+        return cls(int(arr.size), float(arr_s.mean()),
+                   float(np.median(arr_s)),
+                   float(np.percentile(arr_s, 95)), float(arr_s.max()))
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean_s:.2f}s "
+                f"median={self.median_s:.2f}s p95={self.p95_s:.2f}s "
+                f"max={self.max_s:.2f}s")
+
+
+class LatencyRecorder:
+    """Collects per-task samples and produces population summaries."""
+
+    def __init__(self, restrictive_group_max: int = 0):
+        self.restrictive_group_max = restrictive_group_max
+        self.samples: list[LatencySample] = []
+        self.unscheduled: int = 0
+
+    def record(self, key, submit_time: int, latency_us: int, group: int,
+               constrained: bool, routed: bool) -> None:
+        self.samples.append(LatencySample(
+            key=key, submit_time=submit_time, latency_us=latency_us,
+            group=group, constrained=constrained,
+            routed_high_priority=routed))
+
+    def record_unscheduled(self) -> None:
+        self.unscheduled += 1
+
+    # -- views --------------------------------------------------------------
+    def _subset(self, predicate) -> list[int]:
+        return [s.latency_us for s in self.samples if predicate(s)]
+
+    def summary_all(self) -> LatencySummary:
+        return LatencySummary.from_micros(s.latency_us for s in self.samples)
+
+    def summary_restrictive(self) -> LatencySummary:
+        """Tasks whose true group ≤ the restrictive threshold (Group 0)."""
+
+        return LatencySummary.from_micros(self._subset(
+            lambda s: s.constrained and s.group <= self.restrictive_group_max))
+
+    def summary_constrained(self) -> LatencySummary:
+        return LatencySummary.from_micros(self._subset(lambda s: s.constrained))
+
+    def summary_unconstrained(self) -> LatencySummary:
+        return LatencySummary.from_micros(self._subset(lambda s: not s.constrained))
+
+    def summary_by_group(self) -> dict[int, LatencySummary]:
+        groups: dict[int, list[int]] = {}
+        for s in self.samples:
+            if s.constrained:
+                groups.setdefault(s.group, []).append(s.latency_us)
+        return {g: LatencySummary.from_micros(v)
+                for g, v in sorted(groups.items())}

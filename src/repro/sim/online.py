@@ -1,0 +1,162 @@
+"""Out-of-band model updates during scheduling (paper Figure 3).
+
+"Additionally, updating ML model runs in parallel and won't block or slow
+down the main cluster scheduler."
+
+:class:`OnlineModelUpdater` implements that loop inside the simulation's
+timebase: during replay it accumulates labelled observations (task CO
+vector → live suitable-node group), watches the feature registry for
+growth, and when enough new vocabulary has appeared it launches a
+retraining job that *completes after a simulated delay* — the analyzer
+keeps serving the old model until the new one is published, exactly like
+an asynchronous side-car trainer.  Statistics expose how stale the
+serving model was at each publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..core.growing import GrowingModel
+from ..datasets.co_vv import COVVEncoder
+from ..datasets.dataset import DatasetData
+from ..datasets.grouping import group_of
+from ..datasets.registry import FeatureRegistry
+from ..errors import TrainingFailedError
+from ..trace.events import MICROS_PER_MINUTE
+
+__all__ = ["UpdateRecord", "OnlineModelUpdater"]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One completed out-of-band retraining."""
+
+    triggered_at: int
+    published_at: int
+    features_before: int
+    features_after: int
+    n_observations: int
+    epochs: int
+    accuracy: float
+
+
+@dataclass
+class _PendingUpdate:
+    triggered_at: int
+    ready_at: int
+
+
+class OnlineModelUpdater:
+    """Accumulate observations; retrain the growing model asynchronously.
+
+    Parameters
+    ----------
+    model / registry:
+        The serving :class:`GrowingModel` and the CO-VV registry it (and
+        its analyzer) encode against.  The registry is *extended here*
+        as new constraint vocabulary arrives — mirroring the AGOCS side
+        of Figure 3.
+    growth_threshold:
+        Launch a retrain once this many new feature columns accumulated.
+    retrain_delay_us:
+        Simulated wall time between launching the side-car training job
+        and the updated model being published.
+    min_observations:
+        Do not retrain before this many labelled observations exist.
+    """
+
+    def __init__(self, model: GrowingModel, registry: FeatureRegistry,
+                 growth_threshold: int = 8,
+                 retrain_delay_us: int = 2 * MICROS_PER_MINUTE,
+                 min_observations: int = 200, max_buffer: int = 50_000,
+                 rng: np.random.Generator | None = None):
+        if growth_threshold < 1:
+            raise ValueError("growth_threshold must be >= 1")
+        self.model = model
+        self.registry = registry
+        self.encoder = COVVEncoder(registry)
+        self.growth_threshold = growth_threshold
+        self.retrain_delay_us = int(retrain_delay_us)
+        self.min_observations = min_observations
+        self.max_buffer = max_buffer
+        self.rng = rng or np.random.default_rng()
+
+        self._tasks: list[CompactedTask] = []
+        self._labels: list[int] = []
+        self._width_at_last_publish = (model.features_count
+                                       or registry.features_count)
+        self._pending: _PendingUpdate | None = None
+        self.updates: list[UpdateRecord] = []
+        self.failed_updates: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        return self._pending is not None
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._tasks)
+
+    def observe(self, task: CompactedTask, suitable_count: int,
+                group_bin: int, time: int) -> None:
+        """Record a labelled observation and maybe trigger a retrain."""
+
+        self.registry.observe_task(task)
+        self._tasks.append(task)
+        self._labels.append(group_of(suitable_count, group_bin))
+        if len(self._tasks) > self.max_buffer:
+            # Keep the freshest observations (sliding window).
+            self._tasks = self._tasks[-self.max_buffer:]
+            self._labels = self._labels[-self.max_buffer:]
+        self._maybe_trigger(time)
+
+    def _maybe_trigger(self, time: int) -> None:
+        if self._pending is not None:
+            return
+        if len(self._tasks) < self.min_observations:
+            return
+        grown = self.registry.features_count - self._width_at_last_publish
+        if grown < self.growth_threshold:
+            return
+        self._pending = _PendingUpdate(
+            triggered_at=time, ready_at=time + self.retrain_delay_us)
+
+    def tick(self, time: int) -> UpdateRecord | None:
+        """Advance the simulated side-car; publish a finished update.
+
+        Call this from the engine's cycle loop.  Returns the publication
+        record when an update lands, else None.  The serving model object
+        is mutated in place at publication (the analyzer sees it on its
+        next prediction), never before — nothing blocks.
+        """
+
+        if self._pending is None or time < self._pending.ready_at:
+            return None
+        pending, self._pending = self._pending, None
+
+        features_before = self._width_at_last_publish
+        X = self.encoder.encode_rows(self._tasks)
+        y = np.asarray(self._labels, dtype=np.int64)
+        if X.shape[0] < 8 or len(np.unique(y)) < 2:
+            return None
+        dataset = DatasetData(X, y, batch_size=self.model.config.batch_size,
+                              rng=self.rng)
+        try:
+            outcome = self.model.fit_step(dataset)
+        except TrainingFailedError:
+            self.failed_updates += 1
+            return None
+        self._width_at_last_publish = self.registry.features_count
+        record = UpdateRecord(
+            triggered_at=pending.triggered_at, published_at=time,
+            features_before=features_before,
+            features_after=self.registry.features_count,
+            n_observations=X.shape[0], epochs=outcome.epochs,
+            accuracy=outcome.accuracy)
+        self.updates.append(record)
+        return record

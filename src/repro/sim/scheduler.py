@@ -1,0 +1,121 @@
+"""The main cluster scheduler.
+
+A deliberately conventional queue scheduler in the Kubernetes/Borg mould
+(paper §II.A): a single pending queue ordered by (priority, submit time),
+scanned every scheduling cycle with a bounded per-cycle budget, placing
+tasks best-fit on eligible machines.  Its weakness is precisely the one
+the paper targets — tasks with restrictive node-affinity constraints wait
+in the same queue as everyone else, suffer head-of-line scanning, and
+find their one suitable node occupied (Kubernetes "preemption ... may
+block scheduling if no node satisfies affinity rules").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cluster import ClusterState, PendingTask
+
+__all__ = ["SchedulerStats", "MainScheduler"]
+
+
+@dataclass
+class SchedulerStats:
+    """Counters one scheduler accumulates over a run."""
+
+    scheduled: int = 0
+    scan_attempts: int = 0
+    failed_scans: int = 0
+    cycles: int = 0
+
+
+class MainScheduler:
+    """Priority-FIFO queue with bounded scan budget and best-fit placement.
+
+    Parameters
+    ----------
+    cluster:
+        Shared cluster state.
+    scan_budget:
+        Queue entries examined per cycle — the scheduler's throughput
+        limit; tasks beyond it wait for the next cycle (queueing delay).
+    best_fit:
+        Choose the eligible machine with the least free CPU after
+        placement (reduces fragmentation, as Borg's hybrid model does);
+        otherwise first-fit.
+    """
+
+    def __init__(self, cluster: ClusterState, scan_budget: int = 64,
+                 best_fit: bool = True):
+        if scan_budget <= 0:
+            raise ValueError("scan_budget must be positive")
+        self.cluster = cluster
+        self.scan_budget = scan_budget
+        self.best_fit = best_fit
+        self.queue: deque[PendingTask] = deque()
+        self.stats = SchedulerStats()
+
+    def submit(self, pending: PendingTask) -> None:
+        """Enqueue a task, keeping the queue priority-ordered (stable)."""
+
+        # Priority-ordered insert: higher priority toward the head;
+        # equal priorities keep submission order (FIFO).
+        if not self.queue or pending.priority <= self.queue[-1].priority:
+            self.queue.append(pending)
+            return
+        items = list(self.queue)
+        for i, item in enumerate(items):
+            if item.priority < pending.priority:
+                items.insert(i, pending)
+                break
+        self.queue = deque(items)
+
+    def requeue_front(self, pending: PendingTask) -> None:
+        """Put an evicted task back at the head of the queue."""
+
+        self.queue.appendleft(pending)
+
+    def run_cycle(self, now: int) -> list[PendingTask]:
+        """One scheduling pass; returns the tasks placed this cycle."""
+
+        self.stats.cycles += 1
+        placed: list[PendingTask] = []
+        retries: list[PendingTask] = []
+        scans = 0
+        while self.queue and scans < self.scan_budget:
+            pending = self.queue.popleft()
+            scans += 1
+            self.stats.scan_attempts += 1
+            machine = self._choose_machine(pending)
+            if machine is None:
+                self.stats.failed_scans += 1
+                retries.append(pending)
+                continue
+            self.cluster.place(pending, machine, now)
+            self.stats.scheduled += 1
+            placed.append(pending)
+        # Failed tasks keep their queue position ahead of newer arrivals.
+        for pending in reversed(retries):
+            self.queue.appendleft(pending)
+        return placed
+
+    def _choose_machine(self, pending: PendingTask):
+        candidates = self.cluster.eligible_with_capacity(pending)
+        if not candidates:
+            return None
+        if not self.best_fit:
+            return candidates[0]
+        # Rank by soft-affinity preference first (Kubernetes'
+        # preferred-affinity semantics, §VI extension), then best-fit.
+        free = self.cluster.free_cpu
+        preference = self.cluster.preference_of
+        return min(candidates,
+                   key=lambda mid: (-preference(pending, mid),
+                                    free(mid) - pending.cpu, str(mid)))
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)

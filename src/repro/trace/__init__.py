@@ -1,0 +1,34 @@
+"""``repro.trace`` — Google-Cluster-Data-style trace substrate.
+
+Event model, 2011 CSV / 2019 JSON codecs, per-cell synthetic generation,
+anomaly injection + AGOCS auto-correction, and on-disk archives.
+"""
+
+from .anomalies import (AnomalyReport, CorrectionReport, autocorrect,
+                        inject_anomalies)
+from .archive import CellArchive
+from .events import (MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_MINUTE,
+                     MICROS_PER_SECOND, CellTrace, CollectionEvent,
+                     CollectionEventKind, MachineAttributeEvent, MachineEvent,
+                     MachineEventKind, TaskEvent, TaskEventKind,
+                     format_sim_time, sim_time)
+from .format2011 import read_2011, write_2011
+from .format2019 import read_2019, write_2019
+from .profiles import (CELL_2011, CELL_2019A, CELL_2019C, CELL_2019D,
+                       PROFILES, AttributeProfile, Band, CellProfile,
+                       GrowthStep, get_profile)
+from .synthetic import SyntheticCell, generate_cell
+
+__all__ = [
+    "CellTrace", "MachineEvent", "MachineAttributeEvent", "CollectionEvent",
+    "TaskEvent", "MachineEventKind", "TaskEventKind", "CollectionEventKind",
+    "sim_time", "format_sim_time",
+    "MICROS_PER_SECOND", "MICROS_PER_MINUTE", "MICROS_PER_HOUR",
+    "MICROS_PER_DAY",
+    "read_2011", "write_2011", "read_2019", "write_2019",
+    "Band", "AttributeProfile", "GrowthStep", "CellProfile", "PROFILES",
+    "CELL_2011", "CELL_2019A", "CELL_2019C", "CELL_2019D", "get_profile",
+    "SyntheticCell", "generate_cell",
+    "inject_anomalies", "autocorrect", "AnomalyReport", "CorrectionReport",
+    "CellArchive",
+]

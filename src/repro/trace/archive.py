@@ -1,0 +1,102 @@
+"""Cell-archive persistence: write/read traces in their native format.
+
+A :class:`CellArchive` is a directory holding one cell trace in the format
+matching its generation (2011 → CSV tables, 2019 → JSON-lines) plus a
+small JSON manifest with the metadata benches need (cell size, group bin,
+growth-step times), so synthetic cells can be generated once and replayed
+many times.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TraceFormatError
+from .events import CellTrace
+from .format2011 import read_2011, write_2011
+from .format2019 import read_2019, write_2019
+from .profiles import get_profile
+from .synthetic import SyntheticCell
+
+__all__ = ["CellArchive"]
+
+_MANIFEST = "manifest.json"
+_TRACE_2019 = "trace.jsonl"
+_TRACE_2011 = "tables"
+
+
+class CellArchive:
+    """One cell trace on disk, with format auto-detection."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+
+    # -- writing ---------------------------------------------------------
+    def save(self, cell: SyntheticCell) -> Path:
+        """Persist a synthetic cell (trace + manifest)."""
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        trace = cell.trace
+        if trace.format == "2011":
+            write_2011(trace, self.directory / _TRACE_2011)
+        else:
+            write_2019(trace, self.directory / _TRACE_2019)
+        manifest = {
+            "name": cell.profile.name,
+            "format": trace.format,
+            "scale": cell.scale,
+            "seed": cell.seed,
+            "n_machines": cell.n_machines,
+            "group_bin": cell.group_bin,
+            "step_times": list(cell.step_times),
+            "machine_ids": list(cell.machine_ids),
+        }
+        with open(self.directory / _MANIFEST, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+        return self.directory
+
+    def save_trace(self, trace: CellTrace) -> Path:
+        """Persist a bare trace (no synthetic metadata)."""
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if trace.format == "2011":
+            write_2011(trace, self.directory / _TRACE_2011)
+        else:
+            write_2019(trace, self.directory / _TRACE_2019)
+        manifest = {"name": trace.name, "format": trace.format}
+        with open(self.directory / _MANIFEST, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+        return self.directory
+
+    # -- reading ---------------------------------------------------------
+    def manifest(self) -> dict:
+        path = self.directory / _MANIFEST
+        if not path.exists():
+            raise TraceFormatError(f"no manifest in {self.directory}")
+        with open(path) as fh:
+            return json.load(fh)
+
+    def load_trace(self) -> CellTrace:
+        manifest = self.manifest()
+        if manifest["format"] == "2011":
+            return read_2011(self.directory / _TRACE_2011,
+                             name=manifest["name"])
+        return read_2019(self.directory / _TRACE_2019, name=manifest["name"])
+
+    def load(self) -> SyntheticCell:
+        """Load a full synthetic cell (requires a synthetic manifest)."""
+
+        manifest = self.manifest()
+        required = {"scale", "seed", "n_machines", "group_bin", "step_times"}
+        if not required <= manifest.keys():
+            raise TraceFormatError(
+                f"{self.directory} was not saved from a SyntheticCell")
+        return SyntheticCell(
+            profile=get_profile(manifest["name"]),
+            scale=manifest["scale"], seed=manifest["seed"],
+            trace=self.load_trace(),
+            n_machines=manifest["n_machines"],
+            group_bin=manifest["group_bin"],
+            step_times=tuple(manifest["step_times"]),
+            machine_ids=tuple(manifest.get("machine_ids", ())))

@@ -1,0 +1,248 @@
+"""Event model for Google-Cluster-Data-style workload traces.
+
+Two generations of the GCD archive are modelled (paper Section III.A):
+
+* **clusterdata-2011** — CSV tables: machine events, machine attributes,
+  task events, task constraints (4 constraint operators).
+* **clusterdata-2019** — JSON records: collection & instance events with
+  alloc-set/parent metadata and 8 constraint operators.
+
+The in-memory representation is a single union of typed event records,
+each carrying a microsecond timestamp.  A :class:`CellTrace` holds the
+merged, time-sorted stream for one computing cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable, Iterator
+
+from ..constraints.operators import Constraint
+
+__all__ = [
+    "MICROS_PER_SECOND", "MICROS_PER_MINUTE", "MICROS_PER_HOUR",
+    "MICROS_PER_DAY", "sim_time", "format_sim_time",
+    "MachineEventKind", "TaskEventKind", "CollectionEventKind",
+    "MachineEvent", "MachineAttributeEvent", "CollectionEvent", "TaskEvent",
+    "TraceEvent", "CellTrace",
+]
+
+MICROS_PER_SECOND = 1_000_000
+MICROS_PER_MINUTE = 60 * MICROS_PER_SECOND
+MICROS_PER_HOUR = 60 * MICROS_PER_MINUTE
+MICROS_PER_DAY = 24 * MICROS_PER_HOUR
+
+
+def sim_time(day: int = 0, hour: int = 0, minute: int = 0,
+             second: int = 0, micros: int = 0) -> int:
+    """Build a trace timestamp from a (day, hour, minute) tuple.
+
+    Table XI labels feature-growth steps by simulation day/hour/minute;
+    this is the inverse of :func:`format_sim_time`.
+    """
+
+    return (day * MICROS_PER_DAY + hour * MICROS_PER_HOUR
+            + minute * MICROS_PER_MINUTE + second * MICROS_PER_SECOND + micros)
+
+
+def format_sim_time(timestamp: int) -> str:
+    """Render a timestamp as ``d HH:MM`` (Table XI step labels)."""
+
+    day, rem = divmod(timestamp, MICROS_PER_DAY)
+    hour, rem = divmod(rem, MICROS_PER_HOUR)
+    minute = rem // MICROS_PER_MINUTE
+    return f"{day} {hour:02d}:{minute:02d}"
+
+
+class MachineEventKind(IntEnum):
+    """GCD machine event types."""
+
+    ADD = 0
+    REMOVE = 1
+    UPDATE = 2
+
+
+class TaskEventKind(IntEnum):
+    """GCD task/instance event types (2011 numbering, reused by 2019)."""
+
+    SUBMIT = 0
+    SCHEDULE = 1
+    EVICT = 2
+    FAIL = 3
+    FINISH = 4
+    KILL = 5
+    LOST = 6
+    UPDATE_PENDING = 7
+    UPDATE_RUNNING = 8
+
+    @property
+    def is_termination(self) -> bool:
+        return self in (TaskEventKind.EVICT, TaskEventKind.FAIL,
+                        TaskEventKind.FINISH, TaskEventKind.KILL,
+                        TaskEventKind.LOST)
+
+    @property
+    def is_update(self) -> bool:
+        return self in (TaskEventKind.UPDATE_PENDING,
+                        TaskEventKind.UPDATE_RUNNING)
+
+
+class CollectionEventKind(IntEnum):
+    """Collection (job/alloc-set) lifecycle events."""
+
+    SUBMIT = 0
+    FINISH = 4
+    KILL = 5
+
+
+@dataclass(frozen=True, slots=True)
+class MachineEvent:
+    """A machine joining, leaving, or changing capacity."""
+
+    time: int
+    machine_id: int
+    kind: MachineEventKind
+    cpu: float = 0.0
+    mem: float = 0.0
+    platform: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class MachineAttributeEvent:
+    """A machine attribute being set or deleted."""
+
+    time: int
+    machine_id: int
+    attribute: str
+    value: str | None = None
+    deleted: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionEvent:
+    """A collection (2011 'job' / 2019 'collection') lifecycle event."""
+
+    time: int
+    collection_id: int
+    kind: CollectionEventKind
+    user: str = ""
+    priority: int = 0
+    scheduling_class: int = 0
+    parent_id: int | None = None  # 2019 parent-child dependency
+    is_alloc_set: bool = False    # 2019 alloc sets
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEvent:
+    """A task (2011) / instance (2019) lifecycle event.
+
+    Constraints travel on the SUBMIT event (the GCD constraint table is
+    keyed by job+task and joined at parse time).
+    """
+
+    time: int
+    collection_id: int
+    task_index: int
+    kind: TaskEventKind
+    machine_id: int | None = None
+    cpu_request: float = 0.0
+    mem_request: float = 0.0
+    priority: int = 0
+    constraints: tuple[Constraint, ...] = ()
+
+    @property
+    def task_key(self) -> tuple[int, int]:
+        return (self.collection_id, self.task_index)
+
+
+TraceEvent = (MachineEvent | MachineAttributeEvent | CollectionEvent
+              | TaskEvent)
+
+# Tie-break ranks: at equal timestamps machines materialize before
+# attributes, attributes before collections, collections before tasks.
+_KIND_RANK = {MachineEvent: 0, MachineAttributeEvent: 1,
+              CollectionEvent: 2, TaskEvent: 3}
+
+
+def _sort_key(item: tuple[int, TraceEvent]) -> tuple[int, int, int]:
+    seq, event = item
+    return (event.time, _KIND_RANK[type(event)], seq)
+
+
+class CellTrace:
+    """The full, time-ordered event stream of one computing cell."""
+
+    def __init__(self, name: str = "cell", format: str = "2019",
+                 events: Iterable[TraceEvent] = ()):
+        if format not in ("2011", "2019"):
+            raise ValueError("trace format must be '2011' or '2019'")
+        self.name = name
+        self.format = format
+        self._events: list[tuple[int, TraceEvent]] = []
+        self._seq = 0
+        self._sorted = True
+        for event in events:
+            self.append(event)
+
+    # -- construction --------------------------------------------------
+    def append(self, event: TraceEvent) -> None:
+        """Add an event; insertion order is preserved among equal keys."""
+
+        item = (self._seq, event)
+        self._seq += 1
+        if self._events and _sort_key(item) < _sort_key(self._events[-1]):
+            self._sorted = False
+        self._events.append(item)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            self.append(event)
+
+    def sort(self) -> None:
+        """Time-sort in place ("the data was ... sorted by timestamp")."""
+
+        if not self._sorted:
+            self._events.sort(key=_sort_key)
+            self._sorted = True
+
+    # -- access ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        self.sort()
+        return (event for _seq, event in self._events)
+
+    def events_of(self, event_type) -> Iterator[TraceEvent]:
+        """All events of one record type, in time order."""
+
+        return (e for e in self if isinstance(e, event_type))
+
+    def window(self, start: int, end: int) -> Iterator[TraceEvent]:
+        """Events with ``start <= time < end``."""
+
+        return (e for e in self if start <= e.time < end)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """(first, last) event timestamps; (0, 0) when empty."""
+
+        if not self._events:
+            return (0, 0)
+        self.sort()
+        return (self._events[0][1].time, self._events[-1][1].time)
+
+    def counts(self) -> dict[str, int]:
+        """Event-type histogram, for trace summaries."""
+
+        out: dict[str, int] = {}
+        for event in self:
+            key = type(event).__name__
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def copy(self) -> "CellTrace":
+        clone = CellTrace(self.name, self.format)
+        clone.extend(event for event in self)
+        return clone

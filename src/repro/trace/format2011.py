@@ -1,0 +1,196 @@
+"""clusterdata-2011 CSV codec.
+
+The 2011 GCD archive ships gzipped CSV tables; this codec reads/writes the
+four tables AGOCS consumes, using the archive's column orders:
+
+* ``machine_events.csv``     — time, machine_id, event_type, platform, cpu, mem
+* ``machine_attributes.csv`` — time, machine_id, name, value, deleted
+* ``task_events.csv``        — time, job_id, task_index, event_type,
+  machine_id, priority, cpu_request, mem_request
+* ``task_constraints.csv``   — time, job_id, task_index, operator, name, value
+
+Only the 2011 operator subset (codes 0–3) is legal in this format;
+:class:`~repro.errors.TraceFormatError` is raised otherwise.  Constraint
+rows are joined onto their task's SUBMIT event at read time, mirroring
+the AGOCS pre-processing step.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..constraints.operators import Constraint, ConstraintOperator
+from ..errors import TraceFormatError
+from .events import (CellTrace, CollectionEvent, CollectionEventKind,
+                     MachineAttributeEvent, MachineEvent, MachineEventKind,
+                     TaskEvent, TaskEventKind)
+
+__all__ = ["write_2011", "read_2011", "FILES_2011"]
+
+FILES_2011 = ("machine_events.csv", "machine_attributes.csv",
+              "task_events.csv", "task_constraints.csv",
+              "collection_events.csv")
+
+_MAX_2011_OPERATOR = 3
+
+
+def write_2011(trace: CellTrace, directory: str | Path) -> Path:
+    """Serialize a trace to a 2011-format directory; returns the path."""
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "machine_events.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for e in trace.events_of(MachineEvent):
+            writer.writerow([e.time, e.machine_id, int(e.kind), e.platform,
+                             f"{e.cpu:.6f}", f"{e.mem:.6f}"])
+
+    with open(directory / "machine_attributes.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for e in trace.events_of(MachineAttributeEvent):
+            writer.writerow([e.time, e.machine_id, e.attribute,
+                             "" if e.value is None else e.value,
+                             1 if e.deleted else 0])
+
+    with open(directory / "collection_events.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for e in trace.events_of(CollectionEvent):
+            writer.writerow([e.time, e.collection_id, int(e.kind), e.user,
+                             e.priority, e.scheduling_class])
+
+    with open(directory / "task_events.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for e in trace.events_of(TaskEvent):
+            writer.writerow([e.time, e.collection_id, e.task_index,
+                             int(e.kind),
+                             "" if e.machine_id is None else e.machine_id,
+                             e.priority, f"{e.cpu_request:.6f}",
+                             f"{e.mem_request:.6f}"])
+
+    with open(directory / "task_constraints.csv", "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for e in trace.events_of(TaskEvent):
+            if e.kind is not TaskEventKind.SUBMIT:
+                continue
+            for c in e.constraints:
+                if int(c.op) > _MAX_2011_OPERATOR:
+                    raise TraceFormatError(
+                        f"operator {c.op.name} is not part of the 2011 "
+                        f"format (task {e.task_key})")
+                writer.writerow([e.time, e.collection_id, e.task_index,
+                                 int(c.op), c.attribute,
+                                 "" if c.value is None else c.value])
+    return directory
+
+
+def _parse_int(text: str, where: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise TraceFormatError(f"bad integer {text!r} in {where}") from None
+
+
+def _parse_float(text: str, where: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise TraceFormatError(f"bad float {text!r} in {where}") from None
+
+
+def read_2011(directory: str | Path, name: str | None = None) -> CellTrace:
+    """Parse a 2011-format directory back into a time-sorted CellTrace."""
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise TraceFormatError(f"{directory} is not a directory")
+    trace = CellTrace(name or directory.name, format="2011")
+
+    # Constraint rows, keyed by (job, task_index); joined onto SUBMITs below.
+    constraints: dict[tuple[int, int], list[Constraint]] = {}
+    path = directory / "task_constraints.csv"
+    if path.exists():
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row:
+                    continue
+                _time, job, idx, op_code, attr, value = row
+                op_num = _parse_int(op_code, "task_constraints")
+                if op_num > _MAX_2011_OPERATOR:
+                    raise TraceFormatError(
+                        f"operator code {op_num} invalid for 2011 traces")
+                key = (_parse_int(job, "task_constraints"),
+                       _parse_int(idx, "task_constraints"))
+                constraints.setdefault(key, []).append(Constraint(
+                    attribute=attr, op=ConstraintOperator(op_num),
+                    value=value if value != "" else None))
+
+    path = directory / "machine_events.csv"
+    if path.exists():
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row:
+                    continue
+                time, mid, kind, platform, cpu, mem = row
+                trace.append(MachineEvent(
+                    time=_parse_int(time, "machine_events"),
+                    machine_id=_parse_int(mid, "machine_events"),
+                    kind=MachineEventKind(_parse_int(kind, "machine_events")),
+                    platform=platform,
+                    cpu=_parse_float(cpu, "machine_events"),
+                    mem=_parse_float(mem, "machine_events")))
+
+    path = directory / "machine_attributes.csv"
+    if path.exists():
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row:
+                    continue
+                time, mid, attr, value, deleted = row
+                trace.append(MachineAttributeEvent(
+                    time=_parse_int(time, "machine_attributes"),
+                    machine_id=_parse_int(mid, "machine_attributes"),
+                    attribute=attr,
+                    value=value if value != "" else None,
+                    deleted=deleted == "1"))
+
+    path = directory / "collection_events.csv"
+    if path.exists():
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row:
+                    continue
+                time, cid, kind, user, priority, sched = row
+                trace.append(CollectionEvent(
+                    time=_parse_int(time, "collection_events"),
+                    collection_id=_parse_int(cid, "collection_events"),
+                    kind=CollectionEventKind(_parse_int(kind, "collection_events")),
+                    user=user,
+                    priority=_parse_int(priority, "collection_events"),
+                    scheduling_class=_parse_int(sched, "collection_events")))
+
+    path = directory / "task_events.csv"
+    if path.exists():
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row:
+                    continue
+                time, job, idx, kind, mid, priority, cpu, mem = row
+                key = (_parse_int(job, "task_events"),
+                       _parse_int(idx, "task_events"))
+                event_kind = TaskEventKind(_parse_int(kind, "task_events"))
+                joined = (tuple(constraints.get(key, ()))
+                          if event_kind is TaskEventKind.SUBMIT else ())
+                trace.append(TaskEvent(
+                    time=_parse_int(time, "task_events"),
+                    collection_id=key[0], task_index=key[1],
+                    kind=event_kind,
+                    machine_id=_parse_int(mid, "task_events") if mid else None,
+                    priority=_parse_int(priority, "task_events"),
+                    cpu_request=_parse_float(cpu, "task_events"),
+                    mem_request=_parse_float(mem, "task_events"),
+                    constraints=joined))
+
+    trace.sort()
+    return trace

@@ -1,0 +1,147 @@
+"""clusterdata-2019 JSON codec.
+
+The May-2019 GCD archive is distributed as BigQuery JSON; AGOCS was
+"adapted to the clusterdata-2019 JSON format" (paper Section III.A).
+This codec serializes a trace as JSON-lines, one record per event::
+
+    {"type": "machine_event", "time": ..., "machine_id": ..., ...}
+    {"type": "machine_attribute", ...}
+    {"type": "collection_event", ..., "parent_id": ..., "alloc_set": ...}
+    {"type": "instance_event", ..., "constraints": [{"name", "op", "value"}]}
+
+All eight constraint operators are legal.  Records may appear in any
+order on disk; :func:`read_2019` sorts by timestamp, reproducing the
+paper's "downloaded, sorted by timestamp" pre-processing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..constraints.operators import Constraint, ConstraintOperator
+from ..errors import TraceFormatError
+from .events import (CellTrace, CollectionEvent, CollectionEventKind,
+                     MachineAttributeEvent, MachineEvent, MachineEventKind,
+                     TaskEvent, TaskEventKind)
+
+__all__ = ["write_2019", "read_2019"]
+
+
+def _event_record(event) -> dict:
+    if isinstance(event, MachineEvent):
+        return {"type": "machine_event", "time": event.time,
+                "machine_id": event.machine_id, "event": int(event.kind),
+                "platform": event.platform,
+                "capacity": {"cpus": event.cpu, "memory": event.mem}}
+    if isinstance(event, MachineAttributeEvent):
+        return {"type": "machine_attribute", "time": event.time,
+                "machine_id": event.machine_id, "name": event.attribute,
+                "value": event.value, "deleted": event.deleted}
+    if isinstance(event, CollectionEvent):
+        return {"type": "collection_event", "time": event.time,
+                "collection_id": event.collection_id, "event": int(event.kind),
+                "user": event.user, "priority": event.priority,
+                "scheduling_class": event.scheduling_class,
+                "parent_id": event.parent_id,
+                "alloc_set": event.is_alloc_set}
+    if isinstance(event, TaskEvent):
+        record = {"type": "instance_event", "time": event.time,
+                  "collection_id": event.collection_id,
+                  "instance_index": event.task_index, "event": int(event.kind),
+                  "machine_id": event.machine_id,
+                  "priority": event.priority,
+                  "resource_request": {"cpus": event.cpu_request,
+                                       "memory": event.mem_request}}
+        if event.constraints:
+            record["constraints"] = [
+                {"name": c.attribute, "op": int(c.op), "value": c.value}
+                for c in event.constraints]
+        return record
+    raise TraceFormatError(f"unknown event type {type(event).__name__}")
+
+
+def write_2019(trace: CellTrace, path: str | Path) -> Path:
+    """Serialize a trace to one JSON-lines file; returns the path."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for event in trace:
+            fh.write(json.dumps(_event_record(event), separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def _require(record: dict, key: str):
+    try:
+        return record[key]
+    except KeyError:
+        raise TraceFormatError(
+            f"record missing required field {key!r}: {record}") from None
+
+
+def _parse_record(record: dict):
+    rtype = _require(record, "type")
+    time = int(_require(record, "time"))
+    if rtype == "machine_event":
+        capacity = record.get("capacity", {})
+        return MachineEvent(
+            time=time, machine_id=int(_require(record, "machine_id")),
+            kind=MachineEventKind(int(_require(record, "event"))),
+            platform=record.get("platform", ""),
+            cpu=float(capacity.get("cpus", 0.0)),
+            mem=float(capacity.get("memory", 0.0)))
+    if rtype == "machine_attribute":
+        return MachineAttributeEvent(
+            time=time, machine_id=int(_require(record, "machine_id")),
+            attribute=_require(record, "name"),
+            value=record.get("value"),
+            deleted=bool(record.get("deleted", False)))
+    if rtype == "collection_event":
+        return CollectionEvent(
+            time=time, collection_id=int(_require(record, "collection_id")),
+            kind=CollectionEventKind(int(_require(record, "event"))),
+            user=record.get("user", ""),
+            priority=int(record.get("priority", 0)),
+            scheduling_class=int(record.get("scheduling_class", 0)),
+            parent_id=record.get("parent_id"),
+            is_alloc_set=bool(record.get("alloc_set", False)))
+    if rtype == "instance_event":
+        request = record.get("resource_request", {})
+        constraints = tuple(
+            Constraint(attribute=c["name"],
+                       op=ConstraintOperator(int(c["op"])),
+                       value=c.get("value"))
+            for c in record.get("constraints", ()))
+        machine_id = record.get("machine_id")
+        return TaskEvent(
+            time=time, collection_id=int(_require(record, "collection_id")),
+            task_index=int(_require(record, "instance_index")),
+            kind=TaskEventKind(int(_require(record, "event"))),
+            machine_id=None if machine_id is None else int(machine_id),
+            priority=int(record.get("priority", 0)),
+            cpu_request=float(request.get("cpus", 0.0)),
+            mem_request=float(request.get("memory", 0.0)),
+            constraints=constraints)
+    raise TraceFormatError(f"unknown record type {rtype!r}")
+
+
+def read_2019(path: str | Path, name: str | None = None) -> CellTrace:
+    """Parse a JSON-lines trace file into a time-sorted CellTrace."""
+
+    path = Path(path)
+    trace = CellTrace(name or path.stem, format="2019")
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: invalid JSON ({exc})") from None
+            trace.append(_parse_record(record))
+    trace.sort()
+    return trace

@@ -1,0 +1,250 @@
+"""Per-cell workload profiles calibrated to the paper's published statistics.
+
+The reproduction cannot redistribute Google Cluster Data, so each of the
+four computing cells the paper evaluates (clusterdata-2011, -2019a, -2019c,
+-2019d) is described by a :class:`CellProfile` that captures everything the
+paper reports about it:
+
+* cell size (9.4k machines for 2019a, 12.1k–12.6k otherwise; Section III.A),
+* the grouping bin width (500 suitable nodes, 360 for 2019a; Section III.E),
+* the Table IX tasks-with-CO bands (min/max/avg by volume, CPU, memory),
+* the Group 0 incidence band (0.03%–1.17% of tasks; Section V),
+* the constraint-operator vocabulary (4 ops for 2011, 8 for 2019),
+* a feature-growth schedule shaped like Table XI (step 0 defines most
+  values; later steps append a few dozen new attribute values each).
+
+Profiles are pure data; :mod:`repro.trace.synthetic` turns them into event
+streams at any ``scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints.operators import OPERATORS_2011, OPERATORS_2019
+from .events import sim_time
+
+__all__ = ["Band", "AttributeProfile", "GrowthStep", "CellProfile",
+           "CELL_2011", "CELL_2019A", "CELL_2019C", "CELL_2019D",
+           "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True, slots=True)
+class Band:
+    """A (min, max, avg) percentage band from Table IX."""
+
+    lo: float
+    hi: float
+    avg: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.lo <= self.avg <= self.hi <= 1.0):
+            raise ValueError(f"inconsistent band {self}")
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeProfile:
+    """Static description of one machine attribute family.
+
+    ``values_per_machine_frac`` — fraction of machines carrying the
+    attribute; ``domain`` — number of distinct values at step 0 (0 means
+    one unique value per machine, e.g. node ids); ``numeric`` — values are
+    canonical integers usable with order operators; ``cataloged`` — machine
+    -side values enter the CO-VV catalogue (large-domain attributes are
+    cataloged lazily from constraint operands instead, keeping the feature
+    array proportional to observed constraint vocabulary).
+    """
+
+    name: str
+    domain: int
+    coverage: float = 1.0
+    numeric: bool = False
+    cataloged: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthStep:
+    """One feature-array extension event (a Table XI row).
+
+    ``new_rack_values`` etc. control how many fresh attribute values the
+    step introduces; constraints submitted after the step may reference
+    them, which is what extends the CO-VV feature array.
+    """
+
+    day: int
+    hour: int
+    minute: int
+    new_values: int
+
+    @property
+    def time(self) -> int:
+        return sim_time(self.day, self.hour, self.minute)
+
+    @property
+    def label(self) -> str:
+        return f"{self.day} {self.hour:02d}:{self.minute:02d}"
+
+
+@dataclass(frozen=True, slots=True)
+class CellProfile:
+    """Everything needed to synthesize one computing cell's trace."""
+
+    name: str
+    format: str                      # "2011" | "2019"
+    full_machines: int
+    group_bin_full: int              # 500, or 360 for the smaller 2019a cell
+    days: int
+    co_volume: Band                  # Table IX: tasks with CO by volume
+    co_cpu: Band                     # Table IX: by requested CPU
+    co_mem: Band                     # Table IX: by requested memory
+    group0_rate: float               # fraction of tasks suiting exactly 1 node
+    tasks_per_day_full: int
+    attributes: tuple[AttributeProfile, ...]
+    growth_steps: tuple[GrowthStep, ...]
+    resource_pareto_alpha: float = 1.1   # heavy-tailed (top 1% ≫, Section V)
+    mean_tasks_per_collection: float = 4.0
+    machine_churn_per_day: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.format not in ("2011", "2019"):
+            raise ValueError("profile format must be '2011' or '2019'")
+        if not 0.0 < self.group0_rate < 0.05:
+            raise ValueError("group0_rate outside the paper's plausible band")
+        steps = sorted(s.time for s in self.growth_steps)
+        if steps != [s.time for s in self.growth_steps]:
+            raise ValueError("growth steps must be time-ordered")
+        if self.growth_steps and self.growth_steps[0].time != 0:
+            raise ValueError("step zero must exist (most values are defined there)")
+
+    @property
+    def operators(self):
+        return OPERATORS_2011 if self.format == "2011" else OPERATORS_2019
+
+    def machines_at_scale(self, scale: float) -> int:
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        return max(60, round(self.full_machines * scale))
+
+    def group_bin_at_scale(self, scale: float) -> int:
+        """Bin width preserving the 26-group scheme at reduced cell size."""
+
+        if scale == 1.0:
+            return self.group_bin_full
+        machines = self.machines_at_scale(scale)
+        return max(1, -(-machines // 25))  # ceil division
+
+    def tasks_per_day_at_scale(self, scale: float) -> int:
+        # Task volume shrinks super-linearly with cell size: a bench-scale
+        # cell needs only enough tasks to populate the 26 groups, not a
+        # proportional slice of Google's submission rate.
+        return max(20, round(self.tasks_per_day_full * scale ** 1.5))
+
+
+_COMMON_ATTRIBUTES = (
+    AttributeProfile("platform", domain=3),
+    AttributeProfile("zone", domain=8),
+    AttributeProfile("rack", domain=40),
+    AttributeProfile("tier", domain=4, coverage=0.8),
+    AttributeProfile("AM", domain=10, coverage=0.7, numeric=True),
+    AttributeProfile("kernel", domain=5, coverage=0.9),
+    AttributeProfile("gpu", domain=1, coverage=0.1),
+    AttributeProfile("rank", domain=0, numeric=True, cataloged=False),
+    AttributeProfile("node_id", domain=0, cataloged=False),
+)
+
+
+def _steps(*triples: tuple[int, int, int, int]) -> tuple[GrowthStep, ...]:
+    return tuple(GrowthStep(d, h, m, n) for d, h, m, n in triples)
+
+
+CELL_2011 = CellProfile(
+    name="clusterdata-2011",
+    format="2011",
+    full_machines=12_500,
+    group_bin_full=500,
+    days=29,
+    co_volume=Band(0.081, 0.413, 0.205),
+    co_cpu=Band(0.178, 0.455, 0.256),
+    co_mem=Band(0.060, 0.363, 0.217),
+    group0_rate=0.0035,
+    tasks_per_day_full=140_000,
+    attributes=_COMMON_ATTRIBUTES,
+    growth_steps=_steps((0, 0, 0, 0), (3, 7, 40, 24), (8, 2, 15, 18),
+                        (13, 11, 5, 30), (19, 16, 50, 22), (25, 9, 30, 16)),
+)
+
+CELL_2019A = CellProfile(
+    name="clusterdata-2019a",
+    format="2019",
+    full_machines=9_400,
+    group_bin_full=360,
+    days=31,
+    co_volume=Band(0.166, 0.626, 0.418),
+    co_cpu=Band(0.174, 0.648, 0.383),
+    co_mem=Band(0.199, 0.747, 0.485),
+    group0_rate=0.0117,
+    tasks_per_day_full=420_000,
+    attributes=_COMMON_ATTRIBUTES,
+    growth_steps=_steps((0, 0, 0, 0), (3, 14, 25, 28), (6, 3, 10, 20),
+                        (9, 20, 45, 26), (14, 8, 0, 32), (18, 13, 35, 18),
+                        (23, 5, 55, 24), (28, 17, 20, 20)),
+)
+
+CELL_2019C = CellProfile(
+    name="clusterdata-2019c",
+    format="2019",
+    full_machines=12_300,
+    group_bin_full=500,
+    days=31,
+    co_volume=Band(0.113, 0.493, 0.220),
+    co_cpu=Band(0.106, 0.602, 0.219),
+    co_mem=Band(0.106, 0.601, 0.229),
+    group0_rate=0.0046,
+    tasks_per_day_full=380_000,
+    attributes=_COMMON_ATTRIBUTES,
+    growth_steps=_steps((0, 0, 0, 0), (3, 9, 30, 26), (5, 22, 5, 18),
+                        (8, 4, 45, 22), (10, 15, 10, 30), (13, 1, 50, 20),
+                        (16, 19, 25, 24), (19, 6, 0, 16), (22, 12, 40, 28),
+                        (25, 3, 15, 22), (28, 21, 55, 18), (30, 10, 30, 20)),
+)
+
+CELL_2019D = CellProfile(
+    name="clusterdata-2019d",
+    format="2019",
+    full_machines=12_600,
+    group_bin_full=500,
+    days=31,
+    co_volume=Band(0.082, 0.339, 0.136),
+    co_cpu=Band(0.087, 0.337, 0.159),
+    co_mem=Band(0.079, 0.507, 0.149),
+    group0_rate=0.0003,
+    tasks_per_day_full=350_000,
+    attributes=_COMMON_ATTRIBUTES,
+    growth_steps=_steps((0, 0, 0, 0), (3, 6, 20, 22), (6, 13, 45, 26),
+                        (9, 1, 10, 18), (12, 18, 35, 24), (16, 10, 0, 28),
+                        (20, 23, 25, 20), (24, 14, 50, 22), (28, 7, 15, 26),
+                        (30, 19, 40, 16)),
+)
+
+PROFILES: dict[str, CellProfile] = {
+    "clusterdata-2011": CELL_2011,
+    "clusterdata-2019a": CELL_2019A,
+    "clusterdata-2019c": CELL_2019C,
+    "clusterdata-2019d": CELL_2019D,
+    # Short aliases.
+    "2011": CELL_2011,
+    "2019a": CELL_2019A,
+    "2019c": CELL_2019C,
+    "2019d": CELL_2019D,
+}
+
+
+def get_profile(name: str) -> CellProfile:
+    """Look up a cell profile by full name or short alias."""
+
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; choose from "
+            f"{sorted(k for k in PROFILES if k.startswith('cluster'))}") from None

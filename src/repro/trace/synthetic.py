@@ -1,0 +1,559 @@
+"""Synthetic Google-Cluster-Data cell generator.
+
+Real GCD traces cannot be redistributed (2011: CSV archive; 2019: ~2.4 TB
+BigQuery dataset), so this module synthesizes, for each of the paper's four
+computing cells, an event stream with the statistical properties the
+paper's pipeline actually consumes:
+
+* machines with attribute maps drawn from per-cell
+  :class:`~repro.trace.profiles.CellProfile` families (platform, zone,
+  rack, numeric ``AM``/``rank``, sparse ``gpu``, unique ``node_id``),
+* collections of tasks with heavy-tailed (Pareto) resource requests and a
+  tasks-with-CO fraction that moves inside the Table IX min/max band day
+  by day,
+* constraint templates spanning all operator families, engineered so
+  suitable-node counts cover all 26 task groups with a Group 0 incidence
+  in the paper's 0.03%–1.17% range,
+* a feature-growth timeline: constraint operand vocabulary and machine
+  attribute values are extended only at the profile's
+  :class:`~repro.trace.profiles.GrowthStep` times, producing the Table XI
+  "feature array extended → model retrained" step dynamic.
+
+The generator never computes group labels itself — those are derived
+downstream by the vectorized matcher, keeping generation and labelling
+independently testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constraints.operators import Constraint, ConstraintOperator
+from ..rng import derive
+from .events import (MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_MINUTE,
+                     MICROS_PER_SECOND, CellTrace, CollectionEvent,
+                     CollectionEventKind, MachineAttributeEvent, MachineEvent,
+                     MachineEventKind, TaskEvent, TaskEventKind)
+from .profiles import CellProfile, get_profile
+
+__all__ = ["SyntheticCell", "generate_cell"]
+
+_EQ = ConstraintOperator.EQUAL
+_NE = ConstraintOperator.NOT_EQUAL
+_LT = ConstraintOperator.LESS_THAN
+_GT = ConstraintOperator.GREATER_THAN
+_LE = ConstraintOperator.LESS_THAN_EQUAL
+_GE = ConstraintOperator.GREATER_THAN_EQUAL
+_PRESENT = ConstraintOperator.PRESENT
+_NOT_PRESENT = ConstraintOperator.NOT_PRESENT
+
+
+@dataclass
+class SyntheticCell:
+    """A generated cell: the trace plus the metadata benches need."""
+
+    profile: CellProfile
+    scale: float
+    seed: int
+    trace: CellTrace
+    n_machines: int
+    group_bin: int
+    step_times: tuple[int, ...]
+    machine_ids: tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+_VOCAB_LISTS = ("rank_bounds", "pinned_nodes", "racks", "zones", "kernels",
+                "tiers", "platforms", "am_values")
+
+
+class _Vocabulary:
+    """Constraint operand vocabulary, extended only at growth steps.
+
+    Lists are append-only; :meth:`checkpoint` records their lengths at a
+    growth-step time so :meth:`sizes_at` can answer "how much vocabulary
+    existed when this task was submitted", keeping the feature-growth
+    timeline causally consistent.
+    """
+
+    def __init__(self) -> None:
+        self.rank_bounds: list[int] = []
+        self.pinned_nodes: list[str] = []
+        self.racks: list[str] = []
+        self.zones: list[str] = []
+        self.kernels: list[str] = []
+        self.tiers: list[str] = []
+        self.platforms: list[str] = []
+        self.am_values: list[int] = []
+        self._checkpoints: list[tuple[int, dict[str, int]]] = []
+
+    def checkpoint(self, time: int) -> None:
+        sizes = {name: len(getattr(self, name)) for name in _VOCAB_LISTS}
+        if self._checkpoints and time < self._checkpoints[-1][0]:
+            raise ValueError("checkpoints must be time-ordered")
+        self._checkpoints.append((time, sizes))
+
+    def sizes_at(self, time: int) -> dict[str, int]:
+        chosen = self._checkpoints[0][1]
+        for ckpt_time, sizes in self._checkpoints:
+            if ckpt_time <= time:
+                chosen = sizes
+            else:
+                break
+        return chosen
+
+
+class _Generator:
+    def __init__(self, profile: CellProfile, scale: float, seed: int,
+                 days: int | None, tasks_per_day: int | None):
+        self.profile = profile
+        self.scale = scale
+        self.seed = seed
+        self.days = profile.days if days is None else days
+        self.n_machines = profile.machines_at_scale(scale)
+        self.group_bin = profile.group_bin_at_scale(scale)
+        self.tasks_per_day = (profile.tasks_per_day_at_scale(scale)
+                              if tasks_per_day is None else tasks_per_day)
+        self.trace = CellTrace(profile.name, profile.format)
+        self.rng_machines = derive(seed, profile.name, "machines")
+        self.rng_tasks = derive(seed, profile.name, "tasks")
+        self.rng_growth = derive(seed, profile.name, "growth")
+        self.vocab = _Vocabulary()
+        self.machine_attrs: dict[int, dict[str, str]] = {}
+        self.machine_ids: list[int] = []
+        self._collection_counter = 1_000_000
+        self._is_2019 = profile.format == "2019"
+        # Spread ranks so rank-bound constraints sweep group sizes smoothly
+        # (~60 distinct rank values keeps rows sparse and patterns few
+        # enough to memorize, as in the paper's <0.01%-dense datasets).
+        self.rank_step = max(1, round(self.n_machines / 60))
+        self.rank_domain = -(-self.n_machines // self.rank_step)
+        # Coarse contiguous blocks with sizes ramping from ~0.4 to ~3 group
+        # bins: Equal constraints on a block value are lookup-like (one
+        # column ↔ one label) while spanning several groups.
+        n_blocks = 26
+        ramp = np.linspace(0.4, 3.0, n_blocks)
+        sizes = np.maximum(4, np.round(
+            ramp * self.n_machines / ramp.sum()).astype(int))
+        self.block_boundaries = np.cumsum(sizes)
+        self.block_domain = n_blocks
+
+    # ------------------------------------------------------------------
+    # machines
+    # ------------------------------------------------------------------
+    def build_machines(self) -> None:
+        rng = self.rng_machines
+        n = self.n_machines
+        base_racks = max(3, -(-n // 40))
+        self.vocab.platforms = [f"P{i}" for i in range(3)]
+        self.vocab.zones = [f"z{i}" for i in range(8)]
+        self.vocab.racks = [f"r{i}" for i in range(base_racks)]
+        self.vocab.kernels = [f"k{i}" for i in range(5)]
+        self.vocab.tiers = [f"t{i}" for i in range(4)]
+        self.vocab.am_values = list(range(10))
+
+        platform_w = np.array([0.5, 0.3, 0.2])
+        for i in range(n):
+            machine_id = i + 1
+            self.machine_ids.append(machine_id)
+            add_time = int(rng.integers(0, 10 * MICROS_PER_MINUTE))
+            cpu = float(rng.choice([0.25, 0.5, 1.0], p=[0.3, 0.4, 0.3]))
+            mem = float(rng.choice([0.25, 0.5, 1.0], p=[0.25, 0.45, 0.3]))
+            platform = str(rng.choice(self.vocab.platforms, p=platform_w))
+            attrs: dict[str, str] = {
+                "platform": platform,
+                "zone": self.vocab.zones[int(rng.integers(0, 8))],
+                "rack": self.vocab.racks[i % base_racks],
+                "rank": str(i // self.rank_step),
+                "block": str(min(int(np.searchsorted(self.block_boundaries, i,
+                                                     side="right")),
+                                 self.block_domain - 1)),
+                "node_id": f"m{machine_id}",
+            }
+            if rng.random() < 0.8:
+                attrs["tier"] = self.vocab.tiers[int(rng.integers(0, 4))]
+            if rng.random() < 0.7:
+                attrs["AM"] = str(int(rng.integers(0, 10)))
+            if rng.random() < 0.9:
+                attrs["kernel"] = self.vocab.kernels[int(rng.integers(0, 5))]
+            if rng.random() < 0.1:
+                attrs["gpu"] = "1"
+            self.machine_attrs[machine_id] = attrs
+            self.trace.append(MachineEvent(add_time, machine_id,
+                                           MachineEventKind.ADD,
+                                           cpu=cpu, mem=mem, platform=platform))
+            for attr, value in attrs.items():
+                self.trace.append(MachineAttributeEvent(
+                    add_time, machine_id, attr, value))
+
+        # Light machine churn: a handful of remove/re-add cycles per day.
+        churn = self.profile.machine_churn_per_day
+        expected = churn * n * self.days
+        n_churn = min(int(rng.poisson(expected)), n // 2)
+        churned = rng.choice(self.machine_ids, size=n_churn, replace=False)
+        horizon = max(2 * MICROS_PER_DAY, self.days * MICROS_PER_DAY)
+        for machine_id in map(int, churned):
+            down = int(rng.integers(MICROS_PER_DAY, horizon))
+            up = down + int(rng.integers(1, 4) * MICROS_PER_HOUR)
+            self.trace.append(MachineEvent(down, machine_id,
+                                           MachineEventKind.REMOVE))
+            self.trace.append(MachineEvent(up, machine_id,
+                                           MachineEventKind.ADD,
+                                           cpu=1.0, mem=1.0,
+                                           platform=self.machine_attrs[machine_id]["platform"]))
+            for attr, value in self.machine_attrs[machine_id].items():
+                self.trace.append(MachineAttributeEvent(up, machine_id,
+                                                        attr, value))
+
+    # ------------------------------------------------------------------
+    # growth steps
+    # ------------------------------------------------------------------
+    def apply_growth_step(self, step_index: int, time: int, budget: int) -> None:
+        """Introduce ~``budget`` new attribute values / operand tokens."""
+
+        rng = self.rng_growth
+        vocab = self.vocab
+        if step_index == 0:
+            # Step zero: seed the operand vocabulary ("most attribute
+            # values defined in step zero").  Numeric cut points are fixed
+            # here for the whole run — the paper's feature growth consists
+            # of new attribute *values* (columns), and a one-layer model
+            # cannot be expected to interpolate unseen numeric cut
+            # patterns over existing columns.
+            n_bounds = max(24, 2 * (budget or 24))
+            bounds = sorted(set(
+                int(b) for b in rng.integers(0, self.rank_domain, n_bounds)))
+            vocab.rank_bounds = bounds or [self.rank_domain // 2]
+            pool = rng.choice(self.machine_ids,
+                              size=min(6, len(self.machine_ids)), replace=False)
+            vocab.pinned_nodes = [f"m{int(m)}" for m in pool]
+            return
+
+        n_pins = max(1, budget // 8)
+        pool = rng.choice(self.machine_ids, size=n_pins, replace=False)
+        for m in pool:
+            node = f"m{int(m)}"
+            if node not in vocab.pinned_nodes:
+                vocab.pinned_nodes.append(node)
+
+        # Attribute migrations are kept small relative to the group-bin
+        # width, spread across source values (at most one machine leaves
+        # any given rack/zone per event) and bounded by a population floor
+        # — so existing constraints' suitable-node counts shift by ≲1
+        # machine and never drift onto the Group 0/1 boundary.  This is
+        # the paper-scale regime, where 500-node bins make such shifts
+        # label-neutral.
+        n_racks = max(1, budget // 4)
+        for _ in range(n_racks):
+            new_rack = f"r{len(vocab.racks)}"
+            vocab.racks.append(new_rack)
+            movers = self._spread_movers(rng, "rack",
+                                         max(4, self.group_bin // 3))
+            for m in movers:
+                self.machine_attrs[m]["rack"] = new_rack
+                self.trace.append(MachineAttributeEvent(
+                    time, m, "rack", new_rack))
+
+        if step_index % 2 == 0:
+            new_zone = f"z{len(vocab.zones)}"
+            vocab.zones.append(new_zone)
+            movers = self._spread_movers(rng, "zone",
+                                         max(4, self.group_bin // 3))
+            for m in movers:
+                self.machine_attrs[m]["zone"] = new_zone
+                self.trace.append(MachineAttributeEvent(
+                    time, m, "zone", new_zone))
+
+    _POPULATION_FLOOR = 4  # keep every rack/zone safely above count 1
+
+    def _spread_movers(self, rng: np.random.Generator, attribute: str,
+                       count: int) -> list[int]:
+        """Pick ≤``count`` machines: at most one per current attribute
+        value, and never from a value whose population would drop below
+        the floor."""
+
+        populations: dict[str, int] = {}
+        for attrs in self.machine_attrs.values():
+            value = attrs.get(attribute)
+            if value is not None:
+                populations[value] = populations.get(value, 0) + 1
+
+        shuffled = rng.permutation(self.machine_ids)
+        taken: list[int] = []
+        seen_values: set[str] = set()
+        for m in map(int, shuffled):
+            value = self.machine_attrs[m].get(attribute)
+            if value is None or value in seen_values:
+                continue
+            if populations.get(value, 0) <= self._POPULATION_FLOOR:
+                continue
+            seen_values.add(value)
+            taken.append(m)
+            if len(taken) >= count:
+                break
+        return taken
+
+    # ------------------------------------------------------------------
+    # constraints
+    # ------------------------------------------------------------------
+    def _numeric_pair(self, lower: bool, bound: int) -> Constraint:
+        """A rank bound using the format's available operators."""
+
+        if self._is_2019 and self.rng_tasks.random() < 0.5:
+            op = _GE if lower else _LE
+            return Constraint("rank", op, str(bound))
+        op = _GT if lower else _LT
+        # Strict forms shifted so the matched set is identical.
+        value = bound - 1 if lower else bound + 1
+        return Constraint("rank", op, str(value))
+
+    def make_constraints(self, submit: int, group0: bool) -> tuple[Constraint, ...]:
+        """Sample a constraint set from the vocabulary available at ``submit``."""
+
+        rng = self.rng_tasks
+        vocab = self.vocab
+        sizes = vocab.sizes_at(submit)
+
+        def pick(name: str):
+            available = sizes[name]
+            if available == 0:
+                return None
+            return getattr(vocab, name)[int(rng.integers(0, available))]
+
+        if group0:
+            node = pick("pinned_nodes")
+            return (Constraint("node_id", _EQ, node),)
+
+        # Template mix skewed toward weakly-constraining (Not-Equal-style)
+        # shapes: in the real traces most constrained tasks still fit a
+        # large node subset ("10-15 tasks per 10,000 required execution on
+        # a small subset"), so high groups dominate and rows stay sparse.
+        templates = ["rank_upper", "rank_lower", "rank_between", "rack_eq",
+                     "zone_eq", "platform_eq", "platform_ne", "zone_ne",
+                     "am_low", "kernel_eq_am", "block_eq", "block_pair"]
+        weights = [0.03, 0.03, 0.02, 0.05, 0.06, 0.06, 0.14, 0.10,
+                   0.04, 0.04, 0.24, 0.13]
+        if self._is_2019:
+            templates += ["gpu_present", "gpu_absent"]
+            weights += [0.03, 0.04]
+        weights_arr = np.asarray(weights) / sum(weights)
+        choice = str(rng.choice(templates, p=weights_arr))
+
+        def rank_bound() -> int:
+            bound = pick("rank_bounds")
+            return self.rank_domain // 2 if bound is None else bound
+
+        if choice == "rank_upper":
+            return (self._numeric_pair(lower=False, bound=rank_bound()),)
+        if choice == "rank_lower":
+            return (self._numeric_pair(lower=True, bound=rank_bound()),)
+        if choice == "rank_between":
+            a, b = rank_bound(), rank_bound()
+            lo, hi = (a, b) if a <= b else (b, a)
+            if lo == hi:
+                hi = min(self.rank_domain - 1, hi + 1)
+            return (self._numeric_pair(lower=True, bound=lo),
+                    self._numeric_pair(lower=False, bound=hi))
+        if choice == "rack_eq":
+            return (Constraint("rack", _EQ, pick("racks")),)
+        if choice == "zone_eq":
+            return (Constraint("zone", _EQ, pick("zones")),)
+        if choice == "platform_eq":
+            return (Constraint("platform", _EQ, pick("platforms")),)
+        if choice == "platform_ne":
+            return (Constraint("platform", _NE, pick("platforms")),)
+        if choice == "zone_ne":
+            k = int(rng.integers(1, 4))
+            n_zones = sizes["zones"]
+            idx = rng.choice(n_zones, size=min(k, n_zones), replace=False)
+            return tuple(Constraint("zone", _NE, vocab.zones[int(i)])
+                         for i in idx)
+        if choice == "am_low":
+            bound = int(rng.integers(1, 9))
+            op = _GE if (self._is_2019 and rng.random() < 0.5) else _GT
+            value = bound if op is _GE else bound - 1
+            return (Constraint("AM", op, str(value)),)
+        if choice == "kernel_eq_am":
+            bound = int(rng.integers(2, 8))
+            return (Constraint("kernel", _EQ, pick("kernels")),
+                    Constraint("AM", _LT, str(bound)))
+        if choice == "block_eq":
+            block = int(rng.integers(0, self.block_domain))
+            return (Constraint("block", _EQ, str(block)),)
+        if choice == "block_pair":
+            # Equal on a block plus a mild secondary filter: counts land a
+            # group or two below the block's own, widening group coverage.
+            block = int(rng.integers(0, self.block_domain))
+            extra = (Constraint("platform", _NE, pick("platforms"))
+                     if rng.random() < 0.5
+                     else Constraint("AM", _LT, str(int(rng.integers(4, 10)))))
+            return (Constraint("block", _EQ, str(block)), extra)
+        if choice == "gpu_present":
+            return (Constraint("gpu", _PRESENT),)
+        return (Constraint("gpu", _NOT_PRESENT),)
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def _daily_co_fraction(self) -> np.ndarray:
+        """Per-day tasks-with-CO fraction tracking the Table IX band."""
+
+        band = self.profile.co_volume
+        rng = derive(self.seed, self.profile.name, "cofrac")
+        days = np.arange(self.days, dtype=np.float64)
+        amplitude = 0.95 * min(band.avg - band.lo, band.hi - band.avg)
+        phase = rng.random() * 2 * math.pi
+        period = max(4.0, self.days / 2.3)
+        wave = band.avg + amplitude * np.sin(2 * math.pi * days / period + phase)
+        noise = rng.normal(0.0, amplitude * 0.15, size=self.days)
+        frac = np.clip(wave + noise, band.lo, band.hi)
+        # Guarantee the band edges are visited so min/max statistics land
+        # near the paper's extremes.
+        frac[int(rng.integers(0, self.days))] = band.lo
+        frac[int(rng.integers(0, self.days))] = band.hi
+        return frac
+
+    def _resource_request(self, constrained: bool) -> tuple[float, float]:
+        rng = self.rng_tasks
+        alpha = self.profile.resource_pareto_alpha
+        base_cpu = min(0.9, 0.004 * (rng.pareto(alpha) + 1.0))
+        base_mem = min(0.9, 0.004 * (rng.pareto(alpha) + 1.0))
+        if constrained:
+            # CO tasks request disproportionate resources (Table IX: e.g.
+            # 2019a CO tasks are 41.8% by volume but 48.5% by memory).
+            vol, cpu, mem = (self.profile.co_volume.avg,
+                             self.profile.co_cpu.avg, self.profile.co_mem.avg)
+            cpu_mult = (cpu / vol) / ((1 - cpu) / (1 - vol))
+            mem_mult = (mem / vol) / ((1 - mem) / (1 - vol))
+            base_cpu = min(0.95, base_cpu * cpu_mult)
+            base_mem = min(0.95, base_mem * mem_mult)
+        return base_cpu, base_mem
+
+    def build_workload(self) -> None:
+        rng = self.rng_tasks
+        co_frac = self._daily_co_fraction()
+        total_tasks_estimate = self.tasks_per_day * self.days
+        expected_co_tasks = max(1.0, total_tasks_estimate
+                                * self.profile.co_volume.avg)
+        # Group 0 incidence among the constrained (dataset) tasks: the
+        # profile rate, floored so scaled cells still carry enough
+        # single-node tasks for stratified evaluation.
+        p_group0 = max(self.profile.group0_rate, 24.0 / expected_co_tasks)
+
+        mean_gang = self.profile.mean_tasks_per_collection
+        for day in range(self.days):
+            n_tasks_today = int(rng.poisson(self.tasks_per_day))
+            produced = 0
+            # Day 0 submissions start after the machine park has fully
+            # materialized (machines stagger in over the first ten minutes).
+            earliest = 30 * MICROS_PER_MINUTE if day == 0 else 0
+            while produced < n_tasks_today:
+                gang = min(1 + int(rng.geometric(1.0 / mean_gang)),
+                           n_tasks_today - produced + 1, 24)
+                submit = day * MICROS_PER_DAY + int(
+                    rng.integers(earliest, MICROS_PER_DAY))
+                self._emit_collection(submit, gang,
+                                      constrained=rng.random() < co_frac[day],
+                                      p_group0=p_group0)
+                produced += gang
+
+    def _emit_collection(self, submit: int, gang: int, constrained: bool,
+                         p_group0: float) -> None:
+        rng = self.rng_tasks
+        self._collection_counter += 1
+        cid = self._collection_counter
+        priority = int(rng.integers(0, 12))
+        sched_class = int(rng.integers(0, 4))
+        self.trace.append(CollectionEvent(
+            submit, cid, CollectionEventKind.SUBMIT,
+            user=f"u{int(rng.integers(0, 40))}", priority=priority,
+            scheduling_class=sched_class,
+            parent_id=None if (not self._is_2019 or rng.random() < 0.8)
+            else cid - int(rng.integers(1, 50))))
+
+        constraints: tuple[Constraint, ...] = ()
+        if constrained:
+            group0 = rng.random() < p_group0
+            constraints = self.make_constraints(submit, group0=group0)
+
+        last_end = submit
+        for index in range(gang):
+            cpu, mem = self._resource_request(constrained)
+            self.trace.append(TaskEvent(
+                submit, cid, index, TaskEventKind.SUBMIT,
+                cpu_request=cpu, mem_request=mem, priority=priority,
+                constraints=constraints))
+            latency = int(rng.exponential(20 * MICROS_PER_SECOND)) + 1
+            start = submit + latency
+            machine = int(rng.choice(self.machine_ids))
+            self.trace.append(TaskEvent(
+                start, cid, index, TaskEventKind.SCHEDULE,
+                machine_id=machine, cpu_request=cpu, mem_request=mem,
+                priority=priority))
+            duration = int(rng.lognormal(mean=math.log(30 * MICROS_PER_MINUTE),
+                                         sigma=1.4))
+            end = start + max(duration, MICROS_PER_SECOND)
+            roll = rng.random()
+            if roll < 0.85:
+                kind = TaskEventKind.FINISH
+            elif roll < 0.90:
+                kind = TaskEventKind.FAIL
+            elif roll < 0.95:
+                kind = TaskEventKind.KILL
+            else:
+                kind = TaskEventKind.EVICT
+            self.trace.append(TaskEvent(end, cid, index, kind,
+                                        machine_id=machine,
+                                        cpu_request=cpu, mem_request=mem,
+                                        priority=priority))
+            last_end = max(last_end, end)
+        self.trace.append(CollectionEvent(
+            last_end + MICROS_PER_SECOND, cid, CollectionEventKind.FINISH))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SyntheticCell:
+        self.build_machines()
+        step_times: list[int] = []
+        for i, step in enumerate(self.profile.growth_steps):
+            if step.day >= self.days and i > 0:
+                continue
+            self.apply_growth_step(i, step.time, step.new_values)
+            self.vocab.checkpoint(step.time)
+            step_times.append(step.time)
+        self.build_workload()
+        self.trace.sort()
+        return SyntheticCell(
+            profile=self.profile, scale=self.scale, seed=self.seed,
+            trace=self.trace, n_machines=self.n_machines,
+            group_bin=self.group_bin, step_times=tuple(step_times),
+            machine_ids=tuple(self.machine_ids))
+
+
+def generate_cell(profile: CellProfile | str, scale: float = 0.05,
+                  seed: int = 0, days: int | None = None,
+                  tasks_per_day: int | None = None) -> SyntheticCell:
+    """Generate a synthetic computing cell.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`CellProfile` or a name/alias (``'2019c'``,
+        ``'clusterdata-2011'``, ...).
+    scale:
+        Cell-size fraction of the full trace (1.0 = paper scale, 12.5k
+        machines and ~10M tasks; the default 0.05 is bench scale).
+    seed:
+        Experiment seed; every internal stream derives from it.
+    days / tasks_per_day:
+        Optional overrides for quick tests.
+    """
+
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    return _Generator(profile, scale, seed, days, tasks_per_day).run()

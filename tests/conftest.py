@@ -1,0 +1,40 @@
+"""Shared fixtures: small synthetic cells and derived datasets.
+
+Session-scoped so the expensive generation/replay happens once per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_step_datasets
+from repro.trace import generate_cell
+
+
+@pytest.fixture(scope="session")
+def small_cell():
+    """A tiny 2019c cell: ~250 machines, 4 days, ~1200 tasks."""
+
+    return generate_cell("2019c", scale=0.02, seed=5, days=4,
+                         tasks_per_day=300)
+
+
+@pytest.fixture(scope="session")
+def small_cell_2011():
+    """A tiny 2011-format cell (4 constraint operators only)."""
+
+    return generate_cell("2011", scale=0.02, seed=6, days=4,
+                         tasks_per_day=300)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_cell):
+    """CO-VV step datasets for the small 2019c cell."""
+
+    return build_step_datasets(small_cell)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

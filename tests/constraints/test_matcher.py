@@ -1,0 +1,196 @@
+"""MachinePark tests: vectorized matching vs brute force, lifecycle, caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (Constraint, ConstraintOperator, MachinePark,
+                               compact)
+from repro.errors import SchedulingError
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+LT = ConstraintOperator.LESS_THAN
+GT = ConstraintOperator.GREATER_THAN
+GE = ConstraintOperator.GREATER_THAN_EQUAL
+PRESENT = ConstraintOperator.PRESENT
+NOT_PRESENT = ConstraintOperator.NOT_PRESENT
+
+
+def build_park() -> MachinePark:
+    park = MachinePark()
+    park.add_machine(1, cpu=1.0, mem=1.0,
+                     attributes={"zone": "a", "AM": "1"})
+    park.add_machine(2, cpu=0.5, mem=0.5,
+                     attributes={"zone": "a", "AM": "5"})
+    park.add_machine(3, cpu=1.0, mem=0.25, attributes={"zone": "b"})
+    park.add_machine(4, cpu=0.25, mem=1.0,
+                     attributes={"zone": "c", "AM": "9", "gpu": "1"})
+    return park
+
+
+class TestLifecycle:
+    def test_add_and_contains(self):
+        park = build_park()
+        assert 1 in park and 5 not in park
+        assert len(park) == 4
+
+    def test_duplicate_add_rejected(self):
+        park = build_park()
+        with pytest.raises(SchedulingError):
+            park.add_machine(1)
+
+    def test_remove_and_revive(self):
+        park = build_park()
+        park.remove_machine(2)
+        assert 2 not in park
+        assert len(park) == 3
+        with pytest.raises(SchedulingError):
+            park.remove_machine(2)
+        park.add_machine(2, cpu=1.0, mem=1.0)
+        assert 2 in park
+        # Revival clears old attributes.
+        assert park.attributes_of(2) == {}
+
+    def test_unknown_machine(self):
+        park = build_park()
+        with pytest.raises(SchedulingError):
+            park.remove_machine(99)
+
+    def test_attributes_of(self):
+        park = build_park()
+        assert park.attributes_of(1) == {"zone": "a", "AM": "1"}
+        park.remove_attribute(1, "AM")
+        assert park.attributes_of(1) == {"zone": "a"}
+
+    def test_capacity(self):
+        park = build_park()
+        assert park.capacity_of(2) == (0.5, 0.5)
+        park.update_capacity(2, cpu=2.0)
+        assert park.capacity_of(2) == (2.0, 0.5)
+
+
+class TestMatching:
+    def test_equal(self):
+        park = build_park()
+        task = compact([Constraint("zone", EQ, "a")])
+        assert sorted(park.eligible_machines(task)) == [1, 2]
+        assert park.count_suitable(task) == 2
+
+    def test_not_equal_includes_absent(self):
+        park = build_park()
+        task = compact([Constraint("gpu", NE, "1")])
+        assert sorted(park.eligible_machines(task)) == [1, 2, 3]
+
+    def test_numeric_absent_is_zero(self):
+        park = build_park()
+        task = compact([Constraint("AM", LT, "5")])
+        # AM: 1, 5, absent(→0), 9 → machines 1 and 3 match.
+        assert sorted(park.eligible_machines(task)) == [1, 3]
+
+    def test_presence(self):
+        park = build_park()
+        assert park.eligible_machines(compact([
+            Constraint("gpu", PRESENT)])) == [4]
+        assert sorted(park.eligible_machines(compact([
+            Constraint("gpu", NOT_PRESENT)]))) == [1, 2, 3]
+
+    def test_conjunction_across_attributes(self):
+        park = build_park()
+        task = compact([Constraint("zone", EQ, "a"),
+                        Constraint("AM", GT, "2")])
+        assert park.eligible_machines(task) == [2]
+
+    def test_unknown_attribute_column(self):
+        park = build_park()
+        task = compact([Constraint("nonexistent", NE, "v")])
+        assert len(park.eligible_machines(task)) == 4  # NE matches absent
+        task = compact([Constraint("nonexistent", EQ, "v")])
+        assert park.eligible_machines(task) == []
+
+    def test_resource_filter(self):
+        park = build_park()
+        task = compact([Constraint("zone", NE, "zzz")])
+        assert sorted(park.eligible_machines(task, cpu_request=0.6)) == [1, 3]
+        assert sorted(park.eligible_machines(
+            task, cpu_request=0.6, mem_request=0.6)) == [1]
+
+    def test_dead_machines_never_match(self):
+        park = build_park()
+        park.remove_machine(1)
+        task = compact([Constraint("zone", EQ, "a")])
+        assert park.eligible_machines(task) == [2]
+
+    def test_mask_updates_after_attribute_change(self):
+        park = build_park()
+        task = compact([Constraint("zone", EQ, "a")])
+        assert park.count_suitable(task) == 2
+        park.set_attribute(3, "zone", "a")
+        assert park.count_suitable(task) == 3
+        park.set_attribute(1, "zone", "q")
+        assert park.count_suitable(task) == 2
+
+    def test_count_bulk(self):
+        park = build_park()
+        tasks = [compact([Constraint("zone", EQ, z)]) for z in "abc"]
+        np.testing.assert_array_equal(park.count_suitable_bulk(tasks),
+                                      [2, 1, 1])
+
+    def test_empty_task_matches_all_alive(self):
+        park = build_park()
+        task = compact([])
+        assert park.count_suitable(task) == 4
+
+
+# ----------------------------------------------------------------------
+# property test: vectorized eligibility == per-machine brute force
+# ----------------------------------------------------------------------
+_ATTRS = ("zone", "AM", "gpu")
+_VALUES = (None, "0", "1", "2", "5", "a", "b")
+
+
+@st.composite
+def random_park_and_task(draw):
+    n = draw(st.integers(2, 12))
+    machines = []
+    for i in range(n):
+        attrs = {}
+        for attr in _ATTRS:
+            value = draw(st.sampled_from(_VALUES))
+            if value is not None:
+                attrs[attr] = value
+        machines.append(attrs)
+    n_cons = draw(st.integers(1, 4))
+    constraints = []
+    for _ in range(n_cons):
+        attr = draw(st.sampled_from(_ATTRS))
+        op = draw(st.sampled_from(list(ConstraintOperator)))
+        if op.is_numeric:
+            value = draw(st.sampled_from(["0", "1", "2", "5"]))
+        elif op.needs_value:
+            value = draw(st.sampled_from(["0", "1", "2", "5", "a", "b"]))
+        else:
+            value = None
+        constraints.append(Constraint(attr, op, value))
+    return machines, constraints
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_park_and_task())
+def test_vectorized_matches_bruteforce(data):
+    machines, constraints = data
+    park = MachinePark()
+    for i, attrs in enumerate(machines):
+        park.add_machine(i, attributes=attrs)
+    try:
+        task = compact(constraints)
+    except Exception:
+        return  # unsatisfiable conjunction: nothing to compare
+    fast = set(park.eligible_machines(task))
+    slow = {i for i, attrs in enumerate(machines)
+            if all(c.matches(attrs.get(c.attribute))
+                   for c in constraints)}
+    assert fast == slow

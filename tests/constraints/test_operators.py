@@ -1,0 +1,169 @@
+"""Constraint operator semantics tests (all 8 GCD operators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (OPERATORS_2011, OPERATORS_2019, Constraint,
+                               ConstraintOperator, parse_value, value_as_int)
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+LT = ConstraintOperator.LESS_THAN
+GT = ConstraintOperator.GREATER_THAN
+LE = ConstraintOperator.LESS_THAN_EQUAL
+GE = ConstraintOperator.GREATER_THAN_EQUAL
+PRESENT = ConstraintOperator.PRESENT
+NOT_PRESENT = ConstraintOperator.NOT_PRESENT
+
+
+class TestParseValue:
+    def test_none_and_empty(self):
+        assert parse_value(None) is None
+        assert parse_value("") is None
+
+    def test_int_canonicalized(self):
+        assert parse_value(5) == "5"
+        assert parse_value("5") == "5"
+
+    def test_integral_float(self):
+        assert parse_value(3.0) == "3"
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(ValueError):
+            parse_value(3.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            parse_value(True)
+
+    def test_value_as_int(self):
+        assert value_as_int("42") == 42
+        assert value_as_int("abc") is None
+        assert value_as_int(None) is None
+
+
+class TestEqual:
+    def test_matches_same_value(self):
+        assert Constraint("A", EQ, "x").matches("x")
+        assert not Constraint("A", EQ, "x").matches("y")
+
+    def test_numeric_values_canonical(self):
+        assert Constraint("A", EQ, 5).matches("5")
+
+    def test_empty_value_matches_absent(self):
+        """Paper: 'or remain empty if no value is specified'."""
+
+        c = Constraint("A", EQ, None)
+        assert c.matches(None)
+        assert c.matches("")
+        assert not c.matches("x")
+
+    def test_absent_does_not_match_concrete_value(self):
+        assert not Constraint("A", EQ, "x").matches(None)
+
+
+class TestNotEqual:
+    def test_absent_matches(self):
+        """Paper: 'attribute must be absent or differ'."""
+
+        assert Constraint("A", NE, "x").matches(None)
+
+    def test_different_matches(self):
+        assert Constraint("A", NE, "x").matches("y")
+
+    def test_same_fails(self):
+        assert not Constraint("A", NE, "x").matches("x")
+
+    def test_empty_value_means_present(self):
+        c = Constraint("A", NE, None)
+        assert c.matches("anything")
+        assert not c.matches(None)
+
+
+class TestNumericOperators:
+    @pytest.mark.parametrize("op,value,attr,expected", [
+        (LT, "5", "4", True), (LT, "5", "5", False), (LT, "5", "6", False),
+        (GT, "5", "6", True), (GT, "5", "5", False), (GT, "5", "4", False),
+        (LE, "5", "5", True), (LE, "5", "6", False),
+        (GE, "5", "5", True), (GE, "5", "4", False),
+    ])
+    def test_comparisons(self, op, value, attr, expected):
+        assert Constraint("A", op, value).matches(attr) is expected
+
+    def test_absent_compares_as_zero(self):
+        assert Constraint("A", LT, "5").matches(None)
+        assert not Constraint("A", GT, "5").matches(None)
+        assert Constraint("A", GE, "0").matches(None)
+        assert not Constraint("A", GE, "1").matches(None)
+
+    def test_non_numeric_attribute_never_matches(self):
+        assert not Constraint("A", LT, "5").matches("banana")
+
+    def test_non_numeric_constraint_value_rejected(self):
+        for op in (LT, GT, LE, GE):
+            with pytest.raises(ValueError):
+                Constraint("A", op, "abc")
+
+    def test_negative_bounds(self):
+        assert Constraint("A", GT, "-3").matches("0")
+        assert Constraint("A", GT, "-3").matches(None)  # 0 > -3
+
+
+class TestPresence:
+    def test_present(self):
+        c = Constraint("A", PRESENT)
+        assert c.matches("x")
+        assert c.matches("0")
+        assert not c.matches(None)
+        assert not c.matches("")
+
+    def test_not_present(self):
+        c = Constraint("A", NOT_PRESENT)
+        assert c.matches(None)
+        assert not c.matches("x")
+
+    def test_presence_ops_take_no_value(self):
+        with pytest.raises(ValueError):
+            Constraint("A", PRESENT, "x")
+        with pytest.raises(ValueError):
+            Constraint("A", NOT_PRESENT, "1")
+
+
+class TestConstraintValidation:
+    def test_empty_attribute(self):
+        with pytest.raises(ValueError):
+            Constraint("", EQ, "x")
+
+    def test_op_coercion_from_int(self):
+        c = Constraint("A", 0, "x")
+        assert c.op is EQ
+
+    def test_operator_families(self):
+        assert len(OPERATORS_2011) == 4
+        assert len(OPERATORS_2019) == 8
+        assert set(OPERATORS_2011) <= set(OPERATORS_2019)
+
+    def test_is_numeric_flags(self):
+        assert LT.is_numeric and GE.is_numeric
+        assert not EQ.is_numeric and not PRESENT.is_numeric
+
+    def test_needs_value_flags(self):
+        assert EQ.needs_value and LT.needs_value
+        assert not PRESENT.needs_value
+
+
+class TestRendering:
+    def test_equal_render(self):
+        assert Constraint("AM", EQ, "3").render() == "${AM} = 3"
+
+    def test_less_than_paper_style(self):
+        """The paper renders '8 > ${AM}' for AM < 8."""
+
+        assert Constraint("AM", LT, "8").render() == "8 > ${AM}"
+
+    def test_greater_than(self):
+        assert Constraint("AM", GT, "0").render() == "${AM} > 0"
+
+    def test_presence_render(self):
+        assert Constraint("N", PRESENT).render() == "${N} present"

@@ -1,0 +1,95 @@
+"""Soft node-affinity tests (§VI extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import (Constraint, ConstraintOperator, MachinePark,
+                               SoftAffinityTask, SoftConstraint, compact,
+                               preference_scores)
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+GT = ConstraintOperator.GREATER_THAN
+
+
+def park_abc() -> MachinePark:
+    park = MachinePark()
+    park.add_machine(1, attributes={"zone": "a", "ssd": "1"})
+    park.add_machine(2, attributes={"zone": "a"})
+    park.add_machine(3, attributes={"zone": "b", "ssd": "1"})
+    return park
+
+
+class TestSoftConstraint:
+    def test_weight_bounds(self):
+        spec = list(compact([Constraint("zone", EQ, "a")]))[0]
+        with pytest.raises(ValueError):
+            SoftConstraint(spec, weight=0)
+        with pytest.raises(ValueError):
+            SoftConstraint(spec, weight=101)
+        assert SoftConstraint(spec, weight=100).weight == 100
+
+    def test_from_raw_collapses(self):
+        terms = SoftConstraint.from_raw(
+            [Constraint("AM", GT, "3"), Constraint("AM", NE, "4")],
+            weight=10)
+        assert len(terms) == 1
+        assert terms[0].spec.lo == 5
+
+
+class TestSoftAffinityTask:
+    def test_score_sums_satisfied_weights(self):
+        task = SoftAffinityTask(
+            hard=compact([]),
+            soft=(SoftConstraint(list(compact([Constraint("zone", EQ,
+                                                          "a")]))[0],
+                                 weight=3),
+                  SoftConstraint(list(compact([Constraint("ssd", EQ,
+                                                          "1")]))[0],
+                                 weight=5)))
+        assert task.max_score == 8
+        assert task.score({"zone": "a", "ssd": "1"}) == 8
+        assert task.score({"zone": "a"}) == 3
+        assert task.score({"zone": "b", "ssd": "1"}) == 5
+        assert task.score({}) == 0
+
+
+class TestPreferenceScores:
+    def test_scores_and_eligibility(self):
+        park = park_abc()
+        task = SoftAffinityTask(
+            hard=compact([Constraint("zone", EQ, "a")]),
+            soft=tuple(SoftConstraint.from_raw(
+                [Constraint("ssd", EQ, "1")], weight=7)))
+        scores = preference_scores(park, task)
+        # Machine 3 violates the hard constraint → -1; machine 1 has the
+        # preferred ssd → 7; machine 2 eligible but unpreferred → 0.
+        np.testing.assert_array_equal(scores, [7, 0, -1])
+
+    def test_no_soft_terms_gives_zero_scores(self):
+        park = park_abc()
+        task = SoftAffinityTask(hard=compact([Constraint("zone", EQ, "a")]))
+        scores = preference_scores(park, task)
+        np.testing.assert_array_equal(scores, [0, 0, -1])
+
+    def test_best_machine_selection(self):
+        park = park_abc()
+        task = SoftAffinityTask(
+            hard=compact([]),
+            soft=(SoftConstraint(list(compact([Constraint("zone", EQ,
+                                                          "b")]))[0],
+                                 weight=2),
+                  SoftConstraint(list(compact([Constraint("ssd", EQ,
+                                                          "1")]))[0],
+                                 weight=2)))
+        scores = preference_scores(park, task)
+        assert scores.argmax() == 2  # machine 3 satisfies both terms
+
+    def test_dead_machines_ineligible(self):
+        park = park_abc()
+        park.remove_machine(1)
+        task = SoftAffinityTask(hard=compact([]))
+        scores = preference_scores(park, task)
+        assert scores[0] == -1

@@ -1,0 +1,62 @@
+"""Baseline-adapter tests (Table X's four comparison columns)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (baseline_suite, make_ensemble_baseline,
+                        make_mlp_baseline, make_ridge_baseline,
+                        make_sgd_baseline)
+
+from .test_growing import lookup_dataset
+
+
+class TestAdapters:
+    def test_suite_has_paper_names(self):
+        suite = baseline_suite()
+        assert set(suite) == {"MLP Classifier", "Ridge Classifier",
+                              "SGD Classifier", "Ensemble Voter"}
+
+    def test_ridge_step(self, rng):
+        model = make_ridge_baseline()
+        ds = lookup_dataset(rng)
+        outcome = model.fit_step(ds)
+        assert outcome.accuracy > 0.9
+        assert outcome.epochs == 0  # closed form, no epochs reported
+        assert outcome.from_scratch
+
+    def test_mlp_step_reports_epochs(self, rng):
+        model = make_mlp_baseline(rng=rng, max_iter=40)
+        outcome = model.fit_step(lookup_dataset(rng))
+        assert outcome.epochs >= 1
+        assert outcome.accuracy > 0.85
+
+    def test_sgd_step(self, rng):
+        model = make_sgd_baseline(rng=rng)
+        outcome = model.fit_step(lookup_dataset(rng))
+        assert outcome.accuracy > 0.85
+        assert outcome.epochs >= 1
+
+    def test_ensemble_step(self, rng):
+        model = make_ensemble_baseline(rng=rng)
+        outcome = model.fit_step(lookup_dataset(rng))
+        assert outcome.accuracy > 0.85
+
+    def test_refit_replaces_estimator(self, rng):
+        model = make_ridge_baseline()
+        model.fit_step(lookup_dataset(rng, d=24))
+        first = model.estimator
+        model.fit_step(lookup_dataset(rng, d=24).widened(30))
+        assert model.estimator is not first
+        assert len(model.history) == 2
+
+    def test_predict_unfitted(self):
+        with pytest.raises(RuntimeError):
+            make_ridge_baseline().predict(np.zeros((1, 3)))
+
+    def test_predict_after_fit(self, rng):
+        model = make_ridge_baseline()
+        ds = lookup_dataset(rng)
+        model.fit_step(ds)
+        assert model.predict(ds.X_test).shape == (len(ds.y_test),)

@@ -1,0 +1,56 @@
+"""CTLMConfig tests: published constants and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BENCH_CONFIG, DEFAULT_CONFIG, CTLMConfig
+
+
+class TestPaperConstants:
+    def test_published_defaults(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.hidden_layer_size == 30
+        assert cfg.classes_count == 26
+        assert cfg.group_0_class_weight == 200.0
+        assert cfg.learning_rate == 0.05
+        assert cfg.pretrained_gradient_rate == 0.1
+        assert cfg.accepted_accuracy == 0.95
+        assert cfg.accepted_group_0_f1_score == 0.9
+        assert cfg.epochs_limit == 100
+        assert cfg.max_training_attempts == 10
+
+    def test_bench_config_differs_only_in_documented_knobs(self):
+        assert BENCH_CONFIG.hidden_layer_size == 30
+        assert BENCH_CONFIG.group_0_class_weight == 200.0
+        assert BENCH_CONFIG.pretrained_gradient_rate == 0.1
+        assert BENCH_CONFIG.learning_rate != DEFAULT_CONFIG.learning_rate
+
+    def test_class_weights_vector(self):
+        w = DEFAULT_CONFIG.class_weights()
+        assert w.shape == (26,)
+        assert w[0] == 200.0
+        np.testing.assert_array_equal(w[1:], np.ones(25))
+
+
+class TestValidationAndOverrides:
+    def test_with_overrides(self):
+        cfg = DEFAULT_CONFIG.with_overrides(pretrained_gradient_rate=0.3)
+        assert cfg.pretrained_gradient_rate == 0.3
+        assert cfg.learning_rate == DEFAULT_CONFIG.learning_rate
+        assert DEFAULT_CONFIG.pretrained_gradient_rate == 0.1  # frozen
+
+    @pytest.mark.parametrize("field,value", [
+        ("hidden_layer_size", 0),
+        ("classes_count", 1),
+        ("pretrained_gradient_rate", 1.5),
+        ("accepted_accuracy", 1.0),
+        ("accepted_group_0_f1_score", 0.0),
+        ("epochs_limit", 0),
+        ("max_training_attempts", 0),
+        ("group_0_class_weight", -1.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            CTLMConfig(**{field: value})

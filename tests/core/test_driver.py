@@ -1,0 +1,81 @@
+"""ContinuousLearningDriver tests: step replay and Table X/XI summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (ContinuousLearningDriver, CTLMConfig,
+                        FullyRetrainModel, GrowingModel, make_ridge_baseline)
+
+# Unit tests assert driver mechanics on a tiny cell, so the acceptance
+# thresholds are relaxed relative to the paper's (which the benchmark
+# harness asserts at proper scale — tiny test splits make F1_0 > 0.9 a
+# coin flip with ~7 Group-0 samples).
+RELAXED = CTLMConfig(learning_rate=0.02, batch_size=64, epochs_limit=60,
+                     max_training_attempts=5, accepted_accuracy=0.85,
+                     accepted_group_0_f1_score=0.6)
+
+
+class TestDriverOnPipeline:
+    @pytest.fixture(scope="class")
+    def run(self, pipeline_result):
+        models = {
+            "Growing": GrowingModel(RELAXED, rng=np.random.default_rng(1)),
+            "Fully Retrain": FullyRetrainModel(
+                RELAXED, rng=np.random.default_rng(2)),
+            "Ridge Classifier": make_ridge_baseline(),
+        }
+        driver = ContinuousLearningDriver(models,
+                                          rng=np.random.default_rng(0))
+        return driver.run(pipeline_result.steps, cell_name="2019c-test")
+
+    def test_every_model_has_rows(self, run):
+        assert set(run.rows) == {"Growing", "Fully Retrain",
+                                 "Ridge Classifier"}
+        lengths = {len(rows) for rows in run.rows.values()}
+        assert len(lengths) == 1  # same steps for every model
+
+    def test_rows_reference_growth_steps(self, run):
+        rows = run.rows["Growing"]
+        assert rows[0].step_index == 0
+        for prev, cur in zip(rows, rows[1:]):
+            assert cur.step_index > prev.step_index
+            assert cur.n_new_features > 0  # only growth steps retrained
+
+    def test_summary_math(self, run):
+        summary = run.summary("Growing")
+        rows = run.rows["Growing"]
+        assert summary.epochs_total == sum(r.outcome.epochs for r in rows)
+        accs = [r.outcome.accuracy for r in rows]
+        assert summary.avg_accuracy == pytest.approx(np.mean(accs))
+        assert summary.seconds_initial == rows[0].outcome.seconds
+        assert len(summary.seconds_per_growth_step) == len(rows) - 1
+
+    def test_accuracies_meet_configured_thresholds(self, run):
+        for name in ("Growing", "Fully Retrain"):
+            assert run.summary(name).avg_accuracy > RELAXED.accepted_accuracy
+
+    def test_summaries_helper(self, run):
+        assert set(run.summaries()) == set(run.rows)
+
+
+class TestDriverValidation:
+    def test_empty_models(self):
+        with pytest.raises(ValueError):
+            ContinuousLearningDriver({})
+
+    def test_empty_steps(self):
+        driver = ContinuousLearningDriver({"m": make_ridge_baseline()})
+        with pytest.raises(ValueError):
+            driver.run([])
+
+    def test_skips_undersized_steps(self, pipeline_result):
+        driver = ContinuousLearningDriver(
+            {"Ridge Classifier": make_ridge_baseline()},
+            rng=np.random.default_rng(0))
+        # Inject a fake tiny first step by filtering: just run the real
+        # steps; all rows must have ≥8 samples.
+        run = driver.run(pipeline_result.steps)
+        for row in run.rows["Ridge Classifier"]:
+            assert row.n_samples >= 8

@@ -1,0 +1,73 @@
+"""Evaluation-metric tests: accuracy + Group-0 F1 and the early-stop rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvalResult, evaluate_model, evaluate_predictions
+from repro.core.growing import build_model
+from repro.core import DEFAULT_CONFIG
+
+
+class TestEvaluatePredictions:
+    def test_accuracy_and_f1(self):
+        y_true = np.array([0, 0, 1, 2, 0])
+        y_pred = np.array([0, 1, 1, 2, 0])
+        result = evaluate_predictions(y_true, y_pred)
+        assert result.accuracy == pytest.approx(0.8)
+        # Group 0: tp=2 fn=1 fp=0 → p=1 r=2/3 → f1=0.8
+        assert result.group_0_f1 == pytest.approx(0.8)
+
+    def test_f1_none_when_no_group0(self):
+        """Paper: 'Group 0 F1 scores are omitted when no Group 0 samples
+        were present in the test dataset'."""
+
+        result = evaluate_predictions(np.array([1, 2]), np.array([1, 2]))
+        assert result.group_0_f1 is None
+
+    def test_false_positives_counted(self):
+        result = evaluate_predictions(np.array([0, 1]), np.array([0, 0]))
+        # tp=1 fp=1 fn=0 → p=0.5 r=1 → f1=2/3
+        assert result.group_0_f1 == pytest.approx(2 / 3)
+
+    def test_iterable_unpacking(self):
+        acc, f1 = evaluate_predictions(np.array([0]), np.array([0]))
+        assert acc == 1.0 and f1 == 1.0
+
+
+class TestMeets:
+    def test_both_thresholds(self):
+        assert EvalResult(0.96, 0.95).meets(0.95, 0.9)
+        assert not EvalResult(0.94, 0.95).meets(0.95, 0.9)
+        assert not EvalResult(0.96, 0.85).meets(0.95, 0.9)
+
+    def test_strict_inequalities(self):
+        assert not EvalResult(0.95, 1.0).meets(0.95, 0.9)
+        assert not EvalResult(0.96, 0.9).meets(0.95, 0.9)
+
+    def test_none_f1_passes_vacuously(self):
+        assert EvalResult(0.96, None).meets(0.95, 0.9)
+        assert not EvalResult(0.90, None).meets(0.95, 0.9)
+
+
+class TestEvaluateModel:
+    def test_on_constant_model(self, rng):
+        model = build_model(4, DEFAULT_CONFIG, rng)
+        # Zero all weights: logits all equal → argmax = class 0 always.
+        for _, p in model.named_parameters():
+            p.data[...] = 0
+        X = rng.normal(size=(10, 4)).astype(np.float32)
+        y = np.zeros(10, dtype=np.int64)
+        result = evaluate_model(X, y, model)
+        assert result.accuracy == 1.0
+        assert result.group_0_f1 == 1.0
+
+    def test_mixed_labels(self, rng):
+        model = build_model(4, DEFAULT_CONFIG, rng)
+        for _, p in model.named_parameters():
+            p.data[...] = 0
+        X = rng.normal(size=(10, 4)).astype(np.float32)
+        y = np.array([0] * 5 + [3] * 5)
+        result = evaluate_model(X, y, model)
+        assert result.accuracy == pytest.approx(0.5)

@@ -1,0 +1,58 @@
+"""FullyRetrainModel tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CTLMConfig, FullyRetrainModel
+from repro.errors import TrainingFailedError
+
+from .test_growing import FAST, lookup_dataset
+
+
+class TestFullyRetrain:
+    def test_reaches_thresholds(self, rng):
+        fr = FullyRetrainModel(FAST, rng=rng)
+        ds = lookup_dataset(rng)
+        outcome = fr.fit_step(ds)
+        assert outcome.from_scratch
+        assert outcome.accuracy > FAST.accepted_accuracy
+
+    def test_every_step_is_from_scratch(self, rng):
+        fr = FullyRetrainModel(FAST, rng=rng)
+        fr.fit_step(lookup_dataset(rng))
+        w_after_first = fr.model["fc1"].weight.data.copy()
+        outcome = fr.fit_step(lookup_dataset(rng).widened(30))
+        assert outcome.from_scratch
+        assert fr.model["fc1"].weight.data.shape == (30, 30)
+        # Fresh init: old weights are gone entirely.
+        assert not np.array_equal(
+            fr.model["fc1"].weight.data[:, :24], w_after_first)
+
+    def test_width_tracks_dataset(self, rng):
+        fr = FullyRetrainModel(FAST, rng=rng)
+        fr.fit_step(lookup_dataset(rng, d=24))
+        assert fr.model["fc1"].weight.data.shape[1] == 24
+        fr.fit_step(lookup_dataset(rng, d=24).widened(40))
+        assert fr.model["fc1"].weight.data.shape[1] == 40
+
+    def test_fail_fast(self, rng):
+        impossible = CTLMConfig(accepted_accuracy=0.999999,
+                                accepted_group_0_f1_score=0.999999,
+                                epochs_limit=1, max_training_attempts=2,
+                                learning_rate=1e-6)
+        fr = FullyRetrainModel(impossible, rng=rng)
+        with pytest.raises(TrainingFailedError):
+            fr.fit_step(lookup_dataset(rng))
+
+    def test_predict_unfitted(self):
+        with pytest.raises(RuntimeError):
+            FullyRetrainModel().predict(np.zeros((1, 3)))
+
+    def test_history(self, rng):
+        fr = FullyRetrainModel(FAST, rng=rng)
+        fr.fit_step(lookup_dataset(rng))
+        fr.fit_step(lookup_dataset(rng))
+        assert len(fr.history) == 2
+        assert fr.history[1].features_before == 24

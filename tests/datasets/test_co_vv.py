@@ -1,0 +1,167 @@
+"""CO-VV encoding tests, anchored on the paper's Table VII worked example."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.constraints.compaction import compact_attribute
+from repro.datasets import COVVEncoder, FeatureRegistry, spec_value_vector
+
+EQ = ConstraintOperator.EQUAL
+NE = ConstraintOperator.NOT_EQUAL
+LT = ConstraintOperator.LESS_THAN
+GT = ConstraintOperator.GREATER_THAN
+GE = ConstraintOperator.GREATER_THAN_EQUAL
+
+#: Table VII column layout: (none), 0, 1, ..., 9
+TABLE_VII_VALUES = [None] + [str(i) for i in range(10)]
+
+
+class TestTableVII:
+    """The paper's reversed-0/1 notation, all four worked rows."""
+
+    def test_row1_ge_5(self):
+        spec = compact_attribute("AM", [Constraint("AM", GE, "5")])
+        vec = spec_value_vector(spec, TABLE_VII_VALUES)
+        np.testing.assert_array_equal(
+            vec, [1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0])
+
+    def test_row2_between_0_and_3(self):
+        spec = compact_attribute("AM", [Constraint("AM", LT, "3"),
+                                        Constraint("AM", GT, "0")])
+        vec = spec_value_vector(spec, TABLE_VII_VALUES)
+        np.testing.assert_array_equal(
+            vec, [1, 1, 0, 0, 1, 1, 1, 1, 1, 1, 1])
+
+    def test_row3_not_equal_array(self):
+        spec = compact_attribute("AM", [Constraint("AM", NE, "0"),
+                                        Constraint("AM", NE, "7"),
+                                        Constraint("AM", NE, "8")])
+        vec = spec_value_vector(spec, TABLE_VII_VALUES)
+        np.testing.assert_array_equal(
+            vec, [0, 1, 0, 0, 0, 0, 0, 0, 1, 1, 0])
+
+    def test_row4_greater_than_0(self):
+        spec = compact_attribute("AM", [Constraint("AM", GT, "0")])
+        vec = spec_value_vector(spec, TABLE_VII_VALUES)
+        np.testing.assert_array_equal(
+            vec, [1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+
+
+def registry_with_am_domain() -> FeatureRegistry:
+    reg = FeatureRegistry()
+    for v in range(10):
+        reg.observe_value("AM", str(v))
+    return reg
+
+
+class TestEncoder:
+    def test_dense_row_matches_table_vii(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("AM", GE, "5")])
+        enc.observe(task)
+        row = enc.encode_row_dense(task)
+        # Columns: AM:(none), AM:0..AM:9 — same as the Table VII layout.
+        np.testing.assert_array_equal(
+            row, [1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0])
+
+    def test_unconstrained_attributes_stay_zero(self):
+        reg = registry_with_am_domain()
+        reg.observe_value("zone", "a")
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("zone", EQ, "a")])
+        enc.observe(task)
+        row = enc.encode_row_dense(task)
+        am_cols = reg.columns_of("AM")
+        np.testing.assert_array_equal(row[am_cols], np.zeros(len(am_cols)))
+        # zone:(none) rejected (equal needs presence); zone:a accepted.
+        assert row[reg.column("zone")] == 1
+        assert row[reg.column("zone", "a")] == 0
+
+    def test_sparse_and_dense_agree(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        tasks = [compact([Constraint("AM", GT, str(k))]) for k in range(5)]
+        for t in tasks:
+            enc.observe(t)
+        X = enc.encode_rows(tasks)
+        for i, t in enumerate(tasks):
+            np.testing.assert_array_equal(
+                np.asarray(X[i].todense()).ravel(), enc.encode_row_dense(t))
+
+    def test_prefix_stability_under_growth(self):
+        """Rows encoded before growth are prefixes of rows encoded after —
+        the invariant that makes zero-padded input extension sound."""
+
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("AM", GE, "5")])
+        enc.observe(task)
+        before = enc.encode_row_dense(task)
+
+        reg.observe_value("zone", "west")   # feature growth
+        reg.observe_value("AM", "12")       # new AM value too
+        after = enc.encode_row_dense(task)
+
+        assert after.shape[0] == before.shape[0] + 3
+        np.testing.assert_array_equal(after[:before.shape[0]], before)
+        # The new AM:12 column is evaluated against the spec (12 ≥ 5 → ok).
+        assert after[reg.column("AM", "12")] == 0
+        assert after[reg.column("zone", "west")] == 0
+
+    def test_new_value_rejected_when_outside_spec(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("AM", GE, "5")])
+        enc.observe(task)
+        reg.observe_value("AM", "2")  # duplicate — 2 already in domain
+        reg.observe_value("AM", "13")
+        row = enc.encode_row_dense(task)
+        assert row[reg.column("AM", "13")] == 0  # 13 ≥ 5 acceptable
+        assert row[reg.column("AM", "2")] == 1   # 2 < 5 unacceptable
+
+    def test_reversed_notation_direction(self):
+        """1 marks NOT acceptable — the paper reverses the usual sense."""
+
+        reg = FeatureRegistry()
+        reg.observe_value("x", "good")
+        reg.observe_value("x", "bad")
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("x", EQ, "good")])
+        row = enc.encode_row_dense(task)
+        assert row[reg.column("x", "good")] == 0
+        assert row[reg.column("x", "bad")] == 1
+
+    def test_csr_shape_and_dtype(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        tasks = [compact([Constraint("AM", GT, "3")])] * 4
+        X = enc.encode_rows(tasks)
+        assert X.shape == (4, reg.features_count)
+        assert X.dtype == np.float32
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 9), st.integers(0, 9))
+def test_property_row_matches_spec_semantics(lo, hi):
+    """Each cell is exactly `not spec.matches(value)` for every column."""
+
+    if lo > hi:
+        lo, hi = hi, lo
+    reg = registry_with_am_domain()
+    enc = COVVEncoder(reg)
+    constraints = [Constraint("AM", GE, str(lo)),
+                   Constraint("AM", ConstraintOperator.LESS_THAN_EQUAL,
+                              str(hi))]
+    task = compact(constraints)
+    enc.observe(task)
+    row = enc.encode_row_dense(task)
+    spec = list(task)[0]
+    for col in reg.columns_of("AM"):
+        feature = reg.feature(col)
+        assert row[col] == (0 if spec.matches(feature.value) else 1)

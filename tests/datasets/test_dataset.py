@@ -1,0 +1,109 @@
+"""DatasetData container tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import DatasetData
+from repro.errors import DatasetError
+
+
+def make_data(rng, n=200, d=10, k=5, singletons=0):
+    X = rng.normal(size=(n, d)).astype(np.float32)
+    y = rng.integers(0, k, size=n)
+    for i in range(singletons):
+        y[i] = 100 + i  # classes with exactly one sample
+    return X, y
+
+
+class TestSplit:
+    def test_partition(self, rng):
+        X, y = make_data(rng)
+        ds = DatasetData(X, y, rng=rng)
+        assert len(ds.train_indices) + len(ds.test_indices) == 200
+        assert not set(ds.train_indices) & set(ds.test_indices)
+
+    def test_stratified_keeps_classes_both_sides(self, rng):
+        X, y = make_data(rng)
+        ds = DatasetData(X, y, rng=rng)
+        assert set(np.unique(ds.y_train)) == set(np.unique(y))
+        assert set(np.unique(ds.y_test)) == set(np.unique(y))
+
+    def test_singleton_classes_go_to_train(self, rng):
+        X, y = make_data(rng, singletons=3)
+        ds = DatasetData(X, y, rng=rng)
+        for cls in (100, 101, 102):
+            assert cls in ds.y_train
+            assert cls not in ds.y_test
+
+    def test_sparse_input(self, rng):
+        X = sp.random(50, 20, density=0.1, format="csr",
+                      random_state=np.random.RandomState(0),
+                      dtype=np.float32)
+        y = rng.integers(0, 3, size=50)
+        ds = DatasetData(X, y, rng=rng)
+        assert isinstance(ds.X, np.ndarray)
+        assert ds.features_count == 20
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            DatasetData(np.zeros((2, 3)), [0, 1], rng=rng)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(DatasetError):
+            DatasetData(np.zeros((5, 3)), [0, 1], rng=rng)
+
+    def test_deterministic_split(self):
+        X, y = make_data(np.random.default_rng(0))
+        a = DatasetData(X, y, rng=np.random.default_rng(7))
+        b = DatasetData(X, y, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.test_indices, b.test_indices)
+
+
+class TestAccessors:
+    def test_shapes(self, rng):
+        X, y = make_data(rng)
+        ds = DatasetData(X, y, test_size=0.25, rng=rng)
+        assert ds.X_train.shape[1] == 10
+        assert ds.features_count == 10
+        assert ds.n_samples == 200
+        assert len(ds.X_test) == len(ds.y_test)
+
+    def test_train_loader_iterates_training_split(self, rng):
+        X, y = make_data(rng)
+        ds = DatasetData(X, y, batch_size=32, rng=rng)
+        seen = 0
+        for xb, yb in ds.train_loader:
+            seen += len(yb)
+            assert xb.shape[1] == 10
+        assert seen == len(ds.train_indices)
+
+    def test_class_distribution(self, rng):
+        X, y = make_data(rng, k=3)
+        ds = DatasetData(X, y, rng=rng)
+        dist = ds.class_distribution()
+        assert sum(dist.values()) == 200
+
+
+class TestWidened:
+    def test_zero_pads_right(self, rng):
+        X, y = make_data(rng, d=6)
+        ds = DatasetData(X, y, rng=rng)
+        wide = ds.widened(10)
+        assert wide.features_count == 10
+        np.testing.assert_array_equal(wide.X[:, 6:], np.zeros((200, 4)))
+        np.testing.assert_array_equal(wide.X[:, :6], ds.X)
+        np.testing.assert_array_equal(wide.test_indices, ds.test_indices)
+
+    def test_same_width_returns_self(self, rng):
+        X, y = make_data(rng, d=6)
+        ds = DatasetData(X, y, rng=rng)
+        assert ds.widened(6) is ds
+
+    def test_narrowing_rejected(self, rng):
+        X, y = make_data(rng, d=6)
+        ds = DatasetData(X, y, rng=rng)
+        with pytest.raises(DatasetError):
+            ds.widened(3)

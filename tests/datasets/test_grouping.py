@@ -1,0 +1,98 @@
+"""26-group labelling tests (Section III.E semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (GROUP_SINGLE_NODE, N_GROUPS, group_bounds,
+                            group_distribution, group_of, groups_of)
+
+
+class TestGroupOf:
+    def test_single_node_is_group_zero(self):
+        assert group_of(1, 500) == 0
+        assert group_of(0, 500) == 0
+
+    def test_group_one_starts_at_two(self):
+        assert group_of(2, 500) == 1
+        assert group_of(501, 500) == 1
+        assert group_of(502, 500) == 2
+
+    def test_paper_bin_500(self):
+        assert group_of(1000, 500) == 2
+        assert group_of(12_500, 500) == 25
+
+    def test_2019a_bin_360(self):
+        assert group_of(361, 360) == 1
+        assert group_of(362, 360) == 2
+        assert group_of(9_400, 360) == 25
+
+    def test_top_group_absorbs_overflow(self):
+        assert group_of(10 ** 9, 500) == 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_of(5, 0)
+        with pytest.raises(ValueError):
+            group_of(-1, 500)
+
+
+class TestGroupBounds:
+    def test_group_zero_bounds(self):
+        assert group_bounds(0, 500) == (0, 1)
+
+    def test_interior_groups(self):
+        assert group_bounds(1, 500) == (2, 501)
+        assert group_bounds(2, 500) == (502, 1001)
+
+    def test_top_group_open(self):
+        lo, hi = group_bounds(25, 500)
+        assert hi is None
+        assert lo == 24 * 500 + 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            group_bounds(26, 500)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 20_000), st.integers(1, 1000))
+    def test_bounds_invert_group_of(self, count, bin_width):
+        group = group_of(count, bin_width)
+        lo, hi = group_bounds(group, bin_width)
+        assert count >= lo
+        if hi is not None:
+            assert count <= hi
+
+
+class TestVectorized:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 15_000), min_size=1, max_size=40),
+           st.integers(1, 600))
+    def test_matches_scalar(self, counts, bin_width):
+        vector = groups_of(counts, bin_width)
+        scalar = [group_of(c, bin_width) for c in counts]
+        np.testing.assert_array_equal(vector, scalar)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            groups_of([-1], 500)
+
+
+class TestDistribution:
+    def test_histogram(self):
+        dist = group_distribution([0, 0, 1, 25, 25, 25])
+        assert dist[0] == 2
+        assert dist[1] == 1
+        assert dist[25] == 3
+        assert dist.sum() == 6
+        assert len(dist) == N_GROUPS
+
+    def test_out_of_range_label(self):
+        with pytest.raises(ValueError):
+            group_distribution([26])
+
+    def test_group_single_node_constant(self):
+        assert GROUP_SINGLE_NODE == 0

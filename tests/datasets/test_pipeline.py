@@ -1,0 +1,124 @@
+"""Figure 1 pipeline tests: replay → step datasets, validated end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import MachinePark, compact
+from repro.datasets import (build_step_datasets, group_of,
+                            groups_of)
+from repro.trace import (MachineAttributeEvent, MachineEvent,
+                         MachineEventKind, TaskEvent, TaskEventKind)
+
+
+class TestStepStructure:
+    def test_one_dataset_per_step(self, small_cell, pipeline_result):
+        assert len(pipeline_result.steps) == len(small_cell.step_times)
+
+    def test_features_monotone_nondecreasing(self, pipeline_result):
+        widths = [s.features_after for s in pipeline_result.steps]
+        assert widths == sorted(widths)
+        for s in pipeline_result.steps:
+            assert s.features_before <= s.features_after
+
+    def test_cumulative_samples_nondecreasing(self, pipeline_result):
+        counts = [s.n_samples for s in pipeline_result.steps]
+        assert counts == sorted(counts)
+
+    def test_step_boundaries_match_cell(self, small_cell, pipeline_result):
+        times = [s.time for s in pipeline_result.steps]
+        assert times == list(small_cell.step_times)
+
+    def test_feature_chain_consistency(self, pipeline_result):
+        steps = pipeline_result.steps
+        for prev, cur in zip(steps, steps[1:]):
+            assert cur.features_before == prev.features_after
+
+    def test_matrix_shapes(self, pipeline_result):
+        for s in pipeline_result.steps:
+            assert s.X.shape == (len(s.y), s.features_after)
+
+    def test_labels_in_group_range(self, pipeline_result):
+        y = pipeline_result.final.y
+        assert y.min() >= 0 and y.max() <= 25
+
+    def test_counts(self, pipeline_result):
+        assert pipeline_result.n_tasks_with_co <= pipeline_result.n_tasks_total
+        assert pipeline_result.final.n_samples <= pipeline_result.n_tasks_with_co
+
+    def test_label_property(self, pipeline_result):
+        step = pipeline_result.steps[1]
+        assert ":" in step.label  # "d hh:mm"
+
+
+class TestLabelCorrectness:
+    def test_labels_match_bruteforce_on_prefix(self, small_cell):
+        """Replay the trace by hand and recompute the first 200 CO tasks'
+        suitable counts; the pipeline's labels must match exactly."""
+
+        result = build_step_datasets(small_cell, max_samples_per_step=None)
+        park = MachinePark()
+        expected = []
+        for event in small_cell.trace:
+            if len(expected) >= 200:
+                break
+            if isinstance(event, MachineEvent):
+                if event.kind is MachineEventKind.ADD:
+                    park.add_machine(event.machine_id, cpu=event.cpu,
+                                     mem=event.mem)
+                elif event.kind is MachineEventKind.REMOVE:
+                    if event.machine_id in park:
+                        park.remove_machine(event.machine_id)
+            elif isinstance(event, MachineAttributeEvent):
+                park.set_attribute(event.machine_id, event.attribute,
+                                   None if event.deleted else event.value)
+            elif (isinstance(event, TaskEvent)
+                  and event.kind is TaskEventKind.SUBMIT
+                  and event.constraints):
+                task = compact(event.constraints)
+                if len(task) == 0:
+                    continue
+                attrs_of = park.attributes_of
+                count = sum(
+                    1 for mid in park.machine_ids()
+                    if task.matches(attrs_of(mid)))
+                expected.append(group_of(count, small_cell.group_bin))
+        got = result.final.y[: len(expected)]
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestOptionsAndErrors:
+    def test_coel_encoding(self, small_cell):
+        result = build_step_datasets(small_cell, encoding="co-el")
+        assert result.encoding == "co-el"
+        assert result.final.X.shape[1] == result.registry.features_count
+
+    def test_unknown_encoding(self, small_cell):
+        with pytest.raises(ValueError):
+            build_step_datasets(small_cell, encoding="one-hot")
+
+    def test_bare_trace_needs_metadata(self, small_cell):
+        with pytest.raises(ValueError):
+            build_step_datasets(small_cell.trace)
+
+    def test_bare_trace_with_metadata(self, small_cell):
+        result = build_step_datasets(small_cell.trace,
+                                     group_bin=small_cell.group_bin,
+                                     step_times=small_cell.step_times)
+        assert len(result.steps) == len(small_cell.step_times)
+
+    def test_sample_cap(self, small_cell):
+        result = build_step_datasets(small_cell, max_samples_per_step=50,
+                                     rng=np.random.default_rng(0))
+        assert all(s.n_samples <= 50 for s in result.steps)
+
+    def test_node_id_machine_values_not_cataloged(self, pipeline_result):
+        labels = pipeline_result.registry.feature_labels()
+        node_cols = [l for l in labels if l.startswith("node_id:")
+                     and not l.endswith("(none)")]
+        # Only pinned operand values appear, far fewer than machines.
+        assert 0 < len(node_cols) < 40
+
+    def test_group0_samples_exist(self, pipeline_result):
+        assert (pipeline_result.final.y == 0).sum() >= 1

@@ -1,0 +1,77 @@
+"""Additional pipeline coverage: anomalous traces and catalog options."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator
+from repro.datasets import build_step_datasets
+from repro.trace import (CellTrace, MachineAttributeEvent, MachineEvent,
+                         MachineEventKind, TaskEvent, TaskEventKind,
+                         autocorrect, inject_anomalies)
+
+EQ = ConstraintOperator.EQUAL
+
+
+def tiny_trace(with_contradiction=False) -> CellTrace:
+    trace = CellTrace("tiny", "2019")
+    for mid, zone in ((1, "a"), (2, "a"), (3, "b"), (4, "b"), (5, "b"),
+                      (6, "c")):
+        trace.append(MachineEvent(0, mid, MachineEventKind.ADD, cpu=1,
+                                  mem=1))
+        trace.append(MachineAttributeEvent(0, mid, "zone", zone))
+    for i, zone in enumerate(["a", "b", "c", "a", "b"] * 4):
+        trace.append(TaskEvent(1000 + i, 100, i, TaskEventKind.SUBMIT,
+                               cpu_request=0.1, mem_request=0.1,
+                               constraints=(Constraint("zone", EQ, zone),)))
+    if with_contradiction:
+        trace.append(TaskEvent(5000, 100, 99, TaskEventKind.SUBMIT,
+                               cpu_request=0.1, mem_request=0.1,
+                               constraints=(Constraint("zone", EQ, "a"),
+                                            Constraint("zone", EQ, "b"))))
+    trace.sort()
+    return trace
+
+
+class TestBareTracePipeline:
+    def test_labels_match_zone_sizes(self):
+        result = build_step_datasets(tiny_trace(), group_bin=2,
+                                     step_times=(0,))
+        final = result.final
+        # zone a → 2 machines → group 1; zone b → 3 → group 1;
+        # zone c → 1 → group 0 (single node).
+        zones = ["a", "b", "c", "a", "b"] * 4
+        expected = [1 if z in ("a", "b") else 0 for z in zones]
+        np.testing.assert_array_equal(final.y, expected)
+
+    def test_contradictory_task_skipped_and_counted(self):
+        result = build_step_datasets(tiny_trace(with_contradiction=True),
+                                     group_bin=2, step_times=(0,))
+        assert result.n_compaction_anomalies == 1
+        assert result.final.n_samples == 20  # the bad task is excluded
+
+    def test_anomalous_then_corrected_trace_same_datasets(self, rng):
+        """Injected anomalies (mis-timed updates, dropped terminations) do
+        not affect dataset construction once auto-corrected — SUBMIT
+        events carry everything the pipeline needs."""
+
+        clean = tiny_trace()
+        defective, _ = inject_anomalies(clean, rng, update_rate=0.5,
+                                        missing_termination_rate=0.0)
+        fixed, _ = autocorrect(defective)
+        a = build_step_datasets(clean, group_bin=2, step_times=(0,))
+        b = build_step_datasets(fixed, group_bin=2, step_times=(0,))
+        np.testing.assert_array_equal(a.final.y, b.final.y)
+        assert (a.final.X != b.final.X).nnz == 0
+
+    def test_catalog_exclude_controls_feature_space(self):
+        trace = tiny_trace()
+        everything = build_step_datasets(trace, group_bin=2, step_times=(0,),
+                                         catalog_exclude=())
+        excluded = build_step_datasets(trace, group_bin=2, step_times=(0,),
+                                       catalog_exclude=("zone",))
+        # Excluding zone's machine-side values still leaves the constraint
+        # operands, so the excluded registry is a subset.
+        assert excluded.registry.features_count <= \
+            everything.registry.features_count

@@ -1,0 +1,129 @@
+"""Feature-retirement tests (§VI extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.datasets import (FeatureRegistry, FeatureUsageTracker,
+                            retirement_plan)
+
+EQ = ConstraintOperator.EQUAL
+GT = ConstraintOperator.GREATER_THAN
+
+
+def tracked_registry():
+    reg = FeatureRegistry()
+    for v in ("a", "b", "c"):
+        reg.observe_value("zone", v)
+    for v in ("1", "5"):
+        reg.observe_value("AM", v)
+    return reg, FeatureUsageTracker(reg)
+
+
+class TestUsageTracking:
+    def test_observe_marks_attribute_columns(self):
+        reg, tracker = tracked_registry()
+        task = compact([Constraint("zone", EQ, "a")])
+        tracker.observe_task(task, time=100)
+        for col in reg.columns_of("zone"):
+            assert tracker.last_used(col) == 100
+        for col in reg.columns_of("AM"):
+            assert tracker.last_used(col) is None
+
+    def test_latest_time_wins(self):
+        reg, tracker = tracked_registry()
+        task = compact([Constraint("zone", EQ, "a")])
+        tracker.observe_task(task, time=100)
+        tracker.observe_task(task, time=50)   # earlier, must not regress
+        assert tracker.last_used(reg.column("zone", "a")) == 100
+        tracker.observe_task(task, time=200)
+        assert tracker.last_used(reg.column("zone", "a")) == 200
+
+    def test_usage_vector(self):
+        reg, tracker = tracked_registry()
+        tracker.observe_task(compact([Constraint("AM", GT, "1")]), time=10)
+        usage = tracker.usage_vector()
+        assert usage.shape == (reg.features_count,)
+        assert usage[reg.column("AM", "1")] == 10
+        assert usage[reg.column("zone", "a")] == -1
+
+
+class TestRetirementPlan:
+    def test_retires_stale_columns(self):
+        reg, tracker = tracked_registry()
+        tracker.observe_task(compact([Constraint("zone", EQ, "a")]), time=10)
+        tracker.observe_task(compact([Constraint("AM", GT, "1")]), time=500)
+        plan = retirement_plan(tracker, before=100,
+                               protect_none_columns=False)
+        # zone columns (last used at 10) retire; AM columns survive.
+        assert not plan.keep[reg.column("zone", "a")]
+        assert plan.keep[reg.column("AM", "1")]
+        assert plan.n_kept + plan.n_retired == reg.features_count
+
+    def test_none_columns_protected_by_default(self):
+        reg, tracker = tracked_registry()
+        tracker.observe_task(compact([Constraint("AM", GT, "1")]), time=500)
+        plan = retirement_plan(tracker, before=100)
+        assert plan.keep[reg.column("zone")]       # zone:(none) protected
+        assert not plan.keep[reg.column("zone", "a")]
+
+    def test_compact_matrix(self):
+        reg, tracker = tracked_registry()
+        tracker.observe_task(compact([Constraint("AM", GT, "1")]), time=500)
+        plan = retirement_plan(tracker, before=100,
+                               protect_none_columns=False)
+        X = np.arange(2 * reg.features_count,
+                      dtype=np.float32).reshape(2, -1)
+        compacted = plan.compact_matrix(X)
+        assert compacted.shape == (2, plan.n_kept)
+        np.testing.assert_array_equal(compacted[:, 0],
+                                      X[:, plan.kept_columns[0]])
+
+    def test_compact_weights_preserves_survivors(self):
+        reg, tracker = tracked_registry()
+        tracker.observe_task(compact([Constraint("AM", GT, "1")]), time=500)
+        plan = retirement_plan(tracker, before=100,
+                               protect_none_columns=False)
+        W = np.arange(30 * reg.features_count,
+                      dtype=np.float32).reshape(30, -1)
+        shrunk = plan.compact_weights(W)
+        assert shrunk.shape == (30, plan.n_kept)
+        np.testing.assert_array_equal(shrunk, W[:, plan.kept_columns])
+
+    def test_compact_weights_width_check(self):
+        reg, tracker = tracked_registry()
+        plan = retirement_plan(tracker, before=0)
+        with pytest.raises(ValueError):
+            plan.compact_weights(np.zeros((30, 3)))
+
+    def test_retired_model_equivalence(self):
+        """Shrinking weights + shrinking data preserves predictions when
+        the retired features are zero — the mirror of extension."""
+
+        from repro.core import DEFAULT_CONFIG
+        from repro.core.growing import build_model
+        from repro import nn
+
+        reg, tracker = tracked_registry()
+        tracker.observe_task(compact([Constraint("AM", GT, "1")]), time=500)
+        plan = retirement_plan(tracker, before=100,
+                               protect_none_columns=False)
+        rng = np.random.default_rng(0)
+        model = build_model(reg.features_count, DEFAULT_CONFIG, rng)
+
+        X = np.zeros((5, reg.features_count), dtype=np.float32)
+        X[:, plan.kept_columns] = rng.random((5, plan.n_kept)) > 0.5
+
+        with nn.no_grad():
+            full_logits = model(nn.from_numpy(X)).numpy()
+
+        small = build_model(plan.n_kept, DEFAULT_CONFIG, rng)
+        sd = model.state_dict()
+        sd["fc1.weight"] = plan.compact_weights(sd["fc1.weight"])
+        small.load_state_dict(sd)
+        with nn.no_grad():
+            small_logits = small(nn.from_numpy(
+                plan.compact_matrix(X))).numpy()
+        np.testing.assert_allclose(full_logits, small_logits, rtol=1e-5)

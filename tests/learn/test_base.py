@@ -1,0 +1,66 @@
+"""Estimator-base and input-validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.learn import BaseEstimator, check_array, check_X_y
+from repro.learn.base import ensure_dense
+
+
+class _Toy(BaseEstimator):
+    def __init__(self, alpha: float = 1.0, beta: str = "x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestParams:
+    def test_get_params(self):
+        assert _Toy(alpha=2.0).get_params() == {"alpha": 2.0, "beta": "x"}
+
+    def test_set_params_roundtrip(self):
+        toy = _Toy().set_params(alpha=5.0, beta="y")
+        assert toy.alpha == 5.0 and toy.beta == "y"
+
+    def test_set_unknown_param(self):
+        with pytest.raises(ValueError):
+            _Toy().set_params(gamma=1)
+
+
+class TestEnsureDense:
+    def test_sparse_densified(self):
+        X = ensure_dense(sp.csr_matrix(np.eye(3)))
+        assert isinstance(X, np.ndarray)
+        np.testing.assert_array_equal(X, np.eye(3))
+
+    def test_1d_promoted_to_row(self):
+        assert ensure_dense([1.0, 2.0]).shape == (1, 2)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_dense(np.zeros((2, 2, 2)))
+
+
+class TestCheckers:
+    def test_check_array_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            check_array(np.zeros((3, 0)))
+
+    def test_check_array_rejects_nonfinite(self):
+        X = np.ones((2, 2))
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            check_array(X)
+
+    def test_check_x_y_alignment(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((4, 2)), np.ones(5))
+
+    def test_check_x_y_passthrough(self):
+        X, y = check_X_y([[1.0, 2.0], [3.0, 4.0]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)

@@ -1,0 +1,128 @@
+"""VotingClassifier tests (the paper's Ensemble Voter uses hard voting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn import (MLPClassifier, RidgeClassifier, SGDClassifier,
+                         VotingClassifier)
+
+
+class _Stub:
+    """Deterministic classifier stub returning canned predictions."""
+
+    def __init__(self, answers):
+        self.answers = np.asarray(answers)
+
+    def fit(self, X, y):
+        return self
+
+    def predict(self, X):
+        return self.answers[: len(X)]
+
+
+class _ProbaStub(_Stub):
+    def __init__(self, proba):
+        self.proba = np.asarray(proba, dtype=float)
+
+    def fit(self, X, y):
+        return self
+
+    def predict(self, X):
+        return self.proba.argmax(axis=1)[: len(X)]
+
+    def predict_proba(self, X):
+        return self.proba[: len(X)]
+
+
+class TestHardVoting:
+    def test_majority_wins(self):
+        X = np.zeros((3, 1))
+        y = np.array([0, 1, 2])
+        clf = VotingClassifier([
+            ("a", _Stub([0, 1, 1])),
+            ("b", _Stub([0, 1, 2])),
+            ("c", _Stub([1, 1, 1])),
+        ]).fit(X, y)
+        np.testing.assert_array_equal(clf.predict(X), [0, 1, 1])
+
+    def test_tie_breaks_to_lowest_class(self):
+        X = np.zeros((1, 1))
+        clf = VotingClassifier([
+            ("a", _Stub([2])), ("b", _Stub([1])),
+        ]).fit(X, np.array([1, 2])[:1].repeat(1))
+        # fit needs both classes; refit with proper y
+        clf = VotingClassifier([
+            ("a", _Stub([2, 1])), ("b", _Stub([1, 1])),
+        ]).fit(np.zeros((2, 1)), np.array([1, 2]))
+        assert clf.predict(np.zeros((1, 1)))[0] == 1
+
+    def test_weights_override_majority(self):
+        X = np.zeros((1, 1))
+        clf = VotingClassifier(
+            [("a", _Stub([0, 0])), ("b", _Stub([1, 1])),
+             ("c", _Stub([1, 1]))],
+            weights=[5.0, 1.0, 1.0],
+        ).fit(np.zeros((2, 1)), np.array([0, 1]))
+        assert clf.predict(X)[0] == 0
+
+    def test_real_estimators_beat_chance(self, rng):
+        centers = np.array([[3, 0], [-3, 0], [0, 3]], dtype=float)
+        y = rng.integers(0, 3, size=240)
+        X = centers[y] + rng.normal(size=(240, 2))
+        voter = VotingClassifier([
+            ("mlp", MLPClassifier(max_iter=60, learning_rate_init=1e-2,
+                                  rng=rng)),
+            ("ridge", RidgeClassifier()),
+            ("sgd", SGDClassifier(rng=rng)),
+        ]).fit(X, y)
+        assert voter.score(X, y) > 0.9
+        assert set(voter.named_estimators_) == {"mlp", "ridge", "sgd"}
+
+
+class TestSoftVoting:
+    def test_soft_averages_probabilities(self):
+        X = np.zeros((1, 1))
+        clf = VotingClassifier(
+            [("a", _ProbaStub([[0.6, 0.4], [0.6, 0.4]])),
+             ("b", _ProbaStub([[0.1, 0.9], [0.1, 0.9]]))],
+            voting="soft",
+        ).fit(np.zeros((2, 1)), np.array([0, 1]))
+        proba = clf.predict_proba(X)
+        np.testing.assert_allclose(proba, [[0.35, 0.65]])
+        assert clf.predict(X)[0] == 1
+
+    def test_soft_requires_predict_proba(self):
+        """The paper fell back to hard voting for exactly this reason."""
+
+        with pytest.raises(TypeError):
+            VotingClassifier([("r", RidgeClassifier())], voting="soft").fit(
+                np.zeros((4, 2)), np.array([0, 1, 0, 1]))
+
+    def test_predict_proba_requires_soft(self):
+        clf = VotingClassifier([("a", _Stub([0, 1]))]).fit(
+            np.zeros((2, 1)), np.array([0, 1]))
+        with pytest.raises(AttributeError):
+            clf.predict_proba(np.zeros((1, 1)))
+
+
+class TestValidation:
+    def test_empty_estimators(self):
+        with pytest.raises(ValueError):
+            VotingClassifier([]).fit(np.zeros((2, 1)), [0, 1])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            VotingClassifier([("a", _Stub([0])), ("a", _Stub([0]))]).fit(
+                np.zeros((2, 1)), [0, 1])
+
+    def test_bad_voting_mode(self):
+        with pytest.raises(ValueError):
+            VotingClassifier([("a", _Stub([0]))], voting="avg").fit(
+                np.zeros((2, 1)), [0, 1])
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValueError):
+            VotingClassifier([("a", _Stub([0]))], weights=[1, 2]).fit(
+                np.zeros((2, 1)), [0, 1])

@@ -1,0 +1,128 @@
+"""RidgeClassifier / SGDClassifier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn import RidgeClassifier, SGDClassifier
+
+
+def separable_binary(rng, n=200, d=6):
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] - 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+def separable_multiclass(rng, n=300, k=4):
+    centers = rng.normal(size=(k, 5)) * 6
+    y = rng.integers(0, k, size=n)
+    X = centers[y] + rng.normal(size=(n, 5))
+    return X, y
+
+
+class TestRidgeClassifier:
+    def test_binary_separable(self, rng):
+        X, y = separable_binary(rng)
+        clf = RidgeClassifier().fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_multiclass(self, rng):
+        X, y = separable_multiclass(rng)
+        clf = RidgeClassifier().fit(X, y)
+        assert clf.score(X, y) > 0.95
+        assert clf.coef_.shape == (4, 5)
+
+    def test_preserves_label_values(self, rng):
+        X, y = separable_binary(rng)
+        labels = np.where(y == 1, 10, 20)
+        clf = RidgeClassifier().fit(X, labels)
+        assert set(clf.predict(X)) <= {10, 20}
+
+    def test_decision_function_shapes(self, rng):
+        Xb, yb = separable_binary(rng)
+        assert RidgeClassifier().fit(Xb, yb).decision_function(Xb).ndim == 1
+        Xm, ym = separable_multiclass(rng)
+        assert RidgeClassifier().fit(Xm, ym).decision_function(Xm).shape == \
+            (len(Xm), 4)
+
+    def test_alpha_shrinks_coefficients(self, rng):
+        X, y = separable_binary(rng)
+        small = RidgeClassifier(alpha=1e-4).fit(X, y)
+        large = RidgeClassifier(alpha=1e4).fit(X, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_dual_path_when_wide(self, rng):
+        """d > n triggers the dual solver; predictions must still work."""
+
+        X = rng.normal(size=(20, 100))
+        y = (X[:, 0] > 0).astype(int)
+        clf = RidgeClassifier().fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            RidgeClassifier().predict(np.zeros((1, 3)))
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RidgeClassifier().fit(np.zeros((5, 2)), np.zeros(5))
+
+    def test_negative_alpha_rejected(self, rng):
+        X, y = separable_binary(rng)
+        with pytest.raises(ValueError):
+            RidgeClassifier(alpha=-1).fit(X, y)
+
+    def test_intercept_handles_offset_data(self, rng):
+        X, y = separable_binary(rng)
+        X_shifted = X + 100.0
+        clf = RidgeClassifier().fit(X_shifted, y)
+        assert clf.score(X_shifted, y) > 0.9
+
+
+class TestSGDClassifier:
+    def test_hinge_binary(self, rng):
+        X, y = separable_binary(rng)
+        clf = SGDClassifier(rng=rng).fit(X, y)
+        assert clf.score(X, y) > 0.93
+        assert clf.n_iter_ >= 1
+
+    def test_log_loss(self, rng):
+        X, y = separable_binary(rng)
+        clf = SGDClassifier(loss="log_loss", rng=rng).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_multiclass_one_vs_rest(self, rng):
+        X, y = separable_multiclass(rng)
+        clf = SGDClassifier(max_iter=80, rng=rng).fit(X, y)
+        assert clf.score(X, y) > 0.9
+        assert clf.coef_.shape == (4, 5)
+
+    def test_unknown_loss(self, rng):
+        X, y = separable_binary(rng)
+        with pytest.raises(ValueError):
+            SGDClassifier(loss="squared_hinge", rng=rng).fit(X, y)
+
+    def test_early_stopping_by_tol(self, rng):
+        X, y = separable_binary(rng)
+        clf = SGDClassifier(max_iter=500, tol=1e-1, n_iter_no_change=2,
+                            rng=rng).fit(X, y)
+        assert clf.n_iter_ < 500
+
+    def test_batch_size_one_is_classic_sgd(self, rng):
+        X, y = separable_binary(rng, n=80)
+        clf = SGDClassifier(batch_size=1, max_iter=10, rng=rng).fit(X, y)
+        assert clf.score(X, y) > 0.85
+
+    def test_get_set_params(self):
+        clf = SGDClassifier(alpha=0.5)
+        assert clf.get_params()["alpha"] == 0.5
+        clf.set_params(alpha=0.1)
+        assert clf.alpha == 0.1
+        with pytest.raises(ValueError):
+            clf.set_params(bogus=1)
+
+    def test_nan_input_rejected(self, rng):
+        X = np.full((4, 2), np.nan)
+        with pytest.raises(ValueError):
+            SGDClassifier(rng=rng).fit(X, [0, 1, 0, 1])

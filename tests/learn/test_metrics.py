@@ -1,0 +1,144 @@
+"""Metric tests: hand-computed cases plus algebraic properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import (accuracy_score, classification_report,
+                         confusion_matrix, f1_score, fbeta_score,
+                         precision_recall_fscore_support, precision_score,
+                         recall_score)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_perfect_and_zero(self):
+        assert accuracy_score([1, 1], [1, 1]) == 1.0
+        assert accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_hand_example(self):
+        y_true = [0, 0, 1, 1, 2]
+        y_pred = [0, 1, 1, 1, 0]
+        cm = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(cm, [[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([1, 0], [1, 0], labels=[1, 0])
+        np.testing.assert_array_equal(cm, [[1, 0], [0, 1]])
+
+    def test_trace_equals_correct_count(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 50)
+        y_pred = rng.integers(0, 4, 50)
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.trace() == (y_true == y_pred).sum()
+
+
+class TestBinaryF1:
+    def test_hand_computed(self):
+        # tp=2, fp=1, fn=1 -> p=2/3, r=2/3, f1=2/3
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_group0_as_pos_label(self):
+        """The paper's Group-0 F1: pos_label=0 in a 26-class problem."""
+
+        y_true = [0, 0, 5, 7, 0]
+        y_pred = [0, 5, 5, 7, 0]
+        f1 = f1_score(y_true, y_pred, pos_label=0)
+        # tp=2, fn=1, fp=0 -> p=1, r=2/3 -> f1=0.8
+        assert f1 == pytest.approx(0.8)
+
+    def test_zero_division_default(self):
+        assert f1_score([0, 0], [0, 0], pos_label=1) == 0.0
+        assert f1_score([0, 0], [0, 0], pos_label=1,
+                        zero_division=1.0) == 1.0
+
+    def test_perfect_prediction(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_fbeta_extremes(self):
+        y_true = [1, 1, 1, 0]
+        y_pred = [1, 0, 0, 0]
+        # p=1, r=1/3
+        f05 = fbeta_score(y_true, y_pred, beta=0.5)
+        f2 = fbeta_score(y_true, y_pred, beta=2.0)
+        assert f05 > f2  # beta<1 favors precision
+
+
+class TestAverages:
+    def _data(self):
+        rng = np.random.default_rng(3)
+        y_true = rng.integers(0, 5, 200)
+        y_pred = np.where(rng.random(200) < 0.7, y_true,
+                          rng.integers(0, 5, 200))
+        return y_true, y_pred
+
+    def test_micro_f1_equals_accuracy(self):
+        """Property: micro-averaged F1 == accuracy for single-label tasks."""
+
+        y_true, y_pred = self._data()
+        micro = f1_score(y_true, y_pred, average="micro")
+        assert micro == pytest.approx(accuracy_score(y_true, y_pred))
+
+    def test_weighted_recall_equals_accuracy(self):
+        y_true, y_pred = self._data()
+        wr = recall_score(y_true, y_pred, average="weighted")
+        assert wr == pytest.approx(accuracy_score(y_true, y_pred))
+
+    def test_macro_is_unweighted_mean(self):
+        y_true, y_pred = self._data()
+        p_per, _, _, _ = precision_recall_fscore_support(y_true, y_pred)
+        macro = precision_score(y_true, y_pred, average="macro")
+        assert macro == pytest.approx(p_per.mean())
+
+    def test_per_class_support_sums_to_n(self):
+        y_true, y_pred = self._data()
+        _, _, _, support = precision_recall_fscore_support(y_true, y_pred)
+        assert support.sum() == len(y_true)
+
+    def test_unknown_average(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 1], [0, 1], average="bogus")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=60),
+       st.integers(0, 2 ** 31 - 1))
+def test_f1_bounded_and_symmetric_under_perfection(labels, seed):
+    """Property: F1 ∈ [0, 1]; F1 == 1 iff predictions match on pos class."""
+
+    y_true = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    y_pred = rng.integers(0, 4, size=len(labels))
+    f1 = f1_score(y_true, y_pred, pos_label=0)
+    assert 0.0 <= f1 <= 1.0
+    assert f1_score(y_true, y_true, pos_label=0,
+                    zero_division=1.0) == 1.0
+
+
+class TestClassificationReport:
+    def test_contains_rows(self):
+        report = classification_report([0, 1, 1, 0], [0, 1, 0, 0])
+        assert "precision" in report
+        assert "macro avg" in report
+        assert "weighted avg" in report
+        assert "accuracy" in report

@@ -1,0 +1,96 @@
+"""MLPClassifier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn import MLPClassifier
+
+
+def blobs(rng, n=240, k=3):
+    centers = np.array([[4, 0], [-4, 0], [0, 4]], dtype=float)[:k]
+    y = rng.integers(0, k, size=n)
+    X = centers[y] + rng.normal(size=(n, 2))
+    return X.astype(np.float32), y
+
+
+class TestMLPClassifier:
+    def test_learns_blobs(self, rng):
+        X, y = blobs(rng)
+        clf = MLPClassifier(max_iter=150, learning_rate_init=1e-2, rng=rng)
+        clf.fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_learns_xor_with_hidden_layer(self, rng):
+        """Nonlinear boundary requires the hidden layer to function."""
+
+        X = rng.uniform(-1, 1, size=(400, 2)).astype(np.float32)
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        clf = MLPClassifier(hidden_layer_sizes=(16,), max_iter=400,
+                            learning_rate_init=2e-2, rng=rng)
+        clf.fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_predict_proba_normalized(self, rng):
+        X, y = blobs(rng)
+        clf = MLPClassifier(max_iter=30, rng=rng).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert proba.shape == (len(X), 3)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(len(X)),
+                                   rtol=1e-4)
+        assert (proba >= 0).all()
+
+    def test_argmax_consistency(self, rng):
+        X, y = blobs(rng)
+        clf = MLPClassifier(max_iter=30, rng=rng).fit(X, y)
+        np.testing.assert_array_equal(
+            clf.predict(X), clf.classes_[clf.predict_proba(X).argmax(axis=1)])
+
+    def test_thirty_hidden_units_default(self):
+        assert MLPClassifier().hidden_layer_sizes == (30,)
+
+    def test_n_iter_and_loss_curve(self, rng):
+        X, y = blobs(rng)
+        clf = MLPClassifier(max_iter=25, rng=rng).fit(X, y)
+        assert 1 <= clf.n_iter_ <= 25
+        assert len(clf.loss_curve_) == clf.n_iter_
+        assert clf.loss_curve_[-1] < clf.loss_curve_[0]
+
+    def test_early_stop_on_plateau(self, rng):
+        X, y = blobs(rng)
+        clf = MLPClassifier(max_iter=500, tol=10.0, n_iter_no_change=3,
+                            rng=rng).fit(X, y)
+        assert clf.n_iter_ <= 10
+
+    def test_label_preservation(self, rng):
+        X, y = blobs(rng)
+        labels = np.array(["a", "b", "c"])[y]
+        clf = MLPClassifier(max_iter=30, rng=rng).fit(X, labels)
+        assert set(clf.predict(X)) <= {"a", "b", "c"}
+
+    def test_unknown_activation(self, rng):
+        X, y = blobs(rng)
+        with pytest.raises(ValueError):
+            MLPClassifier(activation="swish", rng=rng).fit(X, y)
+
+    def test_bad_hidden_size(self, rng):
+        X, y = blobs(rng)
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=(0,), rng=rng).fit(X, y)
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MLPClassifier(rng=rng).fit(np.zeros((4, 2)), np.zeros(4))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+    def test_deterministic_with_seeded_rng(self):
+        X, y = blobs(np.random.default_rng(1))
+        a = MLPClassifier(max_iter=20,
+                          rng=np.random.default_rng(42)).fit(X, y)
+        b = MLPClassifier(max_iter=20,
+                          rng=np.random.default_rng(42)).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,161 @@
+"""Stratified splitting tests (the paper's evaluation protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import (KFold, StratifiedKFold, StratifiedShuffleSplit,
+                         stratifiable_mask, train_test_split)
+
+
+def imbalanced_labels(rng, n=400):
+    """26-class labels with the paper's Group-0 imbalance."""
+
+    y = rng.integers(1, 26, size=n)
+    y[: max(3, n // 100)] = 0  # rare group 0
+    rng.shuffle(y)
+    return y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = np.arange(100).reshape(50, 2)
+        X_train, X_test = train_test_split(X, test_size=0.2, rng=rng)
+        assert len(X_test) == 10
+        assert len(X_train) == 40
+
+    def test_partition_no_overlap(self, rng):
+        X = np.arange(60)
+        tr, te = train_test_split(X, test_size=0.25, rng=rng)
+        assert set(tr) | set(te) == set(X)
+        assert not set(tr) & set(te)
+
+    def test_multiple_arrays_aligned(self, rng):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3,
+                                                  rng=rng)
+        np.testing.assert_array_equal(X_tr[:, 0] // 2, y_tr)
+        np.testing.assert_array_equal(X_te[:, 0] // 2, y_te)
+
+    def test_stratify_preserves_all_classes(self, rng):
+        y = imbalanced_labels(rng)
+        y_tr, y_te = train_test_split(y, test_size=0.25, stratify=y, rng=rng)
+        assert set(np.unique(y_tr)) == set(np.unique(y))
+        assert set(np.unique(y_te)) == set(np.unique(y))
+
+    def test_stratify_preserves_proportions(self, rng):
+        y = np.repeat([0, 1, 2], [40, 120, 240])
+        rng.shuffle(y)
+        y_tr, y_te = train_test_split(y, test_size=0.25, stratify=y, rng=rng)
+        for cls, frac in [(0, 0.1), (1, 0.3), (2, 0.6)]:
+            assert np.mean(y_tr == cls) == pytest.approx(frac, abs=0.05)
+            assert np.mean(y_te == cls) == pytest.approx(frac, abs=0.07)
+
+    def test_stratify_needs_two_per_class(self, rng):
+        y = np.array([0, 1, 1, 1])
+        with pytest.raises(ValueError):
+            train_test_split(y, test_size=0.5, stratify=y, rng=rng)
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6), rng=rng)
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), test_size=11, rng=rng)
+
+    def test_deterministic_given_rng(self):
+        X = np.arange(30)
+        a = train_test_split(X, test_size=0.3,
+                             rng=np.random.default_rng(5))[1]
+        b = train_test_split(X, test_size=0.3,
+                             rng=np.random.default_rng(5))[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestStratifiableMask:
+    def test_flags_singletons(self):
+        y = np.array([0, 1, 1, 2, 2, 2])
+        np.testing.assert_array_equal(
+            stratifiable_mask(y), [False, True, True, True, True, True])
+
+    def test_min_per_class(self):
+        y = np.array([0, 0, 1, 1, 1])
+        mask = stratifiable_mask(y, min_per_class=3)
+        np.testing.assert_array_equal(mask, [False, False, True, True, True])
+
+
+class TestStratifiedShuffleSplit:
+    def test_n_splits_and_proportions(self, rng):
+        y = imbalanced_labels(rng)
+        splitter = StratifiedShuffleSplit(n_splits=4, test_size=0.25, rng=rng)
+        splits = list(splitter.split(None, y))
+        assert len(splits) == 4
+        for train, test in splits:
+            assert set(np.unique(y[train])) == set(np.unique(y))
+            assert not set(train) & set(test)
+
+    def test_splits_differ(self, rng):
+        y = imbalanced_labels(rng)
+        s = StratifiedShuffleSplit(n_splits=2, test_size=0.25, rng=rng)
+        (tr1, _), (tr2, _) = list(s.split(None, y))
+        assert not np.array_equal(np.sort(tr1), np.sort(tr2))
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_everything(self, rng):
+        y = np.repeat(np.arange(5), 20)
+        rng.shuffle(y)
+        skf = StratifiedKFold(n_splits=4, rng=rng)
+        seen = np.zeros(len(y), dtype=int)
+        for train, test in skf.split(None, y):
+            seen[test] += 1
+            assert not set(train) & set(test)
+            # Per-fold class proportions match the global ones.
+            for cls in range(5):
+                assert np.mean(y[test] == cls) == pytest.approx(0.2, abs=0.1)
+        np.testing.assert_array_equal(seen, np.ones(len(y)))
+
+    def test_too_few_members_raises(self, rng):
+        y = np.array([0, 0, 1, 1, 1])
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(n_splits=3, rng=rng).split(None, y))
+
+    def test_min_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=1)
+
+
+class TestKFold:
+    def test_partition(self, rng):
+        kf = KFold(n_splits=5, shuffle=True, rng=rng)
+        X = np.arange(23)
+        seen = np.zeros(23, dtype=int)
+        for train, test in kf.split(X):
+            seen[test] += 1
+            assert len(train) + len(test) == 23
+        np.testing.assert_array_equal(seen, np.ones(23))
+
+    def test_more_folds_than_samples(self, rng):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5, rng=rng).split(np.arange(3)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(10, 80), st.integers(0, 2 ** 31 - 1))
+def test_stratified_split_property(n_classes, n, seed):
+    """Property: every class present on both sides, no index overlap."""
+
+    rng = np.random.default_rng(seed)
+    y = np.concatenate([np.arange(n_classes), np.arange(n_classes),
+                        rng.integers(0, n_classes, size=n)])
+    rng.shuffle(y)
+    tr, te = train_test_split(y, test_size=0.3, stratify=y,
+                              rng=np.random.default_rng(seed + 1))
+    assert set(np.unique(tr)) == set(np.unique(y))
+    assert set(np.unique(te)) == set(np.unique(y))
+    assert len(tr) + len(te) == len(y)

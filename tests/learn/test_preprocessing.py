@@ -1,0 +1,79 @@
+"""LabelEncoder / scaler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn import LabelEncoder, MinMaxScaler, StandardScaler
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "c", "a"])
+        np.testing.assert_array_equal(enc.classes_, ["a", "b", "c"])
+        np.testing.assert_array_equal(codes, [1, 0, 2, 0])
+        np.testing.assert_array_equal(enc.inverse_transform(codes),
+                                      ["b", "a", "c", "a"])
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit([1, 2, 3])
+        with pytest.raises(ValueError):
+            enc.transform([4])
+
+    def test_out_of_range_inverse(self):
+        enc = LabelEncoder().fit([0, 1])
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            LabelEncoder().transform([1])
+
+    def test_numeric_labels_sorted(self):
+        enc = LabelEncoder().fit([10, 2, 5])
+        np.testing.assert_array_equal(enc.classes_, [2, 5, 10])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(loc=5, scale=3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1, rtol=1e-10)
+
+    def test_constant_column_safe(self):
+        X = np.ones((10, 2))
+        X[:, 1] = np.arange(10)
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z[:, 0], 0)
+
+    def test_inverse_transform(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(
+            scaler.transform(X)), X, rtol=1e-10)
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.min(axis=0), 0, atol=1e-12)
+        np.testing.assert_allclose(Z.max(axis=0), 1, atol=1e-12)
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(50, 2))
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        assert Z.min() >= -1 - 1e-12
+        assert Z.max() <= 1 + 1e-12
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 0))

@@ -1,0 +1,94 @@
+"""GridSearchCV / cross_val_score tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn import (GridSearchCV, ParameterGrid, RidgeClassifier,
+                         SGDClassifier, cross_val_score)
+
+
+def blobs(rng, n=240):
+    centers = np.array([[4, 0], [-4, 0], [0, 4]], dtype=float)
+    y = rng.integers(0, 3, size=n)
+    X = centers[y] + rng.normal(size=(n, 2))
+    return X, y
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(grid) == 6
+        assert {"a": 2, "b": "y"} in combos
+
+    def test_single_entry(self):
+        assert list(ParameterGrid({"a": [1]})) == [{"a": 1}]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({})
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+
+class TestCrossValScore:
+    def test_scores_per_fold(self, rng):
+        X, y = blobs(rng)
+        scores = cross_val_score(lambda: RidgeClassifier(), X, y,
+                                 n_splits=4, rng=rng)
+        assert scores.shape == (4,)
+        assert (scores > 0.8).all()
+
+    def test_fresh_estimator_per_fold(self, rng):
+        X, y = blobs(rng)
+        built = []
+
+        def factory():
+            clf = RidgeClassifier()
+            built.append(clf)
+            return clf
+
+        cross_val_score(factory, X, y, n_splits=3, rng=rng)
+        assert len(built) == 3
+
+
+class TestGridSearchCV:
+    def test_finds_reasonable_alpha(self, rng):
+        X, y = blobs(rng)
+        # An absurd alpha destroys accuracy; the search must avoid it.
+        search = GridSearchCV(
+            estimator_factory=lambda alpha: RidgeClassifier(alpha=alpha),
+            param_grid={"alpha": [1.0, 1e9]},
+            n_splits=3, rng=rng)
+        search.fit(X, y)
+        assert search.best_params_["alpha"] == 1.0
+        assert search.best_score_ > 0.85
+        assert len(search.results_) == 2
+
+    def test_best_estimator_refit_on_full_data(self, rng):
+        X, y = blobs(rng)
+        search = GridSearchCV(
+            estimator_factory=lambda alpha: RidgeClassifier(alpha=alpha),
+            param_grid={"alpha": [0.5, 2.0]}, n_splits=3, rng=rng)
+        search.fit(X, y)
+        assert search.predict(X).shape == y.shape
+        assert (search.predict(X) == y).mean() > 0.85
+
+    def test_multi_parameter_grid(self, rng):
+        X, y = blobs(rng)
+        search = GridSearchCV(
+            estimator_factory=lambda max_iter, eta0: SGDClassifier(
+                max_iter=max_iter, eta0=eta0,
+                rng=np.random.default_rng(0)),
+            param_grid={"max_iter": [5, 30], "eta0": [0.1, 1.0]},
+            n_splits=3, rng=rng)
+        search.fit(X, y)
+        assert len(search.results_) == 4
+        assert set(search.best_params_) == {"max_iter", "eta0"}
+
+    def test_unfitted_predict(self):
+        search = GridSearchCV(lambda: RidgeClassifier(), {"alpha": [1.0]})
+        with pytest.raises(RuntimeError):
+            search.predict(np.zeros((1, 2)))

@@ -1,0 +1,320 @@
+"""Autograd correctness: every op's backward against numeric gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.autograd import Tensor, _unbroadcast
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar f at x."""
+
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f(x)
+        flat[i] = orig - eps
+        down = f(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_unary(op_name, np_fn, shape=(3, 4), positive=False, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    if positive:
+        x = np.abs(x) + 0.5
+    t = Tensor(x.astype(np.float32), requires_grad=True)
+    out = getattr(t, op_name)()
+    out.sum().backward()
+    expected = numeric_grad(lambda a: float(np_fn(a).sum()), x.copy())
+    np.testing.assert_allclose(t.grad, expected, rtol=1e-3, atol=1e-4)
+
+
+class TestUnaryOps:
+    def test_exp(self):
+        check_unary("exp", np.exp)
+
+    def test_log(self):
+        check_unary("log", np.log, positive=True)
+
+    def test_tanh(self):
+        check_unary("tanh", np.tanh)
+
+    def test_relu_grad_masks_negatives(self):
+        t = Tensor([[-1.0, 2.0], [3.0, -4.0]], requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_array_equal(t.grad, [[0, 1], [1, 0]])
+
+    def test_sigmoid(self):
+        check_unary("sigmoid", lambda a: 1 / (1 + np.exp(-a)))
+
+    def test_abs(self):
+        check_unary("abs", np.abs, seed=3)
+
+    def test_neg(self):
+        t = Tensor([1.0, -2.0], requires_grad=True)
+        (-t).sum().backward()
+        np.testing.assert_array_equal(t.grad, [-1, -1])
+
+    def test_pow(self):
+        rng = np.random.default_rng(1)
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        t = Tensor(x.astype(np.float32), requires_grad=True)
+        (t ** 3).sum().backward()
+        np.testing.assert_allclose(t.grad, 3 * x ** 2, rtol=1e-3)
+
+    def test_clamp(self):
+        t = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        t.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0, 1, 0])
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    def test_elementwise_backward(self, op):
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4)) + 2.0  # away from zero for div
+        ta = Tensor(a.astype(np.float32), requires_grad=True)
+        tb = Tensor(b.astype(np.float32), requires_grad=True)
+        apply = {"add": lambda x, y: x + y, "sub": lambda x, y: x - y,
+                 "mul": lambda x, y: x * y, "div": lambda x, y: x / y}[op]
+        apply(ta, tb).sum().backward()
+        ga = numeric_grad(lambda x: float(apply(x, b).sum()), a.copy())
+        gb = numeric_grad(lambda y: float(apply(a, y).sum()), b.copy())
+        np.testing.assert_allclose(ta.grad, ga, rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(tb.grad, gb, rtol=1e-3, atol=1e-4)
+
+    def test_broadcast_row_vector(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_array_equal(b.grad, [3, 3, 3, 3])
+
+    def test_broadcast_scalar(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3),
+                   requires_grad=True)
+        (a * 2.0 + 1.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full((2, 3), 2.0))
+
+    def test_matmul_backward(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 5))
+        b = rng.normal(size=(5, 2))
+        ta = Tensor(a.astype(np.float32), requires_grad=True)
+        tb = Tensor(b.astype(np.float32), requires_grad=True)
+        (ta @ tb).sum().backward()
+        ga = numeric_grad(lambda x: float((x @ b).sum()), a.copy())
+        gb = numeric_grad(lambda y: float((a @ y).sum()), b.copy())
+        np.testing.assert_allclose(ta.grad, ga, rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(tb.grad, gb, rtol=1e-3, atol=1e-4)
+
+    def test_matvec_backward(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(3, 5))
+        v = rng.normal(size=5)
+        ta = Tensor(a.astype(np.float32), requires_grad=True)
+        tv = Tensor(v.astype(np.float32), requires_grad=True)
+        (ta @ tv).sum().backward()
+        np.testing.assert_allclose(
+            tv.grad, a.sum(axis=0), rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(
+            ta.grad, np.tile(v, (3, 1)), rtol=1e-4, atol=1e-5)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        out = t.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 3)))
+
+    def test_mean_gradient(self):
+        t = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3),
+                   requires_grad=True)
+        t.mean().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 1 / 6))
+
+    def test_max_splits_ties(self):
+        t = Tensor([2.0, 2.0, 1.0], requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5, 0.0])
+
+    def test_max_axis(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 5))
+        t = Tensor(x.astype(np.float32), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        expected = numeric_grad(lambda a: float(a.max(axis=1).sum()), x.copy())
+        np.testing.assert_allclose(t.grad, expected, rtol=1e-3, atol=1e-4)
+
+    def test_reshape_roundtrip(self):
+        t = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones(6))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        t = Tensor(x, requires_grad=True)
+        out = t.T
+        assert out.shape == (3, 2)
+        (out * Tensor(np.ones((3, 2), dtype=np.float32))).sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 3)))
+
+    def test_getitem_fancy_accumulates(self):
+        t = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        idx = np.array([1, 1, 2])
+        t[idx].sum().backward()
+        np.testing.assert_array_equal(t.grad, [0, 2, 1, 0])
+
+    def test_getitem_pair_indexing(self):
+        t = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4),
+                   requires_grad=True)
+        rows = np.arange(3)
+        cols = np.array([1, 2, 0])
+        out = t[(rows, cols)]
+        np.testing.assert_array_equal(out.numpy(), [1, 6, 8])
+        out.sum().backward()
+        expected = np.zeros((3, 4))
+        expected[rows, cols] = 1
+        np.testing.assert_array_equal(t.grad, expected)
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t + t).sum().backward()
+        np.testing.assert_array_equal(t.grad, [2, 2])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with nn.no_grad():
+            out = t * 2
+        assert not out.requires_grad
+        assert nn.is_grad_enabled()
+
+    def test_detach_shares_data(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert t.data[0] == 5.0
+
+    def test_backward_requires_grad(self):
+        t = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            t.sum().backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_array_equal(t.grad, [3, 30])
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.array([1, 2]), requires_grad=True)
+
+    def test_mul_inplace_on_grad(self):
+        """The paper's Listing 3 idiom: param.grad.mul_(multiplier)."""
+
+        t = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        (t * 2).sum().backward()
+        t.grad.mul_(np.array([0.1, 0.1, 1.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(t.grad, [0.2, 0.2, 2.0, 2.0])
+
+    def test_inplace_data_ops(self):
+        t = Tensor(np.ones(3, dtype=np.float32))
+        t.mul_(2.0).add_(1.0)
+        np.testing.assert_array_equal(t.data, [3, 3, 3])
+        t.zero_()
+        np.testing.assert_array_equal(t.data, [0, 0, 0])
+        t.fill_(7)
+        np.testing.assert_array_equal(t.data, [7, 7, 7])
+
+
+class TestDtypesAndConstructors:
+    def test_float64_coerced_to_float32(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_coerced_to_int64(self):
+        t = Tensor(np.zeros(3, dtype=np.int32))
+        assert t.dtype == np.int64
+
+    def test_bool_coerced_to_float(self):
+        t = Tensor(np.array([True, False]))
+        assert t.dtype == np.float32
+
+    def test_constructors(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones((4,)).numpy().sum() == 4
+        assert nn.arange(5).shape == (5,)
+        rng = np.random.default_rng(0)
+        assert nn.rand(2, 2, rng=rng).shape == (2, 2)
+        assert nn.randn(2, 2, rng=rng).shape == (2, 2)
+
+    def test_from_numpy_no_copy(self):
+        arr = np.ones(3, dtype=np.float32)
+        t = nn.from_numpy(arr)
+        arr[0] = 9
+        assert t.data[0] == 9
+
+    def test_size_and_numel(self):
+        t = nn.zeros(2, 5)
+        assert t.size() == (2, 5)
+        assert t.size(dim=1) == 5
+        assert t.numel() == 10
+
+
+class TestUnbroadcast:
+    @given(st.sampled_from([(3, 4), (1, 4), (3, 1), (1, 1), (4,), (1,), ()]))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_restores_shape(self, shape):
+        grad = np.ones((3, 4))
+        out = _unbroadcast(grad, shape)
+        assert out.shape == shape
+
+    def test_unbroadcast_sums_contributions(self):
+        out = _unbroadcast(np.ones((5, 3)), (3,))
+        np.testing.assert_array_equal(out, [5, 5, 5])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_two_layer_network_gradient_property(n, m, seed):
+    """Property: autograd == numeric gradient for a random 2-layer net."""
+
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, n))
+    w1 = rng.normal(size=(m, n)) * 0.7
+    w2 = rng.normal(size=(1, m)) * 0.7
+
+    tw1 = Tensor(w1.astype(np.float32), requires_grad=True)
+    out = (Tensor(x.astype(np.float32)) @ tw1.T).tanh() @ Tensor(
+        w2.astype(np.float32)).T
+    out.sum().backward()
+
+    expected = numeric_grad(
+        lambda w: float((np.tanh(x @ w.T) @ w2.T).sum()), w1.copy())
+    np.testing.assert_allclose(tw1.grad, expected, rtol=2e-2, atol=1e-3)

@@ -1,0 +1,84 @@
+"""DataLoader / TensorDataset tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import nn
+
+
+class TestTensorDataset:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            nn.TensorDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            nn.TensorDataset()
+
+    def test_indexing(self):
+        ds = nn.TensorDataset(np.arange(10).reshape(5, 2), np.arange(5))
+        x, y = ds[np.array([0, 2])]
+        np.testing.assert_array_equal(y, [0, 2])
+        assert len(ds) == 5
+
+    def test_sparse_input_densified(self):
+        X = sp.csr_matrix(np.eye(4, dtype=np.float32))
+        ds = nn.TensorDataset(X, np.arange(4))
+        x, _ = ds[np.array([1])]
+        np.testing.assert_array_equal(x[0], [0, 1, 0, 0])
+
+
+class TestDataLoader:
+    def _dataset(self, n=25):
+        return nn.TensorDataset(
+            np.arange(n * 2, dtype=np.float32).reshape(n, 2),
+            np.arange(n, dtype=np.int64))
+
+    def test_batch_count(self):
+        loader = nn.DataLoader(self._dataset(25), batch_size=10)
+        assert len(loader) == 3
+        batches = list(loader)
+        assert [len(b[1]) for b in batches] == [10, 10, 5]
+
+    def test_drop_last(self):
+        loader = nn.DataLoader(self._dataset(25), batch_size=10,
+                               drop_last=True)
+        assert len(loader) == 2
+        assert [len(b[1]) for b in loader] == [10, 10]
+
+    def test_yields_tensors(self):
+        loader = nn.DataLoader(self._dataset(4), batch_size=2)
+        x, y = next(iter(loader))
+        assert isinstance(x, nn.Tensor)
+        assert x.dtype == np.float32
+        assert y.dtype == np.int64
+
+    def test_no_shuffle_preserves_order(self):
+        loader = nn.DataLoader(self._dataset(6), batch_size=3, shuffle=False)
+        ys = np.concatenate([y.numpy() for _x, y in loader])
+        np.testing.assert_array_equal(ys, np.arange(6))
+
+    def test_shuffle_is_permutation_and_deterministic(self):
+        a = nn.DataLoader(self._dataset(30), batch_size=7, shuffle=True,
+                          rng=np.random.default_rng(3))
+        b = nn.DataLoader(self._dataset(30), batch_size=7, shuffle=True,
+                          rng=np.random.default_rng(3))
+        ya = np.concatenate([y.numpy() for _x, y in a])
+        yb = np.concatenate([y.numpy() for _x, y in b])
+        np.testing.assert_array_equal(ya, yb)
+        np.testing.assert_array_equal(np.sort(ya), np.arange(30))
+        assert not np.array_equal(ya, np.arange(30))
+
+    def test_epochs_reshuffle(self):
+        loader = nn.DataLoader(self._dataset(30), batch_size=30, shuffle=True,
+                               rng=np.random.default_rng(0))
+        first = next(iter(loader))[1].numpy().copy()
+        second = next(iter(loader))[1].numpy().copy()
+        assert not np.array_equal(first, second)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            nn.DataLoader(self._dataset(4), batch_size=0)

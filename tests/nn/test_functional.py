@@ -1,0 +1,127 @@
+"""Tests for repro.nn.functional: pad (Listing 2 semantics), softmax family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+
+class TestPad:
+    def test_right_pad_matrix_listing2(self):
+        """The exact call the paper uses to extend fc1.weight."""
+
+        w = np.arange(6, dtype=np.float32).reshape(2, 3)
+        out = F.pad(w, pad=(0, 2), mode="constant", value=0)
+        assert out.shape == (2, 5)
+        np.testing.assert_array_equal(out[:, :3], w)
+        np.testing.assert_array_equal(out[:, 3:], 0)
+
+    def test_left_and_right(self):
+        v = np.ones(3, dtype=np.float32)
+        out = F.pad(v, (1, 2), value=7.0)
+        np.testing.assert_array_equal(out, [7, 1, 1, 1, 7, 7])
+
+    def test_two_dims(self):
+        m = np.ones((2, 2), dtype=np.float32)
+        out = F.pad(m, (1, 1, 1, 1))
+        assert out.shape == (4, 4)
+        assert out.sum() == 4
+
+    def test_tensor_backward_drops_pad_region(self):
+        t = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        out = F.pad(t, (0, 3))
+        assert isinstance(out, Tensor)
+        out.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones((2, 2)))
+
+    def test_only_constant_mode(self):
+        with pytest.raises(NotImplementedError):
+            F.pad(np.ones(3), (1, 1), mode="reflect")
+
+    def test_odd_pad_rejected(self):
+        with pytest.raises(ValueError):
+            F.pad(np.ones(3), (1,))
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            F.pad(np.ones(3), (1, 1, 1, 1))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(rng.normal(size=(5, 7)).astype(np.float32))
+        out = F.softmax(t, dim=1).numpy()
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-5)
+        assert (out >= 0).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(1)
+        t = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        a = F.log_softmax(t, dim=1).numpy()
+        b = np.log(F.softmax(t, dim=1).numpy())
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_softmax_shift_invariance(self):
+        t = Tensor(np.array([[1000.0, 1001.0, 1002.0]], dtype=np.float32))
+        out = F.softmax(t, dim=1).numpy()
+        assert np.isfinite(out).all()
+        small = F.softmax(Tensor(np.array([[0.0, 1.0, 2.0]],
+                                          dtype=np.float32)), dim=1).numpy()
+        np.testing.assert_allclose(out, small, rtol=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 2 ** 31 - 1))
+    def test_log_softmax_exp_normalizes(self, c, seed):
+        rng = np.random.default_rng(seed)
+        t = Tensor(rng.normal(size=(3, c)).astype(np.float32))
+        lp = F.log_softmax(t, dim=1).numpy()
+        np.testing.assert_allclose(np.exp(lp).sum(axis=1), np.ones(3),
+                                   rtol=1e-4)
+
+
+class TestOneHotAndLinear:
+    def test_one_hot_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), num_classes=3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), num_classes=3)
+
+    def test_linear_matches_manual(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        w = rng.normal(size=(2, 3)).astype(np.float32)
+        b = rng.normal(size=2).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b)).numpy()
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-5)
+
+    def test_relu_function(self):
+        out = F.relu(Tensor(np.array([-1.0, 3.0]))).numpy()
+        np.testing.assert_array_equal(out, [0, 3])
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        t = Tensor(np.ones((10, 10), dtype=np.float32))
+        out = F.dropout(t, p=0.5, training=False)
+        np.testing.assert_array_equal(out.numpy(), t.numpy())
+
+    def test_scales_kept_units(self):
+        rng = np.random.default_rng(0)
+        t = Tensor(np.ones(10_000, dtype=np.float32))
+        out = F.dropout(t, p=0.5, training=True, rng=rng).numpy()
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.0, training=True)

@@ -1,0 +1,55 @@
+"""Weight-initializer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestKaimingUniform:
+    def test_torch_linear_default_bound(self):
+        """With a=sqrt(5) the bound reduces to 1/sqrt(fan_in)."""
+
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 256), rng=rng)
+        bound = 1.0 / np.sqrt(256)
+        assert np.abs(w).max() <= bound + 1e-7
+        # Roughly uniform: the mean of |w| for U(-b, b) is b/2.
+        assert abs(np.abs(w).mean() - bound / 2) < bound * 0.1
+
+    def test_deterministic(self):
+        a = init.kaiming_uniform((4, 4), rng=np.random.default_rng(1))
+        b = init.kaiming_uniform((4, 4), rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_dtype(self):
+        assert init.kaiming_uniform((2, 3)).dtype == np.float32
+
+    def test_needs_2d(self):
+        with pytest.raises(ValueError):
+            init.kaiming_uniform((5,))
+
+
+class TestOtherInits:
+    def test_xavier_bound(self):
+        rng = np.random.default_rng(2)
+        w = init.xavier_uniform((100, 200), rng=rng)
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_uniform_range(self):
+        w = init.uniform((50, 50), low=-2, high=3,
+                         rng=np.random.default_rng(3))
+        assert w.min() >= -2 and w.max() < 3
+
+    def test_normal_moments(self):
+        w = init.normal((400, 400), mean=1.0, std=0.5,
+                        rng=np.random.default_rng(4))
+        assert abs(w.mean() - 1.0) < 0.01
+        assert abs(w.std() - 0.5) < 0.01
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 4)),
+                                      np.zeros((3, 4), dtype=np.float32))

@@ -1,0 +1,135 @@
+"""Loss function tests: weighted cross-entropy semantics above all."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.autograd import Tensor
+
+
+def manual_ce(logits: np.ndarray, targets: np.ndarray,
+              weight: np.ndarray | None = None,
+              reduction: str = "mean") -> float:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    lp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    nll = -lp[np.arange(len(targets)), targets]
+    if weight is not None:
+        w = weight[targets]
+        if reduction == "mean":
+            return float((nll * w).sum() / w.sum())
+        nll = nll * w
+    if reduction == "mean":
+        return float(nll.mean())
+    if reduction == "sum":
+        return float(nll.sum())
+    raise ValueError
+
+
+class TestCrossEntropy:
+    def test_matches_manual_unweighted(self, rng):
+        logits = rng.normal(size=(8, 5)).astype(np.float32)
+        y = rng.integers(0, 5, size=8)
+        loss = nn.CrossEntropyLoss()(Tensor(logits), y)
+        assert loss.item() == pytest.approx(manual_ce(logits, y), rel=1e-4)
+
+    def test_weighted_mean_divides_by_weight_sum(self, rng):
+        """Torch semantics: mean = Σ w_t·nll / Σ w_t, not / N."""
+
+        logits = rng.normal(size=(10, 26)).astype(np.float32)
+        y = rng.integers(0, 26, size=10)
+        y[0] = 0  # ensure the up-weighted class appears
+        weight = np.ones(26, dtype=np.float32)
+        weight[0] = 200.0
+        loss = nn.CrossEntropyLoss(weight=weight)(Tensor(logits), y)
+        assert loss.item() == pytest.approx(manual_ce(logits, y, weight),
+                                            rel=1e-4)
+
+    def test_paper_class_weights_prioritize_group0(self, rng):
+        """Training with weight 200 on class 0 must fix class-0 errors first."""
+
+        logits = np.zeros((4, 3), dtype=np.float32)
+        y = np.array([0, 1, 2, 1])
+        weight = np.array([200.0, 1.0, 1.0], dtype=np.float32)
+        t = Tensor(logits, requires_grad=True)
+        nn.CrossEntropyLoss(weight=weight)(t, y).backward()
+        # Gradient magnitude on the class-0 sample dwarfs the others.
+        row_norms = np.abs(t.grad).sum(axis=1)
+        assert row_norms[0] > 50 * row_norms[1]
+
+    def test_sum_and_none_reductions(self, rng):
+        logits = rng.normal(size=(6, 4)).astype(np.float32)
+        y = rng.integers(0, 4, size=6)
+        total = nn.CrossEntropyLoss(reduction="sum")(Tensor(logits), y)
+        per = nn.CrossEntropyLoss(reduction="none")(Tensor(logits), y)
+        assert per.shape == (6,)
+        assert total.item() == pytest.approx(per.numpy().sum(), rel=1e-5)
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = np.array([[2.0, 1.0, 0.0]], dtype=np.float32)
+        t = Tensor(logits, requires_grad=True)
+        nn.CrossEntropyLoss()(t, np.array([0])).backward()
+        e = np.exp(logits[0] - logits[0].max())
+        p = e / e.sum()
+        expected = p.copy()
+        expected[0] -= 1
+        np.testing.assert_allclose(t.grad[0], expected, rtol=1e-4)
+
+    def test_target_validation(self):
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(logits, np.array([0, 3]))
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss()(logits, np.array([0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(weight=np.array([-1.0, 1.0]))
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(reduction="avg")
+
+    def test_numerical_stability_large_logits(self):
+        logits = Tensor(np.array([[1000.0, -1000.0]], dtype=np.float32))
+        loss = nn.CrossEntropyLoss()(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 12),
+           st.integers(0, 2 ** 31 - 1))
+    def test_property_matches_manual(self, c, n, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(n, c)).astype(np.float32)
+        y = rng.integers(0, c, size=n)
+        w = (rng.random(c) * 10 + 0.1).astype(np.float32)
+        loss = nn.CrossEntropyLoss(weight=w)(Tensor(logits), y)
+        assert loss.item() == pytest.approx(manual_ce(logits, y, w), rel=1e-3)
+
+
+class TestNLL:
+    def test_matches_cross_entropy_via_log_softmax(self, rng):
+        logits = rng.normal(size=(5, 4)).astype(np.float32)
+        y = rng.integers(0, 4, size=5)
+        lp = nn.functional.log_softmax(Tensor(logits), dim=1)
+        a = nn.NLLLoss()(lp, y).item()
+        b = nn.CrossEntropyLoss()(Tensor(logits), y).item()
+        assert a == pytest.approx(b, rel=1e-5)
+
+
+class TestRegressionLosses:
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32),
+                      requires_grad=True)
+        loss = nn.MSELoss()(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0])
+
+    def test_l1(self):
+        pred = Tensor(np.array([3.0, -1.0], dtype=np.float32))
+        loss = nn.L1Loss()(pred, np.array([1.0, 1.0]))
+        assert loss.item() == pytest.approx(2.0)

@@ -1,0 +1,200 @@
+"""Module system tests: Linear, Sequential, state dicts, freezing."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def paper_model(features: int = 10, hidden: int = 30, classes: int = 26,
+                rng=None) -> nn.Sequential:
+    """The exact construction from the paper's Listing 1."""
+
+    return nn.Sequential(OrderedDict([
+        ("fc1", nn.Linear(features, hidden, rng=rng)),
+        ("fc2", nn.Linear(hidden, classes, rng=rng)),
+    ]))
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        out = layer(nn.from_numpy(np.ones((7, 5), dtype=np.float32)))
+        assert out.shape == (7, 3)
+
+    def test_weight_layout_is_out_by_in(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        assert layer.weight.data.shape == (3, 5)
+        # size(dim=1) is the paper's probe for the input-feature count.
+        assert layer.weight.size(dim=1) == 5
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        out = layer(nn.from_numpy(np.zeros((1, 4), dtype=np.float32)))
+        np.testing.assert_array_equal(out.numpy(), np.zeros((1, 2)))
+
+    def test_wrong_input_width_raises(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer(nn.from_numpy(np.zeros((1, 5), dtype=np.float32)))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_init_bound(self, rng):
+        layer = nn.Linear(100, 50, rng=rng)
+        bound = 1 / np.sqrt(100)
+        assert np.abs(layer.weight.data).max() <= bound + 1e-6
+
+
+class TestSequential:
+    def test_ordereddict_names(self, rng):
+        model = paper_model(rng=rng)
+        names = [n for n, _ in model.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_getitem_by_name_and_index(self, rng):
+        model = paper_model(rng=rng)
+        assert model["fc1"] is model[0]
+        assert len(model) == 2
+
+    def test_positional_modules(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(),
+                              nn.Linear(8, 2, rng=rng))
+        out = model(nn.from_numpy(np.ones((3, 4), dtype=np.float32)))
+        assert out.shape == (3, 2)
+
+    def test_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            nn.Sequential(OrderedDict([("x", 42)]))
+
+    def test_forward_composition(self, rng):
+        model = paper_model(6, 4, 3, rng=rng)
+        x = np.ones((2, 6), dtype=np.float32)
+        manual = (x @ model["fc1"].weight.data.T + model["fc1"].bias.data)
+        manual = manual @ model["fc2"].weight.data.T + model["fc2"].bias.data
+        np.testing.assert_allclose(model(nn.from_numpy(x)).numpy(), manual,
+                                   rtol=1e-5)
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = paper_model(rng=rng)
+        b = paper_model(rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = paper_model(rng=rng)
+        sd = model.state_dict()
+        sd["fc1.weight"][...] = 0
+        assert model["fc1"].weight.data.any()
+
+    def test_strict_missing_key(self, rng):
+        model = paper_model(rng=rng)
+        sd = model.state_dict()
+        del sd["fc2.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(sd)
+
+    def test_strict_unexpected_key(self, rng):
+        model = paper_model(rng=rng)
+        sd = model.state_dict()
+        sd["fc9.weight"] = np.zeros((1, 1))
+        with pytest.raises(KeyError):
+            model.load_state_dict(sd)
+
+    def test_non_strict_ignores_extras(self, rng):
+        model = paper_model(rng=rng)
+        sd = model.state_dict()
+        sd["extra"] = np.zeros(1)
+        model.load_state_dict(sd, strict=False)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = paper_model(rng=rng)
+        sd = model.state_dict()
+        sd["fc1.weight"] = np.zeros((30, 99), dtype=np.float32)
+        with pytest.raises(ValueError):
+            model.load_state_dict(sd)
+
+    def test_padded_state_dict_restores_into_wider_model(self, rng):
+        """The Listing 2 flow: pad fc1.weight, then restore."""
+
+        small = paper_model(10, rng=rng)
+        sd = small.state_dict()
+        sd["fc1.weight"] = nn.functional.pad(sd["fc1.weight"], (0, 5))
+        wide = paper_model(15, rng=np.random.default_rng(1))
+        wide.load_state_dict(sd)
+        np.testing.assert_array_equal(
+            wide["fc1"].weight.data[:, 10:], np.zeros((30, 5)))
+
+
+class TestTrainEvalAndFreeze:
+    def test_train_eval_propagate(self, rng):
+        model = paper_model(rng=rng)
+        model.eval()
+        assert not model.training
+        assert not model["fc1"].training
+        model.train()
+        assert model["fc2"].training
+
+    def test_freeze_via_requires_grad(self, rng):
+        """Listing 1: freeze base layers by flipping requires_grad."""
+
+        model = paper_model(rng=rng)
+        for param in model["fc2"].parameters():
+            param.requires_grad = False
+        x = nn.from_numpy(np.ones((2, 10), dtype=np.float32))
+        model(x).sum().backward()
+        assert model["fc1"].weight.grad is not None
+        # fc2 output gradient flows through but weight grads are skipped by
+        # optimizers via the requires_grad flag at step time.
+        opt = nn.SGD(model.parameters(), lr=1.0)
+        before = model["fc2"].weight.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(model["fc2"].weight.data, before)
+
+    def test_zero_grad(self, rng):
+        model = paper_model(rng=rng)
+        x = nn.from_numpy(np.ones((2, 10), dtype=np.float32))
+        model(x).sum().backward()
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_num_parameters(self, rng):
+        model = paper_model(10, 30, 26, rng=rng)
+        assert model.num_parameters() == 10 * 30 + 30 + 30 * 26 + 26
+
+    def test_to_dtype(self, rng):
+        model = paper_model(rng=rng).to(dtype=np.float32)
+        assert all(p.data.dtype == np.float32 for p in model.parameters())
+
+
+class TestActivationsAndMisc:
+    def test_activation_modules(self):
+        x = nn.from_numpy(np.array([[-1.0, 1.0]], dtype=np.float32))
+        np.testing.assert_array_equal(nn.ReLU()(x).numpy(), [[0, 1]])
+        np.testing.assert_allclose(nn.Tanh()(x).numpy(), np.tanh([[-1, 1]]),
+                                   rtol=1e-6)
+        np.testing.assert_allclose(nn.Sigmoid()(x).numpy(),
+                                   1 / (1 + np.exp([[1.0, -1.0]])), rtol=1e-6)
+        np.testing.assert_array_equal(nn.Identity()(x).numpy(), [[-1, 1]])
+
+    def test_dropout_module_eval_identity(self):
+        d = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        d.eval()
+        x = nn.from_numpy(np.ones(100, dtype=np.float32))
+        np.testing.assert_array_equal(d(x).numpy(), np.ones(100))
+
+    def test_named_modules(self, rng):
+        model = paper_model(rng=rng)
+        names = [name for name, _ in model.named_modules()]
+        assert names == ["", "fc1", "fc2"]

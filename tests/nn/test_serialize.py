@@ -1,0 +1,82 @@
+"""Checkpoint serialization tests (the torch.save/load replacement)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import serialize
+
+
+class TestRoundtrip:
+    def test_state_dict_roundtrip(self, tmp_path, rng):
+        model = nn.Sequential(OrderedDict([
+            ("fc1", nn.Linear(8, 30, rng=rng)),
+            ("fc2", nn.Linear(30, 26, rng=rng)),
+        ]))
+        path = tmp_path / "model.npz"
+        serialize.save(model.state_dict(), path)
+        restored = serialize.load(path)
+        assert list(restored) == ["fc1.weight", "fc1.bias",
+                                  "fc2.weight", "fc2.bias"]
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(restored[key], value)
+
+    def test_load_into_model(self, tmp_path, rng):
+        a = nn.Linear(4, 2, rng=rng)
+        path = tmp_path / "m.npz"
+        serialize.save(OrderedDict((f"lin.{k}", v) for k, v in
+                                   [("weight", a.weight.data),
+                                    ("bias", a.bias.data)]), path)
+        sd = serialize.load(path)
+        b = nn.Linear(4, 2, rng=np.random.default_rng(9))
+        b.load_state_dict({"weight": sd["lin.weight"],
+                           "bias": sd["lin.bias"]})
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_preserves_dtypes_and_shapes(self, tmp_path):
+        sd = OrderedDict([("a", np.ones((3, 4), dtype=np.float32)),
+                          ("b", np.arange(5, dtype=np.int64))])
+        path = tmp_path / "x.npz"
+        serialize.save(sd, path)
+        out = serialize.load(path)
+        assert out["a"].dtype == np.float32
+        assert out["b"].dtype == np.int64
+        assert out["a"].shape == (3, 4)
+
+    def test_key_order_preserved(self, tmp_path):
+        keys = [f"layer{i}.weight" for i in (3, 1, 2, 0)]
+        sd = OrderedDict((k, np.zeros(1)) for k in keys)
+        path = tmp_path / "o.npz"
+        serialize.save(sd, path)
+        assert list(serialize.load(path)) == keys
+
+    def test_slash_in_key(self, tmp_path):
+        sd = OrderedDict([("weird/key", np.ones(2))])
+        path = tmp_path / "s.npz"
+        serialize.save(sd, path)
+        assert list(serialize.load(path)) == ["weird/key"]
+
+
+class TestErrors:
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            serialize.save({"__key_order__": np.zeros(1)}, tmp_path / "r.npz")
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, a=np.zeros(1))
+        with pytest.raises(ValueError):
+            serialize.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            serialize.load(tmp_path / "nope.npz")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "m.npz"
+        serialize.save(OrderedDict([("w", np.ones(1))]), path)
+        assert path.exists()

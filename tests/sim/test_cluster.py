@@ -1,0 +1,104 @@
+"""ClusterState tests: allocation bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.errors import SchedulingError
+from repro.sim import ClusterState, PendingTask
+
+EQ = ConstraintOperator.EQUAL
+
+
+def make_cluster() -> ClusterState:
+    cluster = ClusterState()
+    cluster.add_machine(1, cpu=1.0, mem=1.0, attributes={"zone": "a"})
+    cluster.add_machine(2, cpu=0.5, mem=0.5, attributes={"zone": "b"})
+    return cluster
+
+
+def task(cid=1, idx=0, cpu=0.25, mem=0.25, priority=0, constraints=None):
+    compacted = compact(constraints) if constraints else None
+    return PendingTask(collection_id=cid, task_index=idx, submit_time=0,
+                       cpu=cpu, mem=mem, priority=priority, task=compacted)
+
+
+class TestPlacement:
+    def test_place_reduces_free_capacity(self):
+        cluster = make_cluster()
+        t = task()
+        cluster.place(t, 1, time=100)
+        assert cluster.free_cpu(1) == pytest.approx(0.75)
+        assert cluster.free_mem(1) == pytest.approx(0.75)
+        assert t.machine_id == 1
+        assert t.scheduled_time == 100
+        assert t.latency == 100
+        assert cluster.n_running == 1
+
+    def test_release_restores_capacity(self):
+        cluster = make_cluster()
+        t = task()
+        cluster.place(t, 1, time=0)
+        cluster.release(t.key)
+        assert cluster.free_cpu(1) == pytest.approx(1.0)
+        assert cluster.n_running == 0
+
+    def test_release_unknown_is_noop(self):
+        make_cluster().release((9, 9))
+
+    def test_overcommit_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(SchedulingError):
+            cluster.place(task(cpu=0.8), 2, time=0)
+
+    def test_double_place_rejected(self):
+        cluster = make_cluster()
+        t = task()
+        cluster.place(t, 1, time=0)
+        with pytest.raises(SchedulingError):
+            cluster.place(task(), 2, time=0)  # same (cid, idx) key
+
+    def test_fits(self):
+        cluster = make_cluster()
+        assert cluster.fits(2, 0.5, 0.5)
+        assert not cluster.fits(2, 0.6, 0.1)
+        assert not cluster.fits(99, 0.1, 0.1)
+
+
+class TestEligibility:
+    def test_constraints_and_capacity(self):
+        cluster = make_cluster()
+        t = task(constraints=[Constraint("zone", EQ, "a")])
+        assert cluster.eligible_with_capacity(t) == [1]
+        cluster.place(task(cid=2, cpu=0.9, mem=0.9), 1, time=0)
+        assert cluster.eligible_with_capacity(t) == []
+
+    def test_unconstrained_sees_all(self):
+        cluster = make_cluster()
+        assert sorted(cluster.eligible_with_capacity(task())) == [1, 2]
+
+
+class TestMachineLifecycle:
+    def test_remove_evicts_running(self):
+        cluster = make_cluster()
+        t1, t2 = task(cid=1), task(cid=2)
+        cluster.place(t1, 1, time=0)
+        cluster.place(t2, 2, time=0)
+        evicted = cluster.remove_machine(1)
+        assert evicted == [t1.key]
+        assert cluster.n_running == 1
+
+    def test_utilization(self):
+        cluster = make_cluster()
+        assert cluster.utilization() == (0.0, 0.0)
+        cluster.place(task(cpu=0.75, mem=0.375), 1, time=0)
+        cpu_util, mem_util = cluster.utilization()
+        assert cpu_util == pytest.approx(0.75 / 1.5)
+        assert mem_util == pytest.approx(0.375 / 1.5)
+
+    def test_empty_cluster_utilization(self):
+        assert ClusterState().utilization() == (0.0, 0.0)
+
+    def test_latency_none_until_scheduled(self):
+        assert task().latency is None

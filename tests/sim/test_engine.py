@@ -1,0 +1,97 @@
+"""SimulationEngine tests: replay mechanics and the Figure 3 effect."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GrowingModel, CTLMConfig
+from repro.datasets import DatasetData, build_step_datasets
+from repro.sim import (SimulationConfig, SimulationEngine, TaskCOAnalyzer)
+from repro.trace import MICROS_PER_SECOND
+
+
+@pytest.fixture(scope="module")
+def baseline_run(small_cell):
+    config = SimulationConfig(scan_budget=16)
+    return SimulationEngine(config).run(small_cell)
+
+
+class TestBaselineReplay:
+    def test_everything_scheduled_eventually(self, baseline_run, small_cell):
+        assert baseline_run.tasks_submitted > 0
+        scheduled = len(baseline_run.recorder.samples)
+        assert scheduled + baseline_run.tasks_unscheduled_at_end \
+            + baseline_run.compaction_anomalies <= baseline_run.tasks_submitted
+        # The vast majority of tasks get placed.
+        assert scheduled / baseline_run.tasks_submitted > 0.9
+
+    def test_latencies_positive(self, baseline_run):
+        for sample in baseline_run.recorder.samples:
+            assert sample.latency_us > 0
+
+    def test_queueing_visible_in_latency(self, baseline_run):
+        # Cycle period 10s with a finite scan budget: mean latency must
+        # exceed half a cycle.
+        assert baseline_run.recorder.summary_all().mean_s > 1.0
+
+    def test_restrictive_population_present(self, baseline_run):
+        assert baseline_run.recorder.summary_restrictive().count > 0
+
+    def test_stats_counters(self, baseline_run):
+        assert baseline_run.main_stats.cycles > 0
+        # Placements ≥ unique recorded tasks (evicted tasks re-place but
+        # only their first latency is recorded).
+        assert baseline_run.main_stats.scheduled >= len(
+            baseline_run.recorder.samples)
+        assert baseline_run.hp_stats is None  # no analyzer installed
+
+
+class TestEnhancedReplay:
+    @pytest.fixture(scope="class")
+    def enhanced_run(self, small_cell, pipeline_result):
+        cfg = CTLMConfig(learning_rate=0.02, batch_size=64, epochs_limit=60,
+                         max_training_attempts=5, accepted_accuracy=0.85,
+                         accepted_group_0_f1_score=0.6)
+        model = GrowingModel(cfg, rng=np.random.default_rng(1))
+        final = pipeline_result.final
+        model.fit_step(DatasetData(final.X, final.y, batch_size=64,
+                                   rng=np.random.default_rng(0)))
+        analyzer = TaskCOAnalyzer(model, pipeline_result.registry,
+                                  route_threshold=0)
+        config = SimulationConfig(scan_budget=16)
+        return SimulationEngine(config, analyzer=analyzer).run(small_cell)
+
+    def test_analyzer_classified_constrained_tasks(self, enhanced_run):
+        analyzer = enhanced_run.analyzer
+        assert analyzer.predictions > 0
+        assert 0 < analyzer.routed <= analyzer.predictions
+
+    def test_restrictive_latency_improves(self, enhanced_run, baseline_run):
+        enhanced = enhanced_run.recorder.summary_restrictive()
+        baseline = baseline_run.recorder.summary_restrictive()
+        assert enhanced.count == baseline.count
+        assert enhanced.mean_s < baseline.mean_s
+        # The paper's claim: near-real-time for restrictive tasks.
+        assert enhanced_run.restrictive_speedup_vs(baseline_run) > 2.0
+
+    def test_overall_latency_not_degraded(self, enhanced_run, baseline_run):
+        assert enhanced_run.recorder.summary_all().mean_s <= \
+            baseline_run.recorder.summary_all().mean_s * 1.2
+
+    def test_hp_stats_populated(self, enhanced_run):
+        assert enhanced_run.hp_stats is not None
+        assert enhanced_run.hp_stats.scheduled > 0
+
+
+class TestEngineValidation:
+    def test_bare_trace_needs_group_bin(self, small_cell):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.run(small_cell.trace)
+
+    def test_limit_time_cuts_replay(self, small_cell):
+        engine = SimulationEngine(SimulationConfig(scan_budget=16))
+        result = engine.run(small_cell, limit_time=12 * 3600 * MICROS_PER_SECOND)
+        full = SimulationEngine(SimulationConfig(scan_budget=16)).run(small_cell)
+        assert result.tasks_submitted < full.tasks_submitted

@@ -1,0 +1,77 @@
+"""Gang scheduling tests: all-or-nothing placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.sim import ClusterState, GangScheduler, PendingTask, group_into_gangs
+
+EQ = ConstraintOperator.EQUAL
+
+
+def member(cid, idx, cpu=0.4, constraints=None):
+    return PendingTask(collection_id=cid, task_index=idx, submit_time=0,
+                       cpu=cpu, mem=0.1, priority=0,
+                       task=compact(constraints) if constraints else None)
+
+
+class TestGrouping:
+    def test_groups_by_collection_and_constraints(self):
+        zone_a = [Constraint("zone", EQ, "a")]
+        tasks = [member(1, 0, constraints=zone_a),
+                 member(1, 1, constraints=zone_a),
+                 member(1, 2),          # same collection, no constraints
+                 member(2, 0, constraints=zone_a)]
+        gangs = group_into_gangs(tasks)
+        assert len(gangs) == 3
+        sizes = sorted(g.size for g in gangs)
+        assert sizes == [1, 1, 2]
+
+    def test_gang_totals(self):
+        gang = group_into_gangs([member(1, 0, cpu=0.3),
+                                 member(1, 1, cpu=0.2)])[0]
+        assert gang.cpu_total == pytest.approx(0.5)
+        assert gang.mem_total == pytest.approx(0.2)
+
+
+class TestAllOrNothing:
+    def _cluster(self):
+        cluster = ClusterState()
+        cluster.add_machine(1, cpu=1.0, mem=1.0, attributes={"zone": "a"})
+        cluster.add_machine(2, cpu=1.0, mem=1.0, attributes={"zone": "b"})
+        return cluster
+
+    def test_places_whole_gang(self):
+        cluster = self._cluster()
+        sched = GangScheduler(cluster)
+        gang = group_into_gangs([member(1, i, cpu=0.4) for i in range(4)])[0]
+        assert sched.try_place(gang, now=10)
+        assert all(m.machine_id is not None for m in gang.members)
+        assert sched.placed_gangs == 1
+
+    def test_rejects_if_any_member_unplaceable(self):
+        cluster = self._cluster()
+        sched = GangScheduler(cluster)
+        zone_a = [Constraint("zone", EQ, "a")]
+        # 3 × 0.4 CPU on the single zone-a machine (1.0 CPU) cannot fit.
+        gang = group_into_gangs(
+            [member(1, i, cpu=0.4, constraints=zone_a) for i in range(3)])[0]
+        assert not sched.try_place(gang, now=10)
+        assert all(m.machine_id is None for m in gang.members)
+        assert cluster.n_running == 0
+        assert sched.rejected_gangs == 1
+
+    def test_tracks_intra_gang_capacity(self):
+        cluster = self._cluster()
+        sched = GangScheduler(cluster)
+        zone_a = [Constraint("zone", EQ, "a")]
+        gang = group_into_gangs(
+            [member(1, i, cpu=0.5, constraints=zone_a) for i in range(2)])[0]
+        assert sched.try_place(gang, now=0)
+        assert cluster.free_cpu(1) == pytest.approx(0.0)
+
+    def test_empty_gang_trivially_placed(self):
+        from repro.sim import Gang
+        sched = GangScheduler(self._cluster())
+        assert sched.try_place(Gang(collection_id=1, task=None), now=0)

@@ -1,0 +1,167 @@
+"""TaskCOAnalyzer + HighPriorityScheduler tests (Figure 3 components)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.datasets import FeatureRegistry
+from repro.sim import (ClusterState, HighPriorityScheduler, MainScheduler,
+                       PendingTask, TaskCOAnalyzer)
+
+EQ = ConstraintOperator.EQUAL
+
+
+class _FixedModel:
+    """Predicts a constant group; records call widths."""
+
+    def __init__(self, group, width):
+        self.group = group
+        self.features_count = width
+        self.widths = []
+
+    def predict(self, X):
+        self.widths.append(X.shape[1])
+        return np.full(X.shape[0], self.group)
+
+
+def registry_with(*pairs) -> FeatureRegistry:
+    reg = FeatureRegistry()
+    for attr, value in pairs:
+        reg.observe_value(attr, value)
+    return reg
+
+
+class TestAnalyzer:
+    def test_routes_group0_predictions(self):
+        reg = registry_with(("node_id", "m1"))
+        analyzer = TaskCOAnalyzer(_FixedModel(0, reg.features_count), reg)
+        task = compact([Constraint("node_id", EQ, "m1")])
+        route, group = analyzer.should_route(task)
+        assert route and group == 0
+        assert analyzer.routed == 1
+
+    def test_does_not_route_high_groups(self):
+        reg = registry_with(("zone", "a"))
+        analyzer = TaskCOAnalyzer(_FixedModel(7, reg.features_count), reg)
+        route, group = analyzer.should_route(
+            compact([Constraint("zone", EQ, "a")]))
+        assert not route and group == 7
+        assert analyzer.routed == 0
+
+    def test_route_threshold_widens_routing(self):
+        reg = registry_with(("zone", "a"))
+        analyzer = TaskCOAnalyzer(_FixedModel(2, reg.features_count), reg,
+                                  route_threshold=3)
+        route, _ = analyzer.should_route(
+            compact([Constraint("zone", EQ, "a")]))
+        assert route
+
+    def test_pads_rows_to_model_width(self):
+        reg = registry_with(("zone", "a"))
+        model = _FixedModel(0, width=10)  # model wider than registry
+        analyzer = TaskCOAnalyzer(model, reg)
+        analyzer.predict_group(compact([Constraint("zone", EQ, "a")]))
+        assert model.widths == [10]
+
+    def test_counts_unseen_vocabulary(self):
+        reg = registry_with(("zone", "a"))
+        analyzer = TaskCOAnalyzer(_FixedModel(0, reg.features_count), reg)
+        analyzer.predict_group(compact([Constraint("rack", EQ, "r99")]))
+        assert analyzer.unseen_features == 1
+
+    def test_negative_threshold_rejected(self):
+        reg = registry_with(("zone", "a"))
+        with pytest.raises(ValueError):
+            TaskCOAnalyzer(_FixedModel(0, 2), reg, route_threshold=-1)
+
+
+def hp_setup(n_machines=2):
+    cluster = ClusterState()
+    for i in range(1, n_machines + 1):
+        cluster.add_machine(i, cpu=1.0, mem=1.0,
+                            attributes={"node_id": f"m{i}"})
+    main = MainScheduler(cluster)
+    hp = HighPriorityScheduler(cluster, main, dispatch_latency=1000)
+    return cluster, main, hp
+
+
+def pinned(cid, node, cpu=0.5, priority=5):
+    return PendingTask(collection_id=cid, task_index=0, submit_time=0,
+                       cpu=cpu, mem=0.25, priority=priority,
+                       task=compact([Constraint("node_id", EQ, node)]))
+
+
+class TestHighPriorityScheduler:
+    def test_immediate_placement(self):
+        cluster, _main, hp = hp_setup()
+        t = pinned(1, "m1")
+        assert hp.schedule(t, now=500)
+        assert t.machine_id == 1
+        assert t.scheduled_time == 1500  # now + dispatch latency
+        assert hp.stats.scheduled == 1
+
+    def test_preempts_lower_priority_occupant(self):
+        cluster, main, hp = hp_setup()
+        victim = PendingTask(collection_id=9, task_index=0, submit_time=0,
+                             cpu=0.9, mem=0.9, priority=1, task=None)
+        cluster.place(victim, 1, time=0)
+        hp.register_running(victim)
+        t = pinned(1, "m1", cpu=0.5, priority=8)
+        assert hp.schedule(t, now=100)
+        assert t.machine_id == 1
+        assert hp.stats.preemptions == 1
+        # Victim requeued at the head of the main queue.
+        assert main.queue[0] is victim
+        assert victim.machine_id is None
+
+    def test_no_preemption_of_equal_or_higher_priority_without_boost(self):
+        cluster, main, _ = hp_setup()
+        hp = HighPriorityScheduler(cluster, main, priority_boost=None)
+        occupant = PendingTask(collection_id=9, task_index=0, submit_time=0,
+                               cpu=0.9, mem=0.9, priority=8, task=None)
+        cluster.place(occupant, 1, time=0)
+        hp.register_running(occupant)
+        t = pinned(1, "m1", cpu=0.5, priority=8)
+        assert not hp.schedule(t, now=100)
+        assert hp.stats.deferred == 1
+        assert main.queue[0] is t  # deferred to main queue head
+
+    def test_priority_boost_enables_forced_migration(self):
+        """Default boost: rerouted tasks evict equal-priority occupants
+        (the paper's forced-migration analogue)."""
+
+        cluster, main, hp = hp_setup()
+        occupant = PendingTask(collection_id=9, task_index=0, submit_time=0,
+                               cpu=0.9, mem=0.9, priority=8, task=None)
+        cluster.place(occupant, 1, time=0)
+        hp.register_running(occupant)
+        t = pinned(1, "m1", cpu=0.5, priority=8)
+        assert hp.schedule(t, now=100)
+        assert hp.stats.preemptions == 1
+        assert main.queue[0] is occupant
+
+    def test_preemption_disabled(self):
+        cluster, main, hp_on = hp_setup()
+        hp = HighPriorityScheduler(cluster, main, allow_preemption=False)
+        occupant = PendingTask(collection_id=9, task_index=0, submit_time=0,
+                               cpu=0.9, mem=0.9, priority=0, task=None)
+        cluster.place(occupant, 1, time=0)
+        t = pinned(1, "m1", priority=9)
+        assert not hp.schedule(t, now=0)
+        assert hp.stats.deferred == 1
+
+    def test_picks_lowest_priority_victim(self):
+        cluster, main, hp = hp_setup(n_machines=1)
+        low = PendingTask(collection_id=8, task_index=0, submit_time=0,
+                          cpu=0.4, mem=0.4, priority=1, task=None)
+        mid = PendingTask(collection_id=9, task_index=0, submit_time=0,
+                          cpu=0.4, mem=0.4, priority=3, task=None)
+        cluster.place(low, 1, time=0)
+        cluster.place(mid, 1, time=0)
+        hp.register_running(low)
+        hp.register_running(mid)
+        t = pinned(1, "m1", cpu=0.5, priority=9)
+        assert hp.schedule(t, now=0)
+        assert main.queue[0] is low  # lowest-priority victim chosen

@@ -1,0 +1,135 @@
+"""Property-based scheduler invariants under random operation sequences.
+
+Whatever sequence of submissions, cycles, terminations and machine
+removals occurs, the cluster must never overcommit a machine, never lose
+or double-count resources, and never run one task twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.sim import ClusterState, MainScheduler, PendingTask
+
+EQ = ConstraintOperator.EQUAL
+
+
+@st.composite
+def operation_sequences(draw):
+    n_machines = draw(st.integers(2, 6))
+    ops = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("submit"),
+                      st.floats(0.05, 0.6), st.integers(0, 9),
+                      st.integers(0, 3)),
+            st.tuples(st.just("cycle")),
+            st.tuples(st.just("terminate"), st.integers(0, 50)),
+            st.tuples(st.just("remove"), st.integers(0, 5)),
+        ),
+        min_size=5, max_size=60))
+    return n_machines, ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(operation_sequences())
+def test_capacity_conservation(seq):
+    n_machines, ops = seq
+    cluster = ClusterState()
+    zones = ["a", "b", "c"]
+    capacity = {}
+    for i in range(n_machines):
+        cluster.add_machine(i, cpu=1.0, mem=1.0,
+                            attributes={"zone": zones[i % 3]})
+        capacity[i] = (1.0, 1.0)
+    sched = MainScheduler(cluster, scan_budget=8)
+
+    submitted: list[PendingTask] = []
+    placed_keys: set = set()
+    removed: set = set()
+    now = 0
+    cid = 0
+    for op in ops:
+        now += 1000
+        if op[0] == "submit":
+            _tag, cpu, _prio_seed, zone_idx = op
+            cid += 1
+            constraints = ([Constraint("zone", EQ, zones[zone_idx])]
+                           if zone_idx < 3 else None)
+            pending = PendingTask(
+                collection_id=cid, task_index=0, submit_time=now,
+                cpu=cpu, mem=cpu / 2, priority=op[2],
+                task=compact(constraints) if constraints else None)
+            submitted.append(pending)
+            sched.submit(pending)
+        elif op[0] == "cycle":
+            for p in sched.run_cycle(now):
+                assert p.key not in placed_keys, "double placement"
+                placed_keys.add(p.key)
+        elif op[0] == "terminate":
+            if submitted:
+                victim = submitted[op[1] % len(submitted)]
+                if cluster.is_running(victim.key):
+                    cluster.release(victim.key)
+                    placed_keys.discard(victim.key)
+        elif op[0] == "remove":
+            target = op[1] % n_machines
+            if target in cluster.park and len(cluster.park) > 1:
+                for key in cluster.remove_machine(target):
+                    placed_keys.discard(key)
+                removed.add(target)
+
+        # Invariant: free resources within [0, capacity] on every machine.
+        for machine in range(n_machines):
+            if machine in removed:
+                continue
+            free_cpu = cluster.free_cpu(machine)
+            free_mem = cluster.free_mem(machine)
+            assert -1e-9 <= free_cpu <= capacity[machine][0] + 1e-9
+            assert -1e-9 <= free_mem <= capacity[machine][1] + 1e-9
+
+        # Invariant: accounting identity — used == sum of running tasks.
+        used = {}
+        for key, (mid, cpu, mem) in cluster._running.items():
+            used[mid] = used.get(mid, 0.0) + cpu
+        for machine in range(n_machines):
+            if machine in removed:
+                continue
+            expected_free = capacity[machine][0] - used.get(machine, 0.0)
+            assert cluster.free_cpu(machine) == pytest.approx(expected_free)
+
+    # Invariant: every placed task satisfied its constraints at placement.
+    for pending in submitted:
+        if pending.machine_id is not None and pending.task is not None \
+                and pending.machine_id not in removed \
+                and cluster.is_running(pending.key):
+            attrs = cluster.park.attributes_of(pending.machine_id)
+            assert pending.task.matches(attrs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0.05, 0.5), min_size=1, max_size=30),
+       st.integers(0, 2 ** 31 - 1))
+def test_queue_drains_completely_with_capacity(cpus, seed):
+    """With one machine per task every submission is eventually placed
+    (any prefix of placements leaves at least one machine empty, so a
+    ≤1.0-CPU task always fits — unlike mere total-capacity surplus,
+    which bin-packing fragmentation can defeat)."""
+
+    cluster = ClusterState()
+    n_machines = len(cpus)
+    for i in range(n_machines):
+        cluster.add_machine(i, cpu=1.0, mem=1.0)
+    sched = MainScheduler(cluster, scan_budget=4)
+    for i, cpu in enumerate(cpus):
+        sched.submit(PendingTask(collection_id=i, task_index=0,
+                                 submit_time=0, cpu=cpu, mem=cpu / 2,
+                                 priority=0, task=None))
+    placed = 0
+    for cycle in range(len(cpus) + 5):
+        placed += len(sched.run_cycle(cycle))
+    assert placed == len(cpus)
+    assert sched.queue_depth == 0

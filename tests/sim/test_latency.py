@@ -1,0 +1,70 @@
+"""Latency recorder / summary tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import LatencyRecorder, LatencySummary
+from repro.trace import MICROS_PER_SECOND
+
+
+class TestSummary:
+    def test_from_micros(self):
+        latencies = [1, 2, 3, 4, 100]  # seconds
+        summary = LatencySummary.from_micros(
+            v * MICROS_PER_SECOND for v in latencies)
+        assert summary.count == 5
+        assert summary.mean_s == pytest.approx(22.0)
+        assert summary.median_s == pytest.approx(3.0)
+        assert summary.max_s == pytest.approx(100.0)
+
+    def test_empty(self):
+        summary = LatencySummary.from_micros([])
+        assert summary.count == 0
+        assert summary.mean_s == 0.0
+
+    def test_str(self):
+        assert "mean=" in str(LatencySummary.from_micros([MICROS_PER_SECOND]))
+
+
+class TestRecorder:
+    def _recorder(self):
+        rec = LatencyRecorder(restrictive_group_max=0)
+        samples = [
+            # key, submit, latency_s, group, constrained, routed
+            ((1, 0), 0, 10, 0, True, True),
+            ((2, 0), 0, 20, 0, True, False),
+            ((3, 0), 0, 5, 9, True, False),
+            ((4, 0), 0, 2, 25, False, False),
+        ]
+        for key, submit, lat_s, group, cons, routed in samples:
+            rec.record(key, submit, lat_s * MICROS_PER_SECOND, group, cons,
+                       routed)
+        return rec
+
+    def test_population_splits(self):
+        rec = self._recorder()
+        assert rec.summary_all().count == 4
+        assert rec.summary_restrictive().count == 2
+        assert rec.summary_constrained().count == 3
+        assert rec.summary_unconstrained().count == 1
+
+    def test_restrictive_mean(self):
+        rec = self._recorder()
+        assert rec.summary_restrictive().mean_s == pytest.approx(15.0)
+
+    def test_by_group(self):
+        groups = self._recorder().summary_by_group()
+        assert set(groups) == {0, 9}
+        assert groups[0].count == 2
+
+    def test_unscheduled_counter(self):
+        rec = self._recorder()
+        rec.record_unscheduled()
+        rec.record_unscheduled()
+        assert rec.unscheduled == 2
+
+    def test_threshold_controls_restrictive(self):
+        rec = LatencyRecorder(restrictive_group_max=9)
+        rec.record((1, 0), 0, 10, 9, True, False)
+        assert rec.summary_restrictive().count == 1

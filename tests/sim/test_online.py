@@ -1,0 +1,145 @@
+"""OnlineModelUpdater tests (Figure 3's parallel model-update path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.core import CTLMConfig, GrowingModel
+from repro.datasets import FeatureRegistry
+from repro.sim import (OnlineModelUpdater, SimulationConfig,
+                       SimulationEngine, TaskCOAnalyzer)
+from repro.trace import MICROS_PER_MINUTE
+
+EQ = ConstraintOperator.EQUAL
+
+FAST = CTLMConfig(learning_rate=0.02, batch_size=64, epochs_limit=60,
+                  max_training_attempts=5, accepted_accuracy=0.80,
+                  accepted_group_0_f1_score=0.5)
+
+
+def seeded_updater(growth_threshold=2, min_observations=20):
+    registry = FeatureRegistry()
+    for v in ("a", "b"):
+        registry.observe_value("zone", v)
+    model = GrowingModel(FAST, rng=np.random.default_rng(1))
+    updater = OnlineModelUpdater(
+        model, registry, growth_threshold=growth_threshold,
+        retrain_delay_us=MICROS_PER_MINUTE,
+        min_observations=min_observations,
+        rng=np.random.default_rng(2))
+    return updater, registry, model
+
+
+def feed(updater, values, start_time=0, per_value=30, count_of=None):
+    """Feed zone-equality observations across the given values.
+
+    Each value gets its own suitable-node count so the observation
+    buffer spans several groups ('pin' is the single-node case).
+    """
+
+    if count_of is None:
+        def count_of(value):
+            if value == "pin":
+                return 1
+            return 15 + 25 * (ord(value[-1]) % 4)
+
+    t = start_time
+    for value in values:
+        task = compact([Constraint("zone", EQ, value)])
+        count = count_of(value)
+        for _ in range(per_value):
+            updater.observe(task, suitable_count=count, group_bin=10,
+                            time=t)
+            t += 1000
+    return t
+
+
+class TestTriggering:
+    def test_no_trigger_below_min_observations(self):
+        updater, _reg, _m = seeded_updater(min_observations=1000)
+        feed(updater, ["a", "b"])
+        assert not updater.pending
+
+    def test_no_trigger_without_growth(self):
+        updater, _reg, _m = seeded_updater(growth_threshold=5)
+        feed(updater, ["a", "b"])  # both values pre-registered
+        assert not updater.pending
+
+    def test_trigger_on_vocabulary_growth(self):
+        updater, _reg, _m = seeded_updater(growth_threshold=2,
+                                           min_observations=20)
+        feed(updater, ["a", "b", "c", "d"])  # c, d are new columns
+        assert updater.pending
+
+    def test_tick_before_ready_is_noop(self):
+        updater, _reg, _m = seeded_updater()
+        end = feed(updater, ["a", "b", "c", "d"])
+        assert updater.tick(end) is None  # delay not yet elapsed
+        assert updater.pending
+
+
+class TestPublication:
+    def test_update_publishes_after_delay(self):
+        updater, registry, model = seeded_updater()
+        end = feed(updater, ["a", "b", "c", "d"], per_value=60)
+        record = updater.tick(end + MICROS_PER_MINUTE)
+        assert record is not None
+        assert record.features_after == registry.features_count
+        assert record.epochs >= 1
+        assert model.features_count == registry.features_count
+        assert not updater.pending
+        assert updater.updates == [record]
+
+    def test_model_grows_with_vocabulary(self):
+        updater, registry, model = seeded_updater()
+        end = feed(updater, ["a", "b", "c", "d"], per_value=60)
+        updater.tick(end + MICROS_PER_MINUTE)
+        width_first = model.features_count
+
+        end = feed(updater, ["e", "f", "g"], start_time=end, per_value=60)
+        record = updater.tick(end + MICROS_PER_MINUTE)
+        assert record is not None
+        assert model.features_count > width_first
+
+    def test_updated_model_predicts_new_vocabulary(self):
+        updater, registry, model = seeded_updater(growth_threshold=1)
+        # 'pin' maps to group 0 (count 1); the others to higher groups.
+        end = feed(updater, ["a", "b", "pin"], per_value=80)
+        record = updater.tick(end + MICROS_PER_MINUTE)
+        assert record is not None
+        analyzer = TaskCOAnalyzer(model, registry, route_threshold=0)
+        route, group = analyzer.should_route(
+            compact([Constraint("zone", EQ, "pin")]))
+        assert group == 0 and route
+
+    def test_validation(self):
+        updater, registry, model = seeded_updater()
+        with pytest.raises(ValueError):
+            OnlineModelUpdater(model, registry, growth_threshold=0)
+
+
+class TestEngineIntegration:
+    def test_updater_runs_inside_replay(self, small_cell, pipeline_result):
+        model = GrowingModel(FAST, rng=np.random.default_rng(3))
+        registry = pipeline_result.registry
+        # Warm-start the model on the first step so the analyzer can serve
+        # predictions from the beginning.
+        from repro.datasets import DatasetData
+        first = pipeline_result.steps[0]
+        model.fit_step(DatasetData(first.X, first.y, batch_size=64,
+                                   rng=np.random.default_rng(0)))
+        updater = OnlineModelUpdater(model, registry, growth_threshold=1,
+                                     retrain_delay_us=MICROS_PER_MINUTE,
+                                     min_observations=50,
+                                     rng=np.random.default_rng(4))
+        analyzer = TaskCOAnalyzer(model, registry, route_threshold=0)
+        engine = SimulationEngine(SimulationConfig(scan_budget=16),
+                                  analyzer=analyzer, updater=updater)
+        result = engine.run(small_cell)
+        assert result.tasks_submitted > 0
+        assert updater.n_observations > 0
+        # The growth steps in the trace triggered at least one retrain.
+        assert len(updater.updates) >= 1
+        assert model.features_count == registry.features_count

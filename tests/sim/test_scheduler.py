@@ -1,0 +1,104 @@
+"""MainScheduler tests: queue order, scan budget, best-fit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator, compact
+from repro.sim import ClusterState, MainScheduler, PendingTask
+
+EQ = ConstraintOperator.EQUAL
+
+
+def cluster_with(n=3, cpu=1.0) -> ClusterState:
+    cluster = ClusterState()
+    for i in range(1, n + 1):
+        cluster.add_machine(i, cpu=cpu, mem=1.0, attributes={"id": str(i)})
+    return cluster
+
+
+def task(cid, idx=0, cpu=0.25, priority=0, constraints=None):
+    return PendingTask(collection_id=cid, task_index=idx, submit_time=0,
+                       cpu=cpu, mem=0.1, priority=priority,
+                       task=compact(constraints) if constraints else None)
+
+
+class TestQueueOrdering:
+    def test_fifo_within_priority(self):
+        cluster = cluster_with()
+        sched = MainScheduler(cluster)
+        for cid in (1, 2, 3):
+            sched.submit(task(cid))
+        placed = sched.run_cycle(now=10)
+        assert [p.collection_id for p in placed] == [1, 2, 3]
+
+    def test_higher_priority_jumps_queue(self):
+        cluster = cluster_with()
+        sched = MainScheduler(cluster, scan_budget=1)
+        sched.submit(task(1, priority=0))
+        sched.submit(task(2, priority=5))
+        placed = sched.run_cycle(now=10)
+        assert placed[0].collection_id == 2
+
+    def test_requeue_front(self):
+        cluster = cluster_with()
+        sched = MainScheduler(cluster, scan_budget=1)
+        sched.submit(task(1))
+        sched.requeue_front(task(99))
+        placed = sched.run_cycle(now=0)
+        assert placed[0].collection_id == 99
+
+
+class TestScanBudget:
+    def test_budget_limits_placements_per_cycle(self):
+        cluster = cluster_with(n=10)
+        sched = MainScheduler(cluster, scan_budget=4)
+        for cid in range(1, 9):
+            sched.submit(task(cid))
+        assert len(sched.run_cycle(0)) == 4
+        assert sched.queue_depth == 4
+        assert len(sched.run_cycle(1)) == 4
+        assert sched.queue_depth == 0
+
+    def test_failed_scans_keep_position(self):
+        cluster = cluster_with(n=1)
+        sched = MainScheduler(cluster, scan_budget=8)
+        blocked = task(1, constraints=[Constraint("id", EQ, "notexist")])
+        sched.submit(blocked)
+        sched.submit(task(2))
+        placed = sched.run_cycle(0)
+        assert [p.collection_id for p in placed] == [2]
+        assert sched.queue_depth == 1  # blocked task retries next cycle
+        assert sched.stats.failed_scans == 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            MainScheduler(cluster_with(), scan_budget=0)
+
+
+class TestPlacementPolicy:
+    def test_best_fit_picks_tightest_machine(self):
+        cluster = ClusterState()
+        cluster.add_machine("big", cpu=1.0, mem=1.0)
+        cluster.add_machine("small", cpu=0.3, mem=1.0)
+        sched = MainScheduler(cluster, best_fit=True)
+        sched.submit(task(1, cpu=0.25))
+        placed = sched.run_cycle(0)
+        assert placed[0].machine_id == "small"
+
+    def test_constraints_respected(self):
+        cluster = cluster_with(n=3)
+        sched = MainScheduler(cluster)
+        sched.submit(task(1, constraints=[Constraint("id", EQ, "2")]))
+        placed = sched.run_cycle(0)
+        assert placed[0].machine_id == 2
+
+    def test_stats_accumulate(self):
+        cluster = cluster_with()
+        sched = MainScheduler(cluster)
+        sched.submit(task(1))
+        sched.run_cycle(0)
+        sched.run_cycle(1)
+        assert sched.stats.cycles == 2
+        assert sched.stats.scheduled == 1
+        assert sched.stats.scan_attempts == 1

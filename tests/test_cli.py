@@ -1,0 +1,71 @@
+"""CLI tests (``python -m repro``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace import CellArchive, generate_cell
+
+
+@pytest.fixture(scope="module")
+def archived_cell(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "cell"
+    cell = generate_cell("2019a", scale=0.02, seed=11, days=4,
+                         tasks_per_day=400)
+    CellArchive(path).save(cell)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "/tmp/x"])
+        assert args.cell == "2019c"
+        assert args.scale == 0.03
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["destroy"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "IPDPSW 2025" in out
+
+    def test_generate_and_stats(self, tmp_path, capsys):
+        outdir = tmp_path / "gen"
+        assert main(["generate", str(outdir), "--cell", "2011",
+                     "--scale", "0.02", "--days", "3",
+                     "--tasks-per-day", "300", "--seed", "3"]) == 0
+        assert (outdir / "manifest.json").exists()
+        capsys.readouterr()
+        assert main(["stats", str(outdir)]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE IX" in out
+        assert "clusterdata-2011" in out
+
+    def test_stats(self, archived_cell, capsys):
+        assert main(["stats", str(archived_cell)]) == 0
+        out = capsys.readouterr().out
+        assert "constrained of" in out
+
+    def test_train(self, archived_cell, capsys):
+        assert main(["train", str(archived_cell), "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE XI" in out
+        assert "epoch reduction" in out
+        assert "Growing" in out
+
+    def test_simulate(self, archived_cell, capsys):
+        assert main(["simulate", str(archived_cell), "--seed", "1",
+                     "--scan-budget", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "restrictive tasks" in out
+        assert "speedup" in out

@@ -1,0 +1,132 @@
+"""End-to-end integration: the paper's full pipeline in one narrative.
+
+Generate a cell → archive round-trip → AGOCS dataset pipeline →
+continuous transfer learning with a process "restart" (save/load) in the
+middle → Task CO Analyzer + hybrid verification → scheduler replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (BENCH_CONFIG, CTLMConfig, GrowingModel,
+                        HybridGroupClassifier)
+from repro.datasets import COVVEncoder, DatasetData, build_step_datasets
+from repro.sim import SimulationConfig, SimulationEngine, TaskCOAnalyzer
+from repro.trace import CellArchive, generate_cell
+
+RELAXED = CTLMConfig(learning_rate=0.02, batch_size=64, epochs_limit=60,
+                     max_training_attempts=5, accepted_accuracy=0.85,
+                     accepted_group_0_f1_score=0.6)
+
+
+@pytest.fixture(scope="module")
+def story_cell(tmp_path_factory):
+    cell = generate_cell("2019a", scale=0.025, seed=42, days=8,
+                         tasks_per_day=700)
+    # Round-trip through the on-disk archive: everything downstream uses
+    # the reloaded copy, proving persistence fidelity.
+    archive = CellArchive(tmp_path_factory.mktemp("cells") / "2019a")
+    archive.save(cell)
+    return archive.load()
+
+
+@pytest.fixture(scope="module")
+def story(story_cell, tmp_path_factory):
+    result = build_step_datasets(story_cell)
+    model = GrowingModel(RELAXED, rng=np.random.default_rng(1))
+    steps_used = 0
+    checkpoint = tmp_path_factory.mktemp("models") / "ctlm.npz"
+    for i, step in enumerate(result.steps):
+        if step.n_samples < 8 or len(np.unique(step.y)) < 2:
+            continue
+        if steps_used == 2:
+            # Simulate a process restart mid-stream: persist, reload,
+            # continue growing from the restored checkpoint.
+            model.save(checkpoint)
+            model = GrowingModel(RELAXED, rng=np.random.default_rng(2))
+            model.load(checkpoint)
+        dataset = DatasetData(step.X, step.y, batch_size=64,
+                              rng=np.random.default_rng(100 + i))
+        model.fit_step(dataset)
+        steps_used += 1
+    return result, model, steps_used
+
+
+class TestContinuousLearningStory:
+    def test_model_survived_restart_and_grew(self, story):
+        result, model, steps_used = story
+        assert steps_used >= 3
+        assert model.features_count == result.registry.features_count
+        history_widths = [o.features_after for o in model.history]
+        assert history_widths == sorted(history_widths)
+
+    def test_final_accuracy(self, story):
+        result, model, _ = story
+        final = result.final
+        ds = DatasetData(final.X, final.y, rng=np.random.default_rng(9))
+        predictions = model.predict(ds.X_test)
+        accuracy = float(np.mean(predictions == ds.y_test))
+        assert accuracy > 0.85
+
+
+class TestDeploymentStory:
+    def test_analyzer_and_scheduler(self, story, story_cell):
+        result, model, _ = story
+        analyzer = TaskCOAnalyzer(model, result.registry, route_threshold=0)
+        config = SimulationConfig(scan_budget=16)
+        baseline = SimulationEngine(config).run(story_cell)
+        enhanced = SimulationEngine(config, analyzer=analyzer).run(story_cell)
+        assert enhanced.tasks_submitted == baseline.tasks_submitted
+        b = baseline.recorder.summary_restrictive()
+        e = enhanced.recorder.summary_restrictive()
+        if b.count and e.count:
+            assert e.mean_s <= b.mean_s
+
+    def test_hybrid_verification_layer(self, story, story_cell):
+        """The §VI hybrid layer fixes any residual Group-0 misses using
+        the live park."""
+
+        from repro.constraints import MachinePark
+        from repro.trace import (MachineAttributeEvent, MachineEvent,
+                                 MachineEventKind, TaskEvent, TaskEventKind)
+        from repro.constraints import compact
+        from repro.datasets import group_of
+
+        result, model, _ = story
+        park = MachinePark()
+        encoder = COVVEncoder(result.registry)
+        hybrid = HybridGroupClassifier(
+            model, encoder, park=park, group_bin=story_cell.group_bin)
+
+        checked = 0
+        for event in story_cell.trace:
+            if isinstance(event, MachineEvent):
+                if event.kind is MachineEventKind.ADD:
+                    park.add_machine(event.machine_id, cpu=event.cpu,
+                                     mem=event.mem)
+                elif (event.kind is MachineEventKind.REMOVE
+                      and event.machine_id in park):
+                    park.remove_machine(event.machine_id)
+            elif isinstance(event, MachineAttributeEvent):
+                park.set_attribute(event.machine_id, event.attribute,
+                                   None if event.deleted else event.value)
+            elif (isinstance(event, TaskEvent)
+                  and event.kind is TaskEventKind.SUBMIT
+                  and event.constraints):
+                task = compact(event.constraints)
+                if len(task) == 0:
+                    continue
+                true_group = group_of(park.count_suitable(task),
+                                      story_cell.group_bin)
+                predicted = hybrid.predict_group(task)
+                # Hybrid never leaves a true Group-0 task unflagged:
+                # structural rules catch pins; verification catches the rest.
+                if true_group == 0:
+                    assert predicted == 0
+                checked += 1
+                if checked >= 800:
+                    break
+        assert checked >= 400
+        assert hybrid.stats.structural_hits > 0

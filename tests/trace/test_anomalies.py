@@ -1,0 +1,123 @@
+"""Anomaly injection / AGOCS auto-correction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (CellTrace, CollectionEvent, CollectionEventKind,
+                         TaskEvent, TaskEventKind, autocorrect,
+                         inject_anomalies)
+
+
+def clean_trace() -> CellTrace:
+    trace = CellTrace("t", "2019")
+    for cid in (1, 2, 3):
+        base = cid * 1000
+        trace.append(CollectionEvent(base, cid, CollectionEventKind.SUBMIT))
+        for idx in range(3):
+            trace.append(TaskEvent(base, cid, idx, TaskEventKind.SUBMIT))
+            trace.append(TaskEvent(base + 50, cid, idx,
+                                   TaskEventKind.SCHEDULE, machine_id=1))
+            trace.append(TaskEvent(base + 500, cid, idx,
+                                   TaskEventKind.FINISH, machine_id=1))
+        trace.append(CollectionEvent(base + 600, cid,
+                                     CollectionEventKind.FINISH))
+    return trace
+
+
+class TestInjection:
+    def test_reports_what_it_did(self, rng):
+        defective, report = inject_anomalies(clean_trace(), rng,
+                                             update_rate=1.0,
+                                             missing_termination_rate=1.0)
+        assert report.misordered_updates == 9
+        assert report.dropped_terminations == 9
+        assert len(report.affected_tasks) == 9
+
+    def test_zero_rates_are_identity(self, rng):
+        trace = clean_trace()
+        defective, report = inject_anomalies(trace, rng, update_rate=0.0,
+                                             missing_termination_rate=0.0)
+        assert report.misordered_updates == 0
+        assert report.dropped_terminations == 0
+        assert len(defective) == len(trace)
+
+    def test_misordered_updates_precede_submit(self, rng):
+        defective, _ = inject_anomalies(clean_trace(), rng, update_rate=1.0,
+                                        missing_termination_rate=0.0)
+        submit_time = {}
+        for e in defective.events_of(TaskEvent):
+            if e.kind is TaskEventKind.SUBMIT:
+                submit_time[e.task_key] = e.time
+        bad = [e for e in defective.events_of(TaskEvent)
+               if e.kind.is_update and e.time < submit_time[e.task_key]]
+        assert len(bad) == 9
+
+    def test_invalid_rates(self, rng):
+        with pytest.raises(ValueError):
+            inject_anomalies(clean_trace(), rng, update_rate=1.5)
+
+
+class TestAutocorrect:
+    def test_offsets_updates_after_creation(self, rng):
+        defective, _ = inject_anomalies(clean_trace(), rng, update_rate=1.0,
+                                        missing_termination_rate=0.0)
+        fixed, report = autocorrect(defective)
+        assert report.updates_offset == 9
+        submit_time = {}
+        for e in fixed.events_of(TaskEvent):
+            if e.kind is TaskEventKind.SUBMIT:
+                submit_time[e.task_key] = e.time
+        for e in fixed.events_of(TaskEvent):
+            if e.kind.is_update:
+                assert e.time > submit_time[e.task_key]
+
+    def test_synthesizes_missing_terminations(self, rng):
+        defective, inj = inject_anomalies(clean_trace(), rng,
+                                          update_rate=0.0,
+                                          missing_termination_rate=1.0)
+        fixed, report = autocorrect(defective)
+        assert report.terminations_synthesized == inj.dropped_terminations
+        terminated = {e.task_key for e in fixed.events_of(TaskEvent)
+                      if e.kind.is_termination}
+        submitted = {e.task_key for e in fixed.events_of(TaskEvent)
+                     if e.kind is TaskEventKind.SUBMIT}
+        assert terminated == submitted
+
+    def test_synthesized_kill_at_collection_end(self, rng):
+        defective, _ = inject_anomalies(clean_trace(), rng, update_rate=0.0,
+                                        missing_termination_rate=1.0)
+        fixed, _ = autocorrect(defective)
+        kills = [e for e in fixed.events_of(TaskEvent)
+                 if e.kind is TaskEventKind.KILL]
+        collection_end = {e.collection_id: e.time
+                          for e in fixed.events_of(CollectionEvent)
+                          if e.kind is not CollectionEventKind.SUBMIT}
+        for kill in kills:
+            assert kill.time == collection_end[kill.collection_id]
+
+    def test_clean_trace_untouched(self):
+        trace = clean_trace()
+        fixed, report = autocorrect(trace)
+        assert report.updates_offset == 0
+        assert report.terminations_synthesized == 0
+        assert len(fixed) == len(trace)
+
+    def test_roundtrip_invariant_on_synthetic_cell(self, small_cell, rng):
+        """inject → autocorrect restores the every-task-terminates invariant."""
+
+        defective, inj = inject_anomalies(small_cell.trace, rng,
+                                          update_rate=0.02,
+                                          missing_termination_rate=0.02)
+        fixed, rep = autocorrect(defective)
+        assert rep.terminations_synthesized == inj.dropped_terminations
+        assert rep.updates_offset == inj.misordered_updates
+        submitted = set()
+        terminated = set()
+        for e in fixed.events_of(TaskEvent):
+            if e.kind is TaskEventKind.SUBMIT:
+                submitted.add(e.task_key)
+            elif e.kind.is_termination:
+                terminated.add(e.task_key)
+        assert submitted == terminated

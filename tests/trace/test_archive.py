@@ -1,0 +1,54 @@
+"""CellArchive persistence tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import CellArchive, CellTrace, generate_cell
+
+
+class TestArchive:
+    def test_synthetic_cell_roundtrip_2019(self, tmp_path, small_cell):
+        archive = CellArchive(tmp_path / "cell")
+        archive.save(small_cell)
+        loaded = archive.load()
+        assert loaded.profile.name == small_cell.profile.name
+        assert loaded.n_machines == small_cell.n_machines
+        assert loaded.group_bin == small_cell.group_bin
+        assert loaded.step_times == small_cell.step_times
+        assert len(loaded.trace) == len(small_cell.trace)
+
+    def test_synthetic_cell_roundtrip_2011(self, tmp_path, small_cell_2011):
+        archive = CellArchive(tmp_path / "cell11")
+        archive.save(small_cell_2011)
+        loaded = archive.load()
+        assert loaded.trace.format == "2011"
+        assert len(loaded.trace) == len(small_cell_2011.trace)
+
+    def test_bare_trace_roundtrip(self, tmp_path):
+        trace = CellTrace("bare", "2019")
+        archive = CellArchive(tmp_path / "bare")
+        archive.save_trace(trace)
+        loaded = archive.load_trace()
+        assert loaded.name == "bare"
+        assert len(loaded) == 0
+
+    def test_load_full_requires_synthetic_manifest(self, tmp_path):
+        trace = CellTrace("bare", "2019")
+        archive = CellArchive(tmp_path / "bare")
+        archive.save_trace(trace)
+        with pytest.raises(TraceFormatError):
+            archive.load()
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            CellArchive(tmp_path / "void").manifest()
+
+    def test_manifest_contents(self, tmp_path, small_cell):
+        archive = CellArchive(tmp_path / "m")
+        archive.save(small_cell)
+        manifest = archive.manifest()
+        assert manifest["name"] == "clusterdata-2019c"
+        assert manifest["format"] == "2019"
+        assert manifest["n_machines"] == small_cell.n_machines

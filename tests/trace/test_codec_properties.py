@@ -1,0 +1,115 @@
+"""Property-based codec round-trips over arbitrary generated traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import Constraint, ConstraintOperator
+from repro.trace import (CellTrace, CollectionEvent, CollectionEventKind,
+                         MachineAttributeEvent, MachineEvent,
+                         MachineEventKind, TaskEvent, TaskEventKind,
+                         read_2011, read_2019, write_2011, write_2019)
+
+_TIMES = st.integers(0, 10 ** 12)
+_IDS = st.integers(1, 10 ** 6)
+_NAMES = st.text(alphabet="abcdefgh_", min_size=1, max_size=8)
+_VALUES = st.one_of(st.none(), st.integers(0, 999).map(str),
+                    st.text(alphabet="xyz0123", min_size=1, max_size=6))
+
+_OPS_2011 = st.sampled_from([ConstraintOperator.EQUAL,
+                             ConstraintOperator.NOT_EQUAL,
+                             ConstraintOperator.LESS_THAN,
+                             ConstraintOperator.GREATER_THAN])
+_OPS_2019 = st.sampled_from(list(ConstraintOperator))
+
+
+def constraint_strategy(ops):
+    @st.composite
+    def build(draw):
+        op = draw(ops)
+        if op.is_numeric:
+            value = str(draw(st.integers(-99, 999)))
+        elif op.needs_value:
+            value = draw(_VALUES.filter(lambda v: v is not None))
+        else:
+            value = None
+        return Constraint(draw(_NAMES), op, value)
+    return build()
+
+
+def event_strategy(ops):
+    machine = st.builds(
+        MachineEvent, time=_TIMES, machine_id=_IDS,
+        kind=st.sampled_from(list(MachineEventKind)),
+        cpu=st.floats(0, 1).map(lambda x: round(x, 6)),
+        mem=st.floats(0, 1).map(lambda x: round(x, 6)),
+        platform=st.sampled_from(["", "P0", "P1"]))
+    attribute = st.builds(
+        MachineAttributeEvent, time=_TIMES, machine_id=_IDS,
+        attribute=_NAMES, value=_VALUES, deleted=st.booleans())
+    collection = st.builds(
+        CollectionEvent, time=_TIMES, collection_id=_IDS,
+        kind=st.sampled_from(list(CollectionEventKind)),
+        user=st.sampled_from(["", "u1", "u2"]),
+        priority=st.integers(0, 11), scheduling_class=st.integers(0, 3))
+
+    @st.composite
+    def task(draw):
+        kind = draw(st.sampled_from(list(TaskEventKind)))
+        constraints = (tuple(draw(st.lists(constraint_strategy(ops),
+                                           max_size=3)))
+                       if kind is TaskEventKind.SUBMIT else ())
+        return TaskEvent(
+            time=draw(_TIMES), collection_id=draw(_IDS),
+            task_index=draw(st.integers(0, 50)), kind=kind,
+            machine_id=draw(st.one_of(st.none(), _IDS)),
+            cpu_request=round(draw(st.floats(0, 1)), 6),
+            mem_request=round(draw(st.floats(0, 1)), 6),
+            priority=draw(st.integers(0, 11)), constraints=constraints)
+
+    return st.one_of(machine, attribute, collection, task())
+
+
+def assert_equal_traces(a: CellTrace, b: CellTrace) -> None:
+    ea, eb = list(a), list(b)
+    assert len(ea) == len(eb)
+    for x, y in zip(ea, eb):
+        assert type(x) is type(y)
+        if isinstance(x, TaskEvent):
+            assert (x.time, x.task_key, x.kind) == (y.time, y.task_key,
+                                                    y.kind)
+            assert x.constraints == y.constraints
+            assert x.cpu_request == pytest.approx(y.cpu_request, abs=1e-9)
+        elif isinstance(x, MachineEvent):
+            assert (x.time, x.machine_id, x.kind, x.platform) == \
+                (y.time, y.machine_id, y.kind, y.platform)
+            assert x.cpu == pytest.approx(y.cpu, abs=1e-9)
+        elif isinstance(x, MachineAttributeEvent):
+            # Values canonicalize through parse at read time; compare raw.
+            assert (x.time, x.machine_id, x.attribute, x.deleted) == \
+                (y.time, y.machine_id, y.attribute, y.deleted)
+        else:
+            assert x == y
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(event_strategy(_OPS_2019), max_size=25))
+def test_2019_roundtrip_property(tmp_path_factory, events):
+    trace = CellTrace("prop", "2019", events)
+    path = tmp_path_factory.mktemp("rt") / "t.jsonl"
+    write_2019(trace, path)
+    assert_equal_traces(read_2019(path), trace)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(event_strategy(_OPS_2011), max_size=25))
+def test_2011_roundtrip_property(tmp_path_factory, events):
+    trace = CellTrace("prop", "2011", events)
+    directory = tmp_path_factory.mktemp("rt") / "cell"
+    write_2011(trace, directory)
+    assert_equal_traces(read_2011(directory), trace)

@@ -1,0 +1,113 @@
+"""Event model tests: timestamps, ordering, trace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import (MICROS_PER_DAY, MICROS_PER_HOUR, MICROS_PER_MINUTE,
+                         CellTrace, CollectionEvent, CollectionEventKind,
+                         MachineAttributeEvent, MachineEvent,
+                         MachineEventKind, TaskEvent, TaskEventKind,
+                         format_sim_time, sim_time)
+
+
+class TestSimTime:
+    def test_composition(self):
+        assert sim_time(1, 2, 3) == (MICROS_PER_DAY + 2 * MICROS_PER_HOUR
+                                     + 3 * MICROS_PER_MINUTE)
+
+    def test_format_roundtrip(self):
+        assert format_sim_time(sim_time(8, 15, 10)) == "8 15:10"
+        assert format_sim_time(0) == "0 00:00"
+
+    def test_format_matches_table_xi_style(self):
+        assert format_sim_time(sim_time(30, 10, 30)) == "30 10:30"
+
+
+class TestEventKinds:
+    def test_termination_flags(self):
+        assert TaskEventKind.FINISH.is_termination
+        assert TaskEventKind.EVICT.is_termination
+        assert TaskEventKind.KILL.is_termination
+        assert not TaskEventKind.SUBMIT.is_termination
+        assert not TaskEventKind.SCHEDULE.is_termination
+
+    def test_update_flags(self):
+        assert TaskEventKind.UPDATE_PENDING.is_update
+        assert TaskEventKind.UPDATE_RUNNING.is_update
+        assert not TaskEventKind.FINISH.is_update
+
+    def test_gcd_2011_codes(self):
+        assert TaskEventKind.SUBMIT == 0
+        assert TaskEventKind.SCHEDULE == 1
+        assert TaskEventKind.EVICT == 2
+        assert TaskEventKind.FAIL == 3
+        assert TaskEventKind.FINISH == 4
+        assert TaskEventKind.KILL == 5
+
+
+class TestCellTrace:
+    def _events(self):
+        return [
+            TaskEvent(200, 1, 0, TaskEventKind.SUBMIT),
+            MachineEvent(100, 7, MachineEventKind.ADD, cpu=1, mem=1),
+            MachineAttributeEvent(100, 7, "zone", "a"),
+            CollectionEvent(150, 1, CollectionEventKind.SUBMIT),
+        ]
+
+    def test_sorts_by_time(self):
+        trace = CellTrace("t", "2019", self._events())
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+
+    def test_tie_break_machines_before_tasks(self):
+        trace = CellTrace("t", "2019")
+        trace.append(TaskEvent(100, 1, 0, TaskEventKind.SUBMIT))
+        trace.append(MachineEvent(100, 1, MachineEventKind.ADD))
+        ordered = list(trace)
+        assert isinstance(ordered[0], MachineEvent)
+        assert isinstance(ordered[1], TaskEvent)
+
+    def test_stable_for_equal_keys(self):
+        trace = CellTrace("t", "2019")
+        a = TaskEvent(100, 1, 0, TaskEventKind.SUBMIT)
+        b = TaskEvent(100, 1, 1, TaskEventKind.SUBMIT)
+        trace.append(a)
+        trace.append(b)
+        ordered = [e.task_index for e in trace]
+        assert ordered == [0, 1]
+
+    def test_events_of_filters(self):
+        trace = CellTrace("t", "2019", self._events())
+        assert len(list(trace.events_of(MachineEvent))) == 1
+        assert len(list(trace.events_of(TaskEvent))) == 1
+
+    def test_window(self):
+        trace = CellTrace("t", "2019", self._events())
+        inside = list(trace.window(100, 160))
+        assert all(100 <= e.time < 160 for e in inside)
+        assert len(inside) == 3
+
+    def test_span_and_counts(self):
+        trace = CellTrace("t", "2019", self._events())
+        assert trace.span == (100, 200)
+        counts = trace.counts()
+        assert counts["MachineEvent"] == 1
+        assert counts["TaskEvent"] == 1
+
+    def test_empty_span(self):
+        assert CellTrace("t", "2019").span == (0, 0)
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            CellTrace("t", "2027")
+
+    def test_copy_independent(self):
+        trace = CellTrace("t", "2019", self._events())
+        clone = trace.copy()
+        clone.append(TaskEvent(999, 2, 0, TaskEventKind.SUBMIT))
+        assert len(clone) == len(trace) + 1
+
+    def test_task_key(self):
+        e = TaskEvent(0, 42, 7, TaskEventKind.SUBMIT)
+        assert e.task_key == (42, 7)

@@ -1,0 +1,167 @@
+"""Codec tests: 2011 CSV and 2019 JSON round-trips and error handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.constraints import Constraint, ConstraintOperator
+from repro.errors import TraceFormatError
+from repro.trace import (CellTrace, CollectionEvent, CollectionEventKind,
+                         MachineAttributeEvent, MachineEvent,
+                         MachineEventKind, TaskEvent, TaskEventKind,
+                         read_2011, read_2019, write_2011, write_2019)
+
+
+def sample_trace(fmt: str, ops) -> CellTrace:
+    trace = CellTrace("sample", fmt)
+    trace.append(MachineEvent(0, 1, MachineEventKind.ADD, cpu=0.5, mem=1.0,
+                              platform="P0"))
+    trace.append(MachineAttributeEvent(5, 1, "zone", "a"))
+    trace.append(MachineAttributeEvent(6, 1, "gpu", None, deleted=True))
+    trace.append(CollectionEvent(10, 100, CollectionEventKind.SUBMIT,
+                                 user="u1", priority=3, scheduling_class=1))
+    constraints = tuple(Constraint("AM", op, "5" if op.needs_value else None)
+                        for op in ops)
+    trace.append(TaskEvent(10, 100, 0, TaskEventKind.SUBMIT,
+                           cpu_request=0.25, mem_request=0.125, priority=3,
+                           constraints=constraints))
+    trace.append(TaskEvent(20, 100, 0, TaskEventKind.SCHEDULE, machine_id=1,
+                           cpu_request=0.25, mem_request=0.125))
+    trace.append(TaskEvent(90, 100, 0, TaskEventKind.FINISH, machine_id=1))
+    trace.append(CollectionEvent(95, 100, CollectionEventKind.FINISH))
+    return trace
+
+
+OPS_2011 = (ConstraintOperator.EQUAL, ConstraintOperator.NOT_EQUAL,
+            ConstraintOperator.LESS_THAN, ConstraintOperator.GREATER_THAN)
+OPS_2019_ONLY = (ConstraintOperator.LESS_THAN_EQUAL,
+                 ConstraintOperator.GREATER_THAN_EQUAL,
+                 ConstraintOperator.PRESENT,
+                 ConstraintOperator.NOT_PRESENT)
+
+
+def assert_traces_equal(a: CellTrace, b: CellTrace) -> None:
+    ea, eb = list(a), list(b)
+    assert len(ea) == len(eb)
+    for x, y in zip(ea, eb):
+        assert type(x) is type(y)
+        assert x.time == y.time
+        if isinstance(x, TaskEvent):
+            assert x.task_key == y.task_key
+            assert x.kind == y.kind
+            assert x.constraints == y.constraints
+            assert x.cpu_request == pytest.approx(y.cpu_request)
+
+
+class TestFormat2011:
+    def test_roundtrip(self, tmp_path):
+        trace = sample_trace("2011", OPS_2011)
+        write_2011(trace, tmp_path / "cell")
+        assert_traces_equal(read_2011(tmp_path / "cell"), trace)
+
+    def test_expected_files_written(self, tmp_path):
+        write_2011(sample_trace("2011", OPS_2011), tmp_path / "cell")
+        for name in ("machine_events.csv", "machine_attributes.csv",
+                     "task_events.csv", "task_constraints.csv",
+                     "collection_events.csv"):
+            assert (tmp_path / "cell" / name).exists()
+
+    def test_2019_operator_rejected_on_write(self, tmp_path):
+        trace = sample_trace("2011", (ConstraintOperator.PRESENT,))
+        with pytest.raises(TraceFormatError):
+            write_2011(trace, tmp_path / "cell")
+
+    def test_2019_operator_rejected_on_read(self, tmp_path):
+        directory = tmp_path / "cell"
+        write_2011(sample_trace("2011", OPS_2011), directory)
+        with open(directory / "task_constraints.csv", "a") as fh:
+            fh.write("10,100,0,6,AM,\n")  # operator code 6 = PRESENT
+        with pytest.raises(TraceFormatError):
+            read_2011(directory)
+
+    def test_bad_integer_rejected(self, tmp_path):
+        directory = tmp_path / "cell"
+        write_2011(sample_trace("2011", OPS_2011), directory)
+        with open(directory / "machine_events.csv", "a") as fh:
+            fh.write("oops,1,0,P0,1.0,1.0\n")
+        with pytest.raises(TraceFormatError):
+            read_2011(directory)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            read_2011(tmp_path / "nope")
+
+    def test_constraints_joined_to_submit_only(self, tmp_path):
+        trace = sample_trace("2011", OPS_2011)
+        write_2011(trace, tmp_path / "cell")
+        loaded = read_2011(tmp_path / "cell")
+        submits = [e for e in loaded.events_of(TaskEvent)
+                   if e.kind is TaskEventKind.SUBMIT]
+        others = [e for e in loaded.events_of(TaskEvent)
+                  if e.kind is not TaskEventKind.SUBMIT]
+        assert all(e.constraints for e in submits)
+        assert all(not e.constraints for e in others)
+
+
+class TestFormat2019:
+    def test_roundtrip_all_operators(self, tmp_path):
+        trace = sample_trace("2019", OPS_2011 + OPS_2019_ONLY)
+        path = write_2019(trace, tmp_path / "cell.jsonl")
+        assert_traces_equal(read_2019(path), trace)
+
+    def test_reader_sorts_shuffled_lines(self, tmp_path):
+        trace = sample_trace("2019", OPS_2011)
+        path = write_2019(trace, tmp_path / "cell.jsonl")
+        lines = path.read_text().strip().split("\n")
+        path.write_text("\n".join(reversed(lines)) + "\n")
+        loaded = read_2019(path)
+        times = [e.time for e in loaded]
+        assert times == sorted(times)
+
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "machine_event"\n')
+        with pytest.raises(TraceFormatError):
+            read_2019(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "alien", "time": 0}) + "\n")
+        with pytest.raises(TraceFormatError):
+            read_2019(path)
+
+    def test_missing_required_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "machine_event", "time": 0})
+                        + "\n")
+        with pytest.raises(TraceFormatError):
+            read_2019(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        trace = sample_trace("2019", OPS_2011)
+        path = write_2019(trace, tmp_path / "cell.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_2019(path)) == len(trace)
+
+    def test_parent_and_alloc_fields(self, tmp_path):
+        trace = CellTrace("t", "2019")
+        trace.append(CollectionEvent(0, 5, CollectionEventKind.SUBMIT,
+                                     parent_id=3, is_alloc_set=True))
+        path = write_2019(trace, tmp_path / "c.jsonl")
+        loaded = list(read_2019(path).events_of(CollectionEvent))[0]
+        assert loaded.parent_id == 3
+        assert loaded.is_alloc_set is True
+
+
+class TestSyntheticRoundtrip:
+    def test_full_synthetic_cell_2019(self, tmp_path, small_cell):
+        path = write_2019(small_cell.trace, tmp_path / "cell.jsonl")
+        loaded = read_2019(path)
+        assert len(loaded) == len(small_cell.trace)
+
+    def test_full_synthetic_cell_2011(self, tmp_path, small_cell_2011):
+        directory = write_2011(small_cell_2011.trace, tmp_path / "cell")
+        loaded = read_2011(directory)
+        assert len(loaded) == len(small_cell_2011.trace)

@@ -1,0 +1,61 @@
+"""Additional CellProfile coverage: growth steps and scaling math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import (CELL_2011, CELL_2019A, CELL_2019C, CELL_2019D,
+                         GrowthStep, get_profile, sim_time)
+
+
+class TestGrowthSteps:
+    @pytest.mark.parametrize("profile", [CELL_2011, CELL_2019A, CELL_2019C,
+                                         CELL_2019D])
+    def test_steps_ordered_and_start_at_zero(self, profile):
+        times = [s.time for s in profile.growth_steps]
+        assert times[0] == 0
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_step_time_and_label(self):
+        step = GrowthStep(8, 15, 10, 30)
+        assert step.time == sim_time(8, 15, 10)
+        assert step.label == "8 15:10"
+
+    @pytest.mark.parametrize("profile", [CELL_2011, CELL_2019A, CELL_2019C,
+                                         CELL_2019D])
+    def test_steps_within_horizon(self, profile):
+        for step in profile.growth_steps:
+            assert step.day < profile.days
+
+    def test_2019c_has_most_steps(self):
+        """The paper's Table XI shows 2019c as the busiest retrainer."""
+
+        assert len(CELL_2019C.growth_steps) >= \
+            max(len(CELL_2011.growth_steps), len(CELL_2019A.growth_steps),
+                len(CELL_2019D.growth_steps))
+
+
+class TestScalingMath:
+    @pytest.mark.parametrize("name,full,bin_full", [
+        ("2011", 12_500, 500), ("2019a", 9_400, 360),
+        ("2019c", 12_300, 500), ("2019d", 12_600, 500)])
+    def test_full_scale_parameters(self, name, full, bin_full):
+        profile = get_profile(name)
+        assert profile.full_machines == full
+        assert profile.group_bin_at_scale(1.0) == bin_full
+
+    def test_machine_floor(self):
+        assert CELL_2011.machines_at_scale(0.0001) == 60
+
+    def test_tasks_scale_superlinearly(self):
+        quarter = CELL_2019C.tasks_per_day_at_scale(0.25)
+        half = CELL_2019C.tasks_per_day_at_scale(0.5)
+        # Halving the scale cuts tasks by more than half (scale^1.5).
+        assert quarter < half / 2
+
+    @pytest.mark.parametrize("profile", [CELL_2011, CELL_2019A, CELL_2019C,
+                                         CELL_2019D])
+    def test_band_consistency_with_table_ix(self, profile):
+        for band in (profile.co_volume, profile.co_cpu, profile.co_mem):
+            assert 0 < band.lo <= band.avg <= band.hi < 1

@@ -1,0 +1,159 @@
+"""Synthetic generator tests: determinism, calibration, causality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (CELL_2011, CELL_2019A, CELL_2019C, PROFILES,
+                         MachineAttributeEvent, MachineEvent,
+                         MachineEventKind, TaskEvent, TaskEventKind,
+                         generate_cell, get_profile)
+from repro.trace.profiles import Band
+
+
+class TestProfiles:
+    def test_lookup_by_alias(self):
+        assert get_profile("2019c") is CELL_2019C
+        assert get_profile("clusterdata-2011") is CELL_2011
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            get_profile("clusterdata-2042")
+
+    def test_paper_cell_sizes(self):
+        assert CELL_2019A.full_machines == 9_400
+        assert CELL_2019A.group_bin_full == 360
+        assert CELL_2019C.group_bin_full == 500
+
+    def test_scaled_bin_preserves_26_groups(self):
+        for name in ("2011", "2019a", "2019c", "2019d"):
+            profile = get_profile(name)
+            machines = profile.machines_at_scale(0.05)
+            bin_width = profile.group_bin_at_scale(0.05)
+            assert 25 * bin_width >= machines - 1
+
+    def test_full_scale_bin_is_paper_value(self):
+        assert CELL_2019C.group_bin_at_scale(1.0) == 500
+        assert CELL_2019A.group_bin_at_scale(1.0) == 360
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            Band(0.5, 0.4, 0.45)
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            CELL_2011.machines_at_scale(0.0)
+        with pytest.raises(ValueError):
+            CELL_2011.machines_at_scale(1.5)
+
+    def test_operator_families(self):
+        assert len(CELL_2011.operators) == 4
+        assert len(CELL_2019C.operators) == 8
+
+    def test_step_zero_required(self):
+        from repro.trace.profiles import CellProfile, GrowthStep
+        with pytest.raises(ValueError):
+            CellProfile(
+                name="x", format="2019", full_machines=100,
+                group_bin_full=4, days=2,
+                co_volume=Band(0.1, 0.3, 0.2), co_cpu=Band(0.1, 0.3, 0.2),
+                co_mem=Band(0.1, 0.3, 0.2), group0_rate=0.005,
+                tasks_per_day_full=100, attributes=(),
+                growth_steps=(GrowthStep(1, 0, 0, 4),))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_cell("2019c", scale=0.02, seed=9, days=2,
+                          tasks_per_day=150)
+        b = generate_cell("2019c", scale=0.02, seed=9, days=2,
+                          tasks_per_day=150)
+        assert len(a.trace) == len(b.trace)
+        for ea, eb in zip(a.trace, b.trace):
+            assert ea == eb
+
+    def test_seed_changes_output(self):
+        a = generate_cell("2019c", scale=0.02, seed=1, days=2,
+                          tasks_per_day=150)
+        b = generate_cell("2019c", scale=0.02, seed=2, days=2,
+                          tasks_per_day=150)
+        assert [e for e in a.trace] != [e for e in b.trace]
+
+    def test_machine_count(self, small_cell):
+        adds = {e.machine_id for e in small_cell.trace.events_of(MachineEvent)
+                if e.kind is MachineEventKind.ADD}
+        assert len(adds) == small_cell.n_machines
+
+    def test_co_fraction_within_profile_band(self, small_cell):
+        submits = [e for e in small_cell.trace.events_of(TaskEvent)
+                   if e.kind is TaskEventKind.SUBMIT]
+        co = sum(1 for e in submits if e.constraints)
+        frac = co / len(submits)
+        band = small_cell.profile.co_volume
+        assert band.lo * 0.5 <= frac <= band.hi * 1.2
+
+    def test_group0_tasks_exist(self, small_cell):
+        submits = [e for e in small_cell.trace.events_of(TaskEvent)
+                   if e.kind is TaskEventKind.SUBMIT and e.constraints]
+        node_pins = [e for e in submits
+                     if any(c.attribute == "node_id" for c in e.constraints)]
+        assert len(node_pins) >= 3
+
+    def test_2011_cell_uses_only_2011_operators(self, small_cell_2011):
+        for e in small_cell_2011.trace.events_of(TaskEvent):
+            for c in e.constraints:
+                assert int(c.op) <= 3
+
+    def test_every_submit_has_matching_termination_or_none(self, small_cell):
+        submits = set()
+        terminations = set()
+        for e in small_cell.trace.events_of(TaskEvent):
+            if e.kind is TaskEventKind.SUBMIT:
+                submits.add(e.task_key)
+            elif e.kind.is_termination:
+                terminations.add(e.task_key)
+        assert terminations == submits  # clean trace: all tasks terminate
+
+    def test_vocabulary_causality(self, small_cell):
+        """Tasks must not reference rack/zone values before they exist."""
+
+        available: dict[str, set] = {"rack": set(), "zone": set()}
+        for event in small_cell.trace:
+            if isinstance(event, MachineAttributeEvent):
+                if event.attribute in available and event.value:
+                    available[event.attribute].add(event.value)
+            elif (isinstance(event, TaskEvent)
+                  and event.kind is TaskEventKind.SUBMIT):
+                for c in event.constraints:
+                    if c.attribute in available and c.value is not None:
+                        assert c.value in available[c.attribute], (
+                            f"task at t={event.time} references "
+                            f"{c.attribute}={c.value} before it exists")
+
+    def test_resource_requests_positive_and_bounded(self, small_cell):
+        for e in small_cell.trace.events_of(TaskEvent):
+            if e.kind is TaskEventKind.SUBMIT:
+                assert 0 < e.cpu_request <= 0.95
+                assert 0 < e.mem_request <= 0.95
+
+    def test_step_times_match_profile_prefix(self, small_cell):
+        expected = [s.time for s in small_cell.profile.growth_steps
+                    if s.day < 4 or s.day == 0]
+        assert list(small_cell.step_times) == expected[:len(
+            small_cell.step_times)]
+
+    def test_days_override(self):
+        cell = generate_cell("2019a", scale=0.02, seed=3, days=2,
+                             tasks_per_day=100)
+        last = cell.trace.span[1]
+        # All submissions inside 2 days (terminations may spill past).
+        submits = [e.time for e in cell.trace.events_of(TaskEvent)
+                   if e.kind is TaskEventKind.SUBMIT]
+        from repro.trace import MICROS_PER_DAY
+        assert max(submits) < 2 * MICROS_PER_DAY
+
+    def test_profile_object_accepted(self):
+        cell = generate_cell(CELL_2019A, scale=0.02, seed=0, days=2,
+                             tasks_per_day=60)
+        assert cell.profile is CELL_2019A
