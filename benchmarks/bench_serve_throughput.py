@@ -1,0 +1,90 @@
+"""Serving throughput — the real-time Task CO Analyzer under open load.
+
+The paper's deployment claim is *near real-time* classification of every
+arriving constrained task.  This bench deploys the CTLM model behind the
+``repro.serve`` stack (microbatching + hot-swappable model slot), offers
+an open-loop Poisson stream replayed from the standard bench cell, and
+measures delivered throughput and tail latency.  Floor: ≥ 5,000
+classifications/second with p99 reported and nothing dropped.
+
+Run:  python -m pytest benchmarks/bench_serve_throughput.py -q -s \\
+          --benchmark-json=serve_throughput.json
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData
+from repro.serve import ClassificationService, LoadGenerator
+
+from _common import SEED, bench_pipeline
+
+OFFERED_RATE = 12_000.0
+DURATION_S = 2.0
+THROUGHPUT_FLOOR = 5_000.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """Pipeline output + a model trained on the early growth windows."""
+
+    result = bench_pipeline("clusterdata-2019c")
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(SEED + 5))
+    for step in result.steps[:3]:
+        if step.n_samples < 8 or len(np.unique(step.y)) < 2:
+            continue
+        model.fit_step(DatasetData(step.X, step.y,
+                                   batch_size=BENCH_CONFIG.batch_size,
+                                   rng=np.random.default_rng(step.step_index)))
+    assert model.features_count is not None
+    return model, result
+
+
+def test_serve_throughput(deployment, benchmark):
+    model, result = deployment
+    service = ClassificationService(model, result.registry, max_batch=64,
+                                    max_wait_us=500, trainer=False)
+    with service:
+        report = LoadGenerator(
+            service, result.tasks, result.labels, rate=OFFERED_RATE,
+            duration_s=DURATION_S,
+            rng=np.random.default_rng(SEED + 6)).run()
+
+    lat = report.latency
+    print()
+    print(render_table(
+        ["Offered /s", "Delivered /s", "n", "p50 µs", "p95 µs", "p99 µs",
+         "max µs", "dropped", "batches", "largest"],
+        [[f"{report.offered_rate:,.0f}", f"{report.throughput_rps:,.0f}",
+          f"{report.n_completed:,}", f"{lat.p50_us:.0f}",
+          f"{lat.p95_us:.0f}", f"{lat.p99_us:.0f}", f"{lat.max_us:.0f}",
+          report.n_dropped, report.batches, report.largest_batch]],
+        title="SERVE — OPEN-LOOP CLASSIFICATION THROUGHPUT "
+              "(clusterdata-2019c)"))
+
+    # Shape claims.
+    assert report.n_dropped == 0
+    assert report.throughput_rps >= THROUGHPUT_FLOOR
+    assert lat.p99_us > 0
+
+    # Results ride along in the benchmark JSON (perf trajectory).
+    benchmark.extra_info.update(report.to_dict())
+
+    # Benchmark unit: one full 64-task microbatch through the service.
+    batch = result.tasks[:64]
+
+    def classify_batch():
+        requests = [service_bench.submit(task) for task in batch]
+        for request in requests:
+            request.wait(5)
+        return requests
+
+    service_bench = ClassificationService(model, result.registry,
+                                          max_batch=64, max_wait_us=200,
+                                          trainer=False)
+    with service_bench:
+        benchmark(classify_batch)

@@ -18,6 +18,9 @@ paper depends on:
   driver,
 * :mod:`repro.sim` — the AGOCS-style scheduling simulator with the
   Figure 3 Task CO Analyzer / High-Priority Scheduler,
+* :mod:`repro.serve` — the real-time classification service
+  (microbatching, hot-swapped models, background retraining, load
+  generation),
 * :mod:`repro.analysis` — Table IX statistics and report rendering.
 
 Quickstart::
@@ -35,9 +38,9 @@ Quickstart::
 """
 
 from . import analysis, constraints, core, datasets, errors, learn, nn, rng
-from . import sim, trace
+from . import serve, sim, trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["nn", "learn", "constraints", "trace", "datasets", "core", "sim",
-           "analysis", "errors", "rng", "__version__"]
+           "serve", "analysis", "errors", "rng", "__version__"]

@@ -8,6 +8,10 @@ driven without writing Python:
 * ``train``     — continuous transfer learning over an archived cell
   (Growing vs Fully Retrain, optional baselines), Table XI report,
 * ``simulate``  — the Figure 3 scheduler experiment on an archived cell,
+* ``serve``     — run the real-time classification service over an
+  archive's task stream, with background retraining and hot-swap,
+* ``loadtest``  — open-loop load generation against the service,
+  reporting throughput and p50/p95/p99 latency (optionally as JSON),
 * ``info``      — library / experiment inventory.
 """
 
@@ -52,6 +56,40 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("archive", type=Path)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--scan-budget", type=int, default=24)
+
+    def add_serving_args(p, default_rate: float, default_duration: float):
+        p.add_argument("archive", type=Path)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rate", type=float, default=default_rate,
+                       help="offered arrival rate, tasks/second")
+        p.add_argument("--duration", type=float, default=default_duration,
+                       help="load duration in seconds")
+        p.add_argument("--pattern", default="poisson",
+                       choices=["poisson", "bursty"])
+        p.add_argument("--train-steps", type=int, default=3,
+                       help="growth windows used for the initial model")
+        p.add_argument("--max-batch", type=int, default=64)
+        p.add_argument("--max-wait-us", type=int, default=500)
+        p.add_argument("--observe-every", type=int, default=4,
+                       help="feed every n-th task to the trainer "
+                            "(0 disables observations)")
+
+    serve = sub.add_parser(
+        "serve", help="real-time classification service over an archive")
+    add_serving_args(serve, default_rate=2000.0, default_duration=10.0)
+    serve.add_argument("--growth-threshold", type=int, default=4)
+    serve.add_argument("--min-observations", type=int, default=200)
+    serve.add_argument("--no-trainer", action="store_true",
+                       help="serve the initial model without retraining")
+
+    loadtest = sub.add_parser(
+        "loadtest", help="measure service throughput and tail latency")
+    add_serving_args(loadtest, default_rate=8000.0, default_duration=5.0)
+    loadtest.add_argument("--growth-threshold", type=int, default=4)
+    loadtest.add_argument("--min-observations", type=int, default=200)
+    loadtest.add_argument("--no-trainer", action="store_true")
+    loadtest.add_argument("--json", action="store_true",
+                          help="emit the report as one JSON object")
 
     sub.add_parser("info", help="library and experiment inventory")
     return parser
@@ -151,13 +189,101 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _serving_setup(args):
+    """Shared serve/loadtest bring-up: corpus, initial model, service."""
+
+    from .core import BENCH_CONFIG, GrowingModel
+    from .datasets import DatasetData, build_step_datasets
+    from .serve import ClassificationService
+    from .sim import RetrainPolicy
+    from .trace import CellArchive
+
+    cell = CellArchive(args.archive).load()
+    result = build_step_datasets(cell)
+    if not result.tasks:
+        raise SystemExit("archive has no constrained tasks to serve")
+
+    model = GrowingModel(BENCH_CONFIG,
+                         rng=np.random.default_rng(args.seed + 1))
+    for step in result.steps[:max(1, args.train_steps)]:
+        if step.n_samples < 8 or len(np.unique(step.y)) < 2:
+            continue
+        model.fit_step(DatasetData(step.X, step.y,
+                                   batch_size=BENCH_CONFIG.batch_size,
+                                   rng=np.random.default_rng(step.step_index)))
+    if model.features_count is None:
+        raise SystemExit("no growth window had enough samples to train on")
+
+    policy = RetrainPolicy(growth_threshold=args.growth_threshold,
+                           min_observations=args.min_observations)
+    service = ClassificationService(
+        model, result.registry, max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us, trainer=not args.no_trainer,
+        policy=policy, rng=np.random.default_rng(args.seed + 2))
+    return cell, result, model, service
+
+
+def _run_load(args, service, result):
+    from .serve import LoadGenerator
+
+    observe = 0 if args.no_trainer else args.observe_every
+    generator = LoadGenerator(
+        service, result.tasks, result.labels, rate=args.rate,
+        duration_s=args.duration, pattern=args.pattern,
+        observe_every=observe, rng=np.random.default_rng(args.seed + 3))
+    return generator.run()
+
+
+def _cmd_serve(args) -> int:
+    cell, result, model, service = _serving_setup(args)
+    print(f"{cell.name}: serving {model.features_count}-feature model "
+          f"(registry spans {result.registry.features_count}); corpus of "
+          f"{len(result.tasks):,} constrained tasks")
+    with service:
+        report = _run_load(args, service, result)
+    print(report)
+    if service.trainer is not None:
+        for update in service.trainer.updates:
+            print(f"  hot-swap -> v{update.version}: "
+                  f"{update.features_before} -> {update.features_after} "
+                  f"features, {update.epochs} epochs, "
+                  f"acc {update.accuracy:.3f}, "
+                  f"{update.train_seconds:.2f}s off-path")
+        if service.trainer.failed_updates:
+            print(f"  ({service.trainer.failed_updates} retrain "
+                  f"attempt(s) did not reach the acceptance thresholds)")
+        if not service.trainer.updates:
+            print("  (no retrain published during the run)")
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json as _json
+
+    _cell, result, _model, service = _serving_setup(args)
+    with service:
+        report = _run_load(args, service, result)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report)
+        lat = report.latency
+        print(f"  latency: mean {lat.mean_us:.0f}µs  p50 {lat.p50_us:.0f}µs "
+              f"p95 {lat.p95_us:.0f}µs  p99 {lat.p99_us:.0f}µs  "
+              f"max {lat.max_us:.0f}µs")
+        print(f"  batches: {report.batches} (largest {report.largest_batch})"
+              f"; versions served: {report.versions_served}")
+    return 1 if report.n_dropped else 0
+
+
 def _cmd_info(_args) -> int:
     from . import __version__
 
     print(f"repro {__version__} — reproduction of Sliwko & "
           f"Mizera-Pietraszko, IPDPSW 2025")
     print("subsystems: nn (autograd), learn (baselines), constraints, "
-          "trace, datasets, core (CTLM), sim, analysis")
+          "trace, datasets, core (CTLM), sim, serve (real-time service), "
+          "analysis")
     print("experiments: Tables V-XI, Figures 1-3, §V timing, §VI "
           "ablations — see benchmarks/ and EXPERIMENTS.md")
     return 0
@@ -168,6 +294,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "train": _cmd_train,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "info": _cmd_info,
 }
 

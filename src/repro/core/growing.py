@@ -112,7 +112,36 @@ class GrowingModel:
     def load(self, path, features_count: int | None = None) -> None:
         """Restore a saved state; optionally extending to a wider input."""
 
-        state_dict = nn.serialize.load(path)
+        self._restore(nn.serialize.load(path), features_count)
+
+    def state_bytes(self) -> bytes:
+        """The model state as bytes (in-memory ``save``; serving publish)."""
+
+        if self.model is None:
+            raise RuntimeError("no model to serialize")
+        return nn.serialize.dumps(self.model.state_dict())
+
+    def restore_bytes(self, data: bytes,
+                      features_count: int | None = None) -> None:
+        """In-memory ``load``: restore from :meth:`state_bytes` output."""
+
+        self._restore(nn.serialize.loads(data), features_count)
+
+    def clone(self) -> "GrowingModel":
+        """An independent copy sharing no arrays with this model.
+
+        The round trip goes through the checkpoint codec, so a clone is
+        exactly what a save → load cycle would produce — this is how the
+        serving layer publishes snapshots that a background trainer can
+        keep training without mutating the served weights.
+        """
+
+        other = GrowingModel(self.config, rng=np.random.default_rng())
+        if self.model is not None:
+            other.restore_bytes(self.state_bytes())
+        return other
+
+    def _restore(self, state_dict, features_count: int | None) -> None:
         width = int(np.asarray(state_dict["fc1.weight"]).shape[1])
         target = width if features_count is None else features_count
         state_dict = extend_state_dict(state_dict, target)

@@ -20,7 +20,7 @@ comparison the paper draws in §VI).
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
@@ -74,7 +74,13 @@ class StepDataset:
 
 @dataclass
 class PipelineResult:
-    """Everything the replay produced."""
+    """Everything the replay produced.
+
+    ``tasks`` / ``labels`` are the full cumulative constrained-task corpus
+    in submit order with the matching group labels (unsubsampled, unlike
+    the capped per-step matrices) — the replay corpus the serving layer's
+    load generator feeds back through a live classification service.
+    """
 
     steps: list[StepDataset]
     registry: FeatureRegistry | COELRegistry
@@ -83,6 +89,8 @@ class PipelineResult:
     n_tasks_total: int
     n_tasks_with_co: int
     n_compaction_anomalies: int
+    tasks: list[CompactedTask] = field(default_factory=list)
+    labels: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
 
     @property
     def final(self) -> StepDataset:
@@ -218,4 +226,5 @@ def build_step_datasets(cell: SyntheticCell | CellTrace,
         steps=steps, registry=registry, encoding=encoding,
         group_bin=group_bin, n_tasks_total=n_tasks_total,
         n_tasks_with_co=n_tasks_with_co,
-        n_compaction_anomalies=n_anomalies)
+        n_compaction_anomalies=n_anomalies,
+        tasks=tasks_acc, labels=np.asarray(labels_acc, dtype=np.int64))

@@ -9,6 +9,9 @@ __all__ = [
     "DatasetError",
     "TrainingFailedError",
     "SchedulingError",
+    "ServiceError",
+    "ServiceClosedError",
+    "NotServingError",
 ]
 
 
@@ -38,3 +41,15 @@ class TrainingFailedError(ReproError):
 
 class SchedulingError(ReproError):
     """The simulator was asked to do something inconsistent."""
+
+
+class ServiceError(ReproError):
+    """Base class for online-serving failures."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a stopped classification service."""
+
+
+class NotServingError(ServiceError):
+    """No model has been published to the serving handle yet."""

@@ -12,19 +12,46 @@ becomes
 
     model_state_dict = serialize.load(model_file_path)
     model.load_state_dict(model_state_dict)
+
+:func:`dumps` / :func:`loads` are the in-memory counterparts used by the
+serving layer to publish model copies between threads without touching
+disk (``repro.serve.ModelHandle``).
 """
 
 from __future__ import annotations
 
+import io
 import os
 from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save", "load"]
+__all__ = ["save", "load", "dumps", "loads"]
 
 _ORDER_KEY = "__key_order__"
+
+
+def _write(handle, state_dict) -> None:
+    if _ORDER_KEY in state_dict:
+        raise ValueError(f"{_ORDER_KEY!r} is a reserved key")
+    arrays = {key: np.asarray(value) for key, value in state_dict.items()}
+    arrays[_ORDER_KEY] = np.array(list(state_dict.keys()), dtype=object)
+    np.savez(handle, **{_escape(k): v for k, v in arrays.items()})
+
+
+def _read(handle, origin) -> "OrderedDict[str, np.ndarray]":
+    with np.load(handle, allow_pickle=True) as payload:
+        escaped = {key: payload[key] for key in payload.files}
+    order_key = _escape(_ORDER_KEY)
+    if order_key not in escaped:
+        raise ValueError(f"{origin} is not a repro.nn checkpoint")
+    order = [str(k) for k in escaped.pop(order_key)]
+    by_name = {_unescape(k): v for k, v in escaped.items()}
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name in order:
+        out[name] = by_name[name]
+    return out
 
 
 def save(state_dict, path: str | os.PathLike) -> None:
@@ -35,29 +62,29 @@ def save(state_dict, path: str | os.PathLike) -> None:
     """
 
     path = Path(path)
-    if _ORDER_KEY in state_dict:
-        raise ValueError(f"{_ORDER_KEY!r} is a reserved key")
-    arrays = {key: np.asarray(value) for key, value in state_dict.items()}
-    arrays[_ORDER_KEY] = np.array(list(state_dict.keys()), dtype=object)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "wb") as handle:
-        np.savez(handle, **{_escape(k): v for k, v in arrays.items()})
+        _write(handle, state_dict)
 
 
 def load(path: str | os.PathLike) -> "OrderedDict[str, np.ndarray]":
     """Load a state dict previously written by :func:`save`."""
 
-    with np.load(path, allow_pickle=True) as payload:
-        escaped = {key: payload[key] for key in payload.files}
-    order_key = _escape(_ORDER_KEY)
-    if order_key not in escaped:
-        raise ValueError(f"{path} is not a repro.nn checkpoint")
-    order = [str(k) for k in escaped.pop(order_key)]
-    by_name = {_unescape(k): v for k, v in escaped.items()}
-    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
-    for name in order:
-        out[name] = by_name[name]
-    return out
+    return _read(path, origin=path)
+
+
+def dumps(state_dict) -> bytes:
+    """Serialize a state dict to bytes (same format as :func:`save`)."""
+
+    buffer = io.BytesIO()
+    _write(buffer, state_dict)
+    return buffer.getvalue()
+
+
+def loads(data: bytes) -> "OrderedDict[str, np.ndarray]":
+    """Restore a state dict previously produced by :func:`dumps`."""
+
+    return _read(io.BytesIO(data), origin="<bytes>")
 
 
 # np.savez forbids '/' in member names on some platforms; dots are fine but

@@ -1,0 +1,37 @@
+"""``repro.serve`` — real-time inference service for the Task CO Analyzer.
+
+The production counterpart of the simulated Figure 3 loop: a
+thread-safe, hot-swappable model slot (:class:`ModelHandle`), a
+microbatching request queue (:class:`MicroBatcher`), a background
+trainer that retrains as constraint vocabulary grows
+(:class:`BackgroundTrainer`), the :class:`ClassificationService` facade
+composing them, and an open-loop :class:`LoadGenerator` measuring
+throughput and tail latency.
+
+Quickstart::
+
+    from repro.serve import ClassificationService, LoadGenerator
+
+    service = ClassificationService(model, result.registry).start()
+    report = LoadGenerator(service, result.tasks, result.labels,
+                           rate=5000, duration_s=5,
+                           observe_every=4).run()
+    service.close()
+    print(report)
+"""
+
+from .handle import ModelHandle, ModelSnapshot
+from .loadgen import LoadGenerator, LoadTestReport, arrival_offsets
+from .metrics import LatencyStats, ServiceStats
+from .microbatch import ClassifyRequest, MicroBatcher
+from .service import ClassificationService
+from .trainer import BackgroundTrainer, ServeUpdate
+
+__all__ = [
+    "ModelHandle", "ModelSnapshot",
+    "MicroBatcher", "ClassifyRequest",
+    "BackgroundTrainer", "ServeUpdate",
+    "ClassificationService",
+    "LoadGenerator", "LoadTestReport", "arrival_offsets",
+    "LatencyStats", "ServiceStats",
+]

@@ -1,0 +1,176 @@
+"""Double-buffered model publication for the serving path.
+
+The real-world half of the paper's Figure 3 promise — "updating ML model
+runs in parallel and won't block or slow down the main cluster
+scheduler" — is a publication point: the serving thread keeps reading the
+*old* model until a background trainer atomically swaps in a new one.
+
+:class:`ModelHandle` is that point.  Publication clones the incoming
+model through the checkpoint codec (:mod:`repro.nn.serialize`), so the
+trainer retains its own live copy and the served weights can never be
+mutated mid-prediction; readers take an immutable :class:`ModelSnapshot`
+and use it for a whole microbatch, which is what makes hot-swaps
+atomic at batch granularity (no request is classified half by one model
+version and half by another).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import NotServingError
+
+__all__ = ["ModelSnapshot", "ModelHandle"]
+
+
+@dataclass(frozen=True, slots=True)
+class ModelSnapshot:
+    """One published, immutable model version.
+
+    ``model`` is anything with ``predict(X) -> labels`` (a
+    :class:`~repro.core.GrowingModel` in production; test doubles are
+    fine, mirroring :class:`~repro.sim.TaskCOAnalyzer`'s duck typing).
+    """
+
+    version: int
+    model: object
+    features_count: int
+    published_at: float  # time.monotonic()
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.model.predict(X)
+
+    def align(self, X: np.ndarray) -> np.ndarray:
+        """Pad/slice a row block to this snapshot's input width.
+
+        Rows encoded against a *newer* registry state are a superset of
+        this model's columns (append-only growth), so slicing off the
+        tail is exactly "ignore vocabulary this version never saw";
+        older rows are right-padded with zeros (entirely-acceptable
+        columns in the reversed CO-VV notation).
+        """
+
+        width = X.shape[1]
+        if width < self.features_count:
+            return np.pad(X, ((0, 0), (0, self.features_count - width)))
+        if width > self.features_count:
+            return X[:, :self.features_count]
+        return X
+
+
+class ModelHandle:
+    """Thread-safe double-buffered model slot.
+
+    Writers call :meth:`publish` (rare); readers call :meth:`snapshot`
+    (hot path — a single attribute read, no lock).  The most recent
+    ``retain_history`` published versions are kept so audits can re-run
+    a request against the exact model that served it; older snapshots
+    are evicted (a continuously-retraining service would otherwise leak
+    one weight copy per publication).  ``retain_history=None`` keeps
+    everything.
+    """
+
+    def __init__(self, model: object | None = None,
+                 features_count: int | None = None,
+                 retain_history: int | None = 32):
+        if retain_history is not None and retain_history < 1:
+            raise ValueError("retain_history must be >= 1 (or None)")
+        self._lock = threading.Lock()
+        self._active: ModelSnapshot | None = None
+        self._history: list[ModelSnapshot] = []
+        self._published = 0
+        self._evicted = 0
+        self.retain_history = retain_history
+        if model is not None:
+            self.publish(model, features_count=features_count, clone=False)
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def publish(self, model: object, features_count: int | None = None,
+                clone: bool = True) -> ModelSnapshot:
+        """Atomically swap the served model; returns the new snapshot.
+
+        With ``clone=True`` (the default) the model is copied via its
+        ``clone()`` method — a checkpoint round-trip for
+        :class:`~repro.core.GrowingModel` — so the caller keeps a
+        private, still-trainable instance.  ``features_count`` defaults
+        to the model's own ``features_count`` attribute.
+        """
+
+        if clone:
+            cloner = getattr(model, "clone", None)
+            if cloner is None:
+                raise TypeError(
+                    f"{type(model).__name__} has no clone(); publish with "
+                    f"clone=False if sharing the instance is intended")
+            model = cloner()
+        if features_count is None:
+            features_count = getattr(model, "features_count", None)
+        if features_count is None:
+            raise ValueError("features_count required for models that do "
+                             "not expose one (is the model trained?)")
+        with self._lock:
+            self._published += 1
+            snapshot = ModelSnapshot(
+                version=self._published, model=model,
+                features_count=int(features_count),
+                published_at=time.monotonic())
+            self._history.append(snapshot)
+            self._active = snapshot
+            if self.retain_history is not None:
+                while len(self._history) > self.retain_history:
+                    self._history.pop(0)
+                    self._evicted += 1
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # reader side (hot path)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ModelSnapshot:
+        """The currently-served version (lock-free attribute read)."""
+
+        active = self._active
+        if active is None:
+            raise NotServingError("no model has been published")
+        return active
+
+    @property
+    def serving(self) -> bool:
+        return self._active is not None
+
+    @property
+    def version(self) -> int:
+        """Version of the active snapshot (0 before first publish)."""
+
+        active = self._active
+        return 0 if active is None else active.version
+
+    @property
+    def swap_count(self) -> int:
+        """Hot-swaps after the initial publication."""
+
+        return max(0, self._published - 1)
+
+    @property
+    def history(self) -> tuple[ModelSnapshot, ...]:
+        """The retained (most recent) snapshots, oldest first."""
+
+        with self._lock:
+            return tuple(self._history)
+
+    def snapshot_for(self, version: int) -> ModelSnapshot:
+        """Look up a retained past version (1-based) for audit."""
+
+        with self._lock:
+            if not 1 <= version <= self._published:
+                raise KeyError(f"no published version {version}")
+            if version <= self._evicted:
+                raise KeyError(
+                    f"version {version} was evicted (retain_history="
+                    f"{self.retain_history})")
+            return self._history[version - 1 - self._evicted]

@@ -1,0 +1,201 @@
+"""Open-loop load generation against a classification service.
+
+Replays a cell's constrained-task corpus at a configurable offered rate
+and measures what the serving stack actually delivers: completed
+throughput, p50/p95/p99/max classification latency, per-model-version
+request counts, and drops (requests that never completed — the hot-swap
+acceptance criterion demands zero).
+
+Open loop means arrivals follow the schedule regardless of completions:
+if the service falls behind, the queue grows and latency shows it —
+exactly how a cluster's task stream would behave.  Two arrival patterns:
+
+* ``poisson`` — memoryless arrivals at the offered rate,
+* ``bursty``  — the same mean rate compressed into periodic bursts
+  (duty cycle ``1/burst_factor``), the adversarial shape for a
+  microbatcher.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from .metrics import LatencyStats
+from .microbatch import ClassifyRequest
+from .service import ClassificationService
+
+__all__ = ["arrival_offsets", "LoadTestReport", "LoadGenerator"]
+
+PATTERNS = ("poisson", "bursty")
+
+
+def arrival_offsets(rate: float, duration_s: float,
+                    rng: np.random.Generator, pattern: str = "poisson",
+                    burst_factor: float = 4.0,
+                    period_s: float = 0.25) -> np.ndarray:
+    """Arrival times (seconds from start) for one open-loop run."""
+
+    if rate <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    if pattern not in PATTERNS:
+        raise ValueError(f"pattern must be one of {PATTERNS}")
+    if pattern == "poisson":
+        n = max(1, int(rate * duration_s * 1.5))
+        gaps = rng.exponential(1.0 / rate, size=n)
+        offsets = np.cumsum(gaps)
+        return offsets[offsets < duration_s]
+    # Bursty: all arrivals land in the first 1/burst_factor of each
+    # period at burst_factor × rate, preserving the mean rate.
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be >= 1")
+    hot_rate = rate * burst_factor
+    duty_s = period_s / burst_factor
+    n = max(1, int(hot_rate * duration_s * 1.5))
+    gaps = rng.exponential(1.0 / hot_rate, size=n)
+    within = np.cumsum(gaps)
+    # Fold the continuous hot stream into the duty window of each period.
+    offsets = (within // duty_s) * period_s + (within % duty_s)
+    return offsets[offsets < duration_s]
+
+
+@dataclass
+class LoadTestReport:
+    """Everything one load-test run measured."""
+
+    pattern: str
+    offered_rate: float
+    duration_s: float
+    n_requests: int
+    n_completed: int
+    n_dropped: int
+    throughput_rps: float
+    latency: LatencyStats
+    versions_served: dict[int, int] = field(default_factory=dict)
+    swaps: int = 0
+    trainer_updates: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the shape the perf trajectory records)."""
+
+        return {
+            "pattern": self.pattern,
+            "offered_rate": self.offered_rate,
+            "duration_s": self.duration_s,
+            "n_requests": self.n_requests,
+            "n_completed": self.n_completed,
+            "n_dropped": self.n_dropped,
+            "throughput_rps": self.throughput_rps,
+            "latency_us": self.latency.to_dict(),
+            "versions_served": {str(k): v
+                                for k, v in self.versions_served.items()},
+            "swaps": self.swaps,
+            "trainer_updates": self.trainer_updates,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+        }
+
+    def __str__(self) -> str:
+        lat = self.latency
+        return (f"{self.pattern} @ {self.offered_rate:,.0f}/s for "
+                f"{self.duration_s:.1f}s: {self.n_completed:,} classified "
+                f"({self.n_dropped} dropped), {self.throughput_rps:,.0f}/s "
+                f"throughput; latency p50={lat.p50_us:.0f}µs "
+                f"p95={lat.p95_us:.0f}µs p99={lat.p99_us:.0f}µs; "
+                f"{self.swaps} hot-swaps over {len(self.versions_served)} "
+                f"version(s)")
+
+
+class LoadGenerator:
+    """Drive a service with a replayed task corpus at an offered rate.
+
+    Parameters
+    ----------
+    service:
+        A started :class:`~repro.serve.ClassificationService`.
+    tasks / labels:
+        The replay corpus (e.g. ``PipelineResult.tasks`` /
+        ``.labels``); cycled when shorter than the run.  When labels are
+        given and ``observe_every`` > 0, every n-th submission also
+        feeds the service's training loop.
+    """
+
+    def __init__(self, service: ClassificationService,
+                 tasks: list[CompactedTask],
+                 labels: np.ndarray | None = None,
+                 rate: float = 5000.0, duration_s: float = 5.0,
+                 pattern: str = "poisson", observe_every: int = 0,
+                 drain_timeout_s: float = 30.0,
+                 rng: np.random.Generator | None = None):
+        if not tasks:
+            raise ValueError("need a non-empty task corpus")
+        if labels is not None and len(labels) != len(tasks):
+            raise ValueError("labels and tasks lengths differ")
+        if observe_every > 0 and labels is None:
+            raise ValueError("observe_every needs labels")
+        self.service = service
+        self.tasks = tasks
+        self.labels = labels
+        self.rate = rate
+        self.duration_s = duration_s
+        self.pattern = pattern
+        self.observe_every = observe_every
+        self.drain_timeout_s = drain_timeout_s
+        self.rng = rng or np.random.default_rng()
+
+    def run(self) -> LoadTestReport:
+        offsets = arrival_offsets(self.rate, self.duration_s, self.rng,
+                                  pattern=self.pattern)
+        tasks, labels = self.tasks, self.labels
+        n_tasks = len(tasks)
+        observe_every = self.observe_every
+        submit = self.service.submit
+        observe = self.service.observe
+
+        requests: list[ClassifyRequest] = []
+        start = time.perf_counter()
+        for i, offset in enumerate(offsets):
+            # Open loop: sleep only when ahead of schedule, never to
+            # catch up — a backlog is the service's problem to absorb.
+            while True:
+                lag = offset - (time.perf_counter() - start)
+                if lag <= 0:
+                    break
+                time.sleep(min(lag, 2e-4))
+            task = tasks[i % n_tasks]
+            requests.append(submit(task))
+            if observe_every and i % observe_every == 0:
+                observe(task, int(labels[i % n_tasks]))
+
+        # Drain: every accepted request must complete.  Failed or
+        # cancelled requests count as dropped — they were not classified.
+        deadline = time.monotonic() + self.drain_timeout_s
+        for request in requests:
+            request.wait(max(0.0, deadline - time.monotonic()))
+        completed = [r for r in requests if r.ok]
+        dropped = len(requests) - len(completed)
+
+        latencies = [r.latency_ns for r in completed]
+        if completed:
+            start_ns = min(r.enqueued_ns for r in completed)
+            end_ns = max(r.completed_ns for r in completed)
+            wall_s = max((end_ns - start_ns) / 1e9, 1e-9)
+            throughput = len(completed) / wall_s
+        else:
+            throughput = 0.0
+
+        stats = self.service.stats()
+        return LoadTestReport(
+            pattern=self.pattern, offered_rate=self.rate,
+            duration_s=self.duration_s, n_requests=len(requests),
+            n_completed=len(completed), n_dropped=dropped,
+            throughput_rps=throughput,
+            latency=LatencyStats.from_ns(latencies),
+            versions_served=stats.versions_served,
+            swaps=stats.swaps, trainer_updates=stats.trainer_updates,
+            batches=stats.batches, largest_batch=stats.largest_batch)

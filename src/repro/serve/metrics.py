@@ -1,0 +1,86 @@
+"""Serving-side measurement: latency percentiles and service counters.
+
+The simulator's :class:`~repro.sim.LatencyRecorder` measures *scheduling*
+latency in simulated seconds; the serving layer measures *classification*
+latency in real microseconds, tail-first (p50/p95/p99) because the Task
+CO Analyzer sits on the task-arrival path and its tail is what the main
+scheduler would ever wait on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyStats", "ServiceStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    """Percentile summary of a latency population, in microseconds."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    @classmethod
+    def from_ns(cls, latencies_ns) -> "LatencyStats":
+        arr = np.asarray(list(latencies_ns), dtype=np.float64)
+        if arr.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        arr_us = arr / 1e3
+        p50, p95, p99 = np.percentile(arr_us, (50, 95, 99))
+        return cls(int(arr.size), float(arr_us.mean()), float(p50),
+                   float(p95), float(p99), float(arr_us.max()))
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "mean_us": self.mean_us,
+                "p50_us": self.p50_us, "p95_us": self.p95_us,
+                "p99_us": self.p99_us, "max_us": self.max_us}
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean_us:.0f}µs "
+                f"p50={self.p50_us:.0f}µs p95={self.p95_us:.0f}µs "
+                f"p99={self.p99_us:.0f}µs max={self.max_us:.0f}µs")
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time view of one classification service's counters."""
+
+    requests: int = 0
+    completed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
+    failed: int = 0
+    pending: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    versions_served: dict[int, int] = field(default_factory=dict)
+    model_version: int = 0
+    swaps: int = 0
+    trainer_updates: int = 0
+    trainer_failures: int = 0
+    observations: int = 0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests, "completed": self.completed,
+            "rejected": self.rejected, "cancelled": self.cancelled,
+            "failed": self.failed, "pending": self.pending,
+            "batches": self.batches, "largest_batch": self.largest_batch,
+            "mean_batch": self.mean_batch,
+            "versions_served": dict(self.versions_served),
+            "model_version": self.model_version, "swaps": self.swaps,
+            "trainer_updates": self.trainer_updates,
+            "trainer_failures": self.trainer_failures,
+            "observations": self.observations,
+        }

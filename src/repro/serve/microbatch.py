@@ -1,0 +1,257 @@
+"""Microbatching request queue for the online Task CO Analyzer.
+
+Single-row inference wastes the model's vectorization: a two-layer
+matmul over one row costs nearly the same as over sixty-four.  The
+batcher therefore collects concurrent arrivals for at most
+``max_wait_us`` microseconds (or until ``max_batch`` requests are
+queued), encodes them as one CO-VV block, and classifies the block with
+a single ``predict`` call — the standard dynamic-batching strategy of
+model servers, tuned here for the analyzer's sub-millisecond budget.
+
+Hot-swap atomicity: the worker takes **one** model snapshot per batch
+and aligns the encoded block to that snapshot's input width, so every
+request in a batch is classified by exactly one published version — a
+publication landing mid-batch only affects the *next* batch.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..datasets.co_vv import COVVEncoder
+from ..datasets.registry import FeatureRegistry
+from ..errors import ServiceClosedError, ServiceError
+from .handle import ModelHandle
+
+__all__ = ["ClassifyRequest", "MicroBatcher"]
+
+logger = logging.getLogger(__name__)
+
+
+class ClassifyRequest:
+    """One in-flight classification; completed by the batch worker."""
+
+    __slots__ = ("task", "enqueued_ns", "completed_ns", "group", "version",
+                 "error", "_event")
+
+    def __init__(self, task: CompactedTask):
+        self.task = task
+        self.enqueued_ns = time.perf_counter_ns()
+        self.completed_ns: int | None = None
+        self.group: int | None = None
+        self.version: int | None = None
+        self.error: Exception | None = None
+        self._event = threading.Event()
+
+    def _complete(self, group: int, version: int, now_ns: int) -> None:
+        self.group = group
+        self.version = version
+        self.completed_ns = now_ns
+        self._event.set()
+
+    def _fail(self, error: Exception) -> None:
+        self.error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        """The request finished — successfully (:attr:`ok`) or not."""
+
+        return self._event.is_set()
+
+    @property
+    def ok(self) -> bool:
+        return self._event.is_set() and self.error is None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until finished (either way); False on timeout."""
+
+        return self._event.wait(timeout)
+
+    @property
+    def latency_ns(self) -> int:
+        if self.completed_ns is None:
+            raise RuntimeError("request not completed yet")
+        return self.completed_ns - self.enqueued_ns
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_ns / 1e3
+
+    def result(self, timeout: float | None = None) -> int:
+        """The predicted group, blocking until available.
+
+        Raises the failure (wrapped in :class:`~repro.errors.ServiceError`
+        if needed) when the serving batch errored or was cancelled.
+        """
+
+        if not self.wait(timeout):
+            raise TimeoutError("classification did not complete in time")
+        if self.error is not None:
+            if isinstance(self.error, ServiceError):
+                raise self.error
+            raise ServiceError("classification failed") from self.error
+        assert self.group is not None
+        return self.group
+
+
+class MicroBatcher:
+    """Collect requests for ≤``max_wait_us`` µs or ≤``max_batch`` tasks.
+
+    A single daemon worker drains the queue; :meth:`stop` with the
+    default ``drain=True`` processes everything already accepted before
+    exiting, so accepted requests are never dropped — submissions after
+    the batcher closed raise :class:`~repro.errors.ServiceClosedError`
+    instead of silently vanishing.
+    """
+
+    def __init__(self, handle: ModelHandle, registry: FeatureRegistry,
+                 max_batch: int = 64, max_wait_us: int = 500,
+                 encoder: COVVEncoder | None = None,
+                 registry_lock: threading.Lock | None = None):
+        """``registry_lock`` must be shared with whatever grows the
+        registry concurrently (the service wires the trainer's lock in):
+        the CO-VV append-only invariant makes *grown* registries safe to
+        serve, but an append landing mid-``encode_rows`` would emit
+        column indices beyond the matrix width scipy silently drops."""
+
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us cannot be negative")
+        self.handle = handle
+        self.registry = registry
+        self.encoder = encoder or COVVEncoder(registry)
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.registry_lock = registry_lock or threading.Lock()
+
+        self._queue: deque[ClassifyRequest] = deque()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._closing = False
+        self._closed = False
+
+        self.requests_total = 0
+        self.completed_total = 0
+        self.rejected_total = 0
+        self.cancelled_total = 0
+        self.failed_total = 0
+        self.batches_total = 0
+        self.largest_batch = 0
+        self.versions_served: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        if self._closed:
+            raise RuntimeError("batcher is stopped and cannot restart; "
+                               "build a new one")
+        if self._thread is not None:
+            raise RuntimeError("batcher already started")
+        self._thread = threading.Thread(target=self._worker,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Shut the worker down; with ``drain`` the queue empties first.
+
+        Without ``drain``, queued requests are cancelled: their waiters
+        wake immediately with a :class:`~repro.errors.ServiceClosedError`
+        rather than blocking out their timeout.
+        """
+
+        with self._cond:
+            if not drain:
+                cancelled = ServiceClosedError("request cancelled: "
+                                               "batcher stopped")
+                while self._queue:
+                    self._queue.popleft()._fail(cancelled)
+                    self.cancelled_total += 1
+            self._closing = True
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def submit(self, task: CompactedTask) -> ClassifyRequest:
+        """Enqueue one task; returns immediately with the request handle."""
+
+        request = ClassifyRequest(task)
+        with self._cond:
+            if self._closed:
+                self.rejected_total += 1
+                raise ServiceClosedError("batcher is stopped")
+            self._queue.append(request)
+            self.requests_total += 1
+            self._cond.notify()
+        return request
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        max_wait_ns = self.max_wait_us * 1_000
+        while True:
+            with self._cond:
+                while not self._queue and not self._closing:
+                    self._cond.wait(0.05)
+                if not self._queue and self._closing:
+                    return
+                # The batching window opens when the oldest request
+                # arrived: fill up to max_batch or until its deadline.
+                deadline = self._queue[0].enqueued_ns + max_wait_ns
+                while (len(self._queue) < self.max_batch
+                       and not self._closing):
+                    remaining = deadline - time.perf_counter_ns()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining / 1e9)
+                take = min(self.max_batch, len(self._queue))
+                batch = [self._queue.popleft() for _ in range(take)]
+            self._process(batch)
+
+    def _process(self, batch: list[ClassifyRequest]) -> None:
+        # The worker must survive any per-batch failure: an escaped
+        # exception would kill the singleton thread while submit() keeps
+        # accepting requests that could then never complete.
+        try:
+            snapshot = self.handle.snapshot()
+            with self.registry_lock:
+                X = self.encoder.encode_rows([r.task for r in batch])
+            rows = snapshot.align(
+                np.asarray(X.todense(), dtype=np.float32))
+            groups = snapshot.predict(rows)
+        except Exception as exc:  # noqa: BLE001 — isolate the batch
+            logger.exception("classification batch of %d failed",
+                             len(batch))
+            for request in batch:
+                request._fail(exc)
+            self.batches_total += 1
+            self.failed_total += len(batch)
+            return
+        now = time.perf_counter_ns()
+        for request, group in zip(batch, groups):
+            request._complete(int(group), snapshot.version, now)
+        self.batches_total += 1
+        self.completed_total += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        self.versions_served[snapshot.version] = \
+            self.versions_served.get(snapshot.version, 0) + len(batch)

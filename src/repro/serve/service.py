@@ -1,0 +1,169 @@
+"""The online classification service: Figure 3's Task CO Analyzer, live.
+
+:class:`ClassificationService` composes the serving stack:
+
+* a :class:`~repro.serve.ModelHandle` holding the published model
+  (double-buffered hot-swap),
+* a :class:`~repro.serve.MicroBatcher` absorbing arrivals and
+  classifying them in vectorized microbatches,
+* an optional :class:`~repro.serve.BackgroundTrainer` that retrains and
+  republishes as new constraint vocabulary arrives — the paper's
+  parallel model-update path, on a real thread.
+
+A scheduler integration calls :meth:`submit` per arriving constrained
+task (non-blocking; the returned request completes within the microbatch
+window) and :meth:`observe` once the task's true suitable-node count is
+known, closing the training loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import AbstractContextManager
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..core.growing import GrowingModel
+from ..datasets.registry import FeatureRegistry
+from ..sim.online import RetrainPolicy
+from .handle import ModelHandle, ModelSnapshot
+from .metrics import ServiceStats
+from .microbatch import ClassifyRequest, MicroBatcher
+from .trainer import BackgroundTrainer
+
+__all__ = ["ClassificationService"]
+
+
+class ClassificationService(AbstractContextManager):
+    """Serve group predictions for arriving constrained tasks.
+
+    Parameters
+    ----------
+    model:
+        The initially-deployed model (anything with ``predict``;
+        a trained :class:`~repro.core.GrowingModel` in production).
+    registry:
+        The CO-VV feature registry the model was trained against; grows
+        in place as :meth:`observe` sees new vocabulary.
+    max_batch / max_wait_us:
+        Microbatching knobs: classify as soon as ``max_batch`` requests
+        are queued, or when the oldest has waited ``max_wait_us``.
+    trainer:
+        ``True`` (default) starts the background retrainer with
+        ``policy``; ``False`` serves the initial model forever (hot-swap
+        still possible via :meth:`publish`).
+    """
+
+    def __init__(self, model: object, registry: FeatureRegistry,
+                 max_batch: int = 64, max_wait_us: int = 500,
+                 trainer: bool = True, policy: RetrainPolicy | None = None,
+                 features_count: int | None = None,
+                 rng: np.random.Generator | None = None):
+        self.registry = registry
+        clone = isinstance(model, GrowingModel)
+        self.handle = ModelHandle()
+        self.handle.publish(model, features_count=features_count,
+                            clone=clone)
+        # One lock serializes registry growth (observe path) against the
+        # batcher's and trainer's encoders — see MicroBatcher's docstring.
+        registry_lock = threading.Lock()
+        self.batcher = MicroBatcher(self.handle, registry,
+                                    max_batch=max_batch,
+                                    max_wait_us=max_wait_us,
+                                    registry_lock=registry_lock)
+        self.trainer: BackgroundTrainer | None = None
+        if trainer:
+            self.trainer = BackgroundTrainer(self.handle, registry,
+                                             policy=policy,
+                                             registry_lock=registry_lock,
+                                             rng=rng)
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClassificationService":
+        if self._closed:
+            raise RuntimeError("service was closed and cannot restart; "
+                               "build a new one")
+        if self._started:
+            raise RuntimeError("service already started")
+        self.batcher.start()
+        if self.trainer is not None:
+            self.trainer.start()
+        self._started = True
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the stack; with ``drain`` every accepted request finishes."""
+
+        if self.trainer is not None:
+            self.trainer.stop()
+        self.batcher.stop(drain=drain)
+        self._started = False
+        self._closed = True
+
+    def __enter__(self) -> "ClassificationService":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # serving path
+    # ------------------------------------------------------------------
+    def submit(self, task: CompactedTask) -> ClassifyRequest:
+        """Enqueue one task for classification (non-blocking)."""
+
+        return self.batcher.submit(task)
+
+    def classify(self, task: CompactedTask,
+                 timeout: float | None = 5.0) -> ClassifyRequest:
+        """Submit and block until classified; returns the completed request."""
+
+        request = self.submit(task)
+        if not request.wait(timeout):
+            raise TimeoutError("classification did not complete in time")
+        return request
+
+    def observe(self, task: CompactedTask, group: int) -> None:
+        """Feed one labelled observation to the training loop (no-op
+        when the trainer is disabled)."""
+
+        if self.trainer is not None:
+            self.trainer.observe(task, group)
+
+    def publish(self, model: object, features_count: int | None = None,
+                clone: bool = True) -> ModelSnapshot:
+        """Manually hot-swap the served model (e.g. an external trainer)."""
+
+        return self.handle.publish(model, features_count=features_count,
+                                   clone=clone)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def model_version(self) -> int:
+        return self.handle.version
+
+    def stats(self) -> ServiceStats:
+        batcher = self.batcher
+        trainer = self.trainer
+        return ServiceStats(
+            requests=batcher.requests_total,
+            completed=batcher.completed_total,
+            rejected=batcher.rejected_total,
+            cancelled=batcher.cancelled_total,
+            failed=batcher.failed_total,
+            pending=batcher.pending,
+            batches=batcher.batches_total,
+            largest_batch=batcher.largest_batch,
+            versions_served=dict(batcher.versions_served),
+            model_version=self.handle.version,
+            swaps=self.handle.swap_count,
+            trainer_updates=0 if trainer is None else len(trainer.updates),
+            trainer_failures=0 if trainer is None else trainer.failed_updates,
+            observations=0 if trainer is None else trainer.observations_total)

@@ -1,0 +1,218 @@
+"""Background retraining thread: the real-time `OnlineModelUpdater`.
+
+The simulated side-car (:class:`~repro.sim.OnlineModelUpdater`) models
+retraining as a delay inside the replay's timebase.  Here the same loop
+runs on a real thread against wall time: labelled observations
+accumulate in a bounded buffer, the shared
+:class:`~repro.sim.RetrainPolicy` decides when enough new constraint
+vocabulary has appeared, and a *clone* of the currently-served model is
+transfer-trained (input-layer extension + damped gradients, the paper's
+Listings 2–3) off the serving path.  Only the final
+:meth:`~repro.serve.ModelHandle.publish` touches shared state — the
+serving thread never waits on training.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..core.growing import GrowingModel
+from ..datasets.co_vv import COVVEncoder
+from ..datasets.dataset import DatasetData
+from ..datasets.registry import FeatureRegistry
+from ..errors import TrainingFailedError
+from ..sim.online import RetrainPolicy
+from .handle import ModelHandle
+
+__all__ = ["ServeUpdate", "BackgroundTrainer"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeUpdate:
+    """One completed real-time retraining (wall-clock UpdateRecord)."""
+
+    version: int
+    triggered_at: float
+    published_at: float
+    features_before: int
+    features_after: int
+    n_observations: int
+    epochs: int
+    accuracy: float
+
+    @property
+    def train_seconds(self) -> float:
+        return self.published_at - self.triggered_at
+
+
+class BackgroundTrainer:
+    """Watch the registry for growth; retrain and hot-swap off-path.
+
+    Parameters
+    ----------
+    handle / registry:
+        The serving slot to publish into and the CO-VV registry that
+        observations extend (the AGOCS side of Figure 3).
+    policy:
+        The shared retrain trigger (growth + observation thresholds).
+    poll_interval_s:
+        How often the thread re-checks the trigger while idle.
+    retry_backoff_s:
+        Cool-down after an unsuccessful attempt (undertrained data or
+        exhausted fail-fast budget) before the trigger is re-armed.
+    """
+
+    def __init__(self, handle: ModelHandle, registry: FeatureRegistry,
+                 policy: RetrainPolicy | None = None,
+                 poll_interval_s: float = 0.05,
+                 retry_backoff_s: float = 1.0,
+                 max_buffer: int = 50_000,
+                 config=None,
+                 registry_lock: threading.Lock | None = None,
+                 rng: np.random.Generator | None = None):
+        """``config`` (a :class:`~repro.core.CTLMConfig`) is only used
+        when no served model exists to clone from.  ``registry_lock``
+        serializes registry growth against concurrent encoders (share it
+        with the batcher; the service does this automatically)."""
+
+        self.handle = handle
+        self.registry = registry
+        self.policy = policy or RetrainPolicy()
+        self.config = config
+        self.registry_lock = registry_lock or threading.Lock()
+        self.poll_interval_s = poll_interval_s
+        self.retry_backoff_s = retry_backoff_s
+        self.max_buffer = max_buffer
+        self.rng = rng or np.random.default_rng()
+
+        self._lock = threading.Lock()
+        self._tasks: list[CompactedTask] = []
+        self._labels: list[int] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._width_at_last_publish = (
+            handle.snapshot().features_count if handle.serving
+            else registry.features_count)
+        self._not_before = 0.0
+
+        self.updates: list[ServeUpdate] = []
+        self.failed_updates = 0
+        self.observations_total = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "BackgroundTrainer":
+        if self._thread is not None:
+            raise RuntimeError("trainer already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-serve-trainer",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # observation intake (called from serving / ingest threads)
+    # ------------------------------------------------------------------
+    def observe(self, task: CompactedTask, group: int) -> None:
+        """Record one labelled observation; extends the registry."""
+
+        with self.registry_lock:
+            self.registry.observe_task(task)
+        with self._lock:
+            self._tasks.append(task)
+            self._labels.append(int(group))
+            self.observations_total += 1
+            if len(self._tasks) > self.max_buffer:
+                # Sliding window: keep the freshest observations.
+                del self._tasks[:-self.max_buffer]
+                del self._labels[:-self.max_buffer]
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # trigger + training
+    # ------------------------------------------------------------------
+    def due(self) -> bool:
+        if time.monotonic() < self._not_before:
+            return False
+        return self.policy.due(len(self._tasks),
+                               self.registry.features_count,
+                               self._width_at_last_publish)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            if self.due():
+                self.train_once()
+
+    def train_once(self) -> ServeUpdate | None:
+        """One retrain → publish cycle (public for deterministic tests)."""
+
+        triggered_at = time.monotonic()
+        with self._lock:
+            tasks = list(self._tasks)
+            labels = list(self._labels)
+        features_before = self._width_at_last_publish
+
+        with self.registry_lock:
+            X = COVVEncoder(self.registry).encode_rows(tasks)
+        y = np.asarray(labels, dtype=np.int64)
+        if X.shape[0] < 8 or len(np.unique(y)) < 2:
+            self._not_before = time.monotonic() + self.retry_backoff_s
+            return None
+
+        shadow = self._shadow_model()
+        dataset = DatasetData(X, y, batch_size=shadow.config.batch_size,
+                              rng=self.rng)
+        try:
+            outcome = shadow.fit_step(dataset)
+        except TrainingFailedError:
+            self.failed_updates += 1
+            self._not_before = time.monotonic() + self.retry_backoff_s
+            return None
+
+        # The shadow is discarded after publication, so no clone needed.
+        snapshot = self.handle.publish(shadow, clone=False)
+        self._width_at_last_publish = snapshot.features_count
+        update = ServeUpdate(
+            version=snapshot.version, triggered_at=triggered_at,
+            published_at=time.monotonic(),
+            features_before=features_before,
+            features_after=snapshot.features_count,
+            n_observations=X.shape[0], epochs=outcome.epochs,
+            accuracy=outcome.accuracy)
+        self.updates.append(update)
+        logger.info("published model v%d: %d -> %d features, %d epochs, "
+                    "acc %.3f", update.version, update.features_before,
+                    update.features_after, update.epochs, update.accuracy)
+        return update
+
+    def _shadow_model(self) -> GrowingModel:
+        """A private, trainable copy of the served model (or a fresh one)."""
+
+        if self.handle.serving:
+            served = self.handle.snapshot().model
+            if isinstance(served, GrowingModel):
+                shadow = served.clone()
+                shadow.rng = self.rng
+                return shadow
+        if self.config is not None:
+            return GrowingModel(self.config, rng=self.rng)
+        return GrowingModel(rng=self.rng)

@@ -10,7 +10,7 @@ from .engine import SimulationConfig, SimulationEngine, SimulationResult
 from .gang import Gang, GangScheduler, group_into_gangs
 from .highpriority import HighPriorityScheduler, TaskCOAnalyzer
 from .latency import LatencyRecorder, LatencySample, LatencySummary
-from .online import OnlineModelUpdater, UpdateRecord
+from .online import OnlineModelUpdater, RetrainPolicy, UpdateRecord
 from .scheduler import MainScheduler, SchedulerStats
 
 __all__ = [
@@ -20,5 +20,5 @@ __all__ = [
     "Gang", "GangScheduler", "group_into_gangs",
     "LatencyRecorder", "LatencySample", "LatencySummary",
     "SimulationConfig", "SimulationEngine", "SimulationResult",
-    "OnlineModelUpdater", "UpdateRecord",
+    "OnlineModelUpdater", "RetrainPolicy", "UpdateRecord",
 ]

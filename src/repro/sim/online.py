@@ -28,7 +28,36 @@ from ..datasets.registry import FeatureRegistry
 from ..errors import TrainingFailedError
 from ..trace.events import MICROS_PER_MINUTE
 
-__all__ = ["UpdateRecord", "OnlineModelUpdater"]
+__all__ = ["RetrainPolicy", "UpdateRecord", "OnlineModelUpdater"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetrainPolicy:
+    """When is an out-of-band retrain due?
+
+    Shared between the simulated side-car (:class:`OnlineModelUpdater`)
+    and the real-time serving trainer (``repro.serve.BackgroundTrainer``):
+    retrain once at least ``growth_threshold`` new feature columns have
+    appeared since the last publication *and* ``min_observations``
+    labelled observations are buffered.
+    """
+
+    growth_threshold: int = 8
+    min_observations: int = 200
+
+    def __post_init__(self) -> None:
+        if self.growth_threshold < 1:
+            raise ValueError("growth_threshold must be >= 1")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+
+    def due(self, n_observations: int, features_now: int,
+            features_at_publish: int) -> bool:
+        """True when a retrain should be launched."""
+
+        return (n_observations >= self.min_observations
+                and features_now - features_at_publish
+                >= self.growth_threshold)
 
 
 @dataclass(frozen=True)
@@ -74,14 +103,12 @@ class OnlineModelUpdater:
                  retrain_delay_us: int = 2 * MICROS_PER_MINUTE,
                  min_observations: int = 200, max_buffer: int = 50_000,
                  rng: np.random.Generator | None = None):
-        if growth_threshold < 1:
-            raise ValueError("growth_threshold must be >= 1")
+        self.policy = RetrainPolicy(growth_threshold=growth_threshold,
+                                    min_observations=min_observations)
         self.model = model
         self.registry = registry
         self.encoder = COVVEncoder(registry)
-        self.growth_threshold = growth_threshold
         self.retrain_delay_us = int(retrain_delay_us)
-        self.min_observations = min_observations
         self.max_buffer = max_buffer
         self.rng = rng or np.random.default_rng()
 
@@ -94,6 +121,14 @@ class OnlineModelUpdater:
         self.failed_updates: int = 0
 
     # ------------------------------------------------------------------
+    @property
+    def growth_threshold(self) -> int:
+        return self.policy.growth_threshold
+
+    @property
+    def min_observations(self) -> int:
+        return self.policy.min_observations
+
     @property
     def pending(self) -> bool:
         return self._pending is not None
@@ -118,10 +153,8 @@ class OnlineModelUpdater:
     def _maybe_trigger(self, time: int) -> None:
         if self._pending is not None:
             return
-        if len(self._tasks) < self.min_observations:
-            return
-        grown = self.registry.features_count - self._width_at_last_publish
-        if grown < self.growth_threshold:
+        if not self.policy.due(len(self._tasks), self.registry.features_count,
+                               self._width_at_last_publish):
             return
         self._pending = _PendingUpdate(
             triggered_at=time, ready_at=time + self.retrain_delay_us)

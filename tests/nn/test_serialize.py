@@ -61,6 +61,94 @@ class TestRoundtrip:
         assert list(serialize.load(path)) == ["weird/key"]
 
 
+class TestBytesRoundtrip:
+    """dumps/loads: the in-memory path the serving hot-swap rides on."""
+
+    def test_dumps_loads_identity(self, rng):
+        sd = OrderedDict([("fc1.weight", rng.random((30, 8))),
+                          ("fc1.bias", rng.random(30))])
+        out = serialize.loads(serialize.dumps(sd))
+        assert list(out) == list(sd)
+        for key, value in sd.items():
+            np.testing.assert_array_equal(out[key], value)
+
+    def test_bytes_match_file_format(self, tmp_path):
+        sd = OrderedDict([("w", np.arange(6, dtype=np.float32))])
+        path = tmp_path / "m.npz"
+        path.write_bytes(serialize.dumps(sd))
+        out = serialize.load(path)
+        np.testing.assert_array_equal(out["w"], sd["w"])
+
+    def test_loads_rejects_non_checkpoint(self):
+        import io
+        buffer = io.BytesIO()
+        np.savez(buffer, a=np.zeros(1))
+        with pytest.raises(ValueError):
+            serialize.loads(buffer.getvalue())
+
+
+class TestGrowingModelRoundtrip:
+    """save → load of a *trained* GrowingModel: the hot-swap backbone."""
+
+    @pytest.fixture()
+    def trained(self, rng):
+        from repro.core import CTLMConfig, GrowingModel
+        from repro.datasets import DatasetData
+
+        config = CTLMConfig(classes_count=4, epochs_limit=60,
+                            learning_rate=0.01, batch_size=64)
+        y = rng.integers(0, 4, size=400)
+        y[:12] = 0
+        X = np.zeros((400, 16), dtype=np.float32)
+        for i, label in enumerate(y):
+            X[i, label * 4:(label + 1) * 4] = 1.0
+        model = GrowingModel(config, rng=rng)
+        model.fit_step(DatasetData(X, y, rng=rng, batch_size=64))
+        return model, X
+
+    def test_save_load_identical_predictions(self, trained, tmp_path, rng):
+        from repro.core import GrowingModel
+
+        model, X = trained
+        path = tmp_path / "ckpt.npz"
+        model.save(path)
+        restored = GrowingModel(model.config, rng=np.random.default_rng(7))
+        restored.load(path)
+        assert restored.features_count == model.features_count
+        np.testing.assert_array_equal(restored.predict(X), model.predict(X))
+
+    def test_state_bytes_roundtrip(self, trained):
+        from repro.core import GrowingModel
+
+        model, X = trained
+        restored = GrowingModel(model.config, rng=np.random.default_rng(7))
+        restored.restore_bytes(model.state_bytes())
+        np.testing.assert_array_equal(restored.predict(X), model.predict(X))
+
+    def test_clone_is_independent(self, trained):
+        model, X = trained
+        clone = model.clone()
+        before = clone.predict(X).copy()
+        # Mutating the original must not leak into the clone.
+        model.model["fc1"].weight.data += 100.0
+        np.testing.assert_array_equal(clone.predict(X), before)
+        assert not np.array_equal(model.predict(X), before)
+
+    def test_load_with_extension(self, trained, tmp_path):
+        from repro.core import GrowingModel
+
+        model, X = trained
+        path = tmp_path / "ckpt.npz"
+        model.save(path)
+        wider = GrowingModel(model.config, rng=np.random.default_rng(7))
+        wider.load(path, features_count=X.shape[1] + 5)
+        assert wider.features_count == X.shape[1] + 5
+        X_wide = np.pad(X, ((0, 0), (0, 5)))
+        # Zero-padded columns are exactly neutral (Listing 2 invariant).
+        np.testing.assert_array_equal(wider.predict(X_wide),
+                                      model.predict(X))
+
+
 class TestErrors:
     def test_reserved_key_rejected(self, tmp_path):
         with pytest.raises(ValueError):

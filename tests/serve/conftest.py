@@ -1,0 +1,45 @@
+"""Serving-layer fixtures: a deployed model over the shared small cell."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData
+
+
+class ConstantModel:
+    """Duck-typed classifier that always predicts ``value`` (unit tests)."""
+
+    def __init__(self, value: int, features_count: int):
+        self.value = value
+        self.features_count = features_count
+
+    def predict(self, X):
+        assert X.shape[1] == self.features_count, "align() was skipped"
+        return np.full(X.shape[0], self.value, dtype=np.int64)
+
+    def clone(self) -> "ConstantModel":
+        return ConstantModel(self.value, self.features_count)
+
+
+@pytest.fixture()
+def constant_model():
+    return ConstantModel
+
+
+@pytest.fixture(scope="session")
+def serve_setup(pipeline_result):
+    """(initial model, pipeline result): the model is trained on the
+    *first* viable growth window only, so the registry holds vocabulary
+    the deployed model has never seen — the hot-swap scenario."""
+
+    steps = [s for s in pipeline_result.steps
+             if s.n_samples >= 8 and len(np.unique(s.y)) >= 2]
+    assert steps, "small cell produced no trainable growth window"
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(1))
+    model.fit_step(DatasetData(steps[0].X, steps[0].y,
+                               batch_size=BENCH_CONFIG.batch_size,
+                               rng=np.random.default_rng(0)))
+    return model, pipeline_result

@@ -1,0 +1,145 @@
+"""ModelHandle: double-buffered publication semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import NotServingError
+from repro.serve import ModelHandle
+
+
+class TestPublication:
+    def test_empty_handle_raises(self):
+        handle = ModelHandle()
+        assert not handle.serving
+        assert handle.version == 0
+        with pytest.raises(NotServingError):
+            handle.snapshot()
+
+    def test_versions_increment(self, constant_model):
+        handle = ModelHandle()
+        for i in range(3):
+            snap = handle.publish(constant_model(i, 10), clone=False)
+            assert snap.version == i + 1
+        assert handle.version == 3
+        assert handle.swap_count == 2
+        assert len(handle.history) == 3
+
+    def test_snapshot_for_audit_lookup(self, constant_model):
+        handle = ModelHandle(constant_model(7, 4), features_count=4)
+        handle.publish(constant_model(9, 4), clone=False)
+        assert handle.snapshot_for(1).model.value == 7
+        assert handle.snapshot_for(2).model.value == 9
+        with pytest.raises(KeyError):
+            handle.snapshot_for(3)
+        with pytest.raises(KeyError):
+            handle.snapshot_for(0)
+
+    def test_features_count_from_model(self, constant_model):
+        handle = ModelHandle()
+        snap = handle.publish(constant_model(0, 17), clone=False)
+        assert snap.features_count == 17
+
+    def test_features_count_required_when_absent(self):
+        class Bare:
+            def predict(self, X):
+                return np.zeros(X.shape[0])
+
+        handle = ModelHandle()
+        with pytest.raises(ValueError):
+            handle.publish(Bare(), clone=False)
+        snap = handle.publish(Bare(), features_count=5, clone=False)
+        assert snap.features_count == 5
+
+    def test_clone_requires_clone_method(self):
+        class Bare:
+            def predict(self, X):
+                return np.zeros(X.shape[0])
+
+        with pytest.raises(TypeError):
+            ModelHandle().publish(Bare(), features_count=5, clone=True)
+
+
+class TestHistoryRetention:
+    def test_old_versions_evicted(self, constant_model):
+        handle = ModelHandle(retain_history=2)
+        for i in range(5):
+            handle.publish(constant_model(i, 4), clone=False)
+        assert handle.version == 5
+        assert handle.swap_count == 4
+        assert [s.version for s in handle.history] == [4, 5]
+        assert handle.snapshot_for(5).model.value == 4
+        assert handle.snapshot_for(4).model.value == 3
+        with pytest.raises(KeyError, match="evicted"):
+            handle.snapshot_for(2)
+        with pytest.raises(KeyError):
+            handle.snapshot_for(6)
+
+    def test_unbounded_when_none(self, constant_model):
+        handle = ModelHandle(retain_history=None)
+        for i in range(5):
+            handle.publish(constant_model(i, 4), clone=False)
+        assert len(handle.history) == 5
+        assert handle.snapshot_for(1).model.value == 0
+
+    def test_retain_validated(self):
+        with pytest.raises(ValueError):
+            ModelHandle(retain_history=0)
+
+
+class TestCloneIsolation:
+    def test_published_clone_survives_source_mutation(self, serve_setup):
+        model, result = serve_setup
+        handle = ModelHandle()
+        handle.publish(model, clone=True)
+
+        trainer_copy = model.clone()
+        X = np.zeros((3, handle.snapshot().features_count),
+                     dtype=np.float32)
+        served_before = handle.snapshot().predict(X).copy()
+        trainer_copy.model["fc2"].bias.data += 50.0
+        np.testing.assert_array_equal(handle.snapshot().predict(X),
+                                      served_before)
+
+
+class TestAlign:
+    def test_pad_and_slice(self, constant_model):
+        handle = ModelHandle(constant_model(0, 6), features_count=6)
+        snap = handle.snapshot()
+        narrow = np.ones((2, 4), dtype=np.float32)
+        wide = np.ones((2, 9), dtype=np.float32)
+        exact = np.ones((2, 6), dtype=np.float32)
+        assert snap.align(narrow).shape == (2, 6)
+        np.testing.assert_array_equal(snap.align(narrow)[:, 4:], 0.0)
+        assert snap.align(wide).shape == (2, 6)
+        assert snap.align(exact) is exact
+
+
+class TestConcurrency:
+    def test_readers_never_see_torn_snapshots(self, constant_model):
+        """Model value is pinned to version at publish; any reader that
+        observed a mismatch would prove a torn read."""
+
+        handle = ModelHandle(constant_model(1, 8), features_count=8)
+        stop = threading.Event()
+        mismatches: list[tuple[int, int]] = []
+
+        def reader():
+            while not stop.is_set():
+                snap = handle.snapshot()
+                if snap.model.value != snap.version:
+                    mismatches.append((snap.model.value, snap.version))
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for version in range(2, 80):
+            handle.publish(constant_model(version, 8), clone=False)
+        stop.set()
+        for t in threads:
+            t.join(5)
+        assert not mismatches
+        assert handle.version == 79

@@ -1,0 +1,90 @@
+"""Load generator: arrival schedules, reports, and the throughput floor."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (ClassificationService, LoadGenerator,
+                         arrival_offsets)
+
+
+class TestSchedules:
+    def test_poisson_mean_rate(self, rng):
+        offsets = arrival_offsets(2000, 5.0, rng)
+        assert np.all(np.diff(offsets) >= 0)
+        assert offsets[-1] < 5.0
+        assert len(offsets) == pytest.approx(10_000, rel=0.15)
+
+    def test_bursty_respects_duty_cycle(self, rng):
+        period, factor = 0.25, 4.0
+        offsets = arrival_offsets(2000, 5.0, rng, pattern="bursty",
+                                  burst_factor=factor, period_s=period)
+        assert len(offsets) == pytest.approx(10_000, rel=0.15)
+        phase = offsets % period
+        assert np.all(phase <= period / factor + 1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            arrival_offsets(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            arrival_offsets(100, -1.0, rng)
+        with pytest.raises(ValueError):
+            arrival_offsets(100, 1.0, rng, pattern="steady")
+        with pytest.raises(ValueError):
+            arrival_offsets(100, 1.0, rng, pattern="bursty",
+                            burst_factor=0.5)
+
+
+class TestGeneratorValidation:
+    def test_bad_corpus(self, serve_setup):
+        model, result = serve_setup
+        service = ClassificationService(model, result.registry,
+                                        trainer=False)
+        with pytest.raises(ValueError):
+            LoadGenerator(service, [])
+        with pytest.raises(ValueError):
+            LoadGenerator(service, result.tasks,
+                          labels=result.labels[:3])
+        with pytest.raises(ValueError):
+            LoadGenerator(service, result.tasks, observe_every=2)
+
+
+class TestRun:
+    def test_report_shape_and_json(self, serve_setup):
+        model, result = serve_setup
+        service = ClassificationService(model, result.registry,
+                                        max_wait_us=200, trainer=False)
+        with service:
+            report = LoadGenerator(
+                service, result.tasks, result.labels, rate=800,
+                duration_s=0.5, pattern="bursty",
+                rng=np.random.default_rng(7)).run()
+        assert report.n_requests > 0
+        assert report.n_completed == report.n_requests
+        assert report.n_dropped == 0
+        assert report.latency.count == report.n_completed
+        assert report.latency.p50_us <= report.latency.p95_us \
+            <= report.latency.p99_us <= report.latency.max_us
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["n_dropped"] == 0
+        assert "p99_us" in payload["latency_us"]
+        assert "bursty" in str(report)
+
+    def test_sustains_5000_classifications_per_second(self, serve_setup):
+        """ISSUE acceptance: ≥5,000/s on the small synthetic cell, p99
+        reported, nothing dropped."""
+
+        model, result = serve_setup
+        service = ClassificationService(model, result.registry,
+                                        max_batch=64, max_wait_us=500,
+                                        trainer=False)
+        with service:
+            report = LoadGenerator(
+                service, result.tasks, rate=9000, duration_s=1.5,
+                rng=np.random.default_rng(11)).run()
+        assert report.n_dropped == 0
+        assert report.throughput_rps >= 5000, str(report)
+        assert report.latency.p99_us > 0

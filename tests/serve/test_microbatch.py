@@ -1,0 +1,172 @@
+"""MicroBatcher: batching, drain, and per-batch version consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceClosedError
+from repro.serve import MicroBatcher, ModelHandle
+
+
+@pytest.fixture()
+def batcher_setup(pipeline_result, constant_model):
+    registry = pipeline_result.registry
+    handle = ModelHandle(constant_model(0, registry.features_count),
+                         features_count=registry.features_count)
+    batcher = MicroBatcher(handle, registry, max_batch=16, max_wait_us=300)
+    yield handle, batcher, pipeline_result.tasks
+    batcher.stop(drain=True, timeout=10)
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self, pipeline_result, constant_model):
+        handle = ModelHandle(constant_model(0, 4), features_count=4)
+        with pytest.raises(ValueError):
+            MicroBatcher(handle, pipeline_result.registry, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(handle, pipeline_result.registry, max_wait_us=-1)
+
+    def test_double_start_rejected(self, batcher_setup):
+        _handle, batcher, _tasks = batcher_setup
+        batcher.start()
+        with pytest.raises(RuntimeError):
+            batcher.start()
+
+
+class TestBatching:
+    def test_all_requests_complete(self, batcher_setup):
+        _handle, batcher, tasks = batcher_setup
+        batcher.start()
+        requests = [batcher.submit(tasks[i % len(tasks)])
+                    for i in range(200)]
+        for request in requests:
+            assert request.wait(10)
+            assert request.group == 0
+            assert request.version == 1
+            assert request.latency_us >= 0
+        assert batcher.completed_total == 200
+        assert 0 < batcher.largest_batch <= 16
+        assert batcher.versions_served == {1: 200}
+
+    def test_batch_never_exceeds_max(self, batcher_setup):
+        _handle, batcher, tasks = batcher_setup
+        # Queue far more than one batch *before* starting the worker.
+        requests = [batcher.submit(tasks[i % len(tasks)])
+                    for i in range(100)]
+        batcher.start()
+        for request in requests:
+            assert request.wait(10)
+        assert batcher.largest_batch <= 16
+        assert batcher.batches_total >= 100 // 16
+
+    def test_version_consistent_within_batch(self, batcher_setup,
+                                             constant_model):
+        """Constant model value == its version: any request whose group
+        disagrees with its recorded version was misrouted."""
+
+        handle, batcher, tasks = batcher_setup
+        width = handle.snapshot().features_count
+        handle.publish(constant_model(1, width), clone=False)  # v2 -> 1
+        batcher.start()
+        requests = []
+        for i in range(600):
+            if i == 300:
+                handle.publish(constant_model(2, width), clone=False)
+            requests.append(batcher.submit(tasks[i % len(tasks)]))
+        versions = set()
+        for request in requests:
+            assert request.wait(10)
+            assert request.group == request.version - 1
+            versions.add(request.version)
+        assert versions <= {2, 3}
+        assert 3 in versions
+
+
+class TestShutdown:
+    def test_drain_completes_accepted_requests(self, pipeline_result,
+                                               constant_model):
+        registry = pipeline_result.registry
+        handle = ModelHandle(constant_model(0, registry.features_count),
+                             features_count=registry.features_count)
+        batcher = MicroBatcher(handle, registry, max_batch=8,
+                               max_wait_us=200)
+        requests = [batcher.submit(pipeline_result.tasks[0])
+                    for _ in range(50)]
+        batcher.start()
+        batcher.stop(drain=True, timeout=10)
+        assert all(r.done for r in requests)
+        assert batcher.completed_total == 50
+
+    def test_stop_without_drain_cancels_waiters_promptly(
+            self, pipeline_result, constant_model):
+        from repro.errors import ServiceError
+
+        registry = pipeline_result.registry
+        handle = ModelHandle(constant_model(0, registry.features_count),
+                             features_count=registry.features_count)
+        batcher = MicroBatcher(handle, registry)
+        # Worker never started: requests sit in the queue.
+        requests = [batcher.submit(pipeline_result.tasks[0])
+                    for _ in range(10)]
+        batcher.stop(drain=False, timeout=5)
+        for request in requests:
+            assert request.done and not request.ok
+            with pytest.raises(ServiceError):
+                request.result(timeout=0)
+        assert batcher.cancelled_total == 10
+        assert batcher.completed_total == 0
+
+    def test_restart_after_stop_rejected(self, batcher_setup):
+        _handle, batcher, _tasks = batcher_setup
+        batcher.start()
+        batcher.stop(drain=True, timeout=10)
+        with pytest.raises(RuntimeError, match="cannot restart"):
+            batcher.start()
+
+    def test_submit_after_stop_raises(self, batcher_setup):
+        _handle, batcher, tasks = batcher_setup
+        batcher.start()
+        batcher.stop(drain=True, timeout=10)
+        with pytest.raises(ServiceClosedError):
+            batcher.submit(tasks[0])
+
+    def test_worker_survives_model_failure(self, batcher_setup,
+                                           constant_model):
+        """A batch that blows up fails its own requests but must not
+        kill the worker: later batches under a healthy model succeed."""
+
+        from repro.errors import ServiceError
+
+        class ExplodingModel:
+            features_count = 4
+
+            def predict(self, X):
+                raise RuntimeError("boom")
+
+        handle, batcher, tasks = batcher_setup
+        width = handle.snapshot().features_count
+        handle.publish(ExplodingModel(), clone=False)
+        batcher.start()
+        bad = [batcher.submit(tasks[i % len(tasks)]) for i in range(5)]
+        for request in bad:
+            assert request.wait(10)
+        # ExplodingModel.features_count=4 forces align(); whichever of
+        # align/predict raised, the requests failed cleanly.
+        assert all(not r.ok and r.error is not None for r in bad)
+        with pytest.raises(ServiceError):
+            bad[0].result(timeout=0)
+        assert batcher.failed_total == 5
+
+        handle.publish(constant_model(3, width), clone=False)
+        good = batcher.submit(tasks[0])
+        assert good.wait(10)
+        assert good.ok and good.group == 3
+
+    def test_result_timeout(self, batcher_setup):
+        _handle, batcher, tasks = batcher_setup
+        # Worker never started: the request cannot complete.
+        request = batcher.submit(tasks[0])
+        with pytest.raises(TimeoutError):
+            request.result(timeout=0.05)
+        with pytest.raises(RuntimeError):
+            _ = request.latency_us

@@ -1,0 +1,99 @@
+"""BackgroundTrainer: growth-triggered retraining and hot-swap publish."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import BackgroundTrainer, ClassificationService, ModelHandle
+from repro.sim import RetrainPolicy
+
+
+class TestTrigger:
+    def test_not_due_without_growth(self, serve_setup, constant_model):
+        _model, result = serve_setup
+        width = result.registry.features_count
+        handle = ModelHandle(constant_model(0, width), features_count=width)
+        trainer = BackgroundTrainer(
+            handle, result.registry,
+            policy=RetrainPolicy(growth_threshold=1, min_observations=1))
+        trainer.observe(result.tasks[0], 0)
+        # Registry already spans the corpus vocabulary: no growth.
+        assert not trainer.due()
+
+    def test_due_when_served_model_is_narrower(self, serve_setup):
+        model, result = serve_setup
+        grown = result.registry.features_count - model.features_count
+        assert grown >= 4, "fixture should deploy a pre-growth model"
+        handle = ModelHandle()
+        handle.publish(model, clone=True)
+        trainer = BackgroundTrainer(
+            handle, result.registry,
+            policy=RetrainPolicy(growth_threshold=4, min_observations=50))
+        for task, label in zip(result.tasks, result.labels):
+            trainer.observe(task, int(label))
+        assert trainer.n_observations == len(result.tasks)
+        assert trainer.due()
+
+    def test_undertrained_buffer_backs_off(self, serve_setup):
+        model, result = serve_setup
+        handle = ModelHandle()
+        handle.publish(model, clone=True)
+        trainer = BackgroundTrainer(
+            handle, result.registry,
+            policy=RetrainPolicy(growth_threshold=1, min_observations=1),
+            retry_backoff_s=60.0)
+        for task in result.tasks[:4]:
+            trainer.observe(task, 0)  # single class, too few rows
+        assert trainer.train_once() is None
+        assert handle.version == 1  # nothing published
+        assert not trainer.due()  # cool-down armed
+
+
+class TestRetrainPublish:
+    def test_train_once_extends_and_hot_swaps(self, serve_setup):
+        model, result = serve_setup
+        policy = RetrainPolicy(growth_threshold=4, min_observations=50)
+        service = ClassificationService(model, result.registry,
+                                        trainer=True, policy=policy,
+                                        rng=np.random.default_rng(3))
+        trainer = service.trainer
+        assert trainer is not None
+        for task, label in zip(result.tasks, result.labels):
+            service.observe(task, int(label))
+        assert service.stats().observations == len(result.tasks)
+
+        update = trainer.train_once()
+        assert update is not None
+        assert update.version == 2
+        assert update.features_before == model.features_count
+        assert update.features_after == result.registry.features_count
+        assert update.accuracy > 0.9
+        assert update.epochs >= 1
+        assert update.train_seconds >= 0
+
+        # The swap landed; the served model is the extended one.
+        snapshot = service.handle.snapshot()
+        assert snapshot.version == 2
+        assert snapshot.features_count == result.registry.features_count
+        # The deployed source model was never mutated (shadow training).
+        assert model.features_count == update.features_before
+        assert service.stats().trainer_updates == 1
+
+    def test_threaded_lifecycle(self, serve_setup):
+        """Start/stop of the real thread (no retrain due: fast)."""
+
+        model, result = serve_setup
+        handle = ModelHandle()
+        handle.publish(model, clone=True)
+        trainer = BackgroundTrainer(
+            handle, result.registry, poll_interval_s=0.01,
+            policy=RetrainPolicy(growth_threshold=10_000,
+                                 min_observations=1))
+        trainer.start()
+        with pytest.raises(RuntimeError):
+            trainer.start()
+        trainer.observe(result.tasks[0], 1)
+        trainer.stop(timeout=5)
+        assert trainer.observations_total == 1
+        assert trainer.updates == []

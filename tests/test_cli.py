@@ -32,6 +32,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["destroy"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "/tmp/x"])
+        assert args.rate == 2000.0
+        assert args.pattern == "poisson"
+        assert not args.no_trainer
+
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest", "/tmp/x"])
+        assert args.rate == 8000.0
+        assert args.duration == 5.0
+        assert not args.json
+
+    def test_loadtest_bad_pattern(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "/tmp/x",
+                                       "--pattern", "steady"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -69,3 +86,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "restrictive tasks" in out
         assert "speedup" in out
+
+    def test_serve(self, archived_cell, capsys):
+        assert main(["serve", str(archived_cell), "--duration", "0.5",
+                     "--rate", "500", "--train-steps", "2",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "0 dropped" in out
+
+    def test_loadtest_json(self, archived_cell, capsys):
+        import json
+
+        assert main(["loadtest", str(archived_cell), "--duration", "0.5",
+                     "--rate", "800", "--train-steps", "2", "--seed", "1",
+                     "--no-trainer", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_dropped"] == 0
+        assert payload["n_completed"] == payload["n_requests"] > 0
+        assert payload["latency_us"]["p99_us"] > 0

@@ -9,12 +9,12 @@ import pytest
 import repro
 
 SUBPACKAGES = ["nn", "learn", "constraints", "trace", "datasets", "core",
-               "sim", "analysis"]
+               "sim", "serve", "analysis"]
 
 
 class TestTopLevel:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_importable(self):
         for name in SUBPACKAGES:
