@@ -7,6 +7,11 @@ an open-loop Poisson stream replayed from the standard bench cell, and
 measures delivered throughput and tail latency.  Floor: ≥ 5,000
 classifications/second with p99 reported and nothing dropped.
 
+The sharded variant runs the same stream through a 4-worker batcher and
+must sustain ≥ 1.5× the single-worker floor (sharding must pay for its
+coordination; how far past the floor it lands depends on how many cores
+the host gives the worker threads).
+
 Run:  python -m pytest benchmarks/bench_serve_throughput.py -q -s \\
           --benchmark-json=serve_throughput.json
 """
@@ -26,6 +31,11 @@ from _common import SEED, bench_pipeline
 OFFERED_RATE = 12_000.0
 DURATION_S = 2.0
 THROUGHPUT_FLOOR = 5_000.0
+SHARDED_WORKERS = 4
+SHARDED_OFFERED_RATE = 16_000.0
+SHARDED_THROUGHPUT_FLOOR = 1.5 * THROUGHPUT_FLOOR
+
+_single_worker_throughput: dict[str, float] = {}
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +80,7 @@ def test_serve_throughput(deployment, benchmark):
     assert report.n_dropped == 0
     assert report.throughput_rps >= THROUGHPUT_FLOOR
     assert lat.p99_us > 0
+    _single_worker_throughput["rps"] = report.throughput_rps
 
     # Results ride along in the benchmark JSON (perf trajectory).
     benchmark.extra_info.update(report.to_dict())
@@ -86,5 +97,65 @@ def test_serve_throughput(deployment, benchmark):
     service_bench = ClassificationService(model, result.registry,
                                           max_batch=64, max_wait_us=200,
                                           trainer=False)
+    with service_bench:
+        benchmark(classify_batch)
+
+
+def test_serve_throughput_sharded(deployment, benchmark):
+    """4 batcher shards over the shared queue: the sharded floor is
+    1.5× the single-worker floor, with zero drops and every shard's
+    counters adding up."""
+
+    model, result = deployment
+    service = ClassificationService(model, result.registry, max_batch=64,
+                                    max_wait_us=500, trainer=False,
+                                    n_workers=SHARDED_WORKERS)
+    with service:
+        report = LoadGenerator(
+            service, result.tasks, result.labels,
+            rate=SHARDED_OFFERED_RATE, duration_s=DURATION_S,
+            rng=np.random.default_rng(SEED + 7)).run()
+    stats = service.stats()
+
+    lat = report.latency
+    single = _single_worker_throughput.get("rps")
+    print()
+    print(render_table(
+        ["Workers", "Offered /s", "Delivered /s", "vs 1-worker",
+         "p50 µs", "p99 µs", "dropped", "shard completions"],
+        [[SHARDED_WORKERS, f"{report.offered_rate:,.0f}",
+          f"{report.throughput_rps:,.0f}",
+          "—" if single is None
+          else f"{report.throughput_rps / single:.2f}x",
+          f"{lat.p50_us:.0f}", f"{lat.p99_us:.0f}", report.n_dropped,
+          "/".join(f"{n:,}" for n in stats.shard_completed)]],
+        title="SERVE — SHARDED OPEN-LOOP THROUGHPUT (clusterdata-2019c)"))
+
+    assert report.n_dropped == 0
+    assert report.throughput_rps >= SHARDED_THROUGHPUT_FLOOR
+    # Shard bookkeeping: every completion is attributed to exactly one
+    # shard, and the work actually spread beyond a single worker.
+    assert stats.workers == SHARDED_WORKERS
+    assert sum(stats.shard_completed) == report.n_completed
+    assert np.count_nonzero(stats.shard_completed) >= 2
+
+    benchmark.extra_info.update(report.to_dict())
+    benchmark.extra_info["workers"] = SHARDED_WORKERS
+    benchmark.extra_info["shard_completed"] = list(stats.shard_completed)
+
+    # Benchmark unit: one full 64-task microbatch through the sharded
+    # service.
+    batch = result.tasks[:64]
+
+    def classify_batch():
+        requests = [service_bench.submit(task) for task in batch]
+        for request in requests:
+            request.wait(5)
+        return requests
+
+    service_bench = ClassificationService(model, result.registry,
+                                          max_batch=64, max_wait_us=200,
+                                          trainer=False,
+                                          n_workers=SHARDED_WORKERS)
     with service_bench:
         benchmark(classify_batch)

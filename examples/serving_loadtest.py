@@ -35,6 +35,8 @@ def main() -> None:
     parser.add_argument("--duration", type=float, default=4.0)
     parser.add_argument("--pattern", default="poisson",
                         choices=["poisson", "bursty"])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="microbatcher worker shards")
     args = parser.parse_args()
 
     cell = generate_cell(args.cell, scale=args.scale, seed=args.seed,
@@ -59,7 +61,7 @@ def main() -> None:
 
     policy = RetrainPolicy(growth_threshold=4, min_observations=100)
     service = ClassificationService(model, result.registry,
-                                    policy=policy,
+                                    n_workers=args.workers, policy=policy,
                                     rng=np.random.default_rng(args.seed + 2))
     with service:
         report = LoadGenerator(

@@ -9,7 +9,9 @@ driven without writing Python:
   (Growing vs Fully Retrain, optional baselines), Table XI report,
 * ``simulate``  — the Figure 3 scheduler experiment on an archived cell,
 * ``serve``     — run the real-time classification service over an
-  archive's task stream, with background retraining and hot-swap,
+  archive's task stream, with background retraining and hot-swap
+  (``--workers`` shards the batcher; ``--cells`` adds extra cells from
+  trace profiles behind a multi-cell router),
 * ``loadtest``  — open-loop load generation against the service,
   reporting throughput and p50/p95/p99 latency (optionally as JSON),
 * ``info``      — library / experiment inventory.
@@ -73,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--observe-every", type=int, default=4,
                        help="feed every n-th task to the trainer "
                             "(0 disables observations)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="microbatcher worker shards per cell")
+        p.add_argument("--cells", default=None, metavar="PROFILES",
+                       help="comma-separated extra cell profiles (e.g. "
+                            "'2019a,2019d'): each is synthesized, trained, "
+                            "and served behind a multi-cell router next to "
+                            "the archive's cell; the load interleaves all "
+                            "cells and audits for cross-cell misroutes")
 
     serve = sub.add_parser(
         "serve", help="real-time classification service over an archive")
@@ -189,80 +199,158 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _serving_setup(args):
-    """Shared serve/loadtest bring-up: corpus, initial model, service."""
+def _train_initial_model(result, train_steps: int, seed: int):
+    """A GrowingModel fitted on the first viable growth windows."""
 
     from .core import BENCH_CONFIG, GrowingModel
-    from .datasets import DatasetData, build_step_datasets
-    from .serve import ClassificationService
-    from .sim import RetrainPolicy
-    from .trace import CellArchive
+    from .datasets import DatasetData
 
-    cell = CellArchive(args.archive).load()
-    result = build_step_datasets(cell)
-    if not result.tasks:
-        raise SystemExit("archive has no constrained tasks to serve")
-
-    model = GrowingModel(BENCH_CONFIG,
-                         rng=np.random.default_rng(args.seed + 1))
-    for step in result.steps[:max(1, args.train_steps)]:
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(seed))
+    for step in result.steps[:max(1, train_steps)]:
         if step.n_samples < 8 or len(np.unique(step.y)) < 2:
             continue
         model.fit_step(DatasetData(step.X, step.y,
                                    batch_size=BENCH_CONFIG.batch_size,
                                    rng=np.random.default_rng(step.step_index)))
-    if model.features_count is None:
+    return model if model.features_count is not None else None
+
+
+def _parse_cell_profiles(spec: str | None) -> list[str]:
+    return [name for name in (spec or "").replace(" ", "").split(",")
+            if name]
+
+
+def _serving_setup(args):
+    """Shared serve/loadtest bring-up.
+
+    Returns ``(cell, result, model, target, corpora)`` where ``target``
+    is a single :class:`~repro.serve.ClassificationService`, or a
+    :class:`~repro.serve.CellRouter` (with a ``corpora`` mapping) when
+    ``--cells`` adds extra profile-synthesized cells.
+    """
+
+    from .datasets import build_step_datasets
+    from .serve import CellRouter, ClassificationService
+    from .sim import RetrainPolicy
+    from .trace import CellArchive, generate_cell
+
+    cell = CellArchive(args.archive).load()
+    result = build_step_datasets(cell)
+    if not result.tasks:
+        raise SystemExit("archive has no constrained tasks to serve")
+    model = _train_initial_model(result, args.train_steps, args.seed + 1)
+    if model is None:
         raise SystemExit("no growth window had enough samples to train on")
 
-    policy = RetrainPolicy(growth_threshold=args.growth_threshold,
-                           min_observations=args.min_observations)
-    service = ClassificationService(
-        model, result.registry, max_batch=args.max_batch,
-        max_wait_us=args.max_wait_us, trainer=not args.no_trainer,
-        policy=policy, rng=np.random.default_rng(args.seed + 2))
-    return cell, result, model, service
+    def policy():
+        return RetrainPolicy(growth_threshold=args.growth_threshold,
+                             min_observations=args.min_observations)
+
+    extra_profiles = _parse_cell_profiles(args.cells)
+    if not extra_profiles:
+        service = ClassificationService(
+            model, result.registry, max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us, n_workers=args.workers,
+            trainer=not args.no_trainer, policy=policy(),
+            rng=np.random.default_rng(args.seed + 2))
+        return cell, result, model, service, None
+
+    router = CellRouter(n_workers=args.workers, max_batch=args.max_batch,
+                        max_wait_us=args.max_wait_us)
+    router.add_cell(cell.name, model, result.registry,
+                    trainer=not args.no_trainer, policy=policy(),
+                    rng=np.random.default_rng(args.seed + 2))
+    corpora = {cell.name: (result.tasks, result.labels)}
+    for k, profile in enumerate(extra_profiles):
+        extra_cell = generate_cell(profile, scale=0.02,
+                                   seed=args.seed + 10 + k, days=3,
+                                   tasks_per_day=400)
+        extra_result = build_step_datasets(extra_cell)
+        if not extra_result.tasks:
+            raise SystemExit(f"profile {profile} produced no constrained "
+                             f"tasks to serve")
+        extra_model = _train_initial_model(extra_result, args.train_steps,
+                                           args.seed + 20 + k)
+        if extra_model is None:
+            raise SystemExit(f"profile {profile}: no trainable growth "
+                             f"window")
+        cell_id = extra_cell.name
+        if cell_id in corpora:
+            cell_id = f"{cell_id}#{k + 1}"
+        router.add_cell(cell_id, extra_model, extra_result.registry,
+                        trainer=not args.no_trainer, policy=policy(),
+                        rng=np.random.default_rng(args.seed + 30 + k))
+        corpora[cell_id] = (extra_result.tasks, extra_result.labels)
+    return cell, result, model, router, corpora
 
 
-def _run_load(args, service, result):
+def _run_load(args, target, result, corpora):
     from .serve import LoadGenerator
 
     observe = 0 if args.no_trainer else args.observe_every
-    generator = LoadGenerator(
-        service, result.tasks, result.labels, rate=args.rate,
-        duration_s=args.duration, pattern=args.pattern,
-        observe_every=observe, rng=np.random.default_rng(args.seed + 3))
+    if corpora is None:
+        generator = LoadGenerator(
+            target, result.tasks, result.labels, rate=args.rate,
+            duration_s=args.duration, pattern=args.pattern,
+            observe_every=observe, rng=np.random.default_rng(args.seed + 3))
+    else:
+        generator = LoadGenerator(
+            target, corpora=corpora, rate=args.rate,
+            duration_s=args.duration, pattern=args.pattern,
+            observe_every=observe, swap_midstream=True,
+            rng=np.random.default_rng(args.seed + 3))
     return generator.run()
 
 
+def _print_trainer_summary(service, prefix: str = "  ") -> None:
+    if service.trainer is None:
+        return
+    for update in service.trainer.updates:
+        print(f"{prefix}hot-swap -> v{update.version}: "
+              f"{update.features_before} -> {update.features_after} "
+              f"features, {update.epochs} epochs, "
+              f"acc {update.accuracy:.3f}, "
+              f"{update.train_seconds:.2f}s off-path")
+    if service.trainer.failed_updates:
+        print(f"{prefix}({service.trainer.failed_updates} retrain "
+              f"attempt(s) did not reach the acceptance thresholds)")
+    if not service.trainer.updates:
+        print(f"{prefix}(no retrain published during the run)")
+
+
 def _cmd_serve(args) -> int:
-    cell, result, model, service = _serving_setup(args)
-    print(f"{cell.name}: serving {model.features_count}-feature model "
-          f"(registry spans {result.registry.features_count}); corpus of "
-          f"{len(result.tasks):,} constrained tasks")
-    with service:
-        report = _run_load(args, service, result)
+    cell, result, model, target, corpora = _serving_setup(args)
+    if corpora is None:
+        print(f"{cell.name}: serving {model.features_count}-feature model "
+              f"(registry spans {result.registry.features_count}); corpus "
+              f"of {len(result.tasks):,} constrained tasks "
+              f"({args.workers} worker(s))")
+        with target:
+            report = _run_load(args, target, result, corpora)
+        print(report)
+        _print_trainer_summary(target)
+        return 0
+
+    print(f"routing {len(corpora)} cells ({args.workers} worker(s) each):")
+    for cell_id, (tasks, _labels) in corpora.items():
+        width = target.service(cell_id).handle.snapshot().features_count
+        print(f"  {cell_id}: {width}-feature model, corpus of "
+              f"{len(tasks):,} constrained tasks")
+    with target:
+        report = _run_load(args, target, result, corpora)
     print(report)
-    if service.trainer is not None:
-        for update in service.trainer.updates:
-            print(f"  hot-swap -> v{update.version}: "
-                  f"{update.features_before} -> {update.features_after} "
-                  f"features, {update.epochs} epochs, "
-                  f"acc {update.accuracy:.3f}, "
-                  f"{update.train_seconds:.2f}s off-path")
-        if service.trainer.failed_updates:
-            print(f"  ({service.trainer.failed_updates} retrain "
-                  f"attempt(s) did not reach the acceptance thresholds)")
-        if not service.trainer.updates:
-            print("  (no retrain published during the run)")
+    for cell_id in corpora:
+        print(f"  {cell_id}:")
+        _print_trainer_summary(target.service(cell_id), prefix="    ")
     return 0
 
 
 def _cmd_loadtest(args) -> int:
     import json as _json
 
-    _cell, result, _model, service = _serving_setup(args)
-    with service:
-        report = _run_load(args, service, result)
+    _cell, result, _model, target, corpora = _serving_setup(args)
+    with target:
+        report = _run_load(args, target, result, corpora)
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
     else:
@@ -273,7 +361,11 @@ def _cmd_loadtest(args) -> int:
               f"max {lat.max_us:.0f}µs")
         print(f"  batches: {report.batches} (largest {report.largest_batch})"
               f"; versions served: {report.versions_served}")
-    return 1 if report.n_dropped else 0
+        if report.per_cell:
+            print(f"  per-cell completions: {report.per_cell}; "
+                  f"misroutes: {report.n_misrouted} of {report.n_audited} "
+                  f"audited")
+    return 1 if (report.n_dropped or report.n_misrouted) else 0
 
 
 def _cmd_info(_args) -> int:

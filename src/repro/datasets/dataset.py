@@ -26,7 +26,9 @@ class DatasetData:
                  rng: np.random.Generator | None = None,
                  min_per_class: int = 2):
         if sp.issparse(X):
-            X = np.asarray(X.todense(), dtype=np.float32)
+            # toarray() — todense() materializes a deprecated np.matrix
+            # plus an extra copy.
+            X = X.toarray().astype(np.float32, copy=False)
         else:
             X = np.asarray(X, dtype=np.float32)
         y = np.asarray(y).ravel().astype(np.int64)

@@ -12,6 +12,7 @@ __all__ = [
     "ServiceError",
     "ServiceClosedError",
     "NotServingError",
+    "UnknownCellError",
 ]
 
 
@@ -53,3 +54,7 @@ class ServiceClosedError(ServiceError):
 
 class NotServingError(ServiceError):
     """No model has been published to the serving handle yet."""
+
+
+class UnknownCellError(ServiceError):
+    """A request was routed to a cell no serving stack is registered for."""

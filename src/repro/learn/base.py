@@ -21,7 +21,9 @@ def ensure_dense(X) -> np.ndarray:
     """Accept ndarray / sparse matrix / nested lists; return a 2-D float array."""
 
     if sp.issparse(X):
-        X = np.asarray(X.todense())
+        # toarray() — todense() materializes a deprecated np.matrix
+        # plus an extra copy.
+        X = X.toarray()
     X = np.asarray(X, dtype=np.float64)
     if X.ndim == 1:
         X = X.reshape(1, -1)

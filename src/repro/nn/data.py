@@ -22,7 +22,9 @@ def _to_array(x) -> np.ndarray:
     if isinstance(x, Tensor):
         return x.data
     if sp.issparse(x):
-        return np.asarray(x.todense())
+        # toarray() — todense() materializes a deprecated np.matrix
+        # plus an extra copy.
+        return x.toarray()
     return np.asarray(x)
 
 

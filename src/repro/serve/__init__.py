@@ -1,29 +1,46 @@
 """``repro.serve`` — real-time inference service for the Task CO Analyzer.
 
 The production counterpart of the simulated Figure 3 loop: a
-thread-safe, hot-swappable model slot (:class:`ModelHandle`), a
+thread-safe, hot-swappable model slot (:class:`ModelHandle`), a sharded
 microbatching request queue (:class:`MicroBatcher`), a background
 trainer that retrains as constraint vocabulary grows
 (:class:`BackgroundTrainer`), the :class:`ClassificationService` facade
-composing them, and an open-loop :class:`LoadGenerator` measuring
-throughput and tail latency.
+composing them, a multi-cell dispatch layer owning one stack per
+computing cell (:class:`CellRouter`), and an open-loop
+:class:`LoadGenerator` measuring throughput and tail latency.
 
 Quickstart::
 
     from repro.serve import ClassificationService, LoadGenerator
 
-    service = ClassificationService(model, result.registry).start()
+    service = ClassificationService(model, result.registry,
+                                    n_workers=4).start()
     report = LoadGenerator(service, result.tasks, result.labels,
                            rate=5000, duration_s=5,
                            observe_every=4).run()
     service.close()
     print(report)
+
+Multi-cell::
+
+    from repro.serve import CellRouter, LoadGenerator
+
+    router = CellRouter(n_workers=2)
+    router.add_cell("2019a", model_a, registry_a)
+    router.add_cell("2019c", model_c, registry_c)
+    with router:
+        report = LoadGenerator(
+            router, corpora={"2019a": (tasks_a, labels_a),
+                             "2019c": (tasks_c, labels_c)},
+            rate=8000, duration_s=5, swap_midstream=True).run()
+    print(report)  # per-cell counts + misroute audit
 """
 
 from .handle import ModelHandle, ModelSnapshot
 from .loadgen import LoadGenerator, LoadTestReport, arrival_offsets
-from .metrics import LatencyStats, ServiceStats
+from .metrics import LatencyStats, RouterStats, ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
+from .router import CellRouter
 from .service import ClassificationService
 from .trainer import BackgroundTrainer, ServeUpdate
 
@@ -32,6 +49,7 @@ __all__ = [
     "MicroBatcher", "ClassifyRequest",
     "BackgroundTrainer", "ServeUpdate",
     "ClassificationService",
+    "CellRouter",
     "LoadGenerator", "LoadTestReport", "arrival_offsets",
-    "LatencyStats", "ServiceStats",
+    "LatencyStats", "ServiceStats", "RouterStats",
 ]

@@ -14,23 +14,51 @@ exactly how a cluster's task stream would behave.  Two arrival patterns:
 * ``bursty``  — the same mean rate compressed into periodic bursts
   (duty cycle ``1/burst_factor``), the adversarial shape for a
   microbatcher.
+
+Multi-cell mode: given a :class:`~repro.serve.CellRouter` and a
+``corpora`` mapping, the generator interleaves several cells' corpora
+over one arrival schedule, optionally forces a mid-stream hot-swap in
+every cell, and audits completed requests against the exact per-cell
+model version that served them — the cross-cell misroute criterion.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..constraints.compaction import CompactedTask
+from ..datasets.co_vv import COVVEncoder
 from .metrics import LatencyStats
 from .microbatch import ClassifyRequest
+from .router import CellRouter
 from .service import ClassificationService
 
 __all__ = ["arrival_offsets", "LoadTestReport", "LoadGenerator"]
 
 PATTERNS = ("poisson", "bursty")
+
+
+def _exponential_cover(mean_gap: float, span_s: float,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Cumulative exponential arrival times guaranteed to pass ``span_s``.
+
+    Draws gap chunks until their sum covers the span: a single fixed-size
+    draw (the old ``1.5×`` heuristic) can fall short on an unlucky seed,
+    silently ending the arrival stream early and under-offering load.
+    """
+
+    chunks: list[np.ndarray] = []
+    covered = 0.0
+    size = max(16, int(span_s / mean_gap * 1.5))
+    while covered <= span_s:
+        gaps = rng.exponential(mean_gap, size=size)
+        chunks.append(gaps)
+        covered += float(gaps.sum())
+    return np.cumsum(np.concatenate(chunks))
 
 
 def arrival_offsets(rate: float, duration_s: float,
@@ -44,9 +72,7 @@ def arrival_offsets(rate: float, duration_s: float,
     if pattern not in PATTERNS:
         raise ValueError(f"pattern must be one of {PATTERNS}")
     if pattern == "poisson":
-        n = max(1, int(rate * duration_s * 1.5))
-        gaps = rng.exponential(1.0 / rate, size=n)
-        offsets = np.cumsum(gaps)
+        offsets = _exponential_cover(1.0 / rate, duration_s, rng)
         return offsets[offsets < duration_s]
     # Bursty: all arrivals land in the first 1/burst_factor of each
     # period at burst_factor × rate, preserving the mean rate.
@@ -54,9 +80,11 @@ def arrival_offsets(rate: float, duration_s: float,
         raise ValueError("burst_factor must be >= 1")
     hot_rate = rate * burst_factor
     duty_s = period_s / burst_factor
-    n = max(1, int(hot_rate * duration_s * 1.5))
-    gaps = rng.exponential(1.0 / hot_rate, size=n)
-    within = np.cumsum(gaps)
+    # Each wall period of period_s maps to duty_s of hot-stream time, so
+    # covering duration_s of wall time needs duration_s/burst_factor of
+    # hot time.
+    within = _exponential_cover(1.0 / hot_rate, duration_s / burst_factor,
+                                rng)
     # Fold the continuous hot stream into the duty window of each period.
     offsets = (within // duty_s) * period_s + (within % duty_s)
     return offsets[offsets < duration_s]
@@ -79,6 +107,9 @@ class LoadTestReport:
     trainer_updates: int = 0
     batches: int = 0
     largest_batch: int = 0
+    per_cell: dict[str, int] = field(default_factory=dict)
+    n_audited: int = 0
+    n_misrouted: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready dict (the shape the perf trajectory records)."""
@@ -98,66 +129,177 @@ class LoadTestReport:
             "trainer_updates": self.trainer_updates,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
+            "per_cell": dict(self.per_cell),
+            "n_audited": self.n_audited,
+            "n_misrouted": self.n_misrouted,
         }
 
     def __str__(self) -> str:
         lat = self.latency
-        return (f"{self.pattern} @ {self.offered_rate:,.0f}/s for "
+        text = (f"{self.pattern} @ {self.offered_rate:,.0f}/s for "
                 f"{self.duration_s:.1f}s: {self.n_completed:,} classified "
                 f"({self.n_dropped} dropped), {self.throughput_rps:,.0f}/s "
                 f"throughput; latency p50={lat.p50_us:.0f}µs "
                 f"p95={lat.p95_us:.0f}µs p99={lat.p99_us:.0f}µs; "
                 f"{self.swaps} hot-swaps over {len(self.versions_served)} "
                 f"version(s)")
+        if self.per_cell:
+            cells = ", ".join(f"{cell}={count:,}"
+                              for cell, count in self.per_cell.items())
+            text += (f"; cells: {cells}; {self.n_misrouted} misrouted "
+                     f"of {self.n_audited} audited")
+        return text
 
 
 class LoadGenerator:
-    """Drive a service with a replayed task corpus at an offered rate.
+    """Drive a service (or a multi-cell router) at an offered rate.
 
     Parameters
     ----------
     service:
-        A started :class:`~repro.serve.ClassificationService`.
+        A started :class:`~repro.serve.ClassificationService` — or a
+        started :class:`~repro.serve.CellRouter` when ``corpora`` is
+        given.
     tasks / labels:
-        The replay corpus (e.g. ``PipelineResult.tasks`` /
+        The single-cell replay corpus (e.g. ``PipelineResult.tasks`` /
         ``.labels``); cycled when shorter than the run.  When labels are
         given and ``observe_every`` > 0, every n-th submission also
         feeds the service's training loop.
+    corpora:
+        Multi-cell mode: ``{cell_id: (tasks, labels_or_None)}``.  Every
+        cell must be registered on the router; arrivals round-robin
+        across cells, each cell cycling its own corpus.
+    swap_midstream:
+        Republish every cell's currently-served model (a behaviour-
+        preserving clone) at the halfway arrival, forcing at least one
+        mid-stream hot-swap per cell — what the misroute audit and the
+        zero-drop criterion are exercised against.
+    audit_per_cell:
+        Multi-cell mode: per cell, re-classify up to this many completed
+        requests against the audited snapshot of the exact version that
+        served them; any disagreement counts as a misroute.
     """
 
-    def __init__(self, service: ClassificationService,
-                 tasks: list[CompactedTask],
+    def __init__(self, service: ClassificationService | CellRouter,
+                 tasks: list[CompactedTask] | None = None,
                  labels: np.ndarray | None = None,
                  rate: float = 5000.0, duration_s: float = 5.0,
                  pattern: str = "poisson", observe_every: int = 0,
                  drain_timeout_s: float = 30.0,
+                 corpora: dict[str, tuple[list[CompactedTask],
+                                          np.ndarray | None]] | None = None,
+                 swap_midstream: bool = False,
+                 audit_per_cell: int = 250,
                  rng: np.random.Generator | None = None):
-        if not tasks:
-            raise ValueError("need a non-empty task corpus")
-        if labels is not None and len(labels) != len(tasks):
-            raise ValueError("labels and tasks lengths differ")
-        if observe_every > 0 and labels is None:
-            raise ValueError("observe_every needs labels")
+        if corpora is not None:
+            if not isinstance(service, CellRouter):
+                raise ValueError("corpora needs a CellRouter target")
+            if tasks is not None or labels is not None:
+                raise ValueError("give either tasks/labels or corpora, "
+                                 "not both")
+            if not corpora:
+                raise ValueError("need at least one cell corpus")
+            registered = set(service.cells)
+            for cell_id, (cell_tasks, cell_labels) in corpora.items():
+                if cell_id not in registered:
+                    raise ValueError(f"cell {cell_id!r} is not registered "
+                                     f"on the router")
+                if not cell_tasks:
+                    raise ValueError(f"cell {cell_id!r} has an empty corpus")
+                if (cell_labels is not None
+                        and len(cell_labels) != len(cell_tasks)):
+                    raise ValueError(f"cell {cell_id!r}: labels and tasks "
+                                     f"lengths differ")
+                if observe_every > 0 and cell_labels is None:
+                    raise ValueError(f"observe_every needs labels "
+                                     f"(cell {cell_id!r} has none)")
+        else:
+            if isinstance(service, CellRouter):
+                raise ValueError("a CellRouter target needs corpora")
+            if not tasks:
+                raise ValueError("need a non-empty task corpus")
+            if labels is not None and len(labels) != len(tasks):
+                raise ValueError("labels and tasks lengths differ")
+            if observe_every > 0 and labels is None:
+                raise ValueError("observe_every needs labels")
         self.service = service
         self.tasks = tasks
         self.labels = labels
+        self.corpora = corpora
         self.rate = rate
         self.duration_s = duration_s
         self.pattern = pattern
         self.observe_every = observe_every
         self.drain_timeout_s = drain_timeout_s
+        self.swap_midstream = swap_midstream
+        self.audit_per_cell = audit_per_cell
         self.rng = rng or np.random.default_rng()
 
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _cell_services(self) -> list[ClassificationService]:
+        if self.corpora is not None:
+            return [self.service.service(cell) for cell in self.corpora]
+        return [self.service]
+
+    def _republish_all(self) -> None:
+        # A behaviour-preserving hot-swap: republishing a clone of the
+        # served model bumps the version (which the audit keys on)
+        # without changing any prediction.
+        for service in self._cell_services():
+            service.publish(service.handle.snapshot().model, clone=True)
+
+    def _audit_misroutes(self, completed: list[ClassifyRequest]
+                         ) -> tuple[int, int]:
+        """Re-classify a per-cell sample against audited snapshots."""
+
+        audited = misrouted = 0
+        for cell_id in self.corpora or ():
+            service = self.service.service(cell_id)
+            cell_requests = [r for r in completed if r.cell == cell_id]
+            if not cell_requests:
+                continue
+            stride = max(1, len(cell_requests) // self.audit_per_cell)
+            sample = cell_requests[::stride][:self.audit_per_cell]
+            encoder = COVVEncoder(service.registry)
+            for request in sample:
+                try:
+                    snap = service.handle.snapshot_for(request.version)
+                except KeyError:  # evicted from the audit history
+                    continue
+                # The registry may still be growing (live trainer);
+                # append-only growth + align() make the replay exact.
+                with service.batcher.registry_lock:
+                    row = encoder.encode_row_dense(request.task)
+                expected = int(snap.predict(snap.align(
+                    row.reshape(1, -1)))[0])
+                audited += 1
+                misrouted += request.group != expected
+        return audited, misrouted
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
     def run(self) -> LoadTestReport:
         offsets = arrival_offsets(self.rate, self.duration_s, self.rng,
                                   pattern=self.pattern)
-        tasks, labels = self.tasks, self.labels
-        n_tasks = len(tasks)
+        multi = self.corpora is not None
         observe_every = self.observe_every
-        submit = self.service.submit
-        observe = self.service.observe
+        swap_at = len(offsets) // 2 if self.swap_midstream else -1
+        if multi:
+            cell_ids = list(self.corpora)
+            cell_cursor = dict.fromkeys(cell_ids, 0)
+            submit = self.service.submit
+            observe = self.service.observe
+        else:
+            tasks, labels = self.tasks, self.labels
+            n_tasks = len(tasks)
+            submit = self.service.submit
+            observe = self.service.observe
 
         requests: list[ClassifyRequest] = []
+        swapper: threading.Thread | None = None
         start = time.perf_counter()
         for i, offset in enumerate(offsets):
             # Open loop: sleep only when ahead of schedule, never to
@@ -167,10 +309,35 @@ class LoadGenerator:
                 if lag <= 0:
                     break
                 time.sleep(min(lag, 2e-4))
-            task = tasks[i % n_tasks]
-            requests.append(submit(task))
-            if observe_every and i % observe_every == 0:
-                observe(task, int(labels[i % n_tasks]))
+            if i == swap_at:
+                # Off-thread: the checkpoint clone per cell would stall
+                # the arrival schedule right where the audit looks.
+                swapper = threading.Thread(target=self._republish_all,
+                                           name="repro-loadgen-swapper",
+                                           daemon=True)
+                swapper.start()
+            if multi:
+                cell = cell_ids[i % len(cell_ids)]
+                cell_tasks, cell_labels = self.corpora[cell]
+                j = cell_cursor[cell]
+                cell_cursor[cell] = j + 1
+                task = cell_tasks[j % len(cell_tasks)]
+                requests.append(submit(cell, task))
+                # Cadence on the per-cell cursor, not the global arrival
+                # index: the global one aliases with the round-robin
+                # (observe_every=2 over 2 cells would starve one cell's
+                # trainer entirely).
+                if observe_every and j % observe_every == 0:
+                    observe(cell, task,
+                            int(cell_labels[j % len(cell_tasks)]))
+            else:
+                task = tasks[i % n_tasks]
+                requests.append(submit(task))
+                if observe_every and i % observe_every == 0:
+                    observe(task, int(labels[i % n_tasks]))
+
+        if swapper is not None:
+            swapper.join(self.drain_timeout_s)
 
         # Drain: every accepted request must complete.  Failed or
         # cancelled requests count as dropped — they were not classified.
@@ -189,6 +356,15 @@ class LoadGenerator:
         else:
             throughput = 0.0
 
+        per_cell: dict[str, int] = {}
+        audited = misrouted = 0
+        if multi:
+            for cell_id in self.corpora:
+                per_cell[cell_id] = 0
+            for request in completed:
+                per_cell[request.cell] += 1
+            audited, misrouted = self._audit_misroutes(completed)
+
         stats = self.service.stats()
         return LoadTestReport(
             pattern=self.pattern, offered_rate=self.rate,
@@ -198,4 +374,5 @@ class LoadGenerator:
             latency=LatencyStats.from_ns(latencies),
             versions_served=stats.versions_served,
             swaps=stats.swaps, trainer_updates=stats.trainer_updates,
-            batches=stats.batches, largest_batch=stats.largest_batch)
+            batches=stats.batches, largest_batch=stats.largest_batch,
+            per_cell=per_cell, n_audited=audited, n_misrouted=misrouted)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencyStats", "ServiceStats"]
+__all__ = ["LatencyStats", "ServiceStats", "RouterStats"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +66,8 @@ class ServiceStats:
     trainer_updates: int = 0
     trainer_failures: int = 0
     observations: int = 0
+    workers: int = 1
+    shard_completed: tuple[int, ...] = ()
 
     @property
     def mean_batch(self) -> float:
@@ -81,6 +83,94 @@ class ServiceStats:
             "versions_served": dict(self.versions_served),
             "model_version": self.model_version, "swaps": self.swaps,
             "trainer_updates": self.trainer_updates,
+            "trainer_failures": self.trainer_failures,
+            "observations": self.observations,
+            "workers": self.workers,
+            "shard_completed": list(self.shard_completed),
+        }
+
+
+@dataclass
+class RouterStats:
+    """Merged point-in-time view over a router's per-cell services.
+
+    ``cells`` maps cell id to that cell's :class:`ServiceStats`; the
+    aggregate properties sum (or max, for ``largest_batch``) across
+    cells.  Model versions are per-cell counters, so the merged
+    ``versions_served`` sums counts of the *same version number* across
+    different cells — use ``cells`` when per-cell attribution matters.
+    """
+
+    cells: dict[str, "ServiceStats"] = field(default_factory=dict)
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(s, attr) for s in self.cells.values())
+
+    @property
+    def requests(self) -> int:
+        return self._sum("requests")
+
+    @property
+    def completed(self) -> int:
+        return self._sum("completed")
+
+    @property
+    def rejected(self) -> int:
+        return self._sum("rejected")
+
+    @property
+    def cancelled(self) -> int:
+        return self._sum("cancelled")
+
+    @property
+    def failed(self) -> int:
+        return self._sum("failed")
+
+    @property
+    def pending(self) -> int:
+        return self._sum("pending")
+
+    @property
+    def batches(self) -> int:
+        return self._sum("batches")
+
+    @property
+    def largest_batch(self) -> int:
+        return max((s.largest_batch for s in self.cells.values()), default=0)
+
+    @property
+    def swaps(self) -> int:
+        return self._sum("swaps")
+
+    @property
+    def trainer_updates(self) -> int:
+        return self._sum("trainer_updates")
+
+    @property
+    def trainer_failures(self) -> int:
+        return self._sum("trainer_failures")
+
+    @property
+    def observations(self) -> int:
+        return self._sum("observations")
+
+    @property
+    def versions_served(self) -> dict[int, int]:
+        merged: dict[int, int] = {}
+        for stats in self.cells.values():
+            for version, count in stats.versions_served.items():
+                merged[version] = merged.get(version, 0) + count
+        return merged
+
+    def to_dict(self) -> dict:
+        return {
+            "cells": {cell: stats.to_dict()
+                      for cell, stats in self.cells.items()},
+            "requests": self.requests, "completed": self.completed,
+            "rejected": self.rejected, "cancelled": self.cancelled,
+            "failed": self.failed, "pending": self.pending,
+            "batches": self.batches, "largest_batch": self.largest_batch,
+            "swaps": self.swaps, "trainer_updates": self.trainer_updates,
             "trainer_failures": self.trainer_failures,
             "observations": self.observations,
         }

@@ -8,10 +8,17 @@ queued), encodes them as one CO-VV block, and classifies the block with
 a single ``predict`` call — the standard dynamic-batching strategy of
 model servers, tuned here for the analyzer's sub-millisecond budget.
 
-Hot-swap atomicity: the worker takes **one** model snapshot per batch
+Hot-swap atomicity: a worker takes **one** model snapshot per batch
 and aligns the encoded block to that snapshot's input width, so every
 request in a batch is classified by exactly one published version — a
 publication landing mid-batch only affects the *next* batch.
+
+Sharding: ``n_workers`` worker threads drain the same queue.  Each
+shard owns a private :class:`~repro.datasets.COVVEncoder` (the per-spec
+memo is never shared, so the registry lock is held only for the encode
+itself, not across shards), takes whole batches, and keeps per-shard
+counters that :meth:`MicroBatcher.counters` merges under ``stats_lock``
+with the aggregate view.
 """
 
 from __future__ import annotations
@@ -35,10 +42,16 @@ logger = logging.getLogger(__name__)
 
 
 class ClassifyRequest:
-    """One in-flight classification; completed by the batch worker."""
+    """One in-flight classification; completed by a batch worker.
+
+    ``cell`` stays ``None`` for a directly-submitted request; the
+    multi-cell :class:`~repro.serve.CellRouter` annotates it with the
+    cell id the request was dispatched to, which is what the load
+    generator's misroute audit keys on.
+    """
 
     __slots__ = ("task", "enqueued_ns", "completed_ns", "group", "version",
-                 "error", "_event")
+                 "cell", "error", "_event")
 
     def __init__(self, task: CompactedTask):
         self.task = task
@@ -46,6 +59,7 @@ class ClassifyRequest:
         self.completed_ns: int | None = None
         self.group: int | None = None
         self.version: int | None = None
+        self.cell: str | None = None
         self.error: Exception | None = None
         self._event = threading.Event()
 
@@ -104,7 +118,7 @@ class ClassifyRequest:
 class MicroBatcher:
     """Collect requests for ≤``max_wait_us`` µs or ≤``max_batch`` tasks.
 
-    A single daemon worker drains the queue; :meth:`stop` with the
+    ``n_workers`` daemon workers drain the queue; :meth:`stop` with the
     default ``drain=True`` processes everything already accepted before
     exiting, so accepted requests are never dropped — submissions after
     the batcher closed raise :class:`~repro.errors.ServiceClosedError`
@@ -114,30 +128,43 @@ class MicroBatcher:
     def __init__(self, handle: ModelHandle, registry: FeatureRegistry,
                  max_batch: int = 64, max_wait_us: int = 500,
                  encoder: COVVEncoder | None = None,
-                 registry_lock: threading.Lock | None = None):
+                 registry_lock: threading.Lock | None = None,
+                 n_workers: int = 1):
         """``registry_lock`` must be shared with whatever grows the
         registry concurrently (the service wires the trainer's lock in):
         the CO-VV append-only invariant makes *grown* registries safe to
         serve, but an append landing mid-``encode_rows`` would emit
-        column indices beyond the matrix width scipy silently drops."""
+        column indices beyond the matrix width scipy silently drops.
+        A passed ``encoder`` becomes shard 0's; further shards always
+        get private encoders."""
 
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_us < 0:
             raise ValueError("max_wait_us cannot be negative")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
         self.handle = handle
         self.registry = registry
-        self.encoder = encoder or COVVEncoder(registry)
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
+        self.n_workers = n_workers
         self.registry_lock = registry_lock or threading.Lock()
+        self._encoders = [encoder or COVVEncoder(registry)]
+        self._encoders += [COVVEncoder(registry)
+                           for _ in range(n_workers - 1)]
 
         self._queue: deque[ClassifyRequest] = deque()
         self._cond = threading.Condition()
-        self._thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
         self._closing = False
         self._closed = False
 
+        # stats_lock guards every counter below (and versions_served —
+        # an unguarded copy while a worker inserts a fresh version key
+        # can raise "dictionary changed size during iteration").
+        # Lock order where both are held: _cond, then stats_lock.
+        self.stats_lock = threading.Lock()
         self.requests_total = 0
         self.completed_total = 0
         self.rejected_total = 0
@@ -146,6 +173,8 @@ class MicroBatcher:
         self.batches_total = 0
         self.largest_batch = 0
         self.versions_served: dict[int, int] = {}
+        self.shard_completed = [0] * n_workers
+        self.shard_batches = [0] * n_workers
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -154,16 +183,18 @@ class MicroBatcher:
         if self._closed:
             raise RuntimeError("batcher is stopped and cannot restart; "
                                "build a new one")
-        if self._thread is not None:
+        if self._threads:
             raise RuntimeError("batcher already started")
-        self._thread = threading.Thread(target=self._worker,
-                                        name="repro-serve-batcher",
-                                        daemon=True)
-        self._thread.start()
+        for shard in range(self.n_workers):
+            thread = threading.Thread(target=self._worker, args=(shard,),
+                                      name=f"repro-serve-batcher-{shard}",
+                                      daemon=True)
+            self._threads.append(thread)
+            thread.start()
         return self
 
     def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
-        """Shut the worker down; with ``drain`` the queue empties first.
+        """Shut the workers down; with ``drain`` the queue empties first.
 
         Without ``drain``, queued requests are cancelled: their waiters
         wake immediately with a :class:`~repro.errors.ServiceClosedError`
@@ -174,15 +205,25 @@ class MicroBatcher:
             if not drain:
                 cancelled = ServiceClosedError("request cancelled: "
                                                "batcher stopped")
+                n_cancelled = 0
                 while self._queue:
                     self._queue.popleft()._fail(cancelled)
-                    self.cancelled_total += 1
+                    n_cancelled += 1
+                with self.stats_lock:
+                    self.cancelled_total += n_cancelled
             self._closing = True
             self._closed = True
             self._cond.notify_all()
-        if self._thread is not None:
-            self._thread.join(timeout)
-            self._thread = None
+        if timeout is None:
+            for thread in self._threads:
+                thread.join()
+        else:
+            # One shared deadline: sequential full-timeout joins would
+            # stretch a wedged shutdown to n_workers × timeout.
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+        self._threads = []
 
     # ------------------------------------------------------------------
     # producer side
@@ -193,10 +234,12 @@ class MicroBatcher:
         request = ClassifyRequest(task)
         with self._cond:
             if self._closed:
-                self.rejected_total += 1
+                with self.stats_lock:
+                    self.rejected_total += 1
                 raise ServiceClosedError("batcher is stopped")
             self._queue.append(request)
-            self.requests_total += 1
+            with self.stats_lock:
+                self.requests_total += 1
             self._cond.notify()
         return request
 
@@ -205,53 +248,90 @@ class MicroBatcher:
         return len(self._queue)
 
     # ------------------------------------------------------------------
-    # worker
+    # introspection
     # ------------------------------------------------------------------
-    def _worker(self) -> None:
+    def counters(self) -> dict:
+        """One consistent copy of every counter (single lock hold)."""
+
+        with self.stats_lock:
+            return {
+                "requests": self.requests_total,
+                "completed": self.completed_total,
+                "rejected": self.rejected_total,
+                "cancelled": self.cancelled_total,
+                "failed": self.failed_total,
+                "batches": self.batches_total,
+                "largest_batch": self.largest_batch,
+                "versions_served": dict(self.versions_served),
+                "shard_completed": tuple(self.shard_completed),
+                "shard_batches": tuple(self.shard_batches),
+            }
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker(self, shard: int) -> None:
+        encoder = self._encoders[shard]
         max_wait_ns = self.max_wait_us * 1_000
         while True:
             with self._cond:
+                # Idle: wait untimed — submit() and stop() both notify,
+                # so a timed poll would only burn CPU (20 wakeups/s per
+                # shard at the old 50 ms tick).
                 while not self._queue and not self._closing:
-                    self._cond.wait(0.05)
+                    self._cond.wait()
                 if not self._queue and self._closing:
                     return
                 # The batching window opens when the oldest request
                 # arrived: fill up to max_batch or until its deadline.
-                deadline = self._queue[0].enqueued_ns + max_wait_ns
+                # Recomputed per wakeup — another shard may have taken
+                # the previous head, and holding its stale (possibly
+                # expired) deadline would close the new head's window
+                # early, shrinking batches.
                 while (len(self._queue) < self.max_batch
                        and not self._closing):
+                    deadline = self._queue[0].enqueued_ns + max_wait_ns
                     remaining = deadline - time.perf_counter_ns()
                     if remaining <= 0:
                         break
                     self._cond.wait(remaining / 1e9)
+                    if not self._queue:
+                        break  # another shard drained the window
+                if not self._queue:
+                    continue
                 take = min(self.max_batch, len(self._queue))
                 batch = [self._queue.popleft() for _ in range(take)]
-            self._process(batch)
+            self._process(batch, shard, encoder)
 
-    def _process(self, batch: list[ClassifyRequest]) -> None:
-        # The worker must survive any per-batch failure: an escaped
-        # exception would kill the singleton thread while submit() keeps
+    def _process(self, batch: list[ClassifyRequest], shard: int,
+                 encoder: COVVEncoder) -> None:
+        # A worker must survive any per-batch failure: an escaped
+        # exception would kill the thread while submit() keeps
         # accepting requests that could then never complete.
         try:
             snapshot = self.handle.snapshot()
             with self.registry_lock:
-                X = self.encoder.encode_rows([r.task for r in batch])
-            rows = snapshot.align(
-                np.asarray(X.todense(), dtype=np.float32))
+                X = encoder.encode_rows([r.task for r in batch])
+            rows = snapshot.align(X.toarray())
             groups = snapshot.predict(rows)
         except Exception as exc:  # noqa: BLE001 — isolate the batch
             logger.exception("classification batch of %d failed",
                              len(batch))
             for request in batch:
                 request._fail(exc)
-            self.batches_total += 1
-            self.failed_total += len(batch)
+            with self.stats_lock:
+                self.batches_total += 1
+                self.shard_batches[shard] += 1
+                self.failed_total += len(batch)
             return
         now = time.perf_counter_ns()
         for request, group in zip(batch, groups):
             request._complete(int(group), snapshot.version, now)
-        self.batches_total += 1
-        self.completed_total += len(batch)
-        self.largest_batch = max(self.largest_batch, len(batch))
-        self.versions_served[snapshot.version] = \
-            self.versions_served.get(snapshot.version, 0) + len(batch)
+        with self.stats_lock:
+            self.batches_total += 1
+            self.completed_total += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+            self.shard_batches[shard] += 1
+            self.shard_completed[shard] += len(batch)
+            self.versions_served[snapshot.version] = \
+                self.versions_served.get(snapshot.version, 0) + len(batch)

@@ -1,0 +1,205 @@
+"""Multi-cell routing: one serving stack per computing cell.
+
+The paper evaluates four computing cells, each with its own constraint
+vocabulary and task mix; related RL schedulers ("A HPC Co-Scheduler
+with Reinforcement Learning", "Deep Reinforcement Agent for Scheduling
+in HPC") likewise run per-queue / per-partition agents.
+:class:`CellRouter` gives the Task CO Analyzer that shape: every cell
+owns a full serving stack — a :class:`~repro.serve.ModelHandle`, a
+(sharded) :class:`~repro.serve.MicroBatcher`, and an optional
+:class:`~repro.serve.BackgroundTrainer` — behind one dispatch layer
+that routes ``submit(cell_id, task)`` to the owning stack.
+
+Isolation is the point: hot-swaps, registry growth, and retraining stay
+per-cell, so one cell's model update can never misroute or stall
+another cell's task stream.  Cells are registered up front (e.g. from
+trace-profile deployments via :meth:`CellRouter.from_deployments`) or
+dynamically on a live router (:meth:`CellRouter.add_cell`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import AbstractContextManager
+
+import numpy as np
+
+from ..constraints.compaction import CompactedTask
+from ..datasets.registry import FeatureRegistry
+from ..errors import ServiceClosedError, UnknownCellError
+from ..sim.online import RetrainPolicy
+from .handle import ModelSnapshot
+from .metrics import RouterStats
+from .microbatch import ClassifyRequest
+from .service import ClassificationService
+
+__all__ = ["CellRouter"]
+
+
+class CellRouter(AbstractContextManager):
+    """Dispatch classifications across per-cell serving stacks.
+
+    Parameters
+    ----------
+    n_workers / max_batch / max_wait_us:
+        Defaults for every cell's :class:`~repro.serve.MicroBatcher`;
+        :meth:`add_cell` can override them per cell.
+    """
+
+    def __init__(self, n_workers: int = 1, max_batch: int = 64,
+                 max_wait_us: int = 500):
+        self.n_workers = n_workers
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self._services: dict[str, ClassificationService] = {}
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+
+    @classmethod
+    def from_deployments(cls, deployments: dict[str, tuple[object,
+                                                           FeatureRegistry]],
+                         n_workers: int = 1, max_batch: int = 64,
+                         max_wait_us: int = 500, trainer: bool = False,
+                         **cell_kwargs) -> "CellRouter":
+        """Declare cells up front from ``{cell_id: (model, registry)}``.
+
+        The usual source is one trained model + pipeline registry per
+        trace profile; extra keyword arguments (``policy``, ``rng``,
+        ...) are passed to every :meth:`add_cell`.
+        """
+
+        router = cls(n_workers=n_workers, max_batch=max_batch,
+                     max_wait_us=max_wait_us)
+        for cell_id, (model, registry) in deployments.items():
+            router.add_cell(cell_id, model, registry, trainer=trainer,
+                            **cell_kwargs)
+        return router
+
+    # ------------------------------------------------------------------
+    # cell registry
+    # ------------------------------------------------------------------
+    def add_cell(self, cell_id: str, model: object,
+                 registry: FeatureRegistry, *,
+                 n_workers: int | None = None,
+                 max_batch: int | None = None,
+                 max_wait_us: int | None = None,
+                 trainer: bool = False,
+                 policy: RetrainPolicy | None = None,
+                 features_count: int | None = None,
+                 rng: np.random.Generator | None = None
+                 ) -> ClassificationService:
+        """Register one cell's stack; on a started router it goes live
+        immediately (dynamic registration)."""
+
+        service = ClassificationService(
+            model, registry,
+            max_batch=self.max_batch if max_batch is None else max_batch,
+            max_wait_us=(self.max_wait_us if max_wait_us is None
+                         else max_wait_us),
+            n_workers=self.n_workers if n_workers is None else n_workers,
+            trainer=trainer, policy=policy,
+            features_count=features_count, rng=rng)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("router is closed")
+            if cell_id in self._services:
+                raise ValueError(f"cell {cell_id!r} already registered")
+            if self._started:
+                service.start()
+            self._services[cell_id] = service
+        return service
+
+    @property
+    def cells(self) -> tuple[str, ...]:
+        """Registered cell ids, in registration order."""
+
+        return tuple(self._services)
+
+    def service(self, cell_id: str) -> ClassificationService:
+        """The serving stack owning ``cell_id``."""
+
+        try:
+            return self._services[cell_id]
+        except KeyError:
+            raise UnknownCellError(
+                f"no serving stack registered for cell {cell_id!r} "
+                f"(cells: {sorted(self._services)})") from None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CellRouter":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("router was closed and cannot restart; "
+                                   "build a new one")
+            if self._started:
+                raise RuntimeError("router already started")
+            self._started = True
+            services = list(self._services.values())
+        for service in services:
+            service.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop every cell's stack; with ``drain`` accepted requests
+        finish first."""
+
+        with self._lock:
+            self._closed = True
+            self._started = False
+            services = list(self._services.values())
+        for service in services:
+            service.close(drain=drain)
+
+    def __enter__(self) -> "CellRouter":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch (hot path)
+    # ------------------------------------------------------------------
+    def submit(self, cell_id: str, task: CompactedTask) -> ClassifyRequest:
+        """Route one task to its cell's batcher (non-blocking)."""
+
+        request = self.service(cell_id).submit(task)
+        request.cell = cell_id
+        return request
+
+    def classify(self, cell_id: str, task: CompactedTask,
+                 timeout: float | None = 5.0) -> ClassifyRequest:
+        """Submit and block until classified; returns the completed
+        request."""
+
+        request = self.submit(cell_id, task)
+        if not request.wait(timeout):
+            raise TimeoutError("classification did not complete in time")
+        return request
+
+    def observe(self, cell_id: str, task: CompactedTask, group: int) -> None:
+        """Feed one labelled observation to a cell's training loop."""
+
+        self.service(cell_id).observe(task, group)
+
+    def publish(self, cell_id: str, model: object,
+                features_count: int | None = None,
+                clone: bool = True) -> ModelSnapshot:
+        """Hot-swap one cell's served model; other cells are untouched."""
+
+        return self.service(cell_id).publish(
+            model, features_count=features_count, clone=clone)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def model_version(self, cell_id: str) -> int:
+        return self.service(cell_id).model_version
+
+    def stats(self) -> RouterStats:
+        with self._lock:
+            services = dict(self._services)
+        return RouterStats(cells={cell_id: service.stats()
+                                  for cell_id, service in services.items()})

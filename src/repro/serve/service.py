@@ -49,6 +49,9 @@ class ClassificationService(AbstractContextManager):
     max_batch / max_wait_us:
         Microbatching knobs: classify as soon as ``max_batch`` requests
         are queued, or when the oldest has waited ``max_wait_us``.
+    n_workers:
+        Batcher worker shards draining the shared request queue (each
+        with a private encoder; see :class:`~repro.serve.MicroBatcher`).
     trainer:
         ``True`` (default) starts the background retrainer with
         ``policy``; ``False`` serves the initial model forever (hot-swap
@@ -57,6 +60,7 @@ class ClassificationService(AbstractContextManager):
 
     def __init__(self, model: object, registry: FeatureRegistry,
                  max_batch: int = 64, max_wait_us: int = 500,
+                 n_workers: int = 1,
                  trainer: bool = True, policy: RetrainPolicy | None = None,
                  features_count: int | None = None,
                  rng: np.random.Generator | None = None):
@@ -71,7 +75,8 @@ class ClassificationService(AbstractContextManager):
         self.batcher = MicroBatcher(self.handle, registry,
                                     max_batch=max_batch,
                                     max_wait_us=max_wait_us,
-                                    registry_lock=registry_lock)
+                                    registry_lock=registry_lock,
+                                    n_workers=n_workers)
         self.trainer: BackgroundTrainer | None = None
         if trainer:
             self.trainer = BackgroundTrainer(self.handle, registry,
@@ -152,18 +157,24 @@ class ClassificationService(AbstractContextManager):
     def stats(self) -> ServiceStats:
         batcher = self.batcher
         trainer = self.trainer
+        # counters() copies everything under the batcher's stats_lock —
+        # reading the attributes directly would race the worker shards
+        # (a versions_served copy mid-insert raises RuntimeError).
+        counters = batcher.counters()
         return ServiceStats(
-            requests=batcher.requests_total,
-            completed=batcher.completed_total,
-            rejected=batcher.rejected_total,
-            cancelled=batcher.cancelled_total,
-            failed=batcher.failed_total,
+            requests=counters["requests"],
+            completed=counters["completed"],
+            rejected=counters["rejected"],
+            cancelled=counters["cancelled"],
+            failed=counters["failed"],
             pending=batcher.pending,
-            batches=batcher.batches_total,
-            largest_batch=batcher.largest_batch,
-            versions_served=dict(batcher.versions_served),
+            batches=counters["batches"],
+            largest_batch=counters["largest_batch"],
+            versions_served=counters["versions_served"],
             model_version=self.handle.version,
             swaps=self.handle.swap_count,
             trainer_updates=0 if trainer is None else len(trainer.updates),
             trainer_failures=0 if trainer is None else trainer.failed_updates,
-            observations=0 if trainer is None else trainer.observations_total)
+            observations=0 if trainer is None else trainer.observations_total,
+            workers=batcher.n_workers,
+            shard_completed=counters["shard_completed"])

@@ -43,6 +43,25 @@ class TestParser:
         assert args.rate == 8000.0
         assert args.duration == 5.0
         assert not args.json
+        assert args.workers == 1
+        assert args.cells is None
+
+    def test_serving_workers_and_cells(self):
+        args = build_parser().parse_args(
+            ["serve", "/tmp/x", "--workers", "4", "--cells", "2019a,2019d"])
+        assert args.workers == 4
+        assert args.cells == "2019a,2019d"
+        args = build_parser().parse_args(
+            ["loadtest", "/tmp/x", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_cell_profile_parsing(self):
+        from repro.cli import _parse_cell_profiles
+
+        assert _parse_cell_profiles(None) == []
+        assert _parse_cell_profiles("") == []
+        assert _parse_cell_profiles("2019a") == ["2019a"]
+        assert _parse_cell_profiles("2019a, 2019d,") == ["2019a", "2019d"]
 
     def test_loadtest_bad_pattern(self):
         with pytest.raises(SystemExit):
@@ -105,3 +124,32 @@ class TestCommands:
         assert payload["n_dropped"] == 0
         assert payload["n_completed"] == payload["n_requests"] > 0
         assert payload["latency_us"]["p99_us"] > 0
+
+    def test_loadtest_sharded(self, archived_cell, capsys):
+        import json
+
+        assert main(["loadtest", str(archived_cell), "--duration", "0.4",
+                     "--rate", "800", "--train-steps", "2", "--seed", "1",
+                     "--workers", "4", "--no-trainer", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_dropped"] == 0
+        assert payload["n_completed"] == payload["n_requests"] > 0
+
+    def test_loadtest_multicell(self, archived_cell, capsys):
+        """--cells spins an extra profile-synthesized cell behind the
+        router; the report must show both cells, zero drops, and a
+        clean misroute audit over the forced mid-stream hot-swaps."""
+
+        import json
+
+        assert main(["loadtest", str(archived_cell), "--duration", "0.4",
+                     "--rate", "600", "--train-steps", "2", "--seed", "1",
+                     "--workers", "2", "--cells", "2019d",
+                     "--no-trainer", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_dropped"] == 0
+        assert payload["n_misrouted"] == 0
+        assert payload["n_audited"] > 0
+        assert len(payload["per_cell"]) == 2
+        assert sum(payload["per_cell"].values()) == payload["n_completed"]
+        assert payload["swaps"] == 2  # one forced swap per cell
