@@ -37,6 +37,15 @@ def main() -> None:
                         choices=["poisson", "bursty"])
     parser.add_argument("--workers", type=int, default=1,
                         help="microbatcher worker shards")
+    parser.add_argument("--latency-budget-ms", type=float, default=None,
+                        help="shed arrivals whose projected queueing "
+                             "delay exceeds this budget (try 20 with "
+                             "--rate 40000 --pattern bursty)")
+    parser.add_argument("--shed-policy", default="reject",
+                        choices=["reject", "drop-oldest"])
+    parser.add_argument("--autotune", action="store_true",
+                        help="re-fit microbatch size/wait to the "
+                             "observed arrival rate")
     args = parser.parse_args()
 
     cell = generate_cell(args.cell, scale=args.scale, seed=args.seed,
@@ -62,6 +71,9 @@ def main() -> None:
     policy = RetrainPolicy(growth_threshold=4, min_observations=100)
     service = ClassificationService(model, result.registry,
                                     n_workers=args.workers, policy=policy,
+                                    latency_budget_ms=args.latency_budget_ms,
+                                    shed_policy=args.shed_policy,
+                                    autotune=args.autotune,
                                     rng=np.random.default_rng(args.seed + 2))
     with service:
         report = LoadGenerator(
@@ -75,6 +87,17 @@ def main() -> None:
     print(f"batches: {stats.batches} (mean {stats.mean_batch:.1f}, "
           f"largest {stats.largest_batch}); observations fed: "
           f"{stats.observations:,}")
+    if service.admission is not None:
+        snap = service.admission.snapshot()
+        print(f"admission: {stats.shed:,} shed "
+              f"({stats.shed_rejected:,} gate / {stats.shed_evicted:,} "
+              f"evicted / {stats.shed_expired:,} expired); observed "
+              f"arrival {snap['arrival_rate']:,.0f}/s, drain "
+              f"{snap['service_rate']:,.0f}/s per worker")
+    if service.autotuner is not None:
+        print(f"autotuner: settled at batch {stats.batch_limit} / "
+              f"wait {stats.wait_limit_us}µs for "
+              f"{service.autotuner.arrival_rate:,.0f}/s offered")
     assert service.trainer is not None
     for update in service.trainer.updates:
         print(f"hot-swap -> v{update.version}: {update.features_before} -> "

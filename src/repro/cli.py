@@ -11,9 +11,13 @@ driven without writing Python:
 * ``serve``     — run the real-time classification service over an
   archive's task stream, with background retraining and hot-swap
   (``--workers`` shards the batcher; ``--cells`` adds extra cells from
-  trace profiles behind a multi-cell router),
+  trace profiles behind a multi-cell router; ``--latency-budget-ms`` /
+  ``--shed-policy`` enable cell-aware backpressure and ``--autotune``
+  re-fits the microbatch to the arrival rate),
 * ``loadtest``  — open-loop load generation against the service,
-  reporting throughput and p50/p95/p99 latency (optionally as JSON),
+  reporting throughput, goodput, shed/accept rates, and p50/p95/p99
+  latency (optionally as JSON); exits non-zero on any lost request
+  or cross-cell misroute,
 * ``info``      — library / experiment inventory.
 """
 
@@ -77,6 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables observations)")
         p.add_argument("--workers", type=int, default=1,
                        help="microbatcher worker shards per cell")
+        p.add_argument("--latency-budget-ms", type=float, default=None,
+                       help="per-cell latency budget: arrivals whose "
+                            "projected queueing delay exceeds it are shed "
+                            "(OverloadedError with a retry-after hint) "
+                            "instead of queueing unboundedly")
+        p.add_argument("--max-queue", type=int, default=None,
+                       help="hard per-cell queue-depth cap (sheds beyond)")
+        p.add_argument("--shed-policy", default="reject",
+                       choices=["reject", "drop-oldest"],
+                       help="reject the new arrival, or admit it and "
+                            "evict the oldest queued request")
+        p.add_argument("--autotune", action="store_true",
+                       help="continuously re-fit microbatch size/wait to "
+                            "the observed arrival rate (--max-batch / "
+                            "--max-wait-us become the tuner's caps)")
         p.add_argument("--cells", default=None, metavar="PROFILES",
                        help="comma-separated extra cell profiles (e.g. "
                             "'2019a,2019d'): each is synthesized, trained, "
@@ -246,17 +265,22 @@ def _serving_setup(args):
         return RetrainPolicy(growth_threshold=args.growth_threshold,
                              min_observations=args.min_observations)
 
+    admission_kwargs = dict(latency_budget_ms=args.latency_budget_ms,
+                            max_queue=args.max_queue,
+                            shed_policy=args.shed_policy,
+                            autotune=args.autotune)
     extra_profiles = _parse_cell_profiles(args.cells)
     if not extra_profiles:
         service = ClassificationService(
             model, result.registry, max_batch=args.max_batch,
             max_wait_us=args.max_wait_us, n_workers=args.workers,
             trainer=not args.no_trainer, policy=policy(),
-            rng=np.random.default_rng(args.seed + 2))
+            rng=np.random.default_rng(args.seed + 2),
+            **admission_kwargs)
         return cell, result, model, service, None
 
     router = CellRouter(n_workers=args.workers, max_batch=args.max_batch,
-                        max_wait_us=args.max_wait_us)
+                        max_wait_us=args.max_wait_us, **admission_kwargs)
     router.add_cell(cell.name, model, result.registry,
                     trainer=not args.no_trainer, policy=policy(),
                     rng=np.random.default_rng(args.seed + 2))
@@ -361,10 +385,20 @@ def _cmd_loadtest(args) -> int:
               f"max {lat.max_us:.0f}µs")
         print(f"  batches: {report.batches} (largest {report.largest_batch})"
               f"; versions served: {report.versions_served}")
+        if report.n_shed or report.n_evicted or report.n_expired:
+            print(f"  overload: accepted {report.n_accepted:,} of "
+                  f"{report.n_requests:,} ({report.accept_rate:.0%}), shed "
+                  f"{report.n_shed:,} at the gate + {report.n_evicted:,} "
+                  f"evicted + {report.n_expired:,} expired; "
+                  f"goodput {report.goodput_rps:,.0f}/s")
         if report.per_cell:
             print(f"  per-cell completions: {report.per_cell}; "
                   f"misroutes: {report.n_misrouted} of {report.n_audited} "
                   f"audited")
+            if any(report.per_cell_shed.values()):
+                print(f"  per-cell shed: {report.per_cell_shed}")
+    # Lost requests (accepted but never classified) and misroutes are
+    # hard failures; shed work under an explicit budget is not.
     return 1 if (report.n_dropped or report.n_misrouted) else 0
 
 

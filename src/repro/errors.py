@@ -13,6 +13,7 @@ __all__ = [
     "ServiceClosedError",
     "NotServingError",
     "UnknownCellError",
+    "OverloadedError",
 ]
 
 
@@ -58,3 +59,25 @@ class NotServingError(ServiceError):
 
 class UnknownCellError(ServiceError):
     """A request was routed to a cell no serving stack is registered for."""
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed the request: the cell's queue would blow
+    its latency budget (or hard depth cap).
+
+    ``retry_after_s`` hints how long the caller should back off before
+    resubmitting (the projected excess queueing delay); ``cell`` names
+    the overloaded cell when the request went through a router;
+    ``reason`` distinguishes how the request was shed — ``"rejected"``
+    at the admission gate, ``"evicted"`` from the queue by a
+    drop-oldest policy, or ``"expired"`` at dequeue after outliving the
+    latency budget.  This is the serving-layer equivalent of an
+    HTTP 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None,
+                 cell: str | None = None, reason: str = "rejected"):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.cell = cell
+        self.reason = reason

@@ -4,10 +4,12 @@ The production counterpart of the simulated Figure 3 loop: a
 thread-safe, hot-swappable model slot (:class:`ModelHandle`), a sharded
 microbatching request queue (:class:`MicroBatcher`), a background
 trainer that retrains as constraint vocabulary grows
-(:class:`BackgroundTrainer`), the :class:`ClassificationService` facade
-composing them, a multi-cell dispatch layer owning one stack per
-computing cell (:class:`CellRouter`), and an open-loop
-:class:`LoadGenerator` measuring throughput and tail latency.
+(:class:`BackgroundTrainer`), cell-aware backpressure and batch
+autotuning (:class:`AdmissionController`, :class:`AutoTuner`), the
+:class:`ClassificationService` facade composing them, a multi-cell
+dispatch layer owning one stack per computing cell
+(:class:`CellRouter`), and an open-loop :class:`LoadGenerator`
+measuring throughput, tail latency, and shed/accept rates.
 
 Quickstart::
 
@@ -36,6 +38,7 @@ Multi-cell::
     print(report)  # per-cell counts + misroute audit
 """
 
+from .admission import SHED_POLICIES, AdmissionController, AutoTuner
 from .handle import ModelHandle, ModelSnapshot
 from .loadgen import LoadGenerator, LoadTestReport, arrival_offsets
 from .metrics import LatencyStats, RouterStats, ServiceStats
@@ -47,6 +50,7 @@ from .trainer import BackgroundTrainer, ServeUpdate
 __all__ = [
     "ModelHandle", "ModelSnapshot",
     "MicroBatcher", "ClassifyRequest",
+    "AdmissionController", "AutoTuner", "SHED_POLICIES",
     "BackgroundTrainer", "ServeUpdate",
     "ClassificationService",
     "CellRouter",

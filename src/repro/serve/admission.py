@@ -1,0 +1,373 @@
+"""Adaptive admission control for the serving stack.
+
+An open-loop task stream does not care how fast the Task CO Analyzer
+is: when bursty arrivals outrun a cell's drain rate, the microbatcher's
+queue — and therefore every queued request's latency — grows without
+bound.  Related RL schedulers ("A HPC Co-Scheduler with Reinforcement
+Learning", "Deep Reinforcement Agent for Scheduling in HPC") make the
+same point about online policies under adversarial load: a real-time
+component must *fail fast and bounded*, not slowly and unboundedly.
+
+Two cooperating pieces, both wired through
+:class:`~repro.serve.MicroBatcher`:
+
+* :class:`AdmissionController` — per-cell backpressure.  It tracks the
+  queue depth, an EWMA of the observed arrival rate, and an EWMA of the
+  batch service rate, and sheds work (a typed
+  :class:`~repro.errors.OverloadedError` carrying a retry-after hint)
+  whenever admitting one more request would blow a configurable latency
+  budget or a hard queue cap.  Policy ``"reject"`` refuses the new
+  arrival; ``"drop-oldest"`` evicts the stalest queued request instead,
+  which favours fresh work during a burst.
+* :class:`AutoTuner` — batch-size / max-wait autotuning.  Small batches
+  and short waits at low load keep latency down; under a burst the
+  tuner grows the batch toward its cap so the model's vectorization
+  pays for the queue.  Recommendations follow an EWMA of the arrival
+  rate and are applied with hysteresis so constant load converges to a
+  fixed operating point instead of oscillating.
+
+Both take an injectable ``clock`` so tests can drive them
+deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = ["SHED_POLICIES", "AdmissionController", "AutoTuner"]
+
+SHED_POLICIES = ("reject", "drop-oldest")
+
+
+class _ArrivalRateEstimator:
+    """Gap-EWMA arrival-rate estimate shared by controller and tuner."""
+
+    __slots__ = ("alpha", "_clock", "_gap_ewma", "_last")
+
+    def __init__(self, alpha: float, clock):
+        self.alpha = alpha
+        self._clock = clock
+        self._gap_ewma: float | None = None
+        self._last: float | None = None
+
+    def observe(self) -> None:
+        now = self._clock()
+        if self._last is not None:
+            gap = max(now - self._last, 1e-9)
+            self._gap_ewma = (gap if self._gap_ewma is None else
+                              self.alpha * gap
+                              + (1.0 - self.alpha) * self._gap_ewma)
+        self._last = now
+
+    @property
+    def rate(self) -> float:
+        """Arrivals/second (0 until two arrivals were seen)."""
+
+        return 0.0 if not self._gap_ewma else 1.0 / self._gap_ewma
+
+
+class AdmissionController:
+    """Decide, per arrival, whether a cell's queue can absorb one more.
+
+    Parameters
+    ----------
+    latency_budget_ms:
+        Shed when the projected queueing delay of a newly-admitted
+        request (queue depth over the observed service rate, plus the
+        batcher's current assembly wait) exceeds this budget.  ``None``
+        disables the budget check.
+    policy:
+        ``"reject"`` refuses the arrival outright; ``"drop-oldest"``
+        admits it and evicts the oldest queued request instead (the
+        batcher owns the eviction — this object only decides).
+    max_queue:
+        Hard queue-depth cap, checked before the budget.  ``None``
+        disables it.  At least one of ``latency_budget_ms`` /
+        ``max_queue`` must be set.
+    alpha:
+        EWMA smoothing factor for the arrival- and service-time
+        estimates.
+    assumed_service_rate:
+        Cold-start drain-rate estimate (tasks/second) used until the
+        first batch is observed.  Deliberately conservative — the
+        serving floor, not the expected capacity — so a cold cell
+        sheds too eagerly rather than blowing its budget.
+    headroom:
+        Fraction of the budget the controller is willing to fill
+        (default 0.85).  The projection is an *expectation* built from
+        EWMA estimates; admitting right up to the budget would park the
+        accepted tail exactly on it, so estimate noise and batch-grain
+        variance must fit in the reserved remainder.
+    """
+
+    def __init__(self, latency_budget_ms: float | None = 50.0,
+                 policy: str = "reject", max_queue: int | None = None,
+                 alpha: float = 0.2,
+                 assumed_service_rate: float = 5000.0,
+                 headroom: float = 0.85,
+                 arrivals: _ArrivalRateEstimator | None = None,
+                 clock=time.monotonic):
+        if latency_budget_ms is None and max_queue is None:
+            raise ValueError("need a latency budget or a queue cap "
+                             "(both None would admit everything)")
+        if latency_budget_ms is not None and latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be positive")
+        if policy not in SHED_POLICIES:
+            raise ValueError(f"policy must be one of {SHED_POLICIES}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if assumed_service_rate <= 0:
+            raise ValueError("assumed_service_rate must be positive")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        self.latency_budget_ms = latency_budget_ms
+        self.policy = policy
+        self.max_queue = max_queue
+        self.alpha = alpha
+        self.assumed_service_rate = assumed_service_rate
+        self.headroom = headroom
+        self._clock = clock
+        # Workers report batches concurrently; the submit path only
+        # reads the float (a stale estimate is fine, a torn read-modify-
+        # write is not).
+        self._rate_lock = threading.Lock()
+        self._cycle_mean_s: float | None = None
+        self._cycle_dev_s = 0.0
+        self._batch_mean = 0.0
+        # ``arrivals`` lets the wirer share one estimator with an
+        # AutoTuner watching the same stream (the caller then only
+        # feeds one of them per arrival).
+        self.arrivals = arrivals or _ArrivalRateEstimator(alpha, clock)
+        # Outcome ledger, owned by the batcher (which alone knows
+        # whether a shed decision rejected the arrival, evicted a
+        # victim, or expired a queued request); updated under its
+        # stats_lock.
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def note_arrival(self) -> None:
+        """Fold one arrival into the arrival-rate EWMA (submit path)."""
+
+        self.arrivals.observe()
+
+    def note_batch(self, n_tasks: int, elapsed_s: float) -> None:
+        """Fold one completed batch into the service-time estimate.
+
+        ``elapsed_s`` should be the worker's full cycle for the batch
+        (end of its previous batch to end of this one) so queue-lock and
+        scheduler contention count against capacity.  The unit smoothed
+        is the *batch cycle*, not a per-task rate, for two reasons:
+        smoothing rates is harmonically biased (one lucky fast batch
+        spikes the estimated capacity), and dividing by batch size bakes
+        the current size into the estimate — a service with fixed
+        per-batch cost then looks slower the smaller its batches get,
+        which clamps the queue, which shrinks the batches further (a
+        shed death spiral).  Mean and mean absolute deviation are kept
+        in the TCP-RTO shape; :meth:`evaluate` projects against
+        mean + 2·dev so the estimate's own dispersion is priced in.
+        """
+
+        if n_tasks <= 0:
+            return
+        cycle = max(elapsed_s, 1e-9)
+        with self._rate_lock:
+            if self._cycle_mean_s is None:
+                self._cycle_mean_s = cycle
+                self._cycle_dev_s = cycle / 2.0
+                self._batch_mean = float(n_tasks)
+            else:
+                self._cycle_dev_s += self.alpha * (
+                    abs(cycle - self._cycle_mean_s) - self._cycle_dev_s)
+                self._cycle_mean_s += self.alpha * (cycle
+                                                    - self._cycle_mean_s)
+                self._batch_mean += self.alpha * (n_tasks
+                                                  - self._batch_mean)
+
+    # ------------------------------------------------------------------
+    # estimates
+    # ------------------------------------------------------------------
+    @property
+    def arrival_rate(self) -> float:
+        """Observed arrivals/second (0 until two arrivals were seen)."""
+
+        return self.arrivals.rate
+
+    @property
+    def service_rate(self) -> float:
+        """Observed mean per-worker drain rate, tasks/second (assumed
+        until measured)."""
+
+        mean = self._cycle_mean_s
+        if mean is None or self._batch_mean <= 0:
+            return self.assumed_service_rate
+        return self._batch_mean / mean
+
+    def pessimistic_cycle_s(self, batch_limit: int) -> float:
+        """Batch-cycle seconds the gate plans with: mean + 2·dev.
+
+        Before the first observation, assume a full ``batch_limit``
+        batch at the conservative cold-start rate.
+        """
+
+        mean = self._cycle_mean_s
+        if mean is None:
+            return max(batch_limit, 1) / self.assumed_service_rate
+        return mean + 2.0 * self._cycle_dev_s
+
+    # ------------------------------------------------------------------
+    # the decision
+    # ------------------------------------------------------------------
+    def evaluate(self, queue_depth: int, wait_us: int = 0,
+                 batch_limit: int = 1, workers: int = 1) -> float | None:
+        """``None`` to admit, else seconds the caller should back off.
+
+        ``queue_depth`` is the depth the request would join behind;
+        ``wait_us`` the batcher's current assembly window (part of the
+        projected latency); ``batch_limit`` / ``workers`` describe how
+        that queue will actually be drained — the projection counts the
+        *full batches ahead* across the worker pool, so a deep queue
+        served in large vectorized batches is not mistaken for a slow
+        one.  The request's own batch is deliberately excluded — and a
+        request joining ahead of any full batch is always admitted:
+        gating bounds *queueing* delay, and shedding at an
+        effectively-empty queue because the service itself is slow (or
+        the budget is tighter than the assembly wait) would be a
+        self-inflicted outage.  The dequeue-time cull still bounds
+        realized staleness.  This method is pure decision — the batcher
+        records the outcome in :attr:`admitted_total` /
+        :attr:`shed_total`, since only it knows whether a shed decision
+        rejected the arrival or evicted a victim instead.
+        """
+
+        retry_after: float | None = None
+        if self.max_queue is not None and queue_depth >= self.max_queue:
+            retry_after = (queue_depth - self.max_queue + 1) / \
+                self.service_rate
+        elif self.latency_budget_ms is not None:
+            batches_ahead = queue_depth // max(batch_limit, 1)
+            if batches_ahead:
+                projected_s = (batches_ahead
+                               * self.pessimistic_cycle_s(batch_limit)
+                               / max(workers, 1) + wait_us / 1e6)
+                excess_s = (projected_s
+                            - self.headroom * self.latency_budget_ms / 1e3)
+                if excess_s > 0:
+                    retry_after = excess_s
+        if retry_after is None:
+            return None
+        return max(retry_after, 1e-3)
+
+    @property
+    def expiry_ns(self) -> int | None:
+        """Queue age (ns) past which a request is culled at dequeue.
+
+        Gate projections are expectations over EWMA estimates; when the
+        drain rate collapses *after* a request was admitted (scheduler
+        contention, a slow batch), the gate cannot take the admission
+        back — so workers shed requests that already outlived
+        ``headroom × budget`` instead of serving them late.  Capacity
+        is never spent on work that has already blown its budget, and
+        every completed request's queue age is bounded by the cutoff.
+        """
+
+        if self.latency_budget_ms is None:
+            return None
+        return int(self.headroom * self.latency_budget_ms * 1e6)
+
+    def snapshot(self) -> dict:
+        """Point-in-time view of the estimates and decision counters."""
+
+        return {
+            "latency_budget_ms": self.latency_budget_ms,
+            "policy": self.policy,
+            "max_queue": self.max_queue,
+            "arrival_rate": self.arrival_rate,
+            "service_rate": self.service_rate,
+            "admitted": self.admitted_total,
+            "shed": self.shed_total,
+        }
+
+
+class AutoTuner:
+    """Fit microbatch size / assembly wait to the observed arrival rate.
+
+    The recommendation is a pure function of the arrival-rate EWMA:
+
+    * target batch — the arrivals expected inside one full assembly
+      window (``rate × max_wait_us``), clamped to ``[min_batch,
+      max_batch]``: one-request batches at low load, capped batches
+      under bursts;
+    * target wait — the time needed to assemble that batch beyond its
+      first request (with 1.5× slack), clamped to ``[min_wait_us,
+      max_wait_us]``: a lone low-load request is never held.
+
+    :meth:`update` applies a recommendation only when it moves more than
+    ``hysteresis`` (relative) from the applied value, so constant load
+    converges to one operating point instead of oscillating around a
+    rounding boundary.  Not thread-safe by itself — the batcher calls it
+    under its queue condition lock.
+    """
+
+    def __init__(self, min_batch: int = 1, max_batch: int = 256,
+                 min_wait_us: int = 50, max_wait_us: int = 2000,
+                 alpha: float = 0.1, hysteresis: float = 0.25,
+                 clock=time.monotonic):
+        if not 1 <= min_batch <= max_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        if not 0 <= min_wait_us <= max_wait_us:
+            raise ValueError("need 0 <= min_wait_us <= max_wait_us")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if hysteresis < 0:
+            raise ValueError("hysteresis cannot be negative")
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.min_wait_us = min_wait_us
+        self.max_wait_us = max_wait_us
+        self.alpha = alpha
+        self.hysteresis = hysteresis
+        self.arrivals = _ArrivalRateEstimator(alpha, clock)
+        # The applied operating point (latency-biased until load shows).
+        self.batch = min_batch
+        self.wait_us = min_wait_us
+
+    def observe_arrival(self) -> None:
+        """Fold one arrival into the rate estimate."""
+
+        self.arrivals.observe()
+
+    @property
+    def arrival_rate(self) -> float:
+        """Observed arrivals/second (0 until two arrivals were seen)."""
+
+        return self.arrivals.rate
+
+    def recommend(self) -> tuple[int, int]:
+        """The (batch, wait_us) the current arrival rate asks for."""
+
+        rate = self.arrival_rate
+        if rate <= 0.0:
+            return self.min_batch, self.min_wait_us
+        expected = rate * self.max_wait_us / 1e6
+        batch = min(max(math.ceil(expected), self.min_batch), self.max_batch)
+        if batch <= 1:
+            return batch, self.min_wait_us
+        wait = math.ceil(1.5e6 * (batch - 1) / rate)
+        return batch, min(max(wait, self.min_wait_us), self.max_wait_us)
+
+    def update(self) -> tuple[int, int]:
+        """Apply the recommendation (with hysteresis); returns it."""
+
+        batch, wait = self.recommend()
+        if abs(batch - self.batch) > self.hysteresis * self.batch:
+            self.batch = batch
+        if abs(wait - self.wait_us) > self.hysteresis * max(self.wait_us, 1):
+            self.wait_us = wait
+        return self.batch, self.wait_us

@@ -8,7 +8,11 @@ acceptance criterion demands zero).
 
 Open loop means arrivals follow the schedule regardless of completions:
 if the service falls behind, the queue grows and latency shows it —
-exactly how a cluster's task stream would behave.  Two arrival patterns:
+exactly how a cluster's task stream would behave.  When the target runs
+admission control, shed arrivals (:class:`~repro.errors.OverloadedError`)
+are counted rather than retried, and the report carries accept/shed
+rates plus goodput with exactly-once accounting
+(``accepted + shed == submitted``).  Two arrival patterns:
 
 * ``poisson`` — memoryless arrivals at the offered rate,
 * ``bursty``  — the same mean rate compressed into periodic bursts
@@ -32,6 +36,7 @@ import numpy as np
 
 from ..constraints.compaction import CompactedTask
 from ..datasets.co_vv import COVVEncoder
+from ..errors import OverloadedError
 from .metrics import LatencyStats
 from .microbatch import ClassifyRequest
 from .router import CellRouter
@@ -92,7 +97,18 @@ def arrival_offsets(rate: float, duration_s: float,
 
 @dataclass
 class LoadTestReport:
-    """Everything one load-test run measured."""
+    """Everything one load-test run measured.
+
+    Exactly-once accounting under admission control:
+    ``n_requests == n_accepted + n_shed`` (every submission either
+    entered a queue or was refused at the gate) and ``n_accepted ==
+    n_completed + n_evicted + n_expired + n_dropped`` (every accepted
+    request finished exactly one way — classified, evicted by a
+    drop-oldest policy, culled at dequeue after outliving the budget,
+    or lost; ``n_dropped`` must be 0).  ``latency`` covers *accepted,
+    completed* requests only — the tail the configured latency budget
+    constrains.
+    """
 
     pattern: str
     offered_rate: float
@@ -102,14 +118,29 @@ class LoadTestReport:
     n_dropped: int
     throughput_rps: float
     latency: LatencyStats
+    n_accepted: int = 0
+    n_shed: int = 0
+    n_evicted: int = 0
+    n_expired: int = 0
+    goodput_rps: float = 0.0
     versions_served: dict[int, int] = field(default_factory=dict)
     swaps: int = 0
     trainer_updates: int = 0
     batches: int = 0
     largest_batch: int = 0
     per_cell: dict[str, int] = field(default_factory=dict)
+    # All shed buckets per cell: gate + evicted + expired.
+    per_cell_shed: dict[str, int] = field(default_factory=dict)
     n_audited: int = 0
     n_misrouted: int = 0
+
+    @property
+    def accept_rate(self) -> float:
+        return self.n_accepted / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
 
     def to_dict(self) -> dict:
         """JSON-ready dict (the shape the perf trajectory records)."""
@@ -119,9 +150,16 @@ class LoadTestReport:
             "offered_rate": self.offered_rate,
             "duration_s": self.duration_s,
             "n_requests": self.n_requests,
+            "n_accepted": self.n_accepted,
+            "n_shed": self.n_shed,
+            "n_evicted": self.n_evicted,
+            "n_expired": self.n_expired,
             "n_completed": self.n_completed,
             "n_dropped": self.n_dropped,
+            "accept_rate": self.accept_rate,
+            "shed_rate": self.shed_rate,
             "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
             "latency_us": self.latency.to_dict(),
             "versions_served": {str(k): v
                                 for k, v in self.versions_served.items()},
@@ -130,6 +168,7 @@ class LoadTestReport:
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "per_cell": dict(self.per_cell),
+            "per_cell_shed": dict(self.per_cell_shed),
             "n_audited": self.n_audited,
             "n_misrouted": self.n_misrouted,
         }
@@ -143,6 +182,11 @@ class LoadTestReport:
                 f"p95={lat.p95_us:.0f}µs p99={lat.p99_us:.0f}µs; "
                 f"{self.swaps} hot-swaps over {len(self.versions_served)} "
                 f"version(s)")
+        if self.n_shed or self.n_evicted or self.n_expired:
+            text += (f"; shed {self.n_shed:,} at the gate + "
+                     f"{self.n_evicted:,} evicted + {self.n_expired:,} "
+                     f"expired ({self.accept_rate:.0%} accepted), goodput "
+                     f"{self.goodput_rps:,.0f}/s")
         if self.per_cell:
             cells = ", ".join(f"{cell}={count:,}"
                               for cell, count in self.per_cell.items())
@@ -299,6 +343,9 @@ class LoadGenerator:
             observe = self.service.observe
 
         requests: list[ClassifyRequest] = []
+        n_shed = 0
+        per_cell_shed: dict[str, int] = (dict.fromkeys(self.corpora, 0)
+                                         if multi else {})
         swapper: threading.Thread | None = None
         start = time.perf_counter()
         for i, offset in enumerate(offsets):
@@ -322,7 +369,15 @@ class LoadGenerator:
                 j = cell_cursor[cell]
                 cell_cursor[cell] = j + 1
                 task = cell_tasks[j % len(cell_tasks)]
-                requests.append(submit(cell, task))
+                try:
+                    requests.append(submit(cell, task))
+                except OverloadedError:
+                    # Shed at the gate: an open-loop source drops the
+                    # task and stays on schedule (no observe either —
+                    # the cell declined the work entirely).
+                    n_shed += 1
+                    per_cell_shed[cell] += 1
+                    continue
                 # Cadence on the per-cell cursor, not the global arrival
                 # index: the global one aliases with the round-robin
                 # (observe_every=2 over 2 cells would starve one cell's
@@ -332,20 +387,30 @@ class LoadGenerator:
                             int(cell_labels[j % len(cell_tasks)]))
             else:
                 task = tasks[i % n_tasks]
-                requests.append(submit(task))
+                try:
+                    requests.append(submit(task))
+                except OverloadedError:
+                    n_shed += 1
+                    continue
                 if observe_every and i % observe_every == 0:
                     observe(task, int(labels[i % n_tasks]))
 
         if swapper is not None:
             swapper.join(self.drain_timeout_s)
 
-        # Drain: every accepted request must complete.  Failed or
-        # cancelled requests count as dropped — they were not classified.
+        # Drain: every accepted request must finish.  Drop-oldest
+        # eviction and dequeue-time budget expiry are *shed* outcomes;
+        # anything else that never classified counts as dropped (must
+        # be zero).
         deadline = time.monotonic() + self.drain_timeout_s
         for request in requests:
             request.wait(max(0.0, deadline - time.monotonic()))
         completed = [r for r in requests if r.ok]
-        dropped = len(requests) - len(completed)
+        overloaded = [r for r in requests
+                      if r.done and isinstance(r.error, OverloadedError)]
+        evicted = [r for r in overloaded if r.error.reason == "evicted"]
+        expired = [r for r in overloaded if r.error.reason == "expired"]
+        dropped = len(requests) - len(completed) - len(overloaded)
 
         latencies = [r.latency_ns for r in completed]
         if completed:
@@ -355,6 +420,9 @@ class LoadGenerator:
             throughput = len(completed) / wall_s
         else:
             throughput = 0.0
+        # Goodput normalizes useful completions to the *offered* window,
+        # so shedding (unlike unbounded queueing) shows up directly.
+        goodput = len(completed) / self.duration_s
 
         per_cell: dict[str, int] = {}
         audited = misrouted = 0
@@ -363,16 +431,25 @@ class LoadGenerator:
                 per_cell[cell_id] = 0
             for request in completed:
                 per_cell[request.cell] += 1
+            # Gate sheds were attributed as they happened; admitted-
+            # then-shed outcomes join them so per_cell_shed covers
+            # every shed bucket.
+            for request in overloaded:
+                per_cell_shed[request.cell] += 1
             audited, misrouted = self._audit_misroutes(completed)
 
         stats = self.service.stats()
         return LoadTestReport(
             pattern=self.pattern, offered_rate=self.rate,
-            duration_s=self.duration_s, n_requests=len(requests),
+            duration_s=self.duration_s,
+            n_requests=len(requests) + n_shed,
+            n_accepted=len(requests), n_shed=n_shed,
+            n_evicted=len(evicted), n_expired=len(expired),
             n_completed=len(completed), n_dropped=dropped,
-            throughput_rps=throughput,
+            throughput_rps=throughput, goodput_rps=goodput,
             latency=LatencyStats.from_ns(latencies),
             versions_served=stats.versions_served,
             swaps=stats.swaps, trainer_updates=stats.trainer_updates,
             batches=stats.batches, largest_batch=stats.largest_batch,
-            per_cell=per_cell, n_audited=audited, n_misrouted=misrouted)
+            per_cell=per_cell, per_cell_shed=per_cell_shed,
+            n_audited=audited, n_misrouted=misrouted)

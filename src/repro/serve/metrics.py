@@ -57,6 +57,11 @@ class ServiceStats:
     rejected: int = 0
     cancelled: int = 0
     failed: int = 0
+    shed_rejected: int = 0
+    shed_evicted: int = 0
+    shed_expired: int = 0
+    batch_limit: int = 0
+    wait_limit_us: int = 0
     pending: int = 0
     batches: int = 0
     largest_batch: int = 0
@@ -73,11 +78,23 @@ class ServiceStats:
     def mean_batch(self) -> float:
         return self.completed / self.batches if self.batches else 0.0
 
+    @property
+    def shed(self) -> int:
+        """Work shed by admission control: gate rejections, drop-oldest
+        evictions, and dequeue-time budget expiries."""
+
+        return self.shed_rejected + self.shed_evicted + self.shed_expired
+
     def to_dict(self) -> dict:
         return {
             "requests": self.requests, "completed": self.completed,
             "rejected": self.rejected, "cancelled": self.cancelled,
-            "failed": self.failed, "pending": self.pending,
+            "failed": self.failed, "shed_rejected": self.shed_rejected,
+            "shed_evicted": self.shed_evicted,
+            "shed_expired": self.shed_expired, "shed": self.shed,
+            "batch_limit": self.batch_limit,
+            "wait_limit_us": self.wait_limit_us,
+            "pending": self.pending,
             "batches": self.batches, "largest_batch": self.largest_batch,
             "mean_batch": self.mean_batch,
             "versions_served": dict(self.versions_served),
@@ -127,6 +144,22 @@ class RouterStats:
         return self._sum("failed")
 
     @property
+    def shed_rejected(self) -> int:
+        return self._sum("shed_rejected")
+
+    @property
+    def shed_evicted(self) -> int:
+        return self._sum("shed_evicted")
+
+    @property
+    def shed_expired(self) -> int:
+        return self._sum("shed_expired")
+
+    @property
+    def shed(self) -> int:
+        return self.shed_rejected + self.shed_evicted + self.shed_expired
+
+    @property
     def pending(self) -> int:
         return self._sum("pending")
 
@@ -168,7 +201,10 @@ class RouterStats:
                       for cell, stats in self.cells.items()},
             "requests": self.requests, "completed": self.completed,
             "rejected": self.rejected, "cancelled": self.cancelled,
-            "failed": self.failed, "pending": self.pending,
+            "failed": self.failed, "shed_rejected": self.shed_rejected,
+            "shed_evicted": self.shed_evicted,
+            "shed_expired": self.shed_expired, "shed": self.shed,
+            "pending": self.pending,
             "batches": self.batches, "largest_batch": self.largest_batch,
             "swaps": self.swaps, "trainer_updates": self.trainer_updates,
             "trainer_failures": self.trainer_failures,

@@ -19,6 +19,14 @@ memo is never shared, so the registry lock is held only for the encode
 itself, not across shards), takes whole batches, and keeps per-shard
 counters that :meth:`MicroBatcher.counters` merges under ``stats_lock``
 with the aggregate view.
+
+Overload: an optional :class:`~repro.serve.AdmissionController` gates
+:meth:`MicroBatcher.submit` — arrivals that would blow the cell's
+latency budget (or hard queue cap) are shed with a typed
+:class:`~repro.errors.OverloadedError` (policy ``"reject"``) or admitted
+at the cost of evicting the oldest queued request (``"drop-oldest"``).
+An optional :class:`~repro.serve.AutoTuner` continuously re-fits
+``max_batch`` / ``max_wait_us`` to the observed arrival rate.
 """
 
 from __future__ import annotations
@@ -33,7 +41,8 @@ import numpy as np
 from ..constraints.compaction import CompactedTask
 from ..datasets.co_vv import COVVEncoder
 from ..datasets.registry import FeatureRegistry
-from ..errors import ServiceClosedError, ServiceError
+from ..errors import OverloadedError, ServiceClosedError, ServiceError
+from .admission import AdmissionController, AutoTuner
 from .handle import ModelHandle
 
 __all__ = ["ClassifyRequest", "MicroBatcher"]
@@ -129,14 +138,21 @@ class MicroBatcher:
                  max_batch: int = 64, max_wait_us: int = 500,
                  encoder: COVVEncoder | None = None,
                  registry_lock: threading.Lock | None = None,
-                 n_workers: int = 1):
+                 n_workers: int = 1,
+                 admission: AdmissionController | None = None,
+                 autotuner: AutoTuner | None = None):
         """``registry_lock`` must be shared with whatever grows the
         registry concurrently (the service wires the trainer's lock in):
         the CO-VV append-only invariant makes *grown* registries safe to
         serve, but an append landing mid-``encode_rows`` would emit
         column indices beyond the matrix width scipy silently drops.
         A passed ``encoder`` becomes shard 0's; further shards always
-        get private encoders."""
+        get private encoders.
+
+        ``admission`` gates every submit (see the module docstring);
+        ``autotuner`` takes ownership of ``max_batch`` / ``max_wait_us``
+        — the constructor values then only seed the pre-first-arrival
+        state, and workers re-read both attributes every wakeup."""
 
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -149,6 +165,8 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
         self.n_workers = n_workers
+        self.admission = admission
+        self.autotuner = autotuner
         self.registry_lock = registry_lock or threading.Lock()
         self._encoders = [encoder or COVVEncoder(registry)]
         self._encoders += [COVVEncoder(registry)
@@ -170,6 +188,9 @@ class MicroBatcher:
         self.rejected_total = 0
         self.cancelled_total = 0
         self.failed_total = 0
+        self.shed_rejected_total = 0
+        self.shed_evicted_total = 0
+        self.shed_expired_total = 0
         self.batches_total = 0
         self.largest_batch = 0
         self.versions_served: dict[int, int] = {}
@@ -229,7 +250,13 @@ class MicroBatcher:
     # producer side
     # ------------------------------------------------------------------
     def submit(self, task: CompactedTask) -> ClassifyRequest:
-        """Enqueue one task; returns immediately with the request handle."""
+        """Enqueue one task; returns immediately with the request handle.
+
+        Raises :class:`~repro.errors.OverloadedError` when admission
+        control sheds the arrival (policy ``"reject"``); under
+        ``"drop-oldest"`` the arrival is admitted and the stalest queued
+        request fails with the overload error instead.
+        """
 
         request = ClassifyRequest(task)
         with self._cond:
@@ -237,9 +264,46 @@ class MicroBatcher:
                 with self.stats_lock:
                     self.rejected_total += 1
                 raise ServiceClosedError("batcher is stopped")
+            if self.autotuner is not None:
+                self.autotuner.observe_arrival()
+                self.max_batch, self.max_wait_us = self.autotuner.update()
+            if self.admission is not None:
+                # Skip the duplicate fold when the controller shares the
+                # tuner's estimator (observed just above).
+                if (self.autotuner is None
+                        or self.admission.arrivals
+                        is not self.autotuner.arrivals):
+                    self.admission.note_arrival()
+                retry_after = self.admission.evaluate(
+                    len(self._queue), self.max_wait_us,
+                    batch_limit=self.max_batch, workers=self.n_workers)
+                if retry_after is not None:
+                    if (self.admission.policy == "drop-oldest"
+                            and self._queue):
+                        victim = self._queue.popleft()
+                        with self.stats_lock:
+                            self.shed_evicted_total += 1
+                            self.admission.shed_total += 1
+                        victim._fail(OverloadedError(
+                            f"request evicted: a newer arrival displaced "
+                            f"it from an overloaded queue; retry in "
+                            f"{retry_after:.3f}s",
+                            retry_after_s=retry_after, reason="evicted",
+                            cell=victim.cell))
+                    else:
+                        with self.stats_lock:
+                            self.shed_rejected_total += 1
+                            self.admission.shed_total += 1
+                        raise OverloadedError(
+                            f"cell overloaded: queue depth "
+                            f"{len(self._queue)} would exceed the latency "
+                            f"budget; retry in {retry_after:.3f}s",
+                            retry_after_s=retry_after)
             self._queue.append(request)
             with self.stats_lock:
                 self.requests_total += 1
+                if self.admission is not None:
+                    self.admission.admitted_total += 1
             self._cond.notify()
         return request
 
@@ -260,6 +324,11 @@ class MicroBatcher:
                 "rejected": self.rejected_total,
                 "cancelled": self.cancelled_total,
                 "failed": self.failed_total,
+                "shed_rejected": self.shed_rejected_total,
+                "shed_evicted": self.shed_evicted_total,
+                "shed_expired": self.shed_expired_total,
+                "batch_limit": self.max_batch,
+                "wait_limit_us": self.max_wait_us,
                 "batches": self.batches_total,
                 "largest_batch": self.largest_batch,
                 "versions_served": dict(self.versions_served),
@@ -272,13 +341,22 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def _worker(self, shard: int) -> None:
         encoder = self._encoders[shard]
-        max_wait_ns = self.max_wait_us * 1_000
+        # End of this shard's previous batch; None right after an idle
+        # wait.  Back-to-back batches report their full cycle (queue
+        # re-acquisition and scheduler contention count against drain
+        # capacity); the first batch after idle reports processing only,
+        # so idle time never deflates the estimate.
+        prev_end: float | None = None
         while True:
             with self._cond:
+                # Re-read per wakeup: the autotuner retargets both
+                # knobs while workers run.
+                max_wait_ns = self.max_wait_us * 1_000
                 # Idle: wait untimed — submit() and stop() both notify,
                 # so a timed poll would only burn CPU (20 wakeups/s per
                 # shard at the old 50 ms tick).
                 while not self._queue and not self._closing:
+                    prev_end = None
                     self._cond.wait()
                 if not self._queue and self._closing:
                     return
@@ -301,10 +379,55 @@ class MicroBatcher:
                     continue
                 take = min(self.max_batch, len(self._queue))
                 batch = [self._queue.popleft() for _ in range(take)]
-            self._process(batch, shard, encoder)
+            batch = self._cull_expired(batch)
+            if not batch:
+                continue
+            taken = time.perf_counter()
+            ok = self._process(batch, shard, encoder)
+            end = time.perf_counter()
+            if ok and self.admission is not None:
+                # Only successful batches inform the drain estimate — a
+                # fast-failing batch would inflate it and over-admit.
+                start = taken if prev_end is None else prev_end
+                self.admission.note_batch(len(batch), end - start)
+            prev_end = end
+
+    def _cull_expired(self, batch: list[ClassifyRequest]
+                      ) -> list[ClassifyRequest]:
+        """Shed dequeued requests that already outlived the budget.
+
+        The admission gate projects from EWMA estimates; when the drain
+        rate collapses after requests were admitted, serving them would
+        deliver answers that blew the budget anyway *and* steal capacity
+        from requests that can still make it.  Requests older than the
+        controller's expiry cutoff fail with
+        :class:`~repro.errors.OverloadedError`; fresh ones are served.
+        """
+
+        if self.admission is None:
+            return batch
+        expiry_ns = self.admission.expiry_ns
+        if expiry_ns is None:
+            return batch
+        now_ns = time.perf_counter_ns()
+        fresh = [r for r in batch if now_ns - r.enqueued_ns <= expiry_ns]
+        expired = len(batch) - len(fresh)
+        if expired:
+            budget_s = self.admission.latency_budget_ms / 1e3
+            for request in batch:
+                if now_ns - request.enqueued_ns > expiry_ns:
+                    request._fail(OverloadedError(
+                        "shed at dequeue: request outlived the cell's "
+                        "latency budget while queued",
+                        retry_after_s=budget_s, reason="expired",
+                        cell=request.cell))
+            with self.stats_lock:
+                self.shed_expired_total += expired
+                self.admission.shed_total += expired
+        return fresh
 
     def _process(self, batch: list[ClassifyRequest], shard: int,
-                 encoder: COVVEncoder) -> None:
+                 encoder: COVVEncoder) -> bool:
         # A worker must survive any per-batch failure: an escaped
         # exception would kill the thread while submit() keeps
         # accepting requests that could then never complete.
@@ -323,7 +446,7 @@ class MicroBatcher:
                 self.batches_total += 1
                 self.shard_batches[shard] += 1
                 self.failed_total += len(batch)
-            return
+            return False
         now = time.perf_counter_ns()
         for request, group in zip(batch, groups):
             request._complete(int(group), snapshot.version, now)
@@ -335,3 +458,4 @@ class MicroBatcher:
             self.shard_completed[shard] += len(batch)
             self.versions_served[snapshot.version] = \
                 self.versions_served.get(snapshot.version, 0) + len(batch)
+        return True

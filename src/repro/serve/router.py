@@ -26,14 +26,19 @@ import numpy as np
 
 from ..constraints.compaction import CompactedTask
 from ..datasets.registry import FeatureRegistry
-from ..errors import ServiceClosedError, UnknownCellError
+from ..errors import OverloadedError, ServiceClosedError, UnknownCellError
 from ..sim.online import RetrainPolicy
+from .admission import SHED_POLICIES
 from .handle import ModelSnapshot
 from .metrics import RouterStats
 from .microbatch import ClassifyRequest
 from .service import ClassificationService
 
 __all__ = ["CellRouter"]
+
+# add_cell override sentinel: None is meaningful ("no budget"), so
+# "inherit the router default" needs its own marker.
+_INHERIT = object()
 
 
 class CellRouter(AbstractContextManager):
@@ -44,13 +49,31 @@ class CellRouter(AbstractContextManager):
     n_workers / max_batch / max_wait_us:
         Defaults for every cell's :class:`~repro.serve.MicroBatcher`;
         :meth:`add_cell` can override them per cell.
+    latency_budget_ms / max_queue / shed_policy / autotune:
+        Admission-control and autotuning defaults applied to every
+        cell (see :class:`~repro.serve.ClassificationService`);
+        :meth:`add_cell` can override them per cell, so a small cell
+        can run a tighter budget than a large one.
     """
 
     def __init__(self, n_workers: int = 1, max_batch: int = 64,
-                 max_wait_us: int = 500):
+                 max_wait_us: int = 500,
+                 latency_budget_ms: float | None = None,
+                 max_queue: int | None = None,
+                 shed_policy: str = "reject",
+                 autotune: bool = False):
+        # Fail at construction, not at the first add_cell: a typo'd
+        # router-wide policy would otherwise sit latent until a cell
+        # joins.
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(f"shed_policy must be one of {SHED_POLICIES}")
         self.n_workers = n_workers
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
+        self.latency_budget_ms = latency_budget_ms
+        self.max_queue = max_queue
+        self.shed_policy = shed_policy
+        self.autotune = autotune
         self._services: dict[str, ClassificationService] = {}
         self._lock = threading.Lock()
         self._started = False
@@ -61,6 +84,10 @@ class CellRouter(AbstractContextManager):
                                                            FeatureRegistry]],
                          n_workers: int = 1, max_batch: int = 64,
                          max_wait_us: int = 500, trainer: bool = False,
+                         latency_budget_ms: float | None = None,
+                         max_queue: int | None = None,
+                         shed_policy: str = "reject",
+                         autotune: bool = False,
                          **cell_kwargs) -> "CellRouter":
         """Declare cells up front from ``{cell_id: (model, registry)}``.
 
@@ -70,7 +97,10 @@ class CellRouter(AbstractContextManager):
         """
 
         router = cls(n_workers=n_workers, max_batch=max_batch,
-                     max_wait_us=max_wait_us)
+                     max_wait_us=max_wait_us,
+                     latency_budget_ms=latency_budget_ms,
+                     max_queue=max_queue, shed_policy=shed_policy,
+                     autotune=autotune)
         for cell_id, (model, registry) in deployments.items():
             router.add_cell(cell_id, model, registry, trainer=trainer,
                             **cell_kwargs)
@@ -87,11 +117,29 @@ class CellRouter(AbstractContextManager):
                  trainer: bool = False,
                  policy: RetrainPolicy | None = None,
                  features_count: int | None = None,
+                 latency_budget_ms: float | None | object = _INHERIT,
+                 max_queue: int | None | object = _INHERIT,
+                 shed_policy: str | object = _INHERIT,
+                 autotune: bool | object = _INHERIT,
                  rng: np.random.Generator | None = None
                  ) -> ClassificationService:
         """Register one cell's stack; on a started router it goes live
-        immediately (dynamic registration)."""
+        immediately (dynamic registration).
 
+        ``latency_budget_ms`` / ``max_queue`` / ``shed_policy`` /
+        ``autotune`` default to the router-wide settings; pass an
+        explicit value (including ``None``, to disable a budget) to
+        override per cell.
+        """
+
+        if latency_budget_ms is _INHERIT:
+            latency_budget_ms = self.latency_budget_ms
+        if max_queue is _INHERIT:
+            max_queue = self.max_queue
+        if shed_policy is _INHERIT:
+            shed_policy = self.shed_policy
+        if autotune is _INHERIT:
+            autotune = self.autotune
         service = ClassificationService(
             model, registry,
             max_batch=self.max_batch if max_batch is None else max_batch,
@@ -99,7 +147,9 @@ class CellRouter(AbstractContextManager):
                          else max_wait_us),
             n_workers=self.n_workers if n_workers is None else n_workers,
             trainer=trainer, policy=policy,
-            features_count=features_count, rng=rng)
+            features_count=features_count,
+            latency_budget_ms=latency_budget_ms, max_queue=max_queue,
+            shed_policy=shed_policy, autotune=autotune, rng=rng)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("router is closed")
@@ -163,9 +213,17 @@ class CellRouter(AbstractContextManager):
     # dispatch (hot path)
     # ------------------------------------------------------------------
     def submit(self, cell_id: str, task: CompactedTask) -> ClassifyRequest:
-        """Route one task to its cell's batcher (non-blocking)."""
+        """Route one task to its cell's batcher (non-blocking).
 
-        request = self.service(cell_id).submit(task)
+        A shed arrival raises :class:`~repro.errors.OverloadedError`
+        annotated with the overloaded cell's id.
+        """
+
+        try:
+            request = self.service(cell_id).submit(task)
+        except OverloadedError as exc:
+            exc.cell = cell_id
+            raise
         request.cell = cell_id
         return request
 

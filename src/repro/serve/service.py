@@ -27,6 +27,7 @@ from ..constraints.compaction import CompactedTask
 from ..core.growing import GrowingModel
 from ..datasets.registry import FeatureRegistry
 from ..sim.online import RetrainPolicy
+from .admission import SHED_POLICIES, AdmissionController, AutoTuner
 from .handle import ModelHandle, ModelSnapshot
 from .metrics import ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
@@ -56,6 +57,16 @@ class ClassificationService(AbstractContextManager):
         ``True`` (default) starts the background retrainer with
         ``policy``; ``False`` serves the initial model forever (hot-swap
         still possible via :meth:`publish`).
+    latency_budget_ms / max_queue / shed_policy:
+        Admission control: when a budget or hard queue cap is set,
+        arrivals that would blow it are shed with
+        :class:`~repro.errors.OverloadedError` (``shed_policy="reject"``)
+        or admitted by evicting the oldest queued request
+        (``"drop-oldest"``).  Both ``None`` (default) admits everything.
+    autotune:
+        Continuously re-fit the microbatch size / wait to the observed
+        arrival rate; ``max_batch`` / ``max_wait_us`` then act as the
+        tuner's caps rather than fixed settings.
     """
 
     def __init__(self, model: object, registry: FeatureRegistry,
@@ -63,6 +74,10 @@ class ClassificationService(AbstractContextManager):
                  n_workers: int = 1,
                  trainer: bool = True, policy: RetrainPolicy | None = None,
                  features_count: int | None = None,
+                 latency_budget_ms: float | None = None,
+                 max_queue: int | None = None,
+                 shed_policy: str = "reject",
+                 autotune: bool = False,
                  rng: np.random.Generator | None = None):
         self.registry = registry
         clone = isinstance(model, GrowingModel)
@@ -72,11 +87,36 @@ class ClassificationService(AbstractContextManager):
         # One lock serializes registry growth (observe path) against the
         # batcher's and trainer's encoders — see MicroBatcher's docstring.
         registry_lock = threading.Lock()
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(f"shed_policy must be one of {SHED_POLICIES}")
+        if (shed_policy != "reject" and latency_budget_ms is None
+                and max_queue is None):
+            raise ValueError(
+                f"shed_policy={shed_policy!r} needs a latency budget or "
+                f"queue cap to act on — without one it would silently "
+                f"never shed")
+        self.autotuner: AutoTuner | None = None
+        if autotune:
+            self.autotuner = AutoTuner(
+                max_batch=max_batch,
+                min_wait_us=min(50, max_wait_us),
+                max_wait_us=max_wait_us)
+        self.admission: AdmissionController | None = None
+        if latency_budget_ms is not None or max_queue is not None:
+            # Share the tuner's arrival estimator when both watch the
+            # same stream; the batcher then feeds only the tuner.
+            self.admission = AdmissionController(
+                latency_budget_ms=latency_budget_ms, policy=shed_policy,
+                max_queue=max_queue,
+                arrivals=(None if self.autotuner is None
+                          else self.autotuner.arrivals))
         self.batcher = MicroBatcher(self.handle, registry,
                                     max_batch=max_batch,
                                     max_wait_us=max_wait_us,
                                     registry_lock=registry_lock,
-                                    n_workers=n_workers)
+                                    n_workers=n_workers,
+                                    admission=self.admission,
+                                    autotuner=self.autotuner)
         self.trainer: BackgroundTrainer | None = None
         if trainer:
             self.trainer = BackgroundTrainer(self.handle, registry,
@@ -120,7 +160,11 @@ class ClassificationService(AbstractContextManager):
     # serving path
     # ------------------------------------------------------------------
     def submit(self, task: CompactedTask) -> ClassifyRequest:
-        """Enqueue one task for classification (non-blocking)."""
+        """Enqueue one task for classification (non-blocking).
+
+        With admission control configured this may raise
+        :class:`~repro.errors.OverloadedError` instead of queueing.
+        """
 
         return self.batcher.submit(task)
 
@@ -167,6 +211,11 @@ class ClassificationService(AbstractContextManager):
             rejected=counters["rejected"],
             cancelled=counters["cancelled"],
             failed=counters["failed"],
+            shed_rejected=counters["shed_rejected"],
+            shed_evicted=counters["shed_evicted"],
+            shed_expired=counters["shed_expired"],
+            batch_limit=counters["batch_limit"],
+            wait_limit_us=counters["wait_limit_us"],
             pending=batcher.pending,
             batches=counters["batches"],
             largest_batch=counters["largest_batch"],

@@ -13,6 +13,16 @@ Only the 2011 operator subset (codes 0–3) is legal in this format;
 :class:`~repro.errors.TraceFormatError` is raised otherwise.  Constraint
 rows are joined onto their task's SUBMIT event at read time, mirroring
 the AGOCS pre-processing step.
+
+Join key and the identical-timestamp tie-break: constraint rows join on
+``(time, job, task_index)`` — the full key, not just ``(job,
+task_index)``, so a *resubmitted* task (same job/index at a later
+timestamp) keeps each submission's own constraint set.  When several
+SUBMITs of one task share a single timestamp the format is genuinely
+ambiguous (their rows pool under one key with no delimiter); the reader
+then attaches the pooled rows to every co-timestamped SUBMIT of that
+key.  Real GCD traces order a task's lifecycle events strictly in time,
+so the pooled case never occurs in archive data.
 """
 
 from __future__ import annotations
@@ -107,20 +117,24 @@ def read_2011(directory: str | Path, name: str | None = None) -> CellTrace:
         raise TraceFormatError(f"{directory} is not a directory")
     trace = CellTrace(name or directory.name, format="2011")
 
-    # Constraint rows, keyed by (job, task_index); joined onto SUBMITs below.
-    constraints: dict[tuple[int, int], list[Constraint]] = {}
+    # Constraint rows, keyed by (time, job, task_index) so resubmits of
+    # one task keep their own constraint sets; joined onto SUBMITs
+    # below (see the module docstring for the identical-timestamp
+    # tie-break).
+    constraints: dict[tuple[int, int, int], list[Constraint]] = {}
     path = directory / "task_constraints.csv"
     if path.exists():
         with open(path, newline="") as fh:
             for row in csv.reader(fh):
                 if not row:
                     continue
-                _time, job, idx, op_code, attr, value = row
+                time, job, idx, op_code, attr, value = row
                 op_num = _parse_int(op_code, "task_constraints")
                 if op_num > _MAX_2011_OPERATOR:
                     raise TraceFormatError(
                         f"operator code {op_num} invalid for 2011 traces")
-                key = (_parse_int(job, "task_constraints"),
+                key = (_parse_int(time, "task_constraints"),
+                       _parse_int(job, "task_constraints"),
                        _parse_int(idx, "task_constraints"))
                 constraints.setdefault(key, []).append(Constraint(
                     attribute=attr, op=ConstraintOperator(op_num),
@@ -177,13 +191,14 @@ def read_2011(directory: str | Path, name: str | None = None) -> CellTrace:
                 if not row:
                     continue
                 time, job, idx, kind, mid, priority, cpu, mem = row
+                event_time = _parse_int(time, "task_events")
                 key = (_parse_int(job, "task_events"),
                        _parse_int(idx, "task_events"))
                 event_kind = TaskEventKind(_parse_int(kind, "task_events"))
-                joined = (tuple(constraints.get(key, ()))
+                joined = (tuple(constraints.get((event_time, *key), ()))
                           if event_kind is TaskEventKind.SUBMIT else ())
                 trace.append(TaskEvent(
-                    time=_parse_int(time, "task_events"),
+                    time=event_time,
                     collection_id=key[0], task_index=key[1],
                     kind=event_kind,
                     machine_id=_parse_int(mid, "task_events") if mid else None,

@@ -1,0 +1,132 @@
+"""Fault injection for serving-stack tests.
+
+Wrappers that make the serving stack misbehave on demand so overload,
+degraded-mode, and recovery paths can be exercised deterministically:
+
+* :class:`SlowModel` — a model whose every ``predict`` sleeps, shrinking
+  the drain rate so queues actually build under a flood;
+* :class:`FailingEncoder` — a :class:`~repro.datasets.COVVEncoder`
+  stand-in that raises for the next *n* encodes (the batch-isolation
+  path: a failed batch must not kill its worker);
+* :class:`StallGate` — blocks ``predict`` until released, pinning
+  whichever worker picked the batch up (the stalled-worker scenario for
+  sharded batchers).
+
+Plus :func:`assert_exactly_once`, the accounting invariant every
+overload test closes with: each submission ends in exactly one counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.datasets import COVVEncoder
+
+__all__ = ["SlowModel", "FailingEncoder", "StallGate",
+           "assert_exactly_once"]
+
+
+class SlowModel:
+    """Wrap any model so each ``predict`` call costs ``delay_s``."""
+
+    def __init__(self, inner, delay_s: float = 0.01):
+        self.inner = inner
+        self.delay_s = delay_s
+        self.calls = 0
+
+    @property
+    def features_count(self):
+        return self.inner.features_count
+
+    def predict(self, X):
+        self.calls += 1
+        time.sleep(self.delay_s)
+        return self.inner.predict(X)
+
+    def clone(self) -> "SlowModel":
+        return SlowModel(self.inner.clone(), self.delay_s)
+
+
+class FailingEncoder(COVVEncoder):
+    """Encoder that raises for the next ``fail_times`` encode calls."""
+
+    def __init__(self, registry, fail_times: int = 0):
+        super().__init__(registry)
+        self.fail_times = fail_times
+        self.failures_injected = 0
+
+    def arm(self, times: int) -> None:
+        self.fail_times = times
+
+    def encode_rows(self, tasks):
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            self.failures_injected += 1
+            raise RuntimeError("injected encoder fault")
+        return super().encode_rows(tasks)
+
+
+class StallGate:
+    """Model wrapper that parks exactly one ``predict`` call.
+
+    ``stall()`` arms the gate: the next worker to reach ``predict``
+    blocks inside its batch (one stalled shard) until ``release()``;
+    every other call passes straight through.  ``entered`` lets a test
+    wait until a worker is actually pinned.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self._mu = threading.Lock()
+        self._armed = False
+        self._open = threading.Event()
+        self._open.set()
+        self.entered = threading.Event()
+
+    @property
+    def features_count(self):
+        return self.inner.features_count
+
+    def stall(self) -> None:
+        with self._mu:
+            self._armed = True
+            self.entered.clear()
+            self._open.clear()
+
+    def release(self) -> None:
+        self._open.set()
+
+    def predict(self, X):
+        with self._mu:
+            pinned = self._armed
+            self._armed = False
+        if pinned:
+            self.entered.set()
+            self._open.wait()
+        return self.inner.predict(X)
+
+    def clone(self) -> "StallGate":
+        # Clones share the gate, so a hot-swapped copy stalls the same
+        # way — the scenario is "the model is slow", not "this object".
+        clone = StallGate.__new__(StallGate)
+        clone.inner = self.inner.clone()
+        clone._mu = self._mu
+        clone._armed = False
+        clone._open = self._open
+        clone.entered = self.entered
+        return clone
+
+
+def assert_exactly_once(batcher, submitted: int) -> None:
+    """Every submission is accounted for in exactly one counter.
+
+    Call after the queue drained (e.g. post-``stop``): gate outcomes
+    partition submissions, and terminal outcomes partition admissions.
+    """
+
+    c = batcher.counters()
+    accepted = c["requests"]
+    assert accepted + c["shed_rejected"] + c["rejected"] == submitted, c
+    assert (c["completed"] + c["failed"] + c["cancelled"]
+            + c["shed_evicted"] + c["shed_expired"] == accepted), c

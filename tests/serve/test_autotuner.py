@@ -1,0 +1,130 @@
+"""AutoTuner properties: bounds, monotone response, convergence.
+
+Everything runs on a deterministic fake clock — arrival gaps are data,
+not wall time — so the properties hold exactly, not just usually.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import AutoTuner
+
+
+class FakeClock:
+    """Injectable monotonic clock advanced explicitly by the test."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt_s: float) -> None:
+        self.now += dt_s
+
+
+def feed(tuner, clock, gap_s, n):
+    """Drive ``n`` evenly-spaced arrivals through observe+update."""
+
+    for _ in range(n):
+        clock.advance(gap_s)
+        tuner.observe_arrival()
+        tuner.update()
+
+
+def converged_tuner(rate, clock=None, **kwargs):
+    clock = clock or FakeClock()
+    tuner = AutoTuner(clock=clock, **kwargs)
+    feed(tuner, clock, 1.0 / rate, 400)
+    return tuner
+
+
+class TestBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=1e-6, max_value=2.0),
+                    min_size=1, max_size=60),
+           st.integers(1, 8), st.integers(8, 512))
+    def test_applied_and_recommended_stay_in_bounds(self, gaps, min_batch,
+                                                    max_batch):
+        clock = FakeClock()
+        tuner = AutoTuner(min_batch=min_batch, max_batch=max_batch,
+                          min_wait_us=20, max_wait_us=1500, clock=clock)
+        for gap in gaps:
+            clock.advance(gap)
+            tuner.observe_arrival()
+            batch, wait = tuner.update()
+            assert min_batch <= batch <= max_batch
+            assert 20 <= wait <= 1500
+            rec_batch, rec_wait = tuner.recommend()
+            assert min_batch <= rec_batch <= max_batch
+            assert 20 <= rec_wait <= 1500
+
+    def test_cold_start_is_latency_biased(self):
+        tuner = AutoTuner(min_batch=1, max_batch=128, min_wait_us=50,
+                          max_wait_us=2000, clock=FakeClock())
+        assert tuner.recommend() == (1, 50)
+        assert (tuner.batch, tuner.wait_us) == (1, 50)
+        assert tuner.arrival_rate == 0.0
+
+
+class TestMonotoneResponse:
+    RATES = [50.0, 500.0, 5_000.0, 50_000.0, 500_000.0]
+
+    def test_converged_batch_is_monotone_in_rate(self):
+        batches = [converged_tuner(rate).batch for rate in self.RATES]
+        assert batches == sorted(batches)
+        # The extremes actually move: tiny batches at low load, the
+        # cap under saturation.
+        assert batches[0] == 1
+        assert batches[-1] == 256
+
+    def test_step_up_grows_batch_step_down_shrinks_it(self):
+        clock = FakeClock()
+        tuner = AutoTuner(clock=clock)
+        feed(tuner, clock, 1.0 / 1_000, 400)
+        low = tuner.batch
+        feed(tuner, clock, 1.0 / 100_000, 400)
+        high = tuner.batch
+        feed(tuner, clock, 1.0 / 1_000, 400)
+        back = tuner.batch
+        assert low < high
+        assert back < high
+        assert back == pytest.approx(low, abs=1)
+
+    def test_arrival_rate_tracks_the_offered_gap(self):
+        clock = FakeClock()
+        tuner = AutoTuner(clock=clock)
+        feed(tuner, clock, 0.001, 400)
+        assert tuner.arrival_rate == pytest.approx(1_000.0, rel=0.01)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("rate", [200.0, 8_000.0, 120_000.0])
+    def test_constant_load_settles_without_oscillation(self, rate):
+        clock = FakeClock()
+        tuner = AutoTuner(clock=clock)
+        feed(tuner, clock, 1.0 / rate, 300)
+        tail_batches, tail_waits = set(), set()
+        for _ in range(200):
+            clock.advance(1.0 / rate)
+            tuner.observe_arrival()
+            batch, wait = tuner.update()
+            tail_batches.add(batch)
+            tail_waits.add(wait)
+        assert len(tail_batches) == 1, "batch oscillated under steady load"
+        assert len(tail_waits) == 1, "wait oscillated under steady load"
+
+    def test_hysteresis_ignores_small_wobble(self):
+        clock = FakeClock()
+        tuner = AutoTuner(clock=clock)
+        feed(tuner, clock, 1.0 / 10_000, 400)
+        settled = (tuner.batch, tuner.wait_us)
+        # ±10% rate wobble stays inside the 25% hysteresis band.
+        for i in range(200):
+            gap = (0.9 if i % 2 else 1.1) / 10_000
+            clock.advance(gap)
+            tuner.observe_arrival()
+            assert tuner.update() == settled

@@ -55,6 +55,28 @@ class TestParser:
             ["loadtest", "/tmp/x", "--workers", "2"])
         assert args.workers == 2
 
+    def test_admission_defaults(self):
+        args = build_parser().parse_args(["loadtest", "/tmp/x"])
+        assert args.latency_budget_ms is None
+        assert args.max_queue is None
+        assert args.shed_policy == "reject"
+        assert not args.autotune
+
+    def test_admission_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "/tmp/x", "--latency-budget-ms", "50",
+             "--shed-policy", "drop-oldest", "--max-queue", "4096",
+             "--autotune"])
+        assert args.latency_budget_ms == 50.0
+        assert args.shed_policy == "drop-oldest"
+        assert args.max_queue == 4096
+        assert args.autotune
+
+    def test_bad_shed_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "/tmp/x",
+                                       "--shed-policy", "tail-drop"])
+
     def test_cell_profile_parsing(self):
         from repro.cli import _parse_cell_profiles
 
@@ -134,6 +156,32 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["n_dropped"] == 0
         assert payload["n_completed"] == payload["n_requests"] > 0
+
+    def test_loadtest_overloaded_sheds_but_loses_nothing(self,
+                                                         archived_cell,
+                                                         capsys):
+        """A bursty flood far past the tiny budget must shed (visible in
+        the report) while accounting stays exact — and shedding alone
+        must not flip the exit code, which is reserved for lost
+        requests and misroutes."""
+
+        import json
+
+        assert main(["loadtest", str(archived_cell), "--duration", "1.0",
+                     "--rate", "20000", "--pattern", "bursty",
+                     "--train-steps", "2", "--seed", "1",
+                     "--latency-budget-ms", "5", "--autotune",
+                     "--no-trainer", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_dropped"] == 0
+        assert payload["n_shed"] > 0
+        assert payload["n_requests"] == (payload["n_accepted"]
+                                         + payload["n_shed"])
+        assert payload["n_accepted"] == (payload["n_completed"]
+                                         + payload["n_evicted"]
+                                         + payload["n_expired"])
+        assert 0.0 < payload["accept_rate"] < 1.0
+        assert payload["goodput_rps"] > 0
 
     def test_loadtest_multicell(self, archived_cell, capsys):
         """--cells spins an extra profile-synthesized cell behind the
