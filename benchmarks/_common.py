@@ -11,7 +11,11 @@ the paper-formatted table for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 
@@ -27,6 +31,34 @@ SEED = 2025
 
 CELLS = ("clusterdata-2011", "clusterdata-2019a", "clusterdata-2019c",
          "clusterdata-2019d")
+
+#: Machine-readable serving-benchmark results (one JSON object, one key
+#: per bench section) — the perf trajectory tracked across PRs; CI
+#: uploads it as an artifact.  Override the location with the
+#: ``BENCH_SERVE_JSON`` environment variable.
+BENCH_SERVE_JSON = Path(os.environ.get(
+    "BENCH_SERVE_JSON",
+    Path(__file__).resolve().parent.parent / "BENCH_serve.json"))
+
+
+def record_serve_bench(section: str, payload: dict) -> Path:
+    """Merge one bench section into :data:`BENCH_SERVE_JSON`.
+
+    Sections written by earlier tests in the same run (or earlier runs)
+    are preserved unless overwritten, so a full bench session leaves
+    one complete JSON document behind.
+    """
+
+    results: dict = {}
+    if BENCH_SERVE_JSON.exists():
+        try:
+            results = json.loads(BENCH_SERVE_JSON.read_text())
+        except (OSError, ValueError):
+            results = {}
+    results[section] = dict(payload, recorded_at=time.time())
+    BENCH_SERVE_JSON.write_text(json.dumps(results, indent=2,
+                                           sort_keys=True) + "\n")
+    return BENCH_SERVE_JSON
 
 
 @lru_cache(maxsize=None)

@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="continuously re-fit microbatch size/wait to "
                             "the observed arrival rate (--max-batch / "
                             "--max-wait-us become the tuner's caps)")
+        p.add_argument("--compile", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="serve through the fused inference plan "
+                            "(sparse end-to-end, no autograd); "
+                            "--no-compile keeps the eager Module path")
         p.add_argument("--cells", default=None, metavar="PROFILES",
                        help="comma-separated extra cell profiles (e.g. "
                             "'2019a,2019d'): each is synthesized, trained, "
@@ -268,7 +273,8 @@ def _serving_setup(args):
     admission_kwargs = dict(latency_budget_ms=args.latency_budget_ms,
                             max_queue=args.max_queue,
                             shed_policy=args.shed_policy,
-                            autotune=args.autotune)
+                            autotune=args.autotune,
+                            compile=args.compile)
     extra_profiles = _parse_cell_profiles(args.cells)
     if not extra_profiles:
         service = ClassificationService(
@@ -348,7 +354,8 @@ def _cmd_serve(args) -> int:
         print(f"{cell.name}: serving {model.features_count}-feature model "
               f"(registry spans {result.registry.features_count}); corpus "
               f"of {len(result.tasks):,} constrained tasks "
-              f"({args.workers} worker(s))")
+              f"({args.workers} worker(s), "
+              f"{'compiled fast path' if args.compile else 'eager'})")
         with target:
             report = _run_load(args, target, result, corpora)
         print(report)

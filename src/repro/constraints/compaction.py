@@ -292,10 +292,11 @@ class CompactedTask:
     against a machine attribute mapping.
     """
 
-    __slots__ = ("specs",)
+    __slots__ = ("specs", "_hash")
 
     def __init__(self, specs: Mapping[str, AttributeSpec]):
         self.specs: dict[str, AttributeSpec] = dict(sorted(specs.items()))
+        self._hash: int | None = None
 
     def __iter__(self):
         return iter(self.specs.values())
@@ -307,8 +308,12 @@ class CompactedTask:
         return isinstance(other, CompactedTask) and self.specs == other.specs
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self.specs.items(),
-                                 key=lambda kv: kv[0])))
+        # Cached: tasks are hashed on every serving-encoder memo lookup,
+        # and specs never mutate after construction.
+        if self._hash is None:
+            self._hash = hash(tuple(sorted(self.specs.items(),
+                                           key=lambda kv: kv[0])))
+        return self._hash
 
     def matches(self, attributes: Mapping[str, str | int | None]) -> bool:
         """True when a machine with the given attribute map satisfies every spec."""

@@ -15,6 +15,7 @@ from .evaluate import EvalResult, evaluate_model, evaluate_predictions
 from .fully_retrain import FullyRetrainModel
 from .growing import GrowingModel, StepOutcome, build_model, extend_state_dict
 from .hybrid import HybridGroupClassifier, HybridStats
+from .inference_plan import InferencePlan, PlanScratch, compile_model
 
 __all__ = [
     "CTLMConfig", "DEFAULT_CONFIG", "BENCH_CONFIG",
@@ -25,4 +26,5 @@ __all__ = [
     "make_ridge_baseline", "make_sgd_baseline", "make_ensemble_baseline",
     "ContinuousLearningDriver", "RunResult", "ModelSummary", "StepRow",
     "HybridGroupClassifier", "HybridStats",
+    "InferencePlan", "PlanScratch", "compile_model",
 ]

@@ -33,6 +33,7 @@ from ..datasets.dataset import DatasetData
 from ..errors import TrainingFailedError
 from .config import CTLMConfig, DEFAULT_CONFIG
 from .evaluate import EvalResult, evaluate_model
+from .inference_plan import InferencePlan, compile_model
 
 __all__ = ["StepOutcome", "GrowingModel", "build_model", "extend_state_dict"]
 
@@ -163,6 +164,20 @@ class GrowingModel:
             logits = self.model(nn.from_numpy(
                 np.ascontiguousarray(X, dtype=np.float32)))
         return logits.numpy().argmax(axis=1)
+
+    def compile(self, model_version: int = 0) -> InferencePlan:
+        """Export the current weights to a fused, immutable
+        :class:`~repro.core.InferencePlan` (the serving fast path).
+
+        The plan copies the weights, so continuing to train this model
+        never perturbs a compiled snapshot; recompile after
+        :meth:`fit_step` (the serving layer does this on every
+        publish).
+        """
+
+        if self.model is None:
+            raise RuntimeError("model is untrained")
+        return compile_model(self.model, model_version=model_version)
 
     # ------------------------------------------------------------------
     # training

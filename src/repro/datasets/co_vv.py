@@ -26,6 +26,31 @@ from .registry import FeatureRegistry
 __all__ = ["COVVEncoder", "encode_spec_row", "spec_value_vector"]
 
 
+def _csr_unchecked(data: np.ndarray, indices: np.ndarray,
+                   indptr: np.ndarray, shape: tuple[int, int]
+                   ) -> sp.csr_matrix:
+    """Assemble a CSR matrix from already-canonical arrays.
+
+    ``sp.csr_matrix((data, indices, indptr))`` re-validates the index
+    structure on every call — about half the warm encode cost per
+    microbatch.  The encoder's arrays are canonical by construction
+    (per-row sorted unique indices, cumulative ``indptr``), so the
+    check is skipped and the attributes installed directly.  This
+    leans on scipy internals (``_shape``; ``maxprint`` is normally set
+    by the ``__init__`` we bypass) — the equivalence tests in
+    ``tests/datasets/test_co_vv.py`` pin the behaviour per scipy
+    version.
+    """
+
+    matrix = sp.csr_matrix.__new__(sp.csr_matrix)
+    matrix.data = data
+    matrix.indices = indices
+    matrix.indptr = indptr
+    matrix._shape = shape
+    matrix.maxprint = 50  # scipy's default; repr/str need it
+    return matrix
+
+
 def spec_value_vector(spec: AttributeSpec, values: list[str | None]) -> np.ndarray:
     """The reversed-notation 0/1 vector of one spec over given value slots.
 
@@ -62,12 +87,20 @@ class COVVEncoder:
     The encoder memoizes per-spec column patterns keyed by
     ``(spec, registry_size)`` — distinct constraint shapes in a cell number
     in the hundreds while tasks number in the hundreds of thousands, so
-    the memo collapses encoding cost.
+    the memo collapses encoding cost.  On top of that sits a per-task
+    memo of the finished sorted column array keyed by
+    ``(task, registry_size)``: replay corpora and serving streams repeat
+    tasks heavily, so the batch assembly in :meth:`encode_rows` reduces
+    to concatenating cached arrays.
     """
+
+    #: Memo eviction threshold (shared by the spec and task memos).
+    _MEMO_LIMIT = 100_000
 
     def __init__(self, registry: FeatureRegistry):
         self.registry = registry
         self._memo: dict[tuple[AttributeSpec, int], tuple[list[int], list[int]]] = {}
+        self._row_memo: dict[tuple[CompactedTask, int], np.ndarray] = {}
 
     def observe(self, task: CompactedTask) -> int:
         """Register a task's constraint vocabulary; returns #new features."""
@@ -80,31 +113,55 @@ class COVVEncoder:
         if cached is None:
             cached = encode_spec_row(spec, self.registry)
             self._memo[key] = cached
-            if len(self._memo) > 100_000:
+            if len(self._memo) > self._MEMO_LIMIT:
                 self._memo.clear()
         return cached
 
-    def encode_rows(self, tasks: list[CompactedTask]) -> sp.csr_matrix:
-        """CSR matrix with one reversed-notation row per task."""
+    def task_columns(self, task: CompactedTask) -> np.ndarray:
+        """The task's sorted rejected-column array (read-only, memoized).
 
-        n_features = self.registry.features_count
-        indptr = [0]
-        indices: list[int] = []
-        data: list[int] = []
-        for task in tasks:
+        Keyed by ``(task, registry_size)`` like the spec memo: a grown
+        registry can add rejected columns to an existing spec, so stale
+        widths must miss.
+        """
+
+        key = (task, self.registry.features_count)
+        cached = self._row_memo.get(key)
+        if cached is None:
             row_cols: list[int] = []
             for spec in task:
                 cols, _vals = self._spec_cells(spec)
                 row_cols.extend(cols)
             row_cols.sort()
-            indices.extend(row_cols)
-            data.extend([1] * len(row_cols))
-            indptr.append(len(indices))
-        return sp.csr_matrix(
-            (np.asarray(data, dtype=np.float32),
-             np.asarray(indices, dtype=np.int64),
-             np.asarray(indptr, dtype=np.int64)),
-            shape=(len(tasks), n_features))
+            cached = np.asarray(row_cols, dtype=np.int64)
+            cached.flags.writeable = False
+            self._row_memo[key] = cached
+            if len(self._row_memo) > self._MEMO_LIMIT:
+                self._row_memo.clear()
+        return cached
+
+    def encode_rows(self, tasks: list[CompactedTask]) -> sp.csr_matrix:
+        """CSR matrix with one reversed-notation row per task.
+
+        Vectorized assembly: per-task cached column arrays concatenate
+        into ``indices``, ``indptr`` is their cumulative length, and
+        ``data`` is a single ``np.ones`` over the total nnz (every
+        stored CO-VV cell is a rejection) — no per-task Python lists on
+        the hot path.
+        """
+
+        n_features = self.registry.features_count
+        rows = [self.task_columns(task) for task in tasks]
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        if rows:
+            sizes = np.fromiter((row.size for row in rows),
+                                count=len(rows), dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            indices = np.concatenate(rows)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return _csr_unchecked(np.ones(indices.size, dtype=np.float32),
+                              indices, indptr, (len(tasks), n_features))
 
     def encode_row_dense(self, task: CompactedTask) -> np.ndarray:
         """Single dense row (mainly for tests and worked examples)."""

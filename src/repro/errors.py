@@ -8,6 +8,7 @@ __all__ = [
     "TraceFormatError",
     "DatasetError",
     "TrainingFailedError",
+    "PlanCompileError",
     "SchedulingError",
     "ServiceError",
     "ServiceClosedError",
@@ -39,6 +40,11 @@ class DatasetError(ReproError):
 
 class TrainingFailedError(ReproError):
     """The fail-fast retry budget was exhausted (paper: ten attempts)."""
+
+
+class PlanCompileError(ReproError):
+    """A model cannot be exported to a fused inference plan (it contains
+    a module the plan compiler has no fused equivalent for)."""
 
 
 class SchedulingError(ReproError):

@@ -130,10 +130,10 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
         return out.numpy()
 
     def predict_proba(self, X) -> np.ndarray:
-        logits = self._logits(X)
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=1, keepdims=True)
+        # _logits returns a fresh array, so the shared single-pass
+        # in-place softmax (also the InferencePlan output head) applies
+        # directly — no shifted/exp temporaries.
+        return nn.functional.softmax_inplace(self._logits(X))
 
     def predict(self, X) -> np.ndarray:
         codes = self._logits(X).argmax(axis=1)

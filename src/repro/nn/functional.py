@@ -18,6 +18,7 @@ __all__ = [
     "relu",
     "softmax",
     "log_softmax",
+    "softmax_inplace",
     "one_hot",
     "dropout",
 ]
@@ -88,6 +89,23 @@ def softmax(input: Tensor, dim: int = -1) -> Tensor:
     shifted = input - input.max(axis=dim, keepdims=True).detach()
     exps = shifted.exp()
     return exps / exps.sum(axis=dim, keepdims=True)
+
+
+def softmax_inplace(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax computed **in place** on a float logits array.
+
+    The inference-side counterpart of :func:`softmax`: no autograd, no
+    temporaries beyond the per-row max/sum reductions — shift, ``exp``,
+    and normalize all write back into ``logits``.  Both
+    :class:`~repro.core.InferencePlan`'s output head and
+    ``MLPClassifier.predict_proba`` share this pass.  The caller must
+    own ``logits`` (it is destroyed) and it must be a float array.
+    """
+
+    logits -= logits.max(axis=-1, keepdims=True)
+    np.exp(logits, out=logits)
+    logits /= logits.sum(axis=-1, keepdims=True)
+    return logits
 
 
 def log_softmax(input: Tensor, dim: int = -1) -> Tensor:

@@ -1,15 +1,18 @@
 """``repro.serve`` — real-time inference service for the Task CO Analyzer.
 
 The production counterpart of the simulated Figure 3 loop: a
-thread-safe, hot-swappable model slot (:class:`ModelHandle`), a sharded
-microbatching request queue (:class:`MicroBatcher`), a background
-trainer that retrains as constraint vocabulary grows
-(:class:`BackgroundTrainer`), cell-aware backpressure and batch
-autotuning (:class:`AdmissionController`, :class:`AutoTuner`), the
-:class:`ClassificationService` facade composing them, a multi-cell
-dispatch layer owning one stack per computing cell
-(:class:`CellRouter`), and an open-loop :class:`LoadGenerator`
-measuring throughput, tail latency, and shed/accept rates.
+thread-safe, hot-swappable model slot (:class:`ModelHandle`) that
+publishes ``(model, compiled InferencePlan)`` pairs atomically, a
+sharded microbatching request queue (:class:`MicroBatcher`) serving
+batches sparse-end-to-end through the fused plan (eager ``Module``
+fallback via ``compile=False``), a background trainer that retrains as
+constraint vocabulary grows (:class:`BackgroundTrainer`), cell-aware
+backpressure and batch autotuning (:class:`AdmissionController`,
+:class:`AutoTuner`), the :class:`ClassificationService` facade
+composing them, a multi-cell dispatch layer owning one stack per
+computing cell (:class:`CellRouter`), and an open-loop
+:class:`LoadGenerator` measuring throughput, tail latency, and
+shed/accept rates.
 
 Quickstart::
 

@@ -12,19 +12,30 @@ mutated mid-prediction; readers take an immutable :class:`ModelSnapshot`
 and use it for a whole microbatch, which is what makes hot-swaps
 atomic at batch granularity (no request is classified half by one model
 version and half by another).
+
+Publication also *compiles*: models exposing ``compile()`` (a
+:class:`~repro.core.GrowingModel`) are exported to a fused
+:class:`~repro.core.InferencePlan` stamped with the snapshot's version,
+and the frozen snapshot carries the ``(model, plan)`` pair — swapping
+the model and its compiled form is a single atomic publication, so a
+worker can never pair a stale plan with a newer model.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.inference_plan import InferencePlan
 from ..errors import NotServingError
 
 __all__ = ["ModelSnapshot", "ModelHandle"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,12 +45,16 @@ class ModelSnapshot:
     ``model`` is anything with ``predict(X) -> labels`` (a
     :class:`~repro.core.GrowingModel` in production; test doubles are
     fine, mirroring :class:`~repro.sim.TaskCOAnalyzer`'s duck typing).
+    ``plan`` is the model's fused inference plan when it could be
+    compiled (``plan.model_version == version`` always holds), else
+    ``None`` and serving stays on the eager path.
     """
 
     version: int
     model: object
     features_count: int
     published_at: float  # time.monotonic()
+    plan: InferencePlan | None = None
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return self.model.predict(X)
@@ -72,11 +87,17 @@ class ModelHandle:
     are evicted (a continuously-retraining service would otherwise leak
     one weight copy per publication).  ``retain_history=None`` keeps
     everything.
+
+    With ``compile=True`` (default) every publication also exports the
+    model's fused :class:`~repro.core.InferencePlan` when the model
+    supports it (duck-typed on a ``compile(model_version=...)``
+    method); plain-``predict`` doubles publish with ``plan=None``.
     """
 
     def __init__(self, model: object | None = None,
                  features_count: int | None = None,
-                 retain_history: int | None = 32):
+                 retain_history: int | None = 32,
+                 compile: bool = True):
         if retain_history is not None and retain_history < 1:
             raise ValueError("retain_history must be >= 1 (or None)")
         self._lock = threading.Lock()
@@ -85,6 +106,7 @@ class ModelHandle:
         self._published = 0
         self._evicted = 0
         self.retain_history = retain_history
+        self.compile = compile
         if model is not None:
             self.publish(model, features_count=features_count, clone=False)
 
@@ -92,14 +114,18 @@ class ModelHandle:
     # writer side
     # ------------------------------------------------------------------
     def publish(self, model: object, features_count: int | None = None,
-                clone: bool = True) -> ModelSnapshot:
+                clone: bool = True,
+                compile: bool | None = None) -> ModelSnapshot:
         """Atomically swap the served model; returns the new snapshot.
 
         With ``clone=True`` (the default) the model is copied via its
         ``clone()`` method — a checkpoint round-trip for
         :class:`~repro.core.GrowingModel` — so the caller keeps a
         private, still-trainable instance.  ``features_count`` defaults
-        to the model's own ``features_count`` attribute.
+        to the model's own ``features_count`` attribute.  ``compile``
+        overrides the handle-wide default for this publication; the
+        plan (if any) is stamped with the new snapshot's version under
+        the publication lock, so ``(model, plan)`` always swap as one.
         """
 
         if clone:
@@ -114,12 +140,29 @@ class ModelHandle:
         if features_count is None:
             raise ValueError("features_count required for models that do "
                              "not expose one (is the model trained?)")
+        if compile is None:
+            compile = self.compile
+        compiler = getattr(model, "compile", None) if compile else None
         with self._lock:
             self._published += 1
+            plan = None
+            if compiler is not None:
+                try:
+                    plan = compiler(model_version=self._published)
+                except Exception:  # noqa: BLE001 — eager fallback
+                    # An uncompilable model (unsupported module, or a
+                    # duck-typed double whose unrelated compile() chokes
+                    # on our signature) must not fail the publication —
+                    # and must never kill a background trainer's
+                    # publish — it just serves eagerly.
+                    logger.warning(
+                        "could not compile %s for v%d; serving eagerly",
+                        type(model).__name__, self._published,
+                        exc_info=True)
             snapshot = ModelSnapshot(
                 version=self._published, model=model,
                 features_count=int(features_count),
-                published_at=time.monotonic())
+                published_at=time.monotonic(), plan=plan)
             self._history.append(snapshot)
             self._active = snapshot
             if self.retain_history is not None:

@@ -64,6 +64,7 @@ class ServiceStats:
     wait_limit_us: int = 0
     pending: int = 0
     batches: int = 0
+    compiled_batches: int = 0
     largest_batch: int = 0
     versions_served: dict[int, int] = field(default_factory=dict)
     model_version: int = 0
@@ -96,6 +97,7 @@ class ServiceStats:
             "wait_limit_us": self.wait_limit_us,
             "pending": self.pending,
             "batches": self.batches, "largest_batch": self.largest_batch,
+            "compiled_batches": self.compiled_batches,
             "mean_batch": self.mean_batch,
             "versions_served": dict(self.versions_served),
             "model_version": self.model_version, "swaps": self.swaps,
@@ -168,6 +170,10 @@ class RouterStats:
         return self._sum("batches")
 
     @property
+    def compiled_batches(self) -> int:
+        return self._sum("compiled_batches")
+
+    @property
     def largest_batch(self) -> int:
         return max((s.largest_batch for s in self.cells.values()), default=0)
 
@@ -206,6 +212,7 @@ class RouterStats:
             "shed_expired": self.shed_expired, "shed": self.shed,
             "pending": self.pending,
             "batches": self.batches, "largest_batch": self.largest_batch,
+            "compiled_batches": self.compiled_batches,
             "swaps": self.swaps, "trainer_updates": self.trainer_updates,
             "trainer_failures": self.trainer_failures,
             "observations": self.observations,

@@ -20,6 +20,16 @@ itself, not across shards), takes whole batches, and keeps per-shard
 counters that :meth:`MicroBatcher.counters` merges under ``stats_lock``
 with the aggregate view.
 
+Compiled fast path: with ``compile=True`` (default) a worker serves
+each batch through its snapshot's fused
+:class:`~repro.core.InferencePlan` — the CO-VV block stays CSR into
+the first GEMM (no ``toarray()``, no dense ``align`` copy) and the
+dense layers run ``np.dot(..., out=)`` into a per-shard
+:class:`~repro.core.PlanScratch` rebuilt only when a hot-swap installs
+a new plan.  Snapshots without a plan (duck-typed doubles, or
+``compile=False``) fall back to the eager ``align`` + ``predict``
+path, which doubles as the fast path's equivalence oracle.
+
 Overload: an optional :class:`~repro.serve.AdmissionController` gates
 :meth:`MicroBatcher.submit` — arrivals that would blow the cell's
 latency budget (or hard queue cap) are shed with a typed
@@ -39,6 +49,7 @@ from collections import deque
 import numpy as np
 
 from ..constraints.compaction import CompactedTask
+from ..core.inference_plan import PlanScratch
 from ..datasets.co_vv import COVVEncoder
 from ..datasets.registry import FeatureRegistry
 from ..errors import OverloadedError, ServiceClosedError, ServiceError
@@ -140,7 +151,8 @@ class MicroBatcher:
                  registry_lock: threading.Lock | None = None,
                  n_workers: int = 1,
                  admission: AdmissionController | None = None,
-                 autotuner: AutoTuner | None = None):
+                 autotuner: AutoTuner | None = None,
+                 compile: bool = True):
         """``registry_lock`` must be shared with whatever grows the
         registry concurrently (the service wires the trainer's lock in):
         the CO-VV append-only invariant makes *grown* registries safe to
@@ -152,7 +164,11 @@ class MicroBatcher:
         ``admission`` gates every submit (see the module docstring);
         ``autotuner`` takes ownership of ``max_batch`` / ``max_wait_us``
         — the constructor values then only seed the pre-first-arrival
-        state, and workers re-read both attributes every wakeup."""
+        state, and workers re-read both attributes every wakeup.
+
+        ``compile=False`` forces every batch down the eager
+        ``align`` + ``predict`` path even when snapshots carry a
+        compiled plan (the equivalence-oracle mode)."""
 
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -167,10 +183,15 @@ class MicroBatcher:
         self.n_workers = n_workers
         self.admission = admission
         self.autotuner = autotuner
+        self.compile = compile
         self.registry_lock = registry_lock or threading.Lock()
         self._encoders = [encoder or COVVEncoder(registry)]
         self._encoders += [COVVEncoder(registry)
                            for _ in range(n_workers - 1)]
+        # Per-shard scratch for the compiled fast path; workers rebuild
+        # their slot whenever the snapshot's plan changes (hot-swap).
+        # Only the owning shard touches its slot, so no lock is needed.
+        self._scratches: list[PlanScratch | None] = [None] * n_workers
 
         self._queue: deque[ClassifyRequest] = deque()
         self._cond = threading.Condition()
@@ -192,6 +213,7 @@ class MicroBatcher:
         self.shed_evicted_total = 0
         self.shed_expired_total = 0
         self.batches_total = 0
+        self.compiled_batches_total = 0
         self.largest_batch = 0
         self.versions_served: dict[int, int] = {}
         self.shard_completed = [0] * n_workers
@@ -330,6 +352,7 @@ class MicroBatcher:
                 "batch_limit": self.max_batch,
                 "wait_limit_us": self.max_wait_us,
                 "batches": self.batches_total,
+                "compiled_batches": self.compiled_batches_total,
                 "largest_batch": self.largest_batch,
                 "versions_served": dict(self.versions_served),
                 "shard_completed": tuple(self.shard_completed),
@@ -435,8 +458,21 @@ class MicroBatcher:
             snapshot = self.handle.snapshot()
             with self.registry_lock:
                 X = encoder.encode_rows([r.task for r in batch])
-            rows = snapshot.align(X.toarray())
-            groups = snapshot.predict(rows)
+            plan = snapshot.plan if self.compile else None
+            if plan is not None:
+                # Fast path: CSR straight into the fused plan.  The
+                # scratch is rebuilt when the plan changed — comparing
+                # plan identity (not version) also covers a rebuilt
+                # handle — so a worker can never pair a stale plan's
+                # buffers with a newer model.
+                scratch = self._scratches[shard]
+                if scratch is None or scratch.plan is not plan:
+                    scratch = plan.scratch(max(len(batch), self.max_batch))
+                    self._scratches[shard] = scratch
+                groups = plan.predict(X, scratch)
+            else:
+                rows = snapshot.align(X.toarray())
+                groups = snapshot.predict(rows)
         except Exception as exc:  # noqa: BLE001 — isolate the batch
             logger.exception("classification batch of %d failed",
                              len(batch))
@@ -452,6 +488,8 @@ class MicroBatcher:
             request._complete(int(group), snapshot.version, now)
         with self.stats_lock:
             self.batches_total += 1
+            if plan is not None:
+                self.compiled_batches_total += 1
             self.completed_total += len(batch)
             self.largest_batch = max(self.largest_batch, len(batch))
             self.shard_batches[shard] += 1

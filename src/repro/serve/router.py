@@ -49,11 +49,13 @@ class CellRouter(AbstractContextManager):
     n_workers / max_batch / max_wait_us:
         Defaults for every cell's :class:`~repro.serve.MicroBatcher`;
         :meth:`add_cell` can override them per cell.
-    latency_budget_ms / max_queue / shed_policy / autotune:
-        Admission-control and autotuning defaults applied to every
-        cell (see :class:`~repro.serve.ClassificationService`);
+    latency_budget_ms / max_queue / shed_policy / autotune / compile:
+        Admission-control, autotuning, and compiled-fast-path defaults
+        applied to every cell (see
+        :class:`~repro.serve.ClassificationService`);
         :meth:`add_cell` can override them per cell, so a small cell
-        can run a tighter budget than a large one.
+        can run a tighter budget than a large one (or serve eagerly
+        next to compiled cells).
     """
 
     def __init__(self, n_workers: int = 1, max_batch: int = 64,
@@ -61,7 +63,8 @@ class CellRouter(AbstractContextManager):
                  latency_budget_ms: float | None = None,
                  max_queue: int | None = None,
                  shed_policy: str = "reject",
-                 autotune: bool = False):
+                 autotune: bool = False,
+                 compile: bool = True):
         # Fail at construction, not at the first add_cell: a typo'd
         # router-wide policy would otherwise sit latent until a cell
         # joins.
@@ -74,6 +77,7 @@ class CellRouter(AbstractContextManager):
         self.max_queue = max_queue
         self.shed_policy = shed_policy
         self.autotune = autotune
+        self.compile = compile
         self._services: dict[str, ClassificationService] = {}
         self._lock = threading.Lock()
         self._started = False
@@ -88,6 +92,7 @@ class CellRouter(AbstractContextManager):
                          max_queue: int | None = None,
                          shed_policy: str = "reject",
                          autotune: bool = False,
+                         compile: bool = True,
                          **cell_kwargs) -> "CellRouter":
         """Declare cells up front from ``{cell_id: (model, registry)}``.
 
@@ -100,7 +105,7 @@ class CellRouter(AbstractContextManager):
                      max_wait_us=max_wait_us,
                      latency_budget_ms=latency_budget_ms,
                      max_queue=max_queue, shed_policy=shed_policy,
-                     autotune=autotune)
+                     autotune=autotune, compile=compile)
         for cell_id, (model, registry) in deployments.items():
             router.add_cell(cell_id, model, registry, trainer=trainer,
                             **cell_kwargs)
@@ -121,15 +126,16 @@ class CellRouter(AbstractContextManager):
                  max_queue: int | None | object = _INHERIT,
                  shed_policy: str | object = _INHERIT,
                  autotune: bool | object = _INHERIT,
+                 compile: bool | object = _INHERIT,
                  rng: np.random.Generator | None = None
                  ) -> ClassificationService:
         """Register one cell's stack; on a started router it goes live
         immediately (dynamic registration).
 
         ``latency_budget_ms`` / ``max_queue`` / ``shed_policy`` /
-        ``autotune`` default to the router-wide settings; pass an
-        explicit value (including ``None``, to disable a budget) to
-        override per cell.
+        ``autotune`` / ``compile`` default to the router-wide settings;
+        pass an explicit value (including ``None``, to disable a
+        budget) to override per cell.
         """
 
         if latency_budget_ms is _INHERIT:
@@ -140,6 +146,8 @@ class CellRouter(AbstractContextManager):
             shed_policy = self.shed_policy
         if autotune is _INHERIT:
             autotune = self.autotune
+        if compile is _INHERIT:
+            compile = self.compile
         service = ClassificationService(
             model, registry,
             max_batch=self.max_batch if max_batch is None else max_batch,
@@ -149,7 +157,8 @@ class CellRouter(AbstractContextManager):
             trainer=trainer, policy=policy,
             features_count=features_count,
             latency_budget_ms=latency_budget_ms, max_queue=max_queue,
-            shed_policy=shed_policy, autotune=autotune, rng=rng)
+            shed_policy=shed_policy, autotune=autotune, compile=compile,
+            rng=rng)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("router is closed")

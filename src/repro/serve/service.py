@@ -67,6 +67,12 @@ class ClassificationService(AbstractContextManager):
         Continuously re-fit the microbatch size / wait to the observed
         arrival rate; ``max_batch`` / ``max_wait_us`` then act as the
         tuner's caps rather than fixed settings.
+    compile:
+        ``True`` (default) publishes every model together with its
+        fused :class:`~repro.core.InferencePlan` and serves batches
+        through it (sparse end-to-end, no autograd);
+        ``False`` keeps everything on the eager ``Module`` path — the
+        fallback and the fast path's equivalence oracle.
     """
 
     def __init__(self, model: object, registry: FeatureRegistry,
@@ -78,10 +84,11 @@ class ClassificationService(AbstractContextManager):
                  max_queue: int | None = None,
                  shed_policy: str = "reject",
                  autotune: bool = False,
+                 compile: bool = True,
                  rng: np.random.Generator | None = None):
         self.registry = registry
         clone = isinstance(model, GrowingModel)
-        self.handle = ModelHandle()
+        self.handle = ModelHandle(compile=compile)
         self.handle.publish(model, features_count=features_count,
                             clone=clone)
         # One lock serializes registry growth (observe path) against the
@@ -116,7 +123,8 @@ class ClassificationService(AbstractContextManager):
                                     registry_lock=registry_lock,
                                     n_workers=n_workers,
                                     admission=self.admission,
-                                    autotuner=self.autotuner)
+                                    autotuner=self.autotuner,
+                                    compile=compile)
         self.trainer: BackgroundTrainer | None = None
         if trainer:
             self.trainer = BackgroundTrainer(self.handle, registry,
@@ -218,6 +226,7 @@ class ClassificationService(AbstractContextManager):
             wait_limit_us=counters["wait_limit_us"],
             pending=batcher.pending,
             batches=counters["batches"],
+            compiled_batches=counters["compiled_batches"],
             largest_batch=counters["largest_batch"],
             versions_served=counters["versions_served"],
             model_version=self.handle.version,

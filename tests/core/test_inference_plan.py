@@ -1,0 +1,235 @@
+"""InferencePlan: the fused forward must be indistinguishable from eager.
+
+The compiled fast path only earns its keep if it is a pure
+re-expression of the eager ``Module`` forward — same labels on every
+input, across widths, growth steps, and sparse/dense encodings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core import (BENCH_CONFIG, GrowingModel, InferencePlan,
+                        build_model, compile_model)
+from repro.errors import PlanCompileError
+from repro.nn.functional import softmax_inplace
+
+
+def make_growing(features: int, seed: int) -> GrowingModel:
+    gm = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(seed))
+    gm.model = build_model(features, BENCH_CONFIG,
+                           np.random.default_rng(seed + 1))
+    return gm
+
+
+def random_rows(n: int, width: int, seed: int,
+                density: float = 0.1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, width)) < density).astype(np.float32)
+
+
+class TestEagerEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(features=st.integers(2, 80), n=st.integers(1, 50),
+           seed=st.integers(0, 2**16))
+    def test_matches_eager_predict_across_widths(self, features, n, seed):
+        gm = make_growing(features, seed)
+        plan = gm.compile()
+        X = random_rows(n, features, seed)
+        assert np.allclose(plan.predict(X), gm.predict(X), atol=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(features=st.integers(2, 40), grown_by=st.integers(1, 25),
+           n=st.integers(1, 40), seed=st.integers(0, 2**16))
+    def test_matches_eager_immediately_after_growth(self, features,
+                                                    grown_by, n, seed):
+        """The hot-swap case: a model whose input layer was just
+        zero-extended must compile to an equally-extended plan."""
+
+        gm = make_growing(features, seed)
+        state = gm.state_bytes()
+        gm.restore_bytes(state, features_count=features + grown_by)
+        plan = gm.compile()
+        assert plan.features_count == features + grown_by
+        X = random_rows(n, features + grown_by, seed)
+        assert np.allclose(plan.predict(X), gm.predict(X), atol=0)
+        # Pre-growth rows (narrower than the model) must agree with
+        # eager prediction on the explicitly zero-padded block.
+        narrow = X[:, :features]
+        padded = np.pad(narrow, ((0, 0), (0, grown_by)))
+        assert np.allclose(plan.predict(narrow), gm.predict(padded),
+                           atol=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(features=st.integers(2, 60), n=st.integers(1, 40),
+           seed=st.integers(0, 2**16))
+    def test_sparse_input_matches_dense(self, features, n, seed):
+        gm = make_growing(features, seed)
+        plan = gm.compile()
+        X = random_rows(n, features, seed)
+        dense_labels = plan.predict(X)
+        sparse_labels = plan.predict(sp.csr_matrix(X))
+        assert np.array_equal(dense_labels, sparse_labels)
+        assert np.allclose(plan.forward(sp.csr_matrix(X)),
+                           plan.forward(X))
+
+    def test_wider_input_than_model_is_sliced(self):
+        """Rows from a newer registry: trailing columns are ignored,
+        matching ModelSnapshot.align's slice."""
+
+        gm = make_growing(20, seed=3)
+        plan = gm.compile()
+        X = random_rows(12, 29, seed=4)
+        expected = gm.predict(X[:, :20])
+        assert np.array_equal(plan.predict(X), expected)
+        assert np.array_equal(plan.predict(sp.csr_matrix(X)), expected)
+
+    def test_dense_logits_match_eager(self):
+        """On width-matched dense input the fused GEMM chain reproduces
+        the eager logits to float32 rounding (the label comparison
+        above is exact; logits may differ in the last ulp because the
+        fused GEMM runs on the contiguous transposed weights while
+        eager multiplies through a transpose view)."""
+
+        gm = make_growing(33, seed=7)
+        X = random_rows(25, 33, seed=8)
+        gm.model.eval()
+        with nn.no_grad():
+            eager = gm.model(nn.from_numpy(X)).numpy()
+        np.testing.assert_allclose(gm.compile().forward(X), eager,
+                                   rtol=1e-4, atol=1e-6)
+
+
+class TestActivationStacks:
+    """MLP-style networks with elementwise activations fuse too."""
+
+    @pytest.mark.parametrize("act_cls,name", [
+        (nn.ReLU, "relu"), (nn.Tanh, "tanh"), (nn.Sigmoid, "sigmoid"),
+        (nn.Identity, "identity")])
+    def test_activation_matches_eager(self, act_cls, name):
+        rng = np.random.default_rng(11)
+        model = nn.Sequential(nn.Linear(12, 7, rng=rng), act_cls(),
+                              nn.Linear(7, 5, rng=rng))
+        plan = compile_model(model)
+        assert plan.activations == (name, "identity")
+        X = np.asarray(rng.normal(size=(17, 12)), dtype=np.float32)
+        model.eval()
+        with nn.no_grad():
+            eager = model(nn.from_numpy(X)).numpy()
+        np.testing.assert_allclose(plan.forward(X), eager, rtol=1e-6)
+        assert np.array_equal(plan.predict(X), eager.argmax(axis=1))
+
+    def test_nested_sequential_and_dropout(self):
+        rng = np.random.default_rng(12)
+        inner = nn.Sequential(nn.Linear(9, 6, rng=rng), nn.ReLU())
+        model = nn.Sequential(inner, nn.Dropout(0.5, rng=rng),
+                              nn.Linear(6, 4, rng=rng))
+        plan = compile_model(model)
+        assert plan.n_layers == 2
+        X = np.asarray(rng.normal(size=(8, 9)), dtype=np.float32)
+        model.eval()  # dropout inactive, like inference
+        with nn.no_grad():
+            eager = model(nn.from_numpy(X)).numpy()
+        np.testing.assert_allclose(plan.forward(X), eager, rtol=1e-6)
+
+    def test_predict_proba_is_softmax_of_logits(self):
+        gm = make_growing(15, seed=21)
+        plan = gm.compile()
+        X = random_rows(9, 15, seed=22)
+        logits = np.array(plan.forward(X))  # copy before in-place head
+        proba = plan.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-5)
+        np.testing.assert_allclose(proba, softmax_inplace(logits))
+
+
+class TestImmutabilityAndVersioning:
+    def test_plan_weights_are_read_only_copies(self):
+        gm = make_growing(10, seed=31)
+        plan = gm.compile(model_version=9)
+        assert plan.model_version == 9
+        with pytest.raises(ValueError):
+            plan._weights_t[0][0, 0] = 1.0
+
+    def test_training_after_compile_does_not_leak_into_plan(self):
+        gm = make_growing(10, seed=32)
+        X = random_rows(20, 10, seed=33)
+        plan = gm.compile()
+        before = plan.forward(X).copy()
+        for param in gm.model.parameters():
+            param.data += 1.0  # simulate continued training in place
+        np.testing.assert_array_equal(plan.forward(X), before)
+        # A fresh compile sees the new weights, proving the old plan
+        # held copies rather than views.
+        assert not np.array_equal(gm.compile().forward(X), before)
+
+    def test_one_wide_layers_never_alias_live_weights(self):
+        """A (k, 1) weight's transpose is already contiguous, so a
+        naive ascontiguousarray would alias the trainable array — the
+        plan must hold real copies even then."""
+
+        rng = np.random.default_rng(51)
+        model = nn.Sequential(nn.Linear(1, 6, rng=rng),
+                              nn.Linear(6, 2, rng=rng))
+        plan = compile_model(model)
+        for _name, param in model.named_parameters():
+            for wt in plan._weights_t:
+                assert not np.shares_memory(param.data, wt)
+        X = np.ones((5, 1), dtype=np.float32)
+        before = plan.forward(X).copy()
+        model["0"].weight.data -= 7.0  # in-place optimizer-style step
+        np.testing.assert_array_equal(plan.forward(X), before)
+
+    def test_scratch_from_other_plan_is_rejected(self):
+        plan_a = make_growing(10, seed=41).compile()
+        plan_b = make_growing(10, seed=42).compile()
+        with pytest.raises(ValueError, match="scratch belongs to plan"):
+            plan_a.forward(random_rows(4, 10, seed=43),
+                           plan_b.scratch())
+
+    def test_scratch_buffers_grow_with_batch(self):
+        gm = make_growing(12, seed=44)
+        plan = gm.compile()
+        scratch = plan.scratch(capacity=4)
+        small = random_rows(3, 12, seed=45)
+        large = random_rows(97, 12, seed=46)
+        assert np.allclose(plan.predict(small, scratch),
+                           gm.predict(small), atol=0)
+        assert np.allclose(plan.predict(large, scratch),
+                           gm.predict(large), atol=0)
+
+
+class TestCompileErrors:
+    def test_untrained_growing_model(self):
+        with pytest.raises(RuntimeError, match="untrained"):
+            GrowingModel(BENCH_CONFIG).compile()
+
+    def test_unsupported_module(self):
+        class Strange(nn.Module):
+            def forward(self, x):
+                return x
+
+        model = nn.Sequential(nn.Linear(4, 3), Strange())
+        with pytest.raises(PlanCompileError, match="Strange"):
+            compile_model(model)
+
+    def test_activation_before_linear(self):
+        with pytest.raises(PlanCompileError, match="before any Linear"):
+            compile_model(nn.Sequential(nn.ReLU(), nn.Linear(4, 3)))
+
+    def test_stacked_activations(self):
+        model = nn.Sequential(nn.Linear(4, 3), nn.ReLU(), nn.Tanh())
+        with pytest.raises(PlanCompileError, match="stacked"):
+            compile_model(model)
+
+    def test_no_linear_at_all(self):
+        with pytest.raises(PlanCompileError, match="no Linear"):
+            compile_model(nn.Sequential(nn.Identity()))
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanCompileError):
+            InferencePlan([], [])

@@ -145,6 +145,94 @@ class TestEncoder:
         assert X.shape == (4, reg.features_count)
         assert X.dtype == np.float32
 
+    def test_data_is_one_ones_vector(self):
+        """The satellite fix: ``data`` is a single np.ones over the
+        total nnz (every stored CO-VV cell is a rejection), not a
+        Python-list accumulation."""
+
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        tasks = [compact([Constraint("AM", GT, str(k))]) for k in range(4)]
+        X = enc.encode_rows(tasks)
+        assert X.data.dtype == np.float32
+        np.testing.assert_array_equal(X.data, np.ones(X.nnz,
+                                                      dtype=np.float32))
+        # Per-row indices are sorted and unique (canonical CSR) — what
+        # lets encode_rows skip scipy's validation pass.
+        for i in range(X.shape[0]):
+            row = X.indices[X.indptr[i]:X.indptr[i + 1]]
+            assert np.all(np.diff(row) > 0)
+
+    def test_encoded_matrix_is_fully_usable(self):
+        """The validation-skipping CSR assembly must still produce a
+        first-class scipy matrix: printable, sliceable, stackable."""
+
+        import scipy.sparse as sp
+
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        tasks = [compact([Constraint("AM", GT, str(k))]) for k in range(3)]
+        X = enc.encode_rows(tasks)
+        assert len(str(X)) > 0 and len(repr(X)) > 0  # __init__ bypassed
+        assert sp.vstack([X, X]).shape == (6, reg.features_count)
+        assert X[1:].shape == (2, reg.features_count)
+        assert X.T.shape == (reg.features_count, 3)
+        np.testing.assert_array_equal((X @ np.eye(reg.features_count,
+                                                  dtype=np.float32)),
+                                      X.toarray())
+
+    def test_encode_rows_empty_batch(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        X = enc.encode_rows([])
+        assert X.shape == (0, reg.features_count)
+        assert X.nnz == 0
+        assert X.toarray().shape == (0, reg.features_count)
+
+    def test_all_acceptable_task_encodes_empty_row(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        # AM >= 0 accepts every registered value including "(none)"
+        # (absent compares as 0), so the row is entirely zero.
+        trivial = compact([Constraint("AM", GE, "0")])
+        X = enc.encode_rows([trivial,
+                             compact([Constraint("AM", GE, "5")]),
+                             trivial])
+        dense = X.toarray()
+        np.testing.assert_array_equal(dense[0], 0)
+        np.testing.assert_array_equal(dense[2], 0)
+        assert dense[1].sum() > 0
+
+    def test_row_memo_invalidated_by_registry_growth(self):
+        """task_columns is keyed by registry width: growth that adds a
+        rejected column to an existing spec must not serve the stale
+        cached row."""
+
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("AM", GE, "5")])
+        before = enc.task_columns(task)
+        reg.observe_value("AM", "2")   # duplicate, no growth
+        np.testing.assert_array_equal(enc.task_columns(task), before)
+        reg.observe_value("AM", "20")  # acceptable under >= 5
+        reg.observe_value("AM", "-3")  # hypothetical rejected value
+        after = enc.task_columns(task)
+        assert after.size == before.size + 1
+        np.testing.assert_array_equal(after[:-1], before)
+        assert after[-1] == reg.column("AM", "-3")
+        # The vectorized batch agrees with the dense reference after
+        # growth, too.
+        np.testing.assert_array_equal(enc.encode_rows([task]).toarray()[0],
+                                      enc.encode_row_dense(task))
+
+    def test_task_columns_is_read_only(self):
+        reg = registry_with_am_domain()
+        enc = COVVEncoder(reg)
+        task = compact([Constraint("AM", GE, "5")])
+        cols = enc.task_columns(task)
+        with pytest.raises(ValueError):
+            cols[0] = 99
+
 
 @settings(max_examples=60, deadline=None)
 @given(st.integers(0, 9), st.integers(0, 9))
