@@ -32,17 +32,20 @@ SEED = 2025
 CELLS = ("clusterdata-2011", "clusterdata-2019a", "clusterdata-2019c",
          "clusterdata-2019d")
 
-#: Machine-readable serving-benchmark results (one JSON object, one key
-#: per bench section) — the perf trajectory tracked across PRs; CI
-#: uploads it as an artifact.  Override the location with the
-#: ``BENCH_SERVE_JSON`` environment variable.
+#: Machine-readable benchmark results (one JSON object per artifact,
+#: one key per bench section) — the perf trajectories tracked across
+#: PRs; CI uploads both files as artifacts.  Override the locations
+#: with the ``BENCH_SERVE_JSON`` / ``BENCH_TRAIN_JSON`` environment
+#: variables.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_SERVE_JSON = Path(os.environ.get(
-    "BENCH_SERVE_JSON",
-    Path(__file__).resolve().parent.parent / "BENCH_serve.json"))
+    "BENCH_SERVE_JSON", _REPO_ROOT / "BENCH_serve.json"))
+BENCH_TRAIN_JSON = Path(os.environ.get(
+    "BENCH_TRAIN_JSON", _REPO_ROOT / "BENCH_train.json"))
 
 
-def record_serve_bench(section: str, payload: dict) -> Path:
-    """Merge one bench section into :data:`BENCH_SERVE_JSON`.
+def record_bench(path: Path, section: str, payload: dict) -> Path:
+    """Merge one bench section into the JSON artifact at ``path``.
 
     Sections written by earlier tests in the same run (or earlier runs)
     are preserved unless overwritten, so a full bench session leaves
@@ -50,15 +53,26 @@ def record_serve_bench(section: str, payload: dict) -> Path:
     """
 
     results: dict = {}
-    if BENCH_SERVE_JSON.exists():
+    if path.exists():
         try:
-            results = json.loads(BENCH_SERVE_JSON.read_text())
+            results = json.loads(path.read_text())
         except (OSError, ValueError):
             results = {}
     results[section] = dict(payload, recorded_at=time.time())
-    BENCH_SERVE_JSON.write_text(json.dumps(results, indent=2,
-                                           sort_keys=True) + "\n")
-    return BENCH_SERVE_JSON
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_serve_bench(section: str, payload: dict) -> Path:
+    """One serving-side section into :data:`BENCH_SERVE_JSON`."""
+
+    return record_bench(BENCH_SERVE_JSON, section, payload)
+
+
+def record_train_bench(section: str, payload: dict) -> Path:
+    """One training-side section into :data:`BENCH_TRAIN_JSON`."""
+
+    return record_bench(BENCH_TRAIN_JSON, section, payload)
 
 
 @lru_cache(maxsize=None)

@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve through the fused inference plan "
                             "(sparse end-to-end, no autograd); "
                             "--no-compile keeps the eager Module path")
+        p.add_argument("--fused-train", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="background-retrain through the fused "
+                            "training plan (CSR-kept data, no autograd); "
+                            "--no-fused-train keeps the eager loop")
         p.add_argument("--cells", default=None, metavar="PROFILES",
                        help="comma-separated extra cell profiles (e.g. "
                             "'2019a,2019d'): each is synthesized, trained, "
@@ -274,7 +279,8 @@ def _serving_setup(args):
                             max_queue=args.max_queue,
                             shed_policy=args.shed_policy,
                             autotune=args.autotune,
-                            compile=args.compile)
+                            compile=args.compile,
+                            fused_train=args.fused_train)
     extra_profiles = _parse_cell_profiles(args.cells)
     if not extra_profiles:
         service = ClassificationService(
@@ -340,7 +346,9 @@ def _print_trainer_summary(service, prefix: str = "  ") -> None:
               f"{update.features_before} -> {update.features_after} "
               f"features, {update.epochs} epochs, "
               f"acc {update.accuracy:.3f}, "
-              f"{update.train_seconds:.2f}s off-path")
+              f"{update.train_seconds:.2f}s trigger->publish "
+              f"({'fused' if update.fused else 'eager'}; closed a "
+              f"{update.staleness_closed_s:.2f}s staleness window)")
     if service.trainer.failed_updates:
         print(f"{prefix}({service.trainer.failed_updates} retrain "
               f"attempt(s) did not reach the acceptance thresholds)")
@@ -392,6 +400,10 @@ def _cmd_loadtest(args) -> int:
               f"max {lat.max_us:.0f}µs")
         print(f"  batches: {report.batches} (largest {report.largest_batch})"
               f"; versions served: {report.versions_served}")
+        if report.trainer_updates:
+            print(f"  freshness: model {report.model_staleness_s:.2f}s old "
+                  f"at run end; last retrain->publish "
+                  f"{report.last_train_seconds:.2f}s")
         if report.n_shed or report.n_evicted or report.n_expired:
             print(f"  overload: accepted {report.n_accepted:,} of "
                   f"{report.n_requests:,} ({report.accept_rate:.0%}), shed "

@@ -16,6 +16,7 @@ from .fully_retrain import FullyRetrainModel
 from .growing import GrowingModel, StepOutcome, build_model, extend_state_dict
 from .hybrid import HybridGroupClassifier, HybridStats
 from .inference_plan import InferencePlan, PlanScratch, compile_model
+from .train_plan import TrainPlan, compile_training
 
 __all__ = [
     "CTLMConfig", "DEFAULT_CONFIG", "BENCH_CONFIG",
@@ -27,4 +28,5 @@ __all__ = [
     "ContinuousLearningDriver", "RunResult", "ModelSummary", "StepRow",
     "HybridGroupClassifier", "HybridStats",
     "InferencePlan", "PlanScratch", "compile_model",
+    "TrainPlan", "compile_training",
 ]

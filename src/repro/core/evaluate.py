@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from .. import nn
 from ..datasets.grouping import GROUP_SINGLE_NODE
@@ -58,6 +59,10 @@ def evaluate_model(X_test: np.ndarray, y_test: np.ndarray,
                    model: nn.Module) -> EvalResult:
     """Evaluate an ``nn`` classifier head over logits (argmax decision)."""
 
+    if sp.issparse(X_test):
+        # The eager Module forward is dense-only; sparse test splits
+        # (keep_sparse datasets) densify here, outside the hot loop.
+        X_test = X_test.toarray()
     model.eval()
     with nn.no_grad():
         logits = model(nn.from_numpy(np.ascontiguousarray(

@@ -32,8 +32,9 @@ from .. import nn
 from ..datasets.dataset import DatasetData
 from ..errors import TrainingFailedError
 from .config import CTLMConfig, DEFAULT_CONFIG
-from .evaluate import EvalResult, evaluate_model
+from .evaluate import EvalResult, evaluate_model, evaluate_predictions
 from .inference_plan import InferencePlan, compile_model
+from .train_plan import compile_training
 
 __all__ = ["StepOutcome", "GrowingModel", "build_model", "extend_state_dict"]
 
@@ -182,7 +183,8 @@ class GrowingModel:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit_step(self, dataset: DatasetData) -> StepOutcome:
+    def fit_step(self, dataset: DatasetData,
+                 fused: bool = True) -> StepOutcome:
         """Absorb one feature-growth step (the Figure 2 routine).
 
         Chooses between initial training, transfer training with input
@@ -190,6 +192,13 @@ class GrowingModel:
         falls back to full re-initialization when thresholds are not met
         within the epoch limit (fail-fast), and raises
         :class:`TrainingFailedError` after ten failed attempts.
+
+        ``fused=True`` (default) runs each training attempt through the
+        compiled :class:`~repro.core.TrainPlan` (fused NumPy backprop,
+        sparse-capable, no autograd graph); ``fused=False`` keeps the
+        eager Listing-3 loop — the fallback and the fast path's
+        equivalence oracle.  Both consume the dataset RNG identically,
+        so epoch-by-epoch batch order matches between the paths.
         """
 
         config = self.config
@@ -215,7 +224,7 @@ class GrowingModel:
                 pretrained_count = None
 
             epochs, result = self._train_until_accepted(
-                dataset, pretrained_count=pretrained_count)
+                dataset, pretrained_count=pretrained_count, fused=fused)
             total_epochs += epochs
             if result.meets(config.accepted_accuracy,
                             config.accepted_group_0_f1_score):
@@ -237,16 +246,12 @@ class GrowingModel:
             f"F1_0>{config.accepted_group_0_f1_score})")
 
     def _train_until_accepted(self, dataset: DatasetData,
-                              pretrained_count: int | None
+                              pretrained_count: int | None,
+                              fused: bool = True
                               ) -> tuple[int, EvalResult]:
         """The Listing 3 loop; returns (epochs used, final evaluation)."""
 
         config = self.config
-        model = self.model
-        assert model is not None
-        loss_function = nn.CrossEntropyLoss(weight=config.class_weights())
-        optimizer = nn.Adam(model.parameters(), lr=config.learning_rate)
-
         growth_mode = pretrained_count is not None
         if growth_mode:
             multiplier = np.concatenate([
@@ -254,38 +259,104 @@ class GrowingModel:
                         dtype=np.float32),
                 np.ones(dataset.features_count - pretrained_count,
                         dtype=np.float32)])
+        else:
+            multiplier = None
+        if fused:
+            return self._train_fused(dataset, multiplier)
+        return self._train_eager(dataset, multiplier)
+
+    def _train_fused(self, dataset: DatasetData,
+                     multiplier: np.ndarray | None
+                     ) -> tuple[int, EvalResult]:
+        """Listing 3 on the compiled :class:`~repro.core.TrainPlan`.
+
+        The design matrix flows through CSR end to end when the dataset
+        kept it sparse; batch order mirrors the eager ``DataLoader``
+        exactly (one shuffle of the training indices per epoch off the
+        same generator).
+        """
+
+        config = self.config
+        model = self.model
+        assert model is not None
+        plan = compile_training(
+            model, lr=config.learning_rate,
+            class_weights=config.class_weights(),
+            input_gradient_scale=multiplier,
+            train_first_layer_only=multiplier is not None)
+
+        X_train, y_train = dataset.X_train, dataset.y_train
+        X_test, y_test = dataset.X_test, dataset.y_test
+        n = X_train.shape[0]
+        batch_size = dataset.batch_size
+        rng = dataset.rng
 
         result = EvalResult(0.0, None)
-        train_loader = dataset.train_loader
+        epochs = config.epochs_limit
         for epoch in range(1, config.epochs_limit + 1):
-            model.train()
-            for X_batch, y_batch in train_loader:
-                optimizer.zero_grad()
-                y_logits = model(X_batch)
-                loss = loss_function(y_logits, y_batch)
-                loss.backward()
-                if growth_mode:
-                    for name, param in model.named_parameters():
-                        if name == "fc1.weight":
-                            # Damp pre-trained input columns (in place,
-                            # outside the autograd graph).
-                            with nn.no_grad():
-                                param.grad.mul_(multiplier[np.newaxis, :])
-                            param.requires_grad = True
-                        elif name == "fc1.bias":
-                            param.requires_grad = True
-                        else:
-                            param.requires_grad = False
-                optimizer.step()
-
-            model.eval()
-            result = evaluate_model(dataset.X_test, dataset.y_test, model)
+            # Fresh arange per epoch, exactly like DataLoader.__iter__:
+            # shuffling the previous permutation in place would apply
+            # the same RNG draws to a different arrangement and the
+            # batch composition would diverge from the eager path.
+            order = np.arange(n)
+            rng.shuffle(order)
+            plan.train_epoch(X_train, y_train, order, batch_size)
+            result = evaluate_predictions(y_test, plan.predict(X_test))
             if result.meets(config.accepted_accuracy,
                             config.accepted_group_0_f1_score):
-                return epoch, result
+                epochs = epoch
+                break
+        plan.finish()
+        return epochs, result
 
-        # Restore trainability before the caller discards or reuses us.
-        if growth_mode:
-            for param in model.parameters():
-                param.requires_grad = True
-        return config.epochs_limit, result
+    def _train_eager(self, dataset: DatasetData,
+                     multiplier: np.ndarray | None
+                     ) -> tuple[int, EvalResult]:
+        """The eager autograd path (fallback + equivalence oracle)."""
+
+        config = self.config
+        model = self.model
+        assert model is not None
+        loss_function = nn.CrossEntropyLoss(weight=config.class_weights())
+        optimizer = nn.Adam(model.parameters(), lr=config.learning_rate)
+        growth_mode = multiplier is not None
+
+        try:
+            result = EvalResult(0.0, None)
+            train_loader = dataset.train_loader
+            for epoch in range(1, config.epochs_limit + 1):
+                model.train()
+                for X_batch, y_batch in train_loader:
+                    optimizer.zero_grad()
+                    y_logits = model(X_batch)
+                    loss = loss_function(y_logits, y_batch)
+                    loss.backward()
+                    if growth_mode:
+                        for name, param in model.named_parameters():
+                            if name == "fc1.weight":
+                                # Damp pre-trained input columns (in
+                                # place, outside the autograd graph).
+                                with nn.no_grad():
+                                    param.grad.mul_(
+                                        multiplier[np.newaxis, :])
+                                param.requires_grad = True
+                            elif name == "fc1.bias":
+                                param.requires_grad = True
+                            else:
+                                param.requires_grad = False
+                    optimizer.step()
+
+                model.eval()
+                result = evaluate_model(dataset.X_test, dataset.y_test,
+                                        model)
+                if result.meets(config.accepted_accuracy,
+                                config.accepted_group_0_f1_score):
+                    return epoch, result
+            return config.epochs_limit, result
+        finally:
+            # Restore trainability on *every* exit: an accepted growth
+            # step used to leave fc2 frozen, silently pinning it for
+            # all later same-width continuation training.
+            if growth_mode:
+                for param in model.parameters():
+                    param.requires_grad = True

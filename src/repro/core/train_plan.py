@@ -1,0 +1,738 @@
+"""Compiled training fast path: fused NumPy backprop for retraining.
+
+:class:`~repro.core.InferencePlan` (PR 4) took autograd off the serving
+path; this module does the same for the *other* half of the continuous
+learning loop.  The eager Listing-3 loop pays, per mini-batch, one
+:class:`~repro.nn.autograd.Tensor` node plus a backward closure per op,
+Python dispatch per module, fresh gradient allocations, and a second
+throwaway graph when an L2 penalty is in play — all to train a two-layer
+MLP whose arithmetic is a handful of GEMMs.  For a model that must
+retrain *continuously*, that overhead is the retrain→publish staleness
+window.
+
+:class:`TrainPlan` removes it:
+
+* :func:`compile_training` walks an MLP ``Sequential`` (``Linear`` +
+  elementwise activations, the same family :func:`compile_model`
+  accepts) **once** and exports each layer to contiguous float32
+  transposed weight/bias buffers plus matching gradient and Adam
+  first/second-moment buffers.  The plan *owns* the training copies;
+  :meth:`TrainPlan.finish` writes them back into the source modules, so
+  ``GrowingModel.compile()``-for-serving is untouched.
+* :meth:`TrainPlan.train_batch` / :meth:`TrainPlan.train_epoch` replay
+  a fused forward-backward-update schedule in pure NumPy:
+  ``np.dot(..., out=)`` GEMMs into geometrically-grown scratch buffers,
+  in-place bias/activation, the softmax–cross-entropy gradient formed
+  in place on the logits buffer (class-weighted, torch
+  ``reduction='mean'`` semantics), activation derivatives computed
+  destructively on the cached activations, and an in-place Adam update
+  with decoupled L2 folded in — zero ``Tensor`` objects, zero graph
+  allocation per batch.
+* The first layer consumes the CO-VV block as **CSR in both
+  directions**: ``X @ W1ᵀ`` sparse·dense on the forward pass and
+  ``Xᵀ · delta`` sparse·dense for the weight gradient (the batch's CSR
+  arrays double as the CSC form of its transpose), so retraining never
+  materializes the dense design matrix.  The kernels run on the raw
+  ``indptr/indices/data`` triple via scipy's C ``csr_matvecs`` /
+  ``csc_matvecs`` — no per-batch matrix wrappers, slicing machinery, or
+  format re-validation — and :meth:`train_epoch` gathers mini-batch
+  rows from the epoch permutation with plain array arithmetic.  Rows
+  narrower than the model use the same weight-row-prefix trick as the
+  inference plan (missing columns are implicitly zero, their gradient
+  rows exactly zero).
+* Listing 3's dynamic gradient modification maps onto the fused buffers
+  directly: ``input_gradient_scale`` multiplies the first layer's
+  weight-gradient *rows* in place (the transposed layout makes the
+  damped mask a row operation), and ``train_first_layer_only`` skips
+  both the gradient GEMMs and the Adam update for frozen layers — the
+  fused equivalent of the per-batch ``requires_grad`` dance, minus the
+  wasted work.
+
+Adam state survives :meth:`finish`/re-export via
+:meth:`optimizer_state` / :meth:`load_optimizer_state`; first-layer
+moment rows are zero-padded on input growth (prefix semantics again), so
+a resumed plan continues exactly where an uninterrupted one would be.
+
+A plan is single-threaded — one trainer owns it, which is exactly the
+:class:`~repro.serve.BackgroundTrainer` topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import nn
+from ..errors import PlanCompileError
+from .inference_plan import _ACTIVATIONS, _MODULE_ACTIVATIONS
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from scipy.sparse import _sparsetools
+
+    _csr_matvecs = _sparsetools.csr_matvecs
+    _csc_matvecs = _sparsetools.csc_matvecs
+except (ImportError, AttributeError):  # pragma: no cover - old scipy
+    _csr_matvecs = _csc_matvecs = None
+
+__all__ = ["TrainPlan", "compile_training"]
+
+
+def _flatten_trainable(module, linears: list, activations: list) -> None:
+    """Collect ``(Linear module, activation name)`` pairs depth-first.
+
+    Unlike the inference flattener this keeps *module references* (the
+    plan must write trained weights back) and rejects ``Dropout`` —
+    a stochastic training graph cannot be replayed by a deterministic
+    fused schedule.
+    """
+
+    if isinstance(module, nn.Linear):
+        linears.append(module)
+        activations.append("identity")
+        return
+    for module_type, name in _MODULE_ACTIVATIONS.items():
+        if type(module) is module_type:
+            if name != "identity":
+                if not linears:
+                    raise PlanCompileError(
+                        f"activation {name!r} before any Linear layer "
+                        f"cannot be fused")
+                if activations[-1] != "identity":
+                    raise PlanCompileError(
+                        f"stacked activations ({activations[-1]!r} then "
+                        f"{name!r}) cannot be fused")
+                activations[-1] = name
+            return
+    if isinstance(module, nn.Sequential):
+        for child in module:
+            _flatten_trainable(child, linears, activations)
+        return
+    raise PlanCompileError(
+        f"cannot fuse {type(module).__name__} for training: no compiled "
+        f"equivalent (train it with fused=False)")
+
+
+class TrainPlan:
+    """One fused, resumable training schedule over an exported MLP.
+
+    Built by :func:`compile_training`.  The plan owns float32 working
+    copies of the network (transposed ``(in, out)`` weights — the layout
+    both BLAS and scipy's CSR·dense kernel consume without copying);
+    :meth:`train_batch` / :meth:`train_epoch` advance them,
+    :meth:`predict` / :meth:`forward` read them (epoch-end evaluation
+    without a write-back), and :meth:`finish` copies them back into the
+    source modules.
+    """
+
+    def __init__(self, model, lr: float,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8,
+                 decoupled_weight_decay: float = 0.0,
+                 class_weights: np.ndarray | None = None,
+                 input_gradient_scale: np.ndarray | None = None,
+                 train_first_layer_only: bool = False):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        linears: list[nn.Linear] = []
+        activations: list[str] = []
+        _flatten_trainable(model, linears, activations)
+        if not linears:
+            raise PlanCompileError(
+                f"{type(model).__name__} contains no Linear layer to "
+                f"compile for training")
+
+        self.lr = float(lr)
+        self.betas = (float(betas[0]), float(betas[1]))
+        self.eps = float(eps)
+        self.decoupled_weight_decay = float(decoupled_weight_decay)
+        self._modules = tuple(linears)
+        self._activations = tuple(activations)
+
+        # One flat float32 vector backs every parameter, gradient, and
+        # Adam slot; per-layer arrays are contiguous *views* into it.
+        # The GEMMs write straight into the views, and one optimizer
+        # step is a single pass over one array instead of 4·n_layers
+        # small-ufunc dispatches.  Layout is layer-major
+        # ``[w0, b0, w1, b1, ...]`` so "train the first layer only"
+        # (growth mode) degenerates to a flat prefix.
+        spans: list[tuple[int, int, tuple[int, int], bool]] = []
+        offset = 0
+        width = None
+        for linear in linears:
+            out_f, in_f = linear.weight.data.shape
+            if width is not None and in_f != width:
+                raise PlanCompileError(
+                    f"layer width mismatch: expected {width} inputs, "
+                    f"got {in_f}")
+            width = out_f
+            spans.append((offset, offset + in_f * out_f, (in_f, out_f),
+                          True))
+            offset += in_f * out_f
+            if linear.bias is not None:
+                spans.append((offset, offset + out_f, (out_f,), False))
+                offset += out_f
+
+        self._flat_total = offset
+        # End of the first layer's (weight [+ bias]) segment: the flat
+        # prefix growth-mode training updates.
+        first_spans = 2 if len(spans) > 1 and not spans[1][3] else 1
+        self._flat_first = spans[first_spans - 1][1]
+        self._params_flat = np.empty(offset, dtype=np.float32)
+        self._grads_flat = np.zeros(offset, dtype=np.float32)
+        self._m_flat = np.zeros(offset, dtype=np.float32)
+        self._v_flat = np.zeros(offset, dtype=np.float32)
+        self._tmp_flat = np.empty(offset, dtype=np.float32)
+        self._decay_flat = np.ones(offset, dtype=np.float32)
+
+        self._weights_t: list[np.ndarray] = []
+        self._biases: list[np.ndarray | None] = []
+        self._grads_t: list[np.ndarray] = []
+        self._grads_b: list[np.ndarray | None] = []
+        self._m_w: list[np.ndarray] = []
+        self._v_w: list[np.ndarray] = []
+        self._m_b: list[np.ndarray | None] = []
+        self._v_b: list[np.ndarray | None] = []
+        span_iter = iter(spans)
+        for linear in linears:
+            lo, hi, shape, _ = next(span_iter)
+            wt = self._params_flat[lo:hi].reshape(shape)
+            np.copyto(wt, linear.weight.data.T)
+            self._weights_t.append(wt)
+            self._grads_t.append(self._grads_flat[lo:hi].reshape(shape))
+            self._m_w.append(self._m_flat[lo:hi].reshape(shape))
+            self._v_w.append(self._v_flat[lo:hi].reshape(shape))
+            if decoupled_weight_decay:
+                self._decay_flat[lo:hi] = (
+                    1.0 - float(lr) * float(decoupled_weight_decay))
+            if linear.bias is None:
+                self._biases.append(None)
+                self._grads_b.append(None)
+                self._m_b.append(None)
+                self._v_b.append(None)
+            else:
+                lo, hi, shape, _ = next(span_iter)
+                bias = self._params_flat[lo:hi]
+                np.copyto(bias, linear.bias.data)
+                self._biases.append(bias)
+                self._grads_b.append(self._grads_flat[lo:hi])
+                self._m_b.append(self._m_flat[lo:hi])
+                self._v_b.append(self._v_flat[lo:hi])
+
+        self._steps = [0] * self.n_layers
+
+        # Per-layer activation buffers (forward cache) and delta
+        # buffers, grown geometrically like PlanScratch.
+        self._h: list[np.ndarray | None] = [None] * self.n_layers
+        self._delta: list[np.ndarray | None] = [None] * self.n_layers
+        self._rows = np.arange(0)
+
+        self.class_weights = (None if class_weights is None
+                              else np.asarray(class_weights,
+                                              dtype=np.float32).ravel())
+        if input_gradient_scale is not None:
+            input_gradient_scale = np.asarray(
+                input_gradient_scale, dtype=np.float32).reshape(-1, 1)
+            if input_gradient_scale.shape[0] != self.features_count:
+                raise ValueError(
+                    f"input_gradient_scale must have one entry per input "
+                    f"feature ({self.features_count}), got "
+                    f"{input_gradient_scale.shape[0]}")
+        self.input_gradient_scale = input_gradient_scale
+        self.train_first_layer_only = bool(train_first_layer_only)
+        self.batches_trained = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self._weights_t)
+
+    @property
+    def features_count(self) -> int:
+        return int(self._weights_t[0].shape[0])
+
+    @property
+    def out_features(self) -> int:
+        return int(self._weights_t[-1].shape[1])
+
+    def _trainable(self, layer: int) -> bool:
+        return layer == 0 or not self.train_first_layer_only
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = " -> ".join(
+            str(w) for w in (self.features_count,
+                             *(wt.shape[1] for wt in self._weights_t)))
+        return (f"TrainPlan({shape}, lr={self.lr}, "
+                f"batches_trained={self.batches_trained})")
+
+    # ------------------------------------------------------------------
+    # buffers
+    # ------------------------------------------------------------------
+    def _buffer(self, store: list, layer: int, n_rows: int) -> np.ndarray:
+        buf = store[layer]
+        if buf is None or buf.shape[0] < n_rows:
+            capacity = n_rows if buf is None else max(n_rows,
+                                                      2 * buf.shape[0])
+            buf = np.empty((capacity, self._weights_t[layer].shape[1]),
+                           dtype=np.float32)
+            store[layer] = buf
+        return buf[:n_rows]
+
+    def _row_index(self, n: int) -> np.ndarray:
+        if self._rows.shape[0] < n:
+            self._rows = np.arange(max(n, 2 * self._rows.shape[0]))
+        return self._rows[:n]
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def _check_width(self, width: int) -> None:
+        if width > self.features_count:
+            raise ValueError(
+                f"training rows have {width} features but the plan was "
+                f"compiled for {self.features_count}; re-export after "
+                f"extending the model")
+
+    def _forward_first_csr(self, indptr: np.ndarray, indices: np.ndarray,
+                           data: np.ndarray, n: int) -> np.ndarray:
+        """First layer straight off raw CSR arrays (no matrix wrapper)."""
+
+        hidden = self._buffer(self._h, 0, n)
+        out_f = hidden.shape[1]
+        if _csr_matvecs is not None:
+            hidden[:] = 0.0
+            _csr_matvecs(n, self.features_count, out_f, indptr, indices,
+                         data, self._weights_t[0].ravel(), hidden.ravel())
+        else:  # pragma: no cover - old scipy fallback
+            X = sp.csr_matrix((data, indices, indptr),
+                              shape=(n, self.features_count))
+            np.copyto(hidden, X @ self._weights_t[0])
+        return self._finish_layer(0, hidden)
+
+    def _forward_tail(self, hidden: np.ndarray) -> np.ndarray:
+        for index in range(1, self.n_layers):
+            out = self._buffer(self._h, index, hidden.shape[0])
+            np.dot(hidden, self._weights_t[index], out=out)
+            hidden = self._finish_layer(index, out)
+        return hidden
+
+    def forward(self, X) -> np.ndarray:
+        """Fused logits; caches per-layer activations for backward.
+
+        ``X`` may be dense or CSR, and may be narrower than
+        :attr:`features_count` (missing columns are implicitly zero via
+        the weight-row prefix).  The returned view is valid until the
+        next call.
+        """
+
+        if sp.issparse(X):
+            X = X.tocsr()
+            self._check_width(X.shape[1])
+            hidden = self._forward_first_csr(X.indptr, X.indices,
+                                             X.data.astype(np.float32,
+                                                           copy=False),
+                                             X.shape[0])
+        else:
+            X = np.asarray(X, dtype=np.float32)
+            self._check_width(X.shape[1])
+            hidden = self._buffer(self._h, 0, X.shape[0])
+            np.dot(X, self._weights_t[0][:X.shape[1]], out=hidden)
+            hidden = self._finish_layer(0, hidden)
+        return self._forward_tail(hidden)
+
+    def _finish_layer(self, index: int, buf: np.ndarray) -> np.ndarray:
+        bias = self._biases[index]
+        if bias is not None:
+            buf += bias
+        kernel = _ACTIVATIONS[self._activations[index]]
+        if kernel is not None:
+            kernel(buf)
+        return buf
+
+    def predict(self, X) -> np.ndarray:
+        """Argmax labels from the plan's *current* (training) weights."""
+
+        return self.forward(X).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    # fused loss + backward
+    # ------------------------------------------------------------------
+    def _loss_and_output_delta(self, logits: np.ndarray,
+                               y: np.ndarray) -> tuple[float, np.ndarray]:
+        """Softmax CE in place on the logits buffer → (loss, delta)."""
+
+        n, n_classes = logits.shape
+        probs = nn.functional.softmax_inplace(logits)
+        # Flat positions of each row's target logit: one gather and one
+        # scatter on the raveled buffer instead of two 2-D fancy-index
+        # round trips.
+        positions = self._row_index(n) * n_classes
+        positions = positions + y
+        flat = probs.reshape(-1)
+        picked = flat[positions]
+        if self.class_weights is not None:
+            w = self.class_weights[y]
+            w_sum = float(w.sum())
+            loss = float(-(w * np.log(np.maximum(picked, 1e-30))).sum()
+                         / w_sum)
+            scale = w / w_sum
+        else:
+            loss = float(-np.log(np.maximum(picked, 1e-30)).mean())
+            scale = None
+        picked -= 1.0
+        flat[positions] = picked
+        delta = probs
+        if scale is not None:
+            delta *= scale[:, np.newaxis]
+        else:
+            delta *= 1.0 / n
+        return loss, delta
+
+    def _backward_tail(self, delta: np.ndarray) -> np.ndarray:
+        """Backprop the dense tail; returns the first-layer delta."""
+
+        n = delta.shape[0]
+        for index in range(self.n_layers - 1, 0, -1):
+            h_prev = self._h[index - 1][:n]
+            if self._trainable(index):
+                np.dot(h_prev.T, delta, out=self._grads_t[index])
+                if self._grads_b[index] is not None:
+                    delta.sum(axis=0, out=self._grads_b[index])
+            prev_delta = self._buffer(self._delta, index - 1, n)
+            np.dot(delta, self._weights_t[index].T, out=prev_delta)
+            self._apply_activation_derivative(index - 1, h_prev,
+                                              prev_delta)
+            delta = prev_delta
+        return delta
+
+    def _finish_first_grad(self, delta: np.ndarray) -> None:
+        if self._grads_b[0] is not None:
+            delta.sum(axis=0, out=self._grads_b[0])
+        if self.input_gradient_scale is not None:
+            # Listing 3's damped mask: transposed layout makes the
+            # per-input-column damping a row scale, applied in place.
+            self._grads_t[0] *= self.input_gradient_scale
+
+    def forward_backward(self, X, y) -> float:
+        """One fused forward + backward; fills the gradient buffers.
+
+        Returns the (class-weighted mean) cross-entropy loss.  Split
+        from :meth:`train_batch` so the equivalence suite can compare
+        raw gradients against autograd without stepping.
+        """
+
+        y = np.asarray(y, dtype=np.int64).ravel()
+        if sp.issparse(X):
+            X = X.tocsr()
+            data = X.data.astype(np.float32, copy=False)
+            return self._forward_backward_csr(X.indptr, X.indices, data,
+                                              X.shape[0], X.shape[1], y)
+        X = np.asarray(X, dtype=np.float32)
+        self._check_width(X.shape[1])
+        logits = self.forward(X)
+        loss, delta = self._loss_and_output_delta(logits, y)
+        delta = self._backward_tail(delta)
+        gw0 = self._grads_t[0]
+        width = X.shape[1]
+        np.dot(X.T, delta, out=gw0[:width])
+        if width < self.features_count:
+            gw0[width:] = 0.0
+        self._finish_first_grad(delta)
+        return loss
+
+    def _forward_backward_csr(self, indptr: np.ndarray,
+                              indices: np.ndarray, data: np.ndarray,
+                              n: int, width: int,
+                              y: np.ndarray) -> float:
+        """Fused step on raw CSR arrays — the design matrix never
+        densifies, in either direction."""
+
+        self._check_width(width)
+        logits = self._forward_tail(
+            self._forward_first_csr(indptr, indices, data, n))
+        loss, delta = self._loss_and_output_delta(logits, y)
+        delta = self._backward_tail(delta)
+        gw0 = self._grads_t[0]
+        gw0[:] = 0.0
+        if _csc_matvecs is not None:
+            # The batch's CSR arrays *are* the CSC form of Xᵀ, so the
+            # sparse gradient Xᵀ·delta needs no transpose object.
+            _csc_matvecs(self.features_count, n, delta.shape[1], indptr,
+                         indices, data, delta.ravel(), gw0.ravel())
+        else:  # pragma: no cover - old scipy fallback
+            X = sp.csr_matrix((data, indices, indptr), shape=(n, width))
+            gw0[:width] += X.T @ delta
+        self._finish_first_grad(delta)
+        return loss
+
+    def _apply_activation_derivative(self, index: int, h: np.ndarray,
+                                     delta: np.ndarray) -> None:
+        """Multiply ``delta`` by act'(pre-activation), destroying ``h``.
+
+        Every supported activation's derivative is expressible from its
+        *output*, so the cached post-activation buffer doubles as the
+        derivative scratch — it is dead after this layer's backward.
+        """
+
+        name = self._activations[index]
+        if name == "identity":
+            return
+        if name == "relu":
+            np.greater(h, 0.0, out=h)
+            delta *= h
+        elif name == "tanh":
+            np.multiply(h, h, out=h)
+            np.subtract(1.0, h, out=h)
+            delta *= h
+        else:  # sigmoid: h * (1 - h)
+            delta *= h
+            np.subtract(1.0, h, out=h)
+            delta *= h
+
+    # ------------------------------------------------------------------
+    # fused Adam
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """In-place Adam over the gradient buffers (trainable layers).
+
+        Because every trainable array lives in one flat vector, the
+        whole update — moments, bias correction, parameter delta, and
+        the decoupled L2 shrink (``p *= 1 - lr·wd`` on weights only,
+        biases undecayed per sklearn convention; the exact formulation
+        :class:`~repro.nn.Adam` uses for ``decoupled_weight_decay``) —
+        is a single fused pass regardless of layer count.
+        """
+
+        for index in range(self.n_layers):
+            if self._trainable(index):
+                self._steps[index] += 1
+        t = self._steps[0]
+        if any(self._steps[i] != t for i in range(self.n_layers)
+               if self._trainable(i)):
+            self._step_layerwise()
+            return
+        bc1 = 1.0 - self.betas[0] ** t
+        bc2 = 1.0 - self.betas[1] ** t
+        limit = (self._flat_first if self.train_first_layer_only
+                 else self._flat_total)
+        self._adam_update(self._params_flat[:limit],
+                          self._grads_flat[:limit], self._m_flat[:limit],
+                          self._v_flat[:limit], self._tmp_flat[:limit],
+                          bc1, bc2)
+        if self.decoupled_weight_decay:
+            self._params_flat[:limit] *= self._decay_flat[:limit]
+
+    def _step_layerwise(self) -> None:
+        """Per-layer Adam for desynchronized step counts (a resumed
+        optimizer state whose layers had stepped unevenly)."""
+
+        for index in range(self.n_layers):
+            if not self._trainable(index):
+                continue
+            t = self._steps[index]
+            bc1 = 1.0 - self.betas[0] ** t
+            bc2 = 1.0 - self.betas[1] ** t
+            self._adam_update(self._weights_t[index], self._grads_t[index],
+                              self._m_w[index], self._v_w[index],
+                              np.empty_like(self._weights_t[index]),
+                              bc1, bc2)
+            if self.decoupled_weight_decay:
+                self._weights_t[index] *= (
+                    1.0 - self.lr * self.decoupled_weight_decay)
+            if self._biases[index] is not None:
+                self._adam_update(self._biases[index], self._grads_b[index],
+                                  self._m_b[index], self._v_b[index],
+                                  np.empty_like(self._biases[index]),
+                                  bc1, bc2)
+
+    def _adam_update(self, p: np.ndarray, g: np.ndarray, m: np.ndarray,
+                     v: np.ndarray, tmp: np.ndarray,
+                     bc1: float, bc2: float) -> None:
+        beta1, beta2 = self.betas
+        m *= beta1
+        np.multiply(g, 1.0 - beta1, out=tmp)
+        m += tmp
+        np.multiply(g, g, out=tmp)
+        tmp *= 1.0 - beta2
+        v *= beta2
+        v += tmp
+        # p -= lr * (m/bc1) / (sqrt(v/bc2) + eps), all in tmp.
+        np.divide(v, bc2, out=tmp)
+        np.sqrt(tmp, out=tmp)
+        tmp += self.eps
+        np.divide(m, tmp, out=tmp)
+        tmp *= self.lr / bc1
+        p -= tmp
+
+    def train_batch(self, X, y) -> float:
+        """One fused forward-backward-update; returns the batch loss."""
+
+        loss = self.forward_backward(X, y)
+        self.step()
+        self.batches_trained += 1
+        return loss
+
+    # ------------------------------------------------------------------
+    # epoch driver
+    # ------------------------------------------------------------------
+    def train_epoch(self, X, y, order: np.ndarray,
+                    batch_size: int) -> float:
+        """One epoch over ``X``/``y`` in ``order``; returns Σ loss·rows.
+
+        The fast path the continuous-retraining loop runs: mini-batch
+        rows are gathered from the (pre-shuffled) permutation with raw
+        array arithmetic — for CSR, straight from the
+        ``indptr/indices/data`` triple, so an epoch performs **zero**
+        scipy matrix constructions.  Batch composition is identical to
+        slicing ``X[order[start:start+batch_size]]`` per batch, i.e. to
+        the eager ``DataLoader``.
+        """
+
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        y = np.asarray(y, dtype=np.int64).ravel()
+        n = order.shape[0]
+        total = 0.0
+        y_perm = y[order]
+        if sp.issparse(X):
+            X = X.tocsr()
+            self._check_width(X.shape[1])
+            width = X.shape[1]
+            # Permute the whole epoch once; every mini-batch is then a
+            # contiguous zero-copy slice of the permuted raw arrays
+            # (same total gather work, none of the per-batch call and
+            # bookkeeping overhead).
+            p_ptr, p_idx, p_dat = _gather_csr_rows(
+                X.indptr, X.indices,
+                X.data.astype(np.float32, copy=False), order)
+            for start in range(0, n, batch_size):
+                end = min(start + batch_size, n)
+                lo, hi = p_ptr[start], p_ptr[end]
+                loss = self._forward_backward_csr(
+                    p_ptr[start:end + 1] - lo, p_idx[lo:hi],
+                    p_dat[lo:hi], end - start, width,
+                    y_perm[start:end])
+                self.step()
+                self.batches_trained += 1
+                total += loss * (end - start)
+        else:
+            X_perm = np.asarray(X, dtype=np.float32)[order]
+            for start in range(0, n, batch_size):
+                end = min(start + batch_size, n)
+                loss = self.forward_backward(X_perm[start:end],
+                                             y_perm[start:end])
+                self.step()
+                self.batches_trained += 1
+                total += loss * (end - start)
+        return total
+
+    # ------------------------------------------------------------------
+    # write-back + optimizer-state resume
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Copy the trained buffers back into the source modules.
+
+        The modules' parameter arrays are updated in place (grads
+        cleared), so a subsequent ``GrowingModel.compile()`` — or plain
+        eager prediction — serves exactly what the plan trained.
+        """
+
+        for linear, wt, bias in zip(self._modules, self._weights_t,
+                                    self._biases):
+            np.copyto(linear.weight.data, wt.T)
+            linear.weight.grad = None
+            if bias is not None:
+                np.copyto(linear.bias.data, bias)
+                linear.bias.grad = None
+
+    def optimizer_state(self) -> dict:
+        """Serializable Adam slots (per layer, copies)."""
+
+        def _copy(arrs):
+            return [None if a is None else a.copy() for a in arrs]
+
+        return {"steps": list(self._steps),
+                "m_w": _copy(self._m_w), "v_w": _copy(self._v_w),
+                "m_b": _copy(self._m_b), "v_b": _copy(self._v_b)}
+
+    def load_optimizer_state(self, state: dict) -> None:
+        """Resume Adam moments from :meth:`optimizer_state` output.
+
+        First-layer weight moments may come from a *narrower* export
+        (the model's input layer grew in between): the rows carry over
+        as a prefix and the new rows stay zero — exactly the Listing-2
+        semantics the weights themselves follow.
+        """
+
+        steps = list(state["steps"])
+        if len(steps) != self.n_layers:
+            raise ValueError("optimizer state has a different layer count")
+        for index in range(self.n_layers):
+            for mine, theirs in ((self._m_w, state["m_w"]),
+                                 (self._v_w, state["v_w"])):
+                src = np.asarray(theirs[index], dtype=np.float32)
+                dst = mine[index]
+                if index == 0 and src.shape[0] < dst.shape[0]:
+                    if src.shape[1] != dst.shape[1]:
+                        raise ValueError(
+                            "optimizer state hidden width mismatch")
+                    dst[:src.shape[0]] = src
+                    dst[src.shape[0]:] = 0.0
+                elif src.shape == dst.shape:
+                    np.copyto(dst, src)
+                else:
+                    raise ValueError(
+                        f"optimizer state shape mismatch at layer "
+                        f"{index}: {src.shape} vs {dst.shape}")
+            for mine, theirs in ((self._m_b, state["m_b"]),
+                                 (self._v_b, state["v_b"])):
+                if mine[index] is None:
+                    continue
+                np.copyto(mine[index], np.asarray(theirs[index],
+                                                  dtype=np.float32))
+        self._steps = steps
+
+
+def _gather_csr_rows(indptr: np.ndarray, indices: np.ndarray,
+                     data: np.ndarray, idx: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-gather ``X[idx]`` as raw CSR arrays, no matrix objects.
+
+    Equivalent to ``csr_matrix.__getitem__`` with a row list, minus the
+    wrapper construction, format checks, and index validation scipy
+    performs per call — this runs once per mini-batch on the training
+    hot path.
+    """
+
+    starts = indptr[idx]
+    lengths = indptr[idx + 1] - starts
+    b_indptr = np.zeros(idx.shape[0] + 1, dtype=indptr.dtype)
+    np.cumsum(lengths, out=b_indptr[1:])
+    # Positions of every kept nonzero in the parent arrays: each row's
+    # run [starts[i], starts[i]+lengths[i]) laid out contiguously.
+    positions = np.repeat(starts - b_indptr[:-1], lengths)
+    positions += np.arange(b_indptr[-1], dtype=positions.dtype)
+    return b_indptr, indices[positions], data[positions]
+
+
+def compile_training(model, lr: float,
+                     betas: tuple[float, float] = (0.9, 0.999),
+                     eps: float = 1e-8,
+                     decoupled_weight_decay: float = 0.0,
+                     class_weights: np.ndarray | None = None,
+                     input_gradient_scale: np.ndarray | None = None,
+                     train_first_layer_only: bool = False) -> TrainPlan:
+    """Export a network to a :class:`TrainPlan`.
+
+    Accepts the same MLP family as :func:`compile_model` minus
+    ``Dropout`` (stochastic training cannot be fused deterministically);
+    anything else raises :class:`~repro.errors.PlanCompileError` and the
+    caller keeps the eager autograd path.
+    """
+
+    return TrainPlan(model, lr=lr, betas=betas, eps=eps,
+                     decoupled_weight_decay=decoupled_weight_decay,
+                     class_weights=class_weights,
+                     input_gradient_scale=input_gradient_scale,
+                     train_first_layer_only=train_first_layer_only)

@@ -20,15 +20,26 @@ __all__ = ["DatasetData"]
 
 
 class DatasetData:
-    """A feature matrix + labels with a stratified train/test split."""
+    """A feature matrix + labels with a stratified train/test split.
+
+    With ``keep_sparse=True`` a sparse ``X`` stays CSR end to end — the
+    splits, ``X_train`` / ``X_test``, and the fused
+    :class:`~repro.core.TrainPlan` path all row-slice it directly, so
+    continuous retraining never materializes the dense design matrix.
+    (The eager ``train_loader`` densifies lazily, batch responsibility
+    shifting to :class:`~repro.nn.TensorDataset`.)
+    """
 
     def __init__(self, X, y, test_size: float = 0.25, batch_size: int = 128,
                  rng: np.random.Generator | None = None,
-                 min_per_class: int = 2):
+                 min_per_class: int = 2, keep_sparse: bool = False):
         if sp.issparse(X):
-            # toarray() — todense() materializes a deprecated np.matrix
-            # plus an extra copy.
-            X = X.toarray().astype(np.float32, copy=False)
+            if keep_sparse:
+                X = X.tocsr().astype(np.float32, copy=False)
+            else:
+                # toarray() — todense() materializes a deprecated
+                # np.matrix plus an extra copy.
+                X = X.toarray().astype(np.float32, copy=False)
         else:
             X = np.asarray(X, dtype=np.float32)
         y = np.asarray(y).ravel().astype(np.int64)
@@ -64,6 +75,16 @@ class DatasetData:
         self.test_indices = np.sort(test_idx)
 
     # -- array views -------------------------------------------------------
+    @property
+    def rng(self) -> np.random.Generator:
+        """The split/shuffle generator (shared with ``train_loader``)."""
+
+        return self._rng
+
+    @property
+    def is_sparse(self) -> bool:
+        return sp.issparse(self.X)
+
     @property
     def features_count(self) -> int:
         return self.X.shape[1]
@@ -108,10 +129,17 @@ class DatasetData:
             raise DatasetError("cannot narrow a dataset")
         if features_count == self.features_count:
             return self
-        pad = np.zeros((self.n_samples, features_count - self.features_count),
-                       dtype=np.float32)
         out = object.__new__(DatasetData)
-        out.X = np.hstack([self.X, pad])
+        if sp.issparse(self.X):
+            # CSR right-padding is free: wider shape, same data.
+            out.X = sp.csr_matrix(
+                (self.X.data, self.X.indices, self.X.indptr),
+                shape=(self.n_samples, features_count))
+        else:
+            pad = np.zeros(
+                (self.n_samples, features_count - self.features_count),
+                dtype=np.float32)
+            out.X = np.hstack([self.X, pad])
         out.y = self.y
         out.batch_size = self.batch_size
         out._rng = self._rng

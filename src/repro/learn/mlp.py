@@ -6,6 +6,15 @@ hidden units and the default Adam optimizer".  This mirrors sklearn's
 batch_size, learning_rate_init, max_iter, tol, n_iter_no_change) with the
 training loop expressed in the same framework the growing model uses,
 so epoch counts are directly comparable.
+
+Training runs on the compiled :class:`~repro.core.TrainPlan` by default
+(``fused=True``): fused NumPy forward-backward-Adam, no per-batch
+autograd graph.  The ``alpha`` L2 penalty is applied as *decoupled*
+weight decay folded into the Adam update (weights only, sklearn
+convention) on both paths — the eager path uses
+``nn.Adam(decoupled_weight_decay=...)`` rather than building a throwaway
+``(p*p).sum()`` graph per batch, so the recorded ``loss_curve_`` is the
+plain data cross-entropy on either path.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from collections import OrderedDict
 import numpy as np
 
 from .. import nn
+from ..core.train_plan import compile_training
 from .base import BaseEstimator, ClassifierMixin, check_array, check_X_y
 from .preprocessing import LabelEncoder
 
@@ -28,7 +38,10 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
     """Feed-forward neural network trained with Adam and cross-entropy.
 
     Parameters mirror sklearn; the defaults match the paper's baseline
-    (one hidden layer of 30 ReLU units, Adam at 1e-3).
+    (one hidden layer of 30 ReLU units, Adam at 1e-3).  ``fused=False``
+    falls back to the eager autograd loop — the fast path's equivalence
+    oracle; both paths consume the shuffle RNG identically, so they see
+    the same mini-batches.
     """
 
     def __init__(self, hidden_layer_sizes: tuple[int, ...] = (30,),
@@ -36,6 +49,7 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
                  batch_size: int | str = "auto", learning_rate_init: float = 1e-3,
                  max_iter: int = 200, tol: float = 1e-4,
                  n_iter_no_change: int = 10, shuffle: bool = True,
+                 fused: bool = True,
                  rng: np.random.Generator | None = None):
         self.hidden_layer_sizes = hidden_layer_sizes
         self.activation = activation
@@ -46,6 +60,7 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
         self.tol = tol
         self.n_iter_no_change = n_iter_no_change
         self.shuffle = shuffle
+        self.fused = fused
         self.rng = rng
 
     def _build(self, n_features: int, n_classes: int,
@@ -77,16 +92,66 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
         n = X.shape[0]
         batch = min(200, n) if self.batch_size == "auto" else int(self.batch_size)
         model = self._build(X.shape[1], n_classes, rng)
+        X = X.astype(np.float32)
+
+        self.loss_curve_: list[float] = []
+        self.n_iter_ = 0
+        if self.fused:
+            self._fit_fused(model, X, codes, batch, rng)
+        else:
+            self._fit_eager(model, X, codes, batch, rng)
+        self._model = model
+        return self
+
+    def _early_stop(self, mean_loss: float, best_loss: float,
+                    stall: int) -> tuple[bool, float, int]:
+        """Shared plateau bookkeeping; returns (stop, best, stall)."""
+
+        self.loss_curve_.append(mean_loss)
+        if mean_loss > best_loss - self.tol:
+            stall += 1
+        else:
+            stall = 0
+        return (stall >= self.n_iter_no_change,
+                min(best_loss, mean_loss), stall)
+
+    def _fit_fused(self, model: nn.Sequential, X: np.ndarray,
+                   codes: np.ndarray, batch: int,
+                   rng: np.random.Generator) -> None:
+        plan = compile_training(model, lr=self.learning_rate_init,
+                                decoupled_weight_decay=self.alpha)
+        n = X.shape[0]
+        best_loss = np.inf
+        stall = 0
+        for _epoch in range(self.max_iter):
+            self.n_iter_ += 1
+            order = np.arange(n)
+            if self.shuffle:
+                rng.shuffle(order)
+            mean_loss = plan.train_epoch(X, codes, order, batch) / n
+            stop, best_loss, stall = self._early_stop(mean_loss,
+                                                      best_loss, stall)
+            if stop:
+                break
+        plan.finish()
+
+    def _fit_eager(self, model: nn.Sequential, X: np.ndarray,
+                   codes: np.ndarray, batch: int,
+                   rng: np.random.Generator) -> None:
         loss_fn = nn.CrossEntropyLoss()
-        optimizer = nn.Adam(model.parameters(), lr=self.learning_rate_init)
+        # alpha as decoupled decay on the weights only (never biases):
+        # same shrink the fused plan applies, no penalty graph.
+        weights = [p for name, p in model.named_parameters()
+                   if name.endswith("weight")]
+        optimizer = nn.Adam(model.parameters(), lr=self.learning_rate_init,
+                            decoupled_weight_decay=self.alpha,
+                            decay_params=weights)
         loader = nn.DataLoader(
-            nn.TensorDataset(X.astype(np.float32), codes),
+            nn.TensorDataset(X, codes),
             batch_size=batch, shuffle=self.shuffle, rng=rng)
 
         best_loss = np.inf
         stall = 0
-        self.loss_curve_: list[float] = []
-        self.n_iter_ = 0
         for _epoch in range(self.max_iter):
             self.n_iter_ += 1
             model.train()
@@ -96,30 +161,14 @@ class MLPClassifier(BaseEstimator, ClassifierMixin):
                 optimizer.zero_grad()
                 logits = model(xb)
                 loss = loss_fn(logits, yb)
-                if self.alpha:
-                    # L2 penalty on weights only (sklearn convention).
-                    penalty = None
-                    for name, p in model.named_parameters():
-                        if name.endswith("weight"):
-                            term = (p * p).sum()
-                            penalty = term if penalty is None else penalty + term
-                    loss = loss + penalty * (self.alpha / (2 * len(xb)))
                 loss.backward()
                 optimizer.step()
                 epoch_loss += loss.item() * len(xb)
                 seen += len(xb)
-            mean_loss = epoch_loss / seen
-            self.loss_curve_.append(mean_loss)
-            if mean_loss > best_loss - self.tol:
-                stall += 1
-                if stall >= self.n_iter_no_change:
-                    break
-            else:
-                stall = 0
-            best_loss = min(best_loss, mean_loss)
-
-        self._model = model
-        return self
+            stop, best_loss, stall = self._early_stop(epoch_loss / seen,
+                                                      best_loss, stall)
+            if stop:
+                break
 
     def _logits(self, X) -> np.ndarray:
         self._check_fitted()

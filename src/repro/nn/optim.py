@@ -95,23 +95,50 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer with bias-corrected first/second moment estimates."""
+    """Adam optimizer with bias-corrected first/second moment estimates.
+
+    ``weight_decay`` is the classic *coupled* L2 (added to the gradient,
+    flowing through the moments, as in ``torch.optim.Adam``).
+    ``decoupled_weight_decay`` is the AdamW formulation — a post-update
+    shrink ``p *= 1 - lr·wd`` that bypasses the adaptive scaling — and
+    is what :class:`~repro.learn.MLPClassifier` uses for its ``alpha``
+    penalty instead of building a per-batch ``(p*p).sum()`` autograd
+    graph.  ``decay_params`` restricts the decoupled decay to a subset
+    of parameters (sklearn penalizes weights only, never biases).  The
+    shrink formulation matches :meth:`repro.core.TrainPlan.step`
+    exactly, so fused and eager training decay identically.
+    """
 
     def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
-                 weight_decay: float = 0.0):
+                 weight_decay: float = 0.0,
+                 decoupled_weight_decay: float = 0.0,
+                 decay_params: Iterable[Tensor] | None = None):
         super().__init__(params)
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
             raise ValueError("betas must lie in [0, 1)")
+        if weight_decay and decoupled_weight_decay:
+            raise ValueError("choose coupled or decoupled weight decay, "
+                             "not both")
         self.lr = lr
         self.betas = betas
         self.eps = eps
         self.weight_decay = weight_decay
+        self.decoupled_weight_decay = decoupled_weight_decay
+        if decay_params is None:
+            self._decay_ids = None
+        else:
+            self._decay_ids = {id(p) for p in decay_params}
+            unknown = self._decay_ids - {id(p) for p in self.params}
+            if unknown:
+                raise ValueError("decay_params must be a subset of the "
+                                 "optimized parameters")
 
     def step(self) -> None:
         beta1, beta2 = self.betas
+        shrink = 1.0 - self.lr * self.decoupled_weight_decay
         for p in self.params:
             if not p.requires_grad or p.grad is None:
                 continue
@@ -133,3 +160,6 @@ class Adam(Optimizer):
             m_hat = m / (1 - beta1 ** t)
             v_hat = v / (1 - beta2 ** t)
             p.data -= (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(p.data.dtype)
+            if self.decoupled_weight_decay and (
+                    self._decay_ids is None or id(p) in self._decay_ids):
+                p.data *= shrink

@@ -126,6 +126,10 @@ class LoadTestReport:
     versions_served: dict[int, int] = field(default_factory=dict)
     swaps: int = 0
     trainer_updates: int = 0
+    # Freshness at run end: worst-case seconds since last publish, and
+    # the slowest most-recent retrain-trigger→publish latency.
+    model_staleness_s: float = 0.0
+    last_train_seconds: float = 0.0
     batches: int = 0
     largest_batch: int = 0
     per_cell: dict[str, int] = field(default_factory=dict)
@@ -165,6 +169,8 @@ class LoadTestReport:
                                 for k, v in self.versions_served.items()},
             "swaps": self.swaps,
             "trainer_updates": self.trainer_updates,
+            "model_staleness_s": self.model_staleness_s,
+            "last_train_seconds": self.last_train_seconds,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "per_cell": dict(self.per_cell),
@@ -182,6 +188,10 @@ class LoadTestReport:
                 f"p95={lat.p95_us:.0f}µs p99={lat.p99_us:.0f}µs; "
                 f"{self.swaps} hot-swaps over {len(self.versions_served)} "
                 f"version(s)")
+        if self.trainer_updates:
+            text += (f"; freshness: model {self.model_staleness_s:.2f}s "
+                     f"old at run end, last retrain->publish "
+                     f"{self.last_train_seconds:.2f}s")
         if self.n_shed or self.n_evicted or self.n_expired:
             text += (f"; shed {self.n_shed:,} at the gate + "
                      f"{self.n_evicted:,} evicted + {self.n_expired:,} "
@@ -450,6 +460,8 @@ class LoadGenerator:
             latency=LatencyStats.from_ns(latencies),
             versions_served=stats.versions_served,
             swaps=stats.swaps, trainer_updates=stats.trainer_updates,
+            model_staleness_s=stats.model_staleness_s,
+            last_train_seconds=stats.last_train_seconds,
             batches=stats.batches, largest_batch=stats.largest_batch,
             per_cell=per_cell, per_cell_shed=per_cell_shed,
             n_audited=audited, n_misrouted=misrouted)

@@ -74,6 +74,13 @@ class ServiceStats:
     observations: int = 0
     workers: int = 1
     shard_completed: tuple[int, ...] = ()
+    #: Freshness gauge: seconds since the active snapshot published
+    #: (now − last publish).  What the continuous-retraining loop is
+    #: minimizing; 0.0 when nothing is served yet.
+    model_staleness_s: float = 0.0
+    #: Trigger→publish latency of the most recent background retrain
+    #: (0.0 until one completes).
+    last_train_seconds: float = 0.0
 
     @property
     def mean_batch(self) -> float:
@@ -106,6 +113,8 @@ class ServiceStats:
             "observations": self.observations,
             "workers": self.workers,
             "shard_completed": list(self.shard_completed),
+            "model_staleness_s": self.model_staleness_s,
+            "last_train_seconds": self.last_train_seconds,
         }
 
 
@@ -194,6 +203,21 @@ class RouterStats:
         return self._sum("observations")
 
     @property
+    def model_staleness_s(self) -> float:
+        """Worst-case freshness across cells (max of the per-cell
+        now − last publish gauges)."""
+
+        return max((s.model_staleness_s for s in self.cells.values()),
+                   default=0.0)
+
+    @property
+    def last_train_seconds(self) -> float:
+        """Slowest most-recent retrain→publish across cells."""
+
+        return max((s.last_train_seconds for s in self.cells.values()),
+                   default=0.0)
+
+    @property
     def versions_served(self) -> dict[int, int]:
         merged: dict[int, int] = {}
         for stats in self.cells.values():
@@ -216,4 +240,6 @@ class RouterStats:
             "swaps": self.swaps, "trainer_updates": self.trainer_updates,
             "trainer_failures": self.trainer_failures,
             "observations": self.observations,
+            "model_staleness_s": self.model_staleness_s,
+            "last_train_seconds": self.last_train_seconds,
         }

@@ -49,13 +49,14 @@ class CellRouter(AbstractContextManager):
     n_workers / max_batch / max_wait_us:
         Defaults for every cell's :class:`~repro.serve.MicroBatcher`;
         :meth:`add_cell` can override them per cell.
-    latency_budget_ms / max_queue / shed_policy / autotune / compile:
-        Admission-control, autotuning, and compiled-fast-path defaults
-        applied to every cell (see
+    latency_budget_ms / max_queue / shed_policy / autotune / compile /
+    fused_train:
+        Admission-control, autotuning, compiled-fast-path, and
+        fused-retraining defaults applied to every cell (see
         :class:`~repro.serve.ClassificationService`);
         :meth:`add_cell` can override them per cell, so a small cell
-        can run a tighter budget than a large one (or serve eagerly
-        next to compiled cells).
+        can run a tighter budget than a large one (or serve / retrain
+        eagerly next to compiled cells).
     """
 
     def __init__(self, n_workers: int = 1, max_batch: int = 64,
@@ -64,7 +65,8 @@ class CellRouter(AbstractContextManager):
                  max_queue: int | None = None,
                  shed_policy: str = "reject",
                  autotune: bool = False,
-                 compile: bool = True):
+                 compile: bool = True,
+                 fused_train: bool = True):
         # Fail at construction, not at the first add_cell: a typo'd
         # router-wide policy would otherwise sit latent until a cell
         # joins.
@@ -78,6 +80,7 @@ class CellRouter(AbstractContextManager):
         self.shed_policy = shed_policy
         self.autotune = autotune
         self.compile = compile
+        self.fused_train = fused_train
         self._services: dict[str, ClassificationService] = {}
         self._lock = threading.Lock()
         self._started = False
@@ -93,6 +96,7 @@ class CellRouter(AbstractContextManager):
                          shed_policy: str = "reject",
                          autotune: bool = False,
                          compile: bool = True,
+                         fused_train: bool = True,
                          **cell_kwargs) -> "CellRouter":
         """Declare cells up front from ``{cell_id: (model, registry)}``.
 
@@ -105,7 +109,8 @@ class CellRouter(AbstractContextManager):
                      max_wait_us=max_wait_us,
                      latency_budget_ms=latency_budget_ms,
                      max_queue=max_queue, shed_policy=shed_policy,
-                     autotune=autotune, compile=compile)
+                     autotune=autotune, compile=compile,
+                     fused_train=fused_train)
         for cell_id, (model, registry) in deployments.items():
             router.add_cell(cell_id, model, registry, trainer=trainer,
                             **cell_kwargs)
@@ -127,13 +132,15 @@ class CellRouter(AbstractContextManager):
                  shed_policy: str | object = _INHERIT,
                  autotune: bool | object = _INHERIT,
                  compile: bool | object = _INHERIT,
+                 fused_train: bool | object = _INHERIT,
                  rng: np.random.Generator | None = None
                  ) -> ClassificationService:
         """Register one cell's stack; on a started router it goes live
         immediately (dynamic registration).
 
         ``latency_budget_ms`` / ``max_queue`` / ``shed_policy`` /
-        ``autotune`` / ``compile`` default to the router-wide settings;
+        ``autotune`` / ``compile`` / ``fused_train`` default to the
+        router-wide settings;
         pass an explicit value (including ``None``, to disable a
         budget) to override per cell.
         """
@@ -148,6 +155,8 @@ class CellRouter(AbstractContextManager):
             autotune = self.autotune
         if compile is _INHERIT:
             compile = self.compile
+        if fused_train is _INHERIT:
+            fused_train = self.fused_train
         service = ClassificationService(
             model, registry,
             max_batch=self.max_batch if max_batch is None else max_batch,
@@ -158,7 +167,7 @@ class CellRouter(AbstractContextManager):
             features_count=features_count,
             latency_budget_ms=latency_budget_ms, max_queue=max_queue,
             shed_policy=shed_policy, autotune=autotune, compile=compile,
-            rng=rng)
+            fused_train=fused_train, rng=rng)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("router is closed")

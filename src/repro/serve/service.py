@@ -19,6 +19,7 @@ known, closing the training loop.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import AbstractContextManager
 
 import numpy as np
@@ -73,6 +74,11 @@ class ClassificationService(AbstractContextManager):
         through it (sparse end-to-end, no autograd);
         ``False`` keeps everything on the eager ``Module`` path — the
         fallback and the fast path's equivalence oracle.
+    fused_train:
+        ``True`` (default) retrains through the compiled
+        :class:`~repro.core.TrainPlan` (fused backprop on the
+        CSR-kept observation matrix — the training-side mirror of
+        ``compile``); ``False`` keeps the eager autograd loop.
     """
 
     def __init__(self, model: object, registry: FeatureRegistry,
@@ -85,6 +91,7 @@ class ClassificationService(AbstractContextManager):
                  shed_policy: str = "reject",
                  autotune: bool = False,
                  compile: bool = True,
+                 fused_train: bool = True,
                  rng: np.random.Generator | None = None):
         self.registry = registry
         clone = isinstance(model, GrowingModel)
@@ -130,6 +137,7 @@ class ClassificationService(AbstractContextManager):
             self.trainer = BackgroundTrainer(self.handle, registry,
                                              policy=policy,
                                              registry_lock=registry_lock,
+                                             fused=fused_train,
                                              rng=rng)
         self._started = False
         self._closed = False
@@ -213,6 +221,10 @@ class ClassificationService(AbstractContextManager):
         # reading the attributes directly would race the worker shards
         # (a versions_served copy mid-insert raises RuntimeError).
         counters = batcher.counters()
+        staleness = (time.monotonic() - self.handle.snapshot().published_at
+                     if self.handle.serving else 0.0)
+        last_update = (trainer.updates[-1]
+                       if trainer is not None and trainer.updates else None)
         return ServiceStats(
             requests=counters["requests"],
             completed=counters["completed"],
@@ -235,4 +247,7 @@ class ClassificationService(AbstractContextManager):
             trainer_failures=0 if trainer is None else trainer.failed_updates,
             observations=0 if trainer is None else trainer.observations_total,
             workers=batcher.n_workers,
-            shard_completed=counters["shard_completed"])
+            shard_completed=counters["shard_completed"],
+            model_staleness_s=staleness,
+            last_train_seconds=(0.0 if last_update is None
+                                else last_update.train_seconds))

@@ -10,6 +10,19 @@ transfer-trained (input-layer extension + damped gradients, the paper's
 Listings 2–3) off the serving path.  Only the final
 :meth:`~repro.serve.ModelHandle.publish` touches shared state — the
 serving thread never waits on training.
+
+Two levers keep the retrain→publish staleness window tight:
+
+* **Wakeup, not polling** — the loop blocks on a condition variable
+  signalled by every :meth:`BackgroundTrainer.observe` (the only event
+  that can arm the trigger), with ``poll_interval_s`` demoted to a
+  watchdog upper bound (it still re-arms backoff expiry, which no
+  observation signals).
+* **Fused training** (default) — the shadow model retrains through the
+  compiled :class:`~repro.core.TrainPlan`: the encoded CO-VV matrix
+  stays CSR end to end (``keep_sparse``) and each epoch runs fused
+  NumPy backprop with zero autograd graphs.  ``fused=False`` keeps the
+  eager Listing-3 loop as the fallback and equivalence oracle.
 """
 
 from __future__ import annotations
@@ -37,7 +50,14 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True, slots=True)
 class ServeUpdate:
-    """One completed real-time retraining (wall-clock UpdateRecord)."""
+    """One completed real-time retraining (wall-clock UpdateRecord).
+
+    ``staleness_closed_s`` is the age of the *replaced* snapshot at the
+    moment this update published — how stale the served model had
+    become before retraining caught up (0 when nothing was being
+    served).  ``train_seconds`` is the retrain-trigger→publish latency;
+    shrinking it is what the fused training path is for.
+    """
 
     version: int
     triggered_at: float
@@ -47,6 +67,8 @@ class ServeUpdate:
     n_observations: int
     epochs: int
     accuracy: float
+    staleness_closed_s: float = 0.0
+    fused: bool = True
 
     @property
     def train_seconds(self) -> float:
@@ -64,10 +86,15 @@ class BackgroundTrainer:
     policy:
         The shared retrain trigger (growth + observation thresholds).
     poll_interval_s:
-        How often the thread re-checks the trigger while idle.
+        Watchdog upper bound on how long the thread sleeps without an
+        observation wakeup (backoff expiry is time-, not event-driven).
     retry_backoff_s:
         Cool-down after an unsuccessful attempt (undertrained data or
         exhausted fail-fast budget) before the trigger is re-armed.
+    fused:
+        ``True`` (default) retrains through the compiled
+        :class:`~repro.core.TrainPlan` on the CSR-kept dataset;
+        ``False`` uses the eager autograd loop on densified data.
     """
 
     def __init__(self, handle: ModelHandle, registry: FeatureRegistry,
@@ -77,6 +104,7 @@ class BackgroundTrainer:
                  max_buffer: int = 50_000,
                  config=None,
                  registry_lock: threading.Lock | None = None,
+                 fused: bool = True,
                  rng: np.random.Generator | None = None):
         """``config`` (a :class:`~repro.core.CTLMConfig`) is only used
         when no served model exists to clone from.  ``registry_lock``
@@ -91,9 +119,16 @@ class BackgroundTrainer:
         self.poll_interval_s = poll_interval_s
         self.retry_backoff_s = retry_backoff_s
         self.max_buffer = max_buffer
+        self.fused = fused
         self.rng = rng or np.random.default_rng()
 
         self._lock = threading.Lock()
+        # Observation wakeup: observe() signals, the loop waits with
+        # poll_interval_s as the watchdog timeout.  _wake_seq lets the
+        # loop detect arrivals that landed between its trigger check
+        # and the wait (no missed-wakeup window).
+        self._wake = threading.Condition(self._lock)
+        self._wake_seq = 0
         self._tasks: list[CompactedTask] = []
         self._labels: list[int] = []
         self._stop = threading.Event()
@@ -122,6 +157,8 @@ class BackgroundTrainer:
 
     def stop(self, timeout: float | None = 30.0) -> None:
         self._stop.set()
+        with self._wake:
+            self._wake.notify_all()
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
@@ -130,11 +167,12 @@ class BackgroundTrainer:
     # observation intake (called from serving / ingest threads)
     # ------------------------------------------------------------------
     def observe(self, task: CompactedTask, group: int) -> None:
-        """Record one labelled observation; extends the registry."""
+        """Record one labelled observation; extends the registry and
+        wakes the trainer thread."""
 
         with self.registry_lock:
             self.registry.observe_task(task)
-        with self._lock:
+        with self._wake:
             self._tasks.append(task)
             self._labels.append(int(group))
             self.observations_total += 1
@@ -142,6 +180,8 @@ class BackgroundTrainer:
                 # Sliding window: keep the freshest observations.
                 del self._tasks[:-self.max_buffer]
                 del self._labels[:-self.max_buffer]
+            self._wake_seq += 1
+            self._wake.notify()
 
     @property
     def n_observations(self) -> int:
@@ -158,9 +198,26 @@ class BackgroundTrainer:
                                self._width_at_last_publish)
 
     def _loop(self) -> None:
-        while not self._stop.wait(self.poll_interval_s):
+        while not self._stop.is_set():
+            with self._wake:
+                seen = self._wake_seq
             if self.due():
                 self.train_once()
+                continue
+            backoff = self._not_before - time.monotonic()
+            if backoff > 0:
+                # Cool-down is time-gated: observation wakeups cannot
+                # arm the trigger until it expires, so sleep it out
+                # (watchdog-bounded) instead of re-checking per
+                # observation.
+                self._stop.wait(min(backoff, self.poll_interval_s))
+                continue
+            with self._wake:
+                # Sleep only if nothing arrived since the trigger
+                # check; the watchdog timeout covers time-driven
+                # re-arming (backoff expiry).
+                if self._wake_seq == seen and not self._stop.is_set():
+                    self._wake.wait(self.poll_interval_s)
 
     def train_once(self) -> ServeUpdate | None:
         """One retrain → publish cycle (public for deterministic tests)."""
@@ -179,15 +236,18 @@ class BackgroundTrainer:
             return None
 
         shadow = self._shadow_model()
+        # The fused path trains straight off the encoder's CSR output;
+        # the eager oracle needs it densified.
         dataset = DatasetData(X, y, batch_size=shadow.config.batch_size,
-                              rng=self.rng)
+                              keep_sparse=self.fused, rng=self.rng)
         try:
-            outcome = shadow.fit_step(dataset)
+            outcome = shadow.fit_step(dataset, fused=self.fused)
         except TrainingFailedError:
             self.failed_updates += 1
             self._not_before = time.monotonic() + self.retry_backoff_s
             return None
 
+        previous = self.handle.snapshot() if self.handle.serving else None
         # The shadow is discarded after publication, so no clone needed.
         snapshot = self.handle.publish(shadow, clone=False)
         self._width_at_last_publish = snapshot.features_count
@@ -197,11 +257,18 @@ class BackgroundTrainer:
             features_before=features_before,
             features_after=snapshot.features_count,
             n_observations=X.shape[0], epochs=outcome.epochs,
-            accuracy=outcome.accuracy)
+            accuracy=outcome.accuracy,
+            staleness_closed_s=(
+                0.0 if previous is None
+                else snapshot.published_at - previous.published_at),
+            fused=self.fused)
         self.updates.append(update)
         logger.info("published model v%d: %d -> %d features, %d epochs, "
-                    "acc %.3f", update.version, update.features_before,
-                    update.features_after, update.epochs, update.accuracy)
+                    "acc %.3f, %.3fs trigger->publish (%s)",
+                    update.version, update.features_before,
+                    update.features_after, update.epochs, update.accuracy,
+                    update.train_seconds,
+                    "fused" if self.fused else "eager")
         return update
 
     def _shadow_model(self) -> GrowingModel:

@@ -1,0 +1,394 @@
+"""TrainPlan: fused backprop must be indistinguishable from autograd.
+
+The compiled training path only earns its keep if it is a pure
+re-expression of the eager Listing-3 loop — same gradients (bit-close)
+on every batch, same accepted models on every fit, across widths,
+activations, growth steps, sparse/dense encodings, and resumed
+optimizer state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core import (BENCH_CONFIG, GrowingModel, build_model,
+                        compile_training, extend_state_dict)
+from repro.core.train_plan import _gather_csr_rows
+from repro.datasets.dataset import DatasetData
+from repro.errors import PlanCompileError
+
+LEARNABLE_CONFIG = BENCH_CONFIG.with_overrides(
+    accepted_accuracy=0.55, accepted_group_0_f1_score=0.3, epochs_limit=30)
+
+
+def random_batch(n: int, width: int, seed: int, n_classes: int = 26,
+                 density: float = 0.15):
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, width)) < density).astype(np.float32)
+    y = rng.integers(0, n_classes, size=n).astype(np.int64)
+    return X, y
+
+
+def eager_grads(model, X, y, class_weights=None,
+                multiplier=None) -> dict[str, np.ndarray]:
+    """Reference gradients straight from the autograd stack."""
+
+    loss_fn = nn.CrossEntropyLoss(weight=class_weights)
+    model.zero_grad()
+    loss = loss_fn(model(nn.from_numpy(X)), y)
+    loss.backward()
+    grads = {}
+    for name, param in model.named_parameters():
+        grad = np.array(param.grad)
+        if multiplier is not None and name.endswith("fc1.weight"):
+            grad *= multiplier[np.newaxis, :]
+        grads[name] = grad
+    return grads, float(loss.item())
+
+
+class TestGradientEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(features=st.integers(2, 60), n=st.integers(2, 48),
+           seed=st.integers(0, 2**16), weighted=st.booleans())
+    def test_grads_bit_close_to_autograd(self, features, n, seed, weighted):
+        model = build_model(features, BENCH_CONFIG,
+                            np.random.default_rng(seed))
+        X, y = random_batch(n, features, seed + 1)
+        cw = BENCH_CONFIG.class_weights() if weighted else None
+        reference, ref_loss = eager_grads(model, X, y, class_weights=cw)
+        plan = compile_training(model, lr=0.05, class_weights=cw)
+        loss = plan.forward_backward(X, y)
+        assert loss == pytest.approx(ref_loss, rel=1e-5, abs=1e-6)
+        np.testing.assert_allclose(plan._grads_t[0].T,
+                                   reference["fc1.weight"],
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(plan._grads_t[1].T,
+                                   reference["fc2.weight"],
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(plan._grads_b[0],
+                                   reference["fc1.bias"],
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(plan._grads_b[1],
+                                   reference["fc2.bias"],
+                                   rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(features=st.integers(2, 40), n=st.integers(2, 40),
+           seed=st.integers(0, 2**16),
+           act=st.sampled_from([nn.ReLU, nn.Tanh, nn.Sigmoid, nn.Identity]))
+    def test_activation_stacks_match_autograd(self, features, n, seed, act):
+        rng = np.random.default_rng(seed)
+        model = nn.Sequential(nn.Linear(features, 9, rng=rng), act(),
+                              nn.Linear(9, 5, rng=rng))
+        X = np.asarray(rng.normal(size=(n, features)), dtype=np.float32)
+        y = rng.integers(0, 5, size=n).astype(np.int64)
+        loss_fn = nn.CrossEntropyLoss()
+        model.zero_grad()
+        loss = loss_fn(model(nn.from_numpy(X)), y)
+        loss.backward()
+        plan = compile_training(model, lr=0.01)
+        fused_loss = plan.forward_backward(X, y)
+        assert fused_loss == pytest.approx(loss.item(), rel=1e-4,
+                                           abs=1e-6)
+        params = dict(model.named_parameters())
+        np.testing.assert_allclose(plan._grads_t[0].T,
+                                   params["0.weight"].grad,
+                                   rtol=1e-3, atol=1e-6)
+        np.testing.assert_allclose(plan._grads_t[1].T,
+                                   params["2.weight"].grad,
+                                   rtol=1e-3, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(features=st.integers(2, 30), grown_by=st.integers(1, 20),
+           n=st.integers(4, 32), seed=st.integers(0, 2**16))
+    def test_damped_grads_immediately_after_grow(self, features, grown_by,
+                                                 n, seed):
+        """The transfer-training case: an input-extended model's fused
+        gradients must equal autograd's after the Listing-3 mask."""
+
+        gm = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(seed))
+        gm.model = build_model(features, BENCH_CONFIG,
+                               np.random.default_rng(seed + 1))
+        state = extend_state_dict(gm.model.state_dict(),
+                                  features + grown_by)
+        gm.model = build_model(features + grown_by, BENCH_CONFIG,
+                               np.random.default_rng(seed + 2))
+        gm.model.load_state_dict(state)
+        multiplier = np.concatenate([
+            np.full(features, BENCH_CONFIG.pretrained_gradient_rate,
+                    dtype=np.float32),
+            np.ones(grown_by, dtype=np.float32)])
+        X, y = random_batch(n, features + grown_by, seed + 3)
+        cw = BENCH_CONFIG.class_weights()
+        reference, _ = eager_grads(gm.model, X, y, class_weights=cw,
+                                   multiplier=multiplier)
+        plan = compile_training(gm.model, lr=0.05, class_weights=cw,
+                                input_gradient_scale=multiplier,
+                                train_first_layer_only=True)
+        plan.forward_backward(X, y)
+        np.testing.assert_allclose(plan._grads_t[0].T,
+                                   reference["fc1.weight"],
+                                   rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(plan._grads_b[0],
+                                   reference["fc1.bias"],
+                                   rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(features=st.integers(2, 50), n=st.integers(2, 40),
+           seed=st.integers(0, 2**16))
+    def test_sparse_input_matches_dense(self, features, n, seed):
+        model = build_model(features, BENCH_CONFIG,
+                            np.random.default_rng(seed))
+        X, y = random_batch(n, features, seed + 1)
+        plan = compile_training(model, lr=0.05,
+                                class_weights=BENCH_CONFIG.class_weights())
+        dense_loss = plan.forward_backward(X, y)
+        dense_grads = [g.copy() for g in plan._grads_t]
+        sparse_loss = plan.forward_backward(sp.csr_matrix(X), y)
+        assert sparse_loss == pytest.approx(dense_loss, rel=1e-5)
+        for got, expected in zip(plan._grads_t, dense_grads):
+            np.testing.assert_allclose(got, expected, rtol=1e-4,
+                                       atol=1e-6)
+
+    def test_narrower_rows_use_weight_prefix(self):
+        """Rows encoded before the registry grew: missing columns are
+        implicitly zero, so grads equal the zero-padded dense case and
+        the trailing weight-gradient rows are exactly zero."""
+
+        model = build_model(20, BENCH_CONFIG, np.random.default_rng(3))
+        X, y = random_batch(10, 12, seed=4)
+        plan = compile_training(model, lr=0.05)
+        loss_narrow = plan.forward_backward(X, y)
+        narrow = plan._grads_t[0].copy()
+        assert np.all(narrow[12:] == 0.0)
+        padded = np.pad(X, ((0, 0), (0, 8)))
+        loss_padded = plan.forward_backward(padded, y)
+        assert loss_narrow == pytest.approx(loss_padded, rel=1e-6)
+        np.testing.assert_allclose(plan._grads_t[0], narrow, atol=1e-7)
+
+    def test_wider_rows_rejected(self):
+        model = build_model(10, BENCH_CONFIG, np.random.default_rng(5))
+        plan = compile_training(model, lr=0.05)
+        X, y = random_batch(4, 15, seed=6)
+        with pytest.raises(ValueError, match="15 features"):
+            plan.forward_backward(X, y)
+        with pytest.raises(ValueError, match="15 features"):
+            plan.train_epoch(sp.csr_matrix(X), y, np.arange(4), 2)
+
+
+class TestTrainedEquivalence:
+    """Whole-fit agreement: fused and eager accept the same models."""
+
+    def _dataset(self, seed: int, sparse: bool = False,
+                 features: int = 40) -> DatasetData:
+        rng = np.random.default_rng(97)
+        X = (rng.random((700, features)) < 0.12).astype(np.float32)
+        y = (X[:, :6] * np.arange(1, 7)).sum(axis=1).astype(np.int64) % 8
+        if sparse:
+            return DatasetData(sp.csr_matrix(X), y, batch_size=64,
+                               keep_sparse=True,
+                               rng=np.random.default_rng(seed))
+        return DatasetData(X, y, batch_size=64,
+                           rng=np.random.default_rng(seed))
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_fit_step_identical_epochs_and_accuracy(self, sparse):
+        fused_model = GrowingModel(LEARNABLE_CONFIG,
+                                   rng=np.random.default_rng(11))
+        eager_model = GrowingModel(LEARNABLE_CONFIG,
+                                   rng=np.random.default_rng(11))
+        fused = fused_model.fit_step(self._dataset(13, sparse=sparse),
+                                     fused=True)
+        eager = eager_model.fit_step(self._dataset(13), fused=False)
+        assert fused.epochs == eager.epochs
+        assert fused.attempts == eager.attempts
+        assert fused.accuracy == pytest.approx(eager.accuracy, abs=1e-6)
+        for key, value in fused_model.model.state_dict().items():
+            np.testing.assert_allclose(
+                value, eager_model.model.state_dict()[key],
+                rtol=1e-3, atol=1e-4)
+
+    def test_transfer_step_matches_eager(self):
+        """Growth path (extension + damped mask) end to end."""
+
+        fused_model = GrowingModel(LEARNABLE_CONFIG,
+                                   rng=np.random.default_rng(21))
+        eager_model = GrowingModel(LEARNABLE_CONFIG,
+                                   rng=np.random.default_rng(21))
+        fused_model.fit_step(self._dataset(23), fused=True)
+        eager_model.fit_step(self._dataset(23), fused=False)
+        fused = fused_model.fit_step(
+            self._dataset(25, sparse=True, features=55), fused=True)
+        eager = eager_model.fit_step(
+            self._dataset(25, features=55), fused=False)
+        assert fused.grew and eager.grew
+        assert fused.epochs == eager.epochs
+        assert fused.accuracy == pytest.approx(eager.accuracy, abs=1e-6)
+
+    def test_finish_writes_back_and_compiles(self):
+        gm = GrowingModel(LEARNABLE_CONFIG, rng=np.random.default_rng(31))
+        gm.fit_step(self._dataset(33), fused=True)
+        X, _ = random_batch(20, 40, seed=35, n_classes=8)
+        # The served (eager) forward, the freshly-compiled inference
+        # plan, and a fresh train plan's forward all agree: finish()
+        # really wrote the trained weights back into the modules.
+        eager_labels = gm.predict(X)
+        assert np.array_equal(gm.compile().predict(X), eager_labels)
+        fresh = compile_training(gm.model, lr=0.01)
+        assert np.array_equal(fresh.predict(X), eager_labels)
+
+
+class TestAdamResume:
+    def test_resumed_moments_continue_identically(self):
+        """finish() → re-export → load_optimizer_state must continue
+        exactly where an uninterrupted plan would be."""
+
+        seed = 41
+        model_a = build_model(25, BENCH_CONFIG, np.random.default_rng(seed))
+        model_b = build_model(25, BENCH_CONFIG, np.random.default_rng(seed))
+        batches = [random_batch(32, 25, seed=50 + i) for i in range(8)]
+
+        straight = compile_training(model_a, lr=0.05)
+        for X, y in batches:
+            straight.train_batch(X, y)
+        straight.finish()
+
+        interrupted = compile_training(model_b, lr=0.05)
+        for X, y in batches[:4]:
+            interrupted.train_batch(X, y)
+        interrupted.finish()
+        state = interrupted.optimizer_state()
+        resumed = compile_training(model_b, lr=0.05)
+        resumed.load_optimizer_state(state)
+        for X, y in batches[4:]:
+            resumed.train_batch(X, y)
+        resumed.finish()
+
+        for key, value in model_a.state_dict().items():
+            np.testing.assert_allclose(value, model_b.state_dict()[key],
+                                       rtol=1e-5, atol=1e-7)
+
+    def test_moments_survive_input_growth_as_prefix(self):
+        model = build_model(10, BENCH_CONFIG, np.random.default_rng(61))
+        plan = compile_training(model, lr=0.05)
+        for i in range(3):
+            plan.train_batch(*random_batch(16, 10, seed=70 + i))
+        state = plan.optimizer_state()
+
+        grown_state = extend_state_dict(model.state_dict(), 14)
+        grown = build_model(14, BENCH_CONFIG, np.random.default_rng(62))
+        grown.load_state_dict(grown_state)
+        resumed = compile_training(grown, lr=0.05)
+        resumed.load_optimizer_state(state)
+        np.testing.assert_array_equal(resumed._m_w[0][:10],
+                                      state["m_w"][0])
+        assert np.all(resumed._m_w[0][10:] == 0.0)
+        assert np.all(resumed._v_w[0][10:] == 0.0)
+        assert resumed._steps == state["steps"]
+        # And it still trains.
+        resumed.train_batch(*random_batch(16, 14, seed=80))
+
+    def test_mismatched_state_rejected(self):
+        plan = compile_training(
+            build_model(10, BENCH_CONFIG, np.random.default_rng(63)),
+            lr=0.05)
+        other = compile_training(
+            nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(64))),
+            lr=0.05)
+        with pytest.raises(ValueError, match="layer count"):
+            plan.load_optimizer_state(other.optimizer_state())
+
+
+class TestFrozenLayers:
+    def test_first_layer_only_freezes_the_tail(self):
+        model = build_model(12, BENCH_CONFIG, np.random.default_rng(71))
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        plan = compile_training(model, lr=0.05,
+                                train_first_layer_only=True)
+        for i in range(4):
+            plan.train_batch(*random_batch(24, 12, seed=90 + i))
+        plan.finish()
+        after = model.state_dict()
+        assert not np.allclose(after["fc1.weight"], before["fc1.weight"])
+        assert not np.allclose(after["fc1.bias"], before["fc1.bias"])
+        np.testing.assert_array_equal(after["fc2.weight"],
+                                      before["fc2.weight"])
+        np.testing.assert_array_equal(after["fc2.bias"],
+                                      before["fc2.bias"])
+
+    def test_decoupled_decay_shrinks_weights_not_biases(self):
+        rng = np.random.default_rng(73)
+        model = nn.Sequential(nn.Linear(6, 4, rng=rng))
+        plan = compile_training(model, lr=0.1, decoupled_weight_decay=0.5)
+        X = np.zeros((4, 6), dtype=np.float32)
+        y = np.zeros(4, dtype=np.int64)
+        weight_before = model["0"].weight.data.copy()
+        plan.train_batch(X, y)
+        plan.finish()
+        # Zero input ⇒ zero weight gradient ⇒ the only weight movement
+        # is the decay shrink (biases still move: CE bias grads ≠ 0).
+        np.testing.assert_allclose(model["0"].weight.data,
+                                   weight_before * (1.0 - 0.1 * 0.5),
+                                   rtol=1e-6)
+
+
+class TestEpochDriver:
+    def test_gather_matches_scipy_row_indexing(self):
+        rng = np.random.default_rng(81)
+        X = sp.random(300, 60, density=0.1, format="csr",
+                      dtype=np.float32, random_state=82)
+        idx = rng.permutation(300)[:120]
+        b_ptr, b_idx, b_dat = _gather_csr_rows(X.indptr, X.indices,
+                                               X.data, idx)
+        expected = X[idx]
+        np.testing.assert_array_equal(b_ptr, expected.indptr)
+        np.testing.assert_array_equal(b_idx, expected.indices)
+        np.testing.assert_array_equal(b_dat, expected.data)
+
+    def test_epoch_equals_per_batch_loop(self):
+        model_a = build_model(30, BENCH_CONFIG, np.random.default_rng(83))
+        model_b = build_model(30, BENCH_CONFIG, np.random.default_rng(83))
+        X, y = random_batch(200, 30, seed=84, n_classes=5)
+        order = np.random.default_rng(85).permutation(200)
+        plan_a = compile_training(model_a, lr=0.01)
+        total = plan_a.train_epoch(sp.csr_matrix(X), y, order, 48)
+        plan_b = compile_training(model_b, lr=0.01)
+        manual = 0.0
+        for start in range(0, 200, 48):
+            idx = order[start:start + 48]
+            manual += plan_b.train_batch(X[idx], y[idx]) * len(idx)
+        assert total == pytest.approx(manual, rel=1e-5)
+        for got, expected in zip(plan_a._weights_t, plan_b._weights_t):
+            np.testing.assert_allclose(got, expected, rtol=1e-5,
+                                       atol=1e-7)
+
+
+class TestCompileErrors:
+    def test_dropout_rejected_for_training(self):
+        model = nn.Sequential(nn.Linear(4, 3), nn.Dropout(0.5),
+                              nn.Linear(3, 2))
+        with pytest.raises(PlanCompileError, match="Dropout"):
+            compile_training(model, lr=0.01)
+
+    def test_no_linear_rejected(self):
+        with pytest.raises(PlanCompileError, match="no Linear"):
+            compile_training(nn.Sequential(nn.Identity()), lr=0.01)
+
+    def test_stacked_activations_rejected(self):
+        model = nn.Sequential(nn.Linear(4, 3), nn.ReLU(), nn.Tanh())
+        with pytest.raises(PlanCompileError, match="stacked"):
+            compile_training(model, lr=0.01)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            compile_training(nn.Sequential(nn.Linear(4, 3)), lr=0.0)
+
+    def test_bad_scale_length_rejected(self):
+        with pytest.raises(ValueError, match="one entry per input"):
+            compile_training(nn.Sequential(nn.Linear(4, 3)), lr=0.1,
+                             input_gradient_scale=np.ones(7))

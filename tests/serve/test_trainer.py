@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
+import repro.core.growing as growing
 from repro.serve import BackgroundTrainer, ClassificationService, ModelHandle
 from repro.sim import RetrainPolicy
 
@@ -97,3 +100,148 @@ class TestRetrainPublish:
         trainer.stop(timeout=5)
         assert trainer.observations_total == 1
         assert trainer.updates == []
+
+    def test_observation_wakes_the_thread_without_polling(self, serve_setup):
+        """The condvar wakeup: with a watchdog interval far longer than
+        the test, only an observe() signal can get the retrain started
+        — a 50 ms-poll regression would time out here."""
+
+        model, result = serve_setup
+        handle = ModelHandle()
+        handle.publish(model, clone=True)
+        trainer = BackgroundTrainer(
+            handle, result.registry, poll_interval_s=120.0,
+            policy=RetrainPolicy(growth_threshold=4, min_observations=50),
+            rng=np.random.default_rng(7))
+        trainer.start()
+        try:
+            # The thread is now parked in its watchdog wait.
+            time.sleep(0.05)
+            for task, label in zip(result.tasks, result.labels):
+                trainer.observe(task, int(label))
+            deadline = time.monotonic() + 30.0
+            while not trainer.updates and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            trainer.stop(timeout=10)
+        assert trainer.updates, \
+            "observe() did not wake the 120s-watchdog trainer thread"
+        assert handle.version == 2
+
+    def test_stop_interrupts_the_watchdog_wait(self, serve_setup):
+        model, result = serve_setup
+        handle = ModelHandle()
+        handle.publish(model, clone=True)
+        trainer = BackgroundTrainer(
+            handle, result.registry, poll_interval_s=120.0,
+            policy=RetrainPolicy(growth_threshold=10_000,
+                                 min_observations=1))
+        trainer.start()
+        time.sleep(0.05)
+        started = time.monotonic()
+        trainer.stop(timeout=10)
+        assert time.monotonic() - started < 5.0
+
+
+class TestFusedRetraining:
+    def test_swap_storm_publishes_monotone_versions(self, serve_setup,
+                                                    monkeypatch):
+        """Repeated fused retrains: versions strictly increase, every
+        snapshot pairs with a matching-version inference plan, and the
+        growth retrain applied the Listing-3 damped mask on the fused
+        buffers (captured off compile_training)."""
+
+        captured: list[dict] = []
+        real_compile = growing.compile_training
+
+        def spy(model, **kwargs):
+            captured.append(kwargs)
+            return real_compile(model, **kwargs)
+
+        monkeypatch.setattr(growing, "compile_training", spy)
+
+        model, result = serve_setup
+        policy = RetrainPolicy(growth_threshold=4, min_observations=50)
+        service = ClassificationService(model, result.registry,
+                                        trainer=True, policy=policy,
+                                        rng=np.random.default_rng(3))
+        trainer = service.trainer
+        assert trainer is not None and trainer.fused
+        for task, label in zip(result.tasks, result.labels):
+            service.observe(task, int(label))
+
+        versions = []
+        first = trainer.train_once()
+        assert first is not None and first.fused
+        versions.append(first.version)
+        # Storm: repeated forced retrains republish at the same width.
+        for _ in range(3):
+            update = trainer.train_once()
+            assert update is not None
+            versions.append(update.version)
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+        snapshot = service.handle.snapshot()
+        assert snapshot.version == versions[-1]
+        assert snapshot.plan is not None
+        assert snapshot.plan.model_version == snapshot.version
+
+        # The growth retrain (width grew) ran first-layer-only with the
+        # damped prefix: rate on every pre-trained column, 1.0 on the
+        # fresh ones.
+        growth_calls = [c for c in captured
+                        if c.get("train_first_layer_only")]
+        assert growth_calls, "no damped-mask transfer training happened"
+        scale = np.asarray(
+            growth_calls[0]["input_gradient_scale"]).ravel()
+        rate = trainer._shadow_model().config.pretrained_gradient_rate
+        assert scale.shape[0] == first.features_after
+        np.testing.assert_allclose(scale[:first.features_before], rate)
+        np.testing.assert_allclose(scale[first.features_before:], 1.0)
+
+    def test_eager_fallback_accepts_equivalent_model(self, serve_setup):
+        """fused=False is the oracle: same observations, same seed ⇒
+        same published accuracy and epoch count as the fused path."""
+
+        model, result = serve_setup
+        policy = RetrainPolicy(growth_threshold=4, min_observations=50)
+        outcomes = {}
+        for fused in (True, False):
+            handle = ModelHandle()
+            handle.publish(model, clone=True)
+            trainer = BackgroundTrainer(
+                handle, result.registry, policy=policy, fused=fused,
+                rng=np.random.default_rng(17))
+            for task, label in zip(result.tasks, result.labels):
+                trainer.observe(task, int(label))
+            update = trainer.train_once()
+            assert update is not None
+            assert update.fused is fused
+            outcomes[fused] = update
+        assert outcomes[True].epochs == outcomes[False].epochs
+        assert outcomes[True].accuracy == pytest.approx(
+            outcomes[False].accuracy, abs=1e-6)
+
+    def test_staleness_accounting(self, serve_setup):
+        model, result = serve_setup
+        policy = RetrainPolicy(growth_threshold=4, min_observations=50)
+        service = ClassificationService(model, result.registry,
+                                        trainer=True, policy=policy,
+                                        rng=np.random.default_rng(5))
+        stats = service.stats()
+        assert stats.model_staleness_s >= 0.0
+        assert stats.last_train_seconds == 0.0
+        for task, label in zip(result.tasks, result.labels):
+            service.observe(task, int(label))
+        update = service.trainer.train_once()
+        assert update is not None
+        # The update closed the initial snapshot's staleness window,
+        # which spans at least its own training time.
+        assert update.staleness_closed_s >= update.train_seconds > 0.0
+        stats = service.stats()
+        assert stats.last_train_seconds == pytest.approx(
+            update.train_seconds)
+        # Freshly published: staleness restarted below the closed window.
+        assert stats.model_staleness_s < update.staleness_closed_s
+        assert stats.to_dict()["model_staleness_s"] == \
+            stats.model_staleness_s
