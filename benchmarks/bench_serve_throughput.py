@@ -16,6 +16,12 @@ Floors, tightened as the stack got faster:
 * compiled 4-worker sharded: ≥ 2× the 5k/s single-worker floor (the
   PR-2 floor was 1.5×).
 
+The HTTP variant puts the same compiled stack behind the
+:class:`~repro.serve.HttpIngress` and replays load over real sockets —
+the floor is deliberately conservative (the wire path is bounded by the
+HTTP round-trip, not the classifier) and the recorded section tracks the
+wire-overhead p50 delta against the in-process fast path.
+
 The overload variant offers a bursty stream at ≥ 3× the measured
 sustainable rate behind admission control: the service must shed rather
 than queue unboundedly (p99 of *accepted* requests under the configured
@@ -59,8 +65,18 @@ SHARDED_THROUGHPUT_FLOOR = 2 * THROUGHPUT_FLOOR
 # the stack can reach.
 OVERLOAD_RATE = 48_000.0
 OVERLOAD_BUDGET_MS = 50.0
+# HTTP ingress: the wire path is bounded by the per-request HTTP
+# round-trip (werkzeug's threaded dev server + a small keep-alive sender
+# pool), not by the classification stack — this host saturates near
+# ~850/s, so the bench offers well under that and floors conservatively.
+# The point of the section is the wire-overhead delta against the
+# in-process fast path, not a throughput race.
+HTTP_OFFERED_RATE = 400.0
+HTTP_CONNECTIONS = 8
+HTTP_THROUGHPUT_FLOOR = 200.0
 
 _throughput: dict[str, float] = {}
+_latency_p50: dict[str, float] = {}
 
 
 @pytest.fixture(scope="module")
@@ -226,6 +242,7 @@ def test_serve_throughput_fastpath(deployment, benchmark):
     assert speedup >= 1.0
 
     _throughput["fastpath"] = report.throughput_rps
+    _latency_p50["fastpath"] = lat.p50_us
     record_serve_bench("fastpath_single_worker", _report_payload(
         report,
         compiled_batches=stats.compiled_batches,
@@ -314,6 +331,87 @@ def test_serve_throughput_sharded(deployment, benchmark):
                                           n_workers=SHARDED_WORKERS)
     with service_bench:
         benchmark(classify_batch)
+
+
+def test_serve_throughput_http(deployment, benchmark):
+    """The same compiled stack behind the HTTP ingress: what a scheduler
+    calling over the network sees.
+
+    The wire path must lose nothing and clear its (deliberately
+    conservative) floor; the recorded section carries the p50 delta
+    against the in-process fast path so the wire overhead is tracked
+    across PRs rather than argued about.  The in-process floors above
+    are untouched — this section is additive.
+    """
+
+    from repro.serve import HttpIngress
+
+    model, result = deployment
+    service = ClassificationService(model, result.registry, max_batch=64,
+                                    max_wait_us=500, trainer=False)
+    with service:
+        with HttpIngress(service, port=0) as ingress:
+            report = LoadGenerator(
+                tasks=result.tasks, labels=result.labels,
+                rate=HTTP_OFFERED_RATE, duration_s=DURATION_S,
+                url=ingress.url, http_connections=HTTP_CONNECTIONS,
+                rng=np.random.default_rng(SEED + 10)).run()
+    stats = service.stats()
+
+    lat = report.latency
+    fastpath_p50 = _latency_p50.get("fastpath")
+    overhead_us = (None if fastpath_p50 is None
+                   else lat.p50_us - fastpath_p50)
+    print()
+    print(render_table(
+        ["Offered /s", "Delivered /s", "n", "p50 µs", "p99 µs", "dropped",
+         "wire overhead p50"],
+        [[f"{report.offered_rate:,.0f}", f"{report.throughput_rps:,.0f}",
+          f"{report.n_completed:,}", f"{lat.p50_us:.0f}",
+          f"{lat.p99_us:.0f}", report.n_dropped,
+          "—" if overhead_us is None else f"+{overhead_us:,.0f}µs"]],
+        title="SERVE — HTTP INGRESS THROUGHPUT (clusterdata-2019c)"))
+
+    assert report.n_dropped == 0
+    assert report.n_completed == report.n_requests
+    assert report.throughput_rps >= HTTP_THROUGHPUT_FLOOR
+    # The wire run really went through the serving stack (not a stub).
+    assert stats.completed == report.n_completed
+    assert stats.compiled_batches == stats.batches > 0
+
+    record_serve_bench("http_single_worker", _report_payload(
+        report, http_connections=HTTP_CONNECTIONS,
+        wire_overhead_p50_us=overhead_us,
+        in_process_fastpath_p50_us=fastpath_p50))
+
+    benchmark.extra_info.update(report.to_dict())
+
+    # Benchmark unit: one classify round-trip over a warm keep-alive
+    # connection (body pre-encoded — the wire cost itself).
+    import json as _json
+    from http.client import HTTPConnection
+
+    service_bench = ClassificationService(model, result.registry,
+                                          max_batch=64, max_wait_us=200,
+                                          trainer=False)
+    body = _json.dumps({"task": result.tasks[0].to_dict()}).encode()
+
+    with service_bench:
+        with HttpIngress(service_bench, port=0) as ingress:
+            conn = HTTPConnection("127.0.0.1", ingress.port, timeout=10)
+
+            def classify_over_wire():
+                conn.request("POST", "/classify", body=body,
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                payload = response.read()
+                assert response.status == 200, payload
+                return payload
+
+            try:
+                benchmark(classify_over_wire)
+            finally:
+                conn.close()
 
 
 def _overload_run(model, result, *, autotune: bool, max_batch: int):

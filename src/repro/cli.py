@@ -13,11 +13,15 @@ driven without writing Python:
   (``--workers`` shards the batcher; ``--cells`` adds extra cells from
   trace profiles behind a multi-cell router; ``--latency-budget-ms`` /
   ``--shed-policy`` enable cell-aware backpressure and ``--autotune``
-  re-fits the microbatch to the arrival rate),
+  re-fits the microbatch to the arrival rate); with ``--http-port``
+  the stack is exposed over an HTTP ingress (``/classify``,
+  ``/metrics``, ``/healthz``, ...) until interrupted instead of being
+  driven by the built-in load generator,
 * ``loadtest``  — open-loop load generation against the service,
   reporting throughput, goodput, shed/accept rates, and p50/p95/p99
   latency (optionally as JSON); exits non-zero on any lost request
-  or cross-cell misroute,
+  or cross-cell misroute; with ``--url`` the same run drives a live
+  HTTP ingress over the wire,
 * ``info``      — library / experiment inventory.
 """
 
@@ -120,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--min-observations", type=int, default=200)
     serve.add_argument("--no-trainer", action="store_true",
                        help="serve the initial model without retraining")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="expose the stack over an HTTP ingress on this "
+                            "port (0 = ephemeral) and serve until "
+                            "interrupted, instead of running the built-in "
+                            "load generator")
+    serve.add_argument("--http-host", default="127.0.0.1",
+                       help="bind address for --http-port")
+    serve.add_argument("--staleness-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="/healthz turns 503 when a cell's served model "
+                            "is older than this budget")
 
     loadtest = sub.add_parser(
         "loadtest", help="measure service throughput and tail latency")
@@ -129,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--no-trainer", action="store_true")
     loadtest.add_argument("--json", action="store_true",
                           help="emit the report as one JSON object")
+    loadtest.add_argument("--url", default=None,
+                          help="drive a running HTTP ingress (e.g. "
+                               "http://127.0.0.1:8080) over the wire "
+                               "instead of an in-process stack; the "
+                               "archive (and --cells) only provide the "
+                               "task corpora")
+    loadtest.add_argument("--http-connections", type=int, default=4,
+                          help="keep-alive sender connections in --url "
+                               "mode")
 
     sub.add_parser("info", help="library and experiment inventory")
     return parser
@@ -320,6 +344,40 @@ def _serving_setup(args):
     return cell, result, model, router, corpora
 
 
+def _corpora_setup(args):
+    """Task corpora for ``loadtest --url`` — no local models, no serving.
+
+    Mirrors :func:`_serving_setup`'s cell naming/seeding exactly so a
+    ``loadtest --url --cells 2019a`` run addresses the same cell ids a
+    ``serve --http-port --cells 2019a`` process registered.
+    """
+
+    from .datasets import build_step_datasets
+    from .trace import CellArchive, generate_cell
+
+    cell = CellArchive(args.archive).load()
+    result = build_step_datasets(cell)
+    if not result.tasks:
+        raise SystemExit("archive has no constrained tasks to replay")
+    extra_profiles = _parse_cell_profiles(args.cells)
+    if not extra_profiles:
+        return result, None
+    corpora = {cell.name: (result.tasks, result.labels)}
+    for k, profile in enumerate(extra_profiles):
+        extra_cell = generate_cell(profile, scale=0.02,
+                                   seed=args.seed + 10 + k, days=3,
+                                   tasks_per_day=400)
+        extra_result = build_step_datasets(extra_cell)
+        if not extra_result.tasks:
+            raise SystemExit(f"profile {profile} produced no constrained "
+                             f"tasks to replay")
+        cell_id = extra_cell.name
+        if cell_id in corpora:
+            cell_id = f"{cell_id}#{k + 1}"
+        corpora[cell_id] = (extra_result.tasks, extra_result.labels)
+    return result, corpora
+
+
 def _run_load(args, target, result, corpora):
     from .serve import LoadGenerator
 
@@ -335,6 +393,22 @@ def _run_load(args, target, result, corpora):
             duration_s=args.duration, pattern=args.pattern,
             observe_every=observe, swap_midstream=True,
             rng=np.random.default_rng(args.seed + 3))
+    return generator.run()
+
+
+def _run_load_http(args, result, corpora):
+    from .serve import LoadGenerator
+
+    observe = 0 if args.no_trainer else args.observe_every
+    kwargs = dict(rate=args.rate, duration_s=args.duration,
+                  pattern=args.pattern, observe_every=observe,
+                  url=args.url, http_connections=args.http_connections,
+                  rng=np.random.default_rng(args.seed + 3))
+    if corpora is None:
+        generator = LoadGenerator(tasks=result.tasks, labels=result.labels,
+                                  **kwargs)
+    else:
+        generator = LoadGenerator(corpora=corpora, **kwargs)
     return generator.run()
 
 
@@ -356,8 +430,45 @@ def _print_trainer_summary(service, prefix: str = "  ") -> None:
         print(f"{prefix}(no retrain published during the run)")
 
 
+def _serve_http(args, target, corpora) -> int:
+    """Expose the stack over an HTTP ingress until interrupted."""
+
+    import signal
+    import threading
+
+    from .serve import DEFAULT_CELL, HttpIngress
+
+    ingress = HttpIngress(target, host=args.http_host, port=args.http_port,
+                          staleness_budget_s=args.staleness_budget)
+    stop = threading.Event()
+
+    def _request_stop(_signum, _frame):
+        stop.set()
+
+    # Signal handlers only install from the main thread (tests drive
+    # main() from workers); Ctrl-C still lands as KeyboardInterrupt.
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, _request_stop)
+        signal.signal(signal.SIGTERM, _request_stop)
+    with target, ingress:
+        cells = (sorted(corpora) if corpora is not None else [DEFAULT_CELL])
+        print(f"HTTP ingress on {ingress.url} "
+              f"(cells: {', '.join(cells)})")
+        print(f"  POST {ingress.url}/classify  |  GET {ingress.url}/metrics"
+              f"  |  GET {ingress.url}/healthz", flush=True)
+        try:
+            while not stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            pass
+        print("shutting down", flush=True)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     cell, result, model, target, corpora = _serving_setup(args)
+    if args.http_port is not None:
+        return _serve_http(args, target, corpora)
     if corpora is None:
         print(f"{cell.name}: serving {model.features_count}-feature model "
               f"(registry spans {result.registry.features_count}); corpus "
@@ -387,9 +498,13 @@ def _cmd_serve(args) -> int:
 def _cmd_loadtest(args) -> int:
     import json as _json
 
-    _cell, result, _model, target, corpora = _serving_setup(args)
-    with target:
-        report = _run_load(args, target, result, corpora)
+    if args.url is not None:
+        result, corpora = _corpora_setup(args)
+        report = _run_load_http(args, result, corpora)
+    else:
+        _cell, result, _model, target, corpora = _serving_setup(args)
+        with target:
+            report = _run_load(args, target, result, corpora)
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
     else:

@@ -123,6 +123,69 @@ class AttributeSpec:
         return not (self.has_equal or self.has_between or self.not_in
                     or self.present_required or self.absent_required)
 
+    def to_dict(self) -> dict:
+        """JSON-ready encoding (the HTTP ingress's wire format).
+
+        Default-valued components are omitted, so a Between-only spec
+        serializes to just its bounds.
+        """
+
+        payload: dict = {"attribute": self.attribute}
+        if self.has_equal:
+            payload["equal"] = self.equal
+        if self.lo is not None:
+            payload["lo"] = self.lo
+        if self.hi is not None:
+            payload["hi"] = self.hi
+        if self.not_in:
+            payload["not_in"] = sorted(self.not_in)
+        if self.present_required:
+            payload["present_required"] = True
+        if self.absent_required:
+            payload["absent_required"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AttributeSpec":
+        """Inverse of :meth:`to_dict`; validates types strictly.
+
+        ``"equal" in payload`` (even with value ``null`` — the
+        must-be-absent form) maps back to ``has_equal=True``.
+        """
+
+        if not isinstance(payload, Mapping):
+            raise TypeError(f"AttributeSpec payload must be a mapping, "
+                            f"got {type(payload).__name__}")
+        known = {"attribute", "equal", "lo", "hi", "not_in",
+                 "present_required", "absent_required"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown AttributeSpec keys: "
+                             f"{sorted(unknown)}")
+        attribute = payload.get("attribute")
+        if not isinstance(attribute, str) or not attribute:
+            raise ValueError("AttributeSpec needs a non-empty string "
+                             "'attribute'")
+        has_equal = "equal" in payload
+        equal = payload.get("equal")
+        if equal is not None and not isinstance(equal, str):
+            raise ValueError("'equal' must be a string or null")
+        lo, hi = payload.get("lo"), payload.get("hi")
+        for name, bound in (("lo", lo), ("hi", hi)):
+            if bound is not None and (isinstance(bound, bool)
+                                      or not isinstance(bound, int)):
+                raise ValueError(f"{name!r} must be an integer")
+        not_in = payload.get("not_in", ())
+        if (isinstance(not_in, (str, bytes))
+                or not all(isinstance(v, str) for v in not_in)):
+            raise ValueError("'not_in' must be a list of strings")
+        return cls(attribute=attribute, has_equal=has_equal, equal=equal,
+                   lo=lo, hi=hi, not_in=frozenset(not_in),
+                   present_required=bool(payload.get("present_required",
+                                                     False)),
+                   absent_required=bool(payload.get("absent_required",
+                                                    False)))
+
 
 def _quote(value: str) -> str:
     return value if value_as_int(value) is not None else f"'{value}'"
@@ -323,6 +386,36 @@ class CompactedTask:
 
     def render(self) -> str:
         return "; ".join(spec.render() for spec in self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready encoding: ``{"specs": [spec, ...]}`` in attribute
+        order (the HTTP ingress's task wire format)."""
+
+        return {"specs": [spec.to_dict() for spec in self]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CompactedTask":
+        """Inverse of :meth:`to_dict`.
+
+        Accepts ``{"specs": [...]}``; duplicate attributes are an
+        error (specs are a per-attribute conjunction, so a duplicate
+        would silently drop one side).
+        """
+
+        if not isinstance(payload, Mapping):
+            raise TypeError(f"task payload must be a mapping, got "
+                            f"{type(payload).__name__}")
+        specs_raw = payload.get("specs")
+        if not isinstance(specs_raw, (list, tuple)):
+            raise ValueError("task payload needs a 'specs' list")
+        specs: dict[str, AttributeSpec] = {}
+        for item in specs_raw:
+            spec = AttributeSpec.from_dict(item)
+            if spec.attribute in specs:
+                raise ValueError(f"duplicate spec for attribute "
+                                 f"{spec.attribute!r}")
+            specs[spec.attribute] = spec
+        return cls(specs)
 
 
 def compact(constraints: Iterable[Constraint],

@@ -43,11 +43,15 @@ Multi-cell::
 
 from .admission import SHED_POLICIES, AdmissionController, AutoTuner
 from .handle import ModelHandle, ModelSnapshot
+from .http import DEFAULT_CELL, HttpIngress, create_app
 from .loadgen import LoadGenerator, LoadTestReport, arrival_offsets
 from .metrics import LatencyStats, RouterStats, ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
 from .router import CellRouter
 from .service import ClassificationService
+from .telemetry import (EventLog, HistogramSnapshot, ServeEvent,
+                        StageTimings, StreamingHistogram, Telemetry,
+                        render_prometheus)
 from .trainer import BackgroundTrainer, ServeUpdate
 
 __all__ = [
@@ -59,4 +63,7 @@ __all__ = [
     "CellRouter",
     "LoadGenerator", "LoadTestReport", "arrival_offsets",
     "LatencyStats", "ServiceStats", "RouterStats",
+    "Telemetry", "StreamingHistogram", "StageTimings",
+    "HistogramSnapshot", "EventLog", "ServeEvent", "render_prometheus",
+    "HttpIngress", "create_app", "DEFAULT_CELL",
 ]

@@ -55,6 +55,7 @@ class ModelSnapshot:
     features_count: int
     published_at: float  # time.monotonic()
     plan: InferencePlan | None = None
+    published_unix: float = 0.0  # time.time() — for absolute freshness
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return self.model.predict(X)
@@ -97,7 +98,8 @@ class ModelHandle:
     def __init__(self, model: object | None = None,
                  features_count: int | None = None,
                  retain_history: int | None = 32,
-                 compile: bool = True):
+                 compile: bool = True,
+                 telemetry=None):
         if retain_history is not None and retain_history < 1:
             raise ValueError("retain_history must be >= 1 (or None)")
         self._lock = threading.Lock()
@@ -107,6 +109,11 @@ class ModelHandle:
         self._evicted = 0
         self.retain_history = retain_history
         self.compile = compile
+        #: Optional :class:`~repro.serve.telemetry.Telemetry`: each
+        #: publication records a ``publish`` stage timing and a
+        #: structural hot-swap event (with the staleness window the new
+        #: version closed).
+        self.telemetry = telemetry
         if model is not None:
             self.publish(model, features_count=features_count, clone=False)
 
@@ -128,6 +135,7 @@ class ModelHandle:
         the publication lock, so ``(model, plan)`` always swap as one.
         """
 
+        start_ns = time.perf_counter_ns()
         if clone:
             cloner = getattr(model, "clone", None)
             if cloner is None:
@@ -159,16 +167,30 @@ class ModelHandle:
                         "could not compile %s for v%d; serving eagerly",
                         type(model).__name__, self._published,
                         exc_info=True)
+            previous = self._active
             snapshot = ModelSnapshot(
                 version=self._published, model=model,
                 features_count=int(features_count),
-                published_at=time.monotonic(), plan=plan)
+                published_at=time.monotonic(), plan=plan,
+                published_unix=time.time())
             self._history.append(snapshot)
             self._active = snapshot
             if self.retain_history is not None:
                 while len(self._history) > self.retain_history:
                     self._history.pop(0)
                     self._evicted += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            publish_us = (time.perf_counter_ns() - start_ns) / 1e3
+            staleness_closed_s = (
+                snapshot.published_at - previous.published_at
+                if previous is not None else 0.0)
+            telemetry.observe("publish", publish_us)
+            telemetry.events.append(
+                "publish", version=snapshot.version,
+                staleness_closed_s=round(staleness_closed_s, 6),
+                compiled=plan is not None,
+                publish_us=round(publish_us, 3))
         return snapshot
 
     # ------------------------------------------------------------------

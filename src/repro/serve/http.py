@@ -1,0 +1,369 @@
+"""HTTP ingress for the serving stack: classification + telemetry plane.
+
+The Task CO Analyzer is pitched as a component on the scheduler's
+task-arrival path; this module gives the in-process serving stack a real
+network boundary so something that is *not* a Python caller can submit
+tasks and observe the service.  :func:`create_app` builds a Flask app
+over either a single :class:`~repro.serve.ClassificationService` or a
+multi-cell :class:`~repro.serve.CellRouter`:
+
+========  ============  ====================================================
+method    path          purpose
+========  ============  ====================================================
+POST      /classify     classify one JSON task (429 + ``Retry-After`` on
+                        overload, 404 for unknown cells)
+POST      /observe      feed one labelled observation to the training loop
+POST      /audit        re-classify a task under the exact past model
+                        version that served it (410 once evicted)
+GET       /metrics      Prometheus text exposition (0.0.4)
+GET       /stats        full JSON stats + admission snapshots + stage
+                        histograms + event-log tail
+GET       /healthz      liveness/readiness: trainer thread, staleness
+                        budget, queue saturation — 200 or 503
+GET       /cells        registered cell ids
+========  ============  ====================================================
+
+Tasks travel as the :meth:`~repro.constraints.CompactedTask.to_dict`
+wire format (``{"specs": [{"attribute": ..., "lo": ..., ...}]}``).
+
+:class:`HttpIngress` wraps the app in a threaded
+:func:`werkzeug.serving.make_server` (HTTP/1.1, so load-generator
+connections keep alive) with ``port=0`` ephemeral-port support for
+tests.  The server threads share the process with the serving stack —
+the ingress is a boundary, not an isolation layer.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import TYPE_CHECKING
+
+from ..constraints.compaction import CompactedTask
+from ..errors import (NotServingError, OverloadedError, ServiceClosedError,
+                      ServiceError, UnknownCellError)
+from .telemetry import render_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .router import CellRouter
+    from .service import ClassificationService
+
+__all__ = ["DEFAULT_CELL", "create_app", "HttpIngress"]
+
+logger = logging.getLogger(__name__)
+
+#: Cell id a bare (router-less) service is exported under.
+DEFAULT_CELL = "default"
+
+_CLASSIFY_TIMEOUT_S = 5.0
+
+
+class _Target:
+    """Uniform view over a service or a router (the app's one backend)."""
+
+    def __init__(self, target):
+        # Duck-typed on the router's ``cells`` tuple: avoids importing
+        # the concrete classes here and keeps test doubles workable.
+        self.router = target if hasattr(target, "cells") else None
+        self.service_single = None if self.router is not None else target
+
+    def services(self) -> dict[str, "ClassificationService"]:
+        if self.router is None:
+            return {DEFAULT_CELL: self.service_single}
+        return {cell: self.router.service(cell)
+                for cell in self.router.cells}
+
+    def service(self, cell: str | None) -> "ClassificationService":
+        if self.router is None:
+            if cell not in (None, DEFAULT_CELL):
+                raise UnknownCellError(
+                    f"single-service ingress only serves cell "
+                    f"{DEFAULT_CELL!r}, not {cell!r}")
+            return self.service_single
+        if cell is None:
+            cells = self.router.cells
+            if len(cells) == 1:
+                return self.router.service(cells[0])
+            raise UnknownCellError(
+                f"multi-cell ingress needs an explicit 'cell' "
+                f"(cells: {sorted(cells)})")
+        return self.router.service(cell)
+
+    def submit(self, cell: str | None, task: CompactedTask):
+        service = self.service(cell)
+        request = service.submit(task)
+        if request.cell is None and cell is not None:
+            request.cell = cell
+        return request
+
+
+def _parse_task(payload) -> CompactedTask:
+    try:
+        return CompactedTask.from_dict(payload)
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(f"invalid task: {exc}") from exc
+
+
+class _BadRequest(ValueError):
+    """Maps to a 400 with the message as the error body."""
+
+
+def create_app(target, staleness_budget_s: float | None = None):
+    """Build the Flask app over ``target`` (service or router).
+
+    ``staleness_budget_s`` arms the ``/healthz`` freshness check: a cell
+    whose served model is older than the budget flips the probe to 503
+    (the continuous-retraining loop has stalled even if its thread is
+    technically alive).  ``None`` disables the check.
+    """
+
+    from flask import Flask, jsonify, request  # deferred: serving-only dep
+
+    app = Flask("repro.serve")
+    backend = _Target(target)
+    app.config["REPRO_TARGET"] = backend
+    app.config["REPRO_STALENESS_BUDGET_S"] = staleness_budget_s
+
+    def _error(status: int, message: str, **extra):
+        payload = {"error": message, **extra}
+        return jsonify(payload), status
+
+    @app.errorhandler(_BadRequest)
+    def _bad_request(exc):
+        return _error(400, str(exc))
+
+    @app.errorhandler(UnknownCellError)
+    def _unknown_cell(exc):
+        return _error(404, str(exc))
+
+    @app.errorhandler(OverloadedError)
+    def _overloaded(exc):
+        retry_after = exc.retry_after_s
+        body, status = _error(429, str(exc), reason=exc.reason,
+                              cell=exc.cell,
+                              retry_after_s=retry_after)
+        response = app.make_response((body, status))
+        if retry_after is not None:
+            # RFC 9110 Retry-After is delta-seconds (an integer); keep
+            # the precise value in the JSON body.
+            response.headers["Retry-After"] = str(
+                max(1, int(round(retry_after))))
+        return response
+
+    @app.errorhandler(ServiceClosedError)
+    @app.errorhandler(NotServingError)
+    def _unavailable(exc):
+        return _error(503, str(exc))
+
+    def _json_body() -> dict:
+        payload = request.get_json(silent=True)
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # serving path
+    # ------------------------------------------------------------------
+    @app.post("/classify")
+    def classify():
+        payload = _json_body()
+        task = _parse_task(payload.get("task"))
+        cell = payload.get("cell")
+        if cell is not None and not isinstance(cell, str):
+            raise _BadRequest("'cell' must be a string")
+        classify_request = backend.submit(cell, task)
+        timeout = payload.get("timeout_s", _CLASSIFY_TIMEOUT_S)
+        if not classify_request.wait(timeout):
+            return _error(504, "classification did not complete within "
+                               f"{timeout}s")
+        if classify_request.error is not None:
+            error = classify_request.error
+            if isinstance(error, OverloadedError):
+                raise error  # → 429 (evicted / expired after admission)
+            if isinstance(error, ServiceClosedError):
+                raise error  # → 503
+            logger.error("classification failed over HTTP: %s", error)
+            return _error(500, "classification failed")
+        return jsonify({
+            "group": classify_request.group,
+            "model_version": classify_request.version,
+            "cell": classify_request.cell or DEFAULT_CELL,
+            "latency_us": classify_request.latency_us,
+        })
+
+    @app.post("/observe")
+    def observe():
+        payload = _json_body()
+        task = _parse_task(payload.get("task"))
+        group = payload.get("group")
+        if isinstance(group, bool) or not isinstance(group, int):
+            raise _BadRequest("'group' must be an integer label")
+        service = backend.service(payload.get("cell"))
+        service.observe(task, group)
+        return "", 204
+
+    @app.post("/audit")
+    def audit():
+        """Re-classify under the exact model version that served a
+        request — the load generator's wire-level misroute audit."""
+
+        payload = _json_body()
+        task = _parse_task(payload.get("task"))
+        version = payload.get("version")
+        if isinstance(version, bool) or not isinstance(version, int):
+            raise _BadRequest("'version' must be an integer")
+        service = backend.service(payload.get("cell"))
+        try:
+            snapshot = service.handle.snapshot_for(version)
+        except KeyError as exc:
+            return _error(410, f"model version unavailable: {exc}")
+        encoder = service.batcher._encoders[0]
+        with service.batcher.registry_lock:
+            row = encoder.encode_row_dense(task)
+        rows = snapshot.align(row.reshape(1, -1))
+        group = int(snapshot.predict(rows)[0])
+        return jsonify({"group": group, "model_version": version,
+                        "cell": payload.get("cell") or DEFAULT_CELL})
+
+    # ------------------------------------------------------------------
+    # telemetry plane
+    # ------------------------------------------------------------------
+    def _per_cell():
+        services = backend.services()
+        stats = {cell: service.stats().to_dict()
+                 for cell, service in services.items()}
+        admission = {cell: service.admission.snapshot()
+                     for cell, service in services.items()
+                     if service.admission is not None}
+        return services, stats, admission
+
+    @app.get("/metrics")
+    def metrics():
+        services, stats, admission = _per_cell()
+        text = render_prometheus(
+            stats, admission=admission,
+            stages={cell: service.telemetry.stage_snapshots()
+                    for cell, service in services.items()},
+            events={cell: service.telemetry.events
+                    for cell, service in services.items()})
+        return app.response_class(
+            text, mimetype="text/plain; version=0.0.4; charset=utf-8")
+
+    @app.get("/stats")
+    def stats():
+        services, stats, admission = _per_cell()
+        return jsonify({
+            "cells": {
+                cell: {
+                    "stats": stats[cell],
+                    "admission": admission.get(cell),
+                    "telemetry": service.telemetry.to_dict(),
+                }
+                for cell, service in services.items()
+            },
+        })
+
+    @app.get("/healthz")
+    def healthz():
+        budget = app.config["REPRO_STALENESS_BUDGET_S"]
+        checks = []
+
+        def check(cell, name, ok, **detail):
+            checks.append({"cell": cell, "check": name, "ok": bool(ok),
+                           **detail})
+
+        for cell, service in backend.services().items():
+            cell_stats = service.stats()
+            check(cell, "published", cell_stats.has_published,
+                  model_version=cell_stats.model_version)
+            if service.trainer is not None and service.started:
+                check(cell, "trainer_alive", service.trainer.alive)
+            if budget is not None and cell_stats.has_published:
+                check(cell, "staleness",
+                      cell_stats.model_staleness_s <= budget,
+                      staleness_s=cell_stats.model_staleness_s,
+                      budget_s=budget)
+            admission = service.admission
+            if admission is not None and admission.max_queue is not None:
+                check(cell, "queue_saturation",
+                      cell_stats.pending < admission.max_queue,
+                      pending=cell_stats.pending,
+                      max_queue=admission.max_queue)
+        healthy = all(c["ok"] for c in checks)
+        body = jsonify({"status": "ok" if healthy else "unhealthy",
+                        "checks": checks})
+        return body, (200 if healthy else 503)
+
+    @app.get("/cells")
+    def cells():
+        return jsonify({"cells": sorted(backend.services())})
+
+    return app
+
+
+class HttpIngress:
+    """A threaded WSGI server hosting :func:`create_app`'s app.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.  ``threaded=True`` gives each connection its own
+    handler thread, so a keep-alive load-generator connection cannot
+    starve the health probe.
+    """
+
+    def __init__(self, target, host: str = "127.0.0.1", port: int = 8080,
+                 staleness_budget_s: float | None = None):
+        self.app = create_app(target,
+                              staleness_budget_s=staleness_budget_s)
+        self.host = host
+        self._requested_port = port
+        self._server = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HttpIngress":
+        if self._server is not None:
+            raise RuntimeError("ingress already started")
+        from werkzeug.serving import WSGIRequestHandler, make_server
+
+        class KeepAliveHandler(WSGIRequestHandler):
+            # HTTP/1.1 keeps load-generator connections open between
+            # requests; werkzeug defaults to 1.0 (close-per-request).
+            protocol_version = "HTTP/1.1"
+
+            def log_request(self, *args, **kwargs):  # quiet access log
+                pass
+
+        self._server = make_server(self.host, self._requested_port,
+                                   self.app, threaded=True,
+                                   request_handler=KeepAliveHandler)
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-serve-http",
+                                        daemon=True)
+        self._thread.start()
+        logger.info("HTTP ingress listening on %s", self.url)
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._server.server_close()
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "HttpIngress":
+        return self.start() if self._server is None else self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -24,13 +24,27 @@ Multi-cell mode: given a :class:`~repro.serve.CellRouter` and a
 over one arrival schedule, optionally forces a mid-stream hot-swap in
 every cell, and audits completed requests against the exact per-cell
 model version that served them — the cross-cell misroute criterion.
+
+HTTP mode: given ``url=`` instead of an in-process target, the same
+open-loop schedule, exactly-once accounting, and misroute audit run
+over the wire against an :class:`~repro.serve.HttpIngress` — a pool of
+keep-alive sender connections POSTs ``/classify`` (and ``/observe``),
+429 responses map back onto the shed buckets via their ``reason``, and
+the audit replays completions through ``POST /audit``.  The measured
+latency then *includes* client-side queueing and wire overhead, which
+is the point: it is what a scheduler calling over the network would
+see.
 """
 
 from __future__ import annotations
 
+import json
+import queue
 import threading
 import time
 from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
 
 import numpy as np
 
@@ -205,6 +219,77 @@ class LoadTestReport:
         return text
 
 
+class _HttpRecord:
+    """Client-side accounting for one wire-mode arrival."""
+
+    __slots__ = ("cell", "body", "observe_body", "task_json",
+                 "enqueued_ns", "completed_ns", "group", "version",
+                 "outcome")
+
+    def __init__(self, cell: str | None, body: bytes,
+                 observe_body: bytes | None, task_json: str):
+        self.cell = cell
+        self.body = body
+        self.observe_body = observe_body
+        self.task_json = task_json
+        self.enqueued_ns = time.perf_counter_ns()
+        self.completed_ns: int | None = None
+        self.group: int | None = None
+        self.version: int | None = None
+        # None until a sender resolves it; terminal values mirror the
+        # in-process buckets: completed / rejected / evicted / expired /
+        # dropped.
+        self.outcome: str | None = None
+
+    @property
+    def latency_ns(self) -> int:
+        assert self.completed_ns is not None
+        return self.completed_ns - self.enqueued_ns
+
+
+class _HttpClient:
+    """One keep-alive connection to the ingress (per sender thread)."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 15.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: HTTPConnection | None = None
+
+    def request(self, method: str, path: str,
+                body: bytes | None = None) -> tuple[int, bytes]:
+        headers = {"Content-Type": "application/json"} if body else {}
+        # One transparent reconnect: the server may have reaped an idle
+        # keep-alive connection between requests.
+        for attempt in (0, 1):
+            try:
+                if self._conn is None:
+                    self._conn = HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout_s)
+                self._conn.request(method, path, body=body,
+                                   headers=headers)
+                response = self._conn.getresponse()
+                return response.status, response.read()
+            except Exception:
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def get_json(self, path: str) -> dict:
+        status, data = self.request("GET", path)
+        if status != 200:
+            raise RuntimeError(f"GET {path} returned {status}")
+        return json.loads(data)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+
 class LoadGenerator:
     """Drive a service (or a multi-cell router) at an offered rate.
 
@@ -232,9 +317,18 @@ class LoadGenerator:
         Multi-cell mode: per cell, re-classify up to this many completed
         requests against the audited snapshot of the exact version that
         served them; any disagreement counts as a misroute.
+    url / http_connections:
+        Wire mode: drive a running :class:`~repro.serve.HttpIngress` at
+        ``url`` instead of an in-process target, over a pool of
+        ``http_connections`` keep-alive sender connections.  Accounting
+        and the misroute audit are unchanged (429 reasons map back onto
+        the shed buckets; the audit goes through ``POST /audit``);
+        ``swap_midstream`` is unavailable — the ingress does not expose
+        publication.
     """
 
-    def __init__(self, service: ClassificationService | CellRouter,
+    def __init__(self, service: ClassificationService | CellRouter | None
+                 = None,
                  tasks: list[CompactedTask] | None = None,
                  labels: np.ndarray | None = None,
                  rate: float = 5000.0, duration_s: float = 5.0,
@@ -244,8 +338,45 @@ class LoadGenerator:
                                           np.ndarray | None]] | None = None,
                  swap_midstream: bool = False,
                  audit_per_cell: int = 250,
+                 url: str | None = None,
+                 http_connections: int = 4,
                  rng: np.random.Generator | None = None):
-        if corpora is not None:
+        if url is not None:
+            # Wire mode: the target is an HttpIngress, not an object.
+            if service is not None:
+                raise ValueError("give either an in-process service or a "
+                                 "url, not both")
+            if swap_midstream:
+                raise ValueError("swap_midstream needs in-process access "
+                                 "to the model handles; the HTTP ingress "
+                                 "deliberately does not expose publication")
+            if http_connections < 1:
+                raise ValueError("http_connections must be >= 1")
+            if corpora is not None:
+                if tasks is not None or labels is not None:
+                    raise ValueError("give either tasks/labels or corpora, "
+                                     "not both")
+                if not corpora:
+                    raise ValueError("need at least one cell corpus")
+                for cell_id, (cell_tasks, cell_labels) in corpora.items():
+                    if not cell_tasks:
+                        raise ValueError(f"cell {cell_id!r} has an empty "
+                                         f"corpus")
+                    if (cell_labels is not None
+                            and len(cell_labels) != len(cell_tasks)):
+                        raise ValueError(f"cell {cell_id!r}: labels and "
+                                         f"tasks lengths differ")
+                    if observe_every > 0 and cell_labels is None:
+                        raise ValueError(f"observe_every needs labels "
+                                         f"(cell {cell_id!r} has none)")
+            else:
+                if not tasks:
+                    raise ValueError("need a non-empty task corpus")
+                if labels is not None and len(labels) != len(tasks):
+                    raise ValueError("labels and tasks lengths differ")
+                if observe_every > 0 and labels is None:
+                    raise ValueError("observe_every needs labels")
+        elif corpora is not None:
             if not isinstance(service, CellRouter):
                 raise ValueError("corpora needs a CellRouter target")
             if tasks is not None or labels is not None:
@@ -268,6 +399,8 @@ class LoadGenerator:
                     raise ValueError(f"observe_every needs labels "
                                      f"(cell {cell_id!r} has none)")
         else:
+            if service is None:
+                raise ValueError("need an in-process service (or a url)")
             if isinstance(service, CellRouter):
                 raise ValueError("a CellRouter target needs corpora")
             if not tasks:
@@ -287,6 +420,8 @@ class LoadGenerator:
         self.drain_timeout_s = drain_timeout_s
         self.swap_midstream = swap_midstream
         self.audit_per_cell = audit_per_cell
+        self.url = url
+        self.http_connections = http_connections
         self.rng = rng or np.random.default_rng()
 
     # ------------------------------------------------------------------
@@ -333,9 +468,258 @@ class LoadGenerator:
         return audited, misrouted
 
     # ------------------------------------------------------------------
+    # wire mode
+    # ------------------------------------------------------------------
+    def _http_streams(self) -> dict[str | None, tuple[list, list, list]]:
+        """Per-stream pre-encoded wire bodies.
+
+        Maps cell id (``None`` for the single-service stream) to
+        ``(classify_bodies, observe_bodies, task_jsons)``, all aligned
+        with the corpus.  Encoding once up front keeps ``json.dumps``
+        off the arrival schedule.
+        """
+
+        streams: dict[str | None, tuple[list, list, list]] = {}
+        sources = (self.corpora.items() if self.corpora is not None
+                   else [(None, (self.tasks, self.labels))])
+        for cell, (tasks, labels) in sources:
+            cell_json = "" if cell is None else \
+                f'"cell":{json.dumps(cell)},'
+            classify_bodies, observe_bodies, task_jsons = [], [], []
+            for i, task in enumerate(tasks):
+                task_json = json.dumps(task.to_dict(),
+                                       separators=(",", ":"))
+                task_jsons.append(task_json)
+                classify_bodies.append(
+                    f'{{{cell_json}"task":{task_json}}}'.encode())
+                if labels is not None:
+                    observe_bodies.append(
+                        f'{{{cell_json}"task":{task_json},'
+                        f'"group":{int(labels[i])}}}'.encode())
+            streams[cell] = (classify_bodies, observe_bodies, task_jsons)
+        return streams
+
+    def _http_sender(self, client: _HttpClient,
+                     work: "queue.Queue[_HttpRecord | None]") -> None:
+        while True:
+            record = work.get()
+            try:
+                if record is None:
+                    client.close()
+                    return
+                try:
+                    status, data = client.request("POST", "/classify",
+                                                  record.body)
+                except Exception:
+                    record.outcome = "dropped"
+                    continue
+                now = time.perf_counter_ns()
+                if status == 200:
+                    payload = json.loads(data)
+                    record.group = payload["group"]
+                    record.version = payload["model_version"]
+                    record.completed_ns = now
+                    record.outcome = "completed"
+                elif status == 429:
+                    reason = "rejected"
+                    try:
+                        reason = json.loads(data).get("reason", reason)
+                    except Exception:
+                        pass
+                    record.outcome = (reason if reason in ("evicted",
+                                                           "expired")
+                                      else "rejected")
+                else:
+                    record.outcome = "dropped"
+                if (record.observe_body is not None
+                        and record.outcome == "completed"):
+                    try:
+                        client.request("POST", "/observe",
+                                       record.observe_body)
+                    except Exception:
+                        pass  # training feedback is best-effort
+            finally:
+                work.task_done()
+
+    def _audit_http(self, client: _HttpClient,
+                    completed: list[_HttpRecord]) -> tuple[int, int]:
+        """Wire-level misroute audit: replay a per-cell sample through
+        ``POST /audit`` under the exact version that served it."""
+
+        audited = misrouted = 0
+        cells = (list(self.corpora) if self.corpora is not None
+                 else [None])
+        for cell in cells:
+            cell_records = [r for r in completed if r.cell == cell]
+            if not cell_records:
+                continue
+            stride = max(1, len(cell_records) // self.audit_per_cell)
+            sample = cell_records[::stride][:self.audit_per_cell]
+            cell_json = "" if cell is None else \
+                f'"cell":{json.dumps(cell)},'
+            for record in sample:
+                body = (f'{{{cell_json}"task":{record.task_json},'
+                        f'"version":{record.version}}}'.encode())
+                try:
+                    status, data = client.request("POST", "/audit", body)
+                except Exception:
+                    continue
+                if status == 410:
+                    continue  # version evicted from the audit history
+                if status != 200:
+                    continue
+                audited += 1
+                misrouted += json.loads(data)["group"] != record.group
+        return audited, misrouted
+
+    def _http_final_stats(self, client: _HttpClient) -> dict:
+        """Aggregate the ingress's per-cell ``/stats`` into the report's
+        freshness/batching fields."""
+
+        totals = {"versions_served": {}, "swaps": 0, "trainer_updates": 0,
+                  "model_staleness_s": 0.0, "last_train_seconds": 0.0,
+                  "batches": 0, "largest_batch": 0}
+        try:
+            payload = client.get_json("/stats")
+        except Exception:
+            return totals
+        for cell_payload in payload.get("cells", {}).values():
+            stats = cell_payload.get("stats", {})
+            for version, count in stats.get("versions_served",
+                                            {}).items():
+                key = int(version)
+                totals["versions_served"][key] = \
+                    totals["versions_served"].get(key, 0) + count
+            totals["swaps"] += stats.get("swaps", 0)
+            totals["trainer_updates"] += stats.get("trainer_updates", 0)
+            totals["batches"] += stats.get("batches", 0)
+            totals["largest_batch"] = max(totals["largest_batch"],
+                                          stats.get("largest_batch", 0))
+            totals["model_staleness_s"] = max(
+                totals["model_staleness_s"],
+                stats.get("model_staleness_s", 0.0))
+            totals["last_train_seconds"] = max(
+                totals["last_train_seconds"],
+                stats.get("last_train_seconds", 0.0))
+        return totals
+
+    def _run_http(self) -> LoadTestReport:
+        split = urlsplit(self.url)
+        if split.hostname is None:
+            raise ValueError(f"url {self.url!r} has no host")
+        host, port = split.hostname, split.port or 80
+        control = _HttpClient(host, port)
+        if self.corpora is not None:
+            served = set(control.get_json("/cells")["cells"])
+            missing = set(self.corpora) - served
+            if missing:
+                raise ValueError(f"cells {sorted(missing)} are not served "
+                                 f"at {self.url} (cells: {sorted(served)})")
+        streams = self._http_streams()
+        stream_keys = list(streams)
+        observe_every = self.observe_every
+
+        work: queue.Queue[_HttpRecord | None] = queue.Queue()
+        senders = []
+        for i in range(self.http_connections):
+            client = _HttpClient(host, port)
+            thread = threading.Thread(target=self._http_sender,
+                                      args=(client, work),
+                                      name=f"repro-loadgen-http-{i}",
+                                      daemon=True)
+            thread.start()
+            senders.append(thread)
+
+        offsets = arrival_offsets(self.rate, self.duration_s, self.rng,
+                                  pattern=self.pattern)
+        records: list[_HttpRecord] = []
+        cursor = dict.fromkeys(stream_keys, 0)
+        start = time.perf_counter()
+        for i, offset in enumerate(offsets):
+            while True:
+                lag = offset - (time.perf_counter() - start)
+                if lag <= 0:
+                    break
+                time.sleep(min(lag, 2e-4))
+            cell = stream_keys[i % len(stream_keys)]
+            classify_bodies, observe_bodies, task_jsons = streams[cell]
+            j = cursor[cell]
+            cursor[cell] = j + 1
+            k = j % len(classify_bodies)
+            observe_body = None
+            if observe_every and j % observe_every == 0 and observe_bodies:
+                observe_body = observe_bodies[k]
+            record = _HttpRecord(cell, classify_bodies[k], observe_body,
+                                 task_jsons[k])
+            records.append(record)
+            work.put(record)
+
+        # Drain: stop-feed sentinels, then give the senders the shared
+        # deadline to finish the backlog; unresolved records count as
+        # dropped (the zero criterion).
+        for _ in senders:
+            work.put(None)
+        deadline = time.monotonic() + self.drain_timeout_s
+        for thread in senders:
+            thread.join(max(0.0, deadline - time.monotonic()))
+
+        completed = [r for r in records if r.outcome == "completed"]
+        rejected = sum(r.outcome == "rejected" for r in records)
+        evicted = sum(r.outcome == "evicted" for r in records)
+        expired = sum(r.outcome == "expired" for r in records)
+        dropped = len(records) - len(completed) - rejected \
+            - evicted - expired
+
+        if completed:
+            start_ns = min(r.enqueued_ns for r in completed)
+            end_ns = max(r.completed_ns for r in completed)
+            throughput = len(completed) / max((end_ns - start_ns) / 1e9,
+                                              1e-9)
+        else:
+            throughput = 0.0
+
+        per_cell: dict[str, int] = {}
+        per_cell_shed: dict[str, int] = {}
+        if self.corpora is not None:
+            per_cell = dict.fromkeys(self.corpora, 0)
+            per_cell_shed = dict.fromkeys(self.corpora, 0)
+            for record in records:
+                if record.outcome == "completed":
+                    per_cell[record.cell] += 1
+                elif record.outcome in ("rejected", "evicted", "expired"):
+                    per_cell_shed[record.cell] += 1
+        audited, misrouted = self._audit_http(control, completed)
+        totals = self._http_final_stats(control)
+        control.close()
+
+        return LoadTestReport(
+            pattern=self.pattern, offered_rate=self.rate,
+            duration_s=self.duration_s,
+            n_requests=len(records),
+            n_accepted=len(records) - rejected, n_shed=rejected,
+            n_evicted=evicted, n_expired=expired,
+            n_completed=len(completed), n_dropped=dropped,
+            throughput_rps=throughput,
+            goodput_rps=len(completed) / self.duration_s,
+            latency=LatencyStats.from_ns(
+                np.fromiter((r.latency_ns for r in completed),
+                            dtype=np.float64, count=len(completed))),
+            versions_served=totals["versions_served"],
+            swaps=totals["swaps"],
+            trainer_updates=totals["trainer_updates"],
+            model_staleness_s=totals["model_staleness_s"],
+            last_train_seconds=totals["last_train_seconds"],
+            batches=totals["batches"],
+            largest_batch=totals["largest_batch"],
+            per_cell=per_cell, per_cell_shed=per_cell_shed,
+            n_audited=audited, n_misrouted=misrouted)
+
+    # ------------------------------------------------------------------
     # run
     # ------------------------------------------------------------------
     def run(self) -> LoadTestReport:
+        if self.url is not None:
+            return self._run_http()
         offsets = arrival_offsets(self.rate, self.duration_s, self.rng,
                                   pattern=self.pattern)
         multi = self.corpora is not None

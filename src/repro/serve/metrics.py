@@ -29,7 +29,17 @@ class LatencyStats:
 
     @classmethod
     def from_ns(cls, latencies_ns) -> "LatencyStats":
-        arr = np.asarray(list(latencies_ns), dtype=np.float64)
+        if isinstance(latencies_ns, np.ndarray):
+            arr = latencies_ns.astype(np.float64, copy=False).ravel()
+        else:
+            # Deques (the load generator's recorder) and other sized
+            # iterables stream straight into the output buffer — no
+            # intermediate list materialization.
+            try:
+                count = len(latencies_ns)
+            except TypeError:
+                count = -1
+            arr = np.fromiter(latencies_ns, dtype=np.float64, count=count)
         if arr.size == 0:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         arr_us = arr / 1e3
@@ -76,8 +86,16 @@ class ServiceStats:
     shard_completed: tuple[int, ...] = ()
     #: Freshness gauge: seconds since the active snapshot published
     #: (now − last publish).  What the continuous-retraining loop is
-    #: minimizing; 0.0 when nothing is served yet.
+    #: minimizing; 0.0 when nothing is served yet — check
+    #: :attr:`has_published` to tell "idle, never published" apart from
+    #: "just published".
     model_staleness_s: float = 0.0
+    #: True once at least one model version has been published; guards
+    #: against reading an idle service's 0.0 staleness as "fresh".
+    has_published: bool = False
+    #: Wall-clock (``time.time()``) of the most recent publication, 0.0
+    #: before the first one — lets dashboards plot absolute freshness.
+    last_publish_unix: float = 0.0
     #: Trigger→publish latency of the most recent background retrain
     #: (0.0 until one completes).
     last_train_seconds: float = 0.0
@@ -114,6 +132,8 @@ class ServiceStats:
             "workers": self.workers,
             "shard_completed": list(self.shard_completed),
             "model_staleness_s": self.model_staleness_s,
+            "has_published": self.has_published,
+            "last_publish_unix": self.last_publish_unix,
             "last_train_seconds": self.last_train_seconds,
         }
 
@@ -218,6 +238,23 @@ class RouterStats:
                    default=0.0)
 
     @property
+    def has_published(self) -> bool:
+        """True only when *every* cell has published at least once
+        (worst-case semantics, matching the staleness max)."""
+
+        return bool(self.cells) and all(s.has_published
+                                        for s in self.cells.values())
+
+    @property
+    def last_publish_unix(self) -> float:
+        """Oldest per-cell last-publish wall clock (worst case); 0.0
+        when any cell has yet to publish."""
+
+        if not self.has_published:
+            return 0.0
+        return min(s.last_publish_unix for s in self.cells.values())
+
+    @property
     def versions_served(self) -> dict[int, int]:
         merged: dict[int, int] = {}
         for stats in self.cells.values():
@@ -241,5 +278,7 @@ class RouterStats:
             "trainer_failures": self.trainer_failures,
             "observations": self.observations,
             "model_staleness_s": self.model_staleness_s,
+            "has_published": self.has_published,
+            "last_publish_unix": self.last_publish_unix,
             "last_train_seconds": self.last_train_seconds,
         }

@@ -152,7 +152,8 @@ class MicroBatcher:
                  n_workers: int = 1,
                  admission: AdmissionController | None = None,
                  autotuner: AutoTuner | None = None,
-                 compile: bool = True):
+                 compile: bool = True,
+                 telemetry=None):
         """``registry_lock`` must be shared with whatever grows the
         registry concurrently (the service wires the trainer's lock in):
         the CO-VV append-only invariant makes *grown* registries safe to
@@ -168,7 +169,14 @@ class MicroBatcher:
 
         ``compile=False`` forces every batch down the eager
         ``align`` + ``predict`` path even when snapshots carry a
-        compiled plan (the equivalence-oracle mode)."""
+        compiled plan (the equivalence-oracle mode).
+
+        ``telemetry`` (a :class:`~repro.serve.telemetry.Telemetry` with
+        at least ``n_workers`` shards) turns on stage timing: producers
+        record the submit→enqueue stage, each worker writes queue-wait /
+        assembly / inference / total into its private shard histograms,
+        and shed-episode transitions and autotuner re-fits land in the
+        structural event log."""
 
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -184,6 +192,16 @@ class MicroBatcher:
         self.admission = admission
         self.autotuner = autotuner
         self.compile = compile
+        if telemetry is not None and telemetry.n_shards < n_workers:
+            raise ValueError(
+                f"telemetry has {telemetry.n_shards} shard timing slots "
+                f"for {n_workers} workers")
+        self.telemetry = telemetry
+        # Shed-episode edge detection for the event log: log the first
+        # shed of an episode and the first clean admit after it, not
+        # every shed decision (a sustained flood would flush the ring).
+        # Guarded by stats_lock, like every other shed counter.
+        self._shed_episode = False
         self.registry_lock = registry_lock or threading.Lock()
         self._encoders = [encoder or COVVEncoder(registry)]
         self._encoders += [COVVEncoder(registry)
@@ -281,6 +299,7 @@ class MicroBatcher:
         """
 
         request = ClassifyRequest(task)
+        shed_now = False
         with self._cond:
             if self._closed:
                 with self.stats_lock:
@@ -288,7 +307,16 @@ class MicroBatcher:
                 raise ServiceClosedError("batcher is stopped")
             if self.autotuner is not None:
                 self.autotuner.observe_arrival()
-                self.max_batch, self.max_wait_us = self.autotuner.update()
+                new_batch, new_wait = self.autotuner.update()
+                if (self.telemetry is not None
+                        and (new_batch != self.max_batch
+                             or new_wait != self.max_wait_us)):
+                    self.telemetry.events.append(
+                        "autotune", batch_limit=new_batch,
+                        wait_limit_us=new_wait,
+                        prev_batch_limit=self.max_batch,
+                        prev_wait_limit_us=self.max_wait_us)
+                self.max_batch, self.max_wait_us = new_batch, new_wait
             if self.admission is not None:
                 # Skip the duplicate fold when the controller shares the
                 # tuner's estimator (observed just above).
@@ -300,6 +328,11 @@ class MicroBatcher:
                     len(self._queue), self.max_wait_us,
                     batch_limit=self.max_batch, workers=self.n_workers)
                 if retry_after is not None:
+                    shed_now = True
+                    self._note_shed(
+                        "evicted" if (self.admission.policy == "drop-oldest"
+                                      and self._queue) else "rejected",
+                        retry_after)
                     if (self.admission.policy == "drop-oldest"
                             and self._queue):
                         victim = self._queue.popleft()
@@ -326,8 +359,38 @@ class MicroBatcher:
                 self.requests_total += 1
                 if self.admission is not None:
                     self.admission.admitted_total += 1
+                if self._shed_episode and not shed_now:
+                    # First clean admit (no shed in the same call, so a
+                    # drop-oldest storm can't flap) ends the episode.
+                    self._shed_episode = False
+                    if self.telemetry is not None:
+                        self.telemetry.events.append(
+                            "shed_cleared", pending=len(self._queue))
             self._cond.notify()
+        if self.telemetry is not None:
+            self.telemetry.observe(
+                "submit",
+                (time.perf_counter_ns() - request.enqueued_ns) / 1e3)
         return request
+
+    def _note_shed(self, reason: str, retry_after_s: float) -> None:
+        """Log the opening of a shed episode (edge-triggered).
+
+        Called with ``_cond`` held; takes ``stats_lock`` for the episode
+        flag (lock order ``_cond`` → ``stats_lock``, as everywhere).
+        """
+
+        if self.telemetry is None:
+            return
+        with self.stats_lock:
+            if self._shed_episode:
+                return
+            self._shed_episode = True
+        policy = self.admission.policy if self.admission else "reject"
+        self.telemetry.events.append(
+            "shed_activated", reason=reason, policy=policy,
+            pending=len(self._queue),
+            retry_after_s=round(retry_after_s, 6))
 
     @property
     def pending(self) -> int:
@@ -447,10 +510,20 @@ class MicroBatcher:
             with self.stats_lock:
                 self.shed_expired_total += expired
                 self.admission.shed_total += expired
+            self._note_shed("expired", budget_s)
         return fresh
 
     def _process(self, batch: list[ClassifyRequest], shard: int,
                  encoder: COVVEncoder) -> bool:
+        # Stage timing goes to this shard's private histograms — only
+        # the snapshot reader ever contends with the owning worker.
+        timings = (self.telemetry.shard(shard)
+                   if self.telemetry is not None else None)
+        taken_ns = time.perf_counter_ns()
+        if timings is not None:
+            timings.observe_many(
+                "queue_wait",
+                [(taken_ns - r.enqueued_ns) / 1e3 for r in batch])
         # A worker must survive any per-batch failure: an escaped
         # exception would kill the thread while submit() keeps
         # accepting requests that could then never complete.
@@ -458,6 +531,7 @@ class MicroBatcher:
             snapshot = self.handle.snapshot()
             with self.registry_lock:
                 X = encoder.encode_rows([r.task for r in batch])
+            assembled_ns = time.perf_counter_ns()
             plan = snapshot.plan if self.compile else None
             if plan is not None:
                 # Fast path: CSR straight into the fused plan.  The
@@ -484,8 +558,9 @@ class MicroBatcher:
                 self.failed_total += len(batch)
             return False
         now = time.perf_counter_ns()
-        for request, group in zip(batch, groups):
-            request._complete(int(group), snapshot.version, now)
+        # Counters land before any waiter is released: a caller whose
+        # classify() just returned must already see itself in
+        # completed_total (stats() right after a blocking classify).
         with self.stats_lock:
             self.batches_total += 1
             if plan is not None:
@@ -496,4 +571,13 @@ class MicroBatcher:
             self.shard_completed[shard] += len(batch)
             self.versions_served[snapshot.version] = \
                 self.versions_served.get(snapshot.version, 0) + len(batch)
+        if timings is not None:
+            # Timings land before waiters too: a stage_snapshots() right
+            # after a blocking classify() must include that request.
+            timings.observe("assembly", (assembled_ns - taken_ns) / 1e3)
+            timings.observe("inference", (now - assembled_ns) / 1e3)
+            timings.observe_many(
+                "total", [(now - r.enqueued_ns) / 1e3 for r in batch])
+        for request, group in zip(batch, groups):
+            request._complete(int(group), snapshot.version, now)
         return True

@@ -279,3 +279,21 @@ class CellRouter(AbstractContextManager):
             services = dict(self._services)
         return RouterStats(cells={cell_id: service.stats()
                                   for cell_id, service in services.items()})
+
+    def telemetries(self) -> dict[str, object]:
+        """Per-cell :class:`~repro.serve.telemetry.Telemetry` planes
+        (stage histograms + event rings), keyed like :meth:`stats`."""
+
+        with self._lock:
+            return {cell_id: service.telemetry
+                    for cell_id, service in self._services.items()}
+
+    def admission_snapshots(self) -> dict[str, dict]:
+        """Per-cell admission-controller snapshots; cells without
+        admission control are omitted."""
+
+        with self._lock:
+            services = dict(self._services)
+        return {cell_id: service.admission.snapshot()
+                for cell_id, service in services.items()
+                if service.admission is not None}

@@ -32,6 +32,7 @@ from .admission import SHED_POLICIES, AdmissionController, AutoTuner
 from .handle import ModelHandle, ModelSnapshot
 from .metrics import ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
+from .telemetry import Telemetry
 from .trainer import BackgroundTrainer
 
 __all__ = ["ClassificationService"]
@@ -95,7 +96,11 @@ class ClassificationService(AbstractContextManager):
                  rng: np.random.Generator | None = None):
         self.registry = registry
         clone = isinstance(model, GrowingModel)
-        self.handle = ModelHandle(compile=compile)
+        # The telemetry plane exists before anything that reports into
+        # it: the initial publication below is already event #1.
+        self.telemetry = Telemetry(n_shards=n_workers)
+        self.handle = ModelHandle(compile=compile,
+                                  telemetry=self.telemetry)
         self.handle.publish(model, features_count=features_count,
                             clone=clone)
         # One lock serializes registry growth (observe path) against the
@@ -131,13 +136,15 @@ class ClassificationService(AbstractContextManager):
                                     n_workers=n_workers,
                                     admission=self.admission,
                                     autotuner=self.autotuner,
-                                    compile=compile)
+                                    compile=compile,
+                                    telemetry=self.telemetry)
         self.trainer: BackgroundTrainer | None = None
         if trainer:
             self.trainer = BackgroundTrainer(self.handle, registry,
                                              policy=policy,
                                              registry_lock=registry_lock,
                                              fused=fused_train,
+                                             telemetry=self.telemetry,
                                              rng=rng)
         self._started = False
         self._closed = False
@@ -211,6 +218,13 @@ class ClassificationService(AbstractContextManager):
     # introspection
     # ------------------------------------------------------------------
     @property
+    def started(self) -> bool:
+        """True between :meth:`start` and :meth:`close` — the window in
+        which liveness checks (trainer thread, workers) are meaningful."""
+
+        return self._started
+
+    @property
     def model_version(self) -> int:
         return self.handle.version
 
@@ -221,8 +235,10 @@ class ClassificationService(AbstractContextManager):
         # reading the attributes directly would race the worker shards
         # (a versions_served copy mid-insert raises RuntimeError).
         counters = batcher.counters()
-        staleness = (time.monotonic() - self.handle.snapshot().published_at
-                     if self.handle.serving else 0.0)
+        serving = self.handle.serving
+        snapshot = self.handle.snapshot() if serving else None
+        staleness = (time.monotonic() - snapshot.published_at
+                     if serving else 0.0)
         last_update = (trainer.updates[-1]
                        if trainer is not None and trainer.updates else None)
         return ServiceStats(
@@ -249,5 +265,7 @@ class ClassificationService(AbstractContextManager):
             workers=batcher.n_workers,
             shard_completed=counters["shard_completed"],
             model_staleness_s=staleness,
+            has_published=serving,
+            last_publish_unix=(snapshot.published_unix if serving else 0.0),
             last_train_seconds=(0.0 if last_update is None
                                 else last_update.train_seconds))

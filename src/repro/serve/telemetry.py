@@ -1,0 +1,524 @@
+"""Telemetry plane for the serving stack.
+
+Three pieces, kept deliberately separable from the serving hot path
+(the app / telemetry / report split of benchmark harnesses like CORTEX):
+
+* :class:`StreamingHistogram` — a fixed-bucket, log-spaced latency
+  histogram.  Observation is O(log buckets) under a lock held for an
+  integer increment (batch observation folds a whole array under one
+  hold), and two histograms over the same bounds merge by adding
+  counts — which is how per-shard instances combine into one service
+  view without the workers ever contending on a shared structure.
+* :class:`EventLog` — a bounded ring buffer of *structural* events:
+  hot-swaps (with the staleness window each closed), retrain
+  trigger→publish cycles, shed-policy activations, autotuner re-fits.
+  Counters say how much; the event log says what happened and when.
+* :func:`render_prometheus` — a Prometheus text-exposition (0.0.4)
+  encoder over :class:`~repro.serve.ServiceStats` /
+  :class:`~repro.serve.RouterStats` dictionaries, admission snapshots,
+  and stage histograms, with per-cell labels throughout.  It is
+  deliberately driven off ``to_dict()`` so every counter the stats
+  layer grows is exported automatically — the schema-sync tests pin
+  that no key can silently vanish from ``/metrics``.
+
+:class:`Telemetry` composes the three per serving stack: an ingress
+:class:`StageTimings` (submit and publish, written from producer
+threads), one :class:`StageTimings` per batcher shard (written only by
+the owning worker), and the event log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "STAGES", "DEFAULT_BUCKET_BOUNDS", "bucket_bounds",
+    "HistogramSnapshot", "StreamingHistogram", "StageTimings",
+    "ServeEvent", "EventLog", "Telemetry", "render_prometheus",
+]
+
+#: The serving pipeline's instrumented stages, in request order:
+#: ``submit`` (admission gate + enqueue, the submit→enqueue cost),
+#: ``queue_wait`` (enqueue → batch take), ``assembly`` (snapshot +
+#: CO-VV encode of the batch), ``inference`` (the model/plan forward),
+#: ``total`` (enqueue → completion, what the caller experiences), and
+#: ``publish`` (clone + compile + swap of one model publication).
+STAGES = ("submit", "queue_wait", "assembly", "inference", "total",
+          "publish")
+
+
+def bucket_bounds(lo_us: float = 1.0, hi_us: float = 1e7,
+                  per_decade: int = 3) -> tuple[float, ...]:
+    """Log-spaced histogram bucket upper bounds (microseconds).
+
+    Fixed at construction so histograms built from the same spec are
+    mergeable; the default spans 1 µs – 10 s at three buckets per
+    decade, which resolves the sub-millisecond serving tail while still
+    covering a wedged multi-second outlier.
+    """
+
+    if lo_us <= 0 or hi_us <= lo_us:
+        raise ValueError("need 0 < lo_us < hi_us")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    n_decades = np.log10(hi_us / lo_us)
+    n_bounds = int(round(n_decades * per_decade)) + 1
+    bounds = lo_us * 10.0 ** (np.arange(n_bounds) / per_decade)
+    # Round to 4 significant digits so the ``le`` labels stay readable
+    # and stable across platforms.
+    rounded = [float(f"{b:.4g}") for b in bounds]
+    return tuple(rounded)
+
+
+DEFAULT_BUCKET_BOUNDS = bucket_bounds()
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSnapshot:
+    """Immutable point-in-time copy of one histogram.
+
+    ``counts`` has one entry per bound plus a final overflow bucket
+    (the Prometheus ``+Inf`` bucket); ``cumulative()`` yields the
+    exposition's running totals.
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    sum: float
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def cumulative(self) -> tuple[int, ...]:
+        total = 0
+        out = []
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return tuple(out)
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            sum=self.sum + other.sum)
+
+    def to_dict(self) -> dict:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum}
+
+
+_EMPTY_CACHE: dict[tuple[float, ...], HistogramSnapshot] = {}
+
+
+def _empty_snapshot(bounds: tuple[float, ...]) -> HistogramSnapshot:
+    snap = _EMPTY_CACHE.get(bounds)
+    if snap is None:
+        snap = HistogramSnapshot(bounds, (0,) * (len(bounds) + 1), 0.0)
+        _EMPTY_CACHE[bounds] = snap
+    return snap
+
+
+class StreamingHistogram:
+    """Fixed log-spaced-bucket histogram for latency populations.
+
+    The write path is cheap by construction: :meth:`observe` is one
+    bisect plus one locked integer increment, and :meth:`observe_many`
+    bins a whole array with ``np.searchsorted`` before taking the lock
+    once.  Bounds are fixed at construction, so histograms sharing a
+    spec merge exactly (per-shard instances → one service view).
+    """
+
+    __slots__ = ("bounds", "_np_bounds", "_counts", "_sum", "_lock")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS):
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("bounds must be strictly increasing and "
+                             "non-empty")
+        self.bounds = tuple(float(b) for b in bounds)
+        self._np_bounds = np.asarray(self.bounds, dtype=np.float64)
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value_us: float) -> None:
+        idx = bisect_left(self.bounds, value_us)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value_us
+
+    def observe_many(self, values_us) -> None:
+        arr = np.asarray(values_us, dtype=np.float64)
+        if arr.size == 0:
+            return
+        # side='left' matches bisect_left: bucket i holds values <=
+        # bounds[i] (Prometheus ``le`` semantics).
+        idx = np.searchsorted(self._np_bounds, arr, side="left")
+        binned = np.bincount(idx, minlength=len(self._counts))
+        total = float(arr.sum())
+        with self._lock:
+            for i, n in enumerate(binned):
+                if n:
+                    self._counts[i] += int(n)
+            self._sum += total
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(self.bounds, tuple(self._counts),
+                                     self._sum)
+
+
+class StageTimings:
+    """One :class:`StreamingHistogram` per pipeline stage.
+
+    A writer owns its instance (per-shard, or the ingress side), so the
+    only contention on any histogram lock is with the snapshot reader.
+    """
+
+    __slots__ = ("_stages",)
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS):
+        self._stages = {name: StreamingHistogram(bounds) for name in STAGES}
+
+    def observe(self, stage: str, value_us: float) -> None:
+        self._stages[stage].observe(value_us)
+
+    def observe_many(self, stage: str, values_us) -> None:
+        self._stages[stage].observe_many(values_us)
+
+    def stage(self, name: str) -> StreamingHistogram:
+        return self._stages[name]
+
+    def snapshot(self) -> dict[str, HistogramSnapshot]:
+        return {name: hist.snapshot()
+                for name, hist in self._stages.items()}
+
+
+@dataclass(frozen=True, slots=True)
+class ServeEvent:
+    """One structural serving event (hot-swap, retrain, shed episode,
+    autotuner re-fit)."""
+
+    seq: int
+    unix_ts: float
+    kind: str
+    cell: str | None = None
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {"seq": self.seq, "unix_ts": self.unix_ts,
+                   "kind": self.kind}
+        if self.cell is not None:
+            payload["cell"] = self.cell
+        payload.update(self.fields)
+        return payload
+
+
+class EventLog:
+    """Bounded ring buffer of :class:`ServeEvent`.
+
+    Appends are O(1) and never block on readers beyond the ring lock;
+    when the ring is full the oldest event is evicted and counted in
+    :attr:`dropped` so a reader can tell the tail is partial.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: list[ServeEvent] = []
+        self._seq = 0
+        self._dropped = 0
+
+    def append(self, kind: str, cell: str | None = None,
+               **fields) -> ServeEvent:
+        with self._lock:
+            self._seq += 1
+            event = ServeEvent(seq=self._seq, unix_ts=time.time(),
+                               kind=kind, cell=cell, fields=fields)
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[0]
+                self._dropped += 1
+        return event
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def tail(self, n: int | None = None) -> list[ServeEvent]:
+        """The most recent ``n`` events (all retained when ``None``),
+        oldest first."""
+
+        with self._lock:
+            events = list(self._events)
+        return events if n is None else events[-n:]
+
+    def kind_counts(self) -> dict[str, int]:
+        with self._lock:
+            counts: dict[str, int] = {}
+            for event in self._events:
+                counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+class Telemetry:
+    """Per-stack telemetry: stage histograms + structural event log.
+
+    ``shard(i)`` hands worker *i* its private :class:`StageTimings`
+    (written lock-contention-free); the ingress instance takes the
+    producer-side stages (``submit``, ``publish``).
+    :meth:`stage_snapshots` merges everything into one per-stage view.
+    """
+
+    def __init__(self, n_shards: int = 1, events_capacity: int = 256,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.bounds = bounds
+        self.events = EventLog(events_capacity)
+        self.ingress = StageTimings(bounds)
+        self._shards = [StageTimings(bounds) for _ in range(n_shards)]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard(self, index: int) -> StageTimings:
+        return self._shards[index]
+
+    def observe(self, stage: str, value_us: float) -> None:
+        """Record one ingress-side stage observation."""
+
+        self.ingress.observe(stage, value_us)
+
+    def stage_snapshots(self) -> dict[str, HistogramSnapshot]:
+        """Per-stage histograms merged across ingress + all shards."""
+
+        merged = {name: _empty_snapshot(self.bounds) for name in STAGES}
+        for timings in (self.ingress, *self._shards):
+            for name, snap in timings.snapshot().items():
+                merged[name] = merged[name].merge(snap)
+        return merged
+
+    def to_dict(self, events_tail: int | None = 64) -> dict:
+        """JSON-ready view (the ``/stats`` payload's telemetry block)."""
+
+        return {
+            "stages": {name: snap.to_dict()
+                       for name, snap in self.stage_snapshots().items()},
+            "events": [e.to_dict() for e in self.events.tail(events_tail)],
+            "events_total": self.events.total,
+            "events_dropped": self.events.dropped,
+        }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_PREFIX = "repro_serve"
+
+#: ``ServiceStats.to_dict()`` keys that are point-in-time gauges; every
+#: other scalar key is exported as a monotone counter.  A new stats key
+#: lands here only if it can go down — the encoder defaults to counter.
+GAUGE_KEYS = frozenset({
+    "pending", "batch_limit", "wait_limit_us", "mean_batch",
+    "largest_batch", "model_version", "workers", "model_staleness_s",
+    "last_train_seconds", "has_published", "last_publish_unix",
+})
+
+#: Structured (non-scalar) stats keys with dedicated encodings.
+_STRUCTURED_KEYS = ("versions_served", "shard_completed")
+
+#: Admission-snapshot keys exported as numbers (policy becomes a label).
+_ADMISSION_GAUGES = ("latency_budget_ms", "max_queue", "arrival_rate",
+                     "service_rate")
+_ADMISSION_COUNTERS = ("admitted", "shed")
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _labels(**kv) -> str:
+    pairs = [f'{k}="{_escape_label(v)}"' for k, v in kv.items()
+             if v is not None]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf",
+                float("-inf"): "-Inf"}.get(value, "NaN")
+    return repr(value)
+
+
+class _Families:
+    """Accumulates samples grouped into metric families so each family
+    renders one ``# HELP`` / ``# TYPE`` header followed by every cell's
+    samples."""
+
+    def __init__(self):
+        self._families: dict[str, tuple[str, str, list[str]]] = {}
+
+    def add(self, name: str, mtype: str, help_text: str,
+            value, **labels) -> None:
+        family = self._families.get(name)
+        if family is None:
+            family = (mtype, help_text, [])
+            self._families[name] = family
+        family[2].append(f"{name}{_labels(**labels)} "
+                         f"{_format_value(value)}")
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name, (mtype, help_text, samples) in self._families.items():
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {mtype}")
+            lines.extend(samples)
+        return "\n".join(lines) + "\n"
+
+
+def _encode_stats(families: _Families, cell: str, stats_dict: dict) -> None:
+    for key, value in stats_dict.items():
+        if key == "cells":
+            continue  # per-cell dicts are encoded per cell by the caller
+        if key == "versions_served":
+            for version, count in sorted(value.items()):
+                families.add(
+                    f"{_PREFIX}_versions_served_total", "counter",
+                    "Classifications served, by model version.",
+                    count, cell=cell, version=str(version))
+            continue
+        if key == "shard_completed":
+            for shard, count in enumerate(value):
+                families.add(
+                    f"{_PREFIX}_shard_completed_total", "counter",
+                    "Classifications completed, by batcher shard.",
+                    count, cell=cell, shard=str(shard))
+            continue
+        if not isinstance(value, (bool, int, float)):
+            raise TypeError(
+                f"stats key {key!r} has unexported type "
+                f"{type(value).__name__}; teach the Prometheus encoder "
+                f"about it")
+        if key in GAUGE_KEYS:
+            families.add(f"{_PREFIX}_{key}", "gauge",
+                         f"Point-in-time {key.replace('_', ' ')}.",
+                         value, cell=cell)
+        else:
+            families.add(f"{_PREFIX}_{key}_total", "counter",
+                         f"Total {key.replace('_', ' ')}.",
+                         value, cell=cell)
+
+
+def _encode_admission(families: _Families, cell: str,
+                      snapshot: dict) -> None:
+    families.add(f"{_PREFIX}_admission_policy", "gauge",
+                 "Configured shed policy (value is always 1).",
+                 1, cell=cell, policy=snapshot.get("policy"))
+    for key in _ADMISSION_GAUGES:
+        value = snapshot.get(key)
+        if value is not None:
+            families.add(f"{_PREFIX}_admission_{key}", "gauge",
+                         f"Admission controller {key.replace('_', ' ')}.",
+                         value, cell=cell)
+    for key in _ADMISSION_COUNTERS:
+        value = snapshot.get(key)
+        if value is not None:
+            families.add(f"{_PREFIX}_admission_{key}_total", "counter",
+                         f"Admission controller {key} decisions.",
+                         value, cell=cell)
+
+
+def _encode_stages(families: _Families, cell: str,
+                   stages: dict[str, HistogramSnapshot]) -> None:
+    name = f"{_PREFIX}_stage_duration_us"
+    for stage, snap in stages.items():
+        cumulative = snap.cumulative()
+        for bound, count in zip(snap.bounds, cumulative):
+            families.add(f"{name}_bucket", "histogram",
+                         "Per-stage serving latency, microseconds.",
+                         count, cell=cell, stage=stage,
+                         le=_format_value(float(bound)))
+        # cumulative() spans the overflow bucket, so its last entry IS
+        # the +Inf sample (equal to the total observation count).
+        families.add(f"{name}_bucket", "histogram",
+                     "Per-stage serving latency, microseconds.",
+                     cumulative[-1], cell=cell, stage=stage, le="+Inf")
+        families.add(f"{name}_sum", "counter",
+                     "Sum of per-stage serving latency, microseconds.",
+                     snap.sum, cell=cell, stage=stage)
+        families.add(f"{name}_count", "counter",
+                     "Observations of per-stage serving latency.",
+                     snap.count, cell=cell, stage=stage)
+
+
+def _encode_events(families: _Families, cell: str, events: EventLog) -> None:
+    families.add(f"{_PREFIX}_events_total", "counter",
+                 "Structural events appended to the telemetry ring.",
+                 events.total, cell=cell)
+    families.add(f"{_PREFIX}_events_dropped_total", "counter",
+                 "Structural events evicted from the full telemetry ring.",
+                 events.dropped, cell=cell)
+    for kind, count in sorted(events.kind_counts().items()):
+        families.add(f"{_PREFIX}_events_retained", "gauge",
+                     "Events currently retained in the ring, by kind.",
+                     count, cell=cell, kind=kind)
+
+
+def render_prometheus(
+        cells: dict[str, dict],
+        admission: dict[str, dict] | None = None,
+        stages: dict[str, dict[str, HistogramSnapshot]] | None = None,
+        events: dict[str, EventLog] | None = None) -> str:
+    """Render the Prometheus text exposition (format 0.0.4).
+
+    ``cells`` maps cell id → ``ServiceStats.to_dict()`` (a single
+    un-routed service conventionally uses cell id ``"default"``);
+    ``admission`` / ``stages`` / ``events`` optionally map the same ids
+    to :meth:`AdmissionController.snapshot` dicts, merged per-stage
+    :class:`HistogramSnapshot` maps, and :class:`EventLog` instances.
+    Every scalar stats key is exported exactly once per cell —
+    unexportable types raise so a new structured counter cannot be
+    silently skipped.
+    """
+
+    families = _Families()
+    for cell, stats_dict in cells.items():
+        _encode_stats(families, cell, stats_dict)
+        if admission and cell in admission:
+            _encode_admission(families, cell, admission[cell])
+        if stages and cell in stages:
+            _encode_stages(families, cell, stages[cell])
+        if events and cell in events:
+            _encode_events(families, cell, events[cell])
+    return families.render()

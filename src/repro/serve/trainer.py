@@ -105,11 +105,14 @@ class BackgroundTrainer:
                  config=None,
                  registry_lock: threading.Lock | None = None,
                  fused: bool = True,
+                 telemetry=None,
                  rng: np.random.Generator | None = None):
         """``config`` (a :class:`~repro.core.CTLMConfig`) is only used
         when no served model exists to clone from.  ``registry_lock``
         serializes registry growth against concurrent encoders (share it
-        with the batcher; the service does this automatically)."""
+        with the batcher; the service does this automatically).
+        ``telemetry`` logs each retrain trigger→publish cycle (and each
+        rejected attempt) into the structural event ring."""
 
         self.handle = handle
         self.registry = registry
@@ -120,6 +123,7 @@ class BackgroundTrainer:
         self.retry_backoff_s = retry_backoff_s
         self.max_buffer = max_buffer
         self.fused = fused
+        self.telemetry = telemetry
         self.rng = rng or np.random.default_rng()
 
         self._lock = threading.Lock()
@@ -162,6 +166,20 @@ class BackgroundTrainer:
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
+
+    @property
+    def alive(self) -> bool:
+        """True while the retrain loop thread is running.
+
+        The health plane's trainer-liveness probe: a trainer that was
+        started and whose thread died (however that happened) reports
+        ``False``, and the service can no longer close staleness.
+        A never-started or cleanly-stopped trainer also reports
+        ``False`` — liveness only means anything after :meth:`start`.
+        """
+
+        thread = self._thread
+        return thread is not None and thread.is_alive()
 
     # ------------------------------------------------------------------
     # observation intake (called from serving / ingest threads)
@@ -233,6 +251,11 @@ class BackgroundTrainer:
         y = np.asarray(labels, dtype=np.int64)
         if X.shape[0] < 8 or len(np.unique(y)) < 2:
             self._not_before = time.monotonic() + self.retry_backoff_s
+            if self.telemetry is not None:
+                self.telemetry.events.append(
+                    "retrain_rejected", reason="undertrained",
+                    n_observations=int(X.shape[0]),
+                    backoff_s=self.retry_backoff_s)
             return None
 
         shadow = self._shadow_model()
@@ -245,6 +268,11 @@ class BackgroundTrainer:
         except TrainingFailedError:
             self.failed_updates += 1
             self._not_before = time.monotonic() + self.retry_backoff_s
+            if self.telemetry is not None:
+                self.telemetry.events.append(
+                    "retrain_rejected", reason="training_failed",
+                    n_observations=int(X.shape[0]),
+                    backoff_s=self.retry_backoff_s)
             return None
 
         previous = self.handle.snapshot() if self.handle.serving else None
@@ -263,6 +291,16 @@ class BackgroundTrainer:
                 else snapshot.published_at - previous.published_at),
             fused=self.fused)
         self.updates.append(update)
+        if self.telemetry is not None:
+            self.telemetry.events.append(
+                "retrain", version=update.version,
+                train_seconds=round(update.train_seconds, 6),
+                epochs=update.epochs,
+                accuracy=round(update.accuracy, 4),
+                n_observations=update.n_observations,
+                features_before=update.features_before,
+                features_after=update.features_after,
+                fused=update.fused)
         logger.info("published model v%d: %d -> %d features, %d epochs, "
                     "acc %.3f, %.3fs trigger->publish (%s)",
                     update.version, update.features_before,

@@ -10,8 +10,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.constraints import (AttributeSpec, Constraint, ConstraintOperator,
-                               compact, compact_attribute)
+from repro.constraints import (AttributeSpec, CompactedTask, Constraint,
+                               ConstraintOperator, compact, compact_attribute)
 from repro.errors import CompactionError
 
 EQ = ConstraintOperator.EQUAL
@@ -207,6 +207,69 @@ class TestCompactTask:
             compact_attribute("A", [Constraint("B", EQ, "x")])
 
 
+class TestWireFormat:
+    """to_dict/from_dict: the HTTP ingress's task encoding."""
+
+    def test_spec_round_trip(self):
+        spec = compact_attribute("AM", [
+            Constraint("AM", GT, "0"), Constraint("AM", LT, "9"),
+            Constraint("AM", NE, "5")])
+        assert AttributeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_task_round_trip_through_json(self):
+        import json
+
+        task = compact([
+            Constraint("A", GT, "1"), Constraint("A", LT, "9"),
+            Constraint("B", EQ, "x"), Constraint("C", NE, "a"),
+            Constraint("C", NE, "b"), Constraint("D", PRESENT),
+            Constraint("E", NOT_PRESENT)])
+        wire = json.loads(json.dumps(task.to_dict()))
+        back = CompactedTask.from_dict(wire)
+        assert back == task
+        assert hash(back) == hash(task)
+
+    def test_equal_null_round_trips_as_must_be_absent(self):
+        # "equal": null is distinct from no "equal" key at all.
+        spec = compact_attribute("G", [Constraint("G", EQ, None)])
+        payload = spec.to_dict()
+        assert payload["equal"] is None
+        back = AttributeSpec.from_dict(payload)
+        assert back.has_equal and back.equal is None
+        assert back == spec
+
+    def test_defaults_omitted(self):
+        spec = compact_attribute("A", [Constraint("A", GT, "3")])
+        assert spec.to_dict() == {"attribute": "A", "lo": 4}
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            AttributeSpec.from_dict(["not", "a", "mapping"])
+        with pytest.raises(ValueError):
+            AttributeSpec.from_dict({"attribute": "A", "bogus": 1})
+        with pytest.raises(ValueError):
+            AttributeSpec.from_dict({"attribute": ""})
+        with pytest.raises(ValueError):
+            AttributeSpec.from_dict({"attribute": "A", "lo": "4"})
+        with pytest.raises(ValueError):
+            AttributeSpec.from_dict({"attribute": "A", "lo": True})
+        with pytest.raises(ValueError):
+            AttributeSpec.from_dict({"attribute": "A", "equal": 3})
+        with pytest.raises(ValueError):
+            AttributeSpec.from_dict({"attribute": "A", "not_in": "abc"})
+
+    def test_task_from_dict_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            CompactedTask.from_dict(None)
+        with pytest.raises(ValueError):
+            CompactedTask.from_dict({})
+        with pytest.raises(ValueError):
+            CompactedTask.from_dict({"specs": {"attribute": "A"}})
+        with pytest.raises(ValueError):
+            CompactedTask.from_dict({"specs": [{"attribute": "A", "lo": 1},
+                                               {"attribute": "A", "hi": 9}]})
+
+
 # ----------------------------------------------------------------------
 # property-based soundness: the compacted form accepts exactly the values
 # the raw conjunction accepts (over canonical values, per the documented
@@ -282,3 +345,19 @@ def test_compaction_idempotent_on_duplicates(constraints):
         return
     twice = compact_attribute("A", constraints + constraints)
     assert once == twice
+
+
+@settings(max_examples=150, deadline=None)
+@given(raw_constraints())
+def test_wire_format_round_trips(constraints):
+    """Any reachable spec survives to_dict → JSON → from_dict exactly."""
+
+    import json
+
+    try:
+        spec = compact_attribute("A", constraints)
+    except CompactionError:
+        return
+    task = CompactedTask({"A": spec} if not spec.is_trivial() else {})
+    wire = json.loads(json.dumps(task.to_dict()))
+    assert CompactedTask.from_dict(wire) == task

@@ -23,8 +23,26 @@ import time
 
 from repro.datasets import COVVEncoder
 
-__all__ = ["SlowModel", "FailingEncoder", "StallGate",
+__all__ = ["SlowModel", "FailingEncoder", "StallGate", "kill_trainer",
            "assert_exactly_once"]
+
+
+def kill_trainer(trainer, timeout_s: float = 5.0) -> None:
+    """Make a started trainer's loop thread die in place.
+
+    The thread exits but stays attached (unlike ``stop()``, which
+    detaches it), so ``trainer.alive`` flips to False exactly as if the
+    loop had crashed — the scenario the ``/healthz`` trainer-liveness
+    probe exists for.
+    """
+
+    thread = trainer._thread
+    assert thread is not None, "trainer was never started"
+    trainer._stop.set()
+    with trainer._wake:
+        trainer._wake.notify_all()
+    thread.join(timeout_s)
+    assert not thread.is_alive(), "trainer thread did not exit"
 
 
 class SlowModel:

@@ -1,0 +1,216 @@
+"""Schema-sync contract between ``to_dict()`` and ``/metrics``.
+
+The Prometheus encoder is driven off the stats dictionaries, so the
+exposition cannot *silently* lag the schema: every scalar key must show
+up exactly once per cell with the right name mangling (counters get
+``_total``, gauges don't), structured keys get their dedicated label
+encodings, and an unknown value type is a hard ``TypeError`` rather
+than a dropped metric.  These tests pin that contract — plus the
+``LatencyStats.from_ns`` input-shape micro-regression.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.serve import (AdmissionController, LatencyStats, RouterStats,
+                         ServiceStats, Telemetry, render_prometheus)
+from repro.serve.telemetry import GAUGE_KEYS, STAGES
+
+SCALAR = (bool, int, float)
+
+
+def _sample_stats() -> ServiceStats:
+    return ServiceStats(
+        requests=100, completed=90, rejected=1, cancelled=2, failed=3,
+        shed_rejected=4, shed_evicted=2, shed_expired=1, batch_limit=5,
+        wait_limit_us=500, pending=7, batches=30, compiled_batches=28,
+        largest_batch=8, versions_served={1: 50, 2: 40},
+        model_version=2, swaps=1, trainer_updates=1, trainer_failures=0,
+        observations=25, workers=2, shard_completed=(50, 40),
+        model_staleness_s=1.25, has_published=True,
+        last_publish_unix=1.7e9, last_train_seconds=0.4)
+
+
+def _metric_names(text: str) -> set[str]:
+    return {line.split("{")[0].split(" ")[0]
+            for line in text.splitlines() if not line.startswith("#")}
+
+
+class TestServiceStatsExposition:
+    def test_every_scalar_key_exported_once_per_cell(self):
+        stats = _sample_stats()
+        payload = stats.to_dict()
+        text = render_prometheus({"a": payload, "b": payload})
+        for key, value in payload.items():
+            if not isinstance(value, SCALAR):
+                continue
+            suffix = "" if key in GAUGE_KEYS else "_total"
+            for cell in ("a", "b"):
+                pattern = (rf'^repro_serve_{key}{suffix}'
+                           rf'\{{cell="{cell}"\}} ')
+                matches = [line for line in text.splitlines()
+                           if re.match(pattern, line)]
+                assert len(matches) == 1, (key, cell, matches)
+
+    def test_counter_gauge_split_matches_gauge_keys(self):
+        text = render_prometheus({"x": _sample_stats().to_dict()})
+        for key, value in _sample_stats().to_dict().items():
+            if not isinstance(value, SCALAR):
+                continue
+            if key in GAUGE_KEYS:
+                assert f"# TYPE repro_serve_{key} gauge" in text, key
+            else:
+                assert (f"# TYPE repro_serve_{key}_total counter"
+                        in text), key
+
+    def test_structured_keys_get_label_encodings(self):
+        text = render_prometheus({"x": _sample_stats().to_dict()})
+        assert ('repro_serve_versions_served_total'
+                '{cell="x",version="1"} 50') in text
+        assert ('repro_serve_versions_served_total'
+                '{cell="x",version="2"} 40') in text
+        assert ('repro_serve_shard_completed_total'
+                '{cell="x",shard="0"} 50') in text
+        assert ('repro_serve_shard_completed_total'
+                '{cell="x",shard="1"} 40') in text
+
+    def test_unknown_value_type_is_a_hard_error(self):
+        payload = _sample_stats().to_dict()
+        payload["novel_structure"] = {"nested": 1}
+        with pytest.raises(TypeError, match="novel_structure"):
+            render_prometheus({"x": payload})
+
+    def test_booleans_render_as_zero_one(self):
+        text = render_prometheus({"x": _sample_stats().to_dict()})
+        assert 'repro_serve_has_published{cell="x"} 1' in text
+        cold = ServiceStats().to_dict()
+        cold_text = render_prometheus({"x": cold})
+        assert 'repro_serve_has_published{cell="x"} 0' in cold_text
+
+    def test_router_stats_cells_encode_per_cell(self):
+        router = RouterStats(cells={"a": _sample_stats(),
+                                    "b": ServiceStats()})
+        text = render_prometheus(
+            {cell: stats.to_dict()
+             for cell, stats in router.cells.items()})
+        assert 'repro_serve_completed_total{cell="a"} 90' in text
+        assert 'repro_serve_completed_total{cell="b"} 0' in text
+        # RouterStats' own scalar aggregate view exports cleanly too
+        # (the nested "cells" dict is the one structured exception).
+        merged = render_prometheus({"all": router.to_dict()})
+        assert 'repro_serve_completed_total{cell="all"} 90' in merged
+
+    def test_label_values_escaped(self):
+        text = render_prometheus({'we"ird\n': ServiceStats().to_dict()})
+        assert 'cell="we\\"ird\\n"' in text
+        assert text.endswith("\n")
+
+
+class TestAdmissionExposition:
+    def test_snapshot_keys_exported(self):
+        controller = AdmissionController(latency_budget_ms=5.0,
+                                         policy="drop-oldest",
+                                         max_queue=100)
+        snapshot = controller.snapshot()
+        text = render_prometheus({"x": ServiceStats().to_dict()},
+                                 admission={"x": snapshot})
+        assert ('repro_serve_admission_policy'
+                '{cell="x",policy="drop-oldest"} 1') in text
+        assert 'repro_serve_admission_latency_budget_ms{cell="x"} 5.0' in text
+        assert 'repro_serve_admission_max_queue{cell="x"} 100' in text
+        assert 'repro_serve_admission_admitted_total{cell="x"} 0' in text
+        assert 'repro_serve_admission_shed_total{cell="x"} 0' in text
+
+    def test_none_valued_knobs_omitted(self):
+        controller = AdmissionController(latency_budget_ms=None,
+                                         max_queue=10)
+        text = render_prometheus({"x": ServiceStats().to_dict()},
+                                 admission={"x": controller.snapshot()})
+        assert "latency_budget_ms" not in text
+
+
+class TestStageAndEventExposition:
+    def test_histogram_exposition_shape(self):
+        telemetry = Telemetry(n_shards=1)
+        telemetry.observe("submit", 3.0)
+        telemetry.observe("submit", 2e8)  # lands in +Inf
+        stages = telemetry.stage_snapshots()
+        text = render_prometheus({"x": ServiceStats().to_dict()},
+                                 stages={"x": stages})
+        assert ('repro_serve_stage_duration_us_bucket'
+                '{cell="x",stage="submit",le="+Inf"} 2') in text
+        assert ('repro_serve_stage_duration_us_count'
+                '{cell="x",stage="submit"} 2') in text
+        for stage in STAGES:
+            assert f'stage="{stage}"' in text
+        # Cumulative: every bucket count <= the +Inf count.
+        buckets = [int(line.rsplit(" ", 1)[1])
+                   for line in text.splitlines()
+                   if line.startswith("repro_serve_stage_duration_us_bucket"
+                                      '{cell="x",stage="submit"')]
+        assert buckets == sorted(buckets)
+
+    def test_event_counters_exported(self):
+        telemetry = Telemetry(n_shards=1, events_capacity=2)
+        for _ in range(5):
+            telemetry.events.append("publish")
+        text = render_prometheus({"x": ServiceStats().to_dict()},
+                                 events={"x": telemetry.events})
+        assert 'repro_serve_events_total{cell="x"} 5' in text
+        assert 'repro_serve_events_dropped_total{cell="x"} 3' in text
+        assert ('repro_serve_events_retained'
+                '{cell="x",kind="publish"} 2') in text
+
+
+class TestStatsJsonSchema:
+    """The /stats JSON and /metrics exposition stay in sync: every
+    scalar ServiceStats key has exactly one corresponding family."""
+
+    def test_exported_families_cover_the_dict(self):
+        payload = _sample_stats().to_dict()
+        names = _metric_names(render_prometheus({"x": payload}))
+        for key, value in payload.items():
+            if isinstance(value, SCALAR):
+                suffix = "" if key in GAUGE_KEYS else "_total"
+                assert f"repro_serve_{key}{suffix}" in names, key
+        assert "repro_serve_versions_served_total" in names
+        assert "repro_serve_shard_completed_total" in names
+
+
+class TestLatencyStatsFromNs:
+    """from_ns accepts any latency container without a list copy —
+    ndarray, deque (the load generator's recorder), list, generator."""
+
+    def test_input_shapes_agree(self):
+        values = [1_000, 2_000, 5_000, 10_000, 50_000, 100_000]
+        expect = LatencyStats.from_ns(list(values))
+        assert LatencyStats.from_ns(np.asarray(values)) == expect
+        assert LatencyStats.from_ns(
+            np.asarray(values, dtype=np.int64)) == expect
+        assert LatencyStats.from_ns(deque(values)) == expect
+        assert LatencyStats.from_ns(v for v in values) == expect
+        assert LatencyStats.from_ns(tuple(values)) == expect
+
+    def test_ndarray_is_not_copied_when_float64(self):
+        arr = np.asarray([1e3, 2e3, 3e3], dtype=np.float64)
+        stats = LatencyStats.from_ns(arr)
+        assert stats.count == 3
+        # astype(copy=False) on float64 must alias, not copy.
+        assert arr.astype(np.float64, copy=False) is arr
+
+    def test_empty_inputs(self):
+        for empty in ([], np.array([]), deque(), iter(())):
+            stats = LatencyStats.from_ns(empty)
+            assert stats.count == 0
+            assert stats.mean_us == 0.0
+
+    def test_values_correct(self):
+        stats = LatencyStats.from_ns([1_000, 3_000])
+        assert stats.count == 2
+        assert stats.mean_us == pytest.approx(2.0)
+        assert stats.max_us == pytest.approx(3.0)

@@ -90,6 +90,28 @@ class TestParser:
             build_parser().parse_args(["loadtest", "/tmp/x",
                                        "--pattern", "steady"])
 
+    def test_http_defaults(self):
+        args = build_parser().parse_args(["serve", "/tmp/x"])
+        assert args.http_port is None
+        assert args.http_host == "127.0.0.1"
+        assert args.staleness_budget is None
+        args = build_parser().parse_args(["loadtest", "/tmp/x"])
+        assert args.url is None
+        assert args.http_connections == 4
+
+    def test_http_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "/tmp/x", "--http-port", "0",
+             "--http-host", "0.0.0.0", "--staleness-budget", "30"])
+        assert args.http_port == 0
+        assert args.http_host == "0.0.0.0"
+        assert args.staleness_budget == 30.0
+        args = build_parser().parse_args(
+            ["loadtest", "/tmp/x", "--url", "http://127.0.0.1:8080",
+             "--http-connections", "2"])
+        assert args.url == "http://127.0.0.1:8080"
+        assert args.http_connections == 2
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -201,3 +223,31 @@ class TestCommands:
         assert len(payload["per_cell"]) == 2
         assert sum(payload["per_cell"].values()) == payload["n_completed"]
         assert payload["swaps"] == 2  # one forced swap per cell
+
+    def test_loadtest_url_drives_a_live_ingress(self, archived_cell,
+                                                capsys):
+        """``loadtest --url`` replays the archive's corpus over the wire
+        against a real ingress: zero lost, clean exit code."""
+
+        import json
+
+        from repro.cli import _serving_setup
+        from repro.serve import HttpIngress
+
+        serve_args = build_parser().parse_args(
+            ["serve", str(archived_cell), "--train-steps", "2",
+             "--seed", "1", "--no-trainer"])
+        _cell, _result, _model, target, _corpora = _serving_setup(
+            serve_args)
+        with target:
+            with HttpIngress(target, port=0) as ingress:
+                capsys.readouterr()
+                assert main(["loadtest", str(archived_cell),
+                             "--duration", "0.4", "--rate", "400",
+                             "--seed", "1", "--no-trainer",
+                             "--url", ingress.url,
+                             "--http-connections", "2", "--json"]) == 0
+                payload = json.loads(capsys.readouterr().out)
+        assert payload["n_dropped"] == 0
+        assert payload["n_completed"] == payload["n_requests"] > 0
+        assert payload["latency_us"]["p99_us"] > 0
