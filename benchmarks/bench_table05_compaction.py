@@ -6,7 +6,6 @@ compaction throughput over a realistic constraint-set mix.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import render_table

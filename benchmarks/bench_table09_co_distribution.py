@@ -7,8 +7,6 @@ is calibrated to those bands, so this bench is the calibration check.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import co_distribution, render_table
 from repro.trace import get_profile
 

@@ -10,8 +10,6 @@ meet the acceptance thresholds at every step.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import table_xi_report
 
 from _common import bench_pipeline, bench_run

@@ -1,0 +1,46 @@
+"""Concurrency lint + runtime race harness for the serving stack.
+
+Static side (``repro lint``): a GuardedBy-style lock-discipline
+checker, a blocking-call-under-lock checker, and a lexical lock-order
+graph with cycle detection — see :mod:`.checker`, :mod:`.lockorder`,
+:mod:`.driver`.  Runtime side (``REPRO_LOCK_DEBUG=1``): instrumented
+locks that record per-thread acquisition order and hold times and
+raise on observed lock-order inversion — see :mod:`.runtime`.
+"""
+
+from .annotations import FileAnnotations, scan_annotations
+from .checker import FileChecker, check_source
+from .driver import iter_python_files, run_lint
+from .lockorder import LockOrderGraph
+from .model import Finding, GuardDecl, LintReport, LockOrderEdge, Suppression
+from .runtime import (
+    InstrumentedLock,
+    LockOrderError,
+    OrderTracker,
+    default_tracker,
+    lock_debug_enabled,
+    new_condition,
+    new_lock,
+)
+
+__all__ = [
+    "FileAnnotations",
+    "FileChecker",
+    "Finding",
+    "GuardDecl",
+    "InstrumentedLock",
+    "LintReport",
+    "LockOrderEdge",
+    "LockOrderGraph",
+    "LockOrderError",
+    "OrderTracker",
+    "Suppression",
+    "check_source",
+    "default_tracker",
+    "iter_python_files",
+    "lock_debug_enabled",
+    "new_condition",
+    "new_lock",
+    "run_lint",
+    "scan_annotations",
+]

@@ -1,0 +1,107 @@
+"""Source-comment annotation scanning for the concurrency checkers.
+
+The annotation language is trailing comments, in the spirit of Clang's
+thread-safety attributes / Java's ``@GuardedBy`` adapted to Python:
+
+``# guarded-by: <lock>``
+    On a ``self.<field> = ...`` assignment (usually in ``__init__``):
+    every read/write of ``<field>`` must happen inside a
+    ``with self.<lock>:`` block of the same function.
+
+``# unguarded-ok: <reason>``
+    Escape hatch for a deliberate lock-free access (atomic snapshot
+    reads, control-plane-only paths).  The reason is mandatory — an
+    empty one is itself a finding.
+
+``# blocking-ok: <reason>``
+    Same escape hatch for the blocking-call-under-lock checker.
+
+``# requires-lock: <lock>[, <lock>...]``
+    On a ``def`` line: the function is only ever called with those
+    locks already held, so the checker treats them as held for the
+    whole body (and seeds the static lock-order graph accordingly).
+
+``# lock-alias: <name> = <lock>``
+    Declares ``self.<name>`` to be the same underlying lock as
+    ``self.<lock>`` (a ``threading.Condition`` wrapping it, a shared
+    reference).  ``Condition(self.<lock>)`` construction is also
+    auto-detected without the comment.
+
+A module-level ``GUARDED_BY = {"Class.field": "lock", ...}`` literal
+dict is the comment-free alternative for declaring guards (keys without
+a class prefix apply to every class in the module).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["FileAnnotations", "scan_annotations"]
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w.]*)")
+_UNGUARDED_OK = re.compile(r"#\s*unguarded-ok:(.*)$")
+_BLOCKING_OK = re.compile(r"#\s*blocking-ok:(.*)$")
+_REQUIRES = re.compile(r"#\s*requires-lock:\s*([A-Za-z_][\w.,\s]*)")
+_ALIAS = re.compile(r"#\s*lock-alias:\s*([A-Za-z_]\w*)\s*=\s*([A-Za-z_]\w*)")
+
+
+@dataclass(slots=True)
+class FileAnnotations:
+    """Per-line annotation comments extracted from one source file.
+
+    All maps are keyed by 1-based physical line number.  ``unguarded_ok``
+    and ``blocking_ok`` map to the (possibly empty) reason text; an
+    empty reason is the *bad-suppression* signal the checker reports.
+    """
+
+    guarded_by: dict[int, str] = field(default_factory=dict)
+    unguarded_ok: dict[int, str] = field(default_factory=dict)
+    blocking_ok: dict[int, str] = field(default_factory=dict)
+    requires: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    aliases: dict[int, tuple[str, str]] = field(default_factory=dict)
+
+    def suppression_reason(self, tag_map: dict[int, str],
+                           start: int, end: int) -> tuple[bool, str]:
+        """Whether lines ``start..end`` carry a suppression, and its
+        reason (first one found wins)."""
+
+        for line in range(start, end + 1):
+            if line in tag_map:
+                return True, tag_map[line]
+        return False, ""
+
+
+def scan_annotations(source: str) -> FileAnnotations:
+    """Extract every annotation comment from ``source``.
+
+    The scan is line-based and deliberately permissive about what code
+    precedes the comment; the checker decides what each annotation
+    attaches to from the AST side.  Annotation markers inside string
+    literals would be misread — the convention is comments-only, which
+    the test fixtures pin.
+    """
+
+    ann = FileAnnotations()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        m = _GUARDED_BY.search(text)
+        if m:
+            ann.guarded_by[lineno] = m.group(1)
+        m = _UNGUARDED_OK.search(text)
+        if m:
+            ann.unguarded_ok[lineno] = m.group(1).strip()
+        m = _BLOCKING_OK.search(text)
+        if m:
+            ann.blocking_ok[lineno] = m.group(1).strip()
+        m = _REQUIRES.search(text)
+        if m:
+            names = tuple(name.strip() for name in m.group(1).split(",")
+                          if name.strip())
+            if names:
+                ann.requires[lineno] = names
+        m = _ALIAS.search(text)
+        if m:
+            ann.aliases[lineno] = (m.group(1), m.group(2))
+    return ann

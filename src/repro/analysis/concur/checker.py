@@ -1,0 +1,523 @@
+"""AST lock-discipline + blocking-call checker for one source file.
+
+:class:`FileChecker` runs three analyses in a single AST pass per
+function, sharing one model of *which locks are held here*:
+
+* **Guard discipline** — every access to a field declared
+  ``# guarded-by: <lock>`` (or listed in a module-level ``GUARDED_BY``
+  map) must be lexically enclosed in ``with self.<lock>:`` within the
+  same function.  ``__init__`` / ``__new__`` / ``__del__`` are exempt
+  (the object is not shared yet / anymore), and a trailing
+  ``# unguarded-ok: <reason>`` suppresses a single access — with the
+  reason mandatory.
+* **Blocking calls under a lock** — ``time.sleep``, ``subprocess``,
+  ``socket`` / ``http.client`` / ``urllib.request`` operations,
+  ``Thread.join`` and ``Event.wait`` inside a ``with <lock>:`` body
+  stall every other thread contending for that lock.  Waiting on the
+  *innermost Condition itself* is the one sanctioned pattern
+  (``Condition.wait`` releases its own lock) — waiting while any other
+  lock is also held is still flagged.
+* **Acquisition-order edges** — every lexically nested ``with``
+  acquisition (plus ``# requires-lock`` entry states) contributes a
+  *held → acquired* edge to the file-set-wide lock-order graph that
+  :mod:`.lockorder` checks for cycles.
+
+The analysis is deliberately intra-procedural: an access in a helper
+called with a lock held is covered by annotating the helper with
+``# requires-lock``, not by whole-program inference.  Accesses through
+another object (``self.admission.shed_total``) are out of scope — the
+discipline of a field belongs to the class that declares it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .annotations import FileAnnotations, scan_annotations
+from .model import Finding, GuardDecl, LockOrderEdge, Suppression
+
+__all__ = ["FileChecker", "check_source"]
+
+#: Functions where unguarded access to the instance's own fields is
+#: allowed: the instance is not visible to other threads yet (or is
+#: being torn down).
+EXEMPT_FUNCTIONS = frozenset({"__init__", "__new__", "__del__"})
+
+#: Resolved dotted-call prefixes considered blocking.
+BLOCKING_PREFIXES = (
+    "time.sleep",
+    "subprocess.",
+    "socket.",
+    "http.client.",
+    "urllib.request.",
+)
+
+#: With-target names that participate in the lock-order graph.  The
+#: guard checker tracks *every* ``with`` target; the order graph only
+#: wants locks, so plain context managers (files, ExitStacks) stay out.
+_LOCKISH = re.compile(r"lock|cond|mutex|sem(?:aphore)?|wake|guard", re.I)
+
+_CONDITION_CALLEES = frozenset({"threading.Condition", "Condition"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``."""
+
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class _ClassInfo:
+    """Guard table + lock aliases for one class."""
+
+    __slots__ = ("name", "guards", "aliases")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.guards: dict[str, str] = {}   # field -> declared lock name
+        self.aliases: dict[str, str] = {}  # lock name -> aliased lock name
+
+    def canonical(self, lock: str) -> str:
+        seen = set()
+        while lock in self.aliases and lock not in seen:
+            seen.add(lock)
+            lock = self.aliases[lock]
+        return lock
+
+
+class _HeldLock:
+    """One entry on the statically-tracked held-locks stack."""
+
+    __slots__ = ("local", "node_name", "line")
+
+    def __init__(self, local: str, node_name: str, line: int):
+        self.local = local          # canonical in-class name ("_cond")
+        self.node_name = node_name  # graph node ("MicroBatcher._cond")
+        self.line = line
+
+
+class FileChecker:
+    """Run all static concurrency checks over one parsed file."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.annotations: FileAnnotations = scan_annotations(source)
+        self.findings: list[Finding] = []
+        self.suppressions: list[Suppression] = []
+        self.guards: list[GuardDecl] = []
+        self.edges: list[LockOrderEdge] = []
+        self._imports: dict[str, str] = {}
+        self._module_guards: dict[str | None, dict[str, str]] = {}
+        self._consumed_guard_lines: set[int] = set()
+        self._consumed_alias_lines: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError as exc:
+            self._finding(exc.lineno or 1, "parse-error",
+                          f"file does not parse: {exc.msg}")
+            return
+        self._collect_imports(tree)
+        self._collect_module_guard_map(tree)
+        module_name = re.sub(r"\.py$", "", self.path.replace("\\", "/")
+                             .rsplit("/", 1)[-1])
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._check_class(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node, class_info=None,
+                                     scope_name=module_name)
+        self._report_dangling_annotations()
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.asname and alias.name or local
+                    self._imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: not a stdlib module
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._imports[local] = f"{node.module}.{alias.name}"
+
+    def _collect_module_guard_map(self, tree: ast.Module) -> None:
+        """Parse ``GUARDED_BY = {"Class.field": "lock", ...}``."""
+
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == "GUARDED_BY"
+                       for t in node.targets):
+                continue
+            try:
+                mapping = ast.literal_eval(node.value)
+            except (ValueError, SyntaxError):
+                mapping = None
+            if not isinstance(mapping, dict):
+                self._finding(node.lineno, "bad-declaration",
+                              "GUARDED_BY must be a literal dict of "
+                              "'Class.field' (or 'field') -> 'lock'")
+                continue
+            for key, lock in mapping.items():
+                if not (isinstance(key, str) and isinstance(lock, str)):
+                    self._finding(node.lineno, "bad-declaration",
+                                  f"GUARDED_BY entry {key!r}: {lock!r} "
+                                  f"is not a string pair")
+                    continue
+                cls, _, fld = key.rpartition(".")
+                scope = cls or None
+                self._module_guards.setdefault(scope, {})[fld] = lock
+                self.guards.append(GuardDecl(self.path, node.lineno,
+                                             scope, fld, lock))
+
+    def _collect_class_info(self, node: ast.ClassDef) -> _ClassInfo:
+        info = _ClassInfo(node.name)
+        info.guards.update(self._module_guards.get(None, {}))
+        info.guards.update(self._module_guards.get(node.name, {}))
+        # Trailing ``# guarded-by`` comments on assignments to
+        # ``self.<field>`` (or class-body attributes).
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, ast.AnnAssign):
+                targets = [sub.target]
+            else:
+                continue
+            lock = None
+            for line in range(sub.lineno, (sub.end_lineno or sub.lineno) + 1):
+                if line in self.annotations.guarded_by:
+                    lock = self.annotations.guarded_by[line]
+                    decl_line = line
+                    break
+            for target in targets:
+                field = _self_attr(target)
+                if field is None and isinstance(target, ast.Name):
+                    field = target.id
+                if field is None:
+                    continue
+                if lock is not None:
+                    info.guards[field] = lock
+                    self._consumed_guard_lines.add(decl_line)
+                    self.guards.append(GuardDecl(self.path, decl_line,
+                                                 node.name, field, lock))
+                self._detect_auto_alias(info, target, sub)
+        # ``# lock-alias: a = b`` comments inside the class span.
+        for line, (alias, lock) in self.annotations.aliases.items():
+            if node.lineno <= line <= (node.end_lineno or node.lineno):
+                info.aliases[alias] = lock
+                self._consumed_alias_lines.add(line)
+        return info
+
+    def _detect_auto_alias(self, info: _ClassInfo, target: ast.AST,
+                           assign: ast.AST) -> None:
+        """``self.Y = threading.Condition(self.X)`` ⇒ alias Y → X."""
+
+        field = _self_attr(target)
+        value = getattr(assign, "value", None)
+        if field is None or not isinstance(value, ast.Call):
+            return
+        callee = _dotted(value.func)
+        if callee is None:
+            return
+        resolved = self._resolve_call(callee)
+        if (resolved or callee) not in _CONDITION_CALLEES \
+                and callee not in _CONDITION_CALLEES:
+            return
+        if value.args:
+            wrapped = _self_attr(value.args[0])
+            if wrapped is not None:
+                info.aliases[field] = wrapped
+
+    # ------------------------------------------------------------------
+    # per-class / per-function dispatch
+    # ------------------------------------------------------------------
+    def _check_class(self, node: ast.ClassDef) -> None:
+        info = self._collect_class_info(node)
+        for sub in node.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(sub, class_info=info,
+                                     scope_name=node.name)
+            elif isinstance(sub, ast.ClassDef):
+                self._check_class(sub)
+
+    def _requires_locks(self, node: ast.AST) -> tuple[str, ...]:
+        body = getattr(node, "body", None)
+        last = (body[0].lineno - 1) if body else node.lineno
+        for line in range(node.lineno, max(node.lineno, last) + 1):
+            if line in self.annotations.requires:
+                return self.annotations.requires[line]
+        return ()
+
+    def _check_function(self, node, class_info: _ClassInfo | None,
+                        scope_name: str) -> None:
+        checker = _FunctionWalk(self, node, class_info, scope_name)
+        checker.run()
+
+    # ------------------------------------------------------------------
+    # helpers shared with the function walker
+    # ------------------------------------------------------------------
+    def _resolve_call(self, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        base = self._imports.get(head)
+        if base is None:
+            return None
+        return f"{base}.{rest}" if rest else base
+
+    def _finding(self, line: int, kind: str, message: str) -> None:
+        self.findings.append(Finding(self.path, line, kind, message))
+
+    def _suppressed(self, tag_map: dict[int, str], tag: str,
+                    start: int, end: int) -> bool:
+        """Consume a suppression comment covering ``start..end``.
+
+        Returns True when the access is suppressed *with a reason*;
+        an empty reason records a ``bad-suppression`` finding and does
+        NOT suppress.
+        """
+
+        hit, reason = self.annotations.suppression_reason(tag_map, start,
+                                                          end)
+        if not hit:
+            return False
+        if not reason:
+            self._finding(start, "bad-suppression",
+                          f"# {tag}: must carry a reason — an unexplained "
+                          f"suppression is a finding, not an escape")
+            return False
+        self.suppressions.append(Suppression(self.path, start, tag, reason))
+        return True
+
+    def _report_dangling_annotations(self) -> None:
+        for line in sorted(set(self.annotations.guarded_by)
+                           - self._consumed_guard_lines):
+            self._finding(line, "bad-declaration",
+                          "guarded-by annotation is not attached to a "
+                          "field assignment (the comment must trail the "
+                          "assignment statement)")
+
+
+class _FunctionWalk:
+    """Single-function recursive walk tracking the held-lock stack."""
+
+    def __init__(self, file_checker: FileChecker, node,
+                 class_info: _ClassInfo | None, scope_name: str):
+        self.fc = file_checker
+        self.node = node
+        self.info = class_info
+        self.scope = scope_name
+        self.held: list[_HeldLock] = []
+        self._stmt_span: list[tuple[int, int]] = []
+        self.exempt = (class_info is not None
+                       and node.name in EXEMPT_FUNCTIONS)
+
+    # -- naming --------------------------------------------------------
+    def _canonical(self, local: str) -> str:
+        return self.info.canonical(local) if self.info else local
+
+    def _node_name(self, local: str, is_self: bool) -> str:
+        owner = self.info.name if (is_self and self.info) else self.scope
+        return f"{owner}.{local}"
+
+    def _lock_from_expr(self, expr: ast.AST) -> tuple[str, str] | None:
+        """(local canonical name, graph node name) for a with-target."""
+
+        attr = _self_attr(expr)
+        if attr is not None:
+            local = self._canonical(attr)
+            return local, self._node_name(local, is_self=True)
+        if isinstance(expr, ast.Name):
+            return expr.id, self._node_name(expr.id, is_self=False)
+        dotted = _dotted(expr)
+        if dotted is not None:
+            return dotted, dotted
+        return None
+
+    def _lockish(self, local: str) -> bool:
+        if _LOCKISH.search(local):
+            return True
+        if self.info and local in set(self.info.guards.values()):
+            return True
+        return False
+
+    # -- entry ---------------------------------------------------------
+    def run(self) -> None:
+        for required in self.fc._requires_locks(self.node):
+            local = self._canonical(required)
+            self.held.append(_HeldLock(local,
+                                       self._node_name(local, is_self=True),
+                                       self.node.lineno))
+        for stmt in self.node.body:
+            self._visit(stmt)
+
+    # -- traversal -----------------------------------------------------
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: runs later, possibly without the lock —
+            # analyze it conservatively with a fresh (empty) held stack.
+            self.fc._check_function(node, self.info, self.scope)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        is_simple_stmt = isinstance(node, (
+            ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return,
+            ast.Raise, ast.Assert, ast.Delete))
+        if is_simple_stmt:
+            self._stmt_span.append((node.lineno,
+                                    node.end_lineno or node.lineno))
+        if isinstance(node, ast.Call):
+            self._check_call(node)
+        elif isinstance(node, ast.Attribute):
+            self._check_attribute(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        if is_simple_stmt:
+            self._stmt_span.pop()
+
+    def _visit_with(self, node) -> None:
+        pushed = 0
+        for item in node.items:
+            self._visit(item.context_expr)  # the expr itself may access
+            if item.optional_vars is not None:
+                self._visit(item.optional_vars)
+            lock = self._lock_from_expr(item.context_expr)
+            if lock is None:
+                continue
+            local, node_name = lock
+            if self._lockish(local):
+                for held in self.held:
+                    if (self._lockish(held.local)
+                            and held.node_name != node_name):
+                        self.fc.edges.append(LockOrderEdge(
+                            held.node_name, node_name, self.fc.path,
+                            item.context_expr.lineno))
+            self.held.append(_HeldLock(local, node_name,
+                                       item.context_expr.lineno))
+            pushed += 1
+        for stmt in node.body:
+            self._visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    # -- the checks ----------------------------------------------------
+    def _span_for(self, node: ast.AST) -> tuple[int, int]:
+        if self._stmt_span:
+            return self._stmt_span[-1]
+        return node.lineno, node.end_lineno or node.lineno
+
+    def _check_attribute(self, node: ast.Attribute) -> None:
+        if self.exempt or self.info is None:
+            return
+        field = _self_attr(node)
+        if field is None or field not in self.info.guards:
+            return
+        lock = self._canonical(self.info.guards[field])
+        if any(held.local == lock for held in self.held):
+            return
+        start, end = self._span_for(node)
+        if self.fc._suppressed(self.fc.annotations.unguarded_ok,
+                               "unguarded-ok", start, end):
+            return
+        write = isinstance(node.ctx, (ast.Store, ast.Del))
+        kind = "unguarded-write" if write else "unguarded-read"
+        self.fc._finding(
+            node.lineno, kind,
+            f"{self.info.name}.{field} is guarded by "
+            f"self.{self.info.guards[field]} but accessed without it "
+            f"held (add 'with self.{self.info.guards[field]}:', a "
+            f"requires-lock annotation on the function, or an explained "
+            f"unguarded-ok comment)")
+
+    def _check_call(self, node: ast.Call) -> None:
+        # Only lock-ish held entries count: ``with service:`` or
+        # ``with open(...) as fh:`` are context managers other threads
+        # do not contend on, so blocking inside them is fine.
+        held_locks = [h for h in self.held if self._lockish(h.local)]
+        if not held_locks:
+            return
+        reason = self._blocking_reason(node, held_locks)
+        if reason is None:
+            return
+        start, end = self._span_for(node)
+        if self.fc._suppressed(self.fc.annotations.blocking_ok,
+                               "blocking-ok", start, end):
+            return
+        locks = ", ".join(h.node_name for h in held_locks)
+        self.fc._finding(
+            node.lineno, "blocking-under-lock",
+            f"{reason} while holding {locks} — blocking calls under a "
+            f"lock stall every contending thread (move it outside the "
+            f"critical section or add an explained blocking-ok comment)")
+
+    def _blocking_reason(self, node: ast.Call,
+                         held_locks: list[_HeldLock]) -> str | None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            resolved = self.fc._resolve_call(dotted) or dotted
+            for prefix in BLOCKING_PREFIXES:
+                if resolved == prefix or (prefix.endswith(".")
+                                          and resolved.startswith(prefix)):
+                    return f"call to {resolved}"
+        if not isinstance(node.func, ast.Attribute):
+            return None
+        method = node.func.attr
+        receiver = node.func.value
+        if method == "join":
+            text = _dotted(receiver) or ""
+            if "thread" in text.lower():
+                return f"{text}.join()"
+            return None
+        if method == "wait":
+            lock = self._lock_from_expr(receiver)
+            receiver_local = lock[0] if lock else None
+            others = [h for h in held_locks if h.local != receiver_local]
+            if receiver_local is not None and not others:
+                # Condition.wait on the innermost (only) held lock: the
+                # wait releases exactly that lock — the sanctioned
+                # condition-variable pattern.
+                return None
+            text = _dotted(receiver) or "<expr>"
+            if others and receiver_local is not None:
+                return (f"{text}.wait() releases only its own lock; "
+                        f"still holding "
+                        f"{', '.join(h.node_name for h in others)}")
+            return f"{text}.wait()"
+        return None
+
+
+def check_source(path: str, source: str) -> FileChecker:
+    """Convenience wrapper: build, run, return the checker."""
+
+    checker = FileChecker(path, source)
+    checker.run()
+    return checker

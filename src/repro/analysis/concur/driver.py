@@ -1,0 +1,64 @@
+"""Top-level lint driver: walk files, run checks, aggregate a report."""
+
+from __future__ import annotations
+
+import os
+
+from .checker import check_source
+from .lockorder import LockOrderGraph
+from .model import Finding, LintReport
+
+__all__ = ["iter_python_files", "run_lint"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist",
+              ".pytest_cache", ".ruff_cache", "node_modules"}
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in files:
+                if name.endswith(".py"):
+                    out.add(os.path.join(root, name))
+    return sorted(out)
+
+
+def run_lint(paths: list[str], dot_path: str | None = None) -> LintReport:
+    """Lint every ``.py`` under ``paths``; optionally dump the DOT graph.
+
+    The lock-order graph is built across the whole file set — deadlock
+    cycles are usually *cross*-module (A takes its own lock then calls
+    into B; B does the reverse), so per-file analysis would miss them.
+    """
+
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files.append(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            report.findings.append(Finding(path, 0, "parse-error",
+                                           f"cannot read file: {exc}"))
+            continue
+        checker = check_source(path, source)
+        report.findings.extend(checker.findings)
+        report.suppressions.extend(checker.suppressions)
+        report.guards.extend(checker.guards)
+        report.edges.extend(checker.edges)
+
+    graph = LockOrderGraph(report.edges)
+    cycle = graph.cycle_finding()
+    if cycle is not None:
+        report.findings.append(cycle)
+    if dot_path:
+        with open(dot_path, "w", encoding="utf-8") as fh:
+            fh.write(graph.to_dot())
+    return report

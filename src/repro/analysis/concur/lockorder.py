@@ -1,0 +1,117 @@
+"""Static lock-order graph: cycle detection + DOT rendering.
+
+The checker emits one :class:`~.model.LockOrderEdge` per lexically
+nested acquisition (*held* → *acquired*).  Here those edges become a
+directed graph over lock names; a cycle means two code paths acquire
+the same pair of locks in opposite orders — the classic deadlock shape.
+The graph also renders to Graphviz DOT so the acquisition discipline
+can be reviewed (and diffed) by eye.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .model import Finding, LockOrderEdge
+
+__all__ = ["LockOrderGraph"]
+
+
+class LockOrderGraph:
+    """Directed graph of observed *held → acquired* lock pairs."""
+
+    def __init__(self, edges: list[LockOrderEdge] | None = None):
+        self._adj: dict[str, set[str]] = defaultdict(set)
+        self._sites: dict[tuple[str, str], LockOrderEdge] = {}
+        for edge in edges or []:
+            self.add(edge)
+
+    def add(self, edge: LockOrderEdge) -> None:
+        self._adj[edge.held].add(edge.acquired)
+        self._adj.setdefault(edge.acquired, set())
+        # First site wins: one representative location per edge is
+        # enough for the DOT label and the cycle message.
+        self._sites.setdefault((edge.held, edge.acquired), edge)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._adj)
+
+    def edges(self) -> list[tuple[str, str]]:
+        return sorted((a, b) for a, succs in self._adj.items()
+                      for b in succs)
+
+    # ------------------------------------------------------------------
+    # cycle detection
+    # ------------------------------------------------------------------
+    def find_cycle(self) -> list[str] | None:
+        """A cycle as ``[a, b, ..., a]``, or None if the graph is a DAG.
+
+        Iterative three-color DFS; deterministic (sorted neighbor
+        order) so the same graph always reports the same cycle.
+        """
+
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in self._adj}
+        parent: dict[str, str] = {}
+        for root in sorted(self._adj):
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[str, list[str]]] = [
+                (root, sorted(self._adj[root]))]
+            color[root] = GRAY
+            while stack:
+                node, succs = stack[-1]
+                if not succs:
+                    color[node] = BLACK
+                    stack.pop()
+                    continue
+                nxt = succs.pop(0)
+                if color[nxt] == GRAY:
+                    cycle = [nxt]
+                    cur = node
+                    while cur != nxt:
+                        cycle.append(cur)
+                        cur = parent[cur]
+                    cycle.append(nxt)
+                    cycle.reverse()
+                    return cycle
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, sorted(self._adj[nxt])))
+        return None
+
+    def cycle_finding(self) -> Finding | None:
+        cycle = self.find_cycle()
+        if cycle is None:
+            return None
+        # Anchor the finding at the site of the edge that closes the
+        # cycle (last hop) so the report points at real code.
+        site = self._sites.get((cycle[-2], cycle[-1]))
+        path = " -> ".join(cycle)
+        return Finding(
+            site.file if site else "<lock-order>",
+            site.line if site else 0,
+            "lock-order-cycle",
+            f"lock acquisition order has a cycle: {path} — two paths "
+            f"take these locks in opposite orders, which can deadlock")
+
+    # ------------------------------------------------------------------
+    # DOT rendering
+    # ------------------------------------------------------------------
+    def to_dot(self) -> str:
+        lines = [
+            "digraph lock_order {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for node in self.nodes:
+            lines.append(f'  "{node}";')
+        for held, acquired in self.edges():
+            site = self._sites[(held, acquired)]
+            label = f"{site.file.rsplit('/', 1)[-1]}:{site.line}"
+            lines.append(f'  "{held}" -> "{acquired}" '
+                         f'[label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"

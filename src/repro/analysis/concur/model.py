@@ -1,0 +1,128 @@
+"""Data model shared by the concurrency checkers.
+
+A lint run produces :class:`Finding` instances (discipline violations,
+blocking calls under a lock, lock-order cycles, malformed annotations),
+:class:`Suppression` records (every ``unguarded-ok`` / ``blocking-ok``
+escape hatch that was actually exercised, with its mandatory reason),
+and :class:`LockOrderEdge` entries (the statically-observed *acquire A
+then B* pairs the deadlock check runs over).  Everything rolls up into
+one :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Finding", "Suppression", "GuardDecl", "LockOrderEdge", "LintReport",
+]
+
+#: Finding kinds, in the order the report sorts equal-location findings.
+KINDS = (
+    "parse-error",        # file failed to parse at all
+    "bad-declaration",    # malformed guarded-by / GUARDED_BY entry
+    "bad-suppression",    # escape hatch without a written reason
+    "unguarded-read",     # guarded field read outside its lock
+    "unguarded-write",    # guarded field written outside its lock
+    "blocking-under-lock",  # sleep/IO/join/wait while holding a lock
+    "lock-order-cycle",   # the static acquisition graph has a cycle
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One checker complaint, anchored to a source location."""
+
+    file: str
+    line: int
+    kind: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.kind}] {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One exercised escape hatch (``unguarded-ok`` / ``blocking-ok``).
+
+    Suppressions are first-class output: the acceptance bar is *zero
+    unexplained* suppressions, so every one carries the reason its
+    author wrote down.
+    """
+
+    file: str
+    line: int
+    tag: str
+    reason: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.tag}] {self.reason}"
+
+
+@dataclass(frozen=True, slots=True)
+class GuardDecl:
+    """One *field → lock* declaration (``# guarded-by`` or GUARDED_BY)."""
+
+    file: str
+    line: int
+    class_name: str | None  # None = applies to every class in the module
+    field: str
+    lock: str
+
+
+@dataclass(frozen=True, slots=True)
+class LockOrderEdge:
+    """Statically observed acquisition order: ``held`` → ``acquired``."""
+
+    held: str
+    acquired: str
+    file: str
+    line: int
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Aggregated result of one ``repro lint`` run."""
+
+    files: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    guards: list[GuardDecl] = field(default_factory=list)
+    edges: list[LockOrderEdge] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted_findings(self) -> list[Finding]:
+        kind_rank = {kind: i for i, kind in enumerate(KINDS)}
+        return sorted(self.findings,
+                      key=lambda f: (f.file, f.line,
+                                     kind_rank.get(f.kind, len(KINDS))))
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files": len(self.files),
+            "guarded_fields": len(self.guards),
+            "findings": [{"file": f.file, "line": f.line, "kind": f.kind,
+                          "message": f.message}
+                         for f in self.sorted_findings()],
+            "suppressions": [{"file": s.file, "line": s.line, "tag": s.tag,
+                              "reason": s.reason}
+                             for s in self.suppressions],
+            "lock_order_edges": [{"held": e.held, "acquired": e.acquired,
+                                  "file": e.file, "line": e.line}
+                                 for e in self.edges],
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.sorted_findings()]
+        unique_edges = sorted({(e.held, e.acquired) for e in self.edges})
+        lines.append(
+            f"{len(self.files)} file(s): {len(self.guards)} guarded "
+            f"field(s), {len(self.suppressions)} explained "
+            f"suppression(s), {len(unique_edges)} lock-order edge(s), "
+            f"{len(self.findings)} finding(s)")
+        return "\n".join(lines)

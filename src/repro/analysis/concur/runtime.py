@@ -1,0 +1,292 @@
+"""Runtime lock instrumentation: acquisition order + hold times.
+
+The static checker proves *lexical* discipline; this module watches the
+*dynamic* behavior.  :func:`new_lock` / :func:`new_condition` are the
+factories the serving stack uses for every lock it creates — with
+``REPRO_LOCK_DEBUG=1`` in the environment they return an
+:class:`InstrumentedLock` registered with the process-wide
+:class:`OrderTracker`; otherwise they return plain ``threading``
+primitives with zero overhead.
+
+The tracker maintains, per thread, the stack of currently-held locks
+and, globally, the set of *held → acquired* edges keyed by lock *name*
+(not instance: ``MicroBatcher._cond`` from two different batchers is
+the same discipline).  Observing an edge whose reverse was already
+recorded is a lock-order inversion — it is recorded for the end-of-run
+report **and** raised as :class:`LockOrderError`, because worker loops
+may swallow exceptions.  Re-acquiring a non-reentrant lock the thread
+already holds would self-deadlock, so that raises immediately instead
+of hanging the suite.
+
+Hold times land in log2-bucketed histograms per lock name; the report
+gives approximate p50/p99 per lock, which is what the soak/overload
+suites print when instrumentation is on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = [
+    "InstrumentedLock", "LockOrderError", "OrderTracker",
+    "default_tracker", "lock_debug_enabled", "new_condition", "new_lock",
+]
+
+ENV_FLAG = "REPRO_LOCK_DEBUG"
+
+
+def lock_debug_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "") not in ("", "0", "false", "no")
+
+
+class LockOrderError(RuntimeError):
+    """Observed lock-order inversion or certain self-deadlock."""
+
+
+class _Hold:
+    """Log2-bucketed histogram of hold durations for one lock name."""
+
+    __slots__ = ("count", "total_s", "max_s", "buckets")
+
+    # bucket i covers [2**(i-1), 2**i) microseconds; bucket 0 is < 1us.
+    N_BUCKETS = 40
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.buckets = [0] * self.N_BUCKETS
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+        us = seconds * 1e6
+        idx = 0
+        while idx < self.N_BUCKETS - 1 and us >= (1 << idx):
+            idx += 1
+        self.buckets[idx] += 1
+
+    def quantile_s(self, q: float) -> float:
+        """Upper bound of the bucket containing quantile ``q``."""
+
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return (1 << idx) / 1e6
+        return self.max_s
+
+
+class OrderTracker:
+    """Process-wide recorder of acquisition order and hold times."""
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()  # guards everything below
+        self._edges: dict[tuple[str, str], tuple[str, str]] = {}
+        self._inversions: list[str] = []
+        self._holds: dict[str, _Hold] = {}
+        self._tls = threading.local()
+
+    # -- per-thread held stack -----------------------------------------
+    def _stack(self) -> list["InstrumentedLock"]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    # -- hooks called by InstrumentedLock ------------------------------
+    def note_acquired(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        thread = threading.current_thread().name
+        errors: list[str] = []
+        with self._meta:
+            for held in stack:
+                if held.name == lock.name:
+                    # Same name, different instance (e.g. two batcher
+                    # shards): ordering between peers is instance-
+                    # dependent, not a discipline edge.
+                    continue
+                edge = (held.name, lock.name)
+                rev = (lock.name, held.name)
+                if rev in self._edges:
+                    where = self._edges[rev]
+                    msg = (f"lock-order inversion: {thread} acquired "
+                           f"{lock.name} while holding {held.name}, but "
+                           f"thread {where[0]} previously acquired "
+                           f"{held.name} while holding {lock.name}")
+                    self._inversions.append(msg)
+                    errors.append(msg)
+                else:
+                    self._edges.setdefault(edge, (thread, ""))
+        if errors:
+            # Do NOT push: the caller unwinds the acquisition, so the
+            # lock must not linger on this thread's held stack.
+            raise LockOrderError("; ".join(errors))
+        stack.append(lock)
+
+    def note_released(self, lock: "InstrumentedLock",
+                      held_s: float) -> None:
+        stack = self._stack()
+        # Condition.wait releases out of LIFO order; remove by identity.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                break
+        with self._meta:
+            hold = self._holds.get(lock.name)
+            if hold is None:
+                hold = self._holds[lock.name] = _Hold()
+            hold.record(held_s)
+
+    def check_reentry(self, lock: "InstrumentedLock") -> None:
+        if any(held is lock for held in self._stack()):
+            msg = (f"certain self-deadlock: "
+                   f"{threading.current_thread().name} re-acquired "
+                   f"non-reentrant lock {lock.name} it already holds")
+            with self._meta:
+                self._inversions.append(msg)
+            raise LockOrderError(msg)
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def inversions(self) -> list[str]:
+        with self._meta:
+            return list(self._inversions)
+
+    def edges(self) -> list[tuple[str, str]]:
+        with self._meta:
+            return sorted(self._edges)
+
+    def hold_stats(self) -> dict[str, dict[str, float]]:
+        with self._meta:
+            return {
+                name: {
+                    "count": h.count,
+                    "mean_us": (h.total_s / h.count * 1e6) if h.count
+                    else 0.0,
+                    "p50_us": h.quantile_s(0.50) * 1e6,
+                    "p99_us": h.quantile_s(0.99) * 1e6,
+                    "max_us": h.max_s * 1e6,
+                }
+                for name, h in sorted(self._holds.items())
+            }
+
+    def report(self) -> str:
+        lines = ["lock hold times (approx, log2 buckets):"]
+        for name, stats in self.hold_stats().items():
+            lines.append(
+                f"  {name}: n={int(stats['count'])} "
+                f"mean={stats['mean_us']:.1f}us "
+                f"p50={stats['p50_us']:.1f}us "
+                f"p99={stats['p99_us']:.1f}us "
+                f"max={stats['max_us']:.1f}us")
+        edges = self.edges()
+        lines.append(f"observed acquisition edges: {len(edges)}")
+        for held, acquired in edges:
+            lines.append(f"  {held} -> {acquired}")
+        inv = self.inversions
+        lines.append(f"lock-order inversions: {len(inv)}")
+        lines.extend(f"  {msg}" for msg in inv)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._meta:
+            self._edges.clear()
+            self._inversions.clear()
+            self._holds.clear()
+
+
+_default_tracker = OrderTracker()
+
+
+def default_tracker() -> OrderTracker:
+    return _default_tracker
+
+
+class InstrumentedLock:
+    """``threading.Lock`` wrapper reporting to an :class:`OrderTracker`.
+
+    Implements the full lock protocol — ``acquire`` / ``release`` /
+    context manager / ``locked`` — plus ``_is_owned``, which
+    ``threading.Condition`` probes on its wrapped lock, so
+    ``Condition(new_lock(...))`` composes: every wait's release and
+    re-acquire flows through the instrumentation and splits the hold
+    time correctly.
+    """
+
+    __slots__ = ("name", "_lock", "_tracker", "_owner", "_acquired_at")
+
+    def __init__(self, name: str,
+                 tracker: OrderTracker | None = None) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._tracker = tracker or default_tracker()
+        self._owner: int | None = None
+        self._acquired_at = 0.0
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        if blocking:
+            self._tracker.check_reentry(self)
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            self._owner = threading.get_ident()
+            self._acquired_at = time.perf_counter()
+            try:
+                self._tracker.note_acquired(self)
+            except LockOrderError:
+                # Unwind fully: a raising acquire must leave the lock
+                # released, or the next acquirer deadlocks on it.
+                self._owner = None
+                self._lock.release()
+                raise
+        return got
+
+    def release(self) -> None:
+        held_s = time.perf_counter() - self._acquired_at
+        self._owner = None
+        self._lock.release()
+        self._tracker.note_released(self, held_s)
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def _is_owned(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "locked" if self.locked() else "unlocked"
+        return f"<InstrumentedLock {self.name!r} {state}>"
+
+
+def new_lock(name: str) -> "threading.Lock | InstrumentedLock":
+    """A lock for shared serving state, instrumented when debugging.
+
+    ``name`` should be ``Class.attr`` — inversion detection is keyed by
+    name so the same discipline is enforced across instances.
+    """
+
+    if lock_debug_enabled():
+        return InstrumentedLock(name)
+    return threading.Lock()
+
+
+def new_condition(name: str) -> threading.Condition:
+    """A condition variable whose underlying lock is :func:`new_lock`."""
+
+    return threading.Condition(new_lock(name))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..core.driver import RunResult
-from .tables import format_float, format_optional, render_table
+from .tables import format_float, render_table
 
 __all__ = ["table_x_report", "table_xi_report", "epoch_reduction"]
 

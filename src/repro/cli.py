@@ -154,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="keep-alive sender connections in --url "
                                "mode")
 
+    lint = sub.add_parser(
+        "lint", help="concurrency lint: lock discipline, blocking calls "
+                     "under locks, lock-order cycles")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to check "
+                           "(default: src/repro)")
+    lint.add_argument("--dot", type=Path, default=None, metavar="FILE",
+                      help="write the static lock-order graph as "
+                           "Graphviz DOT")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the full report as one JSON object")
+
     sub.add_parser("info", help="library and experiment inventory")
     return parser
 
@@ -536,6 +548,22 @@ def _cmd_loadtest(args) -> int:
     return 1 if (report.n_dropped or report.n_misrouted) else 0
 
 
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from .analysis.concur import run_lint
+
+    report = run_lint([str(p) for p in args.paths],
+                      dot_path=None if args.dot is None else str(args.dot))
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+        if args.dot is not None:
+            print(f"lock-order graph -> {args.dot}")
+    return 0 if report.ok else 1
+
+
 def _cmd_info(_args) -> int:
     from . import __version__
 
@@ -556,6 +584,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "lint": _cmd_lint,
     "info": _cmd_info,
 }
 

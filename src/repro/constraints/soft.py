@@ -16,7 +16,7 @@ scheduler uses as a tie-breaker among (hard-)eligible machines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -35,7 +35,7 @@ from ..trace.synthetic import SyntheticCell
 from .co_el import COELEncoder, COELRegistry
 from .co_vv import COVVEncoder
 from .grouping import group_of
-from .registry import FeatureRegistry, GrowthRecord
+from .registry import FeatureRegistry
 
 __all__ = ["StepDataset", "PipelineResult", "build_step_datasets"]
 

@@ -14,7 +14,7 @@ driver uses to decide when retraining is due — the Table XI step log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..constraints.compaction import AttributeSpec, CompactedTask
 from ..constraints.operators import parse_value

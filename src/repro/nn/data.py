@@ -8,7 +8,7 @@ with deterministic shuffling via an injectable :class:`numpy.random.Generator`
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 import scipy.sparse as sp

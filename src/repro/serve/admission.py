@@ -33,8 +33,9 @@ deterministically.
 from __future__ import annotations
 
 import math
-import threading
 import time
+
+from ..analysis.concur.runtime import new_lock
 
 __all__ = ["SHED_POLICIES", "AdmissionController", "AutoTuner"]
 
@@ -134,10 +135,10 @@ class AdmissionController:
         # Workers report batches concurrently; the submit path only
         # reads the float (a stale estimate is fine, a torn read-modify-
         # write is not).
-        self._rate_lock = threading.Lock()
-        self._cycle_mean_s: float | None = None
-        self._cycle_dev_s = 0.0
-        self._batch_mean = 0.0
+        self._rate_lock = new_lock("AdmissionController._rate_lock")
+        self._cycle_mean_s: float | None = None  # guarded-by: _rate_lock
+        self._cycle_dev_s = 0.0  # guarded-by: _rate_lock
+        self._batch_mean = 0.0  # guarded-by: _rate_lock
         # ``arrivals`` lets the wirer share one estimator with an
         # AutoTuner watching the same stream (the caller then only
         # feeds one of them per arrival).
@@ -204,10 +205,15 @@ class AdmissionController:
         """Observed mean per-worker drain rate, tasks/second (assumed
         until measured)."""
 
-        mean = self._cycle_mean_s
-        if mean is None or self._batch_mean <= 0:
+        with self._rate_lock:
+            # Locked read: mean and batch size update as a pair in
+            # note_batch; dividing one epoch's numerator by another's
+            # denominator would misprice capacity mid-update.
+            mean = self._cycle_mean_s
+            batch_mean = self._batch_mean
+        if mean is None or batch_mean <= 0:
             return self.assumed_service_rate
-        return self._batch_mean / mean
+        return batch_mean / mean
 
     def pessimistic_cycle_s(self, batch_limit: int) -> float:
         """Batch-cycle seconds the gate plans with: mean + 2·dev.
@@ -216,10 +222,14 @@ class AdmissionController:
         batch at the conservative cold-start rate.
         """
 
-        mean = self._cycle_mean_s
+        with self._rate_lock:
+            # Locked pair read, same reason as service_rate: the
+            # mean + 2·dev projection must come from one update epoch.
+            mean = self._cycle_mean_s
+            dev = self._cycle_dev_s
         if mean is None:
             return max(batch_limit, 1) / self.assumed_service_rate
-        return mean + 2.0 * self._cycle_dev_s
+        return mean + 2.0 * dev
 
     # ------------------------------------------------------------------
     # the decision

@@ -24,12 +24,12 @@ worker can never pair a stale plan with a newer model.
 from __future__ import annotations
 
 import logging
-import threading
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.concur.runtime import new_lock
 from ..core.inference_plan import InferencePlan
 from ..errors import NotServingError
 
@@ -102,11 +102,11 @@ class ModelHandle:
                  telemetry=None):
         if retain_history is not None and retain_history < 1:
             raise ValueError("retain_history must be >= 1 (or None)")
-        self._lock = threading.Lock()
-        self._active: ModelSnapshot | None = None
-        self._history: list[ModelSnapshot] = []
-        self._published = 0
-        self._evicted = 0
+        self._lock = new_lock("ModelHandle._lock")
+        self._active: ModelSnapshot | None = None  # guarded-by: _lock
+        self._history: list[ModelSnapshot] = []  # guarded-by: _lock
+        self._published = 0  # guarded-by: _lock
+        self._evicted = 0  # guarded-by: _lock
         self.retain_history = retain_history
         self.compile = compile
         #: Optional :class:`~repro.serve.telemetry.Telemetry`: each
@@ -199,27 +199,27 @@ class ModelHandle:
     def snapshot(self) -> ModelSnapshot:
         """The currently-served version (lock-free attribute read)."""
 
-        active = self._active
+        active = self._active  # unguarded-ok: hot path; a reference read is atomic and the snapshot is immutable
         if active is None:
             raise NotServingError("no model has been published")
         return active
 
     @property
     def serving(self) -> bool:
-        return self._active is not None
+        return self._active is not None  # unguarded-ok: atomic reference read for health probes
 
     @property
     def version(self) -> int:
         """Version of the active snapshot (0 before first publish)."""
 
-        active = self._active
+        active = self._active  # unguarded-ok: atomic reference read; version is frozen on the snapshot
         return 0 if active is None else active.version
 
     @property
     def swap_count(self) -> int:
         """Hot-swaps after the initial publication."""
 
-        return max(0, self._published - 1)
+        return max(0, self._published - 1)  # unguarded-ok: monotonic int read for stats; staleness is benign
 
     @property
     def history(self) -> tuple[ModelSnapshot, ...]:

@@ -40,12 +40,15 @@ import threading
 from typing import TYPE_CHECKING
 
 from ..constraints.compaction import CompactedTask
-from ..errors import (NotServingError, OverloadedError, ServiceClosedError,
-                      ServiceError, UnknownCellError)
+from ..errors import (
+    NotServingError,
+    OverloadedError,
+    ServiceClosedError,
+    UnknownCellError,
+)
 from .telemetry import render_prometheus
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .router import CellRouter
     from .service import ClassificationService
 
 __all__ = ["DEFAULT_CELL", "create_app", "HttpIngress"]

@@ -46,8 +46,7 @@ import threading
 import time
 from collections import deque
 
-import numpy as np
-
+from ..analysis.concur.runtime import new_condition, new_lock
 from ..constraints.compaction import CompactedTask
 from ..core.inference_plan import PlanScratch
 from ..datasets.co_vv import COVVEncoder
@@ -186,8 +185,8 @@ class MicroBatcher:
             raise ValueError("n_workers must be >= 1")
         self.handle = handle
         self.registry = registry
-        self.max_batch = max_batch
-        self.max_wait_us = max_wait_us
+        self.max_batch = max_batch  # guarded-by: _cond
+        self.max_wait_us = max_wait_us  # guarded-by: _cond
         self.n_workers = n_workers
         self.admission = admission
         self.autotuner = autotuner
@@ -200,9 +199,9 @@ class MicroBatcher:
         # Shed-episode edge detection for the event log: log the first
         # shed of an episode and the first clean admit after it, not
         # every shed decision (a sustained flood would flush the ring).
-        # Guarded by stats_lock, like every other shed counter.
-        self._shed_episode = False
-        self.registry_lock = registry_lock or threading.Lock()
+        self._shed_episode = False  # guarded-by: stats_lock
+        self.registry_lock = (registry_lock
+                              or new_lock("MicroBatcher.registry_lock"))
         self._encoders = [encoder or COVVEncoder(registry)]
         self._encoders += [COVVEncoder(registry)
                            for _ in range(n_workers - 1)]
@@ -211,37 +210,37 @@ class MicroBatcher:
         # Only the owning shard touches its slot, so no lock is needed.
         self._scratches: list[PlanScratch | None] = [None] * n_workers
 
-        self._queue: deque[ClassifyRequest] = deque()
-        self._cond = threading.Condition()
+        self._queue: deque[ClassifyRequest] = deque()  # guarded-by: _cond
+        self._cond = new_condition("MicroBatcher._cond")
         self._threads: list[threading.Thread] = []
-        self._closing = False
-        self._closed = False
+        self._closing = False  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
 
         # stats_lock guards every counter below (and versions_served —
         # an unguarded copy while a worker inserts a fresh version key
         # can raise "dictionary changed size during iteration").
         # Lock order where both are held: _cond, then stats_lock.
-        self.stats_lock = threading.Lock()
-        self.requests_total = 0
-        self.completed_total = 0
-        self.rejected_total = 0
-        self.cancelled_total = 0
-        self.failed_total = 0
-        self.shed_rejected_total = 0
-        self.shed_evicted_total = 0
-        self.shed_expired_total = 0
-        self.batches_total = 0
-        self.compiled_batches_total = 0
-        self.largest_batch = 0
-        self.versions_served: dict[int, int] = {}
-        self.shard_completed = [0] * n_workers
-        self.shard_batches = [0] * n_workers
+        self.stats_lock = new_lock("MicroBatcher.stats_lock")
+        self.requests_total = 0  # guarded-by: stats_lock
+        self.completed_total = 0  # guarded-by: stats_lock
+        self.rejected_total = 0  # guarded-by: stats_lock
+        self.cancelled_total = 0  # guarded-by: stats_lock
+        self.failed_total = 0  # guarded-by: stats_lock
+        self.shed_rejected_total = 0  # guarded-by: stats_lock
+        self.shed_evicted_total = 0  # guarded-by: stats_lock
+        self.shed_expired_total = 0  # guarded-by: stats_lock
+        self.batches_total = 0  # guarded-by: stats_lock
+        self.compiled_batches_total = 0  # guarded-by: stats_lock
+        self.largest_batch = 0  # guarded-by: stats_lock
+        self.versions_served: dict[int, int] = {}  # guarded-by: stats_lock
+        self.shard_completed = [0] * n_workers  # guarded-by: stats_lock
+        self.shard_batches = [0] * n_workers  # guarded-by: stats_lock
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "MicroBatcher":
-        if self._closed:
+        if self._closed:  # unguarded-ok: start() is a control-plane call; no worker exists yet to race with
             raise RuntimeError("batcher is stopped and cannot restart; "
                                "build a new one")
         if self._threads:
@@ -332,7 +331,7 @@ class MicroBatcher:
                     self._note_shed(
                         "evicted" if (self.admission.policy == "drop-oldest"
                                       and self._queue) else "rejected",
-                        retry_after)
+                        retry_after, len(self._queue))
                     if (self.admission.policy == "drop-oldest"
                             and self._queue):
                         victim = self._queue.popleft()
@@ -373,11 +372,17 @@ class MicroBatcher:
                 (time.perf_counter_ns() - request.enqueued_ns) / 1e3)
         return request
 
-    def _note_shed(self, reason: str, retry_after_s: float) -> None:
+    def _note_shed(self, reason: str, retry_after_s: float,
+                   pending: int) -> None:
         """Log the opening of a shed episode (edge-triggered).
 
-        Called with ``_cond`` held; takes ``stats_lock`` for the episode
-        flag (lock order ``_cond`` → ``stats_lock``, as everywhere).
+        ``pending`` is the caller's view of the queue depth: submit()
+        reads it under ``_cond``, the dequeue-side expiry path passes
+        the advisory :attr:`pending` snapshot — this helper itself
+        never touches ``_queue`` (it is called both with and without
+        ``_cond``, so reading it here raced on the lock-free path).
+        Takes ``stats_lock`` for the episode flag (lock order
+        ``_cond`` → ``stats_lock``, as everywhere).
         """
 
         if self.telemetry is None:
@@ -389,12 +394,12 @@ class MicroBatcher:
         policy = self.admission.policy if self.admission else "reject"
         self.telemetry.events.append(
             "shed_activated", reason=reason, policy=policy,
-            pending=len(self._queue),
+            pending=pending,
             retry_after_s=round(retry_after_s, 6))
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue)  # unguarded-ok: advisory depth for monitoring; len() is atomic under the GIL
 
     # ------------------------------------------------------------------
     # introspection
@@ -412,6 +417,7 @@ class MicroBatcher:
                 "shed_rejected": self.shed_rejected_total,
                 "shed_evicted": self.shed_evicted_total,
                 "shed_expired": self.shed_expired_total,
+                # unguarded-ok: tuner-owned knobs; a stale limit in a stats copy is benign
                 "batch_limit": self.max_batch,
                 "wait_limit_us": self.max_wait_us,
                 "batches": self.batches_total,
@@ -510,7 +516,7 @@ class MicroBatcher:
             with self.stats_lock:
                 self.shed_expired_total += expired
                 self.admission.shed_total += expired
-            self._note_shed("expired", budget_s)
+            self._note_shed("expired", budget_s, self.pending)
         return fresh
 
     def _process(self, batch: list[ClassifyRequest], shard: int,
@@ -541,7 +547,9 @@ class MicroBatcher:
                 # buffers with a newer model.
                 scratch = self._scratches[shard]
                 if scratch is None or scratch.plan is not plan:
-                    scratch = plan.scratch(max(len(batch), self.max_batch))
+                    scratch = plan.scratch(
+                        max(len(batch),
+                            self.max_batch))  # unguarded-ok: stale batch limit only sizes the scratch
                     self._scratches[shard] = scratch
                 groups = plan.predict(X, scratch)
             else:

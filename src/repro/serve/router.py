@@ -19,11 +19,11 @@ dynamically on a live router (:meth:`CellRouter.add_cell`).
 
 from __future__ import annotations
 
-import threading
 from contextlib import AbstractContextManager
 
 import numpy as np
 
+from ..analysis.concur.runtime import new_lock
 from ..constraints.compaction import CompactedTask
 from ..datasets.registry import FeatureRegistry
 from ..errors import OverloadedError, ServiceClosedError, UnknownCellError
@@ -81,10 +81,10 @@ class CellRouter(AbstractContextManager):
         self.autotune = autotune
         self.compile = compile
         self.fused_train = fused_train
-        self._services: dict[str, ClassificationService] = {}
-        self._lock = threading.Lock()
-        self._started = False
-        self._closed = False
+        self._services: dict[str, ClassificationService] = {}  # guarded-by: _lock
+        self._lock = new_lock("CellRouter._lock")
+        self._started = False  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     @classmethod
     def from_deployments(cls, deployments: dict[str, tuple[object,
@@ -182,17 +182,17 @@ class CellRouter(AbstractContextManager):
     def cells(self) -> tuple[str, ...]:
         """Registered cell ids, in registration order."""
 
-        return tuple(self._services)
+        return tuple(self._services)  # unguarded-ok: atomic dict iteration; registration publishes via single item set
 
     def service(self, cell_id: str) -> ClassificationService:
         """The serving stack owning ``cell_id``."""
 
         try:
-            return self._services[cell_id]
+            return self._services[cell_id]  # unguarded-ok: hot path; atomic dict lookup, values are never mutated in place
         except KeyError:
             raise UnknownCellError(
                 f"no serving stack registered for cell {cell_id!r} "
-                f"(cells: {sorted(self._services)})") from None
+                f"(cells: {sorted(self._services)})") from None  # unguarded-ok: error-path name listing; racy view acceptable
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -222,7 +222,7 @@ class CellRouter(AbstractContextManager):
             service.close(drain=drain)
 
     def __enter__(self) -> "CellRouter":
-        return self.start() if not self._started else self
+        return self.start() if not self._started else self  # unguarded-ok: control-plane convenience check; start() re-checks under _lock
 
     def __exit__(self, *exc) -> None:
         self.close()

@@ -18,12 +18,12 @@ known, closing the training loop.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import AbstractContextManager
 
 import numpy as np
 
+from ..analysis.concur.runtime import new_lock
 from ..constraints.compaction import CompactedTask
 from ..core.growing import GrowingModel
 from ..datasets.registry import FeatureRegistry
@@ -105,7 +105,7 @@ class ClassificationService(AbstractContextManager):
                             clone=clone)
         # One lock serializes registry growth (observe path) against the
         # batcher's and trainer's encoders — see MicroBatcher's docstring.
-        registry_lock = threading.Lock()
+        registry_lock = new_lock("ClassificationService.registry_lock")
         if shed_policy not in SHED_POLICIES:
             raise ValueError(f"shed_policy must be one of {SHED_POLICIES}")
         if (shed_policy != "reject" and latency_budget_ms is None
@@ -146,35 +146,53 @@ class ClassificationService(AbstractContextManager):
                                              fused=fused_train,
                                              telemetry=self.telemetry,
                                              rng=rng)
-        self._started = False
-        self._closed = False
+        # Lifecycle flags flip under their own lock so concurrent
+        # start()/close() calls cannot interleave (a double close used
+        # to re-stop the batcher mid-drain of the first close).
+        self._state_lock = new_lock("ClassificationService._state_lock")
+        self._started = False  # guarded-by: _state_lock
+        self._closed = False  # guarded-by: _state_lock
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ClassificationService":
-        if self._closed:
-            raise RuntimeError("service was closed and cannot restart; "
-                               "build a new one")
-        if self._started:
-            raise RuntimeError("service already started")
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("service was closed and cannot restart; "
+                                   "build a new one")
+            if self._started:
+                raise RuntimeError("service already started")
+            self._started = True
+        # Component startup happens outside the lock: it spawns threads,
+        # and holding a state lock across thread management is exactly
+        # the blocking-under-lock shape the linter exists to catch.
         self.batcher.start()
         if self.trainer is not None:
             self.trainer.start()
-        self._started = True
         return self
 
     def close(self, drain: bool = True) -> None:
-        """Stop the stack; with ``drain`` every accepted request finishes."""
+        """Stop the stack; with ``drain`` every accepted request finishes.
 
+        Idempotent: only the first close stops the components — a second
+        call (an explicit close followed by ``with`` exit, say) returns
+        without re-joining worker threads.
+        """
+
+        with self._state_lock:
+            already_closed = self._closed
+            self._started = False
+            self._closed = True
+        if already_closed:
+            return
+        # Stops join worker threads; never do that under _state_lock.
         if self.trainer is not None:
             self.trainer.stop()
         self.batcher.stop(drain=drain)
-        self._started = False
-        self._closed = True
 
     def __enter__(self) -> "ClassificationService":
-        return self.start() if not self._started else self
+        return self.start() if not self._started else self  # unguarded-ok: convenience check; start() re-checks under _state_lock
 
     def __exit__(self, *exc) -> None:
         self.close()
@@ -222,7 +240,7 @@ class ClassificationService(AbstractContextManager):
         """True between :meth:`start` and :meth:`close` — the window in
         which liveness checks (trainer thread, workers) are meaningful."""
 
-        return self._started
+        return self._started  # unguarded-ok: atomic bool read for health probes; staleness is benign
 
     @property
     def model_version(self) -> int:

@@ -29,18 +29,30 @@ the owning worker), and the event log.
 
 from __future__ import annotations
 
-import threading
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.concur.runtime import new_lock
+
 __all__ = [
     "STAGES", "DEFAULT_BUCKET_BOUNDS", "bucket_bounds",
     "HistogramSnapshot", "StreamingHistogram", "StageTimings",
     "ServeEvent", "EventLog", "Telemetry", "render_prometheus",
 ]
+
+#: Lock-discipline declarations for ``repro lint`` — the map form of
+#: the ``# guarded-by:`` trailing comment (kept in one place here
+#: because two classes share the same simple discipline).
+GUARDED_BY = {
+    "StreamingHistogram._counts": "_lock",
+    "StreamingHistogram._sum": "_lock",
+    "EventLog._events": "_lock",
+    "EventLog._seq": "_lock",
+    "EventLog._dropped": "_lock",
+}
 
 #: The serving pipeline's instrumented stages, in request order:
 #: ``submit`` (admission gate + enqueue, the submit→enqueue cost),
@@ -148,7 +160,7 @@ class StreamingHistogram:
         self._np_bounds = np.asarray(self.bounds, dtype=np.float64)
         self._counts = [0] * (len(self.bounds) + 1)
         self._sum = 0.0
-        self._lock = threading.Lock()
+        self._lock = new_lock("StreamingHistogram._lock")
 
     def observe(self, value_us: float) -> None:
         idx = bisect_left(self.bounds, value_us)
@@ -163,7 +175,7 @@ class StreamingHistogram:
         # side='left' matches bisect_left: bucket i holds values <=
         # bounds[i] (Prometheus ``le`` semantics).
         idx = np.searchsorted(self._np_bounds, arr, side="left")
-        binned = np.bincount(idx, minlength=len(self._counts))
+        binned = np.bincount(idx, minlength=len(self._counts))  # unguarded-ok: bucket count is fixed at construction; only elements mutate under the lock
         total = float(arr.sum())
         with self._lock:
             for i, n in enumerate(binned):
@@ -240,7 +252,7 @@ class EventLog:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = new_lock("EventLog._lock")
         self._events: list[ServeEvent] = []
         self._seq = 0
         self._dropped = 0

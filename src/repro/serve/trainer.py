@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.concur.runtime import new_lock
 from ..constraints.compaction import CompactedTask
 from ..core.growing import GrowingModel
 from ..datasets.co_vv import COVVEncoder
@@ -118,7 +119,8 @@ class BackgroundTrainer:
         self.registry = registry
         self.policy = policy or RetrainPolicy()
         self.config = config
-        self.registry_lock = registry_lock or threading.Lock()
+        self.registry_lock = (registry_lock
+                              or new_lock("BackgroundTrainer.registry_lock"))
         self.poll_interval_s = poll_interval_s
         self.retry_backoff_s = retry_backoff_s
         self.max_buffer = max_buffer
@@ -126,15 +128,15 @@ class BackgroundTrainer:
         self.telemetry = telemetry
         self.rng = rng or np.random.default_rng()
 
-        self._lock = threading.Lock()
+        self._lock = new_lock("BackgroundTrainer._lock")
         # Observation wakeup: observe() signals, the loop waits with
         # poll_interval_s as the watchdog timeout.  _wake_seq lets the
         # loop detect arrivals that landed between its trigger check
         # and the wait (no missed-wakeup window).
         self._wake = threading.Condition(self._lock)
-        self._wake_seq = 0
-        self._tasks: list[CompactedTask] = []
-        self._labels: list[int] = []
+        self._wake_seq = 0  # guarded-by: _lock
+        self._tasks: list[CompactedTask] = []  # guarded-by: _lock
+        self._labels: list[int] = []  # guarded-by: _lock
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._width_at_last_publish = (
@@ -144,7 +146,7 @@ class BackgroundTrainer:
 
         self.updates: list[ServeUpdate] = []
         self.failed_updates = 0
-        self.observations_total = 0
+        self.observations_total = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -203,7 +205,7 @@ class BackgroundTrainer:
 
     @property
     def n_observations(self) -> int:
-        return len(self._tasks)
+        return len(self._tasks)  # unguarded-ok: advisory size for monitoring; len() is atomic under the GIL
 
     # ------------------------------------------------------------------
     # trigger + training
@@ -211,7 +213,7 @@ class BackgroundTrainer:
     def due(self) -> bool:
         if time.monotonic() < self._not_before:
             return False
-        return self.policy.due(len(self._tasks),
+        return self.policy.due(len(self._tasks),  # unguarded-ok: atomic len; a stale count only delays the trigger one poll
                                self.registry.features_count,
                                self._width_at_last_publish)
 

@@ -8,9 +8,7 @@ the state both schedulers (main and high-priority) operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from ..constraints.compaction import CompactedTask
 from ..constraints.matcher import MachinePark

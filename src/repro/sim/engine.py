@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..constraints.compaction import compact
 from ..datasets.grouping import group_of
 from ..errors import CompactionError

@@ -8,7 +8,7 @@ paper targets — "tasks with restrictive node-affinity constraints".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -13,9 +13,7 @@ block scheduling if no node satisfies affinity rules").
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from .cluster import ClusterState, PendingTask
 

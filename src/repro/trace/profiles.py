@@ -19,7 +19,7 @@ streams at any ``scale``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..constraints.operators import OPERATORS_2011, OPERATORS_2019
 from .events import sim_time

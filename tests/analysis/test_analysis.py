@@ -5,12 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis import (CODistribution, ShareBand, co_distribution,
-                            epoch_reduction, format_float, render_table,
-                            table_x_report, table_xi_report)
+from repro.analysis import (ShareBand, co_distribution, epoch_reduction,
+                            format_float, render_table, table_x_report,
+                            table_xi_report)
 from repro.constraints import Constraint, ConstraintOperator
-from repro.core import (ContinuousLearningDriver, GrowingModel,
-                        FullyRetrainModel, StepOutcome)
+from repro.core import StepOutcome
 from repro.core.driver import RunResult, StepRow
 from repro.trace import (MICROS_PER_DAY, CellTrace, TaskEvent, TaskEventKind)
 

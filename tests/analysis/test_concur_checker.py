@@ -1,0 +1,497 @@
+"""Static concurrency checker tests: fixtures in, findings out.
+
+The annotation markers inside the fixture sources are built by string
+concatenation so this test file itself never contains a literal
+annotation comment — ``repro lint tests/`` must not misread fixture
+text as real annotations (the scanner is line-based and deliberately
+permissive; see :mod:`repro.analysis.concur.annotations`).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.concur import (
+    LockOrderGraph,
+    check_source,
+    run_lint,
+    scan_annotations,
+)
+from repro.analysis.concur.model import LockOrderEdge
+
+# Annotation markers, assembled so they never appear literally here.
+GB = "# guarded" + "-by:"
+UOK = "# unguarded" + "-ok:"
+BOK = "# blocking" + "-ok:"
+REQ = "# requires" + "-lock:"
+ALIAS = "# lock" + "-alias:"
+
+
+def lint(source: str):
+    return check_source("fixture.py", textwrap.dedent(source))
+
+
+def kinds(checker) -> list[str]:
+    return sorted(f.kind for f in checker.findings)
+
+
+# ----------------------------------------------------------------------
+# annotation scanning
+# ----------------------------------------------------------------------
+class TestScanner:
+    def test_all_markers(self):
+        src = "\n".join([
+            f"self._x = 0  {GB} _lock",
+            f"y = self._x  {UOK} snapshot read",
+            f"time.sleep(0)  {BOK} test-only pause",
+            f"def f(self):  {REQ} _lock, _cond",
+            f"self._wake = w  {ALIAS} _wake = _lock",
+        ])
+        ann = scan_annotations(src)
+        assert ann.guarded_by == {1: "_lock"}
+        assert ann.unguarded_ok == {2: "snapshot read"}
+        assert ann.blocking_ok == {3: "test-only pause"}
+        assert ann.requires == {4: ("_lock", "_cond")}
+        assert ann.aliases == {5: ("_wake", "_lock")}
+
+    def test_empty_reason_is_kept_empty(self):
+        ann = scan_annotations(f"x = self._a  {UOK}")
+        assert ann.unguarded_ok == {1: ""}
+
+    def test_span_lookup(self):
+        ann = scan_annotations(f"a\nb  {UOK} fine\nc")
+        assert ann.suppression_reason(ann.unguarded_ok, 1, 3) == \
+            (True, "fine")
+        assert ann.suppression_reason(ann.unguarded_ok, 3, 3) == \
+            (False, "")
+
+
+# ----------------------------------------------------------------------
+# lock discipline
+# ----------------------------------------------------------------------
+class TestGuardDiscipline:
+    def test_guarded_access_under_lock_is_clean(self):
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+
+                def bump(self):
+                    with self._lock:
+                        self._x += 1
+
+                def get(self):
+                    with self._lock:
+                        return self._x
+            """)
+        assert checker.findings == []
+        assert [(g.field, g.lock) for g in checker.guards] == \
+            [("_x", "_lock")]
+
+    def test_unguarded_read_and_write_flagged(self):
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+
+                def peek(self):
+                    return self._x
+
+                def poke(self):
+                    self._x = 7
+            """)
+        assert kinds(checker) == ["unguarded-read", "unguarded-write"]
+
+    def test_init_is_exempt(self):
+        # The seeding write in __init__ itself must not be a finding:
+        # the instance is not yet visible to other threads.
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+                    self._x = 1
+            """)
+        assert checker.findings == []
+
+    def test_escape_hatch_with_reason(self):
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+
+                def peek(self):
+                    return self._x  {UOK} atomic snapshot read
+            """)
+        assert checker.findings == []
+        assert [(s.tag, s.reason) for s in checker.suppressions] == \
+            [("unguarded-ok", "atomic snapshot read")]
+
+    def test_escape_hatch_without_reason_is_a_finding(self):
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+
+                def peek(self):
+                    return self._x  {UOK}
+            """)
+        # A reasonless escape is itself a finding AND does not
+        # suppress — the underlying access still gets reported.
+        assert kinds(checker) == ["bad-suppression", "unguarded-read"]
+        assert checker.suppressions == []
+
+    def test_requires_lock_treats_body_as_locked(self):
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+
+                def _bump_locked(self):  {REQ} _lock
+                    self._x += 1
+            """)
+        assert checker.findings == []
+
+    def test_condition_auto_alias(self):
+        # Condition(self._lock) shares the lock: holding the condition
+        # IS holding the lock, without any comment.
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition(self._lock)
+                    self._q = []  {GB} _lock
+
+                def push(self, item):
+                    with self._cond:
+                        self._q.append(item)
+            """)
+        assert checker.findings == []
+
+    def test_explicit_alias_comment(self):
+        checker = lint(f"""
+            class C:
+                def __init__(self, shared):
+                    self._lock = shared
+                    self._also = shared  {ALIAS} _also = _lock
+                    self._x = 0  {GB} _lock
+
+                def bump(self):
+                    with self._also:
+                        self._x += 1
+            """)
+        assert checker.findings == []
+
+    def test_module_guard_map(self):
+        src = textwrap.dedent("""
+            import threading
+
+            GUARDED_BY = {"C._x": "_lock", "_y": "_lock"}
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0
+                    self._y = 0
+
+                def bad(self):
+                    return self._x + self._y
+            """)
+        checker = check_source("fixture.py", src)
+        assert kinds(checker) == ["unguarded-read", "unguarded-read"]
+
+    def test_dangling_guard_comment_is_flagged(self):
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def method(self):
+                    pass  {GB} _lock
+            """)
+        assert kinds(checker) == ["bad-declaration"]
+
+    def test_parse_error_reported_not_raised(self):
+        checker = check_source("fixture.py", "def broken(:\n")
+        assert kinds(checker) == ["parse-error"]
+
+    def test_nested_function_checked_independently(self):
+        # A closure does not inherit the enclosing function's held
+        # locks (it may run later, on another thread).
+        checker = lint(f"""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0  {GB} _lock
+
+                def outer(self):
+                    with self._lock:
+                        def later():
+                            return self._x
+                        return later
+            """)
+        assert kinds(checker) == ["unguarded-read"]
+
+
+# ----------------------------------------------------------------------
+# blocking calls under a lock
+# ----------------------------------------------------------------------
+class TestBlockingUnderLock:
+    def test_sleep_under_lock(self):
+        checker = lint("""
+            import threading
+            import time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """)
+        assert kinds(checker) == ["blocking-under-lock"]
+
+    def test_sleep_outside_lock_is_fine(self):
+        checker = lint("""
+            import time
+
+            def pause():
+                time.sleep(0.1)
+            """)
+        assert checker.findings == []
+
+    def test_subprocess_under_lock(self):
+        checker = lint("""
+            import subprocess
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self):
+                    with self._lock:
+                        subprocess.run(["true"])
+            """)
+        assert kinds(checker) == ["blocking-under-lock"]
+
+    def test_thread_join_under_lock(self):
+        checker = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._thread = threading.Thread(target=print)
+
+                def bad(self):
+                    with self._lock:
+                        self._thread.join()
+            """)
+        assert kinds(checker) == ["blocking-under-lock"]
+
+    def test_condition_wait_on_sole_held_lock_allowed(self):
+        # The sanctioned condition-variable pattern: wait() releases
+        # exactly the lock being held.
+        checker = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._cond = threading.Condition()
+
+                def ok(self):
+                    with self._cond:
+                        self._cond.wait()
+            """)
+        assert checker.findings == []
+
+    def test_wait_while_holding_another_lock_flagged(self):
+        # wait() releases only its own lock; the outer lock stays held
+        # for the full (unbounded) wait.
+        checker = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cond = threading.Condition()
+
+                def bad(self):
+                    with self._lock:
+                        with self._cond:
+                            self._cond.wait()
+            """)
+        assert kinds(checker) == ["blocking-under-lock"]
+
+    def test_non_lock_context_manager_not_flagged(self):
+        # ``with self._session:`` is a context manager other threads do
+        # not contend on; blocking inside it is fine.
+        checker = lint("""
+            import time
+
+            class C:
+                def __init__(self, session):
+                    self._session = session
+
+                def fine(self):
+                    with self._session:
+                        time.sleep(0.1)
+            """)
+        assert checker.findings == []
+
+    def test_blocking_escape_hatch(self):
+        checker = lint(f"""
+            import threading
+            import time
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def tolerated(self):
+                    with self._lock:
+                        time.sleep(0.001)  {BOK} test-only backoff
+            """)
+        assert checker.findings == []
+        assert [s.tag for s in checker.suppressions] == ["blocking-ok"]
+
+
+# ----------------------------------------------------------------------
+# lock-order graph
+# ----------------------------------------------------------------------
+class TestLockOrder:
+    def test_nested_with_emits_edge(self):
+        checker = lint("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock_a = threading.Lock()
+                    self._lock_b = threading.Lock()
+
+                def ab(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+            """)
+        assert [(e.held, e.acquired) for e in checker.edges] == \
+            [("C._lock_a", "C._lock_b")]
+
+    def test_cycle_detection_on_synthetic_graph(self):
+        graph = LockOrderGraph([
+            LockOrderEdge("a", "b", "f.py", 1),
+            LockOrderEdge("b", "c", "f.py", 2),
+            LockOrderEdge("c", "a", "f.py", 3),
+        ])
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_acyclic_graph_has_no_cycle(self):
+        graph = LockOrderGraph([
+            LockOrderEdge("a", "b", "f.py", 1),
+            LockOrderEdge("a", "c", "f.py", 2),
+            LockOrderEdge("b", "c", "f.py", 3),
+        ])
+        assert graph.find_cycle() is None
+        assert graph.cycle_finding() is None
+
+    def test_dot_rendering(self):
+        graph = LockOrderGraph([
+            LockOrderEdge("A._x", "A._y", "src/m.py", 12),
+        ])
+        dot = graph.to_dot()
+        assert dot.startswith("digraph lock_order {")
+        assert '"A._x" -> "A._y"' in dot
+        assert 'label="m.py:12"' in dot
+
+    def test_run_lint_flags_opposite_order(self, tmp_path):
+        # Two methods of the same class taking the same pair of locks
+        # in opposite orders — the classic deadlock shape; the cycle
+        # must fail the whole run.
+        fixture = tmp_path / "deadlockable.py"
+        fixture.write_text(textwrap.dedent("""
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock_a = threading.Lock()
+                    self._lock_b = threading.Lock()
+
+                def ab(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+
+                def ba(self):
+                    with self._lock_b:
+                        with self._lock_a:
+                            pass
+            """))
+        dot_path = tmp_path / "order.dot"
+        report = run_lint([str(tmp_path)], dot_path=str(dot_path))
+        assert not report.ok
+        assert [f.kind for f in report.findings] == ["lock-order-cycle"]
+        assert "deadlockable.py" in report.findings[0].file
+        assert dot_path.exists()
+        assert '"C._lock_a" -> "C._lock_b"' in dot_path.read_text()
+
+    def test_run_lint_cross_file_cycle(self, tmp_path):
+        # The graph is keyed by lock *name* (dotted path for shared
+        # module-level locks), so opposite orders across two files
+        # still close a cycle.
+        (tmp_path / "one.py").write_text(textwrap.dedent("""
+            import locks
+
+            def ab():
+                with locks.lock_a:
+                    with locks.lock_b:
+                        pass
+            """))
+        (tmp_path / "two.py").write_text(textwrap.dedent("""
+            import locks
+
+            def ba():
+                with locks.lock_b:
+                    with locks.lock_a:
+                        pass
+            """))
+        report = run_lint([str(tmp_path)])
+        assert [f.kind for f in report.findings] == ["lock-order-cycle"]
+
+    def test_report_shape(self, tmp_path):
+        fixture = tmp_path / "ok.py"
+        fixture.write_text("x = 1\n")
+        report = run_lint([str(fixture)])
+        assert report.ok
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["files"] == 1
+        assert payload["findings"] == []
+        assert "file(s)" in report.render()

@@ -1,0 +1,89 @@
+"""The lint gate itself: ``src/repro`` must be clean, CLI must gate.
+
+This is the acceptance bar from the concurrency-lint issue: zero
+findings over the package, every suppression explained, and an acyclic
+static lock-order graph — enforced here so a regression fails the
+tier-1 suite, not just the CI lint job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.concur import run_lint
+from repro.cli import main
+
+PACKAGE = os.path.join("src", "repro")
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(PACKAGE),
+    reason="package sources not available from this working directory")
+
+
+class TestSelfCheck:
+    def test_package_is_clean(self):
+        report = run_lint([PACKAGE])
+        assert report.ok, "\n" + report.render()
+
+    def test_serve_fields_are_annotated(self):
+        # The serving stack is the point of the exercise: its shared
+        # fields must actually be declared, not merely unflagged.
+        report = run_lint([os.path.join(PACKAGE, "serve")])
+        assert report.ok, "\n" + report.render()
+        assert len(report.guards) >= 30
+        classes = {g.class_name for g in report.guards}
+        for expected in ("ModelHandle", "MicroBatcher", "CellRouter",
+                         "BackgroundTrainer", "AdmissionController",
+                         "ClassificationService"):
+            assert expected in classes, f"{expected} lost its guards"
+
+    def test_every_suppression_has_a_reason(self):
+        report = run_lint([PACKAGE])
+        for suppression in report.suppressions:
+            assert suppression.reason.strip(), (
+                f"{suppression.file}:{suppression.line} suppresses "
+                f"without a reason")
+
+    def test_static_graph_is_acyclic(self):
+        report = run_lint([PACKAGE])
+        assert not any(f.kind == "lock-order-cycle"
+                       for f in report.findings)
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["lint", PACKAGE]) == 0
+        out = capsys.readouterr().out
+        assert "finding(s)" in out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n"
+            "import time\n"
+            "lock = threading.Lock()\n"
+            "def f():\n"
+            "    with lock:\n"
+            "        time.sleep(1)\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "blocking-under-lock" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["files"] == 1
+
+    def test_dot_dump(self, tmp_path, capsys):
+        dot = tmp_path / "order.dot"
+        assert main(["lint", PACKAGE, "--dot", str(dot)]) == 0
+        assert dot.exists()
+        content = dot.read_text()
+        assert content.startswith("digraph lock_order {")
+        out = capsys.readouterr().out
+        assert str(dot) in out

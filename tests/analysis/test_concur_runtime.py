@@ -1,0 +1,206 @@
+"""Runtime lock instrumentation tests: order tracking, hold times.
+
+Every test uses a private :class:`OrderTracker` so nothing leaks into
+the process-wide default tracker the serve suites report from.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concur import (
+    InstrumentedLock,
+    LockOrderError,
+    OrderTracker,
+    default_tracker,
+    lock_debug_enabled,
+    new_condition,
+    new_lock,
+)
+from repro.analysis.concur.runtime import ENV_FLAG, _Hold
+
+
+@pytest.fixture()
+def tracker():
+    return OrderTracker()
+
+
+class TestFactories:
+    def test_disabled_returns_plain_lock(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not lock_debug_enabled()
+        lock = new_lock("X._lock")
+        assert not isinstance(lock, InstrumentedLock)
+        with lock:
+            pass
+
+    def test_enabled_returns_instrumented(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        assert lock_debug_enabled()
+        lock = new_lock("X._lock")
+        assert isinstance(lock, InstrumentedLock)
+        assert lock.name == "X._lock"
+
+    def test_falsy_values_disable(self, monkeypatch):
+        for value in ("0", "false", "no", ""):
+            monkeypatch.setenv(ENV_FLAG, value)
+            assert not lock_debug_enabled()
+
+    def test_condition_wraps_new_lock(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        cond = new_condition("X._cond")
+        assert isinstance(cond, threading.Condition)
+        assert isinstance(cond._lock, InstrumentedLock)
+
+
+class TestInstrumentedLock:
+    def test_acquire_release_records_hold(self, tracker):
+        lock = InstrumentedLock("T._lock", tracker)
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        stats = tracker.hold_stats()["T._lock"]
+        assert stats["count"] == 1
+        assert stats["p99_us"] > 0.0
+        assert stats["max_us"] >= 0.0
+
+    def test_nested_acquisition_records_edge(self, tracker):
+        a = InstrumentedLock("T._a", tracker)
+        b = InstrumentedLock("T._b", tracker)
+        with a:
+            with b:
+                pass
+        assert tracker.edges() == [("T._a", "T._b")]
+        assert tracker.inversions == []
+
+    def test_same_name_peers_are_not_an_edge(self, tracker):
+        # Two shards' "MicroBatcher._cond" are peers: ordering between
+        # same-name instances is instance-dependent, not discipline.
+        a = InstrumentedLock("T._cond", tracker)
+        b = InstrumentedLock("T._cond", tracker)
+        with a:
+            with b:
+                pass
+        assert tracker.edges() == []
+
+    def test_inversion_raises_and_is_recorded(self, tracker):
+        a = InstrumentedLock("T._a", tracker)
+        b = InstrumentedLock("T._b", tracker)
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError, match="inversion"):
+                a.acquire()
+        assert len(tracker.inversions) == 1
+
+    def test_raising_acquire_does_not_leak_the_lock(self, tracker):
+        # The critical unwind property: after a LockOrderError the lock
+        # must be released and re-acquirable, or the next acquirer
+        # deadlocks on a lock nobody holds.
+        a = InstrumentedLock("T._a", tracker)
+        b = InstrumentedLock("T._b", tracker)
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+            assert not a.locked()
+        acquired = a.acquire(timeout=1.0)
+        assert acquired
+        a.release()
+
+    def test_reentrant_acquire_raises_instead_of_hanging(self, tracker):
+        lock = InstrumentedLock("T._lock", tracker)
+        with lock:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+        assert not lock.locked()
+
+    def test_condition_wait_notify_composes(self, tracker):
+        cond = threading.Condition(InstrumentedLock("T._cond", tracker))
+        fired = []
+
+        def waiter():
+            with cond:
+                while not fired:
+                    cond.wait(timeout=5.0)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with cond:
+            fired.append(True)
+            cond.notify()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert tracker.inversions == []
+        # The wait split the hold: multiple records for the one name.
+        assert tracker.hold_stats()["T._cond"]["count"] >= 2
+
+    def test_cross_thread_order_is_enforced(self, tracker):
+        # Thread 1 establishes a->b; thread 2 attempting b->a must
+        # raise even though each thread individually is consistent.
+        a = InstrumentedLock("T._a", tracker)
+        b = InstrumentedLock("T._b", tracker)
+        with a:
+            with b:
+                pass
+        failures = []
+
+        def reversed_order():
+            try:
+                with b:
+                    with a:
+                        pass
+            except LockOrderError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=reversed_order)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert len(failures) == 1
+
+
+class TestTrackerReporting:
+    def test_report_sections(self, tracker):
+        lock = InstrumentedLock("T._lock", tracker)
+        with lock:
+            pass
+        text = tracker.report()
+        assert "lock hold times" in text
+        assert "T._lock" in text
+        assert "observed acquisition edges: 0" in text
+        assert "lock-order inversions: 0" in text
+
+    def test_reset_clears_everything(self, tracker):
+        a = InstrumentedLock("T._a", tracker)
+        b = InstrumentedLock("T._b", tracker)
+        with a:
+            with b:
+                pass
+        tracker.reset()
+        assert tracker.edges() == []
+        assert tracker.hold_stats() == {}
+        assert tracker.inversions == []
+
+    def test_default_tracker_is_a_singleton(self):
+        assert default_tracker() is default_tracker()
+
+
+class TestHoldHistogram:
+    def test_quantiles_are_monotone_bucket_bounds(self):
+        hold = _Hold()
+        for us in (1, 2, 4, 8, 1000):
+            hold.record(us / 1e6)
+        assert hold.count == 5
+        p50 = hold.quantile_s(0.50)
+        p99 = hold.quantile_s(0.99)
+        assert 0.0 < p50 <= p99
+        # p99 lands in the bucket holding the 1000us outlier.
+        assert p99 >= 1000 / 1e6
+
+    def test_empty_histogram(self):
+        assert _Hold().quantile_s(0.99) == 0.0

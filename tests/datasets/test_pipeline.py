@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.constraints import MachinePark, compact
-from repro.datasets import (build_step_datasets, group_of,
-                            groups_of)
+from repro.datasets import build_step_datasets, group_of
 from repro.trace import (MachineAttributeEvent, MachineEvent,
                          MachineEventKind, TaskEvent, TaskEventKind)
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.constraints import Constraint, ConstraintOperator
 from repro.datasets import build_step_datasets

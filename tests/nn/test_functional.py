@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import nn
 from repro.nn import functional as F
 from repro.nn.autograd import Tensor
 

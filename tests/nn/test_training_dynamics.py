@@ -11,7 +11,6 @@ from __future__ import annotations
 from collections import OrderedDict
 
 import numpy as np
-import pytest
 
 from repro import nn
 

@@ -5,8 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis.concur import default_tracker, lock_debug_enabled
 from repro.core import BENCH_CONFIG, GrowingModel
 from repro.datasets import DatasetData
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_report():
+    """With ``REPRO_LOCK_DEBUG=1`` (the CI slow job), print the
+    process-wide lock report after the serve suites and hard-fail on
+    any observed lock-order inversion — the runtime half of the
+    concurrency lint."""
+
+    yield
+    if not lock_debug_enabled():
+        return
+    tracker = default_tracker()
+    print("\n" + tracker.report())
+    assert not tracker.inversions, "\n".join(tracker.inversions)
 
 
 class ConstantModel:

@@ -16,7 +16,6 @@ at the end:
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 import pytest

@@ -18,8 +18,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import (ClassificationService, EventLog, HistogramSnapshot,
-                         StageTimings, StreamingHistogram, Telemetry)
+from repro.serve import (
+    ClassificationService,
+    EventLog,
+    StageTimings,
+    StreamingHistogram,
+    Telemetry,
+)
 from repro.serve.telemetry import STAGES, bucket_bounds
 
 from .faults import SlowModel

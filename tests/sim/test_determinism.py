@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.sim import SimulationConfig, SimulationEngine
 from repro.trace import generate_cell
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import GrowingModel, CTLMConfig
-from repro.datasets import DatasetData, build_step_datasets
+from repro.datasets import DatasetData
 from repro.sim import (SimulationConfig, SimulationEngine, TaskCOAnalyzer)
 from repro.trace import MICROS_PER_SECOND
 

@@ -7,7 +7,6 @@ or double-count resources, and never run one task twice.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.constraints import (Constraint, ConstraintOperator,
                                SoftAffinityTask, SoftConstraint, compact)
 from repro.sim import ClusterState, MainScheduler, PendingTask

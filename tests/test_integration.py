@@ -10,8 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import (BENCH_CONFIG, CTLMConfig, GrowingModel,
-                        HybridGroupClassifier)
+from repro.core import CTLMConfig, GrowingModel, HybridGroupClassifier
 from repro.datasets import COVVEncoder, DatasetData, build_step_datasets
 from repro.sim import SimulationConfig, SimulationEngine, TaskCOAnalyzer
 from repro.trace import CellArchive, generate_cell

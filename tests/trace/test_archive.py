@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import TraceFormatError
-from repro.trace import CellArchive, CellTrace, generate_cell
+from repro.trace import CellArchive, CellTrace
 
 
 class TestArchive:

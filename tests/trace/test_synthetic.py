@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.trace import (CELL_2011, CELL_2019A, CELL_2019C, PROFILES,
+from repro.trace import (CELL_2011, CELL_2019A, CELL_2019C,
                          MachineAttributeEvent, MachineEvent,
                          MachineEventKind, TaskEvent, TaskEventKind,
                          generate_cell, get_profile)
