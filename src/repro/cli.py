@@ -131,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "load generator")
     serve.add_argument("--http-host", default="127.0.0.1",
                        help="bind address for --http-port")
+    serve.add_argument("--http-listeners", type=int, default=1,
+                       help="threaded ingress servers sharing the port via "
+                            "SO_REUSEPORT (the kernel balances connections "
+                            "across them; all serve one in-process stack)")
     serve.add_argument("--staleness-budget", type=float, default=None,
                        metavar="SECONDS",
                        help="/healthz turns 503 when a cell's served model "
@@ -153,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--http-connections", type=int, default=4,
                           help="keep-alive sender connections in --url "
                                "mode")
+    loadtest.add_argument("--http-batch", type=int, default=1,
+                          help="in --url mode, coalesce each sender's "
+                               "backlog into batched /classify bodies of "
+                               "up to this many tasks per round trip")
 
     lint = sub.add_parser(
         "lint", help="concurrency lint: lock discipline, blocking calls "
@@ -415,6 +423,7 @@ def _run_load_http(args, result, corpora):
     kwargs = dict(rate=args.rate, duration_s=args.duration,
                   pattern=args.pattern, observe_every=observe,
                   url=args.url, http_connections=args.http_connections,
+                  http_batch=args.http_batch,
                   rng=np.random.default_rng(args.seed + 3))
     if corpora is None:
         generator = LoadGenerator(tasks=result.tasks, labels=result.labels,
@@ -451,7 +460,8 @@ def _serve_http(args, target, corpora) -> int:
     from .serve import DEFAULT_CELL, HttpIngress
 
     ingress = HttpIngress(target, host=args.http_host, port=args.http_port,
-                          staleness_budget_s=args.staleness_budget)
+                          staleness_budget_s=args.staleness_budget,
+                          n_listeners=args.http_listeners)
     stop = threading.Event()
 
     def _request_stop(_signum, _frame):

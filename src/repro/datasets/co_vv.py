@@ -166,8 +166,25 @@ class COVVEncoder:
     def encode_row_dense(self, task: CompactedTask) -> np.ndarray:
         """Single dense row (mainly for tests and worked examples)."""
 
-        row = np.zeros(self.registry.features_count, dtype=np.float32)
-        for spec in task:
-            cols, vals = self._spec_cells(spec)
-            row[cols] = vals
+        width, cols, vals = self.task_cells(task)
+        row = np.zeros(width, dtype=np.float32)
+        row[cols] = vals
         return row
+
+    def task_cells(self, task: CompactedTask
+                   ) -> tuple[int, list[int], list[int]]:
+        """``(registry_width, columns, values)`` of one task's CO-VV row.
+
+        The registry-consistent raw cells: everything that reads the
+        (possibly concurrently growing) registry happens here, so a
+        caller holding the registry lock can capture the cells under it
+        and build the dense row — and run the model — outside it.
+        """
+
+        cols: list[int] = []
+        vals: list[int] = []
+        for spec in task:
+            spec_cols, spec_vals = self._spec_cells(spec)
+            cols.extend(spec_cols)
+            vals.extend(spec_vals)
+        return self.registry.features_count, cols, vals

@@ -10,8 +10,9 @@ multi-cell :class:`~repro.serve.CellRouter`:
 ========  ============  ====================================================
 method    path          purpose
 ========  ============  ====================================================
-POST      /classify     classify one JSON task (429 + ``Retry-After`` on
-                        overload, 404 for unknown cells)
+POST      /classify     classify one JSON task — or a whole ``tasks``
+                        batch in one round trip (429 + ``Retry-After``
+                        on overload, 404 for unknown cells)
 POST      /observe      feed one labelled observation to the training loop
 POST      /audit        re-classify a task under the exact past model
                         version that served it (410 once evicted)
@@ -26,17 +27,40 @@ GET       /cells        registered cell ids
 Tasks travel as the :meth:`~repro.constraints.CompactedTask.to_dict`
 wire format (``{"specs": [{"attribute": ..., "lo": ..., ...}]}``).
 
-:class:`HttpIngress` wraps the app in a threaded
-:func:`werkzeug.serving.make_server` (HTTP/1.1, so load-generator
-connections keep alive) with ``port=0`` ephemeral-port support for
-tests.  The server threads share the process with the serving stack —
-the ingress is a boundary, not an isolation layer.
+Batched bodies amortize the wire: ``{"tasks": [...], "cell": ...}``
+submits the whole list through one batcher round trip and returns
+``{"results": [...]}`` with one entry per task **in task order** —
+successes carry the single-task response shape, per-task failures are
+``{"error": ..., "status": ...}`` entries (an unparsable task is a
+per-item 400; a shed batch is a whole-body 429 — admission prices the
+batch as a unit and never partially admits a wire body).
+
+The serving hot path does not pay Flask routing:
+:class:`HttpIngress` wraps the app in a thin WSGI dispatcher
+(:class:`_ClassifyFastPath`) that matches ``POST /classify`` before
+Flask sees the request, reads the JSON straight off ``wsgi.input``,
+and reuses the same typed-error→status mapping; Flask keeps the
+telemetry/health plane.  ``n_listeners > 1`` runs that WSGI app on
+several threaded servers bound to ``SO_REUSEPORT`` sockets sharing one
+port — the kernel balances connections across listeners, all backed by
+the same serving stack.
+
+:class:`HttpIngress` uses threaded
+:func:`werkzeug.serving.make_server` servers (HTTP/1.1, so
+load-generator connections keep alive) with ``port=0`` ephemeral-port
+support for tests.  The server threads share the process with the
+serving stack — the ingress is a boundary, not an isolation layer.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+import math
+import socket
 import threading
+import time
+from http.client import responses as _HTTP_REASONS
 from typing import TYPE_CHECKING
 
 from ..constraints.compaction import CompactedTask
@@ -59,6 +83,13 @@ logger = logging.getLogger(__name__)
 DEFAULT_CELL = "default"
 
 _CLASSIFY_TIMEOUT_S = 5.0
+#: Upper bound a client may set via ``timeout_s`` — a handler thread is
+#: parked for the duration, so the wire contract caps it.
+_MAX_TIMEOUT_S = 60.0
+#: Upper bound on ``tasks`` entries per batched body: bounds the memory
+#: one request can pin and keeps a single body within one admission
+#: decision's meaningful range.
+_MAX_BATCH_TASKS = 4096
 
 
 class _Target:
@@ -99,6 +130,15 @@ class _Target:
             request.cell = cell
         return request
 
+    def submit_many(self, cell: str | None, tasks: list[CompactedTask]):
+        service = self.service(cell)
+        requests = service.submit_many(tasks)
+        if cell is not None:
+            for request in requests:
+                if request.cell is None:
+                    request.cell = cell
+        return requests
+
 
 def _parse_task(payload) -> CompactedTask:
     try:
@@ -109,6 +149,209 @@ def _parse_task(payload) -> CompactedTask:
 
 class _BadRequest(ValueError):
     """Maps to a 400 with the message as the error body."""
+
+
+# ----------------------------------------------------------------------
+# the /classify core — shared by the Flask route and the WSGI fast path
+# ----------------------------------------------------------------------
+
+def _parse_cell(payload) -> str | None:
+    cell = payload.get("cell")
+    if cell is not None and not isinstance(cell, str):
+        raise _BadRequest("'cell' must be a string")
+    return cell
+
+
+def _parse_timeout(payload) -> float:
+    """Validated client wait budget — a malformed value is the client's
+    400, never the server's unhandled ``TypeError`` 500."""
+
+    timeout = payload.get("timeout_s", _CLASSIFY_TIMEOUT_S)
+    if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+        raise _BadRequest("'timeout_s' must be a number (seconds)")
+    timeout = float(timeout)
+    if not math.isfinite(timeout) or timeout <= 0.0 \
+            or timeout > _MAX_TIMEOUT_S:
+        raise _BadRequest(f"'timeout_s' must be in "
+                          f"(0, {_MAX_TIMEOUT_S:g}] seconds")
+    return timeout
+
+
+def _typed_error(exc) -> tuple[int, dict, dict]:
+    """``(status, body, extra_headers)`` for one typed serving error."""
+
+    if isinstance(exc, _BadRequest):
+        return 400, {"error": str(exc)}, {}
+    if isinstance(exc, UnknownCellError):
+        return 404, {"error": str(exc)}, {}
+    if isinstance(exc, OverloadedError):
+        headers = {}
+        if exc.retry_after_s is not None:
+            # RFC 9110 Retry-After is delta-seconds (an integer); keep
+            # the precise value in the JSON body.
+            headers["Retry-After"] = str(
+                max(1, int(round(exc.retry_after_s))))
+        return 429, {"error": str(exc), "reason": exc.reason,
+                     "cell": exc.cell,
+                     "retry_after_s": exc.retry_after_s}, headers
+    if isinstance(exc, (ServiceClosedError, NotServingError)):
+        return 503, {"error": str(exc)}, {}
+    raise exc
+
+
+_TYPED_ERRORS = (_BadRequest, UnknownCellError, OverloadedError,
+                 ServiceClosedError, NotServingError)
+
+
+def _abandon(backend: _Target, cell: str | None, request) -> str:
+    """Cancel-or-account a request whose client timed out waiting.
+
+    A 504 must not leave a zombie in the queue: if the request is still
+    queued it is withdrawn (counted ``cancelled``, waiter failed); if a
+    worker already took it, its batch is in flight and it completes
+    normally moments later.
+    """
+
+    cancelled = backend.service(cell).batcher.cancel(request)
+    return "cancelled" if cancelled else "in-flight"
+
+
+def _request_entry(request) -> tuple[int, dict, dict]:
+    """Map one *finished* request onto its wire result."""
+
+    if request.error is not None:
+        error = request.error
+        if isinstance(error, (OverloadedError, ServiceClosedError)):
+            return _typed_error(error)
+        logger.error("classification failed over HTTP: %s", error)
+        return 500, {"error": "classification failed"}, {}
+    return 200, {
+        "group": request.group,
+        "model_version": request.version,
+        "cell": request.cell or DEFAULT_CELL,
+        "latency_us": request.latency_us,
+    }, {}
+
+
+def _classify_single(backend: _Target, payload: dict
+                     ) -> tuple[int, dict, dict]:
+    task = _parse_task(payload.get("task"))
+    cell = _parse_cell(payload)
+    timeout = _parse_timeout(payload)
+    request = backend.submit(cell, task)
+    if not request.wait(timeout):
+        state = _abandon(backend, cell, request)
+        return 504, {"error": f"classification did not complete within "
+                              f"{timeout}s", "state": state}, {}
+    return _request_entry(request)
+
+
+def _classify_batch(backend: _Target, payload: dict
+                    ) -> tuple[int, dict, dict]:
+    """One batched body → one batcher round trip → in-order results.
+
+    Per-item semantics: an unparsable task yields a 400 *entry* while
+    the valid tasks are still served; whole-body semantics: an
+    admission shed (the gate prices the batch as a unit) or an unknown
+    cell rejects the entire body with 429 / 404.
+    """
+
+    items = payload.get("tasks")
+    if not isinstance(items, list) or not items:
+        raise _BadRequest("'tasks' must be a non-empty list")
+    if len(items) > _MAX_BATCH_TASKS:
+        raise _BadRequest(f"'tasks' exceeds the per-body limit of "
+                          f"{_MAX_BATCH_TASKS}")
+    cell = _parse_cell(payload)
+    timeout = _parse_timeout(payload)
+    entries: list[dict | None] = [None] * len(items)
+    parsed: list[tuple[int, CompactedTask]] = []
+    for i, item in enumerate(items):
+        try:
+            parsed.append((i, CompactedTask.from_dict(item)))
+        except (TypeError, ValueError) as exc:
+            entries[i] = {"error": f"invalid task: {exc}", "status": 400}
+    requests = (backend.submit_many(cell, [task for _, task in parsed])
+                if parsed else [])
+    deadline = time.monotonic() + timeout
+    for (i, _task), request in zip(parsed, requests):
+        if not request.wait(max(0.0, deadline - time.monotonic())):
+            state = _abandon(backend, cell, request)
+            entries[i] = {"error": "classification did not complete "
+                                   "within the body timeout",
+                          "status": 504, "state": state}
+            continue
+        status, body, _headers = _request_entry(request)
+        if status != 200:
+            body = dict(body)
+            body["status"] = status
+        entries[i] = body
+    return 200, {"results": entries}, {}
+
+
+def _classify_payload(backend: _Target, payload: dict
+                      ) -> tuple[int, dict, dict]:
+    """Dispatch one ``/classify`` JSON body (single- or batched-task).
+
+    Returns ``(status, body, extra_headers)``; every typed serving
+    error is mapped here so the Flask route and the WSGI fast path
+    share one contract.
+    """
+
+    try:
+        if "tasks" in payload:
+            if "task" in payload:
+                raise _BadRequest("give either 'task' or 'tasks', "
+                                  "not both")
+            return _classify_batch(backend, payload)
+        return _classify_single(backend, payload)
+    except _TYPED_ERRORS as exc:
+        return _typed_error(exc)
+    except Exception:  # noqa: BLE001 — the wire must answer, not raise
+        logger.exception("unhandled error on /classify")
+        return 500, {"error": "classification failed"}, {}
+
+
+class _ClassifyFastPath:
+    """WSGI dispatcher: ``POST /classify`` before Flask routing.
+
+    The hot endpoint skips Flask's url-map match, request-context push,
+    and response machinery — the body is ``json.loads``-ed straight off
+    ``wsgi.input`` and the reply is one pre-encoded JSON write.  Every
+    other route falls through to the wrapped Flask app (telemetry and
+    health stay on the framework where convenience beats microseconds).
+    """
+
+    def __init__(self, app, backend: _Target):
+        self.app = app
+        self.backend = backend
+
+    def __call__(self, environ, start_response):
+        if (environ.get("PATH_INFO") != "/classify"
+                or environ.get("REQUEST_METHOD") != "POST"):
+            return self.app(environ, start_response)
+        try:
+            length = int(environ.get("CONTENT_LENGTH") or 0)
+        except (TypeError, ValueError):
+            length = 0
+        raw = environ["wsgi.input"].read(length) if length > 0 else b""
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = None
+        if not isinstance(payload, dict):
+            status, body, headers = (
+                400, {"error": "request body must be a JSON object"}, {})
+        else:
+            status, body, headers = _classify_payload(self.backend,
+                                                      payload)
+        data = json.dumps(body).encode()
+        response_headers = [("Content-Type", "application/json"),
+                            ("Content-Length", str(len(data)))]
+        response_headers.extend(headers.items())
+        reason = _HTTP_REASONS.get(status, "")
+        start_response(f"{status} {reason}", response_headers)
+        return [data]
 
 
 def create_app(target, staleness_budget_s: float | None = None):
@@ -131,32 +374,20 @@ def create_app(target, staleness_budget_s: float | None = None):
         payload = {"error": message, **extra}
         return jsonify(payload), status
 
-    @app.errorhandler(_BadRequest)
-    def _bad_request(exc):
-        return _error(400, str(exc))
-
-    @app.errorhandler(UnknownCellError)
-    def _unknown_cell(exc):
-        return _error(404, str(exc))
-
-    @app.errorhandler(OverloadedError)
-    def _overloaded(exc):
-        retry_after = exc.retry_after_s
-        body, status = _error(429, str(exc), reason=exc.reason,
-                              cell=exc.cell,
-                              retry_after_s=retry_after)
-        response = app.make_response((body, status))
-        if retry_after is not None:
-            # RFC 9110 Retry-After is delta-seconds (an integer); keep
-            # the precise value in the JSON body.
-            response.headers["Retry-After"] = str(
-                max(1, int(round(retry_after))))
+    def _typed_error_response(exc):
+        status, body, headers = _typed_error(exc)
+        response = app.make_response((jsonify(body), status))
+        for key, value in headers.items():
+            response.headers[key] = value
         return response
 
+    @app.errorhandler(_BadRequest)
+    @app.errorhandler(UnknownCellError)
+    @app.errorhandler(OverloadedError)
     @app.errorhandler(ServiceClosedError)
     @app.errorhandler(NotServingError)
-    def _unavailable(exc):
-        return _error(503, str(exc))
+    def _typed(exc):
+        return _typed_error_response(exc)
 
     def _json_body() -> dict:
         payload = request.get_json(silent=True)
@@ -169,30 +400,13 @@ def create_app(target, staleness_budget_s: float | None = None):
     # ------------------------------------------------------------------
     @app.post("/classify")
     def classify():
-        payload = _json_body()
-        task = _parse_task(payload.get("task"))
-        cell = payload.get("cell")
-        if cell is not None and not isinstance(cell, str):
-            raise _BadRequest("'cell' must be a string")
-        classify_request = backend.submit(cell, task)
-        timeout = payload.get("timeout_s", _CLASSIFY_TIMEOUT_S)
-        if not classify_request.wait(timeout):
-            return _error(504, "classification did not complete within "
-                               f"{timeout}s")
-        if classify_request.error is not None:
-            error = classify_request.error
-            if isinstance(error, OverloadedError):
-                raise error  # → 429 (evicted / expired after admission)
-            if isinstance(error, ServiceClosedError):
-                raise error  # → 503
-            logger.error("classification failed over HTTP: %s", error)
-            return _error(500, "classification failed")
-        return jsonify({
-            "group": classify_request.group,
-            "model_version": classify_request.version,
-            "cell": classify_request.cell or DEFAULT_CELL,
-            "latency_us": classify_request.latency_us,
-        })
+        # Same core as the WSGI fast path — the Flask route exists for
+        # test clients and for apps mounted without the ingress wrapper.
+        status, body, headers = _classify_payload(backend, _json_body())
+        response = app.make_response((jsonify(body), status))
+        for key, value in headers.items():
+            response.headers[key] = value
+        return response
 
     @app.post("/observe")
     def observe():
@@ -201,7 +415,7 @@ def create_app(target, staleness_budget_s: float | None = None):
         group = payload.get("group")
         if isinstance(group, bool) or not isinstance(group, int):
             raise _BadRequest("'group' must be an integer label")
-        service = backend.service(payload.get("cell"))
+        service = backend.service(_parse_cell(payload))
         service.observe(task, group)
         return "", 204
 
@@ -215,18 +429,14 @@ def create_app(target, staleness_budget_s: float | None = None):
         version = payload.get("version")
         if isinstance(version, bool) or not isinstance(version, int):
             raise _BadRequest("'version' must be an integer")
-        service = backend.service(payload.get("cell"))
+        cell = _parse_cell(payload)
+        service = backend.service(cell)
         try:
-            snapshot = service.handle.snapshot_for(version)
+            group = service.audit_classify(task, version)
         except KeyError as exc:
             return _error(410, f"model version unavailable: {exc}")
-        encoder = service.batcher._encoders[0]
-        with service.batcher.registry_lock:
-            row = encoder.encode_row_dense(task)
-        rows = snapshot.align(row.reshape(1, -1))
-        group = int(snapshot.predict(rows)[0])
         return jsonify({"group": group, "model_version": version,
-                        "cell": payload.get("cell") or DEFAULT_CELL})
+                        "cell": cell or DEFAULT_CELL})
 
     # ------------------------------------------------------------------
     # telemetry plane
@@ -305,35 +515,51 @@ def create_app(target, staleness_budget_s: float | None = None):
 
 
 class HttpIngress:
-    """A threaded WSGI server hosting :func:`create_app`'s app.
+    """Threaded WSGI server(s) hosting the serving app.
 
     ``port=0`` binds an ephemeral port; read :attr:`port` after
     :meth:`start`.  ``threaded=True`` gives each connection its own
     handler thread, so a keep-alive load-generator connection cannot
-    starve the health probe.
+    starve the health probe.  The hot ``POST /classify`` path is served
+    by :class:`_ClassifyFastPath` ahead of Flask routing.
+
+    ``n_listeners > 1`` binds that many ``SO_REUSEPORT`` sockets to the
+    same port and runs one threaded server per socket: the kernel
+    load-balances accepted connections across listeners, every listener
+    dispatching into the same in-process serving stack.  This multiplies
+    the accept/handler capacity of the wire without any extra routing
+    layer (one host, one port, one backend).
     """
 
     def __init__(self, target, host: str = "127.0.0.1", port: int = 8080,
-                 staleness_budget_s: float | None = None):
+                 staleness_budget_s: float | None = None,
+                 n_listeners: int = 1):
+        if n_listeners < 1:
+            raise ValueError("n_listeners must be >= 1")
         self.app = create_app(target,
                               staleness_budget_s=staleness_budget_s)
+        self.wsgi_app = _ClassifyFastPath(self.app,
+                                          self.app.config["REPRO_TARGET"])
         self.host = host
+        self.n_listeners = n_listeners
         self._requested_port = port
-        self._server = None
-        self._thread: threading.Thread | None = None
+        self._bound_port: int | None = None
+        self._servers: list = []
+        self._sockets: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
 
     @property
     def port(self) -> int:
-        if self._server is None:
+        if self._bound_port is None:
             return self._requested_port
-        return self._server.server_port
+        return self._bound_port
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "HttpIngress":
-        if self._server is not None:
+        if self._servers:
             raise RuntimeError("ingress already started")
         from werkzeug.serving import WSGIRequestHandler, make_server
 
@@ -345,28 +571,77 @@ class HttpIngress:
             def log_request(self, *args, **kwargs):  # quiet access log
                 pass
 
-        self._server = make_server(self.host, self._requested_port,
-                                   self.app, threaded=True,
-                                   request_handler=KeepAliveHandler)
-        self._thread = threading.Thread(target=self._server.serve_forever,
-                                        name="repro-serve-http",
-                                        daemon=True)
-        self._thread.start()
-        logger.info("HTTP ingress listening on %s", self.url)
+        if self.n_listeners == 1:
+            server = make_server(self.host, self._requested_port,
+                                 self.wsgi_app, threaded=True,
+                                 request_handler=KeepAliveHandler)
+            self._servers = [server]
+            self._bound_port = server.server_port
+        else:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise RuntimeError("n_listeners > 1 needs SO_REUSEPORT, "
+                                   "which this platform lacks")
+            # Bind the sockets ourselves (the first may pick the
+            # ephemeral port the rest then share) and hand each to a
+            # werkzeug server via fd= (which dups it).
+            port = self._requested_port
+            try:
+                for _ in range(self.n_listeners):
+                    sock = socket.socket(socket.AF_INET,
+                                         socket.SOCK_STREAM)
+                    sock.setsockopt(socket.SOL_SOCKET,
+                                    socket.SO_REUSEPORT, 1)
+                    sock.bind((self.host, port))
+                    sock.listen(128)
+                    port = sock.getsockname()[1]
+                    self._sockets.append(sock)
+                self._bound_port = port
+                self._servers = [
+                    make_server(self.host, self._bound_port,
+                                self.wsgi_app, threaded=True,
+                                request_handler=KeepAliveHandler,
+                                fd=sock.fileno())
+                    for sock in self._sockets]
+            except BaseException:
+                self._teardown()
+                raise
+        self._threads = []
+        for i, server in enumerate(self._servers):
+            thread = threading.Thread(target=server.serve_forever,
+                                      name=f"repro-serve-http-{i}",
+                                      daemon=True)
+            self._threads.append(thread)
+            thread.start()
+        logger.info("HTTP ingress listening on %s (%d listener(s))",
+                    self.url, len(self._servers))
         return self
 
+    def _teardown(self) -> None:
+        for server in self._servers:
+            server.server_close()
+        for sock in self._sockets:
+            sock.close()
+        self._servers = []
+        self._sockets = []
+        self._threads = []
+        self._bound_port = None
+
     def stop(self, timeout: float | None = 10.0) -> None:
-        if self._server is None:
+        if not self._servers:
             return
-        self._server.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout)
-        self._server.server_close()
-        self._server = None
-        self._thread = None
+        for server in self._servers:
+            server.shutdown()
+        if timeout is None:
+            for thread in self._threads:
+                thread.join()
+        else:
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+        self._teardown()
 
     def __enter__(self) -> "HttpIngress":
-        return self.start() if self._server is None else self
+        return self.start() if not self._servers else self
 
     def __exit__(self, *exc) -> None:
         self.stop()

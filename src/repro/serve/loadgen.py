@@ -33,7 +33,11 @@ keep-alive sender connections POSTs ``/classify`` (and ``/observe``),
 the audit replays completions through ``POST /audit``.  The measured
 latency then *includes* client-side queueing and wire overhead, which
 is the point: it is what a scheduler calling over the network would
-see.
+see.  ``http_batch > 1`` lets each sender coalesce its backlog into
+batched ``{"tasks": [...]}`` bodies (grouped per cell, up to the knob)
+— one round trip per batch instead of per task — with the same
+exactly-once per-task accounting mapped back from the per-entry
+results.
 """
 
 from __future__ import annotations
@@ -49,7 +53,6 @@ from urllib.parse import urlsplit
 import numpy as np
 
 from ..constraints.compaction import CompactedTask
-from ..datasets.co_vv import COVVEncoder
 from ..errors import OverloadedError
 from .metrics import LatencyStats
 from .microbatch import ClassifyRequest
@@ -317,14 +320,17 @@ class LoadGenerator:
         Multi-cell mode: per cell, re-classify up to this many completed
         requests against the audited snapshot of the exact version that
         served them; any disagreement counts as a misroute.
-    url / http_connections:
+    url / http_connections / http_batch:
         Wire mode: drive a running :class:`~repro.serve.HttpIngress` at
         ``url`` instead of an in-process target, over a pool of
         ``http_connections`` keep-alive sender connections.  Accounting
         and the misroute audit are unchanged (429 reasons map back onto
         the shed buckets; the audit goes through ``POST /audit``);
         ``swap_midstream`` is unavailable — the ingress does not expose
-        publication.
+        publication.  ``http_batch`` > 1 coalesces each sender's
+        backlog into batched ``{"tasks": [...]}`` bodies of up to that
+        many tasks per round trip (grouped per cell); every task still
+        resolves to exactly one outcome bucket.
     """
 
     def __init__(self, service: ClassificationService | CellRouter | None
@@ -340,7 +346,13 @@ class LoadGenerator:
                  audit_per_cell: int = 250,
                  url: str | None = None,
                  http_connections: int = 4,
+                 http_batch: int = 1,
                  rng: np.random.Generator | None = None):
+        if http_batch < 1:
+            raise ValueError("http_batch must be >= 1")
+        if http_batch > 1 and url is None:
+            raise ValueError("http_batch coalescing is wire-mode only; "
+                             "give a url")
         if url is not None:
             # Wire mode: the target is an HttpIngress, not an object.
             if service is not None:
@@ -422,6 +434,7 @@ class LoadGenerator:
         self.audit_per_cell = audit_per_cell
         self.url = url
         self.http_connections = http_connections
+        self.http_batch = http_batch
         self.rng = rng or np.random.default_rng()
 
     # ------------------------------------------------------------------
@@ -451,18 +464,14 @@ class LoadGenerator:
                 continue
             stride = max(1, len(cell_requests) // self.audit_per_cell)
             sample = cell_requests[::stride][:self.audit_per_cell]
-            encoder = COVVEncoder(service.registry)
             for request in sample:
-                try:
-                    snap = service.handle.snapshot_for(request.version)
-                except KeyError:  # evicted from the audit history
-                    continue
                 # The registry may still be growing (live trainer);
                 # append-only growth + align() make the replay exact.
-                with service.batcher.registry_lock:
-                    row = encoder.encode_row_dense(request.task)
-                expected = int(snap.predict(snap.align(
-                    row.reshape(1, -1)))[0])
+                try:
+                    expected = service.audit_classify(request.task,
+                                                      request.version)
+                except KeyError:  # evicted from the audit history
+                    continue
                 audited += 1
                 misrouted += request.group != expected
         return audited, misrouted
@@ -499,47 +508,140 @@ class LoadGenerator:
             streams[cell] = (classify_bodies, observe_bodies, task_jsons)
         return streams
 
-    def _http_sender(self, client: _HttpClient,
-                     work: "queue.Queue[_HttpRecord | None]") -> None:
-        while True:
-            record = work.get()
+    @staticmethod
+    def _shed_outcome(reason) -> str:
+        return reason if reason in ("evicted", "expired") else "rejected"
+
+    def _http_observe(self, client: _HttpClient,
+                      record: _HttpRecord) -> None:
+        if record.observe_body is None or record.outcome != "completed":
+            return
+        try:
+            client.request("POST", "/observe", record.observe_body)
+        except Exception:
+            pass  # training feedback is best-effort
+
+    def _http_send_one(self, client: _HttpClient,
+                       record: _HttpRecord) -> None:
+        try:
+            status, data = client.request("POST", "/classify",
+                                          record.body)
+        except Exception:
+            record.outcome = "dropped"
+            return
+        now = time.perf_counter_ns()
+        if status == 200:
+            payload = json.loads(data)
+            record.group = payload["group"]
+            record.version = payload["model_version"]
+            record.completed_ns = now
+            record.outcome = "completed"
+        elif status == 429:
+            reason = "rejected"
             try:
-                if record is None:
-                    client.close()
-                    return
-                try:
-                    status, data = client.request("POST", "/classify",
-                                                  record.body)
-                except Exception:
-                    record.outcome = "dropped"
-                    continue
-                now = time.perf_counter_ns()
-                if status == 200:
-                    payload = json.loads(data)
-                    record.group = payload["group"]
-                    record.version = payload["model_version"]
-                    record.completed_ns = now
-                    record.outcome = "completed"
-                elif status == 429:
-                    reason = "rejected"
-                    try:
-                        reason = json.loads(data).get("reason", reason)
-                    except Exception:
-                        pass
-                    record.outcome = (reason if reason in ("evicted",
-                                                           "expired")
-                                      else "rejected")
+                reason = json.loads(data).get("reason", reason)
+            except Exception:
+                pass
+            record.outcome = self._shed_outcome(reason)
+        else:
+            record.outcome = "dropped"
+        self._http_observe(client, record)
+
+    def _http_send_group(self, client: _HttpClient,
+                         records: list[_HttpRecord]) -> None:
+        """POST one same-cell group as a batched body; map the per-entry
+        results back onto the records (exactly-once, in order)."""
+
+        cell = records[0].cell
+        cell_json = "" if cell is None else f'"cell":{json.dumps(cell)},'
+        body = (f'{{{cell_json}"tasks":['
+                + ",".join(r.task_json for r in records)
+                + "]}").encode()
+        try:
+            status, data = client.request("POST", "/classify", body)
+        except Exception:
+            for record in records:
+                record.outcome = "dropped"
+            return
+        now = time.perf_counter_ns()
+        if status == 429:
+            # Whole-body shed: admission priced the batch as a unit.
+            reason = "rejected"
+            try:
+                reason = json.loads(data).get("reason", reason)
+            except Exception:
+                pass
+            outcome = self._shed_outcome(reason)
+            for record in records:
+                record.outcome = outcome
+            return
+        results = None
+        if status == 200:
+            try:
+                results = json.loads(data)["results"]
+            except Exception:
+                results = None
+        if not isinstance(results, list) or len(results) != len(records):
+            for record in records:
+                record.outcome = "dropped"
+            return
+        for record, entry in zip(records, results):
+            if not isinstance(entry, dict) or "error" in entry:
+                if isinstance(entry, dict) and entry.get("status") == 429:
+                    record.outcome = self._shed_outcome(
+                        entry.get("reason"))
                 else:
                     record.outcome = "dropped"
-                if (record.observe_body is not None
-                        and record.outcome == "completed"):
-                    try:
-                        client.request("POST", "/observe",
-                                       record.observe_body)
-                    except Exception:
-                        pass  # training feedback is best-effort
-            finally:
+                continue
+            record.group = entry["group"]
+            record.version = entry["model_version"]
+            record.completed_ns = now
+            record.outcome = "completed"
+            self._http_observe(client, record)
+
+    def _http_sender(self, client: _HttpClient,
+                     work: "queue.Queue[_HttpRecord | None]") -> None:
+        """Sender loop: drain the feed, coalescing up to ``http_batch``
+        backlogged records per round trip (grouped per cell).
+
+        The ``None`` sentinel stops the sender; sentinels are enqueued
+        after every record, so one seen mid-coalesce still lets the
+        already-claimed records go out first.
+        """
+
+        stop = False
+        while not stop:
+            first = work.get()
+            if first is None:
                 work.task_done()
+                break
+            claimed: list[_HttpRecord] = [first]
+            while len(claimed) < self.http_batch:
+                try:
+                    extra = work.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    work.task_done()
+                    stop = True
+                    break
+                claimed.append(extra)
+            try:
+                if len(claimed) == 1:
+                    self._http_send_one(client, claimed[0])
+                else:
+                    by_cell: dict[str | None, list[_HttpRecord]] = {}
+                    for record in claimed:
+                        by_cell.setdefault(record.cell, []).append(record)
+                    for group in by_cell.values():
+                        if len(group) == 1:
+                            self._http_send_one(client, group[0])
+                        else:
+                            self._http_send_group(client, group)
+            finally:
+                for _ in claimed:
+                    work.task_done()
+        client.close()
 
     def _audit_http(self, client: _HttpClient,
                     completed: list[_HttpRecord]) -> tuple[int, int]:

@@ -372,6 +372,112 @@ class MicroBatcher:
                 (time.perf_counter_ns() - request.enqueued_ns) / 1e3)
         return request
 
+    def submit_many(self, tasks: list[CompactedTask]
+                    ) -> list[ClassifyRequest]:
+        """Enqueue a whole batch under one lock acquisition.
+
+        The wire-format amortization primitive: a batched ``/classify``
+        body becomes one condvar round trip instead of ``len(tasks)``
+        of them, and the admission gate prices the batch as a unit —
+        evaluated against the queue depth its *last* member would join
+        behind.  A shed decision rejects the whole batch (even under
+        ``drop-oldest``: partially admitting a wire body would break
+        its per-body 429 contract), raising one
+        :class:`~repro.errors.OverloadedError` that accounts every
+        task in the shed buckets.  Requests are queued in task order,
+        so completions preserve the body's ordering guarantee.
+        """
+
+        if not tasks:
+            return []
+        requests = [ClassifyRequest(task) for task in tasks]
+        with self._cond:
+            if self._closed:
+                with self.stats_lock:
+                    self.rejected_total += len(requests)
+                raise ServiceClosedError("batcher is stopped")
+            if self.autotuner is not None:
+                # Fold each arrival: a burst of n near-simultaneous
+                # tasks is exactly what n back-to-back submits would
+                # have shown the rate estimator.
+                for _ in requests:
+                    self.autotuner.observe_arrival()
+                new_batch, new_wait = self.autotuner.update()
+                if (self.telemetry is not None
+                        and (new_batch != self.max_batch
+                             or new_wait != self.max_wait_us)):
+                    self.telemetry.events.append(
+                        "autotune", batch_limit=new_batch,
+                        wait_limit_us=new_wait,
+                        prev_batch_limit=self.max_batch,
+                        prev_wait_limit_us=self.max_wait_us)
+                self.max_batch, self.max_wait_us = new_batch, new_wait
+            if self.admission is not None:
+                if (self.autotuner is None
+                        or self.admission.arrivals
+                        is not self.autotuner.arrivals):
+                    for _ in requests:
+                        self.admission.note_arrival()
+                retry_after = self.admission.evaluate(
+                    len(self._queue) + len(requests) - 1, self.max_wait_us,
+                    batch_limit=self.max_batch, workers=self.n_workers)
+                if retry_after is not None:
+                    self._note_shed("rejected", retry_after,
+                                    len(self._queue))
+                    with self.stats_lock:
+                        self.shed_rejected_total += len(requests)
+                        self.admission.shed_total += len(requests)
+                    raise OverloadedError(
+                        f"cell overloaded: a batch of {len(requests)} "
+                        f"would exceed the latency budget at queue depth "
+                        f"{len(self._queue)}; retry in {retry_after:.3f}s",
+                        retry_after_s=retry_after, reason="rejected")
+            self._queue.extend(requests)
+            with self.stats_lock:
+                self.requests_total += len(requests)
+                if self.admission is not None:
+                    self.admission.admitted_total += len(requests)
+                if self._shed_episode:
+                    # A whole-batch admit is a clean admit: the shed
+                    # episode (if any) ends here, as in submit().
+                    self._shed_episode = False
+                    if self.telemetry is not None:
+                        self.telemetry.events.append(
+                            "shed_cleared", pending=len(self._queue))
+            if len(requests) > 1 and self.n_workers > 1:
+                self._cond.notify_all()
+            else:
+                self._cond.notify()
+        if self.telemetry is not None:
+            now_ns = time.perf_counter_ns()
+            self.telemetry.ingress.observe_many(
+                "submit",
+                [(now_ns - r.enqueued_ns) / 1e3 for r in requests])
+        return requests
+
+    def cancel(self, request: ClassifyRequest) -> bool:
+        """Withdraw a still-queued request whose client stopped waiting.
+
+        Returns ``True`` when the request was still queued: it is
+        removed, failed with :class:`~repro.errors.ServiceError` (any
+        residual waiter wakes immediately), and counted in
+        ``cancelled_total`` — so a ``/classify`` timeout cannot leave a
+        zombie in the queue whose later completion no client receives.
+        Returns ``False`` when a worker already took it (its batch is
+        in flight; it will complete normally moments later).
+        """
+
+        with self._cond:
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                return False
+            with self.stats_lock:
+                self.cancelled_total += 1
+        request._fail(ServiceError(
+            "request cancelled: client stopped waiting"))
+        return True
+
     def _note_shed(self, reason: str, retry_after_s: float,
                    pending: int) -> None:
         """Log the opening of a shed episode (edge-triggered).

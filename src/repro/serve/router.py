@@ -245,6 +245,25 @@ class CellRouter(AbstractContextManager):
         request.cell = cell_id
         return request
 
+    def submit_many(self, cell_id: str, tasks: list[CompactedTask]
+                    ) -> list[ClassifyRequest]:
+        """Route a whole batch to its cell's batcher in one round trip.
+
+        The batched ``/classify`` wire format's dispatch: one admission
+        decision for the batch as a unit (a shed raises one
+        :class:`~repro.errors.OverloadedError` annotated with the
+        cell), requests returned in task order.
+        """
+
+        try:
+            requests = self.service(cell_id).submit_many(tasks)
+        except OverloadedError as exc:
+            exc.cell = cell_id
+            raise
+        for request in requests:
+            request.cell = cell_id
+        return requests
+
     def classify(self, cell_id: str, task: CompactedTask,
                  timeout: float | None = 5.0) -> ClassifyRequest:
         """Submit and block until classified; returns the completed

@@ -26,6 +26,7 @@ import numpy as np
 from ..analysis.concur.runtime import new_lock
 from ..constraints.compaction import CompactedTask
 from ..core.growing import GrowingModel
+from ..datasets.co_vv import COVVEncoder
 from ..datasets.registry import FeatureRegistry
 from ..sim.online import RetrainPolicy
 from .admission import SHED_POLICIES, AdmissionController, AutoTuner
@@ -208,6 +209,39 @@ class ClassificationService(AbstractContextManager):
         """
 
         return self.batcher.submit(task)
+
+    def submit_many(self, tasks: list[CompactedTask]
+                    ) -> list[ClassifyRequest]:
+        """Enqueue a whole batch of tasks in one batcher round trip.
+
+        The backing primitive of the batched ``/classify`` wire format:
+        one lock acquisition, one admission decision for the batch as a
+        unit (a shed rejects the whole batch with
+        :class:`~repro.errors.OverloadedError`), and requests returned
+        in task order.
+        """
+
+        return self.batcher.submit_many(tasks)
+
+    def audit_classify(self, task: CompactedTask, version: int) -> int:
+        """Re-classify ``task`` under the exact retained ``version``.
+
+        The wire-level misroute audit's backend: raises ``KeyError``
+        when the version has been evicted from the audit history.  The
+        registry lock is held only while the task's CO-VV cells are
+        read out of the (possibly still-growing) registry; the dense
+        row build and the model forward run outside it, so an audit
+        sweep cannot stall the batcher shards' encodes.
+        """
+
+        snapshot = self.handle.snapshot_for(version)
+        encoder = COVVEncoder(self.registry)
+        with self.batcher.registry_lock:
+            width, cols, vals = encoder.task_cells(task)
+        row = np.zeros(width, dtype=np.float32)
+        row[cols] = vals
+        rows = snapshot.align(row.reshape(1, -1))
+        return int(snapshot.predict(rows)[0])
 
     def classify(self, task: CompactedTask,
                  timeout: float | None = 5.0) -> ClassifyRequest:
