@@ -239,6 +239,80 @@ def test_fused_and_eager_accept_the_same_model(deployment, benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def _consecutive_retrains(model, result, warm_start: bool,
+                          cycles: int = 3) -> list:
+    """``cycles`` back-to-back retrains over the same observation
+    buffer — the repeated-trigger regime warm starting targets."""
+
+    handle = ModelHandle()
+    handle.publish(model, clone=True)
+    trainer = BackgroundTrainer(
+        handle, result.registry,
+        policy=RetrainPolicy(growth_threshold=4, min_observations=50),
+        warm_start=warm_start, rng=np.random.default_rng(SEED + 41))
+    for task, label in zip(result.tasks, result.labels):
+        trainer.observe(task, int(label))
+    updates = [trainer.train_once() for _ in range(cycles)]
+    assert all(u is not None for u in updates)
+    return updates
+
+
+def test_warm_start_cuts_followup_epochs(deployment, benchmark):
+    """Consecutive retrains with resumed Adam state: the first cycle is
+    identical (no state to resume), every follow-up runs warm, and the
+    warm follow-ups never need more epochs than cold restarts on the
+    same seeds — the staleness window shrinks with the epoch count."""
+
+    model, result = deployment
+    cold = _consecutive_retrains(model, result, warm_start=False)
+    warm = _consecutive_retrains(model, result, warm_start=True)
+
+    rows = []
+    for label, updates in (("cold restart", cold), ("warm start", warm)):
+        for update in updates:
+            rows.append([label, update.version, update.epochs,
+                         f"{update.accuracy:.4f}",
+                         f"{update.train_seconds * 1e3:,.0f} ms",
+                         "yes" if update.warm_started else "no"])
+    print()
+    print(render_table(
+        ["Path", "Version", "Epochs", "Accuracy", "Trigger->publish",
+         "Warm"],
+        rows, title="TRAIN — CONSECUTIVE RETRAINS, WARM vs COLD ADAM "
+                    "(clusterdata-2019c)"))
+
+    # Cycle 1 has no state to resume: both paths are bit-identical.
+    assert warm[0].epochs == cold[0].epochs
+    assert abs(warm[0].accuracy - cold[0].accuracy) < 1e-6
+    assert not warm[0].warm_started
+    # Every follow-up resumed the previous cycle's moments…
+    assert all(u.warm_started for u in warm[1:])
+    assert not any(u.warm_started for u in cold)
+    # …and converged at least as fast, at acceptance-grade accuracy.
+    warm_epochs = sum(u.epochs for u in warm[1:])
+    cold_epochs = sum(u.epochs for u in cold[1:])
+    assert warm_epochs <= cold_epochs, \
+        f"warm follow-ups needed {warm_epochs} epochs vs {cold_epochs} cold"
+    assert all(u.accuracy > 0.9 for u in warm)
+
+    record_train_bench("warm_start_retrains", {
+        "cycles": len(warm),
+        "epochs_cold": [u.epochs for u in cold],
+        "epochs_warm": [u.epochs for u in warm],
+        "followup_epochs_cold": cold_epochs,
+        "followup_epochs_warm": warm_epochs,
+        "followup_epochs_saved": cold_epochs - warm_epochs,
+        "followup_s_cold": sum(u.train_seconds for u in cold[1:]),
+        "followup_s_warm": sum(u.train_seconds for u in warm[1:]),
+        "accuracy_warm": [u.accuracy for u in warm],
+        "accuracy_cold": [u.accuracy for u in cold]})
+    benchmark.extra_info["followup_epochs_saved"] = cold_epochs - warm_epochs
+    benchmark.pedantic(
+        lambda: _consecutive_retrains(model, result, warm_start=True,
+                                      cycles=2),
+        rounds=2, iterations=1)
+
+
 def _retrain_once(model, result, fused: bool):
     """One serving-scale retrain-trigger→publish cycle."""
 

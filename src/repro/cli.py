@@ -110,6 +110,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="background-retrain through the fused "
                             "training plan (CSR-kept data, no autograd); "
                             "--no-fused-train keeps the eager loop")
+        p.add_argument("--canary-fraction", type=float, default=None,
+                       help="stage retrained models instead of publishing "
+                            "them directly: shadow-score on a replay ring, "
+                            "then canary this fraction of live traffic and "
+                            "auto-rollback on regression (0.0 = shadow "
+                            "gate only, publish on pass; omit to keep "
+                            "immediate publishes)")
+        p.add_argument("--shadow-window", type=int, default=512,
+                       help="replay-ring capacity for shadow scoring "
+                            "candidates before they see live traffic")
+        p.add_argument("--rollback-on", default="accuracy,confidence,"
+                                                "agreement",
+                       metavar="SIGNALS",
+                       help="comma-separated regression signals armed for "
+                            "shadow rejection and canary rollback "
+                            "(subset of: accuracy, confidence, agreement)")
+        p.add_argument("--drift-threshold", type=float, default=None,
+                       help="retrain when the label distribution over the "
+                            "live window drifts this far (total-variation "
+                            "distance, 0..1) from the last published "
+                            "model's training mix, even before vocabulary "
+                            "growth would trigger")
         p.add_argument("--cells", default=None, metavar="PROFILES",
                        help="comma-separated extra cell profiles (e.g. "
                             "'2019a,2019d'): each is synthesized, trained, "
@@ -303,7 +325,7 @@ def _serving_setup(args):
     """
 
     from .datasets import build_step_datasets
-    from .serve import CellRouter, ClassificationService
+    from .serve import CellRouter, ClassificationService, RolloutPolicy
     from .sim import RetrainPolicy
     from .trace import CellArchive, generate_cell
 
@@ -317,14 +339,26 @@ def _serving_setup(args):
 
     def policy():
         return RetrainPolicy(growth_threshold=args.growth_threshold,
-                             min_observations=args.min_observations)
+                             min_observations=args.min_observations,
+                             drift_threshold=args.drift_threshold)
 
+    rollout = None
+    if args.canary_fraction is not None:
+        try:
+            rollout = RolloutPolicy(
+                canary_fraction=args.canary_fraction,
+                shadow_window=args.shadow_window,
+                rollback_on=RolloutPolicy.parse_rollback_on(
+                    args.rollback_on))
+        except ValueError as exc:
+            raise SystemExit(f"bad rollout flags: {exc}") from None
     admission_kwargs = dict(latency_budget_ms=args.latency_budget_ms,
                             max_queue=args.max_queue,
                             shed_policy=args.shed_policy,
                             autotune=args.autotune,
                             compile=args.compile,
-                            fused_train=args.fused_train)
+                            fused_train=args.fused_train,
+                            rollout=rollout)
     extra_profiles = _parse_cell_profiles(args.cells)
     if not extra_profiles:
         service = ClassificationService(

@@ -22,6 +22,7 @@ Listings 1–3:
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -38,6 +39,8 @@ from .train_plan import compile_training
 
 __all__ = ["StepOutcome", "GrowingModel", "build_model", "extend_state_dict"]
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class StepOutcome:
@@ -52,6 +55,7 @@ class StepOutcome:
     features_after: int
     grew: bool
     from_scratch: bool
+    warm_started: bool = False
 
     @property
     def evaluation(self) -> EvalResult:
@@ -102,6 +106,11 @@ class GrowingModel:
         self.rng = rng or np.random.default_rng()
         self.model: nn.Sequential | None = None
         self.history: list[StepOutcome] = []
+        # Adam state captured by the last fused training run; callers
+        # (the serving trainer) can feed it back into the next
+        # fit_step(optimizer_state=...) to warm-start the moments.
+        self.last_optimizer_state: dict | None = None
+        self._warm_start_applied = False
 
     # ------------------------------------------------------------------
     # persistence (torch.save / torch.load equivalents)
@@ -184,7 +193,8 @@ class GrowingModel:
     # training
     # ------------------------------------------------------------------
     def fit_step(self, dataset: DatasetData,
-                 fused: bool = True) -> StepOutcome:
+                 fused: bool = True,
+                 optimizer_state: dict | None = None) -> StepOutcome:
         """Absorb one feature-growth step (the Figure 2 routine).
 
         Chooses between initial training, transfer training with input
@@ -199,6 +209,16 @@ class GrowingModel:
         eager Listing-3 loop — the fallback and the fast path's
         equivalence oracle.  Both consume the dataset RNG identically,
         so epoch-by-epoch batch order matches between the paths.
+
+        ``optimizer_state`` (from a previous run's
+        :attr:`last_optimizer_state` /
+        :meth:`~repro.core.TrainPlan.optimizer_state`) warm-starts
+        Adam's moments on the *first* attempt of the fused path; the
+        input layer's rows may have grown since the state was captured
+        (prefix semantics).  Incompatible state (hidden-width change)
+        falls back to a cold start; fail-fast retries always restart
+        cold — a fresh re-initialization must not inherit moments tuned
+        to discarded weights.
         """
 
         config = self.config
@@ -223,8 +243,11 @@ class GrowingModel:
                 # every parameter live (no damping applies).
                 pretrained_count = None
 
+            warm_state = (optimizer_state
+                          if attempt == 1 and not from_scratch else None)
             epochs, result = self._train_until_accepted(
-                dataset, pretrained_count=pretrained_count, fused=fused)
+                dataset, pretrained_count=pretrained_count, fused=fused,
+                optimizer_state=warm_state)
             total_epochs += epochs
             if result.meets(config.accepted_accuracy,
                             config.accepted_group_0_f1_score):
@@ -234,7 +257,8 @@ class GrowingModel:
                     seconds=time.perf_counter() - started,
                     features_before=features_before,
                     features_after=dataset.features_count,
-                    grew=grew, from_scratch=from_scratch)
+                    grew=grew, from_scratch=from_scratch,
+                    warm_started=self._warm_start_applied)
                 self.history.append(outcome)
                 return outcome
             # Fail fast: discard the pre-trained model and start fresh.
@@ -247,7 +271,8 @@ class GrowingModel:
 
     def _train_until_accepted(self, dataset: DatasetData,
                               pretrained_count: int | None,
-                              fused: bool = True
+                              fused: bool = True,
+                              optimizer_state: dict | None = None
                               ) -> tuple[int, EvalResult]:
         """The Listing 3 loop; returns (epochs used, final evaluation)."""
 
@@ -261,12 +286,17 @@ class GrowingModel:
                         dtype=np.float32)])
         else:
             multiplier = None
+        # The eager oracle always cold-starts: it builds its own
+        # nn.Adam, and warm-starting only one path would break the
+        # fused/eager equivalence contract.
+        self._warm_start_applied = False
         if fused:
-            return self._train_fused(dataset, multiplier)
+            return self._train_fused(dataset, multiplier, optimizer_state)
         return self._train_eager(dataset, multiplier)
 
     def _train_fused(self, dataset: DatasetData,
-                     multiplier: np.ndarray | None
+                     multiplier: np.ndarray | None,
+                     optimizer_state: dict | None = None
                      ) -> tuple[int, EvalResult]:
         """Listing 3 on the compiled :class:`~repro.core.TrainPlan`.
 
@@ -284,6 +314,15 @@ class GrowingModel:
             class_weights=config.class_weights(),
             input_gradient_scale=multiplier,
             train_first_layer_only=multiplier is not None)
+        if optimizer_state is not None:
+            try:
+                plan.load_optimizer_state(optimizer_state)
+                self._warm_start_applied = True
+            except (KeyError, ValueError):
+                # Architecture changed since the state was captured
+                # (hidden width, layer count): cold-start instead.
+                logger.warning("optimizer state incompatible with the "
+                               "current architecture; cold-starting Adam")
 
         X_train, y_train = dataset.X_train, dataset.y_train
         X_test, y_test = dataset.X_test, dataset.y_test
@@ -307,6 +346,7 @@ class GrowingModel:
                 epochs = epoch
                 break
         plan.finish()
+        self.last_optimizer_state = plan.optimizer_state()
         return epochs, result
 
     def _train_eager(self, dataset: DatasetData,

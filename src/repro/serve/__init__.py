@@ -42,11 +42,13 @@ Multi-cell::
 """
 
 from .admission import SHED_POLICIES, AdmissionController, AutoTuner
-from .handle import ModelHandle, ModelSnapshot
+from .handle import CandidateRoute, ModelHandle, ModelSnapshot
 from .http import DEFAULT_CELL, HttpIngress, create_app
 from .loadgen import LoadGenerator, LoadTestReport, arrival_offsets
 from .metrics import LatencyStats, RouterStats, ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
+from .rollout import (ROLLBACK_SIGNALS, OfferOutcome, ReplayRing,
+                      RolloutController, RolloutPolicy, ShadowVerdict)
 from .router import CellRouter
 from .service import ClassificationService
 from .telemetry import (EventLog, HistogramSnapshot, ServeEvent,
@@ -55,8 +57,10 @@ from .telemetry import (EventLog, HistogramSnapshot, ServeEvent,
 from .trainer import BackgroundTrainer, ServeUpdate
 
 __all__ = [
-    "ModelHandle", "ModelSnapshot",
+    "ModelHandle", "ModelSnapshot", "CandidateRoute",
     "MicroBatcher", "ClassifyRequest",
+    "RolloutPolicy", "RolloutController", "ReplayRing",
+    "OfferOutcome", "ShadowVerdict", "ROLLBACK_SIGNALS",
     "AdmissionController", "AutoTuner", "SHED_POLICIES",
     "BackgroundTrainer", "ServeUpdate",
     "ClassificationService",

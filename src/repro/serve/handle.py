@@ -33,7 +33,7 @@ from ..analysis.concur.runtime import new_lock
 from ..core.inference_plan import InferencePlan
 from ..errors import NotServingError
 
-__all__ = ["ModelSnapshot", "ModelHandle"]
+__all__ = ["ModelSnapshot", "CandidateRoute", "ModelHandle"]
 
 logger = logging.getLogger(__name__)
 
@@ -78,6 +78,26 @@ class ModelSnapshot:
         return X
 
 
+@dataclass(frozen=True, slots=True)
+class CandidateRoute:
+    """A staged (not yet promoted) model version plus its traffic split.
+
+    ``takes`` decides per request which side of the canary serves it,
+    using the task's cached content hash — deterministic within the
+    process, so the same task always routes to the same side and the
+    misroute audit stays exact (every response reports the version that
+    really served it, incumbent or candidate).  The split is resolved
+    at 1/10000 granularity.
+    """
+
+    snapshot: ModelSnapshot
+    fraction: float
+
+    def takes(self, task: object) -> bool:
+        return (hash(task) & 0x7FFFFFFF) % 10_000 < int(
+            round(self.fraction * 10_000))
+
+
 class ModelHandle:
     """Thread-safe double-buffered model slot.
 
@@ -107,6 +127,7 @@ class ModelHandle:
         self._history: list[ModelSnapshot] = []  # guarded-by: _lock
         self._published = 0  # guarded-by: _lock
         self._evicted = 0  # guarded-by: _lock
+        self._candidate: CandidateRoute | None = None  # guarded-by: _lock
         self.retain_history = retain_history
         self.compile = compile
         #: Optional :class:`~repro.serve.telemetry.Telemetry`: each
@@ -175,6 +196,11 @@ class ModelHandle:
                 published_unix=time.time())
             self._history.append(snapshot)
             self._active = snapshot
+            # A direct publish supersedes any in-flight canary: the new
+            # active model invalidates the comparisons the candidate was
+            # being judged on, so the experiment is abandoned (its
+            # snapshot stays in history for audits).
+            self._candidate = None
             if self.retain_history is not None:
                 while len(self._history) > self.retain_history:
                     self._history.pop(0)
@@ -193,6 +219,106 @@ class ModelHandle:
                 publish_us=round(publish_us, 3))
         return snapshot
 
+    def stage(self, model: object, fraction: float,
+              features_count: int | None = None, clone: bool = True,
+              compile: bool | None = None) -> ModelSnapshot:
+        """Stage a candidate next to the incumbent for canary traffic.
+
+        The candidate gets a real (monotone) version number and is
+        retained in history immediately — requests it serves report
+        that version, and audits can replay them against it even if the
+        candidate is later demoted — but ``_active`` is untouched: the
+        incumbent keeps serving ``1 - fraction`` of traffic until
+        :meth:`promote` or :meth:`demote` resolves the pair.  Staging
+        over an existing candidate replaces it.
+        """
+
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("canary fraction must be in (0, 1]")
+        if clone:
+            cloner = getattr(model, "clone", None)
+            if cloner is None:
+                raise TypeError(
+                    f"{type(model).__name__} has no clone(); stage with "
+                    f"clone=False if sharing the instance is intended")
+            model = cloner()
+        if features_count is None:
+            features_count = getattr(model, "features_count", None)
+        if features_count is None:
+            raise ValueError("features_count required for models that do "
+                             "not expose one (is the model trained?)")
+        if compile is None:
+            compile = self.compile
+        compiler = getattr(model, "compile", None) if compile else None
+        with self._lock:
+            self._published += 1
+            plan = None
+            if compiler is not None:
+                try:
+                    plan = compiler(model_version=self._published)
+                except Exception:  # noqa: BLE001 — eager fallback
+                    logger.warning(
+                        "could not compile candidate %s for v%d; canary "
+                        "serves eagerly", type(model).__name__,
+                        self._published, exc_info=True)
+            snapshot = ModelSnapshot(
+                version=self._published, model=model,
+                features_count=int(features_count),
+                published_at=time.monotonic(), plan=plan,
+                published_unix=time.time())
+            self._history.append(snapshot)
+            self._candidate = CandidateRoute(snapshot, float(fraction))
+            if self.retain_history is not None:
+                while len(self._history) > self.retain_history:
+                    self._history.pop(0)
+                    self._evicted += 1
+        return snapshot
+
+    def promote(self) -> ModelSnapshot:
+        """Make the staged candidate the active model atomically.
+
+        Raises :class:`RuntimeError` when no candidate is staged (e.g.
+        a concurrent :meth:`demote` or :meth:`publish` resolved the
+        pair first).  Emits the same ``publish`` telemetry event a
+        direct swap would, flagged ``promoted``.
+        """
+
+        start_ns = time.perf_counter_ns()
+        with self._lock:
+            candidate = self._candidate
+            if candidate is None:
+                raise RuntimeError("no staged candidate to promote")
+            previous = self._active
+            self._active = candidate.snapshot
+            self._candidate = None
+        snapshot = candidate.snapshot
+        telemetry = self.telemetry
+        if telemetry is not None:
+            publish_us = (time.perf_counter_ns() - start_ns) / 1e3
+            staleness_closed_s = (
+                time.monotonic() - previous.published_at
+                if previous is not None else 0.0)
+            telemetry.observe("publish", publish_us)
+            telemetry.events.append(
+                "publish", version=snapshot.version,
+                staleness_closed_s=round(staleness_closed_s, 6),
+                compiled=snapshot.plan is not None,
+                publish_us=round(publish_us, 3), promoted=True)
+        return snapshot
+
+    def demote(self) -> ModelSnapshot | None:
+        """Drop the staged candidate; the incumbent was never displaced.
+
+        Returns the demoted snapshot (still retained in history so
+        audits of the requests it served keep working), or ``None``
+        when no candidate was staged.
+        """
+
+        with self._lock:
+            candidate = self._candidate
+            self._candidate = None
+        return None if candidate is None else candidate.snapshot
+
     # ------------------------------------------------------------------
     # reader side (hot path)
     # ------------------------------------------------------------------
@@ -203,6 +329,24 @@ class ModelHandle:
         if active is None:
             raise NotServingError("no model has been published")
         return active
+
+    def candidate_route(self) -> CandidateRoute | None:
+        """The staged candidate's route, or ``None`` (lock-free read).
+
+        Batcher workers read this once per batch; the returned route is
+        frozen, so the split decision and the version reported for
+        canary-served requests are consistent even across a concurrent
+        promote/demote.
+        """
+
+        return self._candidate  # unguarded-ok: hot path; atomic reference read of a frozen route
+
+    @property
+    def candidate_version(self) -> int:
+        """Version of the staged candidate (0 when none)."""
+
+        candidate = self._candidate  # unguarded-ok: atomic reference read; version is frozen on the snapshot
+        return 0 if candidate is None else candidate.snapshot.version
 
     @property
     def serving(self) -> bool:

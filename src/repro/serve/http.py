@@ -491,6 +491,13 @@ def create_app(target, staleness_budget_s: float | None = None):
                   model_version=cell_stats.model_version)
             if service.trainer is not None and service.started:
                 check(cell, "trainer_alive", service.trainer.alive)
+                # Alive but wedged: past the threshold of consecutive
+                # crashed retrain attempts the cell can no longer close
+                # staleness, and the probe should pull it from rotation.
+                failures = service.trainer.consecutive_failures
+                threshold = service.trainer.max_consecutive_failures
+                check(cell, "trainer_failures", failures < threshold,
+                      consecutive_failures=failures, threshold=threshold)
             if budget is not None and cell_stats.has_published:
                 check(cell, "staleness",
                       cell_stats.model_staleness_s <= budget,

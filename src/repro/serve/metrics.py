@@ -99,6 +99,27 @@ class ServiceStats:
     #: Trigger→publish latency of the most recent background retrain
     #: (0.0 until one completes).
     last_train_seconds: float = 0.0
+    #: Staged-rollout counters (all 0 when no rollout controller is
+    #: configured): candidates staged for canary traffic, promoted to
+    #: active, auto-rolled-back on a regression window, rejected by the
+    #: shadow gate; plus requests the candidate actually served.
+    rollouts_staged: int = 0
+    rollouts_promoted: int = 0
+    rollouts_rolled_back: int = 0
+    rollouts_shadow_rejected: int = 0
+    canary_served: int = 0
+    #: Gauges of the live canary state: traffic fraction routed to the
+    #: staged candidate (0.0 when none), its version (0 when none), and
+    #: how many recent live tasks the replay ring retains.
+    canary_fraction: float = 0.0
+    candidate_version: int = 0
+    replay_window: int = 0
+    #: Label-distribution drift of the trainer's live observation
+    #: window vs the last publish (total-variation distance, 0..1).
+    drift: float = 0.0
+    #: Consecutive crashed retrain attempts (health gauge; resets on a
+    #: clean cycle).
+    trainer_consecutive_failures: int = 0
 
     @property
     def mean_batch(self) -> float:
@@ -135,6 +156,17 @@ class ServiceStats:
             "has_published": self.has_published,
             "last_publish_unix": self.last_publish_unix,
             "last_train_seconds": self.last_train_seconds,
+            "rollouts_staged": self.rollouts_staged,
+            "rollouts_promoted": self.rollouts_promoted,
+            "rollouts_rolled_back": self.rollouts_rolled_back,
+            "rollouts_shadow_rejected": self.rollouts_shadow_rejected,
+            "canary_served": self.canary_served,
+            "canary_fraction": self.canary_fraction,
+            "candidate_version": self.candidate_version,
+            "replay_window": self.replay_window,
+            "drift": self.drift,
+            "trainer_consecutive_failures":
+                self.trainer_consecutive_failures,
         }
 
 
@@ -223,6 +255,39 @@ class RouterStats:
         return self._sum("observations")
 
     @property
+    def rollouts_staged(self) -> int:
+        return self._sum("rollouts_staged")
+
+    @property
+    def rollouts_promoted(self) -> int:
+        return self._sum("rollouts_promoted")
+
+    @property
+    def rollouts_rolled_back(self) -> int:
+        return self._sum("rollouts_rolled_back")
+
+    @property
+    def rollouts_shadow_rejected(self) -> int:
+        return self._sum("rollouts_shadow_rejected")
+
+    @property
+    def canary_served(self) -> int:
+        return self._sum("canary_served")
+
+    @property
+    def drift(self) -> float:
+        """Worst (largest) per-cell label-drift signal."""
+
+        return max((s.drift for s in self.cells.values()), default=0.0)
+
+    @property
+    def trainer_consecutive_failures(self) -> int:
+        """Worst per-cell crashed-retrain streak."""
+
+        return max((s.trainer_consecutive_failures
+                    for s in self.cells.values()), default=0)
+
+    @property
     def model_staleness_s(self) -> float:
         """Worst-case freshness across cells (max of the per-cell
         now − last publish gauges)."""
@@ -281,4 +346,12 @@ class RouterStats:
             "has_published": self.has_published,
             "last_publish_unix": self.last_publish_unix,
             "last_train_seconds": self.last_train_seconds,
+            "rollouts_staged": self.rollouts_staged,
+            "rollouts_promoted": self.rollouts_promoted,
+            "rollouts_rolled_back": self.rollouts_rolled_back,
+            "rollouts_shadow_rejected": self.rollouts_shadow_rejected,
+            "canary_served": self.canary_served,
+            "drift": self.drift,
+            "trainer_consecutive_failures":
+                self.trainer_consecutive_failures,
         }

@@ -45,6 +45,9 @@ import logging
 import threading
 import time
 from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..analysis.concur.runtime import new_condition, new_lock
 from ..constraints.compaction import CompactedTask
@@ -58,6 +61,19 @@ from .handle import ModelHandle
 __all__ = ["ClassifyRequest", "MicroBatcher"]
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True, slots=True)
+class _CanaryResult:
+    """Outcome of serving one batch's canary slice with the candidate."""
+
+    idx: list[int]
+    groups: np.ndarray
+    version: int
+    agree: int
+    cand_conf: float
+    inc_conf: float
+    conf_n: int
 
 
 class ClassifyRequest:
@@ -152,7 +168,8 @@ class MicroBatcher:
                  admission: AdmissionController | None = None,
                  autotuner: AutoTuner | None = None,
                  compile: bool = True,
-                 telemetry=None):
+                 telemetry=None,
+                 rollout=None):
         """``registry_lock`` must be shared with whatever grows the
         registry concurrently (the service wires the trainer's lock in):
         the CO-VV append-only invariant makes *grown* registries safe to
@@ -175,7 +192,14 @@ class MicroBatcher:
         record the submit→enqueue stage, each worker writes queue-wait /
         assembly / inference / total into its private shard histograms,
         and shed-episode transitions and autotuner re-fits land in the
-        structural event log."""
+        structural event log.
+
+        ``rollout`` (a :class:`~repro.serve.rollout.RolloutController`)
+        turns on staged rollout on the serving path: every completed
+        batch feeds its replay ring, and while the handle holds a
+        staged candidate the canary slice of each batch is served by it
+        (deterministic per-task hash split) with the outcome reported
+        to the controller."""
 
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -196,6 +220,7 @@ class MicroBatcher:
                 f"telemetry has {telemetry.n_shards} shard timing slots "
                 f"for {n_workers} workers")
         self.telemetry = telemetry
+        self.rollout = rollout
         # Shed-episode edge detection for the event log: log the first
         # shed of an episode and the first clean admit after it, not
         # every shed decision (a sustained flood would flush the ring).
@@ -209,6 +234,8 @@ class MicroBatcher:
         # their slot whenever the snapshot's plan changes (hot-swap).
         # Only the owning shard touches its slot, so no lock is needed.
         self._scratches: list[PlanScratch | None] = [None] * n_workers
+        # Candidate-side scratch for canary slices, same ownership rule.
+        self._cand_scratches: list[PlanScratch | None] = [None] * n_workers
 
         self._queue: deque[ClassifyRequest] = deque()  # guarded-by: _cond
         self._cond = new_condition("MicroBatcher._cond")
@@ -232,6 +259,7 @@ class MicroBatcher:
         self.batches_total = 0  # guarded-by: stats_lock
         self.compiled_batches_total = 0  # guarded-by: stats_lock
         self.largest_batch = 0  # guarded-by: stats_lock
+        self.canary_served_total = 0  # guarded-by: stats_lock
         self.versions_served: dict[int, int] = {}  # guarded-by: stats_lock
         self.shard_completed = [0] * n_workers  # guarded-by: stats_lock
         self.shard_batches = [0] * n_workers  # guarded-by: stats_lock
@@ -529,6 +557,7 @@ class MicroBatcher:
                 "batches": self.batches_total,
                 "compiled_batches": self.compiled_batches_total,
                 "largest_batch": self.largest_batch,
+                "canary_served": self.canary_served_total,
                 "versions_served": dict(self.versions_served),
                 "shard_completed": tuple(self.shard_completed),
                 "shard_batches": tuple(self.shard_batches),
@@ -639,8 +668,15 @@ class MicroBatcher:
         # A worker must survive any per-batch failure: an escaped
         # exception would kill the thread while submit() keeps
         # accepting requests that could then never complete.
+        rollout = self.rollout
+        canary = None
         try:
             snapshot = self.handle.snapshot()
+            # One route read per batch: the frozen CandidateRoute keeps
+            # the split decision and the reported canary version
+            # consistent even across a concurrent promote/demote.
+            route = (self.handle.candidate_route()
+                     if rollout is not None else None)
             with self.registry_lock:
                 X = encoder.encode_rows([r.task for r in batch])
             assembled_ns = time.perf_counter_ns()
@@ -661,6 +697,9 @@ class MicroBatcher:
             else:
                 rows = snapshot.align(X.toarray())
                 groups = snapshot.predict(rows)
+            if route is not None:
+                canary = self._serve_canary(batch, X, route, groups,
+                                            shard, plan)
         except Exception as exc:  # noqa: BLE001 — isolate the batch
             logger.exception("classification batch of %d failed",
                              len(batch))
@@ -672,6 +711,18 @@ class MicroBatcher:
                 self.failed_total += len(batch)
             return False
         now = time.perf_counter_ns()
+        versions = [snapshot.version] * len(batch)
+        if canary is not None:
+            # Merge the candidate's answers over the canary slice; each
+            # canary request completes with the candidate's version, so
+            # the misroute/version audit reports who really served it.
+            idx, cand_groups, cand_version = \
+                canary.idx, canary.groups, canary.version
+            groups = np.array(groups)
+            for k, i in enumerate(idx):
+                groups[i] = cand_groups[k]
+                versions[i] = cand_version
+        n_canary = 0 if canary is None else len(canary.idx)
         # Counters land before any waiter is released: a caller whose
         # classify() just returned must already see itself in
         # completed_total (stats() right after a blocking classify).
@@ -683,8 +734,14 @@ class MicroBatcher:
             self.largest_batch = max(self.largest_batch, len(batch))
             self.shard_batches[shard] += 1
             self.shard_completed[shard] += len(batch)
-            self.versions_served[snapshot.version] = \
-                self.versions_served.get(snapshot.version, 0) + len(batch)
+            if len(batch) > n_canary:
+                self.versions_served[snapshot.version] = \
+                    self.versions_served.get(snapshot.version, 0) \
+                    + len(batch) - n_canary
+            if n_canary:
+                self.canary_served_total += n_canary
+                self.versions_served[canary.version] = \
+                    self.versions_served.get(canary.version, 0) + n_canary
         if timings is not None:
             # Timings land before waiters too: a stage_snapshots() right
             # after a blocking classify() must include that request.
@@ -692,6 +749,69 @@ class MicroBatcher:
             timings.observe("inference", (now - assembled_ns) / 1e3)
             timings.observe_many(
                 "total", [(now - r.enqueued_ns) / 1e3 for r in batch])
-        for request, group in zip(batch, groups):
-            request._complete(int(group), snapshot.version, now)
+        for request, group, version in zip(batch, groups, versions):
+            request._complete(int(group), version, now)
+        # Rollout bookkeeping runs after the waiters are released — the
+        # once-per-window promote/rollback decision must not sit on the
+        # response path.  Isolated like the batch itself: a controller
+        # bug must not kill the worker.
+        if rollout is not None:
+            try:
+                rollout.ring.extend([r.task for r in batch])
+                if canary is not None:
+                    rollout.note_canary(
+                        canary.version, n_canary, canary.agree,
+                        canary.cand_conf, canary.inc_conf, canary.conf_n)
+            except Exception:  # noqa: BLE001 — isolate the controller
+                logger.exception("rollout bookkeeping failed")
         return True
+
+    def _serve_canary(self, batch: list[ClassifyRequest], X,
+                      route, inc_groups, shard: int,
+                      inc_plan) -> "_CanaryResult | None":
+        """Serve the canary slice of one batch with the staged candidate.
+
+        Returns ``None`` when the hash split routed no row to the
+        candidate.  The incumbent has already scored the *whole* batch
+        (including the canary rows), so candidate/incumbent agreement —
+        the live error-rate proxy — comes for free; when both sides run
+        compiled plans the max-probability confidences are compared on
+        the same rows too.
+        """
+
+        idx = [i for i, r in enumerate(batch) if route.takes(r.task)]
+        if not idx:
+            return None
+        candidate = route.snapshot
+        Xc = X[idx]
+        cand_plan = candidate.plan if self.compile else None
+        cand_conf = inc_conf = 0.0
+        conf_n = 0
+        if cand_plan is not None:
+            scratch = self._cand_scratches[shard]
+            if scratch is None or scratch.plan is not cand_plan:
+                scratch = cand_plan.scratch(
+                    max(len(idx),
+                        self.max_batch))  # unguarded-ok: stale batch limit only sizes the scratch
+                self._cand_scratches[shard] = scratch
+            proba_c = cand_plan.predict_proba(Xc, scratch)
+            # argmax after in-place softmax is safe: softmax is
+            # monotone per row, so the argmax is the logits' argmax.
+            cand_groups = proba_c.argmax(axis=1)
+            if inc_plan is not None:
+                # Re-score just the canary rows with the incumbent for
+                # same-row confidences; its shard scratch already
+                # served the full batch and is free for reuse.
+                proba_i = inc_plan.predict_proba(
+                    Xc, self._scratches[shard])
+                cand_conf = float(proba_c.max(axis=1).sum())
+                inc_conf = float(proba_i.max(axis=1).sum())
+                conf_n = len(idx)
+        else:
+            rows = candidate.align(Xc.toarray())
+            cand_groups = np.asarray(candidate.predict(rows))
+        agree = int(np.sum(cand_groups == np.asarray(inc_groups)[idx]))
+        return _CanaryResult(idx=idx, groups=cand_groups,
+                             version=candidate.version, agree=agree,
+                             cand_conf=cand_conf, inc_conf=inc_conf,
+                             conf_n=conf_n)

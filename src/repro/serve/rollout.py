@@ -1,0 +1,553 @@
+"""Staged model rollout: shadow scoring, canary traffic, auto-rollback.
+
+:meth:`~repro.serve.ModelHandle.publish` is a blind swap: whatever the
+background trainer produced becomes the serving model for the whole
+cell.  At production scale one bad publish (a drift spike mid-window, a
+degenerate retrain, a corrupted growth step) poisons every request
+until the next trigger.  This module turns publication into a staged
+rollout driven by live traffic:
+
+* **Shadow** — before a candidate may touch traffic it re-scores recent
+  live microbatches off-path (a bounded :class:`ReplayRing` fed by the
+  batcher) and is compared against the incumbent on agreement,
+  confidence, and a labelled accuracy proxy.  A candidate that cannot
+  match the incumbent on traffic it has *already seen the answers to*
+  is rejected without ever serving a request.
+* **Canary** — a candidate that passes shadow is *staged* into the
+  :class:`~repro.serve.ModelHandle` as an ``(incumbent, candidate)``
+  pair: a configurable fraction of each cell's traffic routes to the
+  candidate via a deterministic per-request hash split
+  (:meth:`~repro.serve.CandidateRoute.takes`), so the same task always
+  lands on the same side and the misroute audit stays exact — every
+  canary-served request reports the candidate's real, retained version.
+* **Auto-rollback / promote** — batcher workers feed per-batch canary
+  outcomes (agreement with the incumbent on the *same rows*, confidence
+  sums) into the controller; each full evaluation window is judged on
+  the configured regression signals.  A regression demotes the
+  candidate and restores the incumbent atomically, with the episode in
+  the :class:`~repro.serve.EventLog` (``rollback``) and the Prometheus
+  exposition; clean windows promote it (``promote`` + the handle's
+  ``publish`` event).
+
+The drift half of the continuous-learning control plane lives in
+:class:`~repro.sim.RetrainPolicy` (``drift_threshold``) and
+:meth:`~repro.serve.BackgroundTrainer.drift`: retraining fires on a
+measured label-distribution shift over the observation window, not just
+observation counts.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.concur.runtime import new_lock
+from ..constraints.compaction import CompactedTask
+from ..datasets.co_vv import COVVEncoder
+from .handle import ModelHandle, ModelSnapshot
+
+__all__ = ["ROLLBACK_SIGNALS", "RolloutPolicy", "ReplayRing",
+           "ShadowVerdict", "OfferOutcome", "RolloutController"]
+
+logger = logging.getLogger(__name__)
+
+#: Regression signals a rollout gate may act on: candidate/incumbent
+#: disagreement rate (the error-rate proxy on unlabelled traffic), mean
+#: max-probability confidence drop, and accuracy delta on the labelled
+#: replay subset.
+ROLLBACK_SIGNALS = ("accuracy", "confidence", "agreement")
+
+
+@dataclass(frozen=True, slots=True)
+class RolloutPolicy:
+    """Knobs for the staged-rollout state machine.
+
+    ``canary_fraction`` is the share of traffic routed to a staged
+    candidate (0 publishes directly after the shadow gate — shadow-only
+    mode).  ``shadow_window`` bounds the replay ring the batcher feeds;
+    the shadow gate needs ``min_shadow`` recent tasks before its
+    comparisons bind (a cold cell with no traffic publishes
+    unguarded rather than deadlocking the trainer).  A canary window
+    closes after ``canary_window`` candidate-served requests;
+    ``promote_after`` consecutive clean windows promote.  The three
+    thresholds gate both shadow and canary via ``rollback_on``, with
+    one asymmetry: agreement and confidence are unlabelled *proxies*
+    for correctness, so whenever at least ``min_labeled`` labelled
+    replay rows are available and the candidate holds accuracy within
+    ``max_accuracy_drop``, a tripped proxy is recorded
+    (``labeled_override`` in the event details) but does not reject —
+    a retrain that genuinely improved must disagree with the incumbent
+    it outgrew.
+    """
+
+    canary_fraction: float = 0.1
+    shadow_window: int = 512
+    min_shadow: int = 64
+    canary_window: int = 200
+    promote_after: int = 1
+    min_agreement: float = 0.95
+    max_confidence_drop: float = 0.10
+    max_accuracy_drop: float = 0.05
+    min_labeled: int = 16
+    rollback_on: tuple[str, ...] = ROLLBACK_SIGNALS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be in [0, 1]")
+        if self.shadow_window < 1:
+            raise ValueError("shadow_window must be >= 1")
+        if self.min_shadow < 0:
+            raise ValueError("min_shadow cannot be negative")
+        if self.canary_window < 1:
+            raise ValueError("canary_window must be >= 1")
+        if self.promote_after < 1:
+            raise ValueError("promote_after must be >= 1")
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ValueError("min_agreement must be in [0, 1]")
+        if self.min_labeled < 1:
+            raise ValueError("min_labeled must be >= 1")
+        unknown = set(self.rollback_on) - set(ROLLBACK_SIGNALS)
+        if unknown:
+            raise ValueError(f"unknown rollback signals {sorted(unknown)}; "
+                             f"choose from {ROLLBACK_SIGNALS}")
+
+    @staticmethod
+    def parse_rollback_on(spec: str) -> tuple[str, ...]:
+        """``--rollback-on`` parser: a comma list of signal names."""
+
+        signals = tuple(name for name in spec.replace(" ", "").split(",")
+                        if name)
+        if not signals:
+            raise ValueError("--rollback-on needs at least one signal")
+        unknown = set(signals) - set(ROLLBACK_SIGNALS)
+        if unknown:
+            raise ValueError(f"unknown rollback signals {sorted(unknown)}; "
+                             f"choose from {ROLLBACK_SIGNALS}")
+        return signals
+
+
+class ReplayRing:
+    """Bounded ring of recently-served tasks, plus a labelled subset.
+
+    The batcher appends every completed batch's tasks (:meth:`extend`,
+    O(batch) deque appends off the completion path); the service's
+    observe path contributes ``(task, label)`` pairs.  The shadow gate
+    replays the unlabelled ring through candidate and incumbent; the
+    accuracy-proxy gates score both against the labelled ring.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = new_lock("ReplayRing._lock")
+        self._tasks: deque[CompactedTask] = deque(maxlen=capacity)  # guarded-by: _lock
+        self._labeled: deque[tuple[CompactedTask, int]] = deque(maxlen=capacity)  # guarded-by: _lock
+        self.appended_total = 0  # guarded-by: _lock
+        self.labeled_total = 0  # guarded-by: _lock
+
+    def extend(self, tasks: list[CompactedTask]) -> None:
+        with self._lock:
+            self._tasks.extend(tasks)
+            self.appended_total += len(tasks)
+
+    def observe(self, task: CompactedTask, label: int) -> None:
+        with self._lock:
+            self._labeled.append((task, int(label)))
+            self.labeled_total += 1
+
+    def sample(self) -> list[CompactedTask]:
+        """Every retained live task, oldest first (a copy)."""
+
+        with self._lock:
+            return list(self._tasks)
+
+    def labeled(self) -> tuple[list[CompactedTask], np.ndarray]:
+        """The labelled subset as ``(tasks, labels)`` copies."""
+
+        with self._lock:
+            pairs = list(self._labeled)
+        tasks = [task for task, _ in pairs]
+        labels = np.asarray([label for _, label in pairs], dtype=np.int64)
+        return tasks, labels
+
+    def __len__(self) -> int:
+        return len(self._tasks)  # unguarded-ok: advisory size for gates/stats; len() is atomic under the GIL
+
+
+@dataclass(frozen=True, slots=True)
+class ShadowVerdict:
+    """Outcome of one shadow evaluation (candidate vs incumbent)."""
+
+    ok: bool
+    reasons: tuple[str, ...] = ()
+    skipped: bool = False
+    details: dict = field(default_factory=dict)
+
+    def event_fields(self) -> dict:
+        fields = {"shadow_skipped": self.skipped}
+        if self.reasons:
+            fields["reasons"] = ",".join(self.reasons)
+        for key, value in self.details.items():
+            if isinstance(value, float):
+                value = round(value, 4)
+            fields[key] = value
+        return fields
+
+
+@dataclass(frozen=True, slots=True)
+class OfferOutcome:
+    """What happened to a candidate handed to :meth:`RolloutController.offer`.
+
+    ``stage`` is ``"published"`` (shadow-only mode: the candidate went
+    live immediately), ``"canary"`` (staged; promotion pending clean
+    windows), ``"shadow_rejected"``, or ``"canary_in_progress"`` (an
+    earlier candidate still owns the canary slot; retry later).
+    ``snapshot`` is set for the first two.
+    """
+
+    snapshot: ModelSnapshot | None
+    stage: str
+    verdict: ShadowVerdict
+
+    @property
+    def accepted(self) -> bool:
+        return self.snapshot is not None
+
+
+def _snapshot_like(model: object,
+                   features_count: int | None = None) -> ModelSnapshot:
+    """An unpublished scoring snapshot over ``model`` (version 0).
+
+    Compiles when the model supports it so shadow scoring runs the same
+    fused ``predict_proba`` path serving would; duck-typed doubles fall
+    back to ``align`` + ``predict`` with no confidence signal.
+    """
+
+    if features_count is None:
+        features_count = getattr(model, "features_count", None)
+    if features_count is None:
+        raise ValueError("features_count required to shadow-score a model "
+                         "that does not expose one")
+    plan = None
+    compiler = getattr(model, "compile", None)
+    if compiler is not None:
+        try:
+            plan = compiler(model_version=0)
+        except Exception:  # noqa: BLE001 — eager scoring fallback
+            plan = None
+    return ModelSnapshot(version=0, model=model,
+                         features_count=int(features_count),
+                         published_at=0.0, plan=plan)
+
+
+def _score(snapshot: ModelSnapshot, X) -> tuple[np.ndarray, float | None]:
+    """``(predicted groups, mean max-probability | None)`` for a block.
+
+    The compiled path yields calibrated-ish confidences via the plan's
+    softmax head; plan-less snapshots (duck-typed doubles, eager mode)
+    predict labels only and the confidence gates go vacuous.
+    """
+
+    if snapshot.plan is not None:
+        proba = snapshot.plan.predict_proba(X)
+        groups = proba.argmax(axis=1)
+        return groups, float(proba.max(axis=1).mean())
+    rows = X.toarray() if hasattr(X, "toarray") else np.asarray(X)
+    groups = snapshot.predict(snapshot.align(rows))
+    return np.asarray(groups), None
+
+
+class RolloutController:
+    """Shadow → canary → promote/rollback state machine for one cell.
+
+    The trainer hands every retrained candidate to :meth:`offer`
+    instead of publishing; batcher workers report canary outcomes via
+    :meth:`note_canary` after each split batch.  All handle mutations
+    (:meth:`~repro.serve.ModelHandle.stage` / ``promote`` / ``demote``)
+    happen outside the controller lock, so the only lock this class
+    holds while calling out is none — the static lock-order graph gains
+    no edges.
+    """
+
+    def __init__(self, handle: ModelHandle, registry,
+                 registry_lock, policy: RolloutPolicy | None = None,
+                 telemetry=None, cell: str | None = None):
+        self.handle = handle
+        self.registry = registry
+        self.registry_lock = registry_lock
+        self.policy = policy or RolloutPolicy()
+        self.telemetry = telemetry
+        self.cell = cell
+        self.ring = ReplayRing(self.policy.shadow_window)
+
+        self._lock = new_lock("RolloutController._lock")
+        # Open canary evaluation window, keyed by the staged candidate's
+        # version so stray late batches of a demoted candidate cannot
+        # leak into its successor's window.
+        self._win_version: int | None = None  # guarded-by: _lock
+        self._win_n = 0  # guarded-by: _lock
+        self._win_agree = 0  # guarded-by: _lock
+        self._win_cand_conf = 0.0  # guarded-by: _lock
+        self._win_inc_conf = 0.0  # guarded-by: _lock
+        self._win_conf_n = 0  # guarded-by: _lock
+        self._clean_windows = 0  # guarded-by: _lock
+
+        self.staged_total = 0  # guarded-by: _lock
+        self.promoted_total = 0  # guarded-by: _lock
+        self.rolled_back_total = 0  # guarded-by: _lock
+        self.shadow_rejected_total = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # trainer side
+    # ------------------------------------------------------------------
+    def offer(self, model: object,
+              features_count: int | None = None) -> OfferOutcome:
+        """Stage one retrained candidate through the rollout gates.
+
+        Runs the shadow evaluation, then either rejects, publishes
+        directly (``canary_fraction == 0``), or stages the candidate
+        for canary traffic.  Called from the trainer thread; the model
+        is adopted without cloning (trainer shadows are discarded).
+        """
+
+        verdict = self._shadow_gate(model, features_count)
+        if not verdict.ok:
+            with self._lock:
+                self.shadow_rejected_total += 1
+            self._event("shadow_rejected", **verdict.event_fields())
+            return OfferOutcome(None, "shadow_rejected", verdict)
+        if self.policy.canary_fraction <= 0.0:
+            snapshot = self.handle.publish(
+                model, features_count=features_count, clone=False)
+            return OfferOutcome(snapshot, "published", verdict)
+        if self.handle.candidate_route() is not None:
+            return OfferOutcome(None, "canary_in_progress", verdict)
+        snapshot = self.handle.stage(model, self.policy.canary_fraction,
+                                     features_count=features_count,
+                                     clone=False)
+        with self._lock:
+            self.staged_total += 1
+            self._win_version = snapshot.version
+            self._win_n = self._win_agree = 0
+            self._win_cand_conf = self._win_inc_conf = 0.0
+            self._win_conf_n = 0
+            self._clean_windows = 0
+        self._event("canary_started", version=snapshot.version,
+                    fraction=self.policy.canary_fraction,
+                    **verdict.event_fields())
+        return OfferOutcome(snapshot, "canary", verdict)
+
+    def _shadow_gate(self, model: object,
+                     features_count: int | None) -> ShadowVerdict:
+        """Score the candidate on the replay ring against the incumbent."""
+
+        policy = self.policy
+        tasks = self.ring.sample()
+        if not self.handle.serving or len(tasks) < policy.min_shadow:
+            return ShadowVerdict(ok=True, skipped=True,
+                                 details={"n_shadow": len(tasks)})
+        incumbent = self.handle.snapshot()
+        candidate = _snapshot_like(model, features_count)
+        with self.registry_lock:
+            X = COVVEncoder(self.registry).encode_rows(tasks)
+        cand_groups, cand_conf = _score(candidate, X)
+        inc_groups, inc_conf = _score(incumbent, X)
+        agreement = float(np.mean(cand_groups == inc_groups))
+        details: dict = {"n_shadow": len(tasks), "agreement": agreement}
+        if cand_conf is not None and inc_conf is not None:
+            details["confidence_candidate"] = cand_conf
+            details["confidence_incumbent"] = inc_conf
+        reasons: list[str] = []
+        overridden: list[str] = []
+        # Agreement and confidence are proxies for correctness on
+        # unlabelled traffic.  When enough labelled replay exists to
+        # judge accuracy directly and the candidate holds it, a low
+        # proxy reading IS the improvement (a retrain that learned new
+        # features must disagree with the incumbent it outgrew), so the
+        # proxies only bind when labels cannot.
+        accuracy_holds = False
+        if "accuracy" in policy.rollback_on:
+            accs = self._labeled_accuracy(candidate, incumbent)
+            if accs is not None:
+                acc_cand, acc_inc, n_labeled = accs
+                details.update(accuracy_candidate=acc_cand,
+                               accuracy_incumbent=acc_inc,
+                               n_labeled=n_labeled)
+                if acc_inc - acc_cand > policy.max_accuracy_drop:
+                    reasons.append("accuracy")
+                else:
+                    accuracy_holds = True
+        if ("agreement" in policy.rollback_on
+                and agreement < policy.min_agreement):
+            (overridden if accuracy_holds else reasons).append("agreement")
+        if ("confidence" in policy.rollback_on
+                and cand_conf is not None and inc_conf is not None
+                and inc_conf - cand_conf > policy.max_confidence_drop):
+            (overridden if accuracy_holds else reasons).append("confidence")
+        if overridden:
+            details["labeled_override"] = ",".join(overridden)
+        return ShadowVerdict(ok=not reasons, reasons=tuple(reasons),
+                             details=details)
+
+    def _labeled_accuracy(self, candidate: ModelSnapshot,
+                          incumbent: ModelSnapshot
+                          ) -> tuple[float, float, int] | None:
+        """Accuracy of both models on the labelled replay subset, or
+        ``None`` when too few labelled observations exist to bind."""
+
+        tasks, labels = self.ring.labeled()
+        if len(tasks) < self.policy.min_labeled:
+            return None
+        with self.registry_lock:
+            X = COVVEncoder(self.registry).encode_rows(tasks)
+        cand_groups, _ = _score(candidate, X)
+        inc_groups, _ = _score(incumbent, X)
+        return (float(np.mean(cand_groups == labels)),
+                float(np.mean(inc_groups == labels)), len(tasks))
+
+    # ------------------------------------------------------------------
+    # batcher side
+    # ------------------------------------------------------------------
+    def note_canary(self, version: int, n: int, agree: int,
+                    cand_conf: float, inc_conf: float,
+                    conf_n: int) -> None:
+        """Fold one split batch's canary outcome into the open window.
+
+        ``agree`` counts canary rows where candidate and incumbent
+        predicted the same group (both scored the *same* rows, so
+        disagreement is the live error-rate proxy); the confidence sums
+        cover ``conf_n`` rows when both sides served compiled plans.
+        Closing a full window triggers the promote/rollback decision on
+        the calling worker thread — one labelled re-score per window,
+        not per batch.
+        """
+
+        if n <= 0:
+            return
+        with self._lock:
+            if version != self._win_version:
+                return  # stale batch of a demoted/promoted candidate
+            self._win_n += n
+            self._win_agree += agree
+            self._win_cand_conf += cand_conf
+            self._win_inc_conf += inc_conf
+            self._win_conf_n += conf_n
+            if self._win_n < self.policy.canary_window:
+                return
+            window = {"n": self._win_n, "agree": self._win_agree,
+                      "cand_conf": self._win_cand_conf,
+                      "inc_conf": self._win_inc_conf,
+                      "conf_n": self._win_conf_n}
+            self._win_n = self._win_agree = 0
+            self._win_cand_conf = self._win_inc_conf = 0.0
+            self._win_conf_n = 0
+        self._decide(version, window)
+
+    def _decide(self, version: int, window: dict) -> None:
+        """Judge one closed canary window: demote, promote, or continue."""
+
+        policy = self.policy
+        route = self.handle.candidate_route()
+        if route is None or route.snapshot.version != version:
+            return  # already resolved (publish superseded, or raced)
+        agreement = window["agree"] / window["n"]
+        details: dict = {"window_n": window["n"],
+                         "agreement": round(agreement, 4)}
+        reasons: list[str] = []
+        overridden: list[str] = []
+        # Same override as the shadow gate: a candidate that holds
+        # labelled accuracy may legitimately disagree with the incumbent
+        # it improved on, so the live proxies only bind without labels.
+        accuracy_holds = False
+        if "accuracy" in policy.rollback_on:
+            accs = self._labeled_accuracy(route.snapshot,
+                                          self.handle.snapshot())
+            if accs is not None:
+                acc_cand, acc_inc, n_labeled = accs
+                details.update(accuracy_candidate=round(acc_cand, 4),
+                               accuracy_incumbent=round(acc_inc, 4),
+                               n_labeled=n_labeled)
+                if acc_inc - acc_cand > policy.max_accuracy_drop:
+                    reasons.append("accuracy")
+                else:
+                    accuracy_holds = True
+        if ("agreement" in policy.rollback_on
+                and agreement < policy.min_agreement):
+            (overridden if accuracy_holds else reasons).append("agreement")
+        if "confidence" in policy.rollback_on and window["conf_n"] > 0:
+            cand_conf = window["cand_conf"] / window["conf_n"]
+            inc_conf = window["inc_conf"] / window["conf_n"]
+            details["confidence_candidate"] = round(cand_conf, 4)
+            details["confidence_incumbent"] = round(inc_conf, 4)
+            if inc_conf - cand_conf > policy.max_confidence_drop:
+                (overridden if accuracy_holds
+                 else reasons).append("confidence")
+        if overridden:
+            details["labeled_override"] = ",".join(overridden)
+
+        if reasons:
+            demoted = self.handle.demote()
+            if demoted is None:
+                return  # another decision got there first
+            with self._lock:
+                self.rolled_back_total += 1
+                if self._win_version == version:
+                    self._win_version = None
+            self._event("rollback", version=version,
+                        reasons=",".join(reasons),
+                        incumbent_version=self.handle.version, **details)
+            logger.warning("canary v%d rolled back (%s); incumbent v%d "
+                           "keeps serving", version, ",".join(reasons),
+                           self.handle.version)
+            return
+
+        with self._lock:
+            if self._win_version != version:
+                return
+            self._clean_windows += 1
+            clean = self._clean_windows
+        if clean < policy.promote_after:
+            return
+        try:
+            snapshot = self.handle.promote()
+        except RuntimeError:
+            return  # demoted/superseded between the check and promote
+        with self._lock:
+            self.promoted_total += 1
+            if self._win_version == version:
+                self._win_version = None
+        self._event("promote", version=snapshot.version,
+                    clean_windows=clean, **details)
+        logger.info("canary v%d promoted after %d clean window(s)",
+                    snapshot.version, clean)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        """One consistent copy of the rollout counters and gauges."""
+
+        route = self.handle.candidate_route()
+        with self._lock:
+            return {
+                "rollouts_staged": self.staged_total,
+                "rollouts_promoted": self.promoted_total,
+                "rollouts_rolled_back": self.rolled_back_total,
+                "rollouts_shadow_rejected": self.shadow_rejected_total,
+                "canary_fraction": (route.fraction if route is not None
+                                    else 0.0),
+                "candidate_version": (route.snapshot.version
+                                      if route is not None else 0),
+                "replay_window": len(self.ring),
+            }
+
+    def _event(self, kind: str, **fields) -> None:
+        if self.telemetry is not None:
+            self.telemetry.events.append(kind, cell=self.cell, **fields)
+
+    def canary_active(self) -> bool:
+        return self.handle.candidate_route() is not None

@@ -32,6 +32,7 @@ from .admission import SHED_POLICIES
 from .handle import ModelSnapshot
 from .metrics import RouterStats
 from .microbatch import ClassifyRequest
+from .rollout import RolloutPolicy
 from .service import ClassificationService
 
 __all__ = ["CellRouter"]
@@ -50,13 +51,15 @@ class CellRouter(AbstractContextManager):
         Defaults for every cell's :class:`~repro.serve.MicroBatcher`;
         :meth:`add_cell` can override them per cell.
     latency_budget_ms / max_queue / shed_policy / autotune / compile /
-    fused_train:
-        Admission-control, autotuning, compiled-fast-path, and
-        fused-retraining defaults applied to every cell (see
+    fused_train / rollout / warm_start:
+        Admission-control, autotuning, compiled-fast-path,
+        fused-retraining, staged-rollout, and warm-start defaults
+        applied to every cell (see
         :class:`~repro.serve.ClassificationService`);
         :meth:`add_cell` can override them per cell, so a small cell
         can run a tighter budget than a large one (or serve / retrain
-        eagerly next to compiled cells).
+        eagerly next to compiled cells, or canary only where traffic
+        is heavy enough to judge a window).
     """
 
     def __init__(self, n_workers: int = 1, max_batch: int = 64,
@@ -66,7 +69,9 @@ class CellRouter(AbstractContextManager):
                  shed_policy: str = "reject",
                  autotune: bool = False,
                  compile: bool = True,
-                 fused_train: bool = True):
+                 fused_train: bool = True,
+                 rollout: RolloutPolicy | None = None,
+                 warm_start: bool = True):
         # Fail at construction, not at the first add_cell: a typo'd
         # router-wide policy would otherwise sit latent until a cell
         # joins.
@@ -81,6 +86,8 @@ class CellRouter(AbstractContextManager):
         self.autotune = autotune
         self.compile = compile
         self.fused_train = fused_train
+        self.rollout = rollout
+        self.warm_start = warm_start
         self._services: dict[str, ClassificationService] = {}  # guarded-by: _lock
         self._lock = new_lock("CellRouter._lock")
         self._started = False  # guarded-by: _lock
@@ -97,6 +104,8 @@ class CellRouter(AbstractContextManager):
                          autotune: bool = False,
                          compile: bool = True,
                          fused_train: bool = True,
+                         rollout: RolloutPolicy | None = None,
+                         warm_start: bool = True,
                          **cell_kwargs) -> "CellRouter":
         """Declare cells up front from ``{cell_id: (model, registry)}``.
 
@@ -110,7 +119,8 @@ class CellRouter(AbstractContextManager):
                      latency_budget_ms=latency_budget_ms,
                      max_queue=max_queue, shed_policy=shed_policy,
                      autotune=autotune, compile=compile,
-                     fused_train=fused_train)
+                     fused_train=fused_train, rollout=rollout,
+                     warm_start=warm_start)
         for cell_id, (model, registry) in deployments.items():
             router.add_cell(cell_id, model, registry, trainer=trainer,
                             **cell_kwargs)
@@ -133,16 +143,18 @@ class CellRouter(AbstractContextManager):
                  autotune: bool | object = _INHERIT,
                  compile: bool | object = _INHERIT,
                  fused_train: bool | object = _INHERIT,
+                 rollout: RolloutPolicy | None | object = _INHERIT,
+                 warm_start: bool | object = _INHERIT,
                  rng: np.random.Generator | None = None
                  ) -> ClassificationService:
         """Register one cell's stack; on a started router it goes live
         immediately (dynamic registration).
 
         ``latency_budget_ms`` / ``max_queue`` / ``shed_policy`` /
-        ``autotune`` / ``compile`` / ``fused_train`` default to the
-        router-wide settings;
+        ``autotune`` / ``compile`` / ``fused_train`` / ``rollout`` /
+        ``warm_start`` default to the router-wide settings;
         pass an explicit value (including ``None``, to disable a
-        budget) to override per cell.
+        budget or a cell's staged rollout) to override per cell.
         """
 
         if latency_budget_ms is _INHERIT:
@@ -157,6 +169,10 @@ class CellRouter(AbstractContextManager):
             compile = self.compile
         if fused_train is _INHERIT:
             fused_train = self.fused_train
+        if rollout is _INHERIT:
+            rollout = self.rollout
+        if warm_start is _INHERIT:
+            warm_start = self.warm_start
         service = ClassificationService(
             model, registry,
             max_batch=self.max_batch if max_batch is None else max_batch,
@@ -167,7 +183,8 @@ class CellRouter(AbstractContextManager):
             features_count=features_count,
             latency_budget_ms=latency_budget_ms, max_queue=max_queue,
             shed_policy=shed_policy, autotune=autotune, compile=compile,
-            fused_train=fused_train, rng=rng)
+            fused_train=fused_train, rollout=rollout,
+            warm_start=warm_start, rng=rng)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("router is closed")

@@ -33,6 +33,7 @@ from .admission import SHED_POLICIES, AdmissionController, AutoTuner
 from .handle import ModelHandle, ModelSnapshot
 from .metrics import ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
+from .rollout import RolloutController, RolloutPolicy
 from .telemetry import Telemetry
 from .trainer import BackgroundTrainer
 
@@ -81,6 +82,17 @@ class ClassificationService(AbstractContextManager):
         :class:`~repro.core.TrainPlan` (fused backprop on the
         CSR-kept observation matrix — the training-side mirror of
         ``compile``); ``False`` keeps the eager autograd loop.
+    rollout:
+        A :class:`~repro.serve.RolloutPolicy` turns on the staged
+        rollout control plane: the trainer's retrained candidates are
+        shadow-scored on a replay ring of recent live traffic, then
+        canaried on a hash-split fraction of requests, and promoted or
+        auto-rolled-back on the policy's regression gates.  ``None``
+        (default) keeps publication a direct swap.
+    warm_start:
+        ``True`` (default) lets the background trainer resume the
+        previous retrain's Adam optimizer state each cycle, shrinking
+        the trigger→publish staleness window.
     """
 
     def __init__(self, model: object, registry: FeatureRegistry,
@@ -94,6 +106,8 @@ class ClassificationService(AbstractContextManager):
                  autotune: bool = False,
                  compile: bool = True,
                  fused_train: bool = True,
+                 rollout: RolloutPolicy | None = None,
+                 warm_start: bool = True,
                  rng: np.random.Generator | None = None):
         self.registry = registry
         clone = isinstance(model, GrowingModel)
@@ -130,6 +144,12 @@ class ClassificationService(AbstractContextManager):
                 max_queue=max_queue,
                 arrivals=(None if self.autotuner is None
                           else self.autotuner.arrivals))
+        self.rollout: RolloutController | None = None
+        if rollout is not None:
+            self.rollout = RolloutController(self.handle, registry,
+                                             registry_lock=registry_lock,
+                                             policy=rollout,
+                                             telemetry=self.telemetry)
         self.batcher = MicroBatcher(self.handle, registry,
                                     max_batch=max_batch,
                                     max_wait_us=max_wait_us,
@@ -138,7 +158,8 @@ class ClassificationService(AbstractContextManager):
                                     admission=self.admission,
                                     autotuner=self.autotuner,
                                     compile=compile,
-                                    telemetry=self.telemetry)
+                                    telemetry=self.telemetry,
+                                    rollout=self.rollout)
         self.trainer: BackgroundTrainer | None = None
         if trainer:
             self.trainer = BackgroundTrainer(self.handle, registry,
@@ -146,6 +167,8 @@ class ClassificationService(AbstractContextManager):
                                              registry_lock=registry_lock,
                                              fused=fused_train,
                                              telemetry=self.telemetry,
+                                             rollout=self.rollout,
+                                             warm_start=warm_start,
                                              rng=rng)
         # Lifecycle flags flip under their own lock so concurrent
         # start()/close() calls cannot interleave (a double close used
@@ -293,6 +316,8 @@ class ClassificationService(AbstractContextManager):
                      if serving else 0.0)
         last_update = (trainer.updates[-1]
                        if trainer is not None and trainer.updates else None)
+        rollout = (self.rollout.counters()
+                   if self.rollout is not None else None)
         return ServiceStats(
             requests=counters["requests"],
             completed=counters["completed"],
@@ -320,4 +345,23 @@ class ClassificationService(AbstractContextManager):
             has_published=serving,
             last_publish_unix=(snapshot.published_unix if serving else 0.0),
             last_train_seconds=(0.0 if last_update is None
-                                else last_update.train_seconds))
+                                else last_update.train_seconds),
+            rollouts_staged=(0 if rollout is None
+                             else rollout["rollouts_staged"]),
+            rollouts_promoted=(0 if rollout is None
+                               else rollout["rollouts_promoted"]),
+            rollouts_rolled_back=(0 if rollout is None
+                                  else rollout["rollouts_rolled_back"]),
+            rollouts_shadow_rejected=(
+                0 if rollout is None
+                else rollout["rollouts_shadow_rejected"]),
+            canary_served=counters["canary_served"],
+            canary_fraction=(0.0 if rollout is None
+                             else rollout["canary_fraction"]),
+            candidate_version=(0 if rollout is None
+                               else rollout["candidate_version"]),
+            replay_window=(0 if rollout is None
+                           else rollout["replay_window"]),
+            drift=0.0 if trainer is None else trainer.drift(),
+            trainer_consecutive_failures=(
+                0 if trainer is None else trainer.consecutive_failures))

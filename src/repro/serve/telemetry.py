@@ -359,6 +359,8 @@ GAUGE_KEYS = frozenset({
     "pending", "batch_limit", "wait_limit_us", "mean_batch",
     "largest_batch", "model_version", "workers", "model_staleness_s",
     "last_train_seconds", "has_published", "last_publish_unix",
+    "canary_fraction", "candidate_version", "replay_window", "drift",
+    "trainer_consecutive_failures",
 })
 
 #: Structured (non-scalar) stats keys with dedicated encodings.

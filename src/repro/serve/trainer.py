@@ -58,6 +58,12 @@ class ServeUpdate:
     become before retraining caught up (0 when nothing was being
     served).  ``train_seconds`` is the retrain-trigger→publish latency;
     shrinking it is what the fused training path is for.
+
+    ``stage`` is ``"published"`` for a direct swap and ``"canary"``
+    when a rollout controller staged the model for canary traffic
+    instead (promotion happens later, off this record).
+    ``warm_started`` marks retrains that resumed the previous cycle's
+    Adam optimizer state instead of cold-starting the moments.
     """
 
     version: int
@@ -70,6 +76,8 @@ class ServeUpdate:
     accuracy: float
     staleness_closed_s: float = 0.0
     fused: bool = True
+    stage: str = "published"
+    warm_started: bool = False
 
     @property
     def train_seconds(self) -> float:
@@ -107,13 +115,29 @@ class BackgroundTrainer:
                  registry_lock: threading.Lock | None = None,
                  fused: bool = True,
                  telemetry=None,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 rollout=None,
+                 warm_start: bool = True,
+                 max_consecutive_failures: int = 5,
+                 max_backoff_s: float = 30.0):
         """``config`` (a :class:`~repro.core.CTLMConfig`) is only used
         when no served model exists to clone from.  ``registry_lock``
         serializes registry growth against concurrent encoders (share it
         with the batcher; the service does this automatically).
         ``telemetry`` logs each retrain trigger→publish cycle (and each
-        rejected attempt) into the structural event ring."""
+        rejected attempt) into the structural event ring.
+
+        ``rollout`` (a :class:`~repro.serve.rollout.RolloutController`)
+        reroutes publication through the staged-rollout gates: the
+        retrained shadow is *offered* (shadow-scored, then canaried)
+        instead of blindly published.  ``warm_start`` resumes the
+        previous cycle's Adam optimizer state on each retrain (fused
+        path only), cutting epochs-to-acceptance and thereby the
+        trigger→publish staleness window.  ``max_consecutive_failures``
+        is the health-probe threshold surfaced via
+        :attr:`consecutive_failures` after crashed (raising) retrain
+        attempts, which back off exponentially up to ``max_backoff_s``
+        (with jitter) and never kill the trainer thread."""
 
         self.handle = handle
         self.registry = registry
@@ -127,6 +151,10 @@ class BackgroundTrainer:
         self.fused = fused
         self.telemetry = telemetry
         self.rng = rng or np.random.default_rng()
+        self.rollout = rollout
+        self.warm_start = warm_start
+        self.max_consecutive_failures = max_consecutive_failures
+        self.max_backoff_s = max_backoff_s
 
         self._lock = new_lock("BackgroundTrainer._lock")
         # Observation wakeup: observe() signals, the loop waits with
@@ -137,12 +165,21 @@ class BackgroundTrainer:
         self._wake_seq = 0  # guarded-by: _lock
         self._tasks: list[CompactedTask] = []  # guarded-by: _lock
         self._labels: list[int] = []  # guarded-by: _lock
+        # Incremental label histogram over the live buffer, plus the
+        # histogram of what the last published model trained on — the
+        # drift signal is the total-variation distance between the two.
+        self._label_counts: dict[int, int] = {}  # guarded-by: _lock
+        self._ref_label_counts: dict[int, int] | None = None  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._width_at_last_publish = (
             handle.snapshot().features_count if handle.serving
             else registry.features_count)
         self._not_before = 0.0
+        # Adam state of the last successful retrain; trainer-thread
+        # private (written and read only from train_once).
+        self._opt_state: dict | None = None
 
         self.updates: list[ServeUpdate] = []
         self.failed_updates = 0
@@ -194,14 +231,25 @@ class BackgroundTrainer:
             self.registry.observe_task(task)
         with self._wake:
             self._tasks.append(task)
-            self._labels.append(int(group))
+            group = int(group)
+            self._labels.append(group)
+            self._label_counts[group] = self._label_counts.get(group, 0) + 1
             self.observations_total += 1
             if len(self._tasks) > self.max_buffer:
-                # Sliding window: keep the freshest observations.
+                # Sliding window: keep the freshest observations (and
+                # keep the drift histogram consistent with the window).
+                for evicted in self._labels[:-self.max_buffer]:
+                    remaining = self._label_counts.get(evicted, 0) - 1
+                    if remaining > 0:
+                        self._label_counts[evicted] = remaining
+                    else:
+                        self._label_counts.pop(evicted, None)
                 del self._tasks[:-self.max_buffer]
                 del self._labels[:-self.max_buffer]
             self._wake_seq += 1
             self._wake.notify()
+        if self.rollout is not None:
+            self.rollout.ring.observe(task, group)
 
     @property
     def n_observations(self) -> int:
@@ -210,19 +258,52 @@ class BackgroundTrainer:
     # ------------------------------------------------------------------
     # trigger + training
     # ------------------------------------------------------------------
+    def drift(self) -> float:
+        """Label-distribution shift of the live window vs last publish.
+
+        Total-variation distance between the current observation
+        buffer's label histogram and the histogram the last published
+        (or staged) model trained on: 0 means identical mix, 1 means
+        disjoint.  0 until a first retrain establishes the reference.
+        """
+
+        with self._lock:
+            counts = dict(self._label_counts)
+            reference = (dict(self._ref_label_counts)
+                         if self._ref_label_counts else None)
+        if not counts or not reference:
+            return 0.0
+        n = sum(counts.values())
+        m = sum(reference.values())
+        labels = set(counts) | set(reference)
+        return 0.5 * sum(abs(counts.get(label, 0) / n
+                             - reference.get(label, 0) / m)
+                         for label in labels)
+
     def due(self) -> bool:
         if time.monotonic() < self._not_before:
             return False
         return self.policy.due(len(self._tasks),  # unguarded-ok: atomic len; a stale count only delays the trigger one poll
                                self.registry.features_count,
-                               self._width_at_last_publish)
+                               self._width_at_last_publish,
+                               drift=self.drift())
 
     def _loop(self) -> None:
         while not self._stop.is_set():
             with self._wake:
                 seen = self._wake_seq
             if self.due():
-                self.train_once()
+                # A crashing retrain attempt must never kill the loop:
+                # the incumbent keeps serving, the failure is logged
+                # and counted for the health plane, and the next
+                # attempt waits out an exponential (jittered) backoff.
+                try:
+                    self.train_once()
+                except Exception as exc:  # noqa: BLE001 — trainer must survive
+                    self._note_crashed(exc)
+                else:
+                    with self._lock:
+                        self._consecutive_failures = 0
                 continue
             backoff = self._not_before - time.monotonic()
             if backoff > 0:
@@ -238,6 +319,36 @@ class BackgroundTrainer:
                 # re-arming (backoff expiry).
                 if self._wake_seq == seen and not self._stop.is_set():
                     self._wake.wait(self.poll_interval_s)
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Crashed retrain attempts since the last clean cycle.
+
+        The health plane 503s the cell once this passes
+        :attr:`max_consecutive_failures` — the trainer is alive but
+        wedged, and staleness can no longer close.
+        """
+
+        return self._consecutive_failures  # unguarded-ok: atomic int read for health probes
+
+    def _note_crashed(self, exc: BaseException) -> None:
+        """Record one crashed (raising) retrain attempt and back off."""
+
+        logger.exception("retrain attempt crashed; trainer continues")
+        self.failed_updates += 1
+        with self._lock:
+            self._consecutive_failures += 1
+            failures = self._consecutive_failures
+        backoff = min(self.retry_backoff_s * (2 ** (failures - 1)),
+                      self.max_backoff_s)
+        # Jitter de-synchronizes retry stampedes across cells sharing a
+        # failing dependency.
+        backoff *= 1.0 + 0.5 * float(self.rng.random())
+        self._not_before = time.monotonic() + backoff
+        if self.telemetry is not None:
+            self.telemetry.events.append(
+                "retrain_failed", error=type(exc).__name__,
+                consecutive=failures, backoff_s=round(backoff, 3))
 
     def train_once(self) -> ServeUpdate | None:
         """One retrain → publish cycle (public for deterministic tests)."""
@@ -265,8 +376,10 @@ class BackgroundTrainer:
         # the eager oracle needs it densified.
         dataset = DatasetData(X, y, batch_size=shadow.config.batch_size,
                               keep_sparse=self.fused, rng=self.rng)
+        opt_state = self._opt_state if self.warm_start else None
         try:
-            outcome = shadow.fit_step(dataset, fused=self.fused)
+            outcome = shadow.fit_step(dataset, fused=self.fused,
+                                      optimizer_state=opt_state)
         except TrainingFailedError:
             self.failed_updates += 1
             self._not_before = time.monotonic() + self.retry_backoff_s
@@ -276,11 +389,37 @@ class BackgroundTrainer:
                     n_observations=int(X.shape[0]),
                     backoff_s=self.retry_backoff_s)
             return None
+        if self.warm_start:
+            # Seed the next cycle's Adam from this accepted retrain,
+            # even if the rollout gates end up holding this one back.
+            self._opt_state = getattr(shadow, "last_optimizer_state", None)
 
         previous = self.handle.snapshot() if self.handle.serving else None
+        stage = "published"
         # The shadow is discarded after publication, so no clone needed.
-        snapshot = self.handle.publish(shadow, clone=False)
+        if self.rollout is not None:
+            offer = self.rollout.offer(shadow)
+            stage = offer.stage
+            if offer.snapshot is None:
+                # Shadow-gate rejection or a canary still in flight:
+                # the incumbent keeps serving; re-arm after a cooldown.
+                self._not_before = time.monotonic() + self.retry_backoff_s
+                if self.telemetry is not None:
+                    self.telemetry.events.append(
+                        "retrain_rejected", reason=stage,
+                        n_observations=int(X.shape[0]),
+                        backoff_s=self.retry_backoff_s)
+                return None
+            snapshot = offer.snapshot
+        else:
+            snapshot = self.handle.publish(shadow, clone=False)
         self._width_at_last_publish = snapshot.features_count
+        with self._lock:
+            # This retrain's label mix becomes the drift reference.
+            reference: dict[int, int] = {}
+            for label in labels:
+                reference[label] = reference.get(label, 0) + 1
+            self._ref_label_counts = reference
         update = ServeUpdate(
             version=snapshot.version, triggered_at=triggered_at,
             published_at=time.monotonic(),
@@ -289,9 +428,10 @@ class BackgroundTrainer:
             n_observations=X.shape[0], epochs=outcome.epochs,
             accuracy=outcome.accuracy,
             staleness_closed_s=(
-                0.0 if previous is None
+                0.0 if previous is None or stage != "published"
                 else snapshot.published_at - previous.published_at),
-            fused=self.fused)
+            fused=self.fused, stage=stage,
+            warm_started=getattr(outcome, "warm_started", False))
         self.updates.append(update)
         if self.telemetry is not None:
             self.telemetry.events.append(
@@ -302,13 +442,17 @@ class BackgroundTrainer:
                 n_observations=update.n_observations,
                 features_before=update.features_before,
                 features_after=update.features_after,
-                fused=update.fused)
-        logger.info("published model v%d: %d -> %d features, %d epochs, "
-                    "acc %.3f, %.3fs trigger->publish (%s)",
+                fused=update.fused, stage=update.stage,
+                warm_started=update.warm_started)
+        logger.info("%s model v%d: %d -> %d features, %d epochs, "
+                    "acc %.3f, %.3fs trigger->%s (%s%s)",
+                    "staged" if stage == "canary" else "published",
                     update.version, update.features_before,
                     update.features_after, update.epochs, update.accuracy,
                     update.train_seconds,
-                    "fused" if self.fused else "eager")
+                    "stage" if stage == "canary" else "publish",
+                    "fused" if self.fused else "eager",
+                    ", warm" if update.warm_started else "")
         return update
 
     def _shadow_model(self) -> GrowingModel:

@@ -40,24 +40,39 @@ class RetrainPolicy:
     retrain once at least ``growth_threshold`` new feature columns have
     appeared since the last publication *and* ``min_observations``
     labelled observations are buffered.
+
+    With ``drift_threshold`` set, a measured distribution shift is a
+    second trigger: once the caller-supplied ``drift`` signal (the
+    serving trainer passes the total-variation distance between the
+    live window's label histogram and the last publish's) reaches the
+    threshold, retraining fires even with zero vocabulary growth —
+    the workload changed under a vocabulary the model already knows.
+    ``None`` (default) keeps the trigger growth-only.
     """
 
     growth_threshold: int = 8
     min_observations: int = 200
+    drift_threshold: float | None = None
 
     def __post_init__(self) -> None:
         if self.growth_threshold < 1:
             raise ValueError("growth_threshold must be >= 1")
         if self.min_observations < 1:
             raise ValueError("min_observations must be >= 1")
+        if (self.drift_threshold is not None
+                and not 0.0 < self.drift_threshold <= 1.0):
+            raise ValueError("drift_threshold must be in (0, 1] (or None)")
 
     def due(self, n_observations: int, features_now: int,
-            features_at_publish: int) -> bool:
+            features_at_publish: int, drift: float = 0.0) -> bool:
         """True when a retrain should be launched."""
 
-        return (n_observations >= self.min_observations
-                and features_now - features_at_publish
-                >= self.growth_threshold)
+        if n_observations < self.min_observations:
+            return False
+        if features_now - features_at_publish >= self.growth_threshold:
+            return True
+        return (self.drift_threshold is not None
+                and drift >= self.drift_threshold)
 
 
 @dataclass(frozen=True)

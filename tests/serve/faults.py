@@ -10,7 +10,11 @@ degraded-mode, and recovery paths can be exercised deterministically:
   path: a failed batch must not kill its worker);
 * :class:`StallGate` — blocks ``predict`` until released, pinning
   whichever worker picked the batch up (the stalled-worker scenario for
-  sharded batchers).
+  sharded batchers);
+* :class:`RegressingModel` — predicts like its inner model until
+  ``trip()``, then shifts every prediction one group over (the
+  bad-candidate scenario for staged rollouts: healthy through the
+  shadow gate, regressing under canary traffic).
 
 Plus :func:`assert_exactly_once`, the accounting invariant every
 overload test closes with: each submission ends in exactly one counter.
@@ -21,10 +25,12 @@ from __future__ import annotations
 import threading
 import time
 
+import numpy as np
+
 from repro.datasets import COVVEncoder
 
-__all__ = ["SlowModel", "FailingEncoder", "StallGate", "kill_trainer",
-           "assert_exactly_once"]
+__all__ = ["SlowModel", "FailingEncoder", "StallGate", "RegressingModel",
+           "kill_trainer", "assert_exactly_once"]
 
 
 def kill_trainer(trainer, timeout_s: float = 5.0) -> None:
@@ -133,6 +139,51 @@ class StallGate:
         clone._armed = False
         clone._open = self._open
         clone.entered = self.entered
+        return clone
+
+
+class RegressingModel:
+    """Model wrapper that regresses on demand (staged-rollout drills).
+
+    Until ``trip()`` it predicts exactly like ``inner``, so it sails
+    through a shadow gate; afterwards every prediction is shifted one
+    group over (modulo ``n_groups``), collapsing agreement with the
+    incumbent while throughput stays healthy — the failure mode only
+    canary evaluation can catch.  The trip switch is shared across
+    ``clone()`` copies, so a staged/published copy regresses with the
+    original.
+    """
+
+    def __init__(self, inner, n_groups: int = 4):
+        self.inner = inner
+        self.n_groups = n_groups
+        self._tripped = threading.Event()
+
+    @property
+    def features_count(self):
+        return self.inner.features_count
+
+    def trip(self) -> None:
+        self._tripped.set()
+
+    def heal(self) -> None:
+        self._tripped.clear()
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped.is_set()
+
+    def predict(self, X):
+        groups = np.asarray(self.inner.predict(X))
+        if self._tripped.is_set():
+            return (groups + 1) % self.n_groups
+        return groups
+
+    def clone(self) -> "RegressingModel":
+        clone = RegressingModel.__new__(RegressingModel)
+        clone.inner = self.inner.clone()
+        clone.n_groups = self.n_groups
+        clone._tripped = self._tripped
         return clone
 
 
