@@ -1,0 +1,151 @@
+"""Durability — checkpoint write/restore latency, warm-restart time.
+
+PR 10 made every serving cell durable: published models are
+checkpointed off-path into a versioned :class:`~repro.serve.CheckpointStore`
+and a restarted cell serves warm, at the restored version, before any
+retraining.  Self-healing only matters if recovery is *fast*, so this
+bench puts latency floors on the whole durability path:
+
+* checkpoint **write** (encode + tmp + fsync + rename, as the async
+  checkpointer does it off the publish path): p50 under
+  ``WRITE_CEILING_MS``;
+* checkpoint **restore** (scan + CRC-validate + decode the newest
+  file): p50 under ``RESTORE_CEILING_MS``;
+* **warm restart** — the operational claim — cold construction of a
+  :class:`~repro.serve.ClassificationService` over an existing state
+  dir through its *first completed classification*, in under
+  ``WARM_RESTART_CEILING_S``, serving at exactly the pre-crash
+  version.
+
+The ceilings are deliberately loose for shared CI hosts (fsync on CI
+disks is noisy); the recorded ``durability`` section of
+``BENCH_serve.json`` tracks the real medians across PRs.
+
+Run:  python -m pytest benchmarks/bench_serve_durability.py -q -s \\
+          --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData
+from repro.serve import CellCheckpoint, CheckpointStore, ClassificationService
+
+from _common import SEED, bench_pipeline, record_serve_bench
+
+N_WRITES = 12
+N_RESTORES = 12
+#: Loose CI-host ceilings — the medians recorded into BENCH_serve.json
+#: are the numbers that matter; these only catch order-of-magnitude
+#: regressions (an accidental sync publish-path write, a quadratic
+#: decode, a restore that retrains instead of restoring).
+WRITE_CEILING_MS = 500.0
+RESTORE_CEILING_MS = 500.0
+WARM_RESTART_CEILING_S = 10.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """Pipeline output + a model trained on the early growth windows."""
+
+    result = bench_pipeline("clusterdata-2019c")
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(SEED + 9))
+    for step in result.steps[:3]:
+        if step.n_samples < 8 or len(np.unique(step.y)) < 2:
+            continue
+        model.fit_step(DatasetData(step.X, step.y,
+                                   batch_size=BENCH_CONFIG.batch_size,
+                                   rng=np.random.default_rng(step.step_index)))
+    assert model.features_count is not None
+    return model, result
+
+
+def _checkpoint(model, result, version: int) -> CellCheckpoint:
+    return CellCheckpoint(
+        version=version,
+        features_count=model.features_count,
+        model_bytes=model.state_bytes(),
+        registry_features=result.registry.snapshot(),
+        replay_labeled=tuple(
+            (task, int(label))
+            for task, label in zip(result.tasks[:256], result.labels[:256])))
+
+
+def test_durability_floors(deployment, tmp_path, benchmark):
+    model, result = deployment
+
+    # --- Checkpoint write latency (the off-path save the async
+    # checkpointer performs after every publish).
+    store = CheckpointStore(tmp_path / "writes", retain=4)
+    write_ms = []
+    for i in range(N_WRITES):
+        t0 = time.perf_counter()
+        store.save(_checkpoint(model, result, version=i + 1))
+        write_ms.append((time.perf_counter() - t0) * 1e3)
+    write_p50 = statistics.median(write_ms)
+    checkpoint_bytes = max(p.stat().st_size for p in store.checkpoint_paths())
+
+    # --- Restore latency (scan + validate + decode the newest file).
+    restore_ms = []
+    for _ in range(N_RESTORES):
+        t0 = time.perf_counter()
+        restored = store.load_latest()
+        restore_ms.append((time.perf_counter() - t0) * 1e3)
+        assert restored is not None and restored.version == N_WRITES
+    restore_p50 = statistics.median(restore_ms)
+
+    # --- Warm restart: a served cell checkpoints on close; a fresh
+    # service over the same dir must answer its first classification
+    # at the restored version, fast.
+    state_dir = tmp_path / "cell"
+    first = ClassificationService(model, result.registry, trainer=False,
+                                  state_dir=str(state_dir))
+    with first:
+        first.publish(model)  # v2 -> durable on close()
+    served_version = first.model_version
+
+    t0 = time.perf_counter()
+    second = ClassificationService(model, result.registry.__class__(),
+                                   trainer=False, state_dir=str(state_dir))
+    restore_done = time.perf_counter()
+    with second:
+        request = second.classify(result.tasks[0], timeout=30)
+    warm_restart_s = time.perf_counter() - t0
+
+    assert second.restored_version == served_version
+    assert request.version == served_version
+
+    print()
+    print(render_table(
+        ["write p50 ms", "write max ms", "restore p50 ms", "ckpt KiB",
+         "restart->1st classify s", "restored v"],
+        [[f"{write_p50:.2f}", f"{max(write_ms):.2f}",
+          f"{restore_p50:.2f}", f"{checkpoint_bytes / 1024:.1f}",
+          f"{warm_restart_s:.3f}", served_version]],
+        title="SERVE — DURABILITY (checkpoint + warm restart)"))
+
+    # Shape claims: writes and restores are milliseconds-scale, and a
+    # warm restart serves the pre-crash version within the ceiling.
+    assert write_p50 <= WRITE_CEILING_MS
+    assert restore_p50 <= RESTORE_CEILING_MS
+    assert warm_restart_s <= WARM_RESTART_CEILING_S
+
+    payload = {
+        "checkpoint_write_p50_ms": write_p50,
+        "checkpoint_write_max_ms": max(write_ms),
+        "checkpoint_restore_p50_ms": restore_p50,
+        "checkpoint_bytes": checkpoint_bytes,
+        "warm_restart_s": warm_restart_s,
+        "restore_only_s": restore_done - t0,
+        "restored_version": served_version,
+        "n_writes": N_WRITES,
+    }
+    record_serve_bench("durability", payload)
+    benchmark.extra_info.update(payload)

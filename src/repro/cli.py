@@ -161,6 +161,19 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="/healthz turns 503 when a cell's served model "
                             "is older than this budget")
+    serve.add_argument("--state-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="durable state root: warm-restore the newest "
+                            "checkpoint from it at boot and checkpoint "
+                            "every published model into it (per-cell "
+                            "subdirectories behind --cells); a restart "
+                            "resumes serving at the restored model version")
+    serve.add_argument("--supervise", action="store_true",
+                       help="run the per-cell supervisor + circuit "
+                            "breaker: wedged workers trip the breaker "
+                            "(503 + Retry-After), a dead trainer is "
+                            "restarted with backoff, a crash-looping one "
+                            "is suspended into degraded serving")
 
     loadtest = sub.add_parser(
         "loadtest", help="measure service throughput and tail latency")
@@ -359,18 +372,27 @@ def _serving_setup(args):
                             compile=args.compile,
                             fused_train=args.fused_train,
                             rollout=rollout)
+    # loadtest has no durability/supervision flags; getattr keeps the
+    # shared bring-up working for both subcommands.
+    state_dir = getattr(args, "state_dir", None)
+    supervise = getattr(args, "supervise", False)
     extra_profiles = _parse_cell_profiles(args.cells)
     if not extra_profiles:
         service = ClassificationService(
             model, result.registry, max_batch=args.max_batch,
             max_wait_us=args.max_wait_us, n_workers=args.workers,
             trainer=not args.no_trainer, policy=policy(),
+            state_dir=None if state_dir is None else str(state_dir),
+            supervise=supervise,
             rng=np.random.default_rng(args.seed + 2),
             **admission_kwargs)
         return cell, result, model, service, None
 
     router = CellRouter(n_workers=args.workers, max_batch=args.max_batch,
-                        max_wait_us=args.max_wait_us, **admission_kwargs)
+                        max_wait_us=args.max_wait_us,
+                        state_dir=None if state_dir is None
+                        else str(state_dir),
+                        supervise=supervise, **admission_kwargs)
     router.add_cell(cell.name, model, result.registry,
                     trainer=not args.no_trainer, policy=policy(),
                     rng=np.random.default_rng(args.seed + 2))

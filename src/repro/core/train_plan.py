@@ -74,7 +74,44 @@ try:  # pragma: no cover - import guard exercised implicitly
 except (ImportError, AttributeError):  # pragma: no cover - old scipy
     _csr_matvecs = _csc_matvecs = None
 
-__all__ = ["TrainPlan", "compile_training"]
+__all__ = ["TrainPlan", "compile_training", "pack_optimizer_state",
+           "unpack_optimizer_state"]
+
+
+def pack_optimizer_state(state: dict) -> dict:
+    """Flatten :meth:`TrainPlan.optimizer_state` into a name → ndarray map.
+
+    The nested per-layer lists (with ``None`` bias slots for bias-less
+    layers) become flat dotted keys (``m_w.0``, ``v_b.1``, …; ``None``
+    entries are simply absent), which is exactly what the
+    :mod:`repro.nn.serialize` codec persists — the durable-checkpoint
+    representation of warm-start Adam state.
+    """
+
+    packed: dict[str, np.ndarray] = {
+        "steps": np.asarray(state["steps"], dtype=np.int64)}
+    for slot in ("m_w", "v_w", "m_b", "v_b"):
+        for index, array in enumerate(state[slot]):
+            if array is not None:
+                packed[f"{slot}.{index}"] = np.asarray(array)
+    return packed
+
+
+def unpack_optimizer_state(packed) -> dict:
+    """Inverse of :func:`pack_optimizer_state`.
+
+    Returns the nested dict shape :meth:`TrainPlan.load_optimizer_state`
+    consumes; missing ``m_b.i``/``v_b.i`` entries restore as ``None``
+    (a bias-less layer).
+    """
+
+    steps = [int(s) for s in np.asarray(packed["steps"]).ravel()]
+    n_layers = len(steps)
+    state: dict = {"steps": steps}
+    for slot in ("m_w", "v_w", "m_b", "v_b"):
+        state[slot] = [packed.get(f"{slot}.{index}")
+                       for index in range(n_layers)]
+    return state
 
 
 def _flatten_trainable(module, linears: list, activations: list) -> None:

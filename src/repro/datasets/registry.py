@@ -132,6 +132,44 @@ class FeatureRegistry:
     def feature_labels(self) -> list[str]:
         return [f.label for f in self._features]
 
+    # ------------------------------------------------------------------
+    # durable snapshot / warm-restart
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[tuple[str, str | None], ...]:
+        """The full column mapping as ``(attribute, value)`` pairs.
+
+        Column order is the identity of the CO-VV encoding, so a
+        checkpointed snapshot replayed through :meth:`restore` rebuilds
+        byte-identical feature indices — what lets a restarted cell
+        serve a restored model against a freshly-loaded registry.
+        """
+
+        return tuple((f.attribute, f.value) for f in self._features)
+
+    def restore(self, features) -> int:
+        """Replay a :meth:`snapshot` in column order; returns #appended.
+
+        Existing columns must match the snapshot prefix exactly (the
+        registry is append-only, so a divergence means the checkpoint
+        belongs to a different cell corpus) — new columns beyond the
+        current width are appended.  A snapshot *narrower* than the
+        current registry is fine: live growth since the checkpoint just
+        stays in place.
+        """
+
+        added = 0
+        for column, (attribute, value) in enumerate(features):
+            if column < len(self._features):
+                existing = self._features[column]
+                if (existing.attribute, existing.value) != (attribute, value):
+                    raise ValueError(
+                        f"registry snapshot mismatch at column {column}: "
+                        f"checkpoint has {attribute}:{value!r}, registry "
+                        f"has {existing.attribute}:{existing.value!r}")
+                continue
+            added += int(self._add(attribute, value))
+        return added
+
     def columns_of(self, attribute: str) -> list[int]:
         """All column indices belonging to one attribute (any order of growth)."""
 

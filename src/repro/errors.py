@@ -15,6 +15,7 @@ __all__ = [
     "NotServingError",
     "UnknownCellError",
     "OverloadedError",
+    "CircuitOpenError",
 ]
 
 
@@ -83,6 +84,27 @@ class OverloadedError(ServiceError):
 
     def __init__(self, message: str, retry_after_s: float | None = None,
                  cell: str | None = None, reason: str = "rejected"):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.cell = cell
+        self.reason = reason
+
+
+class CircuitOpenError(ServiceError):
+    """The cell's circuit breaker is open: the supervisor tripped it on
+    an error/timeout streak (or a wedged worker) and new submissions are
+    refused until the jittered reopen backoff expires.
+
+    ``retry_after_s`` is the remaining backoff before the breaker
+    half-opens for a probe; ``cell`` names the tripped cell when the
+    request went through a router; ``reason`` records what tripped it.
+    This is the serving-layer equivalent of HTTP 503 + ``Retry-After``
+    (unlike :class:`OverloadedError`'s 429, the cell is *unhealthy*,
+    not merely busy).
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None,
+                 cell: str | None = None, reason: str = "open"):
         super().__init__(message)
         self.retry_after_s = retry_after_s
         self.cell = cell

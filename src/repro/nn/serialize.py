@@ -54,17 +54,34 @@ def _read(handle, origin) -> "OrderedDict[str, np.ndarray]":
     return out
 
 
-def save(state_dict, path: str | os.PathLike) -> None:
+def save(state_dict, path: str | os.PathLike,
+         atomic: bool = False) -> None:
     """Persist a dotted-name → ndarray mapping to ``path`` (.npz).
 
     Key order is preserved through a sidecar entry so that ``load`` returns
     an :class:`~collections.OrderedDict` identical to the input.
+
+    With ``atomic=True`` the bytes land in a same-directory temp file
+    that is fsynced and then renamed over ``path``, so a crash mid-write
+    can never leave a torn checkpoint under the final name — readers see
+    either the old complete file or the new complete file.
     """
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        _write(handle, state_dict)
+    if not atomic:
+        with open(path, "wb") as handle:
+            _write(handle, state_dict)
+        return
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            _write(handle, state_dict)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load(path: str | os.PathLike) -> "OrderedDict[str, np.ndarray]":

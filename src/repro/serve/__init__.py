@@ -47,10 +47,14 @@ from .http import DEFAULT_CELL, HttpIngress, create_app
 from .loadgen import LoadGenerator, LoadTestReport, arrival_offsets
 from .metrics import LatencyStats, RouterStats, ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
+from .persistence import (AsyncCheckpointer, CellCheckpoint,
+                          CheckpointStore, CorruptCheckpointError)
 from .rollout import (ROLLBACK_SIGNALS, OfferOutcome, ReplayRing,
                       RolloutController, RolloutPolicy, ShadowVerdict)
 from .router import CellRouter
 from .service import ClassificationService
+from .supervise import (BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN,
+                        CircuitBreaker, Supervisor)
 from .telemetry import (EventLog, HistogramSnapshot, ServeEvent,
                         StageTimings, StreamingHistogram, Telemetry,
                         render_prometheus)
@@ -70,4 +74,8 @@ __all__ = [
     "Telemetry", "StreamingHistogram", "StageTimings",
     "HistogramSnapshot", "EventLog", "ServeEvent", "render_prometheus",
     "HttpIngress", "create_app", "DEFAULT_CELL",
+    "CheckpointStore", "CellCheckpoint", "AsyncCheckpointer",
+    "CorruptCheckpointError",
+    "CircuitBreaker", "Supervisor",
+    "BREAKER_CLOSED", "BREAKER_HALF_OPEN", "BREAKER_OPEN",
 ]

@@ -119,17 +119,31 @@ class ModelHandle:
                  features_count: int | None = None,
                  retain_history: int | None = 32,
                  compile: bool = True,
-                 telemetry=None):
+                 telemetry=None,
+                 base_version: int = 0):
         if retain_history is not None and retain_history < 1:
             raise ValueError("retain_history must be >= 1 (or None)")
+        if base_version < 0:
+            raise ValueError("base_version must be >= 0")
         self._lock = new_lock("ModelHandle._lock")
         self._active: ModelSnapshot | None = None  # guarded-by: _lock
+        # base_version seeds the version counter for warm restarts: the
+        # next publication gets base_version + 1, and the pre-restart
+        # versions count as evicted (their snapshots are not in memory),
+        # keeping snapshot_for()'s history indexing and the monotone
+        # version contract exact across process restarts.
         self._history: list[ModelSnapshot] = []  # guarded-by: _lock
-        self._published = 0  # guarded-by: _lock
-        self._evicted = 0  # guarded-by: _lock
+        self._published = base_version  # guarded-by: _lock
+        self._evicted = base_version  # guarded-by: _lock
         self._candidate: CandidateRoute | None = None  # guarded-by: _lock
+        self._base_version = base_version
         self.retain_history = retain_history
         self.compile = compile
+        #: Optional post-publication hook (``hook(snapshot)``), invoked
+        #: outside the lock after every publish/promote — the durability
+        #: layer's async-checkpoint trigger.  Exceptions are logged,
+        #: never propagated into the publishing thread.
+        self.on_publish = None
         #: Optional :class:`~repro.serve.telemetry.Telemetry`: each
         #: publication records a ``publish`` stage timing and a
         #: structural hot-swap event (with the staleness window the new
@@ -217,6 +231,7 @@ class ModelHandle:
                 staleness_closed_s=round(staleness_closed_s, 6),
                 compiled=plan is not None,
                 publish_us=round(publish_us, 3))
+        self._notify_publish(snapshot)
         return snapshot
 
     def stage(self, model: object, fraction: float,
@@ -304,7 +319,18 @@ class ModelHandle:
                 staleness_closed_s=round(staleness_closed_s, 6),
                 compiled=snapshot.plan is not None,
                 publish_us=round(publish_us, 3), promoted=True)
+        self._notify_publish(snapshot)
         return snapshot
+
+    def _notify_publish(self, snapshot: ModelSnapshot) -> None:
+        hook = self.on_publish  # unguarded-ok: atomic reference read; set once at service wiring time
+        if hook is None:
+            return
+        try:
+            hook(snapshot)
+        except Exception:  # noqa: BLE001 — the hook must never break publish
+            logger.exception("on_publish hook failed for v%d",
+                             snapshot.version)
 
     def demote(self) -> ModelSnapshot | None:
         """Drop the staged candidate; the incumbent was never displaced.
@@ -360,10 +386,16 @@ class ModelHandle:
         return 0 if active is None else active.version
 
     @property
-    def swap_count(self) -> int:
-        """Hot-swaps after the initial publication."""
+    def base_version(self) -> int:
+        """Version floor inherited from a warm restart (0 on a cold boot)."""
 
-        return max(0, self._published - 1)  # unguarded-ok: monotonic int read for stats; staleness is benign
+        return self._base_version
+
+    @property
+    def swap_count(self) -> int:
+        """Hot-swaps after the initial publication (of this process)."""
+
+        return max(0, self._published - 1 - self._base_version)  # unguarded-ok: monotonic int read for stats; staleness is benign
 
     @property
     def history(self) -> tuple[ModelSnapshot, ...]:

@@ -65,11 +65,13 @@ from typing import TYPE_CHECKING
 
 from ..constraints.compaction import CompactedTask
 from ..errors import (
+    CircuitOpenError,
     NotServingError,
     OverloadedError,
     ServiceClosedError,
     UnknownCellError,
 )
+from .supervise import BREAKER_OPEN
 from .telemetry import render_prometheus
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -194,13 +196,23 @@ def _typed_error(exc) -> tuple[int, dict, dict]:
         return 429, {"error": str(exc), "reason": exc.reason,
                      "cell": exc.cell,
                      "retry_after_s": exc.retry_after_s}, headers
+    if isinstance(exc, CircuitOpenError):
+        # A tripped cell is *unavailable*, not overloaded: 503 so
+        # balancers and retry policies treat it as a sick backend.
+        headers = {}
+        if exc.retry_after_s is not None:
+            headers["Retry-After"] = str(
+                max(1, int(round(exc.retry_after_s))))
+        return 503, {"error": str(exc), "reason": exc.reason,
+                     "cell": exc.cell,
+                     "retry_after_s": exc.retry_after_s}, headers
     if isinstance(exc, (ServiceClosedError, NotServingError)):
         return 503, {"error": str(exc)}, {}
     raise exc
 
 
 _TYPED_ERRORS = (_BadRequest, UnknownCellError, OverloadedError,
-                 ServiceClosedError, NotServingError)
+                 CircuitOpenError, ServiceClosedError, NotServingError)
 
 
 def _abandon(backend: _Target, cell: str | None, request) -> str:
@@ -384,6 +396,7 @@ def create_app(target, staleness_budget_s: float | None = None):
     @app.errorhandler(_BadRequest)
     @app.errorhandler(UnknownCellError)
     @app.errorhandler(OverloadedError)
+    @app.errorhandler(CircuitOpenError)
     @app.errorhandler(ServiceClosedError)
     @app.errorhandler(NotServingError)
     def _typed(exc):
@@ -485,10 +498,23 @@ def create_app(target, staleness_budget_s: float | None = None):
             checks.append({"cell": cell, "check": name, "ok": bool(ok),
                            **detail})
 
+        restored = 0
         for cell, service in backend.services().items():
             cell_stats = service.stats()
+            restored = max(restored, cell_stats.restored_version)
             check(cell, "published", cell_stats.has_published,
-                  model_version=cell_stats.model_version)
+                  model_version=cell_stats.model_version,
+                  restored_version=cell_stats.restored_version)
+            breaker = getattr(service, "breaker", None)
+            if breaker is not None:
+                # An open breaker pulls the cell from rotation; a
+                # half-open one is probing and may serve.
+                check(cell, "breaker", breaker.state_code != BREAKER_OPEN,
+                      state=breaker.state)
+            supervisor = getattr(service, "supervisor", None)
+            if supervisor is not None and supervisor.degraded:
+                check(cell, "degraded", False,
+                      reasons=list(supervisor.degraded_reasons))
             if service.trainer is not None and service.started:
                 check(cell, "trainer_alive", service.trainer.alive)
                 # Alive but wedged: past the threshold of consecutive
@@ -511,6 +537,7 @@ def create_app(target, staleness_budget_s: float | None = None):
                       max_queue=admission.max_queue)
         healthy = all(c["ok"] for c in checks)
         body = jsonify({"status": "ok" if healthy else "unhealthy",
+                        "restored_version": restored,
                         "checks": checks})
         return body, (200 if healthy else 503)
 

@@ -47,7 +47,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from http.client import HTTPConnection
+from http.client import BadStatusLine, CannotSendRequest, HTTPConnection
 from urllib.parse import urlsplit
 
 import numpy as np
@@ -259,11 +259,21 @@ class _HttpClient:
         self.timeout_s = timeout_s
         self._conn: HTTPConnection | None = None
 
+    #: Failures that mean "the kept-alive socket went stale under us"
+    #: (the server reaped an idle connection, or restarted between
+    #: requests) — the only ones worth one transparent resend.
+    #: ``RemoteDisconnected`` subclasses both ``ConnectionResetError``
+    #: and ``BadStatusLine``, so both spellings are covered.
+    _RETRYABLE = (ConnectionResetError, BrokenPipeError,
+                  CannotSendRequest, BadStatusLine)
+
     def request(self, method: str, path: str,
                 body: bytes | None = None) -> tuple[int, bytes]:
         headers = {"Content-Type": "application/json"} if body else {}
-        # One transparent reconnect: the server may have reaped an idle
-        # keep-alive connection between requests.
+        # One transparent reconnect, and only for stale-socket errors:
+        # a timeout, a protocol violation, or an application error must
+        # surface on the first attempt — resending those would double-
+        # submit work against an unhealthy server.
         for attempt in (0, 1):
             try:
                 if self._conn is None:
@@ -273,10 +283,13 @@ class _HttpClient:
                                    headers=headers)
                 response = self._conn.getresponse()
                 return response.status, response.read()
-            except Exception:
+            except self._RETRYABLE:
                 self.close()
                 if attempt:
                     raise
+            except Exception:
+                self.close()
+                raise
         raise AssertionError("unreachable")
 
     def get_json(self, path: str) -> dict:

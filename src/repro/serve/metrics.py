@@ -120,6 +120,23 @@ class ServiceStats:
     #: Consecutive crashed retrain attempts (health gauge; resets on a
     #: clean cycle).
     trainer_consecutive_failures: int = 0
+    #: Durability counters (0 without a ``--state-dir``): checkpoints
+    #: written to the cell's store, and failures (failed writes plus
+    #: corrupt files quarantined during recovery).
+    checkpoints: int = 0
+    checkpoint_failures: int = 0
+    #: Gauge: the model version restored from disk at boot (0 on a cold
+    #: start) — the crash-drill's "no cold retrain" witness.
+    restored_version: int = 0
+    #: Self-healing plane: breaker state gauge (0 closed / 1 half-open /
+    #: 2 open), trip and fast-fail counters, supervised component
+    #: restarts, and the degraded-mode gauge (serving from the last-good
+    #: snapshot with training suspended).
+    breaker_state: int = 0
+    breaker_trips: int = 0
+    breaker_rejected: int = 0
+    supervisor_restarts: int = 0
+    degraded: bool = False
 
     @property
     def mean_batch(self) -> float:
@@ -167,6 +184,14 @@ class ServiceStats:
             "drift": self.drift,
             "trainer_consecutive_failures":
                 self.trainer_consecutive_failures,
+            "checkpoints": self.checkpoints,
+            "checkpoint_failures": self.checkpoint_failures,
+            "restored_version": self.restored_version,
+            "breaker_state": self.breaker_state,
+            "breaker_trips": self.breaker_trips,
+            "breaker_rejected": self.breaker_rejected,
+            "supervisor_restarts": self.supervisor_restarts,
+            "degraded": self.degraded,
         }
 
 
@@ -288,6 +313,47 @@ class RouterStats:
                     for s in self.cells.values()), default=0)
 
     @property
+    def checkpoints(self) -> int:
+        return self._sum("checkpoints")
+
+    @property
+    def checkpoint_failures(self) -> int:
+        return self._sum("checkpoint_failures")
+
+    @property
+    def restored_version(self) -> int:
+        """Highest version any cell warm-restored from disk (0 when
+        every cell cold-started)."""
+
+        return max((s.restored_version for s in self.cells.values()),
+                   default=0)
+
+    @property
+    def breaker_state(self) -> int:
+        """Worst (most-open) per-cell breaker state."""
+
+        return max((s.breaker_state for s in self.cells.values()),
+                   default=0)
+
+    @property
+    def breaker_trips(self) -> int:
+        return self._sum("breaker_trips")
+
+    @property
+    def breaker_rejected(self) -> int:
+        return self._sum("breaker_rejected")
+
+    @property
+    def supervisor_restarts(self) -> int:
+        return self._sum("supervisor_restarts")
+
+    @property
+    def degraded(self) -> bool:
+        """True when *any* cell is serving in degraded mode."""
+
+        return any(s.degraded for s in self.cells.values())
+
+    @property
     def model_staleness_s(self) -> float:
         """Worst-case freshness across cells (max of the per-cell
         now − last publish gauges)."""
@@ -354,4 +420,12 @@ class RouterStats:
             "drift": self.drift,
             "trainer_consecutive_failures":
                 self.trainer_consecutive_failures,
+            "checkpoints": self.checkpoints,
+            "checkpoint_failures": self.checkpoint_failures,
+            "restored_version": self.restored_version,
+            "breaker_state": self.breaker_state,
+            "breaker_trips": self.breaker_trips,
+            "breaker_rejected": self.breaker_rejected,
+            "supervisor_restarts": self.supervisor_restarts,
+            "degraded": self.degraded,
         }

@@ -236,6 +236,11 @@ class MicroBatcher:
         self._scratches: list[PlanScratch | None] = [None] * n_workers
         # Candidate-side scratch for canary slices, same ownership rule.
         self._cand_scratches: list[PlanScratch | None] = [None] * n_workers
+        # Wedge heartbeats: monotonic start of the batch a shard is
+        # currently processing, 0.0 while idle/waiting.  Written only by
+        # the owning shard; the supervisor reads them to detect a worker
+        # stuck inside one batch (idle shards never false-positive).
+        self._shard_busy_since = [0.0] * n_workers  # unguarded-ok: single-writer per slot (owning shard); float reference stores are atomic under the GIL
 
         self._queue: deque[ClassifyRequest] = deque()  # guarded-by: _cond
         self._cond = new_condition("MicroBatcher._cond")
@@ -563,6 +568,20 @@ class MicroBatcher:
                 "shard_batches": tuple(self.shard_batches),
             }
 
+    def wedged_shards(self, timeout_s: float) -> tuple[int, ...]:
+        """Shards stuck processing a single batch for ≥ ``timeout_s``.
+
+        The supervisor's wedge probe: idle shards report 0.0 heartbeats
+        and never match, so only a worker genuinely wedged inside model
+        code (or an encoder) trips it.
+        """
+
+        now = time.monotonic()
+        return tuple(
+            shard for shard, since
+            in enumerate(self._shard_busy_since)  # unguarded-ok: advisory read of owner-written heartbeat slots
+            if since and now - since >= timeout_s)
+
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
@@ -610,7 +629,11 @@ class MicroBatcher:
             if not batch:
                 continue
             taken = time.perf_counter()
-            ok = self._process(batch, shard, encoder)
+            self._shard_busy_since[shard] = time.monotonic()  # unguarded-ok: owner-shard slot write (wedge heartbeat)
+            try:
+                ok = self._process(batch, shard, encoder)
+            finally:
+                self._shard_busy_since[shard] = 0.0  # unguarded-ok: owner-shard slot write (wedge heartbeat)
             end = time.perf_counter()
             if ok and self.admission is not None:
                 # Only successful batches inform the drain estimate — a

@@ -1,0 +1,470 @@
+"""Durable cell state: atomic checkpoints + warm-restart recovery.
+
+The paper's continuous-transfer-learning loop is only worth running if
+the learned state outlives the process: without persistence a restart
+discards every retrained model, the warm-start Adam moments, the drift
+reference histogram, and the rollout replay ring — forcing a cold
+retrain while serving nothing.  This module is the durability layer:
+
+* :class:`CellCheckpoint` bundles everything one cell needs to resume —
+  model bytes (the :mod:`repro.nn.serialize` codec), the
+  :class:`~repro.core.TrainPlan` optimizer state, the feature-registry
+  snapshot (column identity of the CO-VV encoding), the trainer's drift
+  reference histogram, and a bounded tail of the
+  :class:`~repro.serve.rollout.ReplayRing`.
+* :class:`CheckpointStore` writes atomic, versioned checkpoint files
+  (same-directory tmp file + fsync + rename, a CRC-carrying header, a
+  store manifest) with a retention policy; recovery walks history
+  newest-first, quarantining corrupt files and falling back to the
+  newest valid one.
+* :class:`AsyncCheckpointer` takes checkpointing off the serving and
+  training paths: ``ModelHandle.publish`` merely marks the state dirty,
+  and a background thread collects + writes outside every lock.  A
+  synchronous :meth:`~AsyncCheckpointer.flush` covers the final
+  checkpoint on graceful shutdown.
+
+File layout under a store root (the CLI's ``--state-dir``, one
+subdirectory per cell behind a router)::
+
+    ckpt-00000003-v7.ckpt   newest checkpoint (seq 3, model version 7)
+    ckpt-00000002-v6.ckpt   retained history
+    MANIFEST.json           advisory index {file, version, crc, ...}
+    quarantine/             corrupt checkpoints moved aside, never deleted
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.concur.runtime import new_condition, new_lock
+from ..constraints.compaction import CompactedTask
+from ..core.train_plan import pack_optimizer_state, unpack_optimizer_state
+from ..errors import ReproError
+from ..nn import serialize
+
+__all__ = ["CellCheckpoint", "CheckpointStore", "AsyncCheckpointer",
+           "CorruptCheckpointError", "encode_checkpoint",
+           "decode_checkpoint"]
+
+logger = logging.getLogger(__name__)
+
+#: Container preamble: magic + format byte.  Bump the digit on any
+#: incompatible framing change; old files then quarantine cleanly
+#: instead of half-parsing.
+_MAGIC = b"RPROCKPT1\n"
+_HEADER_LEN = struct.Struct(">I")
+_FORMAT = 1
+
+
+class CorruptCheckpointError(ReproError):
+    """A checkpoint file failed framing, CRC, or payload validation."""
+
+
+@dataclass(frozen=True, slots=True)
+class CellCheckpoint:
+    """Everything one cell needs to warm-restart (one durable unit).
+
+    ``version`` is the model version being served when the checkpoint
+    was cut — a restarted cell republishes at exactly this version, so
+    version numbers stay monotone across process restarts.
+    ``model_bytes`` is ``None`` for models that expose no
+    ``state_bytes`` (duck-typed doubles); such checkpoints are not
+    written by the service collector, but the codec round-trips them.
+    """
+
+    version: int
+    features_count: int
+    model_bytes: bytes | None
+    registry_features: tuple[tuple[str, str | None], ...] = ()
+    optimizer_state: dict | None = None
+    ref_label_counts: dict[int, int] | None = None
+    replay_tasks: tuple[CompactedTask, ...] = ()
+    replay_labeled: tuple[tuple[CompactedTask, int], ...] = ()
+    created_unix: float = field(default_factory=time.time)
+
+
+def encode_checkpoint(checkpoint: CellCheckpoint) -> bytes:
+    """Serialize a checkpoint to its self-validating container bytes.
+
+    The payload is one :mod:`repro.nn.serialize` state dict (JSON meta
+    entry + raw model bytes + packed Adam arrays); the fixed-size
+    header carries its length and CRC32, so a torn or bit-flipped file
+    fails loudly in :func:`decode_checkpoint` instead of restoring
+    garbage weights.
+    """
+
+    meta = {
+        "format": _FORMAT,
+        "version": int(checkpoint.version),
+        "features_count": int(checkpoint.features_count),
+        "created_unix": float(checkpoint.created_unix),
+        "registry": [[attribute, value]
+                     for attribute, value in checkpoint.registry_features],
+        "ref_label_counts": (
+            None if checkpoint.ref_label_counts is None
+            else {str(k): int(v)
+                  for k, v in checkpoint.ref_label_counts.items()}),
+        "replay_tasks": [task.to_dict() for task in checkpoint.replay_tasks],
+        "replay_labeled": [[task.to_dict(), int(label)]
+                           for task, label in checkpoint.replay_labeled],
+        "has_model": checkpoint.model_bytes is not None,
+        "has_optimizer": checkpoint.optimizer_state is not None,
+    }
+    state: dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"),
+                              dtype=np.uint8)}
+    if checkpoint.model_bytes is not None:
+        state["model_bytes"] = np.frombuffer(checkpoint.model_bytes,
+                                             dtype=np.uint8)
+    if checkpoint.optimizer_state is not None:
+        for key, array in pack_optimizer_state(
+                checkpoint.optimizer_state).items():
+            state[f"opt.{key}"] = array
+    payload = serialize.dumps(state)
+    header = json.dumps({
+        "format": _FORMAT,
+        "version": int(checkpoint.version),
+        "created_unix": float(checkpoint.created_unix),
+        "payload_len": len(payload),
+        "payload_crc32": zlib.crc32(payload),
+    }).encode("utf-8")
+    return b"".join((_MAGIC, _HEADER_LEN.pack(len(header)), header, payload))
+
+
+def read_header(data: bytes) -> dict:
+    """Parse + validate the container header (not the payload CRC)."""
+
+    if not data.startswith(_MAGIC):
+        raise CorruptCheckpointError("bad checkpoint magic")
+    offset = len(_MAGIC)
+    if len(data) < offset + _HEADER_LEN.size:
+        raise CorruptCheckpointError("truncated checkpoint header length")
+    (header_len,) = _HEADER_LEN.unpack_from(data, offset)
+    offset += _HEADER_LEN.size
+    if len(data) < offset + header_len:
+        raise CorruptCheckpointError("truncated checkpoint header")
+    try:
+        header = json.loads(data[offset:offset + header_len])
+    except ValueError as exc:
+        raise CorruptCheckpointError(f"unparseable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != _FORMAT:
+        raise CorruptCheckpointError(
+            f"unsupported checkpoint format {header!r:.80}")
+    header["_payload_offset"] = offset + header_len
+    return header
+
+
+def decode_checkpoint(data: bytes) -> CellCheckpoint:
+    """Inverse of :func:`encode_checkpoint`; CRC-validates the payload."""
+
+    header = read_header(data)
+    offset = header["_payload_offset"]
+    payload = data[offset:offset + int(header["payload_len"])]
+    if len(payload) != int(header["payload_len"]):
+        raise CorruptCheckpointError("truncated checkpoint payload")
+    if zlib.crc32(payload) != int(header["payload_crc32"]):
+        raise CorruptCheckpointError("checkpoint payload CRC mismatch")
+    try:
+        state = serialize.loads(payload)
+        meta = json.loads(bytes(np.asarray(state["meta"],
+                                           dtype=np.uint8)).decode("utf-8"))
+        model_bytes = (bytes(np.asarray(state["model_bytes"],
+                                        dtype=np.uint8))
+                       if meta["has_model"] else None)
+        optimizer_state = None
+        if meta["has_optimizer"]:
+            packed = {key[len("opt."):]: value
+                      for key, value in state.items()
+                      if key.startswith("opt.")}
+            optimizer_state = unpack_optimizer_state(packed)
+        ref = meta["ref_label_counts"]
+        return CellCheckpoint(
+            version=int(meta["version"]),
+            features_count=int(meta["features_count"]),
+            model_bytes=model_bytes,
+            registry_features=tuple(
+                (attribute, value) for attribute, value in meta["registry"]),
+            optimizer_state=optimizer_state,
+            ref_label_counts=(
+                None if ref is None
+                else {int(k): int(v) for k, v in ref.items()}),
+            replay_tasks=tuple(CompactedTask.from_dict(task)
+                               for task in meta["replay_tasks"]),
+            replay_labeled=tuple(
+                (CompactedTask.from_dict(task), int(label))
+                for task, label in meta["replay_labeled"]),
+            created_unix=float(meta["created_unix"]))
+    except CorruptCheckpointError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — any payload defect is corruption
+        raise CorruptCheckpointError(
+            f"unreadable checkpoint payload: {exc}") from exc
+
+
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync (durability of the rename itself)."""
+
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+class CheckpointStore:
+    """Atomic, versioned, self-healing checkpoint directory.
+
+    Writes are crash-safe (tmp + fsync + rename: readers only ever see
+    complete files under final names) and concurrent-safe (sequence
+    numbers are allocated under a lock; tmp names are unique per
+    pid/sequence, so a publish storm cannot interleave torn bytes).
+    Reads fall back through history: a corrupt newest file is moved to
+    ``quarantine/`` and the next-newest valid checkpoint wins.
+    """
+
+    def __init__(self, root: str | os.PathLike, retain: int = 5):
+        if retain < 1:
+            raise ValueError("retain must be >= 1")
+        self.root = Path(root)
+        self.retain = retain
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = new_lock("CheckpointStore._lock")
+        self._seq = self._initial_seq()  # guarded-by: _lock
+        self.written_total = 0  # guarded-by: _lock
+        self.quarantined_total = 0  # guarded-by: _lock
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def save(self, checkpoint: CellCheckpoint) -> Path:
+        """Durably write one checkpoint; returns its final path.
+
+        All file I/O happens outside the store lock (the lock only
+        allocates the sequence number and bumps counters), so a slow
+        disk never serializes concurrent writers behind it.
+        """
+
+        data = encode_checkpoint(checkpoint)
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        name = f"ckpt-{seq:08d}-v{int(checkpoint.version)}.ckpt"
+        final = self.root / name
+        tmp = self.root / f".{name}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        _fsync_dir(self.root)
+        with self._lock:
+            self.written_total += 1
+        self._apply_retention()
+        self._write_manifest()
+        return final
+
+    def _apply_retention(self) -> None:
+        """Delete all but the newest ``retain`` checkpoints."""
+
+        paths = self.checkpoint_paths()
+        for path in paths[:-self.retain]:
+            # Concurrent savers may race the same victim; losing that
+            # race is success.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - fs-specific failure
+                logger.warning("could not prune %s", path, exc_info=True)
+
+    def _write_manifest(self) -> None:
+        """Rewrite ``MANIFEST.json`` atomically from the live headers.
+
+        The manifest is an advisory index for humans and drills — the
+        checkpoint files are self-validating, so recovery never trusts
+        it — but it records each file's CRC so external tooling can
+        audit the store without parsing payloads.
+        """
+
+        entries = []
+        for path in self.checkpoint_paths():
+            try:
+                with open(path, "rb") as handle:
+                    head = handle.read(64 * 1024)
+                header = read_header(head)
+            except (OSError, CorruptCheckpointError):
+                continue
+            entries.append({
+                "file": path.name,
+                "version": int(header["version"]),
+                "payload_crc32": int(header["payload_crc32"]),
+                "payload_len": int(header["payload_len"]),
+                "created_unix": float(header["created_unix"]),
+            })
+        body = json.dumps({"format": _FORMAT, "checkpoints": entries},
+                          indent=2).encode("utf-8")
+        tmp = self.root / f".MANIFEST.{os.getpid()}.{threading.get_ident()}.tmp"
+        try:
+            tmp.write_bytes(body)
+            os.replace(tmp, self.root / "MANIFEST.json")
+        except OSError:  # pragma: no cover - advisory only
+            logger.warning("could not write manifest", exc_info=True)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # read side / recovery
+    # ------------------------------------------------------------------
+    def checkpoint_paths(self) -> list[Path]:
+        """Completed checkpoint files, oldest first (tmp files excluded)."""
+
+        return sorted(p for p in self.root.glob("ckpt-*.ckpt")
+                      if not p.name.startswith("."))
+
+    def load_latest(self) -> CellCheckpoint | None:
+        """The newest valid checkpoint, or ``None`` on an empty store.
+
+        Corrupt files (torn payloads, CRC mismatches, unparseable
+        headers) are quarantined — moved aside, never deleted, so a
+        post-mortem can inspect them — and recovery falls back through
+        history to the newest file that validates.
+        """
+
+        for path in reversed(self.checkpoint_paths()):
+            try:
+                return decode_checkpoint(path.read_bytes())
+            except (OSError, CorruptCheckpointError) as exc:
+                logger.warning("quarantining corrupt checkpoint %s: %s",
+                               path.name, exc)
+                self._quarantine(path)
+        return None
+
+    def _quarantine(self, path: Path) -> None:
+        quarantine = self.root / "quarantine"
+        try:
+            quarantine.mkdir(exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:  # pragma: no cover - fs-specific failure
+            logger.warning("could not quarantine %s", path, exc_info=True)
+            return
+        with self._lock:
+            self.quarantined_total += 1
+
+    def _initial_seq(self) -> int:
+        """Resume sequence numbering past every file already on disk."""
+
+        newest = -1
+        for path in self.root.glob("ckpt-*.ckpt"):
+            try:
+                newest = max(newest, int(path.name.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return newest + 1
+
+
+class AsyncCheckpointer:
+    """Off-path checkpoint writer with publish-coalescing.
+
+    ``request()`` (wired to ``ModelHandle.publish``) just flips a dirty
+    flag and signals — constant-time, lock-bounded, safe on the publish
+    path.  The worker thread then collects a fresh
+    :class:`CellCheckpoint` via the ``collect`` callable and writes it
+    through the store, both outside any service lock.  Back-to-back
+    publishes coalesce into one write of the newest state.
+    """
+
+    def __init__(self, store: CheckpointStore, collect,
+                 telemetry=None):
+        self.store = store
+        self.collect = collect
+        self.telemetry = telemetry
+        self._cond = new_condition("AsyncCheckpointer._cond")
+        self._dirty = False  # guarded-by: _cond
+        self._stopping = False  # guarded-by: _cond
+        self.failures_total = 0  # guarded-by: _cond
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "AsyncCheckpointer":
+        if self._thread is not None:
+            raise RuntimeError("checkpointer already started")
+        with self._cond:
+            self._stopping = False
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-serve-checkpointer",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    def request(self) -> None:
+        """Mark the cell state dirty (called from the publish hook)."""
+
+        with self._cond:
+            self._dirty = True
+            self._cond.notify()
+
+    def flush(self) -> Path | None:
+        """Collect + write one checkpoint synchronously (shutdown path).
+
+        Returns the written path, or ``None`` when there is nothing to
+        persist (no published model with durable bytes).  Exceptions
+        propagate to the caller — a failed *final* checkpoint should be
+        loud, unlike the background writer's logged-and-counted ones.
+        """
+
+        with self._cond:
+            self._dirty = False
+        checkpoint = self.collect()
+        if checkpoint is None:
+            return None
+        return self.store.save(checkpoint)
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._dirty and not self._stopping:
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                self._dirty = False
+            try:
+                checkpoint = self.collect()
+                if checkpoint is None:
+                    continue
+                path = self.store.save(checkpoint)
+            except Exception:  # noqa: BLE001 — checkpointing must not die
+                logger.exception("async checkpoint failed; will retry on "
+                                 "next publish")
+                with self._cond:
+                    self.failures_total += 1
+                continue
+            if self.telemetry is not None:
+                self.telemetry.events.append(
+                    "checkpoint", file=path.name,
+                    bytes=path.stat().st_size)

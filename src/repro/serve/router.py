@@ -19,14 +19,18 @@ dynamically on a live router (:meth:`CellRouter.add_cell`).
 
 from __future__ import annotations
 
+import re
+import zlib
 from contextlib import AbstractContextManager
+from pathlib import Path
 
 import numpy as np
 
 from ..analysis.concur.runtime import new_lock
 from ..constraints.compaction import CompactedTask
 from ..datasets.registry import FeatureRegistry
-from ..errors import OverloadedError, ServiceClosedError, UnknownCellError
+from ..errors import (CircuitOpenError, OverloadedError, ServiceClosedError,
+                      UnknownCellError)
 from ..sim.online import RetrainPolicy
 from .admission import SHED_POLICIES
 from .handle import ModelSnapshot
@@ -40,6 +44,22 @@ __all__ = ["CellRouter"]
 # add_cell override sentinel: None is meaningful ("no budget"), so
 # "inherit the router default" needs its own marker.
 _INHERIT = object()
+
+_CELL_ID_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize_cell_id(cell_id: str) -> str:
+    """A filesystem-safe per-cell subdirectory name.
+
+    Collision-proof: when sanitization changes the id at all, a CRC of
+    the original is appended, so ``a/b`` and ``a:b`` cannot share a
+    checkpoint directory.
+    """
+
+    safe = _CELL_ID_UNSAFE.sub("_", cell_id).strip(".") or "cell"
+    if safe != cell_id:
+        safe = f"{safe}-{zlib.crc32(cell_id.encode('utf-8')):08x}"
+    return safe
 
 
 class CellRouter(AbstractContextManager):
@@ -60,6 +80,17 @@ class CellRouter(AbstractContextManager):
         can run a tighter budget than a large one (or serve / retrain
         eagerly next to compiled cells, or canary only where traffic
         is heavy enough to judge a window).
+    state_dir:
+        Durability root: every cell checkpoints into (and
+        warm-restores from) its own subdirectory
+        ``<state_dir>/<sanitized cell id>``, so cells never share
+        checkpoint files.
+    supervise:
+        Start a per-cell :class:`~repro.serve.Supervisor` + circuit
+        breaker in every cell (overridable per :meth:`add_cell`); a
+        sick cell then fails fast with
+        :class:`~repro.errors.CircuitOpenError` while its neighbours
+        keep serving.
     """
 
     def __init__(self, n_workers: int = 1, max_batch: int = 64,
@@ -71,7 +102,9 @@ class CellRouter(AbstractContextManager):
                  compile: bool = True,
                  fused_train: bool = True,
                  rollout: RolloutPolicy | None = None,
-                 warm_start: bool = True):
+                 warm_start: bool = True,
+                 state_dir: str | None = None,
+                 supervise: bool = False):
         # Fail at construction, not at the first add_cell: a typo'd
         # router-wide policy would otherwise sit latent until a cell
         # joins.
@@ -88,6 +121,8 @@ class CellRouter(AbstractContextManager):
         self.fused_train = fused_train
         self.rollout = rollout
         self.warm_start = warm_start
+        self.state_dir = state_dir
+        self.supervise = supervise
         self._services: dict[str, ClassificationService] = {}  # guarded-by: _lock
         self._lock = new_lock("CellRouter._lock")
         self._started = False  # guarded-by: _lock
@@ -106,6 +141,8 @@ class CellRouter(AbstractContextManager):
                          fused_train: bool = True,
                          rollout: RolloutPolicy | None = None,
                          warm_start: bool = True,
+                         state_dir: str | None = None,
+                         supervise: bool = False,
                          **cell_kwargs) -> "CellRouter":
         """Declare cells up front from ``{cell_id: (model, registry)}``.
 
@@ -120,7 +157,8 @@ class CellRouter(AbstractContextManager):
                      max_queue=max_queue, shed_policy=shed_policy,
                      autotune=autotune, compile=compile,
                      fused_train=fused_train, rollout=rollout,
-                     warm_start=warm_start)
+                     warm_start=warm_start, state_dir=state_dir,
+                     supervise=supervise)
         for cell_id, (model, registry) in deployments.items():
             router.add_cell(cell_id, model, registry, trainer=trainer,
                             **cell_kwargs)
@@ -145,6 +183,7 @@ class CellRouter(AbstractContextManager):
                  fused_train: bool | object = _INHERIT,
                  rollout: RolloutPolicy | None | object = _INHERIT,
                  warm_start: bool | object = _INHERIT,
+                 supervise: bool | object = _INHERIT,
                  rng: np.random.Generator | None = None
                  ) -> ClassificationService:
         """Register one cell's stack; on a started router it goes live
@@ -152,9 +191,12 @@ class CellRouter(AbstractContextManager):
 
         ``latency_budget_ms`` / ``max_queue`` / ``shed_policy`` /
         ``autotune`` / ``compile`` / ``fused_train`` / ``rollout`` /
-        ``warm_start`` default to the router-wide settings;
-        pass an explicit value (including ``None``, to disable a
-        budget or a cell's staged rollout) to override per cell.
+        ``warm_start`` / ``supervise`` default to the router-wide
+        settings; pass an explicit value (including ``None``, to
+        disable a budget or a cell's staged rollout) to override per
+        cell.  With a router ``state_dir`` the cell checkpoints into
+        ``<state_dir>/<sanitized cell id>`` — and warm-restores from
+        it right here, before the first request is routed.
         """
 
         if latency_budget_ms is _INHERIT:
@@ -173,6 +215,11 @@ class CellRouter(AbstractContextManager):
             rollout = self.rollout
         if warm_start is _INHERIT:
             warm_start = self.warm_start
+        if supervise is _INHERIT:
+            supervise = self.supervise
+        cell_state_dir = (None if self.state_dir is None
+                          else str(Path(self.state_dir)
+                                   / _sanitize_cell_id(cell_id)))
         service = ClassificationService(
             model, registry,
             max_batch=self.max_batch if max_batch is None else max_batch,
@@ -184,7 +231,11 @@ class CellRouter(AbstractContextManager):
             latency_budget_ms=latency_budget_ms, max_queue=max_queue,
             shed_policy=shed_policy, autotune=autotune, compile=compile,
             fused_train=fused_train, rollout=rollout,
-            warm_start=warm_start, rng=rng)
+            warm_start=warm_start, state_dir=cell_state_dir,
+            supervise=supervise, rng=rng)
+        if service.breaker is not None:
+            # The breaker's error message and telemetry name the cell.
+            service.breaker.name = cell_id
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("router is closed")
@@ -250,13 +301,14 @@ class CellRouter(AbstractContextManager):
     def submit(self, cell_id: str, task: CompactedTask) -> ClassifyRequest:
         """Route one task to its cell's batcher (non-blocking).
 
-        A shed arrival raises :class:`~repro.errors.OverloadedError`
-        annotated with the overloaded cell's id.
+        A shed arrival raises :class:`~repro.errors.OverloadedError`,
+        and a tripped cell :class:`~repro.errors.CircuitOpenError`,
+        both annotated with the cell's id.
         """
 
         try:
             request = self.service(cell_id).submit(task)
-        except OverloadedError as exc:
+        except (OverloadedError, CircuitOpenError) as exc:
             exc.cell = cell_id
             raise
         request.cell = cell_id
@@ -274,7 +326,7 @@ class CellRouter(AbstractContextManager):
 
         try:
             requests = self.service(cell_id).submit_many(tasks)
-        except OverloadedError as exc:
+        except (OverloadedError, CircuitOpenError) as exc:
             exc.cell = cell_id
             raise
         for request in requests:

@@ -28,12 +28,15 @@ from ..constraints.compaction import CompactedTask
 from ..core.growing import GrowingModel
 from ..datasets.co_vv import COVVEncoder
 from ..datasets.registry import FeatureRegistry
+from ..errors import OverloadedError, ServiceError
 from ..sim.online import RetrainPolicy
 from .admission import SHED_POLICIES, AdmissionController, AutoTuner
 from .handle import ModelHandle, ModelSnapshot
 from .metrics import ServiceStats
 from .microbatch import ClassifyRequest, MicroBatcher
+from .persistence import AsyncCheckpointer, CellCheckpoint, CheckpointStore
 from .rollout import RolloutController, RolloutPolicy
+from .supervise import CircuitBreaker, Supervisor
 from .telemetry import Telemetry
 from .trainer import BackgroundTrainer
 
@@ -93,6 +96,24 @@ class ClassificationService(AbstractContextManager):
         ``True`` (default) lets the background trainer resume the
         previous retrain's Adam optimizer state each cycle, shrinking
         the trigger→publish staleness window.
+    state_dir / checkpoint_retain / checkpoint_replay_tail:
+        ``state_dir`` turns on the durability plane: the newest valid
+        checkpoint under it is warm-restored at construction (the cell
+        serves immediately at its restored model version — version
+        numbers stay monotone across restarts), every publish schedules
+        an off-path checkpoint via :class:`~repro.serve.persistence.
+        AsyncCheckpointer`, and :meth:`close` flushes a final one.
+        ``checkpoint_retain`` bounds on-disk history;
+        ``checkpoint_replay_tail`` bounds the rollout replay tail
+        bundled into each checkpoint.
+    supervise / breaker:
+        ``supervise=True`` starts a :class:`~repro.serve.Supervisor`
+        watchdog (wedged-worker detection, trainer restart with
+        backoff, crash-loop suspension into degraded mode) wired to a
+        :class:`~repro.serve.CircuitBreaker` (created with defaults
+        unless an explicit ``breaker`` is given).  A ``breaker`` alone
+        (without ``supervise``) gates :meth:`submit` on error rate
+        only.
     """
 
     def __init__(self, model: object, registry: FeatureRegistry,
@@ -108,14 +129,43 @@ class ClassificationService(AbstractContextManager):
                  fused_train: bool = True,
                  rollout: RolloutPolicy | None = None,
                  warm_start: bool = True,
+                 state_dir: str | None = None,
+                 checkpoint_retain: int = 5,
+                 checkpoint_replay_tail: int = 1024,
+                 supervise: bool = False,
+                 breaker: CircuitBreaker | None = None,
                  rng: np.random.Generator | None = None):
         self.registry = registry
+        # Durable-state plane: restore the newest valid checkpoint (if
+        # any) *before* the handle exists, so the initial publication
+        # below lands exactly at the restored version and the caller's
+        # cold model is superseded by the trained one from disk.
+        self.store: CheckpointStore | None = None
+        self.checkpointer: AsyncCheckpointer | None = None
+        self._checkpoint_replay_tail = checkpoint_replay_tail
+        self._restored_version = 0
+        restored = None
+        if state_dir is not None:
+            self.store = CheckpointStore(state_dir, retain=checkpoint_retain)
+            restored = self.store.load_latest()
+        if restored is not None and restored.model_bytes is not None:
+            registry.restore(restored.registry_features)
+            rebuilt = (GrowingModel(model.config, rng=model.rng)
+                       if isinstance(model, GrowingModel)
+                       else GrowingModel(rng=rng))
+            rebuilt.restore_bytes(restored.model_bytes,
+                                  features_count=restored.features_count)
+            model = rebuilt
+            features_count = restored.features_count
+            self._restored_version = restored.version
         clone = isinstance(model, GrowingModel)
         # The telemetry plane exists before anything that reports into
         # it: the initial publication below is already event #1.
         self.telemetry = Telemetry(n_shards=n_workers)
         self.handle = ModelHandle(compile=compile,
-                                  telemetry=self.telemetry)
+                                  telemetry=self.telemetry,
+                                  base_version=max(
+                                      0, self._restored_version - 1))
         self.handle.publish(model, features_count=features_count,
                             clone=clone)
         # One lock serializes registry growth (observe path) against the
@@ -170,6 +220,38 @@ class ClassificationService(AbstractContextManager):
                                              rollout=self.rollout,
                                              warm_start=warm_start,
                                              rng=rng)
+        if restored is not None:
+            # Warm-start continuity: the trainer resumes the restored
+            # Adam moments and drift reference; the rollout replay ring
+            # re-seeds from the checkpointed tail.
+            if self.trainer is not None:
+                self.trainer.restore_state(
+                    optimizer_state=restored.optimizer_state,
+                    ref_label_counts=restored.ref_label_counts)
+            if self.rollout is not None:
+                if restored.replay_tasks:
+                    self.rollout.ring.extend(list(restored.replay_tasks))
+                for replay_task, replay_label in restored.replay_labeled:
+                    self.rollout.ring.observe(replay_task, replay_label)
+        if self.store is not None:
+            # The hook is set *after* the initial publication above, so
+            # a warm restore does not immediately rewrite the identical
+            # checkpoint it just read.
+            self.checkpointer = AsyncCheckpointer(self.store,
+                                                  self._collect_checkpoint,
+                                                  telemetry=self.telemetry)
+            self.handle.on_publish = self._on_publish
+        # Self-healing plane: an explicit breaker gates submissions on
+        # error rate; supervise=True adds the watchdog (and a default
+        # breaker when none was given).
+        self.breaker: CircuitBreaker | None = breaker
+        self.supervisor: Supervisor | None = None
+        if supervise:
+            if self.breaker is None:
+                self.breaker = CircuitBreaker(rng=rng,
+                                              telemetry=self.telemetry)
+            self.supervisor = Supervisor(self, breaker=self.breaker,
+                                         rng=rng, telemetry=self.telemetry)
         # Lifecycle flags flip under their own lock so concurrent
         # start()/close() calls cannot interleave (a double close used
         # to re-stop the batcher mid-drain of the first close).
@@ -191,9 +273,20 @@ class ClassificationService(AbstractContextManager):
         # Component startup happens outside the lock: it spawns threads,
         # and holding a state lock across thread management is exactly
         # the blocking-under-lock shape the linter exists to catch.
+        if self.checkpointer is not None:
+            self.checkpointer.start()
+            if self._restored_version == 0:
+                # Cold start over empty (or unreadable) history: make
+                # the initial publication durable right away, so a hard
+                # kill before the first retrain still restarts warm.
+                # Warm restores skip this — the newest checkpoint on
+                # disk is already the state being served.
+                self.checkpointer.request()
         self.batcher.start()
         if self.trainer is not None:
             self.trainer.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -211,9 +304,19 @@ class ClassificationService(AbstractContextManager):
         if already_closed:
             return
         # Stops join worker threads; never do that under _state_lock.
+        # The supervisor goes first so it cannot restart the trainer
+        # mid-shutdown; the final checkpoint is flushed last, after the
+        # batcher drain, so it captures the end-of-life state.
+        if self.supervisor is not None:
+            self.supervisor.stop()
         if self.trainer is not None:
             self.trainer.stop()
         self.batcher.stop(drain=drain)
+        if self.checkpointer is not None:
+            try:
+                self.checkpointer.flush()
+            finally:
+                self.checkpointer.stop()
 
     def __enter__(self) -> "ClassificationService":
         return self.start() if not self._started else self  # unguarded-ok: convenience check; start() re-checks under _state_lock
@@ -228,10 +331,27 @@ class ClassificationService(AbstractContextManager):
         """Enqueue one task for classification (non-blocking).
 
         With admission control configured this may raise
-        :class:`~repro.errors.OverloadedError` instead of queueing.
+        :class:`~repro.errors.OverloadedError` instead of queueing; with
+        a circuit breaker configured, an open breaker fails fast with
+        :class:`~repro.errors.CircuitOpenError` before the queue is
+        even touched.
         """
 
-        return self.batcher.submit(task)
+        breaker = self.breaker
+        if breaker is None:
+            return self.batcher.submit(task)
+        breaker.check()
+        try:
+            request = self.batcher.submit(task)
+        except OverloadedError:
+            # Backpressure is load, not sickness: shedding must not trip
+            # the breaker (that would turn every burst into an outage).
+            raise
+        except ServiceError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return request
 
     def submit_many(self, tasks: list[CompactedTask]
                     ) -> list[ClassifyRequest]:
@@ -241,10 +361,23 @@ class ClassificationService(AbstractContextManager):
         one lock acquisition, one admission decision for the batch as a
         unit (a shed rejects the whole batch with
         :class:`~repro.errors.OverloadedError`), and requests returned
-        in task order.
+        in task order.  Breaker semantics match :meth:`submit` — the
+        whole batch counts as one outcome.
         """
 
-        return self.batcher.submit_many(tasks)
+        breaker = self.breaker
+        if breaker is None:
+            return self.batcher.submit_many(tasks)
+        breaker.check()
+        try:
+            requests = self.batcher.submit_many(tasks)
+        except OverloadedError:
+            raise
+        except ServiceError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return requests
 
     def audit_classify(self, task: CompactedTask, version: int) -> int:
         """Re-classify ``task`` under the exact retained ``version``.
@@ -290,6 +423,67 @@ class ClassificationService(AbstractContextManager):
                                    clone=clone)
 
     # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _on_publish(self, snapshot: ModelSnapshot) -> None:
+        """Publish hook: mark the durable state dirty (constant-time;
+        the actual write happens on the checkpointer thread)."""
+
+        checkpointer = self.checkpointer
+        if checkpointer is not None:
+            checkpointer.request()
+
+    def _collect_checkpoint(self) -> CellCheckpoint | None:
+        """Assemble one durable unit from the live cell state.
+
+        Runs on the checkpointer thread (or the shutdown path's
+        synchronous flush).  Only the registry snapshot is read under a
+        lock — model bytes come from the immutable published snapshot,
+        and the trainer/replay copies take their own locks internally.
+        """
+
+        handle = self.handle
+        if not handle.serving:
+            return None
+        snapshot = handle.snapshot()
+        state_bytes = getattr(snapshot.model, "state_bytes", None)
+        if not callable(state_bytes):
+            return None  # duck-typed model with no durable form
+        model_bytes = state_bytes()
+        with self.batcher.registry_lock:
+            registry_features = self.registry.snapshot()
+        optimizer_state, ref_label_counts = (
+            self.trainer.checkpoint_state()
+            if self.trainer is not None else (None, None))
+        replay_tasks: tuple[CompactedTask, ...] = ()
+        replay_labeled: tuple[tuple[CompactedTask, int], ...] = ()
+        if self.rollout is not None:
+            tail = self._checkpoint_replay_tail
+            ring = self.rollout.ring
+            replay_tasks = tuple(ring.sample()[-tail:])
+            labeled_tasks, labels = ring.labeled()
+            replay_labeled = tuple(
+                (labeled_task, int(label))
+                for labeled_task, label
+                in zip(labeled_tasks, labels))[-tail:]
+        return CellCheckpoint(
+            version=snapshot.version,
+            features_count=snapshot.features_count,
+            model_bytes=model_bytes,
+            registry_features=registry_features,
+            optimizer_state=optimizer_state,
+            ref_label_counts=ref_label_counts,
+            replay_tasks=replay_tasks,
+            replay_labeled=replay_labeled)
+
+    @property
+    def restored_version(self) -> int:
+        """The model version warm-restored from ``state_dir`` at
+        construction (0 on a cold start)."""
+
+        return self._restored_version
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
@@ -318,6 +512,23 @@ class ClassificationService(AbstractContextManager):
                        if trainer is not None and trainer.updates else None)
         rollout = (self.rollout.counters()
                    if self.rollout is not None else None)
+        store = self.store
+        checkpointer = self.checkpointer
+        breaker = self.breaker
+        supervisor = self.supervisor
+        checkpoints = (0 if store is None
+                       else store.written_total)  # unguarded-ok: advisory counter read for stats
+        checkpoint_failures = 0
+        if store is not None:
+            checkpoint_failures += store.quarantined_total  # unguarded-ok: advisory counter read for stats
+        if checkpointer is not None:
+            checkpoint_failures += checkpointer.failures_total  # unguarded-ok: advisory counter read for stats
+        breaker_trips = (0 if breaker is None
+                         else breaker.trips_total)  # unguarded-ok: advisory counter read for stats
+        breaker_rejected = (0 if breaker is None
+                            else breaker.rejected_total)  # unguarded-ok: advisory counter read for stats
+        supervisor_restarts = (0 if supervisor is None
+                               else supervisor.restarts_total)  # unguarded-ok: advisory counter read for stats
         return ServiceStats(
             requests=counters["requests"],
             completed=counters["completed"],
@@ -364,4 +575,12 @@ class ClassificationService(AbstractContextManager):
                            else rollout["replay_window"]),
             drift=0.0 if trainer is None else trainer.drift(),
             trainer_consecutive_failures=(
-                0 if trainer is None else trainer.consecutive_failures))
+                0 if trainer is None else trainer.consecutive_failures),
+            checkpoints=checkpoints,
+            checkpoint_failures=checkpoint_failures,
+            restored_version=self._restored_version,
+            breaker_state=(0 if breaker is None else breaker.state_code),
+            breaker_trips=breaker_trips,
+            breaker_rejected=breaker_rejected,
+            supervisor_restarts=supervisor_restarts,
+            degraded=(supervisor is not None and supervisor.degraded))

@@ -360,7 +360,8 @@ GAUGE_KEYS = frozenset({
     "largest_batch", "model_version", "workers", "model_staleness_s",
     "last_train_seconds", "has_published", "last_publish_unix",
     "canary_fraction", "candidate_version", "replay_window", "drift",
-    "trainer_consecutive_failures",
+    "trainer_consecutive_failures", "restored_version", "breaker_state",
+    "degraded",
 })
 
 #: Structured (non-scalar) stats keys with dedicated encodings.

@@ -177,9 +177,12 @@ class BackgroundTrainer:
             handle.snapshot().features_count if handle.serving
             else registry.features_count)
         self._not_before = 0.0
-        # Adam state of the last successful retrain; trainer-thread
-        # private (written and read only from train_once).
-        self._opt_state: dict | None = None
+        # Adam state of the last successful retrain.  Written by
+        # train_once, read by the durability layer's checkpoint
+        # collector — hence lock-guarded, not thread-private.  The dict
+        # holds copies (TrainPlan.optimizer_state copies; load copies
+        # back in), so sharing the reference across the lock is safe.
+        self._opt_state: dict | None = None  # guarded-by: _lock
 
         self.updates: list[ServeUpdate] = []
         self.failed_updates = 0
@@ -254,6 +257,46 @@ class BackgroundTrainer:
     @property
     def n_observations(self) -> int:
         return len(self._tasks)  # unguarded-ok: advisory size for monitoring; len() is atomic under the GIL
+
+    # ------------------------------------------------------------------
+    # durable state (checkpoint collector / warm restart)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> tuple[dict | None, dict[int, int] | None]:
+        """``(optimizer_state, ref_label_counts)`` for a checkpoint.
+
+        The optimizer dict is shared by reference (its arrays are
+        copies that nothing mutates in place); the drift-reference
+        histogram is copied.
+        """
+
+        with self._lock:
+            reference = (dict(self._ref_label_counts)
+                         if self._ref_label_counts else None)
+            return self._opt_state, reference
+
+    def restore_state(self, optimizer_state: dict | None = None,
+                      ref_label_counts: dict[int, int] | None = None
+                      ) -> None:
+        """Warm-restart from a checkpoint (call before :meth:`start`).
+
+        Seeds the next retrain's Adam moments and the drift-reference
+        histogram, so a restarted trainer resumes exactly where the
+        pre-crash one left off instead of cold-starting both.
+        """
+
+        with self._lock:
+            if optimizer_state is not None:
+                self._opt_state = optimizer_state
+            if ref_label_counts is not None:
+                self._ref_label_counts = dict(ref_label_counts)
+
+    def reset_failures(self) -> None:
+        """Clear the crash streak (a supervisor restarting the trainer
+        gives the fresh thread a clean health slate and no backoff)."""
+
+        with self._lock:
+            self._consecutive_failures = 0
+        self._not_before = 0.0
 
     # ------------------------------------------------------------------
     # trigger + training
@@ -357,6 +400,7 @@ class BackgroundTrainer:
         with self._lock:
             tasks = list(self._tasks)
             labels = list(self._labels)
+            opt_state = self._opt_state if self.warm_start else None
         features_before = self._width_at_last_publish
 
         with self.registry_lock:
@@ -376,7 +420,6 @@ class BackgroundTrainer:
         # the eager oracle needs it densified.
         dataset = DatasetData(X, y, batch_size=shadow.config.batch_size,
                               keep_sparse=self.fused, rng=self.rng)
-        opt_state = self._opt_state if self.warm_start else None
         try:
             outcome = shadow.fit_step(dataset, fused=self.fused,
                                       optimizer_state=opt_state)
@@ -392,7 +435,9 @@ class BackgroundTrainer:
         if self.warm_start:
             # Seed the next cycle's Adam from this accepted retrain,
             # even if the rollout gates end up holding this one back.
-            self._opt_state = getattr(shadow, "last_optimizer_state", None)
+            with self._lock:
+                self._opt_state = getattr(shadow, "last_optimizer_state",
+                                          None)
 
         previous = self.handle.snapshot() if self.handle.serving else None
         stage = "published"

@@ -216,3 +216,85 @@ class TestRun:
         assert report.n_dropped == 0
         assert report.throughput_rps >= 5000, str(report)
         assert report.latency.p99_us > 0
+
+
+class TestHttpClientRetry:
+    """The wire client's stale-socket resilience: retry exactly once,
+    and only for errors that mean the keep-alive socket went stale."""
+
+    class _ScriptedConn:
+        """HTTPConnection double: each request() follows a shared script
+        of exceptions; a non-exception entry returns a 200."""
+
+        def __init__(self, script, log):
+            self.script = script
+            self.log = log
+            self.closed = False
+
+        def request(self, method, path, body=None, headers=None):
+            self.log.append("request")
+            step = self.script.pop(0)
+            if isinstance(step, Exception):
+                raise step
+
+        def getresponse(self):
+            class _Resp:
+                status = 200
+
+                @staticmethod
+                def read():
+                    return b"{}"
+            return _Resp()
+
+        def close(self):
+            self.closed = True
+
+    def _client(self, monkeypatch, script):
+        from repro.serve import loadgen
+
+        log = []
+        monkeypatch.setattr(
+            loadgen, "HTTPConnection",
+            lambda host, port, timeout=None:
+                self._ScriptedConn(script, log))
+        return loadgen._HttpClient("127.0.0.1", 1), log
+
+    def test_connection_reset_retried_once(self, monkeypatch):
+        client, log = self._client(
+            monkeypatch, [ConnectionResetError("peer reset"), None])
+        status, data = client.request("POST", "/classify", body=b"{}")
+        assert status == 200
+        assert log == ["request", "request"]
+
+    def test_broken_pipe_retried_once(self, monkeypatch):
+        client, log = self._client(
+            monkeypatch, [BrokenPipeError("gone"), None])
+        assert client.request("GET", "/healthz")[0] == 200
+        assert log == ["request", "request"]
+
+    def test_remote_disconnected_retried_once(self, monkeypatch):
+        from http.client import RemoteDisconnected
+
+        client, log = self._client(
+            monkeypatch, [RemoteDisconnected("server reaped idle"), None])
+        assert client.request("GET", "/metrics")[0] == 200
+        assert log == ["request", "request"]
+
+    def test_second_stale_failure_surfaces(self, monkeypatch):
+        client, log = self._client(
+            monkeypatch, [ConnectionResetError("a"),
+                          ConnectionResetError("b")])
+        with pytest.raises(ConnectionResetError, match="b"):
+            client.request("POST", "/classify", body=b"{}")
+        assert log == ["request", "request"]  # exactly one retry
+
+    def test_non_stale_errors_are_never_resent(self, monkeypatch):
+        import socket
+
+        for error in (socket.timeout("slow server"),
+                      ValueError("protocol violation")):
+            client, log = self._client(monkeypatch, [error, None])
+            with pytest.raises(type(error)):
+                client.request("POST", "/classify", body=b"{}")
+            assert log == ["request"], (
+                f"{type(error).__name__} must not be resent")

@@ -1,0 +1,250 @@
+"""CheckpointStore / checkpoint codec unit tests: atomic writes,
+corruption fallback, retention, and the concurrent publish storm."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BENCH_CONFIG, GrowingModel
+from repro.datasets import DatasetData
+from repro.serve import (AsyncCheckpointer, CellCheckpoint, CheckpointStore,
+                         CorruptCheckpointError)
+from repro.serve.persistence import decode_checkpoint, encode_checkpoint
+
+
+@pytest.fixture(scope="module")
+def trained(pipeline_result):
+    steps = [s for s in pipeline_result.steps
+             if s.n_samples >= 8 and len(np.unique(s.y)) >= 2]
+    model = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(7))
+    model.fit_step(DatasetData(steps[0].X, steps[0].y,
+                               batch_size=BENCH_CONFIG.batch_size,
+                               rng=np.random.default_rng(0)))
+    return model, pipeline_result
+
+
+def _checkpoint(trained, version: int = 3) -> CellCheckpoint:
+    model, result = trained
+    opt_state = {
+        "steps": [2, 5],
+        "m_w": [np.ones((4, 3), dtype=np.float32), None],
+        "v_w": [np.full((4, 3), 2.0, dtype=np.float32), None],
+        "m_b": [np.zeros(4, dtype=np.float32), None],
+        "v_b": [None, np.ones(2, dtype=np.float32)],
+    }
+    return CellCheckpoint(
+        version=version,
+        features_count=model.features_count,
+        model_bytes=model.state_bytes(),
+        registry_features=result.registry.snapshot(),
+        optimizer_state=opt_state,
+        ref_label_counts={0: 10, 3: 4},
+        replay_tasks=tuple(result.tasks[:5]),
+        replay_labeled=tuple((task, int(label)) for task, label
+                             in zip(result.tasks[:3], result.labels[:3])))
+
+
+class TestCodec:
+    def test_round_trip(self, trained):
+        original = _checkpoint(trained)
+        restored = decode_checkpoint(encode_checkpoint(original))
+        assert restored.version == original.version
+        assert restored.features_count == original.features_count
+        assert restored.model_bytes == original.model_bytes
+        assert restored.registry_features == original.registry_features
+        assert restored.ref_label_counts == {0: 10, 3: 4}
+        assert restored.replay_tasks == original.replay_tasks
+        assert restored.replay_labeled == original.replay_labeled
+        assert restored.optimizer_state["steps"] == [2, 5]
+        np.testing.assert_array_equal(
+            restored.optimizer_state["m_w"][0],
+            original.optimizer_state["m_w"][0])
+        assert restored.optimizer_state["m_w"][1] is None
+        assert restored.optimizer_state["v_b"][0] is None
+
+    def test_restored_model_predicts_identically(self, trained):
+        model, result = trained
+        restored_ckpt = decode_checkpoint(
+            encode_checkpoint(_checkpoint(trained)))
+        rebuilt = GrowingModel(BENCH_CONFIG, rng=np.random.default_rng(0))
+        rebuilt.restore_bytes(restored_ckpt.model_bytes,
+                              features_count=restored_ckpt.features_count)
+        X = np.random.default_rng(1).random(
+            (16, model.features_count)).astype(np.float32)
+        np.testing.assert_array_equal(rebuilt.predict(X), model.predict(X))
+
+    def test_truncated_payload_is_corrupt(self, trained):
+        data = encode_checkpoint(_checkpoint(trained))
+        with pytest.raises(CorruptCheckpointError, match="truncated"):
+            decode_checkpoint(data[:-10])
+
+    def test_bit_flip_fails_crc(self, trained):
+        data = bytearray(encode_checkpoint(_checkpoint(trained)))
+        data[-1] ^= 0xFF
+        with pytest.raises(CorruptCheckpointError, match="CRC"):
+            decode_checkpoint(bytes(data))
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptCheckpointError, match="magic"):
+            decode_checkpoint(b"not a checkpoint at all")
+
+
+class TestStore:
+    def test_save_load_latest(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path, retain=3)
+        store.save(_checkpoint(trained, version=1))
+        path = store.save(_checkpoint(trained, version=2))
+        assert path.exists() and path.name.endswith("-v2.ckpt")
+        latest = store.load_latest()
+        assert latest is not None and latest.version == 2
+        assert store.written_total == 2
+
+    def test_empty_store(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest() is None
+
+    def test_retention_prunes_oldest(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path, retain=2)
+        for version in range(1, 6):
+            store.save(_checkpoint(trained, version=version))
+        paths = store.checkpoint_paths()
+        assert len(paths) == 2
+        assert [p.name.split("-v")[1] for p in paths] == ["4.ckpt", "5.ckpt"]
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        assert [e["version"] for e in manifest["checkpoints"]] == [4, 5]
+
+    def test_corrupt_newest_falls_back_and_quarantines(self, tmp_path,
+                                                       trained):
+        store = CheckpointStore(tmp_path, retain=5)
+        store.save(_checkpoint(trained, version=1))
+        newest = store.save(_checkpoint(trained, version=2))
+        newest.write_bytes(newest.read_bytes()[:100])  # torn write
+        latest = store.load_latest()
+        assert latest is not None and latest.version == 1
+        assert (tmp_path / "quarantine" / newest.name).exists()
+        assert store.quarantined_total == 1
+        # The fallback is durable: a fresh store over the same directory
+        # sees only the valid file.
+        assert CheckpointStore(tmp_path).load_latest().version == 1
+
+    def test_all_corrupt_returns_none(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path)
+        for version in (1, 2):
+            path = store.save(_checkpoint(trained, version=version))
+            path.write_bytes(b"garbage")
+        assert store.load_latest() is None
+        assert store.quarantined_total == 2
+
+    def test_torn_tmp_file_is_ignored(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path)
+        store.save(_checkpoint(trained, version=1))
+        # A crash mid-write leaves a dot-prefixed tmp behind; it must be
+        # invisible to recovery.
+        (tmp_path / ".ckpt-00000009-v9.ckpt.12345.tmp").write_bytes(b"torn")
+        assert [p.name.startswith("ckpt-")
+                for p in store.checkpoint_paths()] == [True]
+        assert store.load_latest().version == 1
+
+    def test_sequence_resumes_past_existing_files(self, tmp_path, trained):
+        CheckpointStore(tmp_path).save(_checkpoint(trained, version=1))
+        second = CheckpointStore(tmp_path)
+        path = second.save(_checkpoint(trained, version=2))
+        assert path.name.startswith("ckpt-00000001-")
+        assert len(second.checkpoint_paths()) == 2
+
+    def test_concurrent_publish_storm(self, tmp_path, trained):
+        """Many writers, one directory: every surviving file validates
+        and the newest checkpoint wins."""
+
+        store = CheckpointStore(tmp_path, retain=8)
+        n_threads, per_thread = 4, 6
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def storm(k: int):
+            try:
+                barrier.wait(5)
+                for i in range(per_thread):
+                    store.save(_checkpoint(trained,
+                                           version=1 + k * per_thread + i))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=storm, args=(k,))
+                   for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert store.written_total == n_threads * per_thread
+        paths = store.checkpoint_paths()
+        assert len(paths) <= 8
+        for path in paths:  # no torn bytes anywhere
+            decode_checkpoint(path.read_bytes())
+        assert store.load_latest() is not None
+        assert store.quarantined_total == 0
+
+
+class TestAsyncCheckpointer:
+    def test_coalesces_requests_into_writes(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path)
+        wrote = threading.Event()
+
+        def collect():
+            wrote.set()
+            return _checkpoint(trained, version=1)
+
+        checkpointer = AsyncCheckpointer(store, collect).start()
+        try:
+            for _ in range(50):
+                checkpointer.request()
+            assert wrote.wait(5)
+        finally:
+            checkpointer.stop()
+        written = store.written_total
+        assert 1 <= written <= 50
+        assert store.load_latest().version == 1
+
+    def test_flush_writes_synchronously(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path)
+        checkpointer = AsyncCheckpointer(
+            store, lambda: _checkpoint(trained, version=4))
+        path = checkpointer.flush()
+        assert path is not None and path.exists()
+        assert store.load_latest().version == 4
+
+    def test_flush_with_nothing_to_persist(self, tmp_path):
+        checkpointer = AsyncCheckpointer(CheckpointStore(tmp_path),
+                                         lambda: None)
+        assert checkpointer.flush() is None
+
+    def test_collect_failure_is_counted_not_fatal(self, tmp_path, trained):
+        store = CheckpointStore(tmp_path)
+        calls = []
+
+        def collect():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("injected collect fault")
+            return _checkpoint(trained, version=2)
+
+        checkpointer = AsyncCheckpointer(store, collect).start()
+        try:
+            checkpointer.request()
+            deadline = 50
+            while not calls and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            checkpointer.request()
+            deadline = 100
+            while store.written_total == 0 and deadline:  # unguarded-ok: test polling
+                threading.Event().wait(0.05)
+                deadline -= 1
+        finally:
+            checkpointer.stop()
+        assert checkpointer.failures_total >= 1
+        assert store.load_latest().version == 2
